@@ -1,0 +1,73 @@
+// Ablation: DP vs naive batching as a function of length dispersion, and
+// the hungry vs lazy trigger policies (paper §5).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/serving_figure.h"
+#include "serving/scheduler.h"
+
+using namespace turbo;
+
+int main() {
+  const auto spec = gpusim::DeviceSpec::rtx2060();
+  const auto model = bench::bert_base();
+  const auto table = bench::serving_cost_table(
+      model, perfmodel::RuntimeProfile::turbo(), spec,
+      bench::kTurboServingOverheadMs, 512, 20);
+
+  serving::SimOptions hungry;
+  serving::SimOptions lazy;
+  lazy.trigger = serving::TriggerPolicy::kLazy;
+  lazy.lazy_timeout_ms = 3.0;
+  lazy.latency_slo_ms = 100.0;
+
+  std::printf("Ablation — scheduler vs length dispersion (rate 150 req/s)\n");
+  bench::print_rule('=');
+  std::printf("%-18s %16s %16s %16s %16s\n", "length range", "naive resp/s",
+              "dp resp/s", "naive pad-ovh", "dp pad-ovh");
+  for (const auto& [lo, hi] : std::vector<std::pair<int, int>>{
+           {90, 110}, {50, 200}, {5, 500}}) {
+    serving::WorkloadSpec wspec;
+    wspec.rate_per_s = 150;
+    wspec.horizon_s = 6;
+    wspec.min_len = lo;
+    wspec.max_len = hi;
+    const auto arrivals = serving::generate_poisson_workload(wspec);
+    const auto naive = serving::simulate_serving(
+        arrivals, serving::NaiveBatchScheduler(20), table, hungry);
+    const auto dp = serving::simulate_serving(
+        arrivals, serving::DpBatchScheduler(20), table, hungry);
+    std::printf("U(%3d, %3d)        %15.0f%s %15.0f%s %15.1f%% %15.1f%%\n",
+                lo, hi, naive.response_rate, naive.saturated ? "*" : " ",
+                dp.response_rate, dp.saturated ? "*" : " ",
+                100 * naive.padding_overhead_frac,
+                100 * dp.padding_overhead_frac);
+  }
+  std::printf("(DP's edge grows with dispersion: when lengths are similar, "
+              "naive batching is already near-optimal)\n");
+
+  std::printf("\nAblation — hungry vs lazy trigger (len 2-100, DP batching)\n");
+  bench::print_rule('=');
+  std::printf("%-10s %18s %18s %18s %18s\n", "req/s", "hungry resp/s",
+              "lazy resp/s", "hungry avg ms", "lazy avg ms");
+  for (double rate : {60.0, 120.0, 250.0}) {
+    serving::WorkloadSpec wspec;
+    wspec.rate_per_s = rate;
+    wspec.horizon_s = 6;
+    wspec.min_len = 2;
+    wspec.max_len = 100;
+    const auto arrivals = serving::generate_poisson_workload(wspec);
+    const auto h = serving::simulate_serving(
+        arrivals, serving::DpBatchScheduler(20), table, hungry);
+    const auto l = serving::simulate_serving(
+        arrivals, serving::DpBatchScheduler(20), table, lazy);
+    std::printf("%-10.0f %17.0f%s %17.0f%s %18.2f %18.2f\n", rate,
+                h.response_rate, h.saturated ? "*" : " ", l.response_rate,
+                l.saturated ? "*" : " ", h.latency_ms.mean,
+                l.latency_ms.mean);
+  }
+  std::printf("(lazy waits to form bigger batches: better amortization at "
+              "low rates, extra queueing delay)\n");
+  return 0;
+}

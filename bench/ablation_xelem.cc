@@ -1,0 +1,53 @@
+// Ablation: the XElem row-batching width X of warpAllReduceSum_XElem
+// (paper fixes X = 2) and the single-pass-variance trick (Equation 1).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gpukernels/reduction_sim.h"
+
+using namespace turbo;
+using gpukernels::ReductionImpl;
+
+int main() {
+  const auto spec = gpusim::DeviceSpec::v100();
+  const std::vector<std::pair<long, long>> shapes = {
+      {12 * 10, 10}, {12 * 128, 128}, {20L * 12 * 128, 128},
+      {20L * 12 * 500, 500}};
+
+  std::printf("Ablation — XElem width X for Softmax (us)\n");
+  bench::print_rule('=');
+  std::printf("%-20s %10s %10s %10s %10s %10s\n", "(rows, cols)", "X=1",
+              "X=2", "X=4", "X=8", "baseline");
+  for (const auto& [rows, cols] : shapes) {
+    std::printf("(%7ld, %4ld)    ", rows, cols);
+    for (int x : {1, 2, 4, 8}) {
+      std::printf(" %9.2f",
+                  gpukernels::softmax_sim(nullptr, rows, cols, 1.0f,
+                                          ReductionImpl::kTurbo, spec, x)
+                      .time_us);
+    }
+    std::printf(" %9.2f\n",
+                gpukernels::softmax_sim(nullptr, rows, cols, 1.0f,
+                                        ReductionImpl::kBaseline, spec)
+                    .time_us);
+  }
+
+  std::printf("\nAblation — LayerNorm variance computation (us, cols=768)\n");
+  bench::print_rule('=');
+  std::printf("%-12s %22s %22s %12s\n", "rows", "single-pass (Eq. 1)",
+              "two-pass (classical)", "saving");
+  for (long rows : {10L, 128L, 2560L, 10240L}) {
+    const double single =
+        gpukernels::layernorm_sim(nullptr, nullptr, nullptr, nullptr, rows,
+                                  768, ReductionImpl::kTurbo, spec, 2, true)
+            .time_us;
+    const double two =
+        gpukernels::layernorm_sim(nullptr, nullptr, nullptr, nullptr, rows,
+                                  768, ReductionImpl::kTurbo, spec, 2, false)
+            .time_us;
+    std::printf("%-12ld %22.2f %22.2f %11.1f%%\n", rows, single, two,
+                100.0 * (two - single) / two);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared helpers for the per-figure benchmark binaries.
+#pragma once
+
+#include <cstdio>
+
+#include "gpusim/device_spec.h"
+#include "perfmodel/model_latency.h"
+#include "serving/cost_table.h"
+
+namespace turbo::bench {
+
+inline perfmodel::EncoderModelDesc bert_base() {
+  perfmodel::EncoderModelDesc d;
+  d.name = "Bert";
+  d.dims = graph::LayerDims{768, 12, 3072};
+  d.num_layers = 12;
+  return d;
+}
+
+inline perfmodel::EncoderModelDesc albert() {
+  perfmodel::EncoderModelDesc d;
+  d.name = "Albert";
+  d.dims = graph::LayerDims{4096, 64, 16384};
+  d.num_layers = 12;
+  return d;
+}
+
+inline perfmodel::EncoderModelDesc distilbert() {
+  perfmodel::EncoderModelDesc d;
+  d.name = "DistilBert";
+  d.dims = graph::LayerDims{768, 12, 3072};
+  d.num_layers = 6;
+  return d;
+}
+
+// Per-batch service-layer overhead (request handling, message queue,
+// framework dispatch), calibrated so the NoBatch critical points land near
+// the paper's §6.3 numbers (PyTorch-NoBatch ~99 resp/s, Turbo-NoBatch ~237
+// resp/s for lengths 2-100). Documented in EXPERIMENTS.md.
+inline constexpr double kTurboServingOverheadMs = 1.3;
+inline constexpr double kPyTorchServingOverheadMs = 4.8;
+
+// Cost table for a runtime profile, latency from the performance model
+// plus the serving-layer overhead.
+inline serving::CostTable serving_cost_table(
+    const perfmodel::EncoderModelDesc& model,
+    const perfmodel::RuntimeProfile& profile,
+    const gpusim::DeviceSpec& spec, double overhead_ms, int max_len,
+    int max_batch) {
+  return serving::CostTable::warmup(
+      [&](int len, int batch) {
+        return overhead_ms + perfmodel::encoder_latency_ms(model, batch, len,
+                                                           profile, spec);
+      },
+      max_len, max_batch, /*len_step=*/8);
+}
+
+inline void print_rule(char c = '-', int n = 78) {
+  for (int i = 0; i < n; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace turbo::bench

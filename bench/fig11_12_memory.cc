@@ -1,0 +1,84 @@
+// Figures 11 & 12: intermediate-tensor memory footprint (Fig. 11) and
+// per-inference device alloc+free traffic (Fig. 12) across a trace of
+// BERT inferences with random lengths U(5, 500), for the four allocators:
+// PyTorch (cub-style caching), onnxruntime (BFC arena), Turbo (Algorithm 1)
+// and GSOC (greedy-by-size offset calculation).
+//
+// As in the paper, one plan covers one encoder layer (repeated-structure
+// trick); footprints scale identically across allocators so the
+// comparison is exact.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "graph/builders.h"
+#include "memory/dynamic_allocators.h"
+#include "memory/gsoc_planner.h"
+#include "memory/model_aware_allocator.h"
+
+using namespace turbo;
+
+int main() {
+  const graph::Graph layer = graph::build_encoder_layer_fused({768, 12, 3072});
+  Rng rng(0x11F12);
+  std::vector<int> lens;
+  for (int i = 0; i < 75; ++i) {
+    lens.push_back(static_cast<int>(rng.uniform_int(5, 500)));
+  }
+
+  memory::ModelAwareAllocator turbo_alloc;
+  memory::GsocPlanner gsoc;
+  memory::ReplayAdapter pytorch(
+      std::make_unique<memory::CubCachingAllocator>());
+  memory::ReplayAdapter onnxrt(std::make_unique<memory::BfcArenaAllocator>());
+
+  std::printf(
+      "Figures 11 & 12 — intermediate-tensor footprint and alloc+free "
+      "traffic (BERT, len U(5,500))\n");
+  bench::print_rule('=');
+  std::printf("%5s %6s | %36s | %36s\n", "", "", "footprint (MB), Fig. 11",
+              "alloc+free per inference (MB), Fig. 12");
+  std::printf("%5s %6s | %8s %8s %8s %8s | %8s %8s %8s %8s\n", "#", "len",
+              "PyTorch", "onnxrt", "Turbo", "GSOC", "PyTorch", "onnxrt",
+              "Turbo", "GSOC");
+
+  const double mb = 1024.0 * 1024.0;
+  double turbo_peak = 0, gsoc_peak = 0, pt_peak = 0, ort_peak = 0;
+  double turbo_traffic = 0, gsoc_traffic = 0, pt_traffic = 0,
+         ort_traffic = 0;
+  for (size_t i = 0; i < lens.size(); ++i) {
+    const auto usages = layer.tensor_usages(1, lens[i]);
+    const auto pt = pytorch.begin_inference(usages);
+    const auto po = onnxrt.begin_inference(usages);
+    const auto tu = turbo_alloc.begin_inference(usages);
+    const auto gs = gsoc.begin_inference(usages);
+    std::printf("%5zu %6d | %8.2f %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f "
+                "%8.2f\n",
+                i, lens[i], pt.footprint_bytes / mb, po.footprint_bytes / mb,
+                tu.footprint_bytes / mb, gs.footprint_bytes / mb,
+                pt.traffic_bytes() / mb, po.traffic_bytes() / mb,
+                tu.traffic_bytes() / mb, gs.traffic_bytes() / mb);
+    pt_peak = std::max(pt_peak, pt.footprint_bytes / mb);
+    ort_peak = std::max(ort_peak, po.footprint_bytes / mb);
+    turbo_peak = std::max(turbo_peak, tu.footprint_bytes / mb);
+    gsoc_peak = std::max(gsoc_peak, gs.footprint_bytes / mb);
+    pt_traffic += pt.traffic_bytes() / mb;
+    ort_traffic += po.traffic_bytes() / mb;
+    turbo_traffic += tu.traffic_bytes() / mb;
+    gsoc_traffic += gs.traffic_bytes() / mb;
+  }
+  bench::print_rule();
+  std::printf("peak footprint (MB):  PyTorch %.2f  onnxrt %.2f  Turbo %.2f  "
+              "GSOC %.2f\n",
+              pt_peak, ort_peak, turbo_peak, gsoc_peak);
+  std::printf("total traffic  (MB):  PyTorch %.2f  onnxrt %.2f  Turbo %.2f  "
+              "GSOC %.2f\n",
+              pt_traffic, ort_traffic, turbo_traffic, gsoc_traffic);
+  std::printf(
+      "\n(paper: caching allocators ratchet to a plateau after the longest "
+      "request; Turbo tracks the working set like GSOC — max 12.15 MB — "
+      "while moving less memory per inference than GSOC)\n");
+  return 0;
+}

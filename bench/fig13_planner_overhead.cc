@@ -1,0 +1,60 @@
+// Figure 13: cost of offset scheduling (allocator Algorithm 1) relative to
+// total inference latency, over BERT requests with lengths U(5, 500).
+// Planning cost is the *measured* wall time of the real planner; inference
+// latency comes from the performance model. One plan serves all 12 layers
+// (the paper's repeated-structure trick).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "graph/builders.h"
+#include "memory/model_aware_allocator.h"
+
+using namespace turbo;
+
+int main() {
+  const auto spec = gpusim::DeviceSpec::rtx2060();
+  const auto model = bench::bert_base();
+  const graph::Graph layer = graph::build_encoder_layer_fused({768, 12, 3072});
+  memory::ModelAwareAllocator alloc;
+  Rng rng(0xF13);
+
+  std::printf(
+      "Figure 13 — offset-scheduling overhead of the model-aware allocator\n");
+  bench::print_rule('=');
+  std::printf("%6s %14s %14s %10s\n", "len", "plan_us", "infer_us", "pct");
+
+  std::vector<int> lens;
+  for (int i = 0; i < 40; ++i) {
+    lens.push_back(static_cast<int>(rng.uniform_int(5, 500)));
+  }
+  std::sort(lens.begin(), lens.end());
+
+  std::vector<double> pcts;
+  for (int len : lens) {
+    // Median of several planning runs: wall-clock timing of a ~100 us
+    // operation is noisy.
+    std::vector<double> plan_us;
+    for (int rep = 0; rep < 5; ++rep) {
+      plan_us.push_back(
+          alloc.begin_inference(layer.tensor_usages(1, len)).planning_us);
+    }
+    const double plan = percentile(plan_us, 50);
+    const double infer =
+        perfmodel::encoder_latency(model, 1, len,
+                                   perfmodel::RuntimeProfile::turbo(), spec)
+            .total_us;
+    const double pct = 100.0 * plan / infer;
+    pcts.push_back(pct);
+    std::printf("%6d %14.2f %14.1f %9.3f%%\n", len, plan, infer, pct);
+  }
+  bench::print_rule();
+  std::printf("overhead: avg %.2f%%, min %.3f%%, max %.2f%%\n", mean(pcts),
+              *std::min_element(pcts.begin(), pcts.end()),
+              *std::max_element(pcts.begin(), pcts.end()));
+  std::printf("(paper: 1.8%% on average, 0.07%%-5.77%%)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 14: fixed-length BERT inference on RTX 2060 — speedup of Turbo
+// (and Turbo-TC) relative to PyTorch, onnxruntime-gpu, TensorFlow-XLA,
+// FasterTransformers and TensorRT over the paper's (batch, length) grid.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+
+using namespace turbo;
+using perfmodel::RuntimeProfile;
+
+int main() {
+  const auto spec = gpusim::DeviceSpec::rtx2060();
+  const auto model = bench::bert_base();
+  const std::vector<int> batches = {1, 20};
+  const std::vector<int> lens = {10, 20, 40, 60, 80, 100, 200, 300, 400, 500};
+
+  const std::vector<RuntimeProfile> others = {
+      RuntimeProfile::pytorch(), RuntimeProfile::onnxruntime(),
+      RuntimeProfile::tf_xla(), RuntimeProfile::faster_transformers(),
+      RuntimeProfile::tensorrt()};
+
+  std::printf("Figure 14 — fixed-length BERT inference speedups (%s)\n",
+              spec.name.c_str());
+  bench::print_rule('=');
+  std::printf("%-12s", "(bs, seq)");
+  for (const auto& p : others) std::printf(" %18s", p.name.c_str());
+  std::printf(" %18s\n", "Turbo-TC/Turbo");
+
+  std::vector<std::vector<double>> speedups(others.size());
+  std::vector<double> tc_speedups;
+  for (int bs : batches) {
+    for (int len : lens) {
+      const double turbo = perfmodel::encoder_latency_ms(
+          model, bs, len, RuntimeProfile::turbo(), spec);
+      std::printf("(%2d, %4d)  ", bs, len);
+      for (size_t i = 0; i < others.size(); ++i) {
+        const double other =
+            perfmodel::encoder_latency_ms(model, bs, len, others[i], spec);
+        speedups[i].push_back(other / turbo);
+        std::printf(" %17.2fx", other / turbo);
+      }
+      const double tc = perfmodel::encoder_latency_ms(
+          model, bs, len, RuntimeProfile::turbo_tc(), spec);
+      tc_speedups.push_back(turbo / tc);
+      std::printf(" %17.2fx\n", turbo / tc);
+    }
+  }
+  bench::print_rule();
+  std::printf("Turbo speedup summary (min-max, avg):\n");
+  for (size_t i = 0; i < others.size(); ++i) {
+    std::printf("  vs %-20s %.2fx-%.2fx, avg %.2fx\n",
+                others[i].name.c_str(),
+                *std::min_element(speedups[i].begin(), speedups[i].end()),
+                *std::max_element(speedups[i].begin(), speedups[i].end()),
+                mean(speedups[i]));
+  }
+  std::printf(
+      "(paper: vs PyTorch 1.23-2.77 avg 1.54; vs onnxruntime 1.01-1.26 avg "
+      "1.11; vs XLA 1.03-1.31 avg 1.11; vs FasterTransformers 0.71-1.32 avg "
+      "0.91; vs TensorRT 0.53-0.96 avg 0.87)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 5: speedup of TurboTransformers' batch-reduction kernels over the
+// FasterTransformer baseline (and cuDNN for Softmax) on Tesla V100.
+//
+// Softmax rows = batch * heads * seq (BERT-base heads = 12), cols = seq.
+// LayerNorm rows = batch * seq, cols = hidden (768).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gpukernels/reduction_sim.h"
+
+using namespace turbo;
+using gpukernels::ReductionImpl;
+
+int main() {
+  const auto spec = gpusim::DeviceSpec::v100();
+  const int heads = 12, hidden = 768;
+  const std::vector<int> batches = {1, 20};
+  const std::vector<int> seq_for_b1 = {10, 20, 40, 60, 80, 100, 200, 300,
+                                       400, 500};
+
+  std::printf("Figure 5 — batch-reduction kernel speedups on %s\n",
+              spec.name.c_str());
+  bench::print_rule('=');
+
+  std::printf("Softmax Speedup (Turbo vs FT baseline / vs cuDNN)\n");
+  std::printf("%-14s %12s %12s %12s %14s %14s\n", "(bs, seq)", "baseline_us",
+              "cudnn_us", "turbo_us", "vs_baseline", "vs_cudnn");
+  for (int bs : batches) {
+    for (int seq : seq_for_b1) {
+      const long rows = static_cast<long>(bs) * heads * seq;
+      const double base =
+          gpukernels::softmax_sim(nullptr, rows, seq, 1.0f,
+                                  ReductionImpl::kBaseline, spec)
+              .time_us;
+      const double cudnn =
+          gpukernels::softmax_sim(nullptr, rows, seq, 1.0f,
+                                  ReductionImpl::kCudnn, spec)
+              .time_us;
+      const double turbo =
+          gpukernels::softmax_sim(nullptr, rows, seq, 1.0f,
+                                  ReductionImpl::kTurbo, spec)
+              .time_us;
+      std::printf("(%2d, %4d)     %12.2f %12.2f %12.2f %13.2fx %13.2fx\n",
+                  bs, seq, base, cudnn, turbo, base / turbo, cudnn / turbo);
+    }
+  }
+
+  bench::print_rule();
+  std::printf("LayerNorm Speedup (Turbo vs FT baseline)\n");
+  std::printf("%-14s %12s %12s %14s\n", "(bs, seq)", "baseline_us",
+              "turbo_us", "vs_baseline");
+  for (int bs : batches) {
+    for (int seq : seq_for_b1) {
+      const long rows = static_cast<long>(bs) * seq;
+      const double base =
+          gpukernels::layernorm_sim(nullptr, nullptr, nullptr, nullptr, rows,
+                                    hidden, ReductionImpl::kBaseline, spec)
+              .time_us;
+      const double turbo =
+          gpukernels::layernorm_sim(nullptr, nullptr, nullptr, nullptr, rows,
+                                    hidden, ReductionImpl::kTurbo, spec)
+              .time_us;
+      std::printf("(%2d, %4d)     %12.2f %12.2f %13.2fx\n", bs, seq, base,
+                  turbo, base / turbo);
+    }
+  }
+  return 0;
+}

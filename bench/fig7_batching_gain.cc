@@ -1,0 +1,46 @@
+// Figure 7: batching gain for base BERT serving on RTX 2060 — per-request
+// latency of a batch of N requests, normalized to the latency of a single
+// request, for sequence lengths 10..200 and batch sizes 1..15.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace turbo;
+
+int main() {
+  const auto spec = gpusim::DeviceSpec::rtx2060();
+  const auto model = bench::bert_base();
+  const auto profile = perfmodel::RuntimeProfile::turbo();
+  const std::vector<int> lens = {10, 20, 30, 50, 100, 200};
+
+  std::printf(
+      "Figure 7 — normalized per-request latency vs batch size (BERT base, "
+      "%s)\n",
+      spec.name.c_str());
+  bench::print_rule('=');
+  std::printf("batch ");
+  for (int len : lens) std::printf("  seq_len=%-4d", len);
+  std::printf("\n");
+
+  std::vector<double> single;
+  for (int len : lens) {
+    single.push_back(
+        perfmodel::encoder_latency_ms(model, 1, len, profile, spec));
+  }
+  for (int batch = 1; batch <= 15; ++batch) {
+    std::printf("%5d ", batch);
+    for (size_t li = 0; li < lens.size(); ++li) {
+      const double per_request =
+          perfmodel::encoder_latency_ms(model, batch, lens[li], profile,
+                                        spec) /
+          batch;
+      std::printf("  %12.3f", per_request / single[li]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n(values < 1: batching amortizes launch overhead and fills the "
+      "GPU; the gain is largest for short sequences, as in the paper)\n");
+  return 0;
+}

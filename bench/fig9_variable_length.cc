@@ -1,0 +1,110 @@
+// Figure 9: end-to-end latency on variable-length requests (RTX 2060).
+// BERT / ALBERT / DistilBERT with lengths U(5, 500) and the Seq2Seq decoder
+// with source lengths U(28, 137); runtimes: Turbo, PyTorch, onnxruntime,
+// Turbo-TC. Requests are generated with a fixed seed and reported sorted by
+// length (as the paper plots them).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+using namespace turbo;
+using perfmodel::RuntimeProfile;
+
+namespace {
+
+void encoder_section(const char* name,
+                     const perfmodel::EncoderModelDesc& model,
+                     const gpusim::DeviceSpec& spec, bool with_onnx) {
+  Rng rng(0xF19);
+  std::vector<int> lens;
+  for (int i = 0; i < 24; ++i) {
+    lens.push_back(static_cast<int>(rng.uniform_int(5, 500)));
+  }
+  std::sort(lens.begin(), lens.end());
+
+  std::printf("\nLatency of %s on variable-length requests (ms)\n", name);
+  std::printf("%6s %10s %10s %10s %10s\n", "len", "Turbo", "PyTorch",
+              with_onnx ? "onnxrt" : "-", "Turbo-TC");
+  std::vector<double> speedup_pt, speedup_ort;
+  for (int len : lens) {
+    const double turbo = perfmodel::encoder_latency_ms(
+        model, 1, len, RuntimeProfile::turbo(), spec);
+    const double pytorch = perfmodel::encoder_latency_ms(
+        model, 1, len, RuntimeProfile::pytorch(), spec);
+    const double onnx =
+        with_onnx ? perfmodel::encoder_latency_ms(
+                        model, 1, len, RuntimeProfile::onnxruntime(), spec)
+                  : 0.0;
+    const double tc = perfmodel::encoder_latency_ms(
+        model, 1, len, RuntimeProfile::turbo_tc(), spec);
+    speedup_pt.push_back(pytorch / turbo);
+    if (with_onnx) speedup_ort.push_back(onnx / turbo);
+    if (with_onnx) {
+      std::printf("%6d %10.2f %10.2f %10.2f %10.2f\n", len, turbo, pytorch,
+                  onnx, tc);
+    } else {
+      std::printf("%6d %10.2f %10.2f %10s %10.2f\n", len, turbo, pytorch,
+                  "-", tc);
+    }
+  }
+  std::printf("Turbo speedup vs PyTorch: %.2fx-%.2fx, avg %.2fx\n",
+              *std::min_element(speedup_pt.begin(), speedup_pt.end()),
+              *std::max_element(speedup_pt.begin(), speedup_pt.end()),
+              mean(speedup_pt));
+  if (with_onnx) {
+    std::printf("Turbo speedup vs onnxruntime: %.2fx-%.2fx, avg %.2fx\n",
+                *std::min_element(speedup_ort.begin(), speedup_ort.end()),
+                *std::max_element(speedup_ort.begin(), speedup_ort.end()),
+                mean(speedup_ort));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto spec = gpusim::DeviceSpec::rtx2060();
+  std::printf("Figure 9 — variable-length request latency (%s)\n",
+              spec.name.c_str());
+  bench::print_rule('=');
+
+  encoder_section("Bert", bench::bert_base(), spec, /*with_onnx=*/true);
+  encoder_section("Albert", bench::albert(), spec, /*with_onnx=*/false);
+  encoder_section("DistilBert", bench::distilbert(), spec, true);
+
+  // Seq2Seq decoder: source lengths 28-137 (zh->en translation).
+  std::printf("\nLatency of Decoder on variable-length requests (ms)\n");
+  std::printf("%6s %10s %10s %10s\n", "src", "Turbo", "PyTorch", "Turbo-TC");
+  Rng rng(0xF19D);
+  std::vector<int> lens;
+  for (int i = 0; i < 12; ++i) {
+    lens.push_back(static_cast<int>(rng.uniform_int(28, 137)));
+  }
+  std::sort(lens.begin(), lens.end());
+  perfmodel::DecoderModelDesc dec;
+  std::vector<double> speedup;
+  for (int len : lens) {
+    const double turbo =
+        perfmodel::decoder_latency_us(dec, len, RuntimeProfile::turbo(),
+                                      spec) /
+        1000.0;
+    const double pytorch =
+        perfmodel::decoder_latency_us(dec, len, RuntimeProfile::pytorch(),
+                                      spec) /
+        1000.0;
+    const double tc =
+        perfmodel::decoder_latency_us(dec, len, RuntimeProfile::turbo_tc(),
+                                      spec) /
+        1000.0;
+    speedup.push_back(pytorch / turbo);
+    std::printf("%6d %10.1f %10.1f %10.1f\n", len, turbo, pytorch, tc);
+  }
+  std::printf("Decoder speedup vs PyTorch: %.2fx-%.2fx, avg %.2fx\n",
+              *std::min_element(speedup.begin(), speedup.end()),
+              *std::max_element(speedup.begin(), speedup.end()),
+              mean(speedup));
+  return 0;
+}

@@ -1,0 +1,124 @@
+// google-benchmark microbenchmarks of the CPU numeric kernels and the
+// simulated GPU kernels' planning paths (real wall time, not model time).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/builders.h"
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+#include "kernels/reduction.h"
+#include "memory/gsoc_planner.h"
+#include "memory/model_aware_allocator.h"
+#include "serving/cost_table.h"
+#include "serving/scheduler.h"
+
+namespace {
+
+using namespace turbo;
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(static_cast<size_t>(n) * n), b(a), c(a);
+  rng.fill_uniform(a.data(), a.size(), -1, 1);
+  rng.fill_uniform(b.data(), b.size(), -1, 1);
+  for (auto _ : state) {
+    kernels::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const long rows = state.range(0), cols = state.range(1);
+  Rng rng(2);
+  std::vector<float> data(static_cast<size_t>(rows * cols));
+  rng.fill_uniform(data.data(), data.size(), -3, 3);
+  for (auto _ : state) {
+    kernels::softmax_rows(data.data(), rows, cols);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_SoftmaxRows)->Args({240, 128})->Args({2400, 500});
+
+void BM_LayerNorm(benchmark::State& state) {
+  const long rows = state.range(0), cols = 768;
+  Rng rng(3);
+  std::vector<float> data(static_cast<size_t>(rows * cols)), out(data);
+  std::vector<float> gamma(static_cast<size_t>(cols), 1.0f), beta(gamma);
+  rng.fill_uniform(data.data(), data.size(), -3, 3);
+  for (auto _ : state) {
+    kernels::layernorm(out.data(), data.data(), gamma.data(), beta.data(),
+                       rows, cols);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_LayerNorm)->Arg(128)->Arg(2560);
+
+void BM_AddBiasGelu(benchmark::State& state) {
+  const long rows = state.range(0), cols = 3072;
+  Rng rng(4);
+  std::vector<float> data(static_cast<size_t>(rows * cols));
+  std::vector<float> bias(static_cast<size_t>(cols));
+  rng.fill_uniform(data.data(), data.size(), -3, 3);
+  for (auto _ : state) {
+    kernels::add_bias_gelu(data.data(), bias.data(), rows, cols);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_AddBiasGelu)->Arg(128)->Arg(1024);
+
+// The planner itself — the overhead the paper's Fig. 13 measures.
+void BM_ModelAwarePlanning(benchmark::State& state) {
+  const int seq = static_cast<int>(state.range(0));
+  const graph::Graph layer =
+      graph::build_encoder_layer_fused({768, 12, 3072});
+  const auto usages = layer.tensor_usages(1, seq);
+  memory::ModelAwareAllocator alloc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.begin_inference(usages));
+  }
+}
+BENCHMARK(BM_ModelAwarePlanning)->Arg(10)->Arg(200)->Arg(500);
+
+void BM_GsocPlanning(benchmark::State& state) {
+  const int seq = static_cast<int>(state.range(0));
+  const graph::Graph layer =
+      graph::build_encoder_layer_fused({768, 12, 3072});
+  const auto usages = layer.tensor_usages(1, seq);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory::gsoc_plan(usages));
+  }
+}
+BENCHMARK(BM_GsocPlanning)->Arg(200);
+
+// The DP batch scheduler on a full message queue (Algorithm 2 wall time).
+void BM_DpScheduler(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto table = serving::CostTable::warmup(
+      [](int len, int batch) { return 0.5 + 0.01 * len * batch; }, 512, 20,
+      8);
+  Rng rng(5);
+  std::vector<serving::Request> requests;
+  for (int i = 0; i < n; ++i) {
+    serving::Request r;
+    r.id = i;
+    r.length = static_cast<int>(rng.uniform_int(2, 500));
+    requests.push_back(r);
+  }
+  const serving::DpBatchScheduler scheduler(20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(requests, table));
+  }
+}
+BENCHMARK(BM_DpScheduler)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

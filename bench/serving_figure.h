@@ -1,0 +1,104 @@
+// Shared driver for the serving-throughput figures (Figs. 15 & 16 and
+// Tables 4 & 5): sweeps Poisson request rates over four serving systems and
+// prints the throughput curve plus the latency table at each system's
+// critical point.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serving/simulator.h"
+#include "serving/workload.h"
+
+namespace turbo::bench {
+
+struct ServingSystem {
+  std::string name;
+  const serving::CostTable* costs;
+  std::unique_ptr<serving::BatchScheduler> scheduler;
+};
+
+inline void run_serving_figure(const char* title, int min_len, int max_len,
+                               std::vector<ServingSystem>& systems) {
+  const std::vector<double> rates = {40,  60,  80,  100, 120,  140,
+                                     250, 500, 750, 1000, 1250, 1500};
+
+  std::printf("%s\n", title);
+  print_rule('=');
+  std::printf("%10s", "req/s");
+  for (const auto& s : systems) std::printf(" %22s", s.name.c_str());
+  std::printf("\n");
+
+  serving::SimOptions options;
+  options.max_batch = 20;
+
+  // Throughput curves + saturation (critical-point) detection.
+  std::vector<double> critical(systems.size(), 0.0);
+  std::vector<std::vector<serving::SimResult>> results(systems.size());
+  for (double rate : rates) {
+    serving::WorkloadSpec wspec;
+    wspec.rate_per_s = rate;
+    wspec.horizon_s = 6.0;
+    wspec.min_len = min_len;
+    wspec.max_len = max_len;
+    wspec.seed = 0x5e7;
+    const auto arrivals = serving::generate_poisson_workload(wspec);
+    std::printf("%10.0f", rate);
+    for (size_t i = 0; i < systems.size(); ++i) {
+      const auto r = serving::simulate_serving(arrivals,
+                                               *systems[i].scheduler,
+                                               *systems[i].costs, options);
+      results[i].push_back(r);
+      if (!r.saturated) critical[i] = std::max(critical[i], r.response_rate);
+      std::printf(" %15.0f resp/s%s", r.response_rate,
+                  r.saturated ? "*" : " ");
+    }
+    std::printf("\n");
+  }
+  std::printf("(* = saturated: queue grows without bound, latency -> inf)\n");
+  print_rule();
+  std::printf("critical points (max sustained throughput):\n");
+  for (size_t i = 0; i < systems.size(); ++i) {
+    std::printf("  %-24s %7.0f resp/s (%.2fx vs %s)\n",
+                systems[i].name.c_str(), critical[i],
+                critical[0] > 0 ? critical[i] / critical[0] : 0.0,
+                systems[0].name.c_str());
+  }
+
+  // Latency table at each system's critical point (Tables 4 / 5).
+  print_rule();
+  std::printf("latency at critical points, avg (min, max) ms:\n");
+  std::printf("%10s", "req/s");
+  for (const auto& s : systems) std::printf(" %26s", s.name.c_str());
+  std::printf("\n");
+  for (size_t ci = 0; ci < systems.size(); ++ci) {
+    const double rate = critical[ci];
+    if (rate <= 0) continue;
+    serving::WorkloadSpec wspec;
+    wspec.rate_per_s = rate;
+    wspec.horizon_s = 6.0;
+    wspec.min_len = min_len;
+    wspec.max_len = max_len;
+    wspec.seed = 0x5e7;
+    const auto arrivals = serving::generate_poisson_workload(wspec);
+    std::printf("%10.0f", rate);
+    for (size_t i = 0; i < systems.size(); ++i) {
+      const auto r = serving::simulate_serving(arrivals,
+                                               *systems[i].scheduler,
+                                               *systems[i].costs, options);
+      if (r.saturated) {
+        std::printf(" %26s", "+inf");
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.2f (%.2f, %.2f)",
+                      r.latency_ms.mean, r.latency_ms.min, r.latency_ms.max);
+        std::printf(" %26s", buf);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace turbo::bench

@@ -1,0 +1,73 @@
+// Table 2: share of Softmax / LayerNorm time inside the attention layer,
+// before (framework kernels) and after (Turbo kernels) optimization.
+//
+// "Attention layer" = ops Gemm012Fused .. AddBiasLayerNorm of the fused
+// encoder graph. "Before" costs the two reduction kernels with the
+// framework (PyTorch) implementation while the rest of the attention block
+// runs on the Turbo runtime — exactly the paper's measurement protocol
+// ("attention time is measured using our runtime after replacing Softmax
+// and LayerNorm with PyTorch's implementations").
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "graph/builders.h"
+#include "perfmodel/kernel_cost.h"
+#include "perfmodel/runtime_profile.h"
+
+using namespace turbo;
+
+namespace {
+
+struct AttentionCost {
+  double softmax_us = 0;
+  double layernorm_us = 0;
+  double other_us = 0;
+  double total() const { return softmax_us + layernorm_us + other_us; }
+};
+
+AttentionCost attention_cost(int batch, int seq, bool optimized,
+                             const gpusim::DeviceSpec& spec) {
+  const auto turbo = perfmodel::RuntimeProfile::turbo();
+  const auto pytorch = perfmodel::RuntimeProfile::pytorch();
+  const graph::Graph g = graph::build_encoder_layer_fused({768, 12, 3072});
+  AttentionCost out;
+  for (const auto& op : g.ops()) {
+    if (op.name == "BertIntermediate/gemm") break;  // end of attention part
+    const auto cost = op.cost_fn(batch, seq);
+    if (op.kind == graph::OpKind::kSoftmax) {
+      out.softmax_us += perfmodel::kernel_time_us(
+          op.kind, cost, optimized ? turbo : pytorch, spec);
+    } else if (op.kind == graph::OpKind::kAddBiasLayerNorm) {
+      out.layernorm_us += perfmodel::kernel_time_us(
+          op.kind, cost, optimized ? turbo : pytorch, spec);
+    } else {
+      out.other_us += perfmodel::kernel_time_us(op.kind, cost, turbo, spec);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto spec = gpusim::DeviceSpec::v100();
+  const std::vector<std::pair<int, int>> shapes = {
+      {1, 10}, {1, 100}, {1, 500}, {20, 10}, {20, 100}, {20, 500}};
+
+  std::printf(
+      "Table 2 — share of batch-reduction ops in the attention layer\n");
+  bench::print_rule('=');
+  std::printf("%-14s %18s %18s %18s %18s\n", "(bs, seq)", "Softmax/before",
+              "Softmax/after", "LayerNorm/before", "LayerNorm/after");
+  for (const auto& [bs, seq] : shapes) {
+    const AttentionCost before = attention_cost(bs, seq, false, spec);
+    const AttentionCost after = attention_cost(bs, seq, true, spec);
+    std::printf("(%2d, %4d)     %17.2f%% %17.2f%% %17.2f%% %17.2f%%\n", bs,
+                seq, 100.0 * before.softmax_us / before.total(),
+                100.0 * after.softmax_us / after.total(),
+                100.0 * before.layernorm_us / before.total(),
+                100.0 * after.layernorm_us / after.total());
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Runtime invariant checks.
+//
+// TT_CHECK / TT_CHECK_* abort the operation by throwing turbo::CheckError,
+// carrying the failing expression and location. They are always on (also in
+// release builds): this library sits under a serving system, where silently
+// corrupt tensor math is far worse than a rejected request.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace turbo {
+
+// Error thrown when a TT_CHECK-style invariant fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "Check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace turbo
+
+#define TT_CHECK(cond)                                                   \
+  do {                                                                   \
+    if (!(cond)) ::turbo::detail::check_failed(#cond, __FILE__, __LINE__, \
+                                               "");                      \
+  } while (0)
+
+#define TT_CHECK_MSG(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream tt_os_;                                         \
+      tt_os_ << msg;                                                     \
+      ::turbo::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                    tt_os_.str());                       \
+    }                                                                    \
+  } while (0)
+
+#define TT_CHECK_EQ(a, b) TT_CHECK_MSG((a) == (b), (a) << " vs " << (b))
+#define TT_CHECK_NE(a, b) TT_CHECK_MSG((a) != (b), (a) << " vs " << (b))
+#define TT_CHECK_LT(a, b) TT_CHECK_MSG((a) < (b), (a) << " vs " << (b))
+#define TT_CHECK_LE(a, b) TT_CHECK_MSG((a) <= (b), (a) << " vs " << (b))
+#define TT_CHECK_GT(a, b) TT_CHECK_MSG((a) > (b), (a) << " vs " << (b))
+#define TT_CHECK_GE(a, b) TT_CHECK_MSG((a) >= (b), (a) << " vs " << (b))

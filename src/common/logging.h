@@ -1,0 +1,47 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+//   TT_LOG(INFO) << "served " << n << " requests";
+//
+// The level threshold is process-global and can be raised in benchmarks to
+// silence progress chatter.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace turbo {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace turbo
+
+#define TT_LOG_DEBUG \
+  ::turbo::detail::LogMessage(::turbo::LogLevel::kDebug, __FILE__, __LINE__)
+#define TT_LOG_INFO \
+  ::turbo::detail::LogMessage(::turbo::LogLevel::kInfo, __FILE__, __LINE__)
+#define TT_LOG_WARNING \
+  ::turbo::detail::LogMessage(::turbo::LogLevel::kWarning, __FILE__, __LINE__)
+#define TT_LOG_ERROR \
+  ::turbo::detail::LogMessage(::turbo::LogLevel::kError, __FILE__, __LINE__)
+#define TT_LOG(severity) TT_LOG_##severity.stream()

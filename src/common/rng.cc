@@ -1,0 +1,103 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace turbo {
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  TT_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * uniform();
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  TT_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // Rejection-free modulo is fine here: span is tiny versus 2^64 for every
+  // caller (sequence lengths, token ids), so bias is negligible.
+  return lo + static_cast<int64_t>(next_u64() % span);
+}
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = uniform();
+  double u2 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = mag * std::sin(2.0 * M_PI * u2);
+  have_spare_normal_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double rate) {
+  TT_CHECK_GT(rate, 0.0);
+  double u = uniform();
+  while (u <= 1e-300) u = uniform();
+  return -std::log(u) / rate;
+}
+
+void Rng::fill_uniform(float* data, size_t n, float lo, float hi) {
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(uniform(lo, hi));
+  }
+}
+
+void Rng::fill_normal(float* data, size_t n, float mean, float stddev) {
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(normal(mean, stddev));
+  }
+}
+
+std::vector<int> Rng::token_ids(int count, int vocab_size) {
+  TT_CHECK_GT(vocab_size, 0);
+  std::vector<int> ids(static_cast<size_t>(count));
+  for (auto& id : ids) {
+    id = static_cast<int>(uniform_int(0, vocab_size - 1));
+  }
+  return ids;
+}
+
+}  // namespace turbo

@@ -1,0 +1,54 @@
+// Deterministic seeded RNG used everywhere randomness is needed so that all
+// benchmarks and tests are reproducible run-to-run (the paper's experiments
+// likewise fix the random seed across runtimes).
+//
+// The engine is xoshiro256**, seeded via SplitMix64.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace turbo {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedULL);
+
+  // Raw 64 random bits.
+  uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller.
+  double normal();
+
+  // Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+
+  // Exponential with the given rate (used for Poisson inter-arrival times).
+  double exponential(double rate);
+
+  // Fill with uniform floats in [lo, hi).
+  void fill_uniform(float* data, size_t n, float lo, float hi);
+
+  // Fill with N(0, stddev) floats (typical transformer weight init).
+  void fill_normal(float* data, size_t n, float mean, float stddev);
+
+  // Random token ids in [0, vocab_size).
+  std::vector<int> token_ids(int count, int vocab_size);
+
+ private:
+  uint64_t state_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace turbo

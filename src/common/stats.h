@@ -1,0 +1,44 @@
+// Small statistics helpers shared by benchmarks and the serving simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace turbo {
+
+// Summary of a sample of (latency) measurements.
+struct SampleSummary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+// Linear-interpolated percentile, q in [0, 100]. Requires non-empty input.
+double percentile(std::vector<double> xs, double q);
+
+SampleSummary summarize(const std::vector<double>& xs);
+
+// Online mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace turbo

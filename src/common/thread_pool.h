@@ -1,0 +1,47 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The CPU kernels in src/kernels use this to stand in for the massive
+// parallelism of the GPU: work is split across hardware threads in
+// contiguous index ranges (good cache behaviour for row-major tensors).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace turbo {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Runs fn(begin, end) on ranges partitioning [0, n). Blocks until done.
+  // Exceptions thrown by fn propagate to the caller (first one wins).
+  void parallel_for(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  // Process-wide default pool (constructed on first use).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  void submit(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace turbo

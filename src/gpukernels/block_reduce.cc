@@ -1,0 +1,70 @@
+#include "gpukernels/block_reduce.h"
+
+#include "common/check.h"
+
+namespace turbo::gpukernels {
+
+using gpusim::BlockSim;
+using gpusim::CycleCounter;
+using gpusim::ReduceOp;
+using gpusim::WarpVec;
+using gpusim::kWarpSize;
+
+std::vector<float> block_reduce_xelem(BlockSim& block,
+                                      std::vector<RowPartials>& rows,
+                                      ReduceOp op, float identity) {
+  const int x = static_cast<int>(rows.size());
+  TT_CHECK_GT(x, 0);
+  const int num_warps = block.num_warps();
+  for (const auto& r : rows) {
+    TT_CHECK_EQ(static_cast<int>(r.size()), num_warps);
+  }
+
+  // A scratch counter for the non-critical warps: all warps execute phase 1
+  // concurrently, so only warp 0's work lands on the block's critical path.
+  CycleCounter scratch(block.spec());
+
+  // --- Phase 1: each warp reduces its partials for all X rows together ---
+  for (int w = 0; w < num_warps; ++w) {
+    std::vector<WarpVec> vecs;
+    vecs.reserve(static_cast<size_t>(x));
+    for (int r = 0; r < x; ++r) vecs.push_back(rows[static_cast<size_t>(r)][static_cast<size_t>(w)]);
+    gpusim::warp_all_reduce(vecs, op, w == 0 ? block.cycles() : scratch);
+    for (int r = 0; r < x; ++r) rows[static_cast<size_t>(r)][static_cast<size_t>(w)] = vecs[static_cast<size_t>(r)];
+  }
+
+  // Lane 0 of each warp stores its X partials to shared memory: one batched
+  // smem write, one barrier — for ALL X rows (the (X-1)/X saving).
+  for (int w = 0; w < num_warps; ++w) {
+    for (int r = 0; r < x; ++r) {
+      block.smem(r * num_warps + w) = rows[static_cast<size_t>(r)][static_cast<size_t>(w)][0];
+    }
+  }
+  block.cycles().charge_smem_batch(x);
+  block.sync();
+
+  // --- Phase 2: the first warp reduces the per-warp partials of all rows ---
+  block.cycles().charge_smem_batch(x);  // gather partials from smem
+  std::vector<WarpVec> finals;
+  finals.reserve(static_cast<size_t>(x));
+  for (int r = 0; r < x; ++r) {
+    WarpVec v = WarpVec::filled(identity);
+    TT_CHECK_LE(num_warps, kWarpSize);
+    for (int w = 0; w < num_warps; ++w) {
+      v[w] = block.smem(r * num_warps + w);
+    }
+    finals.push_back(v);
+  }
+  gpusim::warp_all_reduce(finals, op, block.cycles());
+
+  // Broadcast through smem: one write + barrier so every thread sees the
+  // result (the classical kernel needs this too, once per row).
+  block.cycles().charge_smem_batch(x);
+  block.sync();
+
+  std::vector<float> out(static_cast<size_t>(x));
+  for (int r = 0; r < x; ++r) out[static_cast<size_t>(r)] = finals[static_cast<size_t>(r)][0];
+  return out;
+}
+
+}  // namespace turbo::gpukernels

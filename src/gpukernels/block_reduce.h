@@ -1,0 +1,43 @@
+// Block-level batch reduction on the GPU simulator.
+//
+// This is the kernel structure of the paper's Figure 4:
+//
+//   classical (FasterTransformer, X = 1): each row is reduced in two passes
+//   — a per-warp warpReduce of thread partials, a shared-memory round trip,
+//   a barrier, a second warpReduce over the per-warp partials, and another
+//   barrier to broadcast the result;
+//
+//   blockReduceSum_XElem (TurboTransformers): X rows share ONE pass — their
+//   warpReduces interleave (independent shuffle chains pipeline in the
+//   issue model), X rows' partials cross shared memory together, and one
+//   barrier serves all X rows, cutting synchronization cost by (X-1)/X.
+//
+// The numerics are executed for real on WarpVec lanes so the reduction tree
+// is bit-faithful; costs are charged to the block's CycleCounter.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/block.h"
+#include "gpusim/warp.h"
+
+namespace turbo::gpukernels {
+
+// Thread partials for one reduction: partials[w] holds the 32 lane values of
+// warp w. Produced by the load/accumulate phase of the calling kernel.
+using RowPartials = std::vector<gpusim::WarpVec>;
+
+// Reduces each row's thread partials to a scalar, batching all rows through
+// the two-pass block reduction together (X = rows.size()). `identity` is the
+// op's neutral element (0 for sum, -inf for max) used to pad inactive lanes.
+//
+// Charges (to block.cycles(), critical-path warp):
+//   phase 1: one interleaved warp_all_reduce over X vectors,
+//            one smem write batch of X values, one barrier;
+//   phase 2: one smem read batch, one interleaved warp_all_reduce over X
+//            vectors (only num_warps lanes active), one barrier.
+std::vector<float> block_reduce_xelem(gpusim::BlockSim& block,
+                                      std::vector<RowPartials>& rows,
+                                      gpusim::ReduceOp op, float identity);
+
+}  // namespace turbo::gpukernels

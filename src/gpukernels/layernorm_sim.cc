@@ -1,0 +1,214 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "gpukernels/block_reduce.h"
+#include "gpukernels/reduction_sim.h"
+#include "gpusim/block.h"
+#include "kernels/reduction.h"
+
+namespace turbo::gpukernels {
+
+using gpusim::BlockSim;
+using gpusim::DeviceSpec;
+using gpusim::ReduceOp;
+using gpusim::WarpVec;
+using gpusim::kWarpSize;
+
+namespace {
+
+constexpr int kThreads = 128;
+
+RowPartials strided_sum_partials(const float* row, long cols, int threads,
+                                 bool squared, float shift) {
+  const int num_warps = threads / kWarpSize;
+  RowPartials partials(static_cast<size_t>(num_warps), WarpVec::filled(0.0f));
+  for (long c = 0; c < cols; ++c) {
+    const int thread = static_cast<int>(c % threads);
+    const int w = thread / kWarpSize;
+    const int lane = thread % kWarpSize;
+    const float v = row[c] - shift;
+    partials[static_cast<size_t>(w)][lane] += squared ? v * v : v;
+  }
+  return partials;
+}
+
+struct GroupSim {
+  double cycles = 0;
+  std::vector<float> means;     // per row
+  std::vector<float> inv_stds;  // per row
+};
+
+// One group of `x` rows through the layernorm reduction structure.
+GroupSim simulate_group(const DeviceSpec& spec, ReductionImpl impl, int x,
+                        long cols, const std::vector<const float*>& rows_in,
+                        long smem_bytes, bool single_pass_var, float eps) {
+  BlockSim block(spec, kThreads, smem_bytes);
+  const long iters = (cols + kThreads - 1) / kThreads;
+  const bool boundary = cols % kThreads != 0;
+  const double row_bytes = static_cast<double>(cols) * sizeof(float);
+
+  std::vector<std::vector<float>> synth;
+  std::vector<const float*> rows = rows_in;
+  if (rows.empty()) {
+    synth.assign(static_cast<size_t>(x),
+                 std::vector<float>(static_cast<size_t>(cols)));
+    for (int r = 0; r < x; ++r) {
+      for (long c = 0; c < cols; ++c) {
+        synth[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+            0.1f * static_cast<float>((r * 3 + c) % 11);
+      }
+    }
+    for (auto& s : synth) rows.push_back(s.data());
+  }
+
+  GroupSim out;
+
+  if (impl == ReductionImpl::kTurbo && single_pass_var) {
+    // --- Equation 1: reduce x and x^2 together in ONE pass ---
+    // 2X interleaved reduction chains (sum and sum-of-squares per row)
+    // through a single block reduction: one barrier pair serves everything.
+    block.cycles().charge_gmem_stream(static_cast<double>(x) * row_bytes);
+    block.cycles().charge_alu_batch(static_cast<int>(3 * x * iters));
+    if (boundary) block.cycles().charge_divergence();
+
+    std::vector<RowPartials> chains;
+    for (int r = 0; r < x; ++r) {
+      chains.push_back(strided_sum_partials(rows[static_cast<size_t>(r)],
+                                            cols, kThreads, false, 0.0f));
+      chains.push_back(strided_sum_partials(rows[static_cast<size_t>(r)],
+                                            cols, kThreads, true, 0.0f));
+    }
+    const std::vector<float> reduced =
+        block_reduce_xelem(block, chains, ReduceOp::kSum, 0.0f);
+    for (int r = 0; r < x; ++r) {
+      const float mean = reduced[static_cast<size_t>(2 * r)] /
+                         static_cast<float>(cols);
+      const float ex2 = reduced[static_cast<size_t>(2 * r + 1)] /
+                        static_cast<float>(cols);
+      const float var = std::max(0.0f, ex2 - mean * mean);
+      out.means.push_back(mean);
+      out.inv_stds.push_back(1.0f / std::sqrt(var + eps));
+    }
+  } else {
+    // --- Classical two-reduction variance (FasterTransformer) ---
+    // Pass A: E[x]. Pass B reduces (x - mean)^2 from the register-staged
+    // row; the second reduction depends on the first, so their barriers
+    // serialize.
+    block.cycles().charge_gmem_stream(static_cast<double>(x) * row_bytes);
+    block.cycles().charge_alu_batch(static_cast<int>(x * iters));
+    if (boundary) block.cycles().charge_divergence();
+
+    std::vector<RowPartials> sum_chains;
+    for (int r = 0; r < x; ++r) {
+      sum_chains.push_back(strided_sum_partials(rows[static_cast<size_t>(r)],
+                                                cols, kThreads, false, 0.0f));
+    }
+    const std::vector<float> sums =
+        block_reduce_xelem(block, sum_chains, ReduceOp::kSum, 0.0f);
+
+    block.cycles().charge_alu_batch(static_cast<int>(3 * x * iters));
+    if (boundary) block.cycles().charge_divergence();
+
+    std::vector<RowPartials> var_chains;
+    for (int r = 0; r < x; ++r) {
+      const float mean = sums[static_cast<size_t>(r)] /
+                         static_cast<float>(cols);
+      out.means.push_back(mean);
+      var_chains.push_back(strided_sum_partials(rows[static_cast<size_t>(r)],
+                                                cols, kThreads, true, mean));
+    }
+    const std::vector<float> var_sums =
+        block_reduce_xelem(block, var_chains, ReduceOp::kSum, 0.0f);
+    for (int r = 0; r < x; ++r) {
+      const float var = var_sums[static_cast<size_t>(r)] /
+                        static_cast<float>(cols);
+      out.inv_stds.push_back(1.0f / std::sqrt(var + eps));
+    }
+  }
+
+  // --- Normalize + affine pass (row register-resident, store once) ---
+  block.cycles().charge_gmem_stream(1.0 * x * row_bytes +
+                                    2.0 * row_bytes /* gamma, beta */);
+  block.cycles().charge_alu_batch(static_cast<int>(3 * x * iters));
+  block.cycles().charge_sfu_batch(x);  // rsqrt per row
+  if (boundary) block.cycles().charge_divergence();
+
+  out.cycles = block.cycles().cycles();
+  return out;
+}
+
+}  // namespace
+
+SimKernelResult layernorm_sim(float* out, const float* in, const float* gamma,
+                              const float* beta, long rows, long cols,
+                              ReductionImpl impl, const DeviceSpec& spec,
+                              int x_elem, bool single_pass_var) {
+  TT_CHECK_GT(rows, 0);
+  TT_CHECK_GT(cols, 0);
+  TT_CHECK_GE(x_elem, 1);
+  TT_CHECK_MSG(impl != ReductionImpl::kCudnn,
+               "cuDNN provides no LayerNorm kernel");
+  constexpr float kEps = 1e-5f;
+
+  const int x = impl == ReductionImpl::kTurbo ? x_elem : 1;
+  const int num_warps = kThreads / kWarpSize;
+  const long smem_bytes =
+      2L * x * num_warps * static_cast<long>(sizeof(float));
+
+  const int first_group_rows = static_cast<int>(std::min<long>(x, rows));
+  std::vector<const float*> first_rows;
+  if (in != nullptr) {
+    for (int r = 0; r < first_group_rows; ++r) first_rows.push_back(in + r * cols);
+  }
+  GroupSim group =
+      simulate_group(spec, impl, first_group_rows, cols, first_rows,
+                     smem_bytes,
+                     impl == ReductionImpl::kTurbo && single_pass_var, kEps);
+
+  const long groups_total = (rows + x - 1) / x;
+  const int concurrent =
+      spec.num_sms * gpusim::occupancy_blocks_per_sm(spec, kThreads,
+                                                     smem_bytes);
+  const int grid = static_cast<int>(std::min<long>(groups_total, concurrent));
+  const long groups_per_block = (groups_total + grid - 1) / grid;
+
+  SimKernelResult result;
+  result.rows = rows;
+  result.cols = cols;
+  result.launch = gpusim::launch_time(
+      spec, grid, kThreads, smem_bytes,
+      group.cycles * static_cast<double>(groups_per_block));
+  result.time_us = result.launch.time_us;
+
+  if (in != nullptr) {
+    TT_CHECK(out != nullptr);
+    TT_CHECK(gamma != nullptr);
+    TT_CHECK(beta != nullptr);
+    // Cross-check simulated statistics of the first group before the bulk
+    // kernel (which may run in place) overwrites the inputs.
+    for (int r = 0; r < first_group_rows; ++r) {
+      double sum = 0.0, sq = 0.0;
+      const float* row = in + r * cols;
+      for (long c = 0; c < cols; ++c) {
+        sum += row[c];
+        sq += static_cast<double>(row[c]) * row[c];
+      }
+      const double mean = sum / static_cast<double>(cols);
+      const double var =
+          std::max(0.0, sq / static_cast<double>(cols) - mean * mean);
+      const double inv_std = 1.0 / std::sqrt(var + kEps);
+      TT_CHECK_MSG(
+          std::abs(group.means[static_cast<size_t>(r)] - mean) <= 1e-3,
+          "layernorm sim mean divergence at row " << r);
+      TT_CHECK_MSG(std::abs(group.inv_stds[static_cast<size_t>(r)] - inv_std) <=
+                       1e-2 * inv_std,
+                   "layernorm sim variance divergence at row " << r);
+    }
+    kernels::layernorm(out, in, gamma, beta, rows, cols, kEps);
+  }
+  return result;
+}
+
+}  // namespace turbo::gpukernels

@@ -1,0 +1,57 @@
+// Simulated GPU Softmax / LayerNorm kernels (paper §4.1.2, Figures 4-5).
+//
+// Three implementations of each batch-reduction kernel, differing only in
+// how rows cross the block-reduction machinery:
+//
+//   kBaseline — the FasterTransformer-style classical kernel: rows are
+//     reduced one at a time; every row pays its own warpReduce dependency
+//     chain, shared-memory round trip and two barriers; LayerNorm performs
+//     two dependent reductions (E[x], then E[(x-E[x])^2]).
+//
+//   kCudnn — a generic library kernel (softmax only): shared-memory tree
+//     reduction (no warp shuffles), plus an unfused scaling pass, as a
+//     stand-in for the cuDNN softmax routine the paper compares against.
+//
+//   kTurbo — TurboTransformers: warpAllReduceSum_XElem batches X rows per
+//     reduction pass (one barrier for X rows, interleaved shuffle chains,
+//     merged boundary handling); LayerNorm additionally reduces x and x^2
+//     simultaneously using Var(x) = E(x^2) - E^2(x) (Equation 1).
+//
+// Every call both (a) computes the real numerics — the first row group runs
+// through the lane-accurate simulator and is checked against the bulk CPU
+// result — and (b) returns wall time from the cycle model + launch model.
+// Passing data = nullptr gives cost-only mode (used by src/perfmodel).
+#pragma once
+
+#include "gpusim/device_spec.h"
+#include "gpusim/launch.h"
+
+namespace turbo::gpukernels {
+
+enum class ReductionImpl { kBaseline, kCudnn, kTurbo };
+
+const char* reduction_impl_name(ReductionImpl impl);
+
+struct SimKernelResult {
+  gpusim::LaunchResult launch;
+  double time_us = 0;
+  long rows = 0;
+  long cols = 0;
+};
+
+// In-place softmax over data[rows, cols] (logits scaled by `scale`).
+// x_elem is the row-batching width X (only used by kTurbo; paper uses 2).
+SimKernelResult softmax_sim(float* data, long rows, long cols, float scale,
+                            ReductionImpl impl,
+                            const gpusim::DeviceSpec& spec, int x_elem = 2);
+
+// LayerNorm of in[rows, cols] into out (may alias). kCudnn is not available
+// (cuDNN has no layernorm; the paper compares baseline vs turbo only).
+// single_pass_var toggles the Equation-1 trick (ablation; kTurbo only).
+SimKernelResult layernorm_sim(float* out, const float* in, const float* gamma,
+                              const float* beta, long rows, long cols,
+                              ReductionImpl impl,
+                              const gpusim::DeviceSpec& spec, int x_elem = 2,
+                              bool single_pass_var = true);
+
+}  // namespace turbo::gpukernels

@@ -1,0 +1,15 @@
+#include "gpusim/block.h"
+
+namespace turbo::gpusim {
+
+BlockSim::BlockSim(const DeviceSpec& spec, int threads, long smem_bytes)
+    : threads_(threads), smem_bytes_(smem_bytes), cc_(spec) {
+  TT_CHECK_GT(threads, 0);
+  TT_CHECK_EQ(threads % kWarpSize, 0);
+  TT_CHECK_LE(threads, spec.max_threads_per_block);
+  TT_CHECK_GE(smem_bytes, 0);
+  TT_CHECK_LE(smem_bytes, spec.smem_per_block_bytes);
+  smem_data_.resize(static_cast<size_t>(smem_bytes) / sizeof(float) + 1, 0.0f);
+}
+
+}  // namespace turbo::gpusim

@@ -1,0 +1,48 @@
+// Thread-block execution context.
+//
+// A BlockSim owns the critical-path cycle counter and the shared-memory
+// scratch of one thread block. gpukernel code uses it the way CUDA kernel
+// code uses __shared__ arrays and __syncthreads(): smem traffic and barriers
+// are charged to the block's counter.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "gpusim/cycle_model.h"
+#include "gpusim/warp.h"
+
+namespace turbo::gpusim {
+
+class BlockSim {
+ public:
+  // threads must be a positive multiple of the warp size.
+  BlockSim(const DeviceSpec& spec, int threads, long smem_bytes = 0);
+
+  int threads() const { return threads_; }
+  int num_warps() const { return threads_ / kWarpSize; }
+  long smem_bytes() const { return smem_bytes_; }
+
+  CycleCounter& cycles() { return cc_; }
+  const CycleCounter& cycles() const { return cc_; }
+  const DeviceSpec& spec() const { return cc_.spec(); }
+
+  // __syncthreads().
+  void sync() { cc_.charge_sync(); }
+
+  // Shared-memory scratch, indexed in floats. Reading/writing it is modeled
+  // by charge helpers on the counter; this storage carries the numerics.
+  float& smem(int idx) {
+    TT_CHECK_GE(idx, 0);
+    TT_CHECK_LT(idx, static_cast<int>(smem_data_.size()));
+    return smem_data_[static_cast<size_t>(idx)];
+  }
+
+ private:
+  int threads_;
+  long smem_bytes_;
+  CycleCounter cc_;
+  std::vector<float> smem_data_;
+};
+
+}  // namespace turbo::gpusim

@@ -1,0 +1,79 @@
+// Cycle accounting for the warp-level simulator.
+//
+// A CycleCounter accumulates the critical-path cycles of one thread block.
+// Kernels charge it through small helpers that encode the GPU issue model:
+// a batch of K *independent* instructions of the same class completes in
+//   max(K * issue, latency)
+// cycles — i.e. independent work pipelines behind the first instruction's
+// latency, while a chain of K *dependent* instructions costs K * latency.
+//
+// This asymmetry is the heart of the paper's Figure 4: the classical
+// warpReduce is a dependency chain (SHFL -> FADD -> SHFL -> ...) and pays
+// full latency per step, while warpAllReduceSum_XElem interleaves X
+// independent rows so the shuffles pipeline.
+#pragma once
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "gpusim/device_spec.h"
+
+namespace turbo::gpusim {
+
+class CycleCounter {
+ public:
+  explicit CycleCounter(const DeviceSpec& spec) : spec_(&spec) {}
+
+  double cycles() const { return cycles_; }
+  void reset() { cycles_ = 0; }
+
+  // Raw charge.
+  void charge(double c) {
+    TT_CHECK_GE(c, 0.0);
+    cycles_ += c;
+  }
+
+  // K independent instructions with the given issue/latency class.
+  void charge_batch(int k, double issue, double latency) {
+    if (k <= 0) return;
+    cycles_ += std::max(static_cast<double>(k) * issue, latency);
+  }
+
+  // A chain of K dependent instructions.
+  void charge_chain(int k, double latency) {
+    if (k <= 0) return;
+    cycles_ += static_cast<double>(k) * latency;
+  }
+
+  // --- convenience wrappers for common instruction classes ---
+  void charge_alu_batch(int k) {
+    charge_batch(k, spec_->alu_issue, spec_->alu_latency);
+  }
+  void charge_sfu_batch(int k) {
+    charge_batch(k, spec_->sfu_issue, spec_->sfu_latency);
+  }
+  void charge_shfl_batch(int k) {
+    charge_batch(k, spec_->shfl_issue, spec_->shfl_latency);
+  }
+  void charge_smem_batch(int k) {
+    charge_batch(k, spec_->smem_issue, spec_->smem_latency);
+  }
+  void charge_sync() { cycles_ += spec_->sync_cycles; }
+  void charge_divergence() { cycles_ += spec_->divergence_cycles; }
+
+  // A phase that streams `bytes` of global memory: one cold-load latency
+  // plus bandwidth-limited transfer at the per-SM share of DRAM bandwidth.
+  void charge_gmem_stream(double bytes) {
+    TT_CHECK_GE(bytes, 0.0);
+    if (bytes == 0) return;
+    cycles_ += spec_->gmem_latency + bytes / spec_->gmem_bytes_per_cycle_per_sm();
+  }
+
+  const DeviceSpec& spec() const { return *spec_; }
+
+ private:
+  const DeviceSpec* spec_;
+  double cycles_ = 0;
+};
+
+}  // namespace turbo::gpusim

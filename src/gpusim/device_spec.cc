@@ -1,0 +1,35 @@
+#include "gpusim/device_spec.h"
+
+namespace turbo::gpusim {
+
+DeviceSpec DeviceSpec::rtx2060() {
+  DeviceSpec spec;
+  spec.name = "RTX 2060";
+  spec.num_sms = 30;
+  spec.clock_ghz = 1.68;
+  spec.max_threads_per_sm = 1024;
+  spec.max_blocks_per_sm = 16;
+  spec.smem_per_sm_bytes = 64 * 1024;
+  spec.mem_bandwidth_gbps = 336.0;
+  spec.fp32_tflops = 6.45;
+  spec.tensor_core_tflops = 51.6;
+  spec.kernel_launch_us = 5.0;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::v100() {
+  DeviceSpec spec;
+  spec.name = "Tesla V100";
+  spec.num_sms = 80;
+  spec.clock_ghz = 1.53;
+  spec.max_threads_per_sm = 2048;
+  spec.max_blocks_per_sm = 32;
+  spec.smem_per_sm_bytes = 96 * 1024;
+  spec.mem_bandwidth_gbps = 900.0;
+  spec.fp32_tflops = 15.7;
+  spec.tensor_core_tflops = 125.0;
+  spec.kernel_launch_us = 4.0;
+  return spec;
+}
+
+}  // namespace turbo::gpusim

@@ -1,0 +1,69 @@
+// Parameters of the simulated CUDA device.
+//
+// The paper evaluates on an NVIDIA RTX 2060 (serving + end-to-end figures)
+// and a Tesla V100 (kernel microbenchmarks, Fig. 5 / Table 2). This struct
+// carries both the architectural limits needed for occupancy and the
+// cycle-cost parameters used by the warp-level execution simulator.
+//
+// Cost parameters are Turing/Volta-class estimates. Absolute numbers do not
+// need to match silicon; what matters for reproducing the paper is that the
+// *ratios* between shuffle latency, issue width, shared-memory round trips
+// and __syncthreads barriers are realistic, because those ratios are exactly
+// what the TurboTransformers batch-reduction algorithm optimizes.
+#pragma once
+
+#include <string>
+
+namespace turbo::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // --- architecture ---
+  int num_sms = 30;
+  double clock_ghz = 1.68;
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int max_threads_per_sm = 1024;
+  int max_blocks_per_sm = 16;
+  long smem_per_sm_bytes = 64 * 1024;
+  long smem_per_block_bytes = 48 * 1024;
+
+  // --- device-wide throughput (used by the roofline in src/perfmodel) ---
+  double mem_bandwidth_gbps = 336.0;  // GB/s
+  double fp32_tflops = 6.45;
+  double tensor_core_tflops = 51.6;  // fp16 TC peak; 0 disables TC profile
+
+  // --- per-kernel fixed overhead ---
+  double kernel_launch_us = 5.0;
+
+  // --- instruction cost model (cycles) ---
+  // latency: producer->consumer dependent-use delay.
+  // issue:   cycles the warp scheduler is occupied issuing the instruction;
+  //          independent instructions can issue back-to-back at this rate.
+  // Dependent-use latencies follow the Volta/Turing microbenchmark
+  // literature: SHFL ~22 cycles to first use, shared-memory loads ~28,
+  // barriers on a live block ~100 cycles including arrival spread.
+  double shfl_latency = 22.0;
+  double shfl_issue = 2.0;
+  double alu_latency = 5.0;
+  double alu_issue = 1.0;
+  double sfu_latency = 14.0;  // exp / rsqrt on the special function unit
+  double sfu_issue = 4.0;
+  double smem_latency = 28.0;
+  double smem_issue = 2.0;
+  double sync_cycles = 100.0;        // __syncthreads barrier
+  double divergence_cycles = 24.0;   // branch re-convergence penalty
+  double gmem_latency = 420.0;       // first dependent use of a cold load
+
+  // Sustained global-memory bytes an SM can move per cycle, derived from the
+  // device bandwidth split evenly across SMs.
+  double gmem_bytes_per_cycle_per_sm() const {
+    return mem_bandwidth_gbps * 1e9 / (clock_ghz * 1e9) / num_sms;
+  }
+
+  static DeviceSpec rtx2060();
+  static DeviceSpec v100();
+};
+
+}  // namespace turbo::gpusim

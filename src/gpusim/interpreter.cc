@@ -1,0 +1,130 @@
+#include "gpusim/interpreter.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace turbo::gpusim {
+
+namespace {
+
+struct InstrClass {
+  double issue;
+  double latency;
+};
+
+InstrClass class_of(Opcode op, const DeviceSpec& spec) {
+  switch (op) {
+    case Opcode::kFAdd:
+    case Opcode::kFMul:
+    case Opcode::kFMax:
+      return {spec.alu_issue, spec.alu_latency};
+    case Opcode::kShflXor:
+    case Opcode::kShflDown:
+      return {spec.shfl_issue, spec.shfl_latency};
+    case Opcode::kMovImm:
+      return {spec.alu_issue, 1.0};
+  }
+  return {1.0, 1.0};
+}
+
+}  // namespace
+
+ProgramResult run_warp_program(const std::vector<Instr>& program,
+                               std::vector<WarpVec> initial_registers,
+                               const DeviceSpec& spec) {
+  // Determine register-file size.
+  int max_reg = static_cast<int>(initial_registers.size()) - 1;
+  for (const auto& instr : program) {
+    max_reg = std::max({max_reg, instr.dst, instr.src_a, instr.src_b});
+  }
+  std::vector<WarpVec> regs = std::move(initial_registers);
+  regs.resize(static_cast<size_t>(max_reg) + 1, WarpVec::filled(0.0f));
+  std::vector<double> ready(regs.size(), 0.0);  // scoreboard
+
+  double next_issue = 0.0;
+  double last_writeback = 0.0;
+  for (const auto& instr : program) {
+    const InstrClass cls = class_of(instr.op, spec);
+
+    // Issue when the slot is free and the operands have been written back.
+    double operands_ready = ready[static_cast<size_t>(instr.src_a)];
+    if (instr.op == Opcode::kFAdd || instr.op == Opcode::kFMul ||
+        instr.op == Opcode::kFMax) {
+      operands_ready = std::max(operands_ready,
+                                ready[static_cast<size_t>(instr.src_b)]);
+    }
+    if (instr.op == Opcode::kMovImm) operands_ready = 0.0;
+    const double issue_at = std::max(next_issue, operands_ready);
+    const double done_at = issue_at + cls.latency;
+    next_issue = issue_at + cls.issue;
+    ready[static_cast<size_t>(instr.dst)] = done_at;
+    last_writeback = std::max(last_writeback, done_at);
+
+    // Lane semantics.
+    WarpVec& dst = regs[static_cast<size_t>(instr.dst)];
+    const WarpVec& a = regs[static_cast<size_t>(instr.src_a)];
+    const WarpVec& b = regs[static_cast<size_t>(instr.src_b)];
+    switch (instr.op) {
+      case Opcode::kFAdd:
+        dst = a + b;
+        break;
+      case Opcode::kFMul:
+        dst = a * b;
+        break;
+      case Opcode::kFMax:
+        dst = lane_max(a, b);
+        break;
+      case Opcode::kShflXor:
+        dst = shfl_xor(a, instr.imm);
+        break;
+      case Opcode::kShflDown:
+        dst = shfl_down(a, instr.imm);
+        break;
+      case Opcode::kMovImm:
+        dst = WarpVec::filled(instr.imm_value);
+        break;
+    }
+  }
+
+  ProgramResult result;
+  result.cycles = last_writeback;
+  result.registers = std::move(regs);
+  result.instructions = static_cast<int>(program.size());
+  return result;
+}
+
+std::vector<Instr> make_reduce_chain_program(int x) {
+  TT_CHECK_GT(x, 0);
+  // The classical kernel: rows reduced one after another, each step's FADD
+  // waiting on its SHFL (Figure 4, top-right).
+  std::vector<Instr> prog;
+  const int tmp = x;  // one scratch register reused per step
+  for (int r = 0; r < x; ++r) {
+    for (int mask = kWarpSize / 2; mask > 0; mask >>= 1) {
+      prog.push_back(Instr::shfl_xor(tmp, r, mask));
+      prog.push_back(Instr::fadd(r, r, tmp));
+    }
+  }
+  return prog;
+}
+
+std::vector<Instr> make_reduce_interleaved_program(int x) {
+  TT_CHECK_GT(x, 0);
+  // warpAllReduceSum_XElem: per butterfly step, all X shuffles issue
+  // back-to-back into distinct scratch registers, then the X adds — no
+  // instruction waits on the result of its immediate predecessor
+  // (Figure 4, bottom-right).
+  std::vector<Instr> prog;
+  for (int mask = kWarpSize / 2; mask > 0; mask >>= 1) {
+    for (int r = 0; r < x; ++r) {
+      prog.push_back(Instr::shfl_xor(x + r, r, mask));
+    }
+    for (int r = 0; r < x; ++r) {
+      prog.push_back(Instr::fadd(r, r, x + r));
+    }
+  }
+  return prog;
+}
+
+}  // namespace turbo::gpusim

@@ -1,0 +1,84 @@
+// SIMT warp-program interpreter.
+//
+// A minimal instruction set executed lane-accurately over one warp, with
+// the same issue/latency cycle accounting as the hand-written kernels. This
+// is the "assembly-level" view of the paper's Figure 4: reduction kernels
+// can be written as instruction sequences, and the interpreter's scoreboard
+// reproduces the difference between the baseline's dependent
+// SHFL->FADD->SHFL chain and the XElem interleaving, instruction by
+// instruction — including the dual-issue window the paper's right-hand
+// panel illustrates.
+//
+// Registers are warp-wide (32 lanes). The scoreboard tracks, per register,
+// the cycle its value becomes available; an instruction issues at
+//   max(next_issue_slot, operands_ready)
+// and completes `latency` cycles later. Independent instructions therefore
+// overlap; dependent ones stall — exactly the ILP model of
+// CycleCounter::charge_batch, but derived per-instruction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/warp.h"
+
+namespace turbo::gpusim {
+
+enum class Opcode {
+  kFAdd,      // dst = src_a + src_b
+  kFMul,      // dst = src_a * src_b
+  kFMax,      // dst = max(src_a, src_b)
+  kShflXor,   // dst = __shfl_xor_sync(src_a, imm)
+  kShflDown,  // dst = __shfl_down_sync(src_a, imm)
+  kMovImm,    // dst = imm_value broadcast to all lanes
+};
+
+struct Instr {
+  Opcode op;
+  int dst = 0;
+  int src_a = 0;
+  int src_b = 0;        // unused for shuffles / mov
+  int imm = 0;          // shuffle distance
+  float imm_value = 0;  // kMovImm payload
+
+  static Instr fadd(int dst, int a, int b) {
+    return {Opcode::kFAdd, dst, a, b, 0, 0};
+  }
+  static Instr fmul(int dst, int a, int b) {
+    return {Opcode::kFMul, dst, a, b, 0, 0};
+  }
+  static Instr fmax(int dst, int a, int b) {
+    return {Opcode::kFMax, dst, a, b, 0, 0};
+  }
+  static Instr shfl_xor(int dst, int src, int mask) {
+    return {Opcode::kShflXor, dst, src, 0, mask, 0};
+  }
+  static Instr shfl_down(int dst, int src, int delta) {
+    return {Opcode::kShflDown, dst, src, 0, delta, 0};
+  }
+  static Instr mov(int dst, float value) {
+    return {Opcode::kMovImm, dst, 0, 0, 0, value};
+  }
+};
+
+struct ProgramResult {
+  double cycles = 0;               // completion time of the last writeback
+  std::vector<WarpVec> registers;  // final register file
+  int instructions = 0;
+};
+
+// Executes `program` over `initial_registers` (register file indexed by
+// Instr operands; grown on demand, zero-initialized). The scoreboard model
+// issues at most one instruction per `issue` cycles of its class and
+// retires after its latency.
+ProgramResult run_warp_program(const std::vector<Instr>& program,
+                               std::vector<WarpVec> initial_registers,
+                               const DeviceSpec& spec);
+
+// Program generators for the two Figure 4 reduction strategies, reducing
+// `x` registers r0..r{x-1} in place (each ends with the full warp sum in
+// every lane). Scratch registers start at index x.
+std::vector<Instr> make_reduce_chain_program(int x);        // serialized
+std::vector<Instr> make_reduce_interleaved_program(int x);  // XElem style
+
+}  // namespace turbo::gpusim

@@ -1,0 +1,42 @@
+#include "gpusim/launch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace turbo::gpusim {
+
+int occupancy_blocks_per_sm(const DeviceSpec& spec, int block_threads,
+                            long block_smem_bytes) {
+  TT_CHECK_GT(block_threads, 0);
+  TT_CHECK_LE(block_threads, spec.max_threads_per_block);
+  TT_CHECK_GE(block_smem_bytes, 0);
+  TT_CHECK_LE(block_smem_bytes, spec.smem_per_block_bytes);
+
+  int by_threads = spec.max_threads_per_sm / block_threads;
+  int by_smem = block_smem_bytes == 0
+                    ? spec.max_blocks_per_sm
+                    : static_cast<int>(spec.smem_per_sm_bytes /
+                                       block_smem_bytes);
+  int blocks = std::min({spec.max_blocks_per_sm, by_threads, by_smem});
+  return std::max(blocks, 1);
+}
+
+LaunchResult launch_time(const DeviceSpec& spec, int grid_blocks,
+                         int block_threads, long block_smem_bytes,
+                         double block_cycles) {
+  TT_CHECK_GT(grid_blocks, 0);
+  TT_CHECK_GE(block_cycles, 0.0);
+
+  LaunchResult r;
+  r.block_cycles = block_cycles;
+  r.grid_blocks = grid_blocks;
+  r.blocks_per_sm = occupancy_blocks_per_sm(spec, block_threads,
+                                            block_smem_bytes);
+  const int concurrent = spec.num_sms * r.blocks_per_sm;
+  r.waves = (grid_blocks + concurrent - 1) / concurrent;
+  r.time_us = spec.kernel_launch_us +
+              r.waves * block_cycles / (spec.clock_ghz * 1e3);
+  return r;
+}
+
+}  // namespace turbo::gpusim

@@ -1,0 +1,38 @@
+// Grid-level launch model: occupancy + wave execution.
+//
+// A kernel launch runs `grid_blocks` thread blocks over the device's SMs.
+// The simulator executes (or costs) one representative block and the launch
+// model converts per-block cycles into wall time:
+//
+//   waves    = ceil(grid_blocks / (num_sms * blocks_per_sm))
+//   time_us  = launch_overhead + waves * block_cycles / clock
+//
+// blocks_per_sm comes from the standard occupancy limits (threads, blocks,
+// shared memory per SM). Concurrent blocks on one SM share issue slots; we
+// fold that into the wave count rather than slowing each block, which keeps
+// relative comparisons between kernels with equal resource usage exact.
+#pragma once
+
+#include "common/check.h"
+#include "gpusim/device_spec.h"
+
+namespace turbo::gpusim {
+
+struct LaunchResult {
+  double block_cycles = 0;  // critical-path cycles of one block
+  int grid_blocks = 0;
+  int blocks_per_sm = 0;
+  int waves = 0;
+  double time_us = 0;
+};
+
+// Max resident blocks per SM for the given per-block resource usage.
+int occupancy_blocks_per_sm(const DeviceSpec& spec, int block_threads,
+                            long block_smem_bytes);
+
+// Wall time for a launch whose blocks each take `block_cycles` cycles.
+LaunchResult launch_time(const DeviceSpec& spec, int grid_blocks,
+                         int block_threads, long block_smem_bytes,
+                         double block_cycles);
+
+}  // namespace turbo::gpusim

@@ -1,0 +1,104 @@
+// Warp-level register file and shuffle primitives.
+//
+// A WarpVec is the 32 per-lane values of one register across a warp. Kernels
+// in src/gpukernels are written against WarpVec exactly as the corresponding
+// CUDA kernels are written against float registers + __shfl_xor_sync: the
+// simulator executes the real lane arithmetic (so outputs are bit-for-bit
+// testable) while the CycleCounter charges the issue/latency cost of each
+// instruction batch.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <span>
+
+#include "common/check.h"
+#include "gpusim/cycle_model.h"
+
+namespace turbo::gpusim {
+
+inline constexpr int kWarpSize = 32;
+
+struct WarpVec {
+  std::array<float, kWarpSize> lane{};
+
+  static WarpVec filled(float v) {
+    WarpVec w;
+    w.lane.fill(v);
+    return w;
+  }
+
+  float& operator[](int i) { return lane[static_cast<size_t>(i)]; }
+  float operator[](int i) const { return lane[static_cast<size_t>(i)]; }
+};
+
+// --- lane-wise arithmetic (numerics only; callers charge cycles) ---
+
+inline WarpVec operator+(const WarpVec& a, const WarpVec& b) {
+  WarpVec r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+inline WarpVec operator-(const WarpVec& a, const WarpVec& b) {
+  WarpVec r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+inline WarpVec operator*(const WarpVec& a, const WarpVec& b) {
+  WarpVec r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] * b[i];
+  return r;
+}
+
+inline WarpVec lane_max(const WarpVec& a, const WarpVec& b) {
+  WarpVec r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = std::max(a[i], b[i]);
+  return r;
+}
+
+// __shfl_xor_sync: lane i reads the register of lane (i ^ mask).
+inline WarpVec shfl_xor(const WarpVec& v, int mask) {
+  TT_CHECK_GT(mask, 0);
+  TT_CHECK_LT(mask, kWarpSize);
+  WarpVec r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = v[i ^ mask];
+  return r;
+}
+
+// __shfl_down_sync: lane i reads lane (i + delta); out-of-range lanes keep
+// their own value (mirrors CUDA semantics where the value is undefined and
+// reduction kernels arrange never to consume it).
+inline WarpVec shfl_down(const WarpVec& v, int delta) {
+  WarpVec r;
+  for (int i = 0; i < kWarpSize; ++i) {
+    const int src = i + delta;
+    r[i] = src < kWarpSize ? v[src] : v[i];
+  }
+  return r;
+}
+
+enum class ReduceOp { kSum, kMax };
+
+inline float apply(ReduceOp op, float a, float b) {
+  return op == ReduceOp::kSum ? a + b : std::max(a, b);
+}
+
+// Butterfly all-reduce over the lanes of each vector in `vecs`, performed
+// for all vectors *together* — this is the paper's warpAllReduceSum_XElem
+// with X = vecs.size(). After the call every lane of vecs[k] holds the
+// reduction of vecs[k]'s original 32 lanes.
+//
+// Cost model: 5 butterfly steps (mask 16, 8, 4, 2, 1). In each step the X
+// shuffles are mutually independent, so they issue back-to-back and overlap
+// latency (charge_batch); the X adds likewise. With X == 1 this degrades to
+// the classical dependency chain of Figure 4 (full latency per step).
+void warp_all_reduce(std::span<WarpVec> vecs, ReduceOp op, CycleCounter& cc);
+
+// Classical single-array warp reduction: identical numerics to
+// warp_all_reduce on one vector; provided so baseline kernels read like the
+// FasterTransformer code they model.
+void warp_reduce(WarpVec& v, ReduceOp op, CycleCounter& cc);
+
+}  // namespace turbo::gpusim

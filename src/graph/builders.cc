@@ -1,0 +1,448 @@
+#include "graph/builders.h"
+
+namespace turbo::graph {
+
+namespace {
+
+constexpr double kF = sizeof(float);
+
+// Activation sizes as functions of (batch, seq).
+std::function<size_t(int, int)> bsh_bytes(int hidden) {
+  return [hidden](int b, int s) {
+    return static_cast<size_t>(b) * s * hidden * sizeof(float);
+  };
+}
+
+std::function<size_t(int, int)> score_bytes(int heads) {
+  return [heads](int b, int s) {
+    return static_cast<size_t>(b) * heads * s * s * sizeof(float);
+  };
+}
+
+}  // namespace
+
+Graph build_encoder_layer_fused(const LayerDims& dims) {
+  Graph g;
+  const int H = dims.hidden;
+  const int h = dims.heads;
+  const int I = dims.intermediate;
+
+  const int layer_in = g.add_tensor("layer_in", bsh_bytes(H), /*input=*/true);
+  const int qkv_out = g.add_tensor("qkv_out", [H](int b, int s) {
+    return static_cast<size_t>(3) * b * s * H * sizeof(float);
+  });
+  const int q = g.add_tensor("Q", bsh_bytes(H));
+  const int k = g.add_tensor("K", bsh_bytes(H));
+  const int v = g.add_tensor("V", bsh_bytes(H));
+  const int attn_score = g.add_tensor("attn_score", score_bytes(h));
+  const int ctx_layer = g.add_tensor("ctx_layer", bsh_bytes(H));
+  const int trans_out = g.add_tensor("trans_out", bsh_bytes(H));
+  const int attn_out = g.add_tensor("attn_out", bsh_bytes(H));
+  const int attn_ln_out = g.add_tensor("attn_ln_out", bsh_bytes(H));
+  const int intermediate_out = g.add_tensor("intermediate_out",
+                                            [I](int b, int s) {
+    return static_cast<size_t>(b) * s * I * sizeof(float);
+  });
+  const int layer_out_raw = g.add_tensor("layer_out_raw", bsh_bytes(H));
+  const int layer_out = g.add_tensor("layer_out", bsh_bytes(H),
+                                     /*input=*/false, /*output=*/true);
+
+  g.add_op(OpKind::kFusedGemm012, "Gemm012Fused", {layer_in}, {qkv_out},
+           [H](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * b * s * H * (3.0 * H);
+             c.bytes = (1.0 * b * s * H + 3.0 * H * H + 3.0 * b * s * H) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kSplitAddBiasTranspose, "SplitAddBiasTransposeForScore",
+           {qkv_out}, {q, k, v}, [H](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kElementwise;
+             c.bytes = 6.0 * b * s * H * kF;
+             return c;
+           });
+  g.add_op(OpKind::kBatchedGemm, "BatchGemm3", {q, k}, {attn_score},
+           [H, h](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * b * s * static_cast<double>(s) * H;
+             c.bytes = (2.0 * b * s * H +
+                        1.0 * b * h * s * static_cast<double>(s)) * kF;
+             return c;
+           });
+  // In-place masked softmax over attn_score rows.
+  g.add_op(OpKind::kSoftmax, "ApplyMaskAndSoftmax", {attn_score}, {},
+           [h](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kReduction;
+             c.reduce_rows = static_cast<long>(b) * h * s;
+             c.reduce_cols = s;
+             c.bytes = 2.0 * b * h * s * static_cast<double>(s) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kBatchedGemm, "BatchGemm4", {attn_score, v}, {ctx_layer},
+           [H, h](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * b * s * static_cast<double>(s) * H;
+             c.bytes = (1.0 * b * h * s * static_cast<double>(s) +
+                        2.0 * b * s * H) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kTransposeForScore, "TransposeForScore", {ctx_layer},
+           {trans_out}, [H](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kElementwise;
+             c.bytes = 2.0 * b * s * H * kF;
+             return c;
+           });
+  g.add_op(OpKind::kGemm, "Gemm5", {trans_out}, {attn_out},
+           [H](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * b * s * H * static_cast<double>(H);
+             c.bytes = (2.0 * b * s * H + 1.0 * H * H) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kAddBiasLayerNorm, "AddBiasLayerNorm",
+           {attn_out, layer_in}, {attn_ln_out}, [H](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kReduction;
+             c.reduce_rows = static_cast<long>(b) * s;
+             c.reduce_cols = H;
+             c.bytes = 3.0 * b * s * H * kF;
+             return c;
+           });
+  g.add_op(OpKind::kGemm, "BertIntermediate/gemm", {attn_ln_out},
+           {intermediate_out}, [H, I](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * b * s * H * static_cast<double>(I);
+             c.bytes = (1.0 * b * s * H + 1.0 * H * I + 1.0 * b * s * I) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kAddBiasAct, "BertIntermediate/AddBiasAct",
+           {intermediate_out}, {}, [I](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kElementwise;
+             c.bytes = 2.0 * b * s * I * kF;
+             return c;
+           });
+  g.add_op(OpKind::kGemm, "BertOutput/gemm", {intermediate_out},
+           {layer_out_raw}, [H, I](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * b * s * I * static_cast<double>(H);
+             c.bytes = (1.0 * b * s * I + 1.0 * H * I + 1.0 * b * s * H) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kAddBiasLayerNorm, "BertOutput/AddBiasLayerNorm",
+           {layer_out_raw, attn_ln_out}, {layer_out}, [H](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kReduction;
+             c.reduce_rows = static_cast<long>(b) * s;
+             c.reduce_cols = H;
+             c.bytes = 3.0 * b * s * H * kF;
+             return c;
+           });
+
+  g.validate();
+  return g;
+}
+
+Graph build_encoder_layer_unfused(const LayerDims& dims) {
+  Graph g;
+  const int H = dims.hidden;
+  const int h = dims.heads;
+  const int I = dims.intermediate;
+
+  auto gemm_cost = [H](double n_mult) {
+    return [H, n_mult](int b, int s) {
+      OpCost c;
+      c.cls = CostClass::kGemm;
+      c.flops = 2.0 * b * s * H * (n_mult * H);
+      c.bytes = (1.0 * b * s * H + n_mult * H * H +
+                 n_mult * b * s * H) * kF;
+      return c;
+    };
+  };
+  auto elementwise_bsh = [H](double passes) {
+    return [H, passes](int b, int s) {
+      OpCost c;
+      c.cls = CostClass::kElementwise;
+      c.bytes = passes * b * s * H * kF;
+      return c;
+    };
+  };
+
+  const int layer_in2 = g.add_tensor("layer_in", bsh_bytes(H), true);
+
+  // --- Q/K/V projections, each gemm -> add-bias -> transpose ---
+  int raw[3], headed[3];
+  const char* raw_names[3] = {"q_raw", "k_raw", "v_raw"};
+  const char* head_names[3] = {"Q", "K", "V"};
+  for (int i = 0; i < 3; ++i) {
+    raw[i] = g.add_tensor(raw_names[i], bsh_bytes(H));
+    headed[i] = g.add_tensor(head_names[i], bsh_bytes(H));
+  }
+  const int q = headed[0];
+  const int k = headed[1];
+  const int v = headed[2];
+  const int attn_score = g.add_tensor("attn_score", score_bytes(h));
+  const int ctx_layer = g.add_tensor("ctx_layer", bsh_bytes(H));
+  const int trans_out = g.add_tensor("trans_out", bsh_bytes(H));
+  const int attn_out = g.add_tensor("attn_out", bsh_bytes(H));
+  const int attn_ln_out = g.add_tensor("attn_ln_out", bsh_bytes(H));
+  const int intermediate_out = g.add_tensor("intermediate_out",
+                                            [I](int b, int s) {
+    return static_cast<size_t>(b) * s * I * sizeof(float);
+  });
+  const int ffn_out = g.add_tensor("ffn_out", bsh_bytes(H));
+  const int layer_out = g.add_tensor("layer_out", bsh_bytes(H), false, true);
+
+  const char* gemm_names[3] = {"gemm0", "gemm1", "gemm2"};
+  const char* bias_names[3] = {"bias0", "bias1", "bias2"};
+  const char* tr_names[3] = {"transpose0", "transpose1", "transpose2"};
+  for (int i = 0; i < 3; ++i) {
+    g.add_op(OpKind::kGemm, gemm_names[i], {layer_in2}, {raw[i]},
+             gemm_cost(1.0));
+    g.add_op(OpKind::kAddBias, bias_names[i], {raw[i]}, {},
+             elementwise_bsh(2.0));
+    g.add_op(OpKind::kTranspose, tr_names[i], {raw[i]}, {headed[i]},
+             elementwise_bsh(2.0));
+  }
+  g.add_op(OpKind::kBatchedGemm, "batchgemm3", {q, k}, {attn_score},
+           [H, h](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * b * s * static_cast<double>(s) * H;
+             c.bytes = (2.0 * b * s * H +
+                        1.0 * b * h * s * static_cast<double>(s)) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kSoftmax, "softmax", {attn_score}, {},
+           [h](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kReduction;
+             c.reduce_rows = static_cast<long>(b) * h * s;
+             c.reduce_cols = s;
+             c.bytes = 2.0 * b * h * s * static_cast<double>(s) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kBatchedGemm, "batchgemm4", {attn_score, v}, {ctx_layer},
+           [H, h](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * b * s * static_cast<double>(s) * H;
+             c.bytes = (1.0 * b * h * s * static_cast<double>(s) +
+                        2.0 * b * s * H) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kTranspose, "transpose_ctx", {ctx_layer}, {trans_out},
+           elementwise_bsh(2.0));
+  g.add_op(OpKind::kGemm, "gemm5", {trans_out}, {attn_out}, gemm_cost(1.0));
+  g.add_op(OpKind::kAddBias, "bias5", {attn_out}, {}, elementwise_bsh(2.0));
+  g.add_op(OpKind::kAddResidual, "residual1", {attn_out, layer_in2}, {},
+           elementwise_bsh(3.0));
+  g.add_op(OpKind::kLayerNorm, "layernorm1", {attn_out}, {attn_ln_out},
+           [H](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kReduction;
+             c.reduce_rows = static_cast<long>(b) * s;
+             c.reduce_cols = H;
+             c.bytes = 2.0 * b * s * H * kF;
+             return c;
+           });
+  g.add_op(OpKind::kGemm, "gemm6", {attn_ln_out}, {intermediate_out},
+           [H, I](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * b * s * H * static_cast<double>(I);
+             c.bytes = (1.0 * b * s * H + 1.0 * H * I + 1.0 * b * s * I) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kAddBias, "bias6", {intermediate_out}, {},
+           [I](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kElementwise;
+             c.bytes = 2.0 * b * s * I * kF;
+             return c;
+           });
+  g.add_op(OpKind::kActivation, "gelu", {intermediate_out}, {},
+           [I](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kElementwise;
+             c.bytes = 2.0 * b * s * I * kF;
+             return c;
+           });
+  g.add_op(OpKind::kGemm, "gemm7", {intermediate_out}, {ffn_out},
+           [H, I](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * b * s * I * static_cast<double>(H);
+             c.bytes = (1.0 * b * s * I + 1.0 * H * I + 1.0 * b * s * H) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kAddBias, "bias7", {ffn_out}, {}, elementwise_bsh(2.0));
+  g.add_op(OpKind::kAddResidual, "residual2", {ffn_out, attn_ln_out}, {},
+           elementwise_bsh(3.0));
+  g.add_op(OpKind::kLayerNorm, "layernorm2", {ffn_out}, {layer_out},
+           [H](int b, int s) {
+             OpCost c;
+             c.cls = CostClass::kReduction;
+             c.reduce_rows = static_cast<long>(b) * s;
+             c.reduce_cols = H;
+             c.bytes = 2.0 * b * s * H * kF;
+             return c;
+           });
+
+  g.validate();
+  return g;
+}
+
+Graph build_decoder_step_fused(const LayerDims& dims, int src_len) {
+  Graph g;
+  const int H = dims.hidden;
+  const int h = dims.heads;
+  const int I = dims.intermediate;
+  // In this graph `batch` = beam width and `seq` = self-attention cache
+  // length t. Per-step activations are [beam, H]; only the attention-score
+  // rows grow with t.
+  auto beam_h = [H](int beam, int) {
+    return static_cast<size_t>(beam) * H * sizeof(float);
+  };
+  auto beam_i = [I](int beam, int) {
+    return static_cast<size_t>(beam) * I * sizeof(float);
+  };
+  auto self_score_bytes = [h](int beam, int t) {
+    return static_cast<size_t>(beam) * h * t * sizeof(float);
+  };
+  auto cross_score_bytes = [h, src_len](int beam, int) {
+    return static_cast<size_t>(beam) * h * src_len * sizeof(float);
+  };
+
+  auto gemm_cost = [](double m_scale, double n, double k) {
+    return [m_scale, n, k](int beam, int) {
+      OpCost c;
+      c.cls = CostClass::kGemm;
+      c.flops = 2.0 * beam * m_scale * n * k;
+      c.bytes = (beam * m_scale * k + k * n + beam * m_scale * n) * kF;
+      return c;
+    };
+  };
+  auto ln_cost = [H](int beam, int) {
+    OpCost c;
+    c.cls = CostClass::kReduction;
+    c.reduce_rows = beam;
+    c.reduce_cols = H;
+    c.bytes = 3.0 * beam * H * kF;
+    return c;
+  };
+
+  const int x_in = g.add_tensor("x_in", beam_h, /*input=*/true);
+  const int qkv_out = g.add_tensor("self_qkv_out", [H](int beam, int) {
+    return static_cast<size_t>(3) * beam * H * sizeof(float);
+  });
+  const int self_score = g.add_tensor("self_score", self_score_bytes);
+  const int self_ctx = g.add_tensor("self_ctx", beam_h);
+  const int self_proj = g.add_tensor("self_proj", beam_h);
+  const int x1 = g.add_tensor("x1", beam_h);
+  const int cross_q = g.add_tensor("cross_q", beam_h);
+  const int cross_score = g.add_tensor("cross_score", cross_score_bytes);
+  const int cross_ctx = g.add_tensor("cross_ctx", beam_h);
+  const int cross_proj = g.add_tensor("cross_proj", beam_h);
+  const int x2 = g.add_tensor("x2", beam_h);
+  const int inter = g.add_tensor("ffn_inter", beam_i);
+  const int ffn_out = g.add_tensor("ffn_out", beam_h);
+  const int x_out = g.add_tensor("x_out", beam_h, false, /*output=*/true);
+
+  // --- cached causal self-attention ---
+  g.add_op(OpKind::kFusedGemm012, "SelfQkvGemm", {x_in}, {qkv_out},
+           gemm_cost(1.0, 3.0 * H, H));
+  // Scores over the cache: [beam*h, 1, d] x [beam*h, t, d]^T.
+  g.add_op(OpKind::kBatchedGemm, "SelfScoreGemm", {qkv_out}, {self_score},
+           [H, h](int beam, int t) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * beam * t * H;
+             c.bytes = (2.0 * beam * H * t / h + 1.0 * beam * h * t) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kSoftmax, "SelfSoftmax", {self_score}, {},
+           [h](int beam, int t) {
+             OpCost c;
+             c.cls = CostClass::kReduction;
+             c.reduce_rows = static_cast<long>(beam) * h;
+             c.reduce_cols = t;
+             c.bytes = 2.0 * beam * h * t * kF;
+             return c;
+           });
+  g.add_op(OpKind::kBatchedGemm, "SelfContextGemm", {self_score},
+           {self_ctx}, [H, h](int beam, int t) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * beam * t * H;
+             c.bytes = (1.0 * beam * h * t + 2.0 * beam * H) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kGemm, "SelfOutProj", {self_ctx}, {self_proj},
+           gemm_cost(1.0, H, H));
+  g.add_op(OpKind::kAddBiasLayerNorm, "SelfAddBiasLN", {self_proj, x_in},
+           {x1}, ln_cost);
+
+  // --- cross-attention over the (precomputed) encoder memory ---
+  g.add_op(OpKind::kGemm, "CrossQProj", {x1}, {cross_q},
+           gemm_cost(1.0, H, H));
+  g.add_op(OpKind::kBatchedGemm, "CrossScoreGemm", {cross_q}, {cross_score},
+           [H, h, src_len](int beam, int) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * beam * src_len * H;
+             c.bytes = (1.0 * beam * H + 1.0 * src_len * H +
+                        1.0 * beam * h * src_len) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kSoftmax, "CrossSoftmax", {cross_score}, {},
+           [h, src_len](int beam, int) {
+             OpCost c;
+             c.cls = CostClass::kReduction;
+             c.reduce_rows = static_cast<long>(beam) * h;
+             c.reduce_cols = src_len;
+             c.bytes = 2.0 * beam * h * src_len * kF;
+             return c;
+           });
+  g.add_op(OpKind::kBatchedGemm, "CrossContextGemm", {cross_score},
+           {cross_ctx}, [H, h, src_len](int beam, int) {
+             OpCost c;
+             c.cls = CostClass::kGemm;
+             c.flops = 2.0 * beam * src_len * H;
+             c.bytes = (1.0 * beam * h * src_len + 1.0 * src_len * H +
+                        1.0 * beam * H) * kF;
+             return c;
+           });
+  g.add_op(OpKind::kGemm, "CrossOutProj", {cross_ctx}, {cross_proj},
+           gemm_cost(1.0, H, H));
+  g.add_op(OpKind::kAddBiasLayerNorm, "CrossAddBiasLN", {cross_proj, x1},
+           {x2}, ln_cost);
+
+  // --- feed-forward ---
+  g.add_op(OpKind::kGemm, "FfnInterGemm", {x2}, {inter},
+           gemm_cost(1.0, I, H));
+  g.add_op(OpKind::kAddBiasAct, "FfnAddBiasAct", {inter}, {},
+           [I](int beam, int) {
+             OpCost c;
+             c.cls = CostClass::kElementwise;
+             c.bytes = 2.0 * beam * I * kF;
+             return c;
+           });
+  g.add_op(OpKind::kGemm, "FfnOutGemm", {inter}, {ffn_out},
+           gemm_cost(1.0, H, I));
+  g.add_op(OpKind::kAddBiasLayerNorm, "FfnAddBiasLN", {ffn_out, x2},
+           {x_out}, ln_cost);
+
+  g.validate();
+  return g;
+}
+
+}  // namespace turbo::graph

@@ -1,0 +1,41 @@
+// Builders for transformer encoder-layer computation graphs.
+//
+// Two variants of the same math (paper Fig. 3):
+//   * unfused — the op stream a training framework (PyTorch) executes:
+//     separate bias / transpose / residual / norm kernels, 24 kernel
+//     launches per layer;
+//   * fused — TurboTransformers' rewritten graph: everything between two
+//     GEMMs collapsed into one kernel, 12 launches per layer, matching the
+//     kernel inventory of the paper's Figure 10.
+//
+// The builders are the ground truth the fusion pass (fusion.h) is tested
+// against: fuse(unfused) must be structurally identical to fused.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace turbo::graph {
+
+struct LayerDims {
+  int hidden = 768;
+  int heads = 12;
+  int intermediate = 3072;
+
+  int head_dim() const { return hidden / heads; }
+};
+
+// One encoder layer. The graph's single input is the previous layer's
+// output [B, S, H]; its single output feeds the next layer.
+Graph build_encoder_layer_unfused(const LayerDims& dims);
+Graph build_encoder_layer_fused(const LayerDims& dims);
+
+// One decoder layer at one generation step (fused form): cached causal
+// self-attention + cross-attention over an encoder memory of fixed length
+// `src_len` + feed-forward. The graph is symbolic over (beam, cache_len):
+// tensor_usages(beam, t) yields the step's intermediate lifetimes, so the
+// model-aware allocator re-plans as the KV cache grows — the decoder-side
+// variable-length workload of Fig. 9. The K/V caches themselves are
+// persistent state, not intermediates, and are not part of this graph.
+Graph build_decoder_step_fused(const LayerDims& dims, int src_len);
+
+}  // namespace turbo::graph

@@ -1,0 +1,274 @@
+#include "graph/fusion.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace turbo::graph {
+
+namespace {
+
+// Mutable working representation of an op during rewriting.
+struct WorkOp {
+  OpKind kind;
+  std::string name;
+  std::vector<int> inputs;
+  std::vector<int> outputs;
+  std::function<OpCost(int, int)> cost_fn;
+  bool removed = false;
+};
+
+bool touches(const WorkOp& op, int tensor) {
+  return std::find(op.inputs.begin(), op.inputs.end(), tensor) !=
+             op.inputs.end() ||
+         std::find(op.outputs.begin(), op.outputs.end(), tensor) !=
+             op.outputs.end();
+}
+
+// Combines child costs, crediting back `saved_bytes_fn` bytes of eliminated
+// intermediate traffic. Reduction dims (if any child reduces) survive.
+std::function<OpCost(int, int)> combine_costs(
+    std::vector<std::function<OpCost(int, int)>> children,
+    std::function<double(int, int)> saved_bytes_fn, CostClass cls) {
+  return [children = std::move(children),
+          saved_bytes_fn = std::move(saved_bytes_fn), cls](int b, int s) {
+    OpCost out;
+    out.cls = cls;
+    for (const auto& child : children) {
+      const OpCost c = child(b, s);
+      out.flops += c.flops;
+      out.bytes += c.bytes;
+      if (c.cls == CostClass::kReduction) {
+        out.reduce_rows = c.reduce_rows;
+        out.reduce_cols = c.reduce_cols;
+      }
+    }
+    out.bytes = std::max(0.0, out.bytes - saved_bytes_fn(b, s));
+    return out;
+  };
+}
+
+// The next not-removed op at or after `i` that touches `tensor`;
+// nullopt if none.
+std::optional<size_t> next_touching(const std::vector<WorkOp>& ops, size_t i,
+                                    int tensor) {
+  for (size_t j = i; j < ops.size(); ++j) {
+    if (!ops[j].removed && touches(ops[j], tensor)) return j;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Graph fuse(const Graph& g) {
+  std::vector<WorkOp> ops;
+  ops.reserve(static_cast<size_t>(g.num_ops()));
+  for (const auto& node : g.ops()) {
+    ops.push_back(WorkOp{node.kind, node.name, node.inputs, node.outputs,
+                         node.cost_fn, false});
+  }
+
+  // Tensor table starts as a copy; QKV fusion appends a packed tensor.
+  struct WorkTensor {
+    std::string name;
+    std::function<size_t(int, int)> size_fn;
+    bool is_input, is_output;
+  };
+  std::vector<WorkTensor> tensors;
+  tensors.reserve(static_cast<size_t>(g.num_tensors()));
+  for (const auto& t : g.tensors()) {
+    tensors.push_back(WorkTensor{t.name, t.size_fn, t.is_graph_input,
+                                 t.is_graph_output});
+  }
+  auto tensor_bytes = [&tensors](int id) {
+    return [size_fn = tensors[static_cast<size_t>(id)].size_fn](int b, int s) {
+      return static_cast<double>(size_fn(b, s));
+    };
+  };
+
+  // ---- Rule 1: QKV projection fusion -----------------------------------
+  // Three Gemms consuming the same tensor, each followed by an in-place
+  // AddBias on its output and a Transpose of that output.
+  for (size_t gi = 0; gi + 1 < ops.size(); ++gi) {
+    if (ops[gi].removed || ops[gi].kind != OpKind::kGemm) continue;
+    const int shared_in = ops[gi].inputs.at(0);
+
+    struct Branch {
+      size_t gemm, bias, transpose;
+      int raw, headed;
+    };
+    std::vector<Branch> branches;
+    for (size_t j = gi; j < ops.size() && branches.size() < 3; ++j) {
+      if (ops[j].removed || ops[j].kind != OpKind::kGemm) continue;
+      if (ops[j].inputs.size() != 1 || ops[j].inputs[0] != shared_in) continue;
+      if (ops[j].outputs.size() != 1) continue;
+      const int raw = ops[j].outputs[0];
+      auto bias_idx = next_touching(ops, j + 1, raw);
+      if (!bias_idx || ops[*bias_idx].kind != OpKind::kAddBias ||
+          !ops[*bias_idx].outputs.empty()) {
+        continue;
+      }
+      auto tr_idx = next_touching(ops, *bias_idx + 1, raw);
+      if (!tr_idx || ops[*tr_idx].kind != OpKind::kTranspose ||
+          ops[*tr_idx].outputs.size() != 1) {
+        continue;
+      }
+      // raw must die at the transpose for the pattern to be sound.
+      if (next_touching(ops, *tr_idx + 1, raw).has_value()) continue;
+      branches.push_back(Branch{j, *bias_idx, *tr_idx, raw,
+                                ops[*tr_idx].outputs[0]});
+    }
+    if (branches.size() != 3) continue;
+
+    // New packed-QKV tensor: 3x the size of one projection output.
+    const int raw0 = branches[0].raw;
+    const int qkv = static_cast<int>(tensors.size());
+    tensors.push_back(WorkTensor{
+        "qkv_out",
+        [inner = tensors[static_cast<size_t>(raw0)].size_fn](int b, int s) {
+          return 3 * inner(b, s);
+        },
+        false, false});
+
+    // Fused GEMM: three weight reads stay, two redundant input reads go.
+    std::vector<std::function<OpCost(int, int)>> gemm_children;
+    for (const auto& br : branches) gemm_children.push_back(ops[br.gemm].cost_fn);
+    auto saved_input = [in_bytes = tensor_bytes(shared_in)](int b, int s) {
+      return 2.0 * in_bytes(b, s);
+    };
+    WorkOp fused_gemm{OpKind::kFusedGemm012,
+                      "Gemm012Fused",
+                      {shared_in},
+                      {qkv},
+                      combine_costs(std::move(gemm_children), saved_input,
+                                    CostClass::kGemm),
+                      false};
+
+    // Fused split: six passes over BSH-sized data collapse the separate
+    // bias (2 passes each) + transpose (2 passes each) round trips.
+    std::vector<std::function<OpCost(int, int)>> split_children;
+    for (const auto& br : branches) {
+      split_children.push_back(ops[br.bias].cost_fn);
+      split_children.push_back(ops[br.transpose].cost_fn);
+    }
+    auto saved_split = [raw_bytes = tensor_bytes(raw0)](int b, int s) {
+      return 3.0 * 2.0 * raw_bytes(b, s);
+    };
+    WorkOp fused_split{OpKind::kSplitAddBiasTranspose,
+                       "SplitAddBiasTransposeForScore",
+                       {qkv},
+                       {branches[0].headed, branches[1].headed,
+                        branches[2].headed},
+                       combine_costs(std::move(split_children), saved_split,
+                                     CostClass::kElementwise),
+                       false};
+
+    for (const auto& br : branches) {
+      ops[br.gemm].removed = true;
+      ops[br.bias].removed = true;
+      ops[br.transpose].removed = true;
+    }
+    // Insert at the first branch's position to preserve topological order.
+    ops[branches[0].gemm] = std::move(fused_gemm);
+    ops[branches[0].gemm].removed = false;
+    ops[branches[0].bias] = std::move(fused_split);
+    ops[branches[0].bias].removed = false;
+    break;  // one QKV block per encoder layer
+  }
+
+  // ---- Rule 3: AddBias + AddResidual + LayerNorm ------------------------
+  // (run before rule 2 so bias+act chains that are part of a norm pattern
+  // are never mis-folded; in transformer graphs they are distinct anyway).
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].removed || ops[i].kind != OpKind::kAddBias) continue;
+    if (!ops[i].outputs.empty() || ops[i].inputs.size() != 1) continue;
+    const int t = ops[i].inputs[0];
+    auto res_idx = next_touching(ops, i + 1, t);
+    if (!res_idx || ops[*res_idx].kind != OpKind::kAddResidual) continue;
+    if (ops[*res_idx].inputs.size() != 2 || ops[*res_idx].inputs[0] != t) {
+      continue;
+    }
+    const int residual = ops[*res_idx].inputs[1];
+    auto ln_idx = next_touching(ops, *res_idx + 1, t);
+    if (!ln_idx || ops[*ln_idx].kind != OpKind::kLayerNorm) continue;
+    if (ops[*ln_idx].inputs.size() != 1 || ops[*ln_idx].inputs[0] != t ||
+        ops[*ln_idx].outputs.size() != 1) {
+      continue;
+    }
+    const int out = ops[*ln_idx].outputs[0];
+
+    // Three kernels -> one: t no longer round-trips twice between them.
+    auto saved = [t_bytes = tensor_bytes(t)](int b, int s) {
+      return 2.0 * 2.0 * t_bytes(b, s);
+    };
+    WorkOp fused{OpKind::kAddBiasLayerNorm,
+                 "AddBiasLayerNorm",
+                 {t, residual},
+                 {out},
+                 combine_costs({ops[i].cost_fn, ops[*res_idx].cost_fn,
+                                ops[*ln_idx].cost_fn},
+                               saved, CostClass::kReduction),
+                 false};
+    ops[*res_idx].removed = true;
+    ops[*ln_idx].removed = true;
+    ops[i] = std::move(fused);
+  }
+
+  // ---- Rule 2: AddBias + Activation --------------------------------------
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].removed || ops[i].kind != OpKind::kAddBias) continue;
+    if (!ops[i].outputs.empty() || ops[i].inputs.size() != 1) continue;
+    const int t = ops[i].inputs[0];
+    auto act_idx = next_touching(ops, i + 1, t);
+    if (!act_idx || ops[*act_idx].kind != OpKind::kActivation) continue;
+    if (!ops[*act_idx].outputs.empty()) continue;
+
+    auto saved = [t_bytes = tensor_bytes(t)](int b, int s) {
+      return 2.0 * t_bytes(b, s);
+    };
+    WorkOp fused{OpKind::kAddBiasAct,
+                 "AddBiasAct",
+                 {t},
+                 {},
+                 combine_costs({ops[i].cost_fn, ops[*act_idx].cost_fn}, saved,
+                               CostClass::kElementwise),
+                 false};
+    ops[*act_idx].removed = true;
+    ops[i] = std::move(fused);
+  }
+
+  // ---- Rule 4: the attention-context transpose ---------------------------
+  // A Transpose whose input is produced by a BatchedGemm is the
+  // [B,h,S,d] -> [B,S,H] re-layout; Turbo implements it as one kernel.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].removed || ops[i].kind != OpKind::kTranspose) continue;
+    const int in = ops[i].inputs.at(0);
+    bool from_batched_gemm = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (ops[j].removed) continue;
+      if (ops[j].kind == OpKind::kBatchedGemm &&
+          std::find(ops[j].outputs.begin(), ops[j].outputs.end(), in) !=
+              ops[j].outputs.end()) {
+        from_batched_gemm = true;
+        break;
+      }
+    }
+    if (from_batched_gemm) {
+      ops[i].kind = OpKind::kTransposeForScore;
+      ops[i].name = "TransposeForScore";
+    }
+  }
+
+  // ---- Rebuild ------------------------------------------------------------
+  Graph fused;
+  for (const auto& t : tensors) {
+    fused.add_tensor(t.name, t.size_fn, t.is_input, t.is_output);
+  }
+  for (auto& op : ops) {
+    if (op.removed) continue;
+    fused.add_op(op.kind, op.name, op.inputs, op.outputs, op.cost_fn);
+  }
+  fused.validate();
+  return fused;
+}
+
+}  // namespace turbo::graph

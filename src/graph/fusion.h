@@ -1,0 +1,29 @@
+// Kernel-fusion pass (paper §4.1.1, Figure 3).
+//
+// Rewrites a training-framework-style op stream into TurboTransformers'
+// fused form by collapsing every non-GEMM chain between two GEMMs into a
+// single kernel:
+//
+//   1. three GEMMs sharing an input, each followed by add-bias + transpose
+//        -> FusedGemm012 + SplitAddBiasTranspose          (QKV projection)
+//   2. add-bias then activation, in place on one tensor
+//        -> AddBiasAct
+//   3. add-bias, residual-add, layernorm
+//        -> AddBiasLayerNorm
+//   4. the attention-output transpose
+//        -> TransposeForScore
+//
+// Fused-op costs are synthesized from the constituents: FLOPs add up, and
+// each eliminated kernel boundary saves one write + one read of the carrier
+// tensor (fusion's whole point: data stays in registers between the
+// original kernels).
+#pragma once
+
+#include "graph/graph.h"
+
+namespace turbo::graph {
+
+// Returns the fused graph. The input graph is not modified.
+Graph fuse(const Graph& g);
+
+}  // namespace turbo::graph

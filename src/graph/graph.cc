@@ -1,0 +1,159 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace turbo::graph {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kGemm: return "Gemm";
+    case OpKind::kBatchedGemm: return "BatchedGemm";
+    case OpKind::kAddBias: return "AddBias";
+    case OpKind::kTranspose: return "Transpose";
+    case OpKind::kSoftmax: return "Softmax";
+    case OpKind::kLayerNorm: return "LayerNorm";
+    case OpKind::kActivation: return "Activation";
+    case OpKind::kAddResidual: return "AddResidual";
+    case OpKind::kFusedGemm012: return "FusedGemm012";
+    case OpKind::kSplitAddBiasTranspose: return "SplitAddBiasTranspose";
+    case OpKind::kSoftmaxBatchedGemm: return "SoftmaxBatchedGemm";
+    case OpKind::kTransposeForScore: return "TransposeForScore";
+    case OpKind::kAddBiasLayerNorm: return "AddBiasLayerNorm";
+    case OpKind::kAddBiasAct: return "AddBiasAct";
+    case OpKind::kGemmAddBiasLayerNorm: return "GemmAddBiasLayerNorm";
+    case OpKind::kEmbeddingLookup: return "EmbeddingLookup";
+  }
+  return "Unknown";
+}
+
+bool is_fused_kind(OpKind kind) {
+  switch (kind) {
+    case OpKind::kFusedGemm012:
+    case OpKind::kSplitAddBiasTranspose:
+    case OpKind::kSoftmaxBatchedGemm:
+    case OpKind::kTransposeForScore:
+    case OpKind::kAddBiasLayerNorm:
+    case OpKind::kAddBiasAct:
+    case OpKind::kGemmAddBiasLayerNorm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int Graph::add_tensor(std::string name,
+                      std::function<size_t(int, int)> size_fn,
+                      bool graph_input, bool graph_output) {
+  TensorSpec spec;
+  spec.id = static_cast<int>(tensors_.size());
+  spec.name = std::move(name);
+  spec.size_fn = std::move(size_fn);
+  spec.is_graph_input = graph_input;
+  spec.is_graph_output = graph_output;
+  tensors_.push_back(std::move(spec));
+  return tensors_.back().id;
+}
+
+int Graph::add_op(OpKind kind, std::string name, std::vector<int> inputs,
+                  std::vector<int> outputs,
+                  std::function<OpCost(int, int)> cost_fn) {
+  OpNode node;
+  node.id = static_cast<int>(ops_.size());
+  node.kind = kind;
+  node.name = std::move(name);
+  node.inputs = std::move(inputs);
+  node.outputs = std::move(outputs);
+  node.cost_fn = std::move(cost_fn);
+  for (int t : node.inputs) {
+    TT_CHECK_GE(t, 0);
+    TT_CHECK_LT(t, num_tensors());
+  }
+  for (int t : node.outputs) {
+    TT_CHECK_GE(t, 0);
+    TT_CHECK_LT(t, num_tensors());
+  }
+  ops_.push_back(std::move(node));
+  return ops_.back().id;
+}
+
+const TensorSpec& Graph::tensor(int id) const {
+  TT_CHECK_GE(id, 0);
+  TT_CHECK_LT(id, num_tensors());
+  return tensors_[static_cast<size_t>(id)];
+}
+
+const OpNode& Graph::op(int id) const {
+  TT_CHECK_GE(id, 0);
+  TT_CHECK_LT(id, num_ops());
+  return ops_[static_cast<size_t>(id)];
+}
+
+void Graph::validate() const {
+  // Tensors referenced by no op at all are permitted: rewrite passes (e.g.
+  // fusion) may orphan tensors of the original graph; lifetime extraction
+  // skips them.
+  std::vector<int> producer(tensors_.size(), -1);
+  for (const auto& node : ops_) {
+    for (int t : node.inputs) {
+      const auto& spec = tensors_[static_cast<size_t>(t)];
+      TT_CHECK_MSG(spec.is_graph_input || producer[static_cast<size_t>(t)] >= 0,
+                   "op " << node.name << " consumes tensor " << spec.name
+                         << " before it is produced");
+    }
+    for (int t : node.outputs) {
+      TT_CHECK_MSG(producer[static_cast<size_t>(t)] < 0,
+                   "tensor " << tensors_[static_cast<size_t>(t)].name
+                             << " produced twice");
+      producer[static_cast<size_t>(t)] = node.id;
+    }
+  }
+}
+
+std::vector<memory::TensorUsage> Graph::tensor_usages(int batch,
+                                                      int seq) const {
+  TT_CHECK_GT(batch, 0);
+  TT_CHECK_GT(seq, 0);
+  std::vector<int> first(tensors_.size(), -1), last(tensors_.size(), -1);
+  for (const auto& node : ops_) {
+    for (int t : node.outputs) {
+      if (first[static_cast<size_t>(t)] < 0) first[static_cast<size_t>(t)] = node.id;
+      last[static_cast<size_t>(t)] =
+          std::max(last[static_cast<size_t>(t)], node.id);
+    }
+    for (int t : node.inputs) {
+      if (first[static_cast<size_t>(t)] < 0) first[static_cast<size_t>(t)] = node.id;
+      last[static_cast<size_t>(t)] =
+          std::max(last[static_cast<size_t>(t)], node.id);
+    }
+  }
+  std::vector<memory::TensorUsage> usages;
+  usages.reserve(tensors_.size());
+  for (const auto& spec : tensors_) {
+    const auto idx = static_cast<size_t>(spec.id);
+    memory::TensorUsage u;
+    u.tensor_id = spec.id;
+    u.name = spec.name;
+    u.first_op = spec.is_graph_input ? 0 : first[idx];
+    u.last_op = spec.is_graph_output ? num_ops() - 1 : last[idx];
+    if (u.first_op < 0) continue;  // dead tensor: never touched by any op
+    u.size = spec.size_fn(batch, seq);
+    if (u.size == 0) continue;
+    usages.push_back(std::move(u));
+  }
+  return usages;
+}
+
+size_t Graph::peak_live_bytes(int batch, int seq) const {
+  const auto usages = tensor_usages(batch, seq);
+  size_t peak = 0;
+  for (int op = 0; op < num_ops(); ++op) {
+    size_t live = 0;
+    for (const auto& u : usages) {
+      if (u.first_op <= op && op <= u.last_op) live += u.size;
+    }
+    peak = std::max(peak, live);
+  }
+  return peak;
+}
+
+}  // namespace turbo::graph

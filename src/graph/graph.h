@@ -1,0 +1,119 @@
+// Computation-graph IR.
+//
+// Nodes are operators, edges are intermediate tensors (paper §4.1.1). The
+// graph is symbolic over (batch, seq_len): tensor sizes and per-op workloads
+// are functions of the request's dimensions, evaluated when a request of a
+// concrete length arrives. Two consumers use this:
+//   * src/memory — tensor_usages() yields {first_op, last_op, size} records
+//     (the input to allocator Algorithm 1 and to the GSOC baseline);
+//   * src/perfmodel — op_cost() yields the analytic workload of each op.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "memory/allocator.h"
+
+namespace turbo::graph {
+
+enum class OpKind {
+  // unfused (training-framework style, Fig. 3a)
+  kGemm,
+  kBatchedGemm,
+  kAddBias,
+  kTranspose,
+  kSoftmax,
+  kLayerNorm,
+  kActivation,  // GELU
+  kAddResidual,
+  // fused (TurboTransformers, Fig. 3b)
+  kFusedGemm012,            // one GEMM producing packed QKV
+  kSplitAddBiasTranspose,   // split QKV + bias + [B,S,H]->[B,h,S,d]
+  kSoftmaxBatchedGemm,      // masked softmax fused into the PV GEMM
+  kTransposeForScore,       // [B,h,S,d]->[B,S,H]
+  kAddBiasLayerNorm,        // bias + residual + layernorm
+  kAddBiasAct,              // bias + GELU
+  kGemmAddBiasLayerNorm,    // output GEMM + bias + residual + layernorm
+  // embedding front-end
+  kEmbeddingLookup,
+};
+
+const char* op_kind_name(OpKind kind);
+
+// True for kinds produced by the fusion pass (not expressible with
+// stock cuDNN/cuBLAS building blocks).
+bool is_fused_kind(OpKind kind);
+
+// Class of an op for the performance model.
+enum class CostClass {
+  kGemm,        // compute-bound, roofline on FLOPs
+  kReduction,   // softmax / layernorm: costed by the gpusim batch-reduction
+  kElementwise, // bandwidth-bound
+};
+
+struct OpCost {
+  CostClass cls = CostClass::kElementwise;
+  double flops = 0;       // for kGemm
+  double bytes = 0;       // gmem traffic (all classes)
+  long reduce_rows = 0;   // for kReduction
+  long reduce_cols = 0;
+  bool fused_with_gemm = false;  // reduction fused into a GEMM epilogue
+};
+
+struct TensorSpec {
+  int id = -1;
+  std::string name;
+  // bytes as a function of (batch, seq_len)
+  std::function<size_t(int, int)> size_fn;
+  bool is_graph_input = false;   // alive from op 0
+  bool is_graph_output = false;  // alive through the last op
+};
+
+struct OpNode {
+  int id = -1;  // position in topological order
+  OpKind kind;
+  std::string name;
+  std::vector<int> inputs;   // tensor ids
+  std::vector<int> outputs;  // tensor ids
+  std::function<OpCost(int, int)> cost_fn;
+};
+
+class Graph {
+ public:
+  // Returns the tensor id.
+  int add_tensor(std::string name, std::function<size_t(int, int)> size_fn,
+                 bool graph_input = false, bool graph_output = false);
+
+  // Appends an op (construction order == topological order). Returns op id.
+  int add_op(OpKind kind, std::string name, std::vector<int> inputs,
+             std::vector<int> outputs,
+             std::function<OpCost(int, int)> cost_fn);
+
+  int num_tensors() const { return static_cast<int>(tensors_.size()); }
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  const TensorSpec& tensor(int id) const;
+  const OpNode& op(int id) const;
+  const std::vector<OpNode>& ops() const { return ops_; }
+  const std::vector<TensorSpec>& tensors() const { return tensors_; }
+
+  // Checks structural sanity: every tensor referenced exists, every
+  // non-input tensor has exactly one producer, which precedes all consumers.
+  void validate() const;
+
+  // Lifetime records for one request: first_op = producer (0 for graph
+  // inputs), last_op = last consumer (last op for graph outputs). The input
+  // to memory allocator planning.
+  std::vector<memory::TensorUsage> tensor_usages(int batch, int seq) const;
+
+  // Sum of all tensor sizes alive at the given op — used to compute the
+  // footprint lower bound max_op(live_bytes).
+  size_t peak_live_bytes(int batch, int seq) const;
+
+ private:
+  std::vector<TensorSpec> tensors_;
+  std::vector<OpNode> ops_;
+};
+
+}  // namespace turbo::graph

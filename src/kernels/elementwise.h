@@ -1,0 +1,42 @@
+// Element-wise and layout kernels (the "embarrassingly parallel" class of
+// paper §4.1.1), including the fused variants TurboTransformers adds:
+// combined add-bias + activation and the split/transpose kernels that have
+// no cuDNN equivalent.
+//
+// Layout conventions (all row-major):
+//   activations  [B, S, H]          H = heads * head_dim
+//   per-head     [B, heads, S, d]
+//   packed QKV   [B, S, 3, H]       (projection weight packed [H, 3H])
+#pragma once
+
+namespace turbo::kernels {
+
+// data[r, c] += bias[c]
+void add_bias(float* data, const float* bias, long rows, long cols);
+
+// GELU (tanh approximation, as in BERT).
+float gelu_scalar(float x);
+void gelu(float* data, long n);
+
+// Fused: data[r, c] = gelu(data[r, c] + bias[c])
+void add_bias_gelu(float* data, const float* bias, long rows, long cols);
+
+// x[i] += residual[i]
+void add_residual(float* x, const float* residual, long n);
+
+// Packed QKV [B, S, 3, H] + packed bias [3, H] -> three [B, heads, S, d]
+// tensors. The fused replacement for three bias-adds and three transposes.
+void split_add_bias_transpose(const float* qkv, const float* bias, float* q,
+                              float* k, float* v, int batch, int seq,
+                              int heads, int head_dim);
+
+// [B, S, H] + bias[H] -> [B, heads, S, d]  (unfused pipeline's per-tensor
+// transpose; bias pass kept separate in the unfused path).
+void transpose_to_heads(const float* in, float* out, int batch, int seq,
+                        int heads, int head_dim);
+
+// [B, heads, S, d] -> [B, S, H]  (context re-layout after attention).
+void transpose_for_score(const float* in, float* out, int batch, int seq,
+                         int heads, int head_dim);
+
+}  // namespace turbo::kernels

@@ -1,0 +1,42 @@
+#include "kernels/embedding.h"
+
+#include "common/check.h"
+#include "kernels/reduction.h"
+
+namespace turbo::kernels {
+
+void embedding_lookup_layernorm(float* out, const int32_t* ids,
+                                const float* word, const float* pos,
+                                const float* seg, const int32_t* seg_ids,
+                                const float* gamma, const float* beta,
+                                int batch, int seq, int hidden, int vocab,
+                                int max_pos, float eps) {
+  TT_CHECK_LE(seq, max_pos);
+  // Validate ids up front: exceptions cannot propagate out of the parallel
+  // region below.
+  for (long i = 0; i < static_cast<long>(batch) * seq; ++i) {
+    TT_CHECK_GE(ids[i], 0);
+    TT_CHECK_LT(ids[i], vocab);
+  }
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int b = 0; b < batch; ++b) {
+    for (int s = 0; s < seq; ++s) {
+      const long row = static_cast<long>(b) * seq + s;
+      const int32_t id = ids[row];
+      const float* w = word + static_cast<long>(id) * hidden;
+      const float* p = pos + static_cast<long>(s) * hidden;
+      const float* g = nullptr;
+      if (seg != nullptr && seg_ids != nullptr) {
+        g = seg + static_cast<long>(seg_ids[row]) * hidden;
+      }
+      float* dst = out + row * hidden;
+      for (int h = 0; h < hidden; ++h) {
+        dst[h] = w[h] + p[h] + (g ? g[h] : 0.0f);
+      }
+    }
+  }
+  layernorm(out, out, gamma, beta, static_cast<long>(batch) * seq, hidden,
+            eps);
+}
+
+}  // namespace turbo::kernels

@@ -1,0 +1,19 @@
+// Embedding front-end: token + position (+ optional segment) lookup
+// followed by layernorm, as in BERT's embedding block.
+#pragma once
+
+#include <cstdint>
+
+namespace turbo::kernels {
+
+// out[b, s, :] = layernorm(word[ids[b, s]] + pos[s] (+ seg[seg_ids[b, s]]))
+// ids: [batch, seq]; word: [vocab, hidden]; pos: [max_pos, hidden];
+// seg/seg_ids may be null.
+void embedding_lookup_layernorm(float* out, const int32_t* ids,
+                                const float* word, const float* pos,
+                                const float* seg, const int32_t* seg_ids,
+                                const float* gamma, const float* beta,
+                                int batch, int seq, int hidden, int vocab,
+                                int max_pos, float eps = 1e-5f);
+
+}  // namespace turbo::kernels

@@ -1,0 +1,85 @@
+#include "kernels/fp16.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "kernels/gemm.h"
+
+namespace turbo::kernels {
+
+uint16_t fp32_to_fp16_bits(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const int32_t exp = static_cast<int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+  uint32_t mant = bits & 0x7fffffu;
+
+  if (exp >= 0x1f) {
+    // Overflow to infinity; preserve NaN payload bit.
+    const bool is_nan = ((bits >> 23) & 0xffu) == 0xffu && mant != 0;
+    return static_cast<uint16_t>(sign | 0x7c00u | (is_nan ? 0x200u : 0u));
+  }
+  if (exp <= 0) {
+    if (exp < -10) return static_cast<uint16_t>(sign);  // underflow to zero
+    // Subnormal: shift in the implicit bit, round to nearest even.
+    mant |= 0x800000u;
+    const int shift = 14 - exp;
+    const uint32_t rounded = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1);
+    const uint32_t half = 1u << (shift - 1);
+    uint32_t result = rounded;
+    if (rem > half || (rem == half && (rounded & 1u))) ++result;
+    return static_cast<uint16_t>(sign | result);
+  }
+  // Normal: round the 23-bit mantissa to 10 bits, nearest even.
+  uint32_t result = (static_cast<uint32_t>(exp) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (result & 1u))) ++result;
+  return static_cast<uint16_t>(sign | result);
+}
+
+float fp16_bits_to_fp32(uint16_t bits) {
+  const uint32_t sign = (static_cast<uint32_t>(bits) & 0x8000u) << 16;
+  const uint32_t exp = (bits >> 10) & 0x1fu;
+  const uint32_t mant = bits & 0x3ffu;
+  uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      out = sign | ((127 - 15 - e) << 23) | ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1f) {
+    out = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float value;
+  std::memcpy(&value, &out, sizeof(value));
+  return value;
+}
+
+void round_buffer_to_fp16(float* data, long n) {
+#pragma omp parallel for schedule(static)
+  for (long i = 0; i < n; ++i) data[i] = round_to_fp16(data[i]);
+}
+
+void gemm_fp16(const float* a, const float* b, float* c, int m, int n, int k,
+               bool trans_b) {
+  std::vector<float> a16(a, a + static_cast<long>(m) * k);
+  std::vector<float> b16(b, b + (trans_b ? static_cast<long>(n) * k
+                                         : static_cast<long>(k) * n));
+  round_buffer_to_fp16(a16.data(), static_cast<long>(a16.size()));
+  round_buffer_to_fp16(b16.data(), static_cast<long>(b16.size()));
+  gemm(a16.data(), b16.data(), c, m, n, k, trans_b);
+}
+
+}  // namespace turbo::kernels

@@ -1,0 +1,35 @@
+// IEEE binary16 conversion and fp16-accumulated GEMM emulation.
+//
+// The Turbo-TC configuration runs GEMMs on tensor cores, which consume fp16
+// operands (fp32 accumulation). The paper states this "introduces minimal
+// and acceptable precision loss" versus FP32 — these helpers let the test
+// suite and the precision benchmark quantify that loss: operands are
+// rounded through binary16 before an fp32-accumulated GEMM, exactly the
+// numeric contract of mma.sync.
+#pragma once
+
+#include <cstdint>
+
+namespace turbo::kernels {
+
+// Round-to-nearest-even conversion to IEEE binary16, returned as the bit
+// pattern. Handles subnormals, infinities and NaN.
+uint16_t fp32_to_fp16_bits(float value);
+
+// Exact widening conversion from binary16 bits.
+float fp16_bits_to_fp32(uint16_t bits);
+
+// Convenience: round an fp32 value through fp16 precision.
+inline float round_to_fp16(float value) {
+  return fp16_bits_to_fp32(fp32_to_fp16_bits(value));
+}
+
+// In-place rounding of a buffer through fp16.
+void round_buffer_to_fp16(float* data, long n);
+
+// C = A x op(B) with both operands rounded to fp16 and fp32 accumulation
+// (tensor-core numeric contract). Shapes as kernels::gemm.
+void gemm_fp16(const float* a, const float* b, float* c, int m, int n, int k,
+               bool trans_b = false);
+
+}  // namespace turbo::kernels

@@ -1,0 +1,93 @@
+#include "kernels/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace turbo::kernels {
+
+namespace {
+constexpr int kBlockM = 64;
+constexpr int kBlockK = 256;
+}  // namespace
+
+void gemm_ref(const float* a, const float* b, float* c, int m, int n, int k,
+              bool trans_b, float alpha, float beta) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        const float bv = trans_b ? b[static_cast<long>(j) * k + kk]
+                                 : b[static_cast<long>(kk) * n + j];
+        acc += static_cast<double>(a[static_cast<long>(i) * k + kk]) * bv;
+      }
+      float* out = &c[static_cast<long>(i) * n + j];
+      *out = alpha * static_cast<float>(acc) + beta * *out;
+    }
+  }
+}
+
+void gemm(const float* a, const float* b, float* c, int m, int n, int k,
+          bool trans_b, float alpha, float beta) {
+  TT_CHECK_GE(m, 0);
+  TT_CHECK_GE(n, 0);
+  TT_CHECK_GE(k, 0);
+  if (m == 0 || n == 0) return;
+
+  // Scale / clear C once, then accumulate panels.
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < m; ++i) {
+    float* row = &c[static_cast<long>(i) * n];
+    if (beta == 0.0f) {
+      std::memset(row, 0, static_cast<size_t>(n) * sizeof(float));
+    } else if (beta != 1.0f) {
+      for (int j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+
+  if (!trans_b) {
+    // i-k-j loops: the j inner loop streams B and C rows (vectorizes).
+#pragma omp parallel for schedule(static)
+    for (int i0 = 0; i0 < m; i0 += kBlockM) {
+      const int i1 = std::min(m, i0 + kBlockM);
+      for (int k0 = 0; k0 < k; k0 += kBlockK) {
+        const int k1 = std::min(k, k0 + kBlockK);
+        for (int i = i0; i < i1; ++i) {
+          float* crow = &c[static_cast<long>(i) * n];
+          for (int kk = k0; kk < k1; ++kk) {
+            const float av = alpha * a[static_cast<long>(i) * k + kk];
+            const float* brow = &b[static_cast<long>(kk) * n];
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  } else {
+    // C[i,j] = dot(A row i, B row j): contiguous in both operands.
+#pragma omp parallel for schedule(static)
+    for (int i = 0; i < m; ++i) {
+      const float* arow = &a[static_cast<long>(i) * k];
+      float* crow = &c[static_cast<long>(i) * n];
+      for (int j = 0; j < n; ++j) {
+        const float* brow = &b[static_cast<long>(j) * k];
+        float acc = 0.0f;
+        for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+void batched_gemm(const float* a, const float* b, float* c, int batch, int m,
+                  int n, int k, long stride_a, long stride_b, long stride_c,
+                  bool trans_b, float alpha, float beta) {
+  TT_CHECK_GE(batch, 0);
+  for (int i = 0; i < batch; ++i) {
+    gemm(a + static_cast<long>(i) * stride_a,
+         b + static_cast<long>(i) * stride_b,
+         c + static_cast<long>(i) * stride_c, m, n, k, trans_b, alpha, beta);
+  }
+}
+
+}  // namespace turbo::kernels

@@ -1,0 +1,26 @@
+// CPU GEMM kernels standing in for cuBLAS.
+//
+// Row-major single precision. The optimized path is blocked over M/K with
+// OpenMP across row blocks and a vectorizable inner loop; gemm_ref is the
+// naive triple loop used as the test oracle. Numerics here are exact; GPU
+// *timing* for GEMMs comes from the roofline in src/perfmodel.
+#pragma once
+
+namespace turbo::kernels {
+
+// C[m,n] = alpha * A[m,k] x op(B) + beta * C, op(B) = B[k,n] or
+// transposed B[n,k] when trans_b.
+void gemm(const float* a, const float* b, float* c, int m, int n, int k,
+          bool trans_b = false, float alpha = 1.0f, float beta = 0.0f);
+
+// Reference implementation (naive, single-threaded).
+void gemm_ref(const float* a, const float* b, float* c, int m, int n, int k,
+              bool trans_b = false, float alpha = 1.0f, float beta = 0.0f);
+
+// Strided batched GEMM (cublasGemmStridedBatched): `batch` independent
+// GEMMs whose A/B/C start `stride_* ` floats apart.
+void batched_gemm(const float* a, const float* b, float* c, int batch, int m,
+                  int n, int k, long stride_a, long stride_b, long stride_c,
+                  bool trans_b = false, float alpha = 1.0f, float beta = 0.0f);
+
+}  // namespace turbo::kernels

@@ -1,0 +1,58 @@
+#include "memory/allocator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace turbo::memory {
+
+void DeviceTracker::on_malloc(size_t bytes) {
+  ++stats_.device_malloc_count;
+  stats_.device_malloc_bytes += bytes;
+  stats_.current_device_bytes += bytes;
+  stats_.peak_device_bytes =
+      std::max(stats_.peak_device_bytes, stats_.current_device_bytes);
+}
+
+void DeviceTracker::on_free(size_t bytes) {
+  ++stats_.device_free_count;
+  stats_.device_free_bytes += bytes;
+  TT_CHECK_GE(stats_.current_device_bytes, bytes);
+  stats_.current_device_bytes -= bytes;
+}
+
+double DeviceTracker::total_stall_us() const {
+  return static_cast<double>(stats_.device_malloc_count) * kMallocStallUs +
+         static_cast<double>(stats_.device_free_count) * kFreeStallUs;
+}
+
+void validate_plan(const std::vector<TensorUsage>& usages,
+                   const InferencePlan& plan) {
+  for (const auto& u : usages) {
+    auto it = plan.placements.find(u.tensor_id);
+    TT_CHECK_MSG(it != plan.placements.end(),
+                 "tensor " << u.tensor_id << " (" << u.name
+                           << ") not placed");
+    TT_CHECK_MSG(it->second.ptr != nullptr,
+                 "tensor " << u.tensor_id << " has null placement");
+  }
+  // Overlapping lifetimes must occupy disjoint address ranges.
+  for (size_t i = 0; i < usages.size(); ++i) {
+    const auto& a = usages[i];
+    const auto pa = plan.placements.at(a.tensor_id);
+    for (size_t j = i + 1; j < usages.size(); ++j) {
+      const auto& b = usages[j];
+      if (!lifetimes_overlap(a, b)) continue;
+      const auto pb = plan.placements.at(b.tensor_id);
+      const auto* a_begin = pa.ptr;
+      const auto* a_end = pa.ptr + a.size;
+      const auto* b_begin = pb.ptr;
+      const auto* b_end = pb.ptr + b.size;
+      const bool disjoint = a_end <= b_begin || b_end <= a_begin;
+      TT_CHECK_MSG(disjoint, "live tensors overlap: " << a.name << " and "
+                                                      << b.name);
+    }
+  }
+}
+
+}  // namespace turbo::memory

@@ -1,0 +1,114 @@
+// Allocator interfaces for intermediate (activation) tensors.
+//
+// The paper compares four strategies for variable-length inference
+// (§4.2, Figs. 11-13):
+//   * cudaMalloc/cudaFree per tensor              -> NaiveAllocator
+//   * caching allocator (PyTorch / NVlabs cub)    -> CubCachingAllocator
+//   * BFC arena (onnxruntime)                     -> BfcArenaAllocator
+//   * greedy-by-size offset planning (GSOC [24])  -> GsocPlanner
+//   * TurboTransformers' chunked, graph-aware,
+//     per-request re-planning allocator (Alg. 1)  -> ModelAwareAllocator
+//
+// All of them implement IntermediateAllocator: once per inference they
+// receive the request's tensor usage records (sizes already resolved for the
+// sequence length, lifetimes from the computation graph topological order)
+// and return real host placements standing in for device addresses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace turbo::memory {
+
+// Lifetime + size of one intermediate tensor within one inference.
+// first_op/last_op are indices into the topological order of the graph:
+// the tensor must be resident for the closed interval [first_op, last_op].
+struct TensorUsage {
+  int tensor_id = 0;
+  int first_op = 0;
+  int last_op = 0;
+  size_t size = 0;
+  std::string name;
+};
+
+// True if two usages are simultaneously alive at some op.
+inline bool lifetimes_overlap(const TensorUsage& a, const TensorUsage& b) {
+  return std::max(a.first_op, b.first_op) <= std::min(a.last_op, b.last_op);
+}
+
+// Where a tensor landed.
+struct Placement {
+  std::byte* ptr = nullptr;
+  int chunk_id = -1;    // -1 for allocators without chunk structure
+  size_t offset = 0;
+};
+
+// Cumulative device-memory activity of an allocator.
+struct AllocatorStats {
+  size_t device_malloc_count = 0;
+  size_t device_free_count = 0;
+  size_t device_malloc_bytes = 0;
+  size_t device_free_bytes = 0;
+  size_t current_device_bytes = 0;  // reserved right now
+  size_t peak_device_bytes = 0;
+};
+
+// Result of planning one inference.
+struct InferencePlan {
+  std::unordered_map<int, Placement> placements;
+  size_t footprint_bytes = 0;        // device bytes reserved after planning
+  size_t inference_malloc_bytes = 0; // device malloc traffic this inference
+  size_t inference_free_bytes = 0;   // device free traffic this inference
+  size_t inference_malloc_count = 0;
+  size_t inference_free_count = 0;
+  double planning_us = 0.0;          // measured wall time of the planner
+
+  size_t traffic_bytes() const {
+    return inference_malloc_bytes + inference_free_bytes;
+  }
+};
+
+class IntermediateAllocator {
+ public:
+  virtual ~IntermediateAllocator() = default;
+
+  virtual std::string name() const = 0;
+
+  // Plan (and back with real storage) all intermediate tensors of one
+  // inference. Placements stay valid until the next begin_inference call.
+  virtual InferencePlan begin_inference(
+      const std::vector<TensorUsage>& usages) = 0;
+
+  virtual const AllocatorStats& stats() const = 0;
+};
+
+// Device malloc/free bookkeeping shared by the concrete allocators. Models
+// cudaMalloc/cudaFree: tracks counts, bytes, peak, and exposes a modeled
+// stall cost (cudaMalloc/cudaFree synchronize the device).
+class DeviceTracker {
+ public:
+  void on_malloc(size_t bytes);
+  void on_free(size_t bytes);
+  const AllocatorStats& stats() const { return stats_; }
+
+  // Modeled wall-time cost of the device calls made so far (used by the
+  // performance model to charge allocator stalls).
+  static constexpr double kMallocStallUs = 150.0;
+  static constexpr double kFreeStallUs = 80.0;
+  double total_stall_us() const;
+
+ private:
+  AllocatorStats stats_;
+};
+
+// Validates that a plan places every usage and that tensors with
+// overlapping lifetimes never overlap in memory. Throws CheckError on
+// violation. Shared by tests and by debug assertions in the allocators.
+void validate_plan(const std::vector<TensorUsage>& usages,
+                   const InferencePlan& plan);
+
+}  // namespace turbo::memory

@@ -1,0 +1,217 @@
+#include "memory/dynamic_allocators.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace turbo::memory {
+
+// --------------------------- NaiveDeviceAllocator ---------------------------
+
+std::byte* NaiveDeviceAllocator::alloc(size_t bytes) {
+  TT_CHECK_GT(bytes, 0u);
+  Block block{AlignedBuffer(bytes)};
+  std::byte* ptr = block.buffer.data();
+  tracker_.on_malloc(bytes);
+  live_.emplace(ptr, std::move(block));
+  return ptr;
+}
+
+void NaiveDeviceAllocator::free(std::byte* ptr) {
+  auto it = live_.find(ptr);
+  TT_CHECK_MSG(it != live_.end(), "free of unknown pointer");
+  tracker_.on_free(it->second.buffer.size());
+  live_.erase(it);
+}
+
+// --------------------------- CubCachingAllocator ----------------------------
+
+CubCachingAllocator::CubCachingAllocator(size_t min_bin_bytes)
+    : min_bin_bytes_(min_bin_bytes) {
+  TT_CHECK_GT(min_bin_bytes, 0u);
+}
+
+size_t CubCachingAllocator::bin_for(size_t bytes) const {
+  size_t bin = min_bin_bytes_;
+  while (bin < bytes) bin <<= 1;
+  return bin;
+}
+
+std::byte* CubCachingAllocator::alloc(size_t bytes) {
+  TT_CHECK_GT(bytes, 0u);
+  const size_t bin = bin_for(bytes);
+  auto it = cache_.find(bin);
+  if (it != cache_.end() && !it->second.empty()) {
+    Block block = std::move(it->second.back());
+    it->second.pop_back();
+    std::byte* ptr = block.buffer.data();
+    live_.emplace(ptr, std::move(block));
+    return ptr;  // cache hit: no device call
+  }
+  Block block{AlignedBuffer(bin), bin};
+  tracker_.on_malloc(bin);
+  std::byte* ptr = block.buffer.data();
+  live_.emplace(ptr, std::move(block));
+  return ptr;
+}
+
+void CubCachingAllocator::free(std::byte* ptr) {
+  auto it = live_.find(ptr);
+  TT_CHECK_MSG(it != live_.end(), "free of unknown pointer");
+  Block block = std::move(it->second);
+  live_.erase(it);
+  // Returned to the cache, not the device: the footprint ratchet.
+  cache_[block.bin_size].push_back(std::move(block));
+}
+
+void CubCachingAllocator::empty_cache() {
+  for (auto& [bin, blocks] : cache_) {
+    for (auto& b : blocks) tracker_.on_free(b.bin_size);
+    blocks.clear();
+  }
+  cache_.clear();
+}
+
+size_t CubCachingAllocator::cached_bytes() const {
+  size_t total = 0;
+  for (const auto& [bin, blocks] : cache_) total += bin * blocks.size();
+  return total;
+}
+
+// ---------------------------- BfcArenaAllocator -----------------------------
+
+BfcArenaAllocator::BfcArenaAllocator(size_t initial_region_bytes)
+    : next_region_bytes_(initial_region_bytes) {
+  TT_CHECK_GT(initial_region_bytes, 0u);
+}
+
+void BfcArenaAllocator::add_region(size_t bytes) {
+  Region region;
+  region.buffer = AlignedBuffer(bytes);
+  region.chunks.push_back(Chunk{regions_.size(), 0, bytes, true});
+  tracker_.on_malloc(bytes);
+  regions_.push_back(std::move(region));
+}
+
+std::byte* BfcArenaAllocator::alloc(size_t bytes) {
+  TT_CHECK_GT(bytes, 0u);
+  const size_t need = (bytes + kGranularity - 1) / kGranularity * kGranularity;
+
+  // Best-fit over all regions' free chunks.
+  size_t best_region = 0;
+  std::list<Chunk>::iterator best_it;
+  size_t best_size = std::numeric_limits<size_t>::max();
+  bool found = false;
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    for (auto it = regions_[r].chunks.begin(); it != regions_[r].chunks.end();
+         ++it) {
+      if (it->free && it->size >= need && it->size < best_size) {
+        best_region = r;
+        best_it = it;
+        best_size = it->size;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    // Grow: onnxruntime's BFC arena extends by doubling regions.
+    while (next_region_bytes_ < need) next_region_bytes_ <<= 1;
+    add_region(next_region_bytes_);
+    next_region_bytes_ <<= 1;
+    best_region = regions_.size() - 1;
+    best_it = regions_.back().chunks.begin();
+  }
+
+  Region& region = regions_[best_region];
+  // Split the remainder back into the free list.
+  if (best_it->size > need) {
+    Chunk rest{best_region, best_it->offset + need, best_it->size - need,
+               true};
+    auto next = std::next(best_it);
+    region.chunks.insert(next, rest);
+    best_it->size = need;
+  }
+  best_it->free = false;
+  std::byte* ptr = chunk_ptr(*best_it);
+  live_[ptr] = {best_region, best_it};
+  return ptr;
+}
+
+void BfcArenaAllocator::free(std::byte* ptr) {
+  auto it = live_.find(ptr);
+  TT_CHECK_MSG(it != live_.end(), "free of unknown pointer");
+  auto [region_idx, chunk_it] = it->second;
+  live_.erase(it);
+
+  Region& region = regions_[region_idx];
+  chunk_it->free = true;
+  // Coalesce with the next chunk, then with the previous one.
+  auto next = std::next(chunk_it);
+  if (next != region.chunks.end() && next->free) {
+    chunk_it->size += next->size;
+    region.chunks.erase(next);
+  }
+  if (chunk_it != region.chunks.begin()) {
+    auto prev = std::prev(chunk_it);
+    if (prev->free) {
+      prev->size += chunk_it->size;
+      region.chunks.erase(chunk_it);
+    }
+  }
+}
+
+// ------------------------------ ReplayAdapter -------------------------------
+
+ReplayAdapter::ReplayAdapter(std::unique_ptr<DynamicAllocator> inner)
+    : inner_(std::move(inner)) {}
+
+InferencePlan ReplayAdapter::begin_inference(
+    const std::vector<TensorUsage>& usages) {
+  const auto t0 = std::chrono::steady_clock::now();
+  InferencePlan plan;
+
+  const AllocatorStats before = inner_->stats();
+
+  int max_op = 0;
+  for (const auto& u : usages) max_op = std::max(max_op, u.last_op);
+
+  // Bucket tensors by first/last op once (usages are small lists).
+  std::vector<std::vector<const TensorUsage*>> starts(
+      static_cast<size_t>(max_op) + 1),
+      ends(static_cast<size_t>(max_op) + 1);
+  for (const auto& u : usages) {
+    TT_CHECK_LE(u.first_op, u.last_op);
+    starts[static_cast<size_t>(u.first_op)].push_back(&u);
+    ends[static_cast<size_t>(u.last_op)].push_back(&u);
+  }
+
+  std::vector<std::byte*> to_free;
+  for (int op = 0; op <= max_op; ++op) {
+    for (const TensorUsage* u : starts[static_cast<size_t>(op)]) {
+      std::byte* ptr = inner_->alloc(u->size);
+      plan.placements[u->tensor_id] = Placement{ptr, -1, 0};
+    }
+    for (const TensorUsage* u : ends[static_cast<size_t>(op)]) {
+      inner_->free(plan.placements.at(u->tensor_id).ptr);
+    }
+  }
+
+  const AllocatorStats after = inner_->stats();
+  plan.inference_malloc_bytes =
+      after.device_malloc_bytes - before.device_malloc_bytes;
+  plan.inference_free_bytes =
+      after.device_free_bytes - before.device_free_bytes;
+  plan.inference_malloc_count =
+      after.device_malloc_count - before.device_malloc_count;
+  plan.inference_free_count =
+      after.device_free_count - before.device_free_count;
+  plan.footprint_bytes = after.current_device_bytes;
+  plan.planning_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return plan;
+}
+
+}  // namespace turbo::memory

@@ -1,0 +1,142 @@
+// Framework-style dynamic allocators: the baselines that do NOT see the
+// computation graph. They serve an alloc/free call stream; the
+// IntermediateAllocator adapter below replays a request's tensor lifetimes
+// op-by-op against them, which is exactly the stream a training framework's
+// executor would issue.
+//
+//   NaiveDeviceAllocator   — cudaMalloc / cudaFree per tensor.
+//   CubCachingAllocator    — power-of-two binned cache, never returns memory
+//                            to the device (PyTorch / NVlabs-cub behaviour:
+//                            footprint ratchets up to the largest request).
+//   BfcArenaAllocator      — best-fit-with-coalescing arena that grows by
+//                            doubling regions (onnxruntime behaviour).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "memory/allocator.h"
+
+namespace turbo::memory {
+
+// Abstract malloc/free-style device allocator.
+class DynamicAllocator {
+ public:
+  virtual ~DynamicAllocator() = default;
+  virtual std::string name() const = 0;
+  virtual std::byte* alloc(size_t bytes) = 0;
+  virtual void free(std::byte* ptr) = 0;
+  virtual const AllocatorStats& stats() const = 0;
+  virtual double total_stall_us() const = 0;
+};
+
+class NaiveDeviceAllocator final : public DynamicAllocator {
+ public:
+  std::string name() const override { return "cudaMalloc"; }
+  std::byte* alloc(size_t bytes) override;
+  void free(std::byte* ptr) override;
+  const AllocatorStats& stats() const override { return tracker_.stats(); }
+  double total_stall_us() const override { return tracker_.total_stall_us(); }
+
+ private:
+  struct Block {
+    AlignedBuffer buffer;
+  };
+  std::map<std::byte*, Block> live_;
+  DeviceTracker tracker_;
+};
+
+class CubCachingAllocator final : public DynamicAllocator {
+ public:
+  // min_bin_bytes: smallest bin; sizes round up to the next power of two.
+  explicit CubCachingAllocator(size_t min_bin_bytes = 512);
+
+  std::string name() const override { return "PyTorch"; }
+  std::byte* alloc(size_t bytes) override;
+  void free(std::byte* ptr) override;
+  const AllocatorStats& stats() const override { return tracker_.stats(); }
+  double total_stall_us() const override { return tracker_.total_stall_us(); }
+
+  // cudaFree everything cached (torch.cuda.empty_cache()).
+  void empty_cache();
+
+  size_t cached_bytes() const;
+
+ private:
+  struct Block {
+    AlignedBuffer buffer;
+    size_t bin_size;
+  };
+  size_t bin_for(size_t bytes) const;
+
+  size_t min_bin_bytes_;
+  // bin size -> cached free blocks of exactly that size.
+  std::map<size_t, std::vector<Block>> cache_;
+  std::map<std::byte*, Block> live_;
+  DeviceTracker tracker_;
+};
+
+class BfcArenaAllocator final : public DynamicAllocator {
+ public:
+  explicit BfcArenaAllocator(size_t initial_region_bytes = 1 << 20);
+
+  std::string name() const override { return "onnxrt"; }
+  std::byte* alloc(size_t bytes) override;
+  void free(std::byte* ptr) override;
+  const AllocatorStats& stats() const override { return tracker_.stats(); }
+  double total_stall_us() const override { return tracker_.total_stall_us(); }
+
+  size_t num_regions() const { return regions_.size(); }
+
+ private:
+  static constexpr size_t kGranularity = 256;
+
+  struct Chunk {
+    size_t region;
+    size_t offset;
+    size_t size;
+    bool free;
+  };
+  struct Region {
+    AlignedBuffer buffer;
+    // Chunks sorted by offset; adjacent free chunks are coalesced on free.
+    std::list<Chunk> chunks;
+  };
+
+  std::byte* chunk_ptr(const Chunk& c) {
+    return regions_[c.region].buffer.data() + c.offset;
+  }
+  void add_region(size_t bytes);
+
+  size_t next_region_bytes_;
+  std::vector<Region> regions_;
+  std::map<std::byte*, std::pair<size_t, std::list<Chunk>::iterator>> live_;
+  DeviceTracker tracker_;
+};
+
+// Adapts a DynamicAllocator to the per-inference planning interface by
+// replaying tensor lifetimes in topological-op order: at op i every tensor
+// with first_op == i is allocated; after op i every tensor with
+// last_op == i is freed. This is the allocation stream a graph executor
+// without lifetime planning produces.
+class ReplayAdapter final : public IntermediateAllocator {
+ public:
+  explicit ReplayAdapter(std::unique_ptr<DynamicAllocator> inner);
+
+  std::string name() const override { return inner_->name(); }
+  InferencePlan begin_inference(
+      const std::vector<TensorUsage>& usages) override;
+  const AllocatorStats& stats() const override { return inner_->stats(); }
+  DynamicAllocator& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<DynamicAllocator> inner_;
+  std::vector<std::byte*> held_;  // from the previous inference, freed lazily
+};
+
+}  // namespace turbo::memory

@@ -1,0 +1,98 @@
+#include "memory/gsoc_planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/check.h"
+
+namespace turbo::memory {
+
+GsocPlanResult gsoc_plan(const std::vector<TensorUsage>& usages) {
+  GsocPlanResult result;
+
+  std::vector<TensorUsage> sorted = usages;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TensorUsage& a, const TensorUsage& b) {
+              if (a.size != b.size) return a.size > b.size;
+              return a.tensor_id < b.tensor_id;
+            });
+
+  struct Placed {
+    size_t offset;
+    size_t size;
+    int first_op;
+    int last_op;
+  };
+  std::vector<Placed> placed;  // kept sorted by offset
+  placed.reserve(sorted.size());
+
+  for (const TensorUsage& t : sorted) {
+    TT_CHECK_GT(t.size, 0u);
+    // Lowest offset where t fits between lifetime-overlapping neighbours.
+    size_t best_offset = std::numeric_limits<size_t>::max();
+    size_t prev_end = 0;
+    size_t smallest_gap = std::numeric_limits<size_t>::max();
+    for (const Placed& x : placed) {
+      const bool overlap = std::max(t.first_op, x.first_op) <=
+                           std::min(t.last_op, x.last_op);
+      if (!overlap) continue;
+      if (x.offset >= prev_end) {
+        const size_t gap = x.offset - prev_end;
+        if (gap >= t.size && gap < smallest_gap) {
+          smallest_gap = gap;
+          best_offset = prev_end;
+        }
+      }
+      prev_end = std::max(prev_end, x.offset + x.size);
+    }
+    if (best_offset == std::numeric_limits<size_t>::max()) {
+      best_offset = prev_end;  // append after the last overlapping tensor
+    }
+    auto pos = std::lower_bound(placed.begin(), placed.end(), best_offset,
+                                [](const Placed& p, size_t off) {
+                                  return p.offset < off;
+                                });
+    placed.insert(pos,
+                  Placed{best_offset, t.size, t.first_op, t.last_op});
+    result.offsets.emplace_back(t.tensor_id, best_offset);
+    result.arena_size = std::max(result.arena_size, best_offset + t.size);
+  }
+  return result;
+}
+
+InferencePlan GsocPlanner::begin_inference(
+    const std::vector<TensorUsage>& usages) {
+  const auto t0 = std::chrono::steady_clock::now();
+  InferencePlan plan;
+
+  GsocPlanResult packing = gsoc_plan(usages);
+
+  // The arena is a single device allocation sized to this plan. Any size
+  // change forces a full free + malloc — the per-inference traffic the
+  // paper's Figure 12 charges to GSOC under variable-length input.
+  if (arena_.size() != packing.arena_size) {
+    if (!arena_.empty()) {
+      tracker_.on_free(arena_.size());
+      plan.inference_free_bytes += arena_.size();
+      ++plan.inference_free_count;
+    }
+    arena_ = AlignedBuffer(packing.arena_size);
+    tracker_.on_malloc(packing.arena_size);
+    plan.inference_malloc_bytes += packing.arena_size;
+    ++plan.inference_malloc_count;
+  }
+
+  for (const auto& [tensor_id, offset] : packing.offsets) {
+    plan.placements[tensor_id] = Placement{arena_.data() + offset, 0, offset};
+  }
+
+  plan.footprint_bytes = tracker_.stats().current_device_bytes;
+  plan.planning_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return plan;
+}
+
+}  // namespace turbo::memory

@@ -1,0 +1,42 @@
+// Greedy-by-Size Offset Calculation planner (Pisarchyk & Lee [24]).
+//
+// The near-optimal fixed-length planner the paper compares against: all
+// intermediate tensors are packed by decreasing size into ONE arena, each at
+// the lowest offset compatible with every already-placed tensor whose
+// lifetime overlaps. For fixed-length models the arena is computed once; for
+// variable-length serving the plan must be recomputed per request and the
+// arena re-allocated whenever its size changes — which is exactly the extra
+// alloc/free traffic visible in the paper's Figure 12.
+#pragma once
+
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "memory/allocator.h"
+
+namespace turbo::memory {
+
+// Pure planning result, independent of backing storage.
+struct GsocPlanResult {
+  std::vector<std::pair<int, size_t>> offsets;  // tensor_id -> offset
+  size_t arena_size = 0;
+};
+
+// Plans offsets for the given usages; exposed separately so tests can check
+// the packing quality against a lower bound.
+GsocPlanResult gsoc_plan(const std::vector<TensorUsage>& usages);
+
+class GsocPlanner final : public IntermediateAllocator {
+ public:
+  std::string name() const override { return "GSOC"; }
+  InferencePlan begin_inference(
+      const std::vector<TensorUsage>& usages) override;
+  const AllocatorStats& stats() const override { return tracker_.stats(); }
+  double total_stall_us() const { return tracker_.total_stall_us(); }
+
+ private:
+  AlignedBuffer arena_;
+  DeviceTracker tracker_;
+};
+
+}  // namespace turbo::memory

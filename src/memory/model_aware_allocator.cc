@@ -1,0 +1,154 @@
+#include "memory/model_aware_allocator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace turbo::memory {
+
+ModelAwareAllocator::ModelAwareAllocator(ModelAwareOptions options)
+    : options_(options) {
+  TT_CHECK_GT(options_.default_chunk_size, 0u);
+  TT_CHECK_GE(options_.k_scale, 1.0);
+  TT_CHECK_GE(options_.max_idle_inferences, 0);
+}
+
+std::optional<size_t> ModelAwareAllocator::find_gap_from_chunk(
+    const TensorUsage& t, const Chunk& chunk) {
+  const size_t chunk_size = chunk.buffer.size();
+  size_t smallest_gap = std::numeric_limits<size_t>::max();
+  size_t prev_offset = 0;
+  std::optional<size_t> best_offset;
+
+  // Records are kept sorted by offset, so prev_offset tracks the high-water
+  // mark of lifetime-overlapping records scanned so far; the space between
+  // it and the next overlapping record is a candidate gap (Alg. 1 L4-L14).
+  for (const Record& x : chunk.records) {
+    const int max_first = std::max(t.first_op, x.first_op);
+    const int min_last = std::min(t.last_op, x.last_op);
+    if (max_first <= min_last) {
+      if (x.offset >= prev_offset) {
+        const size_t gap = x.offset - prev_offset;
+        if (gap >= t.size && gap < smallest_gap) {
+          smallest_gap = gap;
+          best_offset = prev_offset;
+        }
+      }
+      prev_offset = std::max(prev_offset, x.offset + x.size);
+    }
+  }
+  // Tail space after the last overlapping record (Alg. 1 L15-L17).
+  if (!best_offset.has_value() && chunk_size >= prev_offset &&
+      chunk_size - prev_offset >= t.size) {
+    best_offset = prev_offset;
+  }
+  return best_offset;
+}
+
+InferencePlan ModelAwareAllocator::begin_inference(
+    const std::vector<TensorUsage>& usages) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  InferencePlan plan;
+
+  // Placements from the previous inference are dead; chunks persist.
+  for (auto& chunk : chunks_) chunk.records.clear();
+
+  // Alg. 1 L24: decreasing size (ties broken by id for determinism).
+  std::vector<TensorUsage> sorted = usages;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TensorUsage& a, const TensorUsage& b) {
+              if (a.size != b.size) return a.size > b.size;
+              return a.tensor_id < b.tensor_id;
+            });
+
+  // Chunk visit order per ChunkSelection. Recomputed per tensor (chunk
+  // counts are tiny): used chunks largest-first, then empty chunks
+  // smallest-first.
+  auto visit_order = [this]() {
+    std::vector<size_t> order(chunks_.size());
+    for (size_t i = 0; i < chunks_.size(); ++i) order[i] = i;
+    if (options_.chunk_selection == ChunkSelection::kPacked) {
+      std::stable_sort(order.begin(), order.end(),
+                       [this](size_t a, size_t b) {
+                         const bool used_a = !chunks_[a].records.empty();
+                         const bool used_b = !chunks_[b].records.empty();
+                         if (used_a != used_b) return used_a;
+                         const size_t sa = chunks_[a].buffer.size();
+                         const size_t sb = chunks_[b].buffer.size();
+                         return used_a ? sa > sb : sa < sb;
+                       });
+    }
+    return order;
+  };
+
+  for (const TensorUsage& t : sorted) {
+    TT_CHECK_GT(t.size, 0u);
+    TT_CHECK_LE(t.first_op, t.last_op);
+    bool assigned = false;
+    for (size_t ci : visit_order()) {
+      auto offset = find_gap_from_chunk(t, chunks_[ci]);
+      if (offset.has_value()) {
+        Chunk& chunk = chunks_[ci];
+        Record rec{t.tensor_id, *offset, t.size, t.first_op, t.last_op};
+        auto pos = std::lower_bound(
+            chunk.records.begin(), chunk.records.end(), rec,
+            [](const Record& a, const Record& b) { return a.offset < b.offset; });
+        chunk.records.insert(pos, rec);
+        plan.placements[t.tensor_id] =
+            Placement{chunk.buffer.data() + *offset, static_cast<int>(ci),
+                      *offset};
+        assigned = true;
+        break;
+      }
+    }
+    if (!assigned) {
+      // Alg. 1 L35-L39: append a new chunk.
+      const size_t scaled =
+          static_cast<size_t>(static_cast<double>(t.size) * options_.k_scale);
+      const size_t new_size = std::max(options_.default_chunk_size, scaled);
+      Chunk chunk;
+      chunk.buffer = AlignedBuffer(new_size);
+      chunk.records.push_back(Record{t.tensor_id, 0, t.size, t.first_op,
+                                     t.last_op});
+      tracker_.on_malloc(new_size);
+      plan.inference_malloc_bytes += new_size;
+      ++plan.inference_malloc_count;
+      plan.placements[t.tensor_id] =
+          Placement{chunk.buffer.data(), static_cast<int>(chunks_.size()), 0};
+      chunks_.push_back(std::move(chunk));
+    }
+  }
+
+  // Alg. 1 L41: release chunks not used by this inference. Because later
+  // chunks' ids must stay stable for the placements we just handed out, we
+  // only release and compact after recording placements by chunk pointer
+  // (Placement.ptr stays valid; chunk_id is informational).
+  std::vector<Chunk> kept;
+  kept.reserve(chunks_.size());
+  for (auto& chunk : chunks_) {
+    if (chunk.records.empty()) {
+      ++chunk.idle_inferences;
+      if (chunk.idle_inferences > options_.max_idle_inferences) {
+        const size_t bytes = chunk.buffer.size();
+        tracker_.on_free(bytes);
+        plan.inference_free_bytes += bytes;
+        ++plan.inference_free_count;
+        continue;  // dropped
+      }
+    } else {
+      chunk.idle_inferences = 0;
+    }
+    kept.push_back(std::move(chunk));
+  }
+  chunks_ = std::move(kept);
+
+  plan.footprint_bytes = tracker_.stats().current_device_bytes;
+  plan.planning_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return plan;
+}
+
+}  // namespace turbo::memory

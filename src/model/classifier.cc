@@ -1,0 +1,74 @@
+#include "model/classifier.h"
+
+#include <cmath>
+
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+
+namespace turbo::model {
+
+SequenceClassifier::SequenceClassifier(ModelConfig config, int num_classes,
+                                       uint64_t seed)
+    : encoder_(std::move(config), seed), num_classes_(num_classes) {
+  TT_CHECK_GT(num_classes, 1);
+  Rng rng(seed ^ 0xc1a55f1e);
+  const int H = encoder_.config().hidden;
+  pooler_weight_ = Tensor::owned(Shape{H, H});
+  rng.fill_normal(pooler_weight_.data<float>(),
+                  static_cast<size_t>(pooler_weight_.numel()), 0.0f, 0.02f);
+  pooler_bias_ = Tensor::zeros(Shape{H});
+  classifier_weight_ = Tensor::owned(Shape{H, num_classes});
+  rng.fill_normal(classifier_weight_.data<float>(),
+                  static_cast<size_t>(classifier_weight_.numel()), 0.0f,
+                  0.02f);
+  classifier_bias_ = Tensor::zeros(Shape{num_classes});
+}
+
+Tensor SequenceClassifier::classify(const Tensor& ids,
+                                    const std::vector<int>* valid_lens) {
+  const int B = static_cast<int>(ids.shape()[0]);
+  const int S = static_cast<int>(ids.shape()[1]);
+  const int H = encoder_.config().hidden;
+
+  Tensor hidden = encoder_.forward(ids, valid_lens);
+
+  // Pool the first-token representation of every sequence.
+  Tensor cls = Tensor::owned(Shape{B, H});
+  for (int b = 0; b < B; ++b) {
+    const float* src =
+        hidden.data<float>() + static_cast<long>(b) * S * H;
+    std::copy(src, src + H, cls.data<float>() + static_cast<long>(b) * H);
+  }
+  Tensor pooled = Tensor::owned(Shape{B, H});
+  kernels::gemm(cls.data<float>(), pooler_weight_.data<float>(),
+                pooled.data<float>(), B, H, H);
+  kernels::add_bias(pooled.data<float>(), pooler_bias_.data<float>(), B, H);
+  float* p = pooled.data<float>();
+  for (long i = 0; i < pooled.numel(); ++i) p[i] = std::tanh(p[i]);
+
+  Tensor logits = Tensor::owned(Shape{B, num_classes_});
+  kernels::gemm(pooled.data<float>(), classifier_weight_.data<float>(),
+                logits.data<float>(), B, num_classes_, H);
+  kernels::add_bias(logits.data<float>(), classifier_bias_.data<float>(), B,
+                    num_classes_);
+  return logits;
+}
+
+std::vector<int> SequenceClassifier::predict(
+    const Tensor& ids, const std::vector<int>* valid_lens) {
+  Tensor logits = classify(ids, valid_lens);
+  const int B = static_cast<int>(logits.shape()[0]);
+  std::vector<int> labels(static_cast<size_t>(B));
+  for (int b = 0; b < B; ++b) {
+    const float* row =
+        logits.data<float>() + static_cast<long>(b) * num_classes_;
+    int best = 0;
+    for (int c = 1; c < num_classes_; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    labels[static_cast<size_t>(b)] = best;
+  }
+  return labels;
+}
+
+}  // namespace turbo::model

@@ -1,0 +1,33 @@
+// Sequence-classification head: BERT pooler (tanh of the projected [CLS]
+// position) plus a linear classifier. The model behind the paper's serving
+// experiments ("a BERT-based service used to classify a paragraph of
+// text", §6.3).
+#pragma once
+
+#include "model/encoder.h"
+
+namespace turbo::model {
+
+class SequenceClassifier {
+ public:
+  SequenceClassifier(ModelConfig config, int num_classes, uint64_t seed = 42);
+
+  // ids: [B, S]. Returns logits [B, num_classes].
+  Tensor classify(const Tensor& ids,
+                  const std::vector<int>* valid_lens = nullptr);
+
+  // Argmax labels for convenience.
+  std::vector<int> predict(const Tensor& ids,
+                           const std::vector<int>* valid_lens = nullptr);
+
+  EncoderModel& encoder() { return encoder_; }
+  int num_classes() const { return num_classes_; }
+
+ private:
+  EncoderModel encoder_;
+  int num_classes_;
+  Tensor pooler_weight_, pooler_bias_;      // [H, H], [H]
+  Tensor classifier_weight_, classifier_bias_;  // [H, C], [C]
+};
+
+}  // namespace turbo::model

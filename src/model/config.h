@@ -1,0 +1,82 @@
+// Model configurations (paper Table 3).
+//
+// Note on Table 3 as printed: it lists hidden_size=4096 for the "base"
+// BERT, which contradicts the paper's own 6.9 Gflops / 40-token figure and
+// the stated "base configuration" (hidden 768, inter 3072). We encode the
+// standard base/distil configs (768) and keep ALBERT as printed
+// (12 layers, 64 heads, hidden 4096, inter 16384 — the xxlarge layout,
+// consistent with "large configuration" driving up its GEMM share, §6.2.1).
+#pragma once
+
+#include <string>
+
+#include "graph/builders.h"
+#include "perfmodel/model_latency.h"
+
+namespace turbo::model {
+
+struct ModelConfig {
+  std::string name;
+  int num_layers = 12;
+  int hidden = 768;
+  int heads = 12;
+  int intermediate = 3072;
+  int vocab = 30522;
+  int max_pos = 512;
+  bool share_layer_weights = false;  // ALBERT
+  // Run GEMMs under the tensor-core numeric contract (operands rounded to
+  // fp16, fp32 accumulation) — the Turbo-TC configuration. The paper calls
+  // its accuracy impact "minimal and acceptable"; tests quantify it.
+  bool tensor_core_gemm = false;
+
+  int head_dim() const { return hidden / heads; }
+
+  graph::LayerDims layer_dims() const {
+    return graph::LayerDims{hidden, heads, intermediate};
+  }
+  perfmodel::EncoderModelDesc perf_desc() const {
+    perfmodel::EncoderModelDesc d;
+    d.name = name;
+    d.dims = layer_dims();
+    d.num_layers = num_layers;
+    d.vocab = vocab;
+    return d;
+  }
+
+  static ModelConfig bert_base() {
+    ModelConfig c;
+    c.name = "Bert";
+    return c;
+  }
+  static ModelConfig albert() {
+    ModelConfig c;
+    c.name = "Albert";
+    c.num_layers = 12;
+    c.hidden = 4096;
+    c.heads = 64;
+    c.intermediate = 16384;
+    c.share_layer_weights = true;
+    return c;
+  }
+  static ModelConfig distilbert() {
+    ModelConfig c;
+    c.name = "DistilBert";
+    c.num_layers = 6;
+    return c;
+  }
+  // Small configuration for tests and examples that execute real numerics.
+  static ModelConfig tiny(int layers = 2, int hidden = 64, int heads = 4,
+                          int inter = 128, int vocab = 100) {
+    ModelConfig c;
+    c.name = "Tiny";
+    c.num_layers = layers;
+    c.hidden = hidden;
+    c.heads = heads;
+    c.intermediate = inter;
+    c.vocab = vocab;
+    c.max_pos = 512;
+    return c;
+  }
+};
+
+}  // namespace turbo::model

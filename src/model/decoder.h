@@ -1,0 +1,43 @@
+// Seq2Seq transformer decoder with beam search (paper Table 3, Fig. 9).
+//
+// Step-wise generation: each step runs the beam as a batch through
+// num_layers decoder layers (cached causal self-attention + cross-attention
+// over the encoder memory + feed-forward), projects to the vocabulary and
+// expands the beam. Cross-attention K/V are projected once per sentence.
+// This is the workload whose latency grows superlinearly with source length
+// in Figure 9 (bottom).
+#pragma once
+
+#include <vector>
+
+#include "model/weights.h"
+#include "tensor/tensor.h"
+
+namespace turbo::model {
+
+struct Hypothesis {
+  std::vector<int> tokens;  // includes BOS, excludes EOS
+  double log_prob = 0.0;
+};
+
+class Seq2SeqDecoder {
+ public:
+  explicit Seq2SeqDecoder(ModelConfig config, uint64_t seed = 42);
+
+  // memory: encoder output [S_src, H] for one sentence. Returns the best
+  // hypothesis after beam search (beam_size >= 1; 1 = greedy).
+  Hypothesis decode(const Tensor& memory, int max_len, int bos_id, int eos_id,
+                    int beam_size) const;
+
+  // One decoder forward step, exposed for testing: prev token per beam,
+  // step index t (0-based), caches threaded by the caller via decode().
+  // Returns logits [beam, vocab].
+  const ModelConfig& config() const { return config_; }
+  const DecoderWeights& weights() const { return weights_; }
+
+ private:
+  ModelConfig config_;
+  DecoderWeights weights_;
+};
+
+}  // namespace turbo::model

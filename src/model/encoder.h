@@ -1,0 +1,68 @@
+// Encoder models (BERT / ALBERT / DistilBERT): the runtime's numeric
+// forward pass.
+//
+// This is where the pieces meet: the fused computation graph supplies
+// tensor lifetimes, the model-aware allocator (Algorithm 1) re-plans
+// intermediate placements for each request's sequence length, and the fused
+// CPU kernels execute the math in those placements. One plan serves all
+// layers (the paper's repeated-structure trick, §6.2.2); hidden states
+// ping-pong between two owned buffers across layers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/builders.h"
+#include "graph/graph.h"
+#include "memory/model_aware_allocator.h"
+#include "model/weights.h"
+#include "tensor/tensor.h"
+
+namespace turbo::model {
+
+class EncoderModel {
+ public:
+  explicit EncoderModel(ModelConfig config, uint64_t seed = 42);
+
+  // Construct from pre-existing weights (e.g. a checkpoint loaded via
+  // model/serialization.h).
+  EncoderModel(ModelConfig config, EncoderWeights weights);
+
+  // ids: [B, S] int32 token ids. valid_lens (optional, size B) marks each
+  // request's true length inside a zero-padded batch; attention to padded
+  // keys is masked out. Returns hidden states [B, S, H].
+  Tensor forward(const Tensor& ids,
+                 const std::vector<int>* valid_lens = nullptr);
+
+  // Same math via the naive unfused path with per-tensor owned buffers and
+  // reference kernels. Test oracle for the planned/fused pipeline.
+  Tensor forward_reference(const Tensor& ids,
+                           const std::vector<int>* valid_lens = nullptr);
+
+  const ModelConfig& config() const { return config_; }
+  const graph::Graph& layer_graph() const { return layer_graph_; }
+  const EncoderWeights& weights() const { return weights_; }
+  memory::ModelAwareAllocator& allocator() { return allocator_; }
+
+  // Planner cost of the most recent forward() (Fig. 13 numerator).
+  double last_planning_us() const { return last_planning_us_; }
+
+ private:
+  const EncoderLayerWeights& layer_weights(int layer) const {
+    return weights_.layers[config_.share_layer_weights
+                               ? 0
+                               : static_cast<size_t>(layer)];
+  }
+
+  ModelConfig config_;
+  EncoderWeights weights_;
+  graph::Graph layer_graph_;
+  std::unordered_map<std::string, int> tensor_id_by_name_;
+  memory::ModelAwareAllocator allocator_;
+  Tensor hidden_a_, hidden_b_;  // ping-pong hidden-state buffers
+  double last_planning_us_ = 0.0;
+};
+
+}  // namespace turbo::model

@@ -1,0 +1,70 @@
+// Weight containers for the transformer models. Weights are owned tensors,
+// seeded deterministically: the paper's benchmarks likewise use randomly
+// initialized models since serving performance is weight-independent.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "model/config.h"
+#include "tensor/tensor.h"
+
+namespace turbo::model {
+
+struct EncoderLayerWeights {
+  // Attention. QKV projection packed: [H, 3H], bias [3H]
+  // (column blocks: Q | K | V).
+  Tensor qkv_weight, qkv_bias;
+  Tensor attn_out_weight, attn_out_bias;  // [H, H], [H]
+  Tensor ln1_gamma, ln1_beta;             // [H]
+  // Feed-forward.
+  Tensor inter_weight, inter_bias;        // [H, I], [I]
+  Tensor out_weight, out_bias;            // [I, H], [H]
+  Tensor ln2_gamma, ln2_beta;             // [H]
+
+  static EncoderLayerWeights random(const ModelConfig& config, Rng& rng);
+};
+
+struct EmbeddingWeights {
+  Tensor word;        // [vocab, H]
+  Tensor position;    // [max_pos, H]
+  Tensor ln_gamma, ln_beta;
+
+  static EmbeddingWeights random(const ModelConfig& config, Rng& rng);
+};
+
+struct EncoderWeights {
+  EmbeddingWeights embedding;
+  // One entry when config.share_layer_weights (ALBERT), else num_layers.
+  std::vector<EncoderLayerWeights> layers;
+
+  static EncoderWeights random(const ModelConfig& config, uint64_t seed);
+};
+
+struct DecoderLayerWeights {
+  // Self-attention (causal, cached).
+  Tensor self_qkv_weight, self_qkv_bias;       // [H, 3H], [3H]
+  Tensor self_out_weight, self_out_bias;       // [H, H], [H]
+  Tensor ln1_gamma, ln1_beta;
+  // Cross-attention over the encoder memory.
+  Tensor cross_q_weight, cross_q_bias;         // [H, H], [H]
+  Tensor cross_kv_weight, cross_kv_bias;       // [H, 2H], [2H]
+  Tensor cross_out_weight, cross_out_bias;     // [H, H], [H]
+  Tensor ln2_gamma, ln2_beta;
+  // Feed-forward.
+  Tensor inter_weight, inter_bias;             // [H, I], [I]
+  Tensor out_weight, out_bias;                 // [I, H], [H]
+  Tensor ln3_gamma, ln3_beta;
+
+  static DecoderLayerWeights random(const ModelConfig& config, Rng& rng);
+};
+
+struct DecoderWeights {
+  EmbeddingWeights embedding;            // target-side
+  std::vector<DecoderLayerWeights> layers;
+  Tensor output_proj;                    // [H, vocab] logits projection
+
+  static DecoderWeights random(const ModelConfig& config, uint64_t seed);
+};
+
+}  // namespace turbo::model

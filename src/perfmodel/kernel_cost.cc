@@ -1,0 +1,120 @@
+#include "perfmodel/kernel_cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "gpukernels/reduction_sim.h"
+
+namespace turbo::perfmodel {
+
+namespace {
+
+// Fraction of the device a GEMM of `flops` can keep busy. Small problems
+// cannot fill all SMs with enough tiles; we approximate utilization by the
+// number of 128x128x32 MACC tiles relative to two full waves of SMs.
+double gemm_utilization(double flops, const gpusim::DeviceSpec& spec) {
+  const double tile_flops = 2.0 * 128 * 128 * 32;
+  const double tiles = flops / tile_flops;
+  const double full = 2.0 * spec.num_sms;
+  return std::clamp(tiles / full, 0.02, 1.0);
+}
+
+}  // namespace
+
+double gemm_time_us(double flops, double bytes, const RuntimeProfile& profile,
+                    const gpusim::DeviceSpec& spec) {
+  TT_CHECK_GE(flops, 0.0);
+  const double peak_tflops =
+      profile.tensor_core && spec.tensor_core_tflops > 0
+          ? 0.45 * spec.tensor_core_tflops  // fp16 TC sustains ~half of peak
+          : spec.fp32_tflops;
+  const double eff = profile.gemm_efficiency * gemm_utilization(flops, spec);
+  const double compute_us = flops / (peak_tflops * 1e12 * eff) * 1e6;
+  const double memory_us = bytes / (spec.mem_bandwidth_gbps * 1e9) * 1e6;
+  return std::max(compute_us, memory_us);
+}
+
+double kernel_time_us(graph::OpKind kind, const graph::OpCost& cost,
+                      const RuntimeProfile& profile,
+                      const gpusim::DeviceSpec& spec) {
+  double us = profile.launch_overhead_us;
+  switch (cost.cls) {
+    case graph::CostClass::kGemm:
+      us += gemm_time_us(cost.flops, cost.bytes, profile, spec);
+      break;
+    case graph::CostClass::kReduction: {
+      TT_CHECK_GT(cost.reduce_rows, 0);
+      TT_CHECK_GT(cost.reduce_cols, 0);
+      const bool is_softmax = kind == graph::OpKind::kSoftmax;
+      auto impl = profile.reduction_impl;
+      // cuDNN has no layernorm; profiles that would pick it fall back to
+      // the classical kernel.
+      if (!is_softmax && impl == gpukernels::ReductionImpl::kCudnn) {
+        impl = gpukernels::ReductionImpl::kBaseline;
+      }
+      // Cost-only reduction sims are deterministic in (kind, impl, shape,
+      // device), and warmup/serving sweeps hit the same shapes constantly —
+      // memoize them.
+      struct Key {
+        bool softmax;
+        int impl;
+        long rows, cols;
+        int sms;
+        bool operator==(const Key&) const = default;
+      };
+      struct KeyHash {
+        size_t operator()(const Key& k) const {
+          size_t h = std::hash<long>()(k.rows * 131071 + k.cols);
+          h ^= std::hash<int>()(k.impl * 4 + (k.softmax ? 2 : 0) + k.sms * 8) +
+               0x9e3779b9 + (h << 6) + (h >> 2);
+          return h;
+        }
+      };
+      static thread_local std::unordered_map<Key, double, KeyHash> cache;
+      const Key key{is_softmax, static_cast<int>(impl), cost.reduce_rows,
+                    cost.reduce_cols, spec.num_sms};
+      auto it = cache.find(key);
+      double sim_us;
+      if (it != cache.end()) {
+        sim_us = it->second;
+      } else {
+        gpukernels::SimKernelResult sim;
+        if (is_softmax) {
+          sim = gpukernels::softmax_sim(nullptr, cost.reduce_rows,
+                                        cost.reduce_cols, 1.0f, impl, spec);
+        } else {
+          sim = gpukernels::layernorm_sim(nullptr, nullptr, nullptr, nullptr,
+                                          cost.reduce_rows, cost.reduce_cols,
+                                          impl, spec);
+        }
+        sim_us = sim.time_us;
+        cache.emplace(key, sim_us);
+      }
+      // The simulator already includes a device launch; replace it with the
+      // profile's dispatch overhead (charged above) and apply the
+      // framework-op multiplier.
+      us += (sim_us - spec.kernel_launch_us) * profile.reduction_overhead;
+      // Residual/bias traffic fused into the reduction still moves bytes
+      // beyond the rows the sim streams (it reads each row once per pass).
+      const double sim_bytes = 3.0 * cost.reduce_rows *
+                               static_cast<double>(cost.reduce_cols) *
+                               sizeof(float);
+      if (cost.bytes > sim_bytes) {
+        us += (cost.bytes - sim_bytes) /
+              (spec.mem_bandwidth_gbps * 1e9 * profile.elementwise_efficiency) *
+              1e6;
+      }
+      break;
+    }
+    case graph::CostClass::kElementwise:
+      us += cost.bytes /
+            (spec.mem_bandwidth_gbps * 1e9 * profile.elementwise_efficiency) *
+            1e6;
+      break;
+  }
+  return us;
+}
+
+}  // namespace turbo::perfmodel

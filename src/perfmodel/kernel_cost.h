@@ -1,0 +1,35 @@
+// Per-kernel latency model.
+//
+// GEMM: a roofline over the device's peak FLOP rate and DRAM bandwidth,
+// de-rated by the runtime's GEMM efficiency and by a utilization factor for
+// launches too small to fill the device (this is what makes batching pay
+// off for short sequences — paper Fig. 7).
+//
+// Reductions (Softmax/LayerNorm): costed mechanistically by executing the
+// corresponding kernel on the GPU simulator in cost-only mode, using the
+// runtime profile's reduction implementation.
+//
+// Elementwise: bandwidth-bound bytes over the de-rated DRAM bandwidth.
+//
+// Every kernel additionally pays the profile's launch/dispatch overhead —
+// the dominant term for short sequences (paper §4.1.1: PyTorch leaves the
+// GPU idle 80.64% of the time at bs=1, len=40).
+#pragma once
+
+#include "graph/graph.h"
+#include "gpusim/device_spec.h"
+#include "perfmodel/runtime_profile.h"
+
+namespace turbo::perfmodel {
+
+// Time (us) of the GEMM portion alone: roofline x efficiency x utilization.
+double gemm_time_us(double flops, double bytes, const RuntimeProfile& profile,
+                    const gpusim::DeviceSpec& spec);
+
+// Full kernel time (us) for one op of the given kind and workload,
+// including the profile's launch overhead.
+double kernel_time_us(graph::OpKind kind, const graph::OpCost& cost,
+                      const RuntimeProfile& profile,
+                      const gpusim::DeviceSpec& spec);
+
+}  // namespace turbo::perfmodel

@@ -1,0 +1,207 @@
+#include "perfmodel/model_latency.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "graph/fusion.h"
+#include "perfmodel/kernel_cost.h"
+
+namespace turbo::perfmodel {
+
+namespace {
+
+// Layer graphs keyed by (dims, fused) — construction involves a few dozen
+// std::function allocations, so share them across the hot warmup loops.
+const graph::Graph& layer_graph(const graph::LayerDims& dims, bool fused) {
+  struct Key {
+    int h, heads, inter;
+    bool fused;
+    bool operator<(const Key& o) const {
+      return std::tie(h, heads, inter, fused) <
+             std::tie(o.h, o.heads, o.inter, o.fused);
+    }
+  };
+  static thread_local std::map<Key, graph::Graph> cache;
+  const Key key{dims.hidden, dims.heads, dims.intermediate, fused};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, fused ? graph::build_encoder_layer_fused(dims)
+                                  : graph::build_encoder_layer_unfused(dims))
+             .first;
+  }
+  return it->second;
+}
+
+void accumulate(LatencyBreakdown& acc, graph::CostClass cls, double us) {
+  acc.total_us += us;
+  switch (cls) {
+    case graph::CostClass::kGemm:
+      acc.gemm_us += us;
+      break;
+    case graph::CostClass::kReduction:
+      acc.reduction_us += us;
+      break;
+    case graph::CostClass::kElementwise:
+      acc.elementwise_us += us;
+      break;
+  }
+}
+
+}  // namespace
+
+LatencyBreakdown encoder_latency(const EncoderModelDesc& model, int batch,
+                                 int seq, const RuntimeProfile& profile,
+                                 const gpusim::DeviceSpec& spec,
+                                 double planning_us) {
+  TT_CHECK_GT(batch, 0);
+  TT_CHECK_GT(seq, 0);
+  const graph::Graph& layer = layer_graph(model.dims, profile.fused_graph);
+
+  LatencyBreakdown acc;
+  std::unordered_map<std::string, size_t> kernel_index;
+
+  // Embedding front-end: gather + add (bandwidth) and one layernorm.
+  {
+    graph::OpCost gather;
+    gather.cls = graph::CostClass::kElementwise;
+    gather.bytes = 3.0 * batch * seq * model.dims.hidden * sizeof(float);
+    const double us = kernel_time_us(graph::OpKind::kEmbeddingLookup, gather,
+                                     profile, spec);
+    accumulate(acc, gather.cls, us);
+    acc.launch_us += profile.launch_overhead_us;
+    acc.per_kernel_us.emplace_back("Embedding", us);
+    kernel_index["Embedding"] = acc.per_kernel_us.size() - 1;
+
+    graph::OpCost ln;
+    ln.cls = graph::CostClass::kReduction;
+    ln.reduce_rows = static_cast<long>(batch) * seq;
+    ln.reduce_cols = model.dims.hidden;
+    ln.bytes = 2.0 * batch * seq * model.dims.hidden * sizeof(float);
+    const double ln_us =
+        kernel_time_us(graph::OpKind::kLayerNorm, ln, profile, spec);
+    accumulate(acc, ln.cls, ln_us);
+    acc.launch_us += profile.launch_overhead_us;
+    acc.per_kernel_us.emplace_back("LayerNorm", ln_us);
+    kernel_index["LayerNorm"] = acc.per_kernel_us.size() - 1;
+  }
+
+  for (const auto& node : layer.ops()) {
+    const graph::OpCost cost = node.cost_fn(batch, seq);
+    const double us =
+        kernel_time_us(node.kind, cost, profile, spec) *
+        static_cast<double>(model.num_layers);
+    accumulate(acc, cost.cls, us);
+    acc.launch_us +=
+        profile.launch_overhead_us * static_cast<double>(model.num_layers);
+    auto it = kernel_index.find(node.name);
+    if (it == kernel_index.end()) {
+      acc.per_kernel_us.emplace_back(node.name, us);
+      kernel_index[node.name] = acc.per_kernel_us.size() - 1;
+    } else {
+      acc.per_kernel_us[it->second].second += us;
+    }
+  }
+
+  acc.allocator_us = planning_us;
+  acc.total_us += planning_us;
+  return acc;
+}
+
+double encoder_latency_ms(const EncoderModelDesc& model, int batch, int seq,
+                          const RuntimeProfile& profile,
+                          const gpusim::DeviceSpec& spec,
+                          double planning_us) {
+  return encoder_latency(model, batch, seq, profile, spec, planning_us)
+             .total_us /
+         1000.0;
+}
+
+double decoder_latency_us(const DecoderModelDesc& model, int src_len,
+                          const RuntimeProfile& profile,
+                          const gpusim::DeviceSpec& spec) {
+  TT_CHECK_GT(src_len, 0);
+  const int H = model.hidden;
+  const int I = model.intermediate;
+  const int beam = model.beam;
+  const double kF = sizeof(float);
+
+  // --- Encoder over the source sentence (batch 1) ---
+  EncoderModelDesc enc;
+  enc.dims.hidden = H;
+  enc.dims.heads = model.heads;
+  enc.dims.intermediate = I;
+  enc.num_layers = model.num_layers;
+  double total_us = encoder_latency(enc, 1, src_len, profile, spec).total_us;
+
+  const int tgt_len = std::min(
+      model.max_target_len,
+      std::max(1, static_cast<int>(src_len * model.target_ratio)));
+
+  auto gemm = [&](double m, double n, double k) {
+    graph::OpCost c;
+    c.cls = graph::CostClass::kGemm;
+    c.flops = 2.0 * m * n * k;
+    c.bytes = (m * k + k * n + m * n) * kF;
+    return kernel_time_us(graph::OpKind::kGemm, c, profile, spec);
+  };
+  auto softmax = [&](long rows, long cols) {
+    graph::OpCost c;
+    c.cls = graph::CostClass::kReduction;
+    c.reduce_rows = rows;
+    c.reduce_cols = cols;
+    c.bytes = 2.0 * rows * cols * kF;
+    return kernel_time_us(graph::OpKind::kSoftmax, c, profile, spec);
+  };
+  auto layernorm = [&](long rows, long cols) {
+    graph::OpCost c;
+    c.cls = graph::CostClass::kReduction;
+    c.reduce_rows = rows;
+    c.reduce_cols = cols;
+    c.bytes = 3.0 * rows * cols * kF;
+    return kernel_time_us(graph::OpKind::kAddBiasLayerNorm, c, profile, spec);
+  };
+
+  // --- Beam-search decode steps ---
+  // At step t, the beam batch attends over a t-long self-attention cache and
+  // the src_len-long encoder memory. Cross-attention K/V are projected once
+  // per sentence, not per step.
+  double cross_kv_us =
+      model.num_layers * gemm(src_len, 2.0 * H, H);  // K and V packed
+  total_us += cross_kv_us;
+
+  for (int t = 1; t <= tgt_len; ++t) {
+    double step_us = 0;
+    // Output-vocabulary projection + softmax over logits (dominant cost).
+    step_us += gemm(beam, model.vocab, H);
+    step_us += softmax(beam, model.vocab);
+    for (int layer = 0; layer < model.num_layers; ++layer) {
+      // Self-attention: QKV for the new token, scores over the cache.
+      step_us += gemm(beam, 3.0 * H, H);
+      step_us += gemm(static_cast<double>(beam) * model.heads, t,
+                      H / model.heads);
+      step_us += softmax(static_cast<long>(beam) * model.heads, t);
+      step_us += gemm(static_cast<double>(beam) * model.heads,
+                      H / model.heads, t);
+      step_us += gemm(beam, H, H);  // output projection
+      step_us += layernorm(beam, H);
+      // Cross-attention over encoder memory.
+      step_us += gemm(beam, H, H);  // Q projection
+      step_us += gemm(static_cast<double>(beam) * model.heads, src_len,
+                      H / model.heads);
+      step_us += softmax(static_cast<long>(beam) * model.heads, src_len);
+      step_us += gemm(static_cast<double>(beam) * model.heads,
+                      H / model.heads, src_len);
+      step_us += gemm(beam, H, H);
+      step_us += layernorm(beam, H);
+      // Feed-forward network.
+      step_us += gemm(beam, I, H);
+      step_us += gemm(beam, H, I);
+      step_us += layernorm(beam, H);
+    }
+    total_us += step_us;
+  }
+  return total_us;
+}
+
+}  // namespace turbo::perfmodel

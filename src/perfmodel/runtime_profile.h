@@ -1,0 +1,52 @@
+// Runtime profiles: the mechanistic differences between the serving
+// runtimes the paper compares (Table 1, Figures 9 & 14).
+//
+// Each baseline is modeled as the same transformer workload executed under
+// that runtime's documented combination of mechanisms:
+//   * which graph it runs (fused vs the unfused framework op stream),
+//   * per-kernel launch/dispatch overhead,
+//   * what fraction of the GEMM roofline its BLAS path achieves
+//     (TensorRT autotunes GEMM tile shapes offline; cuBLAS without tuning
+//     leaves some performance behind — the paper attributes its ~10% gap to
+//     TensorRT/FasterTransformer exactly to this),
+//   * how its non-GEMM reduction kernels are implemented (framework ops,
+//     FasterTransformer's classical batch reduction, or Turbo's XElem),
+//   * its memory allocator (for stall accounting and the footprint figures),
+//   * whether it needs dimension-specific preprocessing (Table 1: such
+//     runtimes cannot serve variable-length requests at all).
+#pragma once
+
+#include <string>
+
+#include "gpukernels/reduction_sim.h"
+
+namespace turbo::perfmodel {
+
+enum class AllocatorKind { kNaive, kCaching, kBfcArena, kModelAware };
+
+struct RuntimeProfile {
+  std::string name;
+  bool fused_graph = true;
+  double launch_overhead_us = 5.0;   // per kernel launch
+  double gemm_efficiency = 0.88;     // fraction of roofline peak achieved
+  bool tensor_core = false;
+  gpukernels::ReductionImpl reduction_impl =
+      gpukernels::ReductionImpl::kTurbo;
+  // Extra multiplier on reduction-kernel time (framework ops carry
+  // interpreter/layout overhead on top of the kernel itself).
+  double reduction_overhead = 1.0;
+  double elementwise_efficiency = 0.90;  // fraction of DRAM bandwidth
+  AllocatorKind allocator = AllocatorKind::kModelAware;
+  bool requires_preprocess = false;  // Table 1 "Preprocess"
+  bool variable_length_ok = true;    // Table 1 "Variable-Len"
+
+  static RuntimeProfile pytorch();
+  static RuntimeProfile onnxruntime();
+  static RuntimeProfile tf_xla();
+  static RuntimeProfile faster_transformers();
+  static RuntimeProfile tensorrt();
+  static RuntimeProfile turbo();
+  static RuntimeProfile turbo_tc();
+};
+
+}  // namespace turbo::perfmodel

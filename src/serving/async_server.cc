@@ -1,0 +1,90 @@
+#include "serving/async_server.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace turbo::serving {
+
+AsyncServer::AsyncServer(std::unique_ptr<Server> server)
+    : server_(std::move(server)) {
+  TT_CHECK(server_ != nullptr);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+AsyncServer::~AsyncServer() { shutdown(); }
+
+std::future<ServedResult> AsyncServer::submit(Request request) {
+  std::future<ServedResult> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TT_CHECK_MSG(!shutdown_, "submit after shutdown");
+    Pending p;
+    p.request = std::move(request);
+    future = p.promise.get_future();
+    queue_.push_back(std::move(p));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void AsyncServer::shutdown() {
+  // Serialize concurrent shutdown() calls (including the destructor's):
+  // only one caller may join the worker.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+size_t AsyncServer::served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return served_;
+}
+
+size_t AsyncServer::scheduler_runs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_runs_;
+}
+
+void AsyncServer::worker_loop() {
+  for (;;) {
+    // Hungry trigger: grab everything queued the moment we are idle.
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty() && shutdown_) return;
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++scheduler_runs_;
+    }
+
+    std::vector<Request> requests;
+    requests.reserve(batch.size());
+    for (auto& p : batch) requests.push_back(p.request);
+
+    try {
+      std::vector<ServedResult> results = server_->serve(requests);
+      TT_CHECK_EQ(results.size(), batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch[i].promise.set_value(std::move(results[i]));
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      served_ += batch.size();
+    } catch (...) {
+      // One bad request (e.g. empty payload) fails its whole snapshot —
+      // surface the error to every waiting client rather than wedging them.
+      for (auto& p : batch) {
+        p.promise.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+}  // namespace turbo::serving

@@ -1,0 +1,62 @@
+// Asynchronous serving front end — the paper's Figure 2 pipeline as a real
+// concurrent component: clients submit requests into a message queue and
+// receive futures; a worker thread drains the queue with the hungry policy
+// (schedule whatever is queued the moment the runtime goes idle), runs the
+// batch scheduler, executes batches through the model, and fulfills the
+// futures.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "serving/server.h"
+
+namespace turbo::serving {
+
+class AsyncServer {
+ public:
+  // Takes ownership of a configured synchronous Server (model + scheduler +
+  // cost table + optional cache) and starts the worker.
+  explicit AsyncServer(std::unique_ptr<Server> server);
+  ~AsyncServer();
+
+  AsyncServer(const AsyncServer&) = delete;
+  AsyncServer& operator=(const AsyncServer&) = delete;
+
+  // Enqueue one request; the future resolves when its batch completes.
+  // Rejects (throws CheckError) after shutdown() was called.
+  std::future<ServedResult> submit(Request request);
+
+  // Drain the queue and stop the worker. Idempotent; also called by the
+  // destructor. Pending requests are still served before returning.
+  void shutdown();
+
+  // Requests served so far and the number of scheduler invocations
+  // (GPU-idle trigger firings).
+  size_t served() const;
+  size_t scheduler_runs() const;
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<ServedResult> promise;
+  };
+
+  void worker_loop();
+
+  std::unique_ptr<Server> server_;
+  std::mutex join_mutex_;  // serializes shutdown/join
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool shutdown_ = false;
+  size_t served_ = 0;
+  size_t scheduler_runs_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace turbo::serving

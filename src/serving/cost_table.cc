@@ -1,0 +1,139 @@
+#include "serving/cost_table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace turbo::serving {
+
+CostTable CostTable::warmup(const LatencyFn& latency_ms, int max_len,
+                            int max_batch, int len_step) {
+  TT_CHECK_GT(max_len, 0);
+  TT_CHECK_GT(max_batch, 0);
+  TT_CHECK_GT(len_step, 0);
+
+  CostTable t;
+  t.max_len_ = max_len;
+  t.max_batch_ = max_batch;
+  t.len_step_ = len_step;
+  t.len_grid_.push_back(1);
+  for (int len = len_step; len <= max_len; len += len_step) {
+    t.len_grid_.push_back(len);
+  }
+  if (t.len_grid_.back() != max_len) t.len_grid_.push_back(max_len);
+
+  t.grid_.resize(t.len_grid_.size() * static_cast<size_t>(max_batch));
+  for (size_t li = 0; li < t.len_grid_.size(); ++li) {
+    for (int b = 1; b <= max_batch; ++b) {
+      const double ms = latency_ms(t.len_grid_[li], b);
+      TT_CHECK_GT(ms, 0.0);
+      t.grid_[li * static_cast<size_t>(max_batch) +
+              static_cast<size_t>(b - 1)] = ms;
+    }
+  }
+  return t;
+}
+
+double CostTable::batch_cost_ms(int len, int batch) const {
+  TT_CHECK_GT(len, 0);
+  TT_CHECK_GT(batch, 0);
+  TT_CHECK_LE(batch, max_batch_);
+  len = std::min(len, max_len_);
+
+  // Bracket len in the grid and interpolate linearly.
+  auto hi_it = std::lower_bound(len_grid_.begin(), len_grid_.end(), len);
+  const size_t hi = static_cast<size_t>(hi_it - len_grid_.begin());
+  const size_t bcol = static_cast<size_t>(batch - 1);
+  const size_t stride = static_cast<size_t>(max_batch_);
+  if (len_grid_[hi] == len || hi == 0) {
+    return grid_[hi * stride + bcol];
+  }
+  const size_t lo = hi - 1;
+  const double frac = static_cast<double>(len - len_grid_[lo]) /
+                      static_cast<double>(len_grid_[hi] - len_grid_[lo]);
+  const double lo_ms = grid_[lo * stride + bcol];
+  const double hi_ms = grid_[hi * stride + bcol];
+  return lo_ms + frac * (hi_ms - lo_ms);
+}
+
+void CostTable::observe(int len, int batch, double measured_ms,
+                        double alpha) {
+  TT_CHECK_GT(len, 0);
+  TT_CHECK_GT(batch, 0);
+  TT_CHECK_LE(batch, max_batch_);
+  TT_CHECK_GT(measured_ms, 0.0);
+  TT_CHECK_GT(alpha, 0.0);
+  TT_CHECK_LE(alpha, 1.0);
+  len = std::min(len, max_len_);
+
+  auto hi_it = std::lower_bound(len_grid_.begin(), len_grid_.end(), len);
+  const size_t hi = static_cast<size_t>(hi_it - len_grid_.begin());
+  const size_t bcol = static_cast<size_t>(batch - 1);
+  const size_t stride = static_cast<size_t>(max_batch_);
+
+  auto nudge = [&](size_t li, double weight) {
+    double& cell = grid_[li * stride + bcol];
+    // Move the cell so that the *interpolated* value approaches the
+    // observation: adjust by the interpolation residual scaled by this
+    // cell's share of the interpolation weight.
+    const double predicted = batch_cost_ms(len, batch);
+    cell = std::max(1e-9, cell + alpha * weight * (measured_ms - predicted));
+  };
+
+  if (len_grid_[hi] == len || hi == 0) {
+    nudge(hi, 1.0);
+    return;
+  }
+  const size_t lo = hi - 1;
+  const double frac = static_cast<double>(len - len_grid_[lo]) /
+                      static_cast<double>(len_grid_[hi] - len_grid_[lo]);
+  nudge(lo, 1.0 - frac);
+  nudge(hi, frac);
+}
+
+void CostTable::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  TT_CHECK_MSG(out.good(), "cannot open " << path);
+  out.precision(17);  // round-trip doubles exactly
+  out << "max_len," << max_len_ << ",max_batch," << max_batch_ << ",len_step,"
+      << len_step_ << "\n";
+  for (size_t li = 0; li < len_grid_.size(); ++li) {
+    out << len_grid_[li];
+    for (int b = 1; b <= max_batch_; ++b) {
+      out << "," << grid_[li * static_cast<size_t>(max_batch_) +
+                          static_cast<size_t>(b - 1)];
+    }
+    out << "\n";
+  }
+}
+
+CostTable CostTable::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  TT_CHECK_MSG(in.good(), "cannot open " << path);
+  CostTable t;
+  std::string line;
+  TT_CHECK(static_cast<bool>(std::getline(in, line)));
+  std::sscanf(line.c_str(), "max_len,%d,max_batch,%d,len_step,%d",
+              &t.max_len_, &t.max_batch_, &t.len_step_);
+  TT_CHECK_GT(t.max_len_, 0);
+  TT_CHECK_GT(t.max_batch_, 0);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string field;
+    TT_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+    t.len_grid_.push_back(std::stoi(field));
+    for (int b = 1; b <= t.max_batch_; ++b) {
+      TT_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+      t.grid_.push_back(std::stod(field));
+    }
+  }
+  TT_CHECK_EQ(t.grid_.size(),
+              t.len_grid_.size() * static_cast<size_t>(t.max_batch_));
+  return t;
+}
+
+}  // namespace turbo::serving

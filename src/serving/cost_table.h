@@ -1,0 +1,61 @@
+// cached_cost: the (sequence length, batch size) -> latency dictionary that
+// drives the DP batch scheduler (paper §5, §6.3).
+//
+// Built by a warm-up phase that evaluates the runtime's latency over a grid
+// of lengths x batch sizes; off-grid queries bilinearly interpolate (the
+// paper's second strategy for large parameter spaces). Tables can be saved
+// to / loaded from a CSV file, standing in for the paper's database reload
+// on service restart.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace turbo::serving {
+
+class CostTable {
+ public:
+  // latency_ms(length, batch) -> full-batch latency in milliseconds.
+  using LatencyFn = std::function<double(int, int)>;
+
+  // Warm-up: evaluates `latency_ms` on a grid of lengths {len_step, 2 *
+  // len_step, ... max_len} (plus length 1) x batches {1..max_batch}.
+  static CostTable warmup(const LatencyFn& latency_ms, int max_len,
+                          int max_batch, int len_step = 8);
+
+  // Full-batch latency (ms) for serving `batch` requests padded to `len`,
+  // bilinearly interpolated between grid points.
+  double batch_cost_ms(int len, int batch) const;
+
+  // Per-request amortized cost — the paper's cached_cost[len][batch] as it
+  // appears in Equation 2 (multiplied back by batch size inside the DP).
+  double amortized_cost_ms(int len, int batch) const {
+    return batch_cost_ms(len, batch) / batch;
+  }
+
+  int max_len() const { return max_len_; }
+  int max_batch() const { return max_batch_; }
+
+  // Lazy-evaluation update (paper §6.3): fold a real measured batch latency
+  // back into the dictionary. The surrounding grid cells move toward the
+  // observation with an exponential moving average (weight `alpha`, split
+  // by interpolation distance), so serving gradually corrects a coarse or
+  // stale warm-up without a re-warm-up pause.
+  void observe(int len, int batch, double measured_ms, double alpha = 0.25);
+
+  void save_csv(const std::string& path) const;
+  static CostTable load_csv(const std::string& path);
+
+ private:
+  CostTable() = default;
+
+  int max_len_ = 0;
+  int max_batch_ = 0;
+  int len_step_ = 0;
+  std::vector<int> len_grid_;
+  // grid_[li * max_batch + (b-1)] = latency for len_grid_[li], batch b.
+  std::vector<double> grid_;
+};
+
+}  // namespace turbo::serving

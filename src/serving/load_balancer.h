@@ -1,0 +1,46 @@
+// Multi-server load balancing (paper §5: "In a multi-server environment,
+// an upper-level load balancer as the one in Nexus can ensure that the
+// requests assigned to each server will not be overloaded").
+//
+// Dispatches an arrival trace across N simulated servers (each a
+// scheduler + cost table, possibly heterogeneous), then runs the per-server
+// discrete-event simulation on its assigned sub-trace.
+//
+//   kRoundRobin   — arrival i -> server i mod N.
+//   kLeastLoaded  — each request goes to the server with the least
+//                   outstanding predicted work at its arrival instant
+//                   (Nexus-style backlog awareness).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serving/simulator.h"
+
+namespace turbo::serving {
+
+enum class DispatchPolicy { kRoundRobin, kLeastLoaded };
+
+struct ClusterServer {
+  std::string name;
+  const BatchScheduler* scheduler = nullptr;
+  const CostTable* costs = nullptr;
+  // Relative speed: 1.0 = nominal; a 0.5 server takes 2x the table cost.
+  double speed = 1.0;
+};
+
+struct ClusterResult {
+  DispatchPolicy policy;
+  std::vector<SimResult> per_server;
+  double total_response_rate = 0.0;
+  bool any_saturated = false;
+  // Over all completed requests in the cluster.
+  SampleSummary latency_ms;
+};
+
+ClusterResult simulate_cluster(const std::vector<Request>& arrivals,
+                               const std::vector<ClusterServer>& servers,
+                               DispatchPolicy policy,
+                               const SimOptions& options);
+
+}  // namespace turbo::serving

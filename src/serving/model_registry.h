@@ -1,0 +1,68 @@
+// Model version management and ensembles (paper §2.2: "the advanced
+// functionalities of the serving framework include ... model version
+// management, and model ensembles").
+//
+// A registry maps model name -> versioned encoder checkpoints. Serving code
+// resolves either the latest version or a pinned one; an Ensemble averages
+// the hidden-state outputs (or classifier logits) of several registered
+// models. Registration and resolution are thread-safe.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/encoder.h"
+
+namespace turbo::serving {
+
+class ModelRegistry {
+ public:
+  // Registers a model under (name, version). Throws if the exact pair is
+  // already present.
+  void register_model(const std::string& name, int version,
+                      std::shared_ptr<model::EncoderModel> model);
+
+  // Removes one version; returns false if absent.
+  bool unregister_model(const std::string& name, int version);
+
+  // Latest (highest-version) model for the name; nullptr if none.
+  std::shared_ptr<model::EncoderModel> latest(const std::string& name) const;
+
+  // Exact version; nullptr if absent.
+  std::shared_ptr<model::EncoderModel> version(const std::string& name,
+                                               int v) const;
+
+  // All registered versions of a model, ascending.
+  std::vector<int> versions(const std::string& name) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // name -> version -> model
+  std::map<std::string, std::map<int, std::shared_ptr<model::EncoderModel>>>
+      models_;
+};
+
+// Averages the forward outputs of several models with identical output
+// shapes (same hidden size). Standard serving-side ensembling.
+class EncoderEnsemble {
+ public:
+  explicit EncoderEnsemble(
+      std::vector<std::shared_ptr<model::EncoderModel>> members);
+
+  // Mean of members' hidden states [B, S, H].
+  Tensor forward(const Tensor& ids,
+                 const std::vector<int>* valid_lens = nullptr);
+
+  size_t size() const { return members_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<model::EncoderModel>> members_;
+};
+
+}  // namespace turbo::serving

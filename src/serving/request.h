@@ -1,0 +1,24 @@
+// Serving-framework request/response records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace turbo::serving {
+
+struct Request {
+  int64_t id = 0;
+  int length = 0;            // sequence length (tokens)
+  double arrival_s = 0.0;    // arrival time at the message queue
+  std::vector<int> tokens;   // optional payload (real-execution paths)
+};
+
+struct Response {
+  int64_t request_id = 0;
+  double finish_s = 0.0;
+  double latency_ms = 0.0;
+  int batch_size = 0;        // batch the request was served in
+  int padded_length = 0;     // padded length of that batch
+};
+
+}  // namespace turbo::serving

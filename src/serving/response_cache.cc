@@ -1,0 +1,41 @@
+#include "serving/response_cache.h"
+
+namespace turbo::serving {
+
+uint64_t ResponseCache::key_of(const std::vector<int>& tokens) {
+  // FNV-1a over the token stream.
+  uint64_t h = 1469598103934665603ULL;
+  for (int t : tokens) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(t));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::optional<std::vector<float>> ResponseCache::lookup(uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->response;
+}
+
+void ResponseCache::insert(uint64_t key, std::vector<float> response) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->response = std::move(response);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(response)});
+  map_[key] = lru_.begin();
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace turbo::serving

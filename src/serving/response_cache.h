@@ -1,0 +1,43 @@
+// Response cache (the "Resp Cache" box of paper Fig. 2): an LRU map from
+// request content to a previously computed response, answering frequent
+// requests without evaluating the model (as in Clipper). The paper's
+// experiments run with caching off; the component is provided (and
+// exercised by examples/tests) for completeness of the serving framework.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace turbo::serving {
+
+class ResponseCache {
+ public:
+  explicit ResponseCache(size_t capacity) : capacity_(capacity) {}
+
+  // Content key for a token sequence.
+  static uint64_t key_of(const std::vector<int>& tokens);
+
+  std::optional<std::vector<float>> lookup(uint64_t key);
+  void insert(uint64_t key, std::vector<float> response);
+
+  size_t size() const { return map_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    std::vector<float> response;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace turbo::serving

@@ -1,0 +1,112 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace turbo::serving {
+
+std::vector<Batch> NoBatchScheduler::schedule(
+    const std::vector<Request>& requests, const CostTable& costs) const {
+  std::vector<Batch> batches;
+  batches.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Batch b;
+    b.request_indices = {i};
+    b.padded_length = requests[i].length;
+    b.predicted_cost_ms = costs.batch_cost_ms(requests[i].length, 1);
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+std::vector<Batch> NaiveBatchScheduler::schedule(
+    const std::vector<Request>& requests, const CostTable& costs) const {
+  std::vector<Batch> batches;
+  for (size_t begin = 0; begin < requests.size();
+       begin += static_cast<size_t>(max_batch_)) {
+    const size_t end =
+        std::min(requests.size(), begin + static_cast<size_t>(max_batch_));
+    Batch b;
+    int max_len = 0;
+    for (size_t i = begin; i < end; ++i) {
+      b.request_indices.push_back(i);
+      max_len = std::max(max_len, requests[i].length);
+    }
+    b.padded_length = max_len;
+    b.predicted_cost_ms = costs.batch_cost_ms(max_len, b.size());
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+std::vector<Batch> DpBatchScheduler::schedule(
+    const std::vector<Request>& requests, const CostTable& costs) const {
+  const int n = static_cast<int>(requests.size());
+  if (n == 0) return {};
+
+  // Algorithm 2 L1: sort (indices) by increasing sequence length.
+  std::vector<size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return requests[a].length < requests[b].length;
+  });
+
+  // states[i]: minimum time to serve the first i sorted requests;
+  // start_idx[i]: first sorted position (0-based) of the batch ending at i.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> states(static_cast<size_t>(n) + 1, kInf);
+  std::vector<int> start_idx(static_cast<size_t>(n) + 1, 0);
+  states[0] = 0.0;
+
+  for (int i = 1; i <= n; ++i) {
+    const int cur_length = requests[order[static_cast<size_t>(i - 1)]].length;
+    // Batch [j..i] (1-based over sorted positions): since the list is
+    // sorted, request i has the max length, so the whole batch pads to it.
+    double min_cost = kInf;
+    int best_start = i - 1;
+    const int j_low = std::max(1, i - max_batch_ + 1);
+    for (int j = i; j >= j_low; --j) {
+      const int bs = i - j + 1;
+      const double tmp = states[static_cast<size_t>(j - 1)] +
+                         costs.amortized_cost_ms(cur_length, bs) * bs;
+      if (tmp < min_cost) {
+        min_cost = tmp;
+        best_start = j - 1;
+      }
+    }
+    states[static_cast<size_t>(i)] = min_cost;
+    start_idx[static_cast<size_t>(i)] = best_start;
+  }
+
+  // Backtrack (Algorithm 2 L19-L24).
+  std::vector<Batch> batches;
+  int i = n;
+  while (i > 0) {
+    const int start = start_idx[static_cast<size_t>(i)];
+    Batch b;
+    int max_len = 0;
+    for (int p = start; p < i; ++p) {
+      const size_t idx = order[static_cast<size_t>(p)];
+      b.request_indices.push_back(idx);
+      max_len = std::max(max_len, requests[idx].length);
+    }
+    b.padded_length = max_len;
+    b.predicted_cost_ms = costs.batch_cost_ms(max_len, b.size());
+    batches.push_back(std::move(b));
+    i = start;
+  }
+  // Shortest-length batches first (they were emitted in reverse).
+  std::reverse(batches.begin(), batches.end());
+  return batches;
+}
+
+double scheme_cost_ms(const std::vector<Batch>& batches) {
+  double total = 0.0;
+  for (const auto& b : batches) total += b.predicted_cost_ms;
+  return total;
+}
+
+}  // namespace turbo::serving

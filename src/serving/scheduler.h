@@ -1,0 +1,76 @@
+// Batch schedulers (paper §5).
+//
+// Given the requests currently in the message queue, a scheduler partitions
+// them into batches; each batch is zero-padded to its longest member.
+//
+//   NoBatchScheduler    — every request alone (PyTorch-NoBatch and
+//                         Turbo-NoBatch baselines).
+//   NaiveBatchScheduler — everything in the queue in one batch (chunked
+//                         only by the max batch size); pays full padding.
+//   DpBatchScheduler    — Algorithm 2: sort by length, dynamic program over
+//                         split points with Equation 2, O(n^2) (O(n * max
+//                         batch) with the batch-size cap), maximizing
+//                         response throughput.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serving/cost_table.h"
+#include "serving/request.h"
+
+namespace turbo::serving {
+
+struct Batch {
+  std::vector<size_t> request_indices;  // into the scheduler's input list
+  int padded_length = 0;
+  double predicted_cost_ms = 0.0;
+
+  int size() const { return static_cast<int>(request_indices.size()); }
+};
+
+class BatchScheduler {
+ public:
+  virtual ~BatchScheduler() = default;
+  virtual std::string name() const = 0;
+
+  // Partition `requests` into batches. Every index appears exactly once.
+  virtual std::vector<Batch> schedule(const std::vector<Request>& requests,
+                                      const CostTable& costs) const = 0;
+};
+
+class NoBatchScheduler final : public BatchScheduler {
+ public:
+  std::string name() const override { return "NoBatch"; }
+  std::vector<Batch> schedule(const std::vector<Request>& requests,
+                              const CostTable& costs) const override;
+};
+
+class NaiveBatchScheduler final : public BatchScheduler {
+ public:
+  explicit NaiveBatchScheduler(int max_batch) : max_batch_(max_batch) {}
+  std::string name() const override { return "Naive-Batch"; }
+  std::vector<Batch> schedule(const std::vector<Request>& requests,
+                              const CostTable& costs) const override;
+
+ private:
+  int max_batch_;
+};
+
+class DpBatchScheduler final : public BatchScheduler {
+ public:
+  explicit DpBatchScheduler(int max_batch) : max_batch_(max_batch) {}
+  std::string name() const override { return "DP-Batch"; }
+  std::vector<Batch> schedule(const std::vector<Request>& requests,
+                              const CostTable& costs) const override;
+
+ private:
+  int max_batch_;
+};
+
+// Total predicted time of a batching scheme — the DP's objective, exposed
+// so tests can assert optimality against brute force.
+double scheme_cost_ms(const std::vector<Batch>& batches);
+
+}  // namespace turbo::serving

@@ -1,0 +1,86 @@
+#include "serving/server.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace turbo::serving {
+
+Server::Server(std::unique_ptr<model::SequenceClassifier> classifier,
+               std::unique_ptr<BatchScheduler> scheduler, CostTable costs,
+               size_t cache_capacity)
+    : classifier_(std::move(classifier)),
+      scheduler_(std::move(scheduler)),
+      costs_(std::move(costs)) {
+  TT_CHECK(classifier_ != nullptr);
+  TT_CHECK(scheduler_ != nullptr);
+  if (cache_capacity > 0) {
+    cache_ = std::make_unique<ResponseCache>(cache_capacity);
+  }
+}
+
+std::vector<ServedResult> Server::serve(const std::vector<Request>& requests) {
+  std::vector<ServedResult> results(requests.size());
+  std::vector<Request> to_run;
+  std::vector<size_t> run_slots;  // index into `results`
+
+  // Response-cache pass.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    TT_CHECK_MSG(!r.tokens.empty(), "request " << r.id << " has no payload");
+    TT_CHECK_EQ(r.length, static_cast<int>(r.tokens.size()));
+    results[i].request_id = r.id;
+    if (cache_ != nullptr) {
+      if (auto hit = cache_->lookup(ResponseCache::key_of(r.tokens))) {
+        results[i].logits = std::move(*hit);
+        results[i].from_cache = true;
+        results[i].label = static_cast<int>(
+            std::max_element(results[i].logits.begin(),
+                             results[i].logits.end()) -
+            results[i].logits.begin());
+        continue;
+      }
+    }
+    run_slots.push_back(i);
+    to_run.push_back(r);
+  }
+
+  const int num_classes = classifier_->num_classes();
+  const std::vector<Batch> batches = scheduler_->schedule(to_run, costs_);
+  for (const auto& batch : batches) {
+    const int bs = batch.size();
+    const int padded = batch.padded_length;
+    TT_CHECK_GT(padded, 0);
+
+    // Zero-pad the batch and record true lengths for attention masking.
+    Tensor ids = Tensor::zeros(Shape{bs, padded}, DType::kI32);
+    std::vector<int> valid_lens(static_cast<size_t>(bs));
+    for (int b = 0; b < bs; ++b) {
+      const Request& r = to_run[batch.request_indices[static_cast<size_t>(b)]];
+      std::copy(r.tokens.begin(), r.tokens.end(),
+                ids.data<int32_t>() + static_cast<long>(b) * padded);
+      valid_lens[static_cast<size_t>(b)] = r.length;
+    }
+
+    Tensor logits = classifier_->classify(ids, &valid_lens);
+    for (int b = 0; b < bs; ++b) {
+      const size_t slot =
+          run_slots[batch.request_indices[static_cast<size_t>(b)]];
+      const float* row =
+          logits.data<float>() + static_cast<long>(b) * num_classes;
+      auto& out = results[slot];
+      out.logits.assign(row, row + num_classes);
+      out.label = static_cast<int>(
+          std::max_element(out.logits.begin(), out.logits.end()) -
+          out.logits.begin());
+      if (cache_ != nullptr) {
+        const Request& r =
+            to_run[batch.request_indices[static_cast<size_t>(b)]];
+        cache_->insert(ResponseCache::key_of(r.tokens), out.logits);
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace turbo::serving

@@ -1,0 +1,48 @@
+// In-process serving front end: the paper's Figure 2 pipeline (message
+// queue -> response cache -> batch scheduler -> runtime) wired to a real
+// model. Requests carry token payloads; scheduled batches are zero-padded,
+// executed through the classifier with attention masking, and unpacked
+// into per-request responses.
+//
+// This is the real-execution counterpart of the discrete-event simulator:
+// the simulator measures scheduling policies at datacenter rates, this
+// class actually serves.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/classifier.h"
+#include "serving/response_cache.h"
+#include "serving/scheduler.h"
+
+namespace turbo::serving {
+
+struct ServedResult {
+  int64_t request_id = 0;
+  std::vector<float> logits;
+  int label = 0;
+  bool from_cache = false;
+};
+
+class Server {
+ public:
+  Server(std::unique_ptr<model::SequenceClassifier> classifier,
+         std::unique_ptr<BatchScheduler> scheduler, CostTable costs,
+         size_t cache_capacity = 0);
+
+  // Serves every request in the queue snapshot; results are returned in
+  // request order.
+  std::vector<ServedResult> serve(const std::vector<Request>& requests);
+
+  const ResponseCache* cache() const { return cache_.get(); }
+  model::SequenceClassifier& classifier() { return *classifier_; }
+
+ private:
+  std::unique_ptr<model::SequenceClassifier> classifier_;
+  std::unique_ptr<BatchScheduler> scheduler_;
+  CostTable costs_;
+  std::unique_ptr<ResponseCache> cache_;
+};
+
+}  // namespace turbo::serving

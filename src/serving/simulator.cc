@@ -1,0 +1,135 @@
+#include "serving/simulator.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace turbo::serving {
+
+SimResult simulate_serving(const std::vector<Request>& arrivals,
+                           const BatchScheduler& scheduler,
+                           const CostTable& costs,
+                           const SimOptions& options) {
+  TT_CHECK(!arrivals.empty());
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    TT_CHECK_GE(arrivals[i].arrival_s, arrivals[i - 1].arrival_s);
+  }
+  const double horizon_end = arrivals.back().arrival_s;
+  // Give the server up to one extra horizon to drain; anything left after
+  // that is a growing backlog, i.e. the system is past its critical point.
+  const double deadline = 2.0 * horizon_end + 1.0;
+
+  std::deque<Request> queue;
+  size_t next_arrival = 0;
+  size_t total_dropped = 0;
+  double now = 0.0;
+  double busy_s = 0.0;
+  double last_finish = 0.0;
+  double padded_tokens = 0.0, real_tokens = 0.0;
+  std::vector<double> latencies;
+
+  auto admit_until = [&](double t) {
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].arrival_s <= t) {
+      queue.push_back(arrivals[next_arrival]);
+      ++next_arrival;
+    }
+  };
+
+  while (now <= deadline) {
+    admit_until(now);
+    if (queue.empty()) {
+      if (next_arrival >= arrivals.size()) break;  // drained everything
+      now = arrivals[next_arrival].arrival_s;
+      continue;
+    }
+
+    if (options.trigger == TriggerPolicy::kLazy) {
+      // Fire when the queue fills, the head request has waited out the
+      // timeout, or its wait plus estimated execution threatens the SLO.
+      const double oldest = queue.front().arrival_s;
+      const double est_exec_ms =
+          costs.batch_cost_ms(queue.front().length,
+                              std::min<int>(options.max_batch,
+                                            static_cast<int>(queue.size())));
+      const bool fire =
+          static_cast<int>(queue.size()) >= options.max_batch ||
+          (now - oldest) * 1e3 >= options.lazy_timeout_ms ||
+          (now - oldest) * 1e3 + est_exec_ms >= options.latency_slo_ms / 2;
+      if (!fire) {
+        double next_event = oldest + options.lazy_timeout_ms / 1e3;
+        if (next_arrival < arrivals.size()) {
+          next_event = std::min(next_event, arrivals[next_arrival].arrival_s);
+        }
+        // Rounding can leave next_event == now when the timeout boundary is
+        // hit exactly; fall through and fire rather than spin.
+        if (next_event > now) {
+          now = next_event;
+          continue;
+        }
+      }
+    }
+
+    // Admission control: shed requests that already blew their deadline.
+    size_t dropped_now = 0;
+    if (options.drop_timeout_ms > 0) {
+      std::deque<Request> kept;
+      for (auto& r : queue) {
+        if ((now - r.arrival_s) * 1e3 > options.drop_timeout_ms) {
+          ++dropped_now;
+        } else {
+          kept.push_back(std::move(r));
+        }
+      }
+      queue = std::move(kept);
+      total_dropped += dropped_now;
+      if (queue.empty()) continue;
+    }
+
+    // Snapshot the MQ and schedule it.
+    std::vector<Request> snapshot(queue.begin(), queue.end());
+    queue.clear();
+    const std::vector<Batch> batches = scheduler.schedule(snapshot, costs);
+    size_t scheduled = 0;
+    for (const auto& b : batches) scheduled += b.request_indices.size();
+    TT_CHECK_EQ(scheduled, snapshot.size());
+
+    for (const auto& b : batches) {
+      const double start = now;
+      const double exec_s = b.predicted_cost_ms / 1e3;
+      const double end = start + exec_s;
+      busy_s += exec_s;
+      for (size_t idx : b.request_indices) {
+        const Request& r = snapshot[idx];
+        latencies.push_back((end - r.arrival_s) * 1e3);
+        padded_tokens += b.padded_length;
+        real_tokens += r.length;
+      }
+      last_finish = end;
+      now = end;
+      if (now > deadline) break;
+    }
+  }
+
+  SimResult result;
+  result.scheduler = scheduler.name();
+  result.arrived = arrivals.size();
+  result.completed = latencies.size();
+  result.request_rate =
+      static_cast<double>(arrivals.size()) / std::max(horizon_end, 1e-9);
+  const double elapsed = std::max(horizon_end, last_finish);
+  result.response_rate = static_cast<double>(result.completed) / elapsed;
+  result.dropped = total_dropped;
+  const size_t backlog = result.arrived - result.completed - total_dropped;
+  result.saturated =
+      static_cast<double>(backlog + total_dropped) >
+      options.saturation_backlog_frac * static_cast<double>(result.arrived);
+  result.latency_ms = summarize(latencies);
+  result.gpu_busy_frac = busy_s / std::max(elapsed, 1e-9);
+  result.padding_overhead_frac =
+      real_tokens > 0 ? padded_tokens / real_tokens - 1.0 : 0.0;
+  return result;
+}
+
+}  // namespace turbo::serving

@@ -1,0 +1,63 @@
+// Discrete-event serving simulator (paper §6.3 experimental substrate).
+//
+// Replays a pre-generated arrival trace against one simulated GPU whose
+// batch service times come from the CostTable. The trigger policy decides
+// when the batch scheduler fires:
+//
+//   hungry — the moment the runtime goes idle, schedule whatever is in the
+//            message queue (the policy the paper's experiments use);
+//   lazy   — wait for max_batch queued requests or a timeout, and fire
+//            early if the oldest waiting request risks its SLO (§5).
+//
+// Saturation semantics follow the paper: when the arrival rate exceeds the
+// critical point, the queue grows without bound and latency tends to
+// infinity — reported here as saturated=true with the achieved response
+// throughput.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/stats.h"
+#include "serving/cost_table.h"
+#include "serving/request.h"
+#include "serving/scheduler.h"
+
+namespace turbo::serving {
+
+enum class TriggerPolicy { kHungry, kLazy };
+
+struct SimOptions {
+  TriggerPolicy trigger = TriggerPolicy::kHungry;
+  // Lazy-policy knobs (§5): fire on queue >= max_batch or timeout, or when
+  // the head-of-queue wait plus estimated execution exceeds half the SLO.
+  double lazy_timeout_ms = 5.0;
+  double latency_slo_ms = 100.0;
+  int max_batch = 20;
+  // Backlog fraction above which the run is declared saturated.
+  double saturation_backlog_frac = 0.05;
+  // Admission control: requests that have waited longer than this when the
+  // scheduler fires are dropped instead of served (paper §6.3: past the
+  // critical point "the service system has to drop some requests").
+  // 0 disables dropping.
+  double drop_timeout_ms = 0.0;
+};
+
+struct SimResult {
+  std::string scheduler;
+  double request_rate = 0.0;    // offered load (req/s)
+  double response_rate = 0.0;   // achieved throughput (resp/s)
+  bool saturated = false;
+  SampleSummary latency_ms;     // over completed requests
+  size_t arrived = 0;
+  size_t completed = 0;
+  size_t dropped = 0;  // admission-control drops (drop_timeout_ms)
+  double gpu_busy_frac = 0.0;
+  double padding_overhead_frac = 0.0;  // padded tokens / real tokens - 1
+};
+
+SimResult simulate_serving(const std::vector<Request>& arrivals,
+                           const BatchScheduler& scheduler,
+                           const CostTable& costs, const SimOptions& options);
+
+}  // namespace turbo::serving

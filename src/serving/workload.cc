@@ -1,0 +1,29 @@
+#include "serving/workload.h"
+
+#include "common/check.h"
+
+namespace turbo::serving {
+
+std::vector<Request> generate_poisson_workload(const WorkloadSpec& spec) {
+  TT_CHECK_GT(spec.rate_per_s, 0.0);
+  TT_CHECK_GT(spec.horizon_s, 0.0);
+  TT_CHECK_GE(spec.max_len, spec.min_len);
+  TT_CHECK_GE(spec.min_len, 1);
+
+  Rng rng(spec.seed);
+  std::vector<Request> requests;
+  double t = 0.0;
+  int64_t id = 0;
+  for (;;) {
+    t += rng.exponential(spec.rate_per_s);
+    if (t >= spec.horizon_s) break;
+    Request r;
+    r.id = id++;
+    r.arrival_s = t;
+    r.length = static_cast<int>(rng.uniform_int(spec.min_len, spec.max_len));
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+}  // namespace turbo::serving

@@ -1,0 +1,24 @@
+// Workload generation for the serving experiments (§6.3): requests with
+// uniformly distributed sequence lengths arriving with Poisson
+// inter-arrival times.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "serving/request.h"
+
+namespace turbo::serving {
+
+struct WorkloadSpec {
+  double rate_per_s = 100.0;  // Poisson arrival rate
+  double horizon_s = 10.0;    // generate arrivals in [0, horizon)
+  int min_len = 2;
+  int max_len = 100;
+  uint64_t seed = 0x5eed;
+};
+
+// Requests sorted by arrival time.
+std::vector<Request> generate_poisson_workload(const WorkloadSpec& spec);
+
+}  // namespace turbo::serving

@@ -1,0 +1,71 @@
+#include "tensor/tensor.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace turbo {
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor Tensor::owned(Shape shape, DType dtype) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.dtype_ = dtype;
+  t.storage_ = std::make_shared<AlignedBuffer>(
+      static_cast<size_t>(t.shape_.numel()) * dtype_size(dtype));
+  t.data_ = t.storage_->data();
+  return t;
+}
+
+Tensor Tensor::zeros(Shape shape, DType dtype) {
+  Tensor t = owned(std::move(shape), dtype);
+  t.zero();
+  return t;
+}
+
+Tensor Tensor::view(void* data, Shape shape, DType dtype) {
+  TT_CHECK(data != nullptr || shape.numel() == 0);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.dtype_ = dtype;
+  t.data_ = data;
+  return t;
+}
+
+void Tensor::zero() {
+  if (data_ != nullptr) std::memset(data_, 0, bytes());
+}
+
+size_t Tensor::flat_index(std::initializer_list<int64_t> idx) const {
+  TT_CHECK_EQ(static_cast<int>(idx.size()), shape_.ndim());
+  size_t flat = 0;
+  int d = 0;
+  for (int64_t i : idx) {
+    TT_CHECK_GE(i, 0);
+    TT_CHECK_LT(i, shape_.dim(d));
+    flat = flat * static_cast<size_t>(shape_.dim(d)) + static_cast<size_t>(i);
+    ++d;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  TT_CHECK(dtype_ == DType::kF32);
+  return static_cast<float*>(data_)[flat_index(idx)];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  TT_CHECK(dtype_ == DType::kF32);
+  return static_cast<const float*>(data_)[flat_index(idx)];
+}
+
+}  // namespace turbo

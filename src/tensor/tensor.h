@@ -1,0 +1,117 @@
+// Dense row-major tensors.
+//
+// A Tensor is a shape plus a pointer. It either owns its storage (weights,
+// inputs) or is a view into allocator-managed memory (intermediate
+// activations placed by src/memory). Only the dtypes the runtime needs are
+// supported: f32 activations/weights and i32 token ids.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/check.h"
+
+namespace turbo {
+
+enum class DType { kF32, kI32 };
+
+inline size_t dtype_size(DType t) {
+  return t == DType::kF32 ? sizeof(float) : sizeof(int32_t);
+}
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { check(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    check();
+  }
+
+  int ndim() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const {
+    TT_CHECK_GE(i, 0);
+    TT_CHECK_LT(i, ndim());
+    return dims_[static_cast<size_t>(i)];
+  }
+  int64_t operator[](int i) const { return dim(i); }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  int64_t numel() const {
+    int64_t n = 1;
+    for (auto d : dims_) n *= d;
+    return n;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+
+  std::string str() const;
+
+ private:
+  void check() const {
+    for (auto d : dims_) TT_CHECK_GE(d, 0);
+  }
+  std::vector<int64_t> dims_;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Owning tensor, uninitialized contents.
+  static Tensor owned(Shape shape, DType dtype = DType::kF32);
+
+  // Owning tensor, zero-filled.
+  static Tensor zeros(Shape shape, DType dtype = DType::kF32);
+
+  // Non-owning view over external storage (e.g. an allocator placement).
+  // The caller guarantees `data` outlives the view and holds at least
+  // shape.numel() * dtype_size bytes.
+  static Tensor view(void* data, Shape shape, DType dtype = DType::kF32);
+
+  const Shape& shape() const { return shape_; }
+  DType dtype() const { return dtype_; }
+  int64_t numel() const { return shape_.numel(); }
+  size_t bytes() const { return static_cast<size_t>(numel()) * dtype_size(dtype_); }
+  bool defined() const { return data_ != nullptr; }
+
+  template <typename T>
+  T* data() {
+    check_type<T>();
+    return static_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* data() const {
+    check_type<T>();
+    return static_cast<const T*>(data_);
+  }
+
+  // Bounds-checked element access for tests and small code paths.
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  void zero();
+
+ private:
+  template <typename T>
+  void check_type() const {
+    if constexpr (std::is_same_v<T, float>) {
+      TT_CHECK(dtype_ == DType::kF32);
+    } else {
+      static_assert(std::is_same_v<T, int32_t>, "unsupported dtype");
+      TT_CHECK(dtype_ == DType::kI32);
+    }
+  }
+  size_t flat_index(std::initializer_list<int64_t> idx) const;
+
+  Shape shape_;
+  DType dtype_ = DType::kF32;
+  void* data_ = nullptr;
+  std::shared_ptr<AlignedBuffer> storage_;  // null for views
+};
+
+}  // namespace turbo

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "serving/async_server.h"
+
+namespace turbo::serving {
+namespace {
+
+model::ModelConfig tiny() { return model::ModelConfig::tiny(2, 32, 2, 64, 50); }
+
+std::unique_ptr<Server> make_sync_server(size_t cache = 0) {
+  auto costs = CostTable::warmup(
+      [](int len, int batch) { return 0.5 + 0.01 * len * batch; }, 64, 8, 8);
+  return std::make_unique<Server>(
+      std::make_unique<model::SequenceClassifier>(tiny(), 3, 99),
+      std::make_unique<DpBatchScheduler>(8), std::move(costs), cache);
+}
+
+Request make_request(Rng& rng, int64_t id, int len) {
+  Request r;
+  r.id = id;
+  r.length = len;
+  r.tokens = rng.token_ids(len, 50);
+  return r;
+}
+
+TEST(AsyncServer, ServesSubmittedRequests) {
+  AsyncServer server(make_sync_server());
+  Rng rng(1);
+  auto f1 = server.submit(make_request(rng, 1, 8));
+  auto f2 = server.submit(make_request(rng, 2, 20));
+  const auto r1 = f1.get();
+  const auto r2 = f2.get();
+  EXPECT_EQ(r1.request_id, 1);
+  EXPECT_EQ(r2.request_id, 2);
+  EXPECT_EQ(r1.logits.size(), 3u);
+  server.shutdown();
+  EXPECT_EQ(server.served(), 2u);
+}
+
+TEST(AsyncServer, ResultsMatchSynchronousServer) {
+  // The async pipeline (MQ + hungry trigger + batching) must not change any
+  // request's answer.
+  auto reference_server = make_sync_server();
+  Rng rng(2);
+  std::vector<Request> requests;
+  for (int i = 0; i < 6; ++i) requests.push_back(make_request(rng, i, 4 + 6 * i));
+  const auto expected = reference_server->serve(requests);
+
+  AsyncServer server(make_sync_server());
+  std::vector<std::future<ServedResult>> futures;
+  for (const auto& r : requests) futures.push_back(server.submit(r));
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const auto got = futures[i].get();
+    ASSERT_EQ(got.logits.size(), expected[i].logits.size());
+    for (size_t c = 0; c < got.logits.size(); ++c) {
+      EXPECT_NEAR(got.logits[c], expected[i].logits[c], 5e-3f);
+    }
+    EXPECT_EQ(got.label, expected[i].label);
+  }
+}
+
+TEST(AsyncServer, ConcurrentClientsAllServed) {
+  AsyncServer server(make_sync_server());
+  constexpr int kClients = 8, kPerClient = 5;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::future<ServedResult>>> futures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(static_cast<uint64_t>(c) + 10);
+      for (int i = 0; i < kPerClient; ++i) {
+        futures[static_cast<size_t>(c)].push_back(server.submit(
+            make_request(rng, c * 100 + i, 3 + (c + i) % 20)));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    for (auto& f : futures[static_cast<size_t>(c)]) {
+      const auto r = f.get();
+      EXPECT_GE(r.label, 0);
+      EXPECT_LT(r.label, 3);
+    }
+  }
+  server.shutdown();
+  EXPECT_EQ(server.served(), static_cast<size_t>(kClients * kPerClient));
+}
+
+TEST(AsyncServer, HungryTriggerBatchesBursts) {
+  AsyncServer server(make_sync_server());
+  Rng rng(3);
+  // A burst submitted faster than the worker can drain forms batches: the
+  // scheduler should run far fewer times than there are requests.
+  std::vector<std::future<ServedResult>> futures;
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(server.submit(make_request(rng, i, 4 + i % 16)));
+  }
+  for (auto& f : futures) f.get();
+  server.shutdown();
+  EXPECT_EQ(server.served(), 40u);
+  EXPECT_LT(server.scheduler_runs(), 40u);
+  EXPECT_GE(server.scheduler_runs(), 1u);
+}
+
+TEST(AsyncServer, SubmitAfterShutdownRejected) {
+  AsyncServer server(make_sync_server());
+  server.shutdown();
+  Rng rng(4);
+  EXPECT_THROW(server.submit(make_request(rng, 1, 5)), CheckError);
+}
+
+TEST(AsyncServer, ShutdownDrainsPendingWork) {
+  auto server = std::make_unique<AsyncServer>(make_sync_server());
+  Rng rng(5);
+  std::vector<std::future<ServedResult>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(server->submit(make_request(rng, i, 6)));
+  }
+  server->shutdown();  // must not orphan the futures
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(AsyncServer, BadRequestSurfacesAsException) {
+  AsyncServer server(make_sync_server());
+  Request bad;
+  bad.id = 1;
+  bad.length = 4;  // no payload tokens
+  auto f = server.submit(bad);
+  EXPECT_THROW(f.get(), CheckError);
+  // The server stays alive for subsequent good requests.
+  Rng rng(6);
+  auto good = server.submit(make_request(rng, 2, 5));
+  EXPECT_NO_THROW(good.get());
+}
+
+}  // namespace
+}  // namespace turbo::serving

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "kernels/fp16.h"
+#include "kernels/gemm.h"
+#include "model/encoder.h"
+
+namespace turbo::kernels {
+namespace {
+
+TEST(Fp16, ExactValuesRoundTrip) {
+  // Values exactly representable in binary16 survive the round trip.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(round_to_fp16(v), v) << v;
+  }
+}
+
+TEST(Fp16, SignedZeroPreserved) {
+  EXPECT_EQ(fp32_to_fp16_bits(-0.0f), 0x8000u);
+  EXPECT_EQ(fp32_to_fp16_bits(0.0f), 0x0000u);
+}
+
+TEST(Fp16, KnownBitPatterns) {
+  EXPECT_EQ(fp32_to_fp16_bits(1.0f), 0x3c00u);
+  EXPECT_EQ(fp32_to_fp16_bits(-2.0f), 0xc000u);
+  EXPECT_EQ(fp32_to_fp16_bits(0.5f), 0x3800u);
+  EXPECT_EQ(fp16_bits_to_fp32(0x3c00u), 1.0f);
+  EXPECT_EQ(fp16_bits_to_fp32(0x7c00u),
+            std::numeric_limits<float>::infinity());
+}
+
+TEST(Fp16, OverflowBecomesInfinity) {
+  EXPECT_EQ(round_to_fp16(1e6f), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(round_to_fp16(-1e6f), -std::numeric_limits<float>::infinity());
+}
+
+TEST(Fp16, NanPropagates) {
+  EXPECT_TRUE(std::isnan(round_to_fp16(std::nanf(""))));
+}
+
+TEST(Fp16, SubnormalsRepresented) {
+  // Smallest binary16 subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(round_to_fp16(tiny), tiny);
+  // Below half of it rounds to zero.
+  EXPECT_EQ(round_to_fp16(std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(Fp16, RelativeErrorWithinHalfUlp) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-100.0, 100.0));
+    const float r = round_to_fp16(v);
+    // binary16 has 11 significand bits: max relative error 2^-11.
+    EXPECT_LE(std::abs(r - v), std::abs(v) * 0x1.0p-11 + 1e-24f) << v;
+  }
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 sits exactly between 1.0 and the next fp16 value 1 + 2^-10;
+  // ties go to the even mantissa (1.0).
+  EXPECT_EQ(round_to_fp16(1.0f + 0x1.0p-11f), 1.0f);
+  // Slightly above the midpoint rounds up.
+  EXPECT_EQ(round_to_fp16(1.0f + 0x1.2p-11f), 1.0f + 0x1.0p-10f);
+}
+
+TEST(Fp16Gemm, CloseToFp32OnSmallValues) {
+  Rng rng(6);
+  const int n = 32;
+  std::vector<float> a(n * n), b(n * n), c32(n * n, 0.0f), c16(n * n, 0.0f);
+  rng.fill_uniform(a.data(), a.size(), -0.5f, 0.5f);
+  rng.fill_uniform(b.data(), b.size(), -0.5f, 0.5f);
+  gemm(a.data(), b.data(), c32.data(), n, n, n);
+  gemm_fp16(a.data(), b.data(), c16.data(), n, n, n);
+  for (int i = 0; i < n * n; ++i) {
+    EXPECT_NEAR(c16[i], c32[i], 0.02f);
+  }
+}
+
+TEST(Fp16Gemm, DiffersFromFp32WhenPrecisionMatters) {
+  // Values needing more than 11 significand bits must change.
+  std::vector<float> a{1.0009765f};  // not representable in fp16
+  std::vector<float> b{1.0f};
+  std::vector<float> c16{0.0f};
+  gemm_fp16(a.data(), b.data(), c16.data(), 1, 1, 1);
+  EXPECT_NE(c16[0], a[0]);
+  EXPECT_NEAR(c16[0], a[0], 1e-3f);
+}
+
+// The paper's Turbo-TC claim: "minimal and acceptable precision loss".
+TEST(Fp16Gemm, EndToEndBertPrecisionLossIsSmall) {
+  model::ModelConfig fp32_cfg = model::ModelConfig::tiny(2, 64, 4, 128, 100);
+  model::ModelConfig tc_cfg = fp32_cfg;
+  tc_cfg.tensor_core_gemm = true;
+
+  model::EncoderModel fp32_model(fp32_cfg, 77);
+  model::EncoderModel tc_model(tc_cfg, 77);  // identical weights (same seed)
+
+  Rng rng(9);
+  Tensor ids = Tensor::owned(Shape{2, 24}, DType::kI32);
+  auto toks = rng.token_ids(48, 100);
+  std::copy(toks.begin(), toks.end(), ids.data<int32_t>());
+
+  Tensor ref = fp32_model.forward(ids);
+  Tensor tc = tc_model.forward(ids);
+  double max_err = 0, norm = 0;
+  for (int64_t i = 0; i < ref.numel(); ++i) {
+    max_err = std::max(
+        max_err, std::abs(static_cast<double>(ref.data<float>()[i]) -
+                          tc.data<float>()[i]));
+    norm = std::max(norm, std::abs(static_cast<double>(ref.data<float>()[i])));
+  }
+  EXPECT_GT(max_err, 0.0);            // the paths really differ
+  EXPECT_LT(max_err, 0.05 * norm);    // ...but only slightly (layernorm
+                                      // re-normalizes between layers)
+}
+
+}  // namespace
+}  // namespace turbo::kernels

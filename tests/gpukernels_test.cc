@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "gpukernels/block_reduce.h"
+#include "gpukernels/reduction_sim.h"
+#include "gpusim/block.h"
+#include "kernels/reduction.h"
+
+namespace turbo::gpukernels {
+namespace {
+
+using gpusim::BlockSim;
+using gpusim::DeviceSpec;
+using gpusim::ReduceOp;
+using gpusim::WarpVec;
+
+std::vector<float> random_vec(Rng& rng, size_t n, float lo = -2.0f,
+                              float hi = 2.0f) {
+  std::vector<float> v(n);
+  rng.fill_uniform(v.data(), n, lo, hi);
+  return v;
+}
+
+// ----------------------------------------------------- block_reduce_xelem --
+
+class BlockReduceParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockReduceParam, SumMatchesDirectReduction) {
+  const int x = GetParam();
+  const auto spec = DeviceSpec::rtx2060();
+  BlockSim block(spec, 128, 4096);
+  Rng rng(static_cast<uint64_t>(x));
+
+  std::vector<RowPartials> rows;
+  std::vector<double> expected;
+  for (int r = 0; r < x; ++r) {
+    RowPartials partials(4, WarpVec::filled(0.0f));
+    double sum = 0;
+    for (auto& warp : partials) {
+      for (int l = 0; l < gpusim::kWarpSize; ++l) {
+        const float v = static_cast<float>(rng.uniform(-1, 1));
+        warp[l] = v;
+        sum += v;
+      }
+    }
+    rows.push_back(std::move(partials));
+    expected.push_back(sum);
+  }
+  const auto result = block_reduce_xelem(block, rows, ReduceOp::kSum, 0.0f);
+  ASSERT_EQ(result.size(), static_cast<size_t>(x));
+  for (int r = 0; r < x; ++r) {
+    EXPECT_NEAR(result[static_cast<size_t>(r)],
+                expected[static_cast<size_t>(r)], 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(XWidths, BlockReduceParam,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(BlockReduce, XElemBatchingCutsSynchronization) {
+  // The paper's core claim: reducing X rows together costs far less than X
+  // separate block reductions.
+  const auto spec = DeviceSpec::rtx2060();
+  auto cost_of = [&](int x, int repeats) {
+    BlockSim block(spec, 128, 4096);
+    for (int rep = 0; rep < repeats; ++rep) {
+      std::vector<RowPartials> rows(
+          static_cast<size_t>(x), RowPartials(4, WarpVec::filled(1.0f)));
+      block_reduce_xelem(block, rows, ReduceOp::kSum, 0.0f);
+    }
+    return block.cycles().cycles();
+  };
+  const double batched = cost_of(4, 1);    // 4 rows in one call
+  const double serial = cost_of(1, 4);     // 4 separate calls
+  EXPECT_LT(batched, 0.55 * serial);
+}
+
+TEST(BlockReduce, MaxUsesIdentityPadding) {
+  const auto spec = DeviceSpec::rtx2060();
+  BlockSim block(spec, 64, 4096);
+  std::vector<RowPartials> rows(1, RowPartials(2, WarpVec::filled(-3.0f)));
+  rows[0][1][5] = 7.0f;
+  const auto result = block_reduce_xelem(
+      block, rows, ReduceOp::kMax, -std::numeric_limits<float>::infinity());
+  EXPECT_EQ(result[0], 7.0f);
+}
+
+// ------------------------------------------------------------ softmax sim --
+
+class SoftmaxSimParam
+    : public ::testing::TestWithParam<std::tuple<long, long, ReductionImpl>> {
+};
+
+TEST_P(SoftmaxSimParam, NumericsMatchCpuReference) {
+  const auto [rows, cols, impl] = GetParam();
+  const auto spec = DeviceSpec::rtx2060();
+  Rng rng(static_cast<uint64_t>(rows * 7 + cols));
+  auto data = random_vec(rng, static_cast<size_t>(rows * cols), -4, 4);
+  auto expected = data;
+  kernels::softmax_rows(expected.data(), rows, cols, 0.125f);
+
+  // softmax_sim internally cross-checks the lane-accurate first group
+  // against the bulk result and throws on divergence.
+  const auto result = softmax_sim(data.data(), rows, cols, 0.125f, impl,
+                                  spec);
+  EXPECT_GT(result.time_us, 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_NEAR(data[i], expected[i], 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndImpls, SoftmaxSimParam,
+    ::testing::Combine(::testing::Values<long>(1, 13, 240),
+                       ::testing::Values<long>(10, 100, 500),
+                       ::testing::Values(ReductionImpl::kBaseline,
+                                         ReductionImpl::kCudnn,
+                                         ReductionImpl::kTurbo)));
+
+TEST(SoftmaxSim, CostOnlyMatchesWithDataTiming) {
+  const auto spec = DeviceSpec::rtx2060();
+  Rng rng(5);
+  auto data = random_vec(rng, 240 * 128);
+  const auto with_data =
+      softmax_sim(data.data(), 240, 128, 1.0f, ReductionImpl::kTurbo, spec);
+  const auto cost_only =
+      softmax_sim(nullptr, 240, 128, 1.0f, ReductionImpl::kTurbo, spec);
+  EXPECT_DOUBLE_EQ(with_data.time_us, cost_only.time_us);
+}
+
+TEST(SoftmaxSim, TurboBeatsBaselineOnLargeBatches) {
+  // Fig. 5: at (batch 20, seq 128) -> rows = 20*12*128, the XElem kernel
+  // should be clearly ahead.
+  const auto spec = DeviceSpec::v100();
+  const long rows = 20L * 12 * 128, cols = 128;
+  const double base =
+      softmax_sim(nullptr, rows, cols, 1.0f, ReductionImpl::kBaseline, spec)
+          .time_us;
+  const double turbo =
+      softmax_sim(nullptr, rows, cols, 1.0f, ReductionImpl::kTurbo, spec)
+          .time_us;
+  EXPECT_GT(base / turbo, 1.5);
+}
+
+TEST(SoftmaxSim, SmallShapesLaunchBound) {
+  // Fig. 5 leftmost points: for (1, 10) everything is launch-dominated and
+  // speedups hover near 1.
+  const auto spec = DeviceSpec::v100();
+  const long rows = 1 * 12 * 10, cols = 10;
+  const double base =
+      softmax_sim(nullptr, rows, cols, 1.0f, ReductionImpl::kBaseline, spec)
+          .time_us;
+  const double turbo =
+      softmax_sim(nullptr, rows, cols, 1.0f, ReductionImpl::kTurbo, spec)
+          .time_us;
+  EXPECT_GT(base / turbo, 0.9);
+  EXPECT_LT(base / turbo, 2.0);
+}
+
+TEST(SoftmaxSim, XElemAblationImprovesThenSaturates) {
+  const auto spec = DeviceSpec::v100();
+  const long rows = 4096, cols = 128;
+  std::vector<double> times;
+  for (int x : {1, 2, 4, 8}) {
+    times.push_back(softmax_sim(nullptr, rows, cols, 1.0f,
+                                ReductionImpl::kTurbo, spec, x)
+                        .time_us);
+  }
+  EXPECT_GT(times[0], times[1]);  // X=2 beats X=1
+  EXPECT_GE(times[1] * 1.05, times[3]);  // diminishing returns beyond
+}
+
+TEST(SoftmaxSim, RejectsBadShapes) {
+  const auto spec = DeviceSpec::rtx2060();
+  EXPECT_THROW(
+      softmax_sim(nullptr, 0, 10, 1.0f, ReductionImpl::kTurbo, spec),
+      CheckError);
+  EXPECT_THROW(
+      softmax_sim(nullptr, 10, 0, 1.0f, ReductionImpl::kTurbo, spec),
+      CheckError);
+}
+
+// ---------------------------------------------------------- layernorm sim --
+
+class LayerNormSimParam
+    : public ::testing::TestWithParam<std::tuple<long, long, ReductionImpl>> {
+};
+
+TEST_P(LayerNormSimParam, NumericsMatchCpuReference) {
+  const auto [rows, cols, impl] = GetParam();
+  const auto spec = DeviceSpec::rtx2060();
+  Rng rng(static_cast<uint64_t>(rows * 3 + cols));
+  auto in = random_vec(rng, static_cast<size_t>(rows * cols));
+  auto gamma = random_vec(rng, static_cast<size_t>(cols), 0.5f, 1.5f);
+  auto beta = random_vec(rng, static_cast<size_t>(cols), -0.5f, 0.5f);
+  std::vector<float> out(in.size()), expected(in.size());
+  kernels::layernorm(expected.data(), in.data(), gamma.data(), beta.data(),
+                     rows, cols);
+  const auto result = layernorm_sim(out.data(), in.data(), gamma.data(),
+                                    beta.data(), rows, cols, impl, spec);
+  EXPECT_GT(result.time_us, 0.0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_NEAR(out[i], expected[i], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndImpls, LayerNormSimParam,
+    ::testing::Combine(::testing::Values<long>(1, 20, 160),
+                       ::testing::Values<long>(64, 768, 1000),
+                       ::testing::Values(ReductionImpl::kBaseline,
+                                         ReductionImpl::kTurbo)));
+
+TEST(LayerNormSim, CudnnUnavailable) {
+  const auto spec = DeviceSpec::rtx2060();
+  EXPECT_THROW(layernorm_sim(nullptr, nullptr, nullptr, nullptr, 10, 64,
+                             ReductionImpl::kCudnn, spec),
+               CheckError);
+}
+
+TEST(LayerNormSim, TurboAheadAtLargeRowCounts) {
+  // Fig. 5 bottom: modest (1.1-1.2x) but consistent gains at batch 20.
+  const auto spec = DeviceSpec::v100();
+  const long rows = 20 * 128, cols = 768;
+  const double base = layernorm_sim(nullptr, nullptr, nullptr, nullptr, rows,
+                                    cols, ReductionImpl::kBaseline, spec)
+                          .time_us;
+  const double turbo = layernorm_sim(nullptr, nullptr, nullptr, nullptr,
+                                     rows, cols, ReductionImpl::kTurbo, spec)
+                           .time_us;
+  EXPECT_GT(base / turbo, 1.02);
+  EXPECT_LT(base / turbo, 2.0);
+}
+
+TEST(LayerNormSim, SinglePassVarTrickHelps) {
+  // Equation 1 ablation: one fused (x, x^2) reduction vs two passes.
+  const auto spec = DeviceSpec::v100();
+  const long rows = 2048, cols = 768;
+  const double fused =
+      layernorm_sim(nullptr, nullptr, nullptr, nullptr, rows, cols,
+                    ReductionImpl::kTurbo, spec, 2, /*single_pass_var=*/true)
+          .time_us;
+  const double two_pass =
+      layernorm_sim(nullptr, nullptr, nullptr, nullptr, rows, cols,
+                    ReductionImpl::kTurbo, spec, 2, /*single_pass_var=*/false)
+          .time_us;
+  EXPECT_LT(fused, two_pass);
+}
+
+TEST(LayerNormSim, EquationOneNumericsAgreeWithTwoPass) {
+  // Var(x) = E(x^2) - E^2(x) must give the same normalized output as the
+  // classical two-reduction form.
+  const auto spec = DeviceSpec::rtx2060();
+  Rng rng(44);
+  const long rows = 4, cols = 256;
+  auto in = random_vec(rng, static_cast<size_t>(rows * cols));
+  std::vector<float> gamma(static_cast<size_t>(cols), 1.0f);
+  std::vector<float> beta(static_cast<size_t>(cols), 0.0f);
+  std::vector<float> a(in.size()), b(in.size());
+  layernorm_sim(a.data(), in.data(), gamma.data(), beta.data(), rows, cols,
+                ReductionImpl::kTurbo, spec, 2, true);
+  layernorm_sim(b.data(), in.data(), gamma.data(), beta.data(), rows, cols,
+                ReductionImpl::kBaseline, spec);
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_NEAR(a[i], b[i], 1e-4f);
+}
+
+// --------------------------------------------------------- device scaling --
+
+TEST(DeviceScaling, V100BeatsRtx2060OnLargeReductions) {
+  const long rows = 20L * 12 * 256, cols = 256;
+  for (auto impl : {ReductionImpl::kBaseline, ReductionImpl::kTurbo}) {
+    const double rtx =
+        softmax_sim(nullptr, rows, cols, 1.0f, impl,
+                    DeviceSpec::rtx2060())
+            .time_us;
+    const double v100 =
+        softmax_sim(nullptr, rows, cols, 1.0f, impl, DeviceSpec::v100())
+            .time_us;
+    EXPECT_LT(v100, rtx);
+  }
+}
+
+TEST(DeviceScaling, TinyKernelsLaunchBoundOnBothDevices) {
+  for (const auto& spec : {DeviceSpec::rtx2060(), DeviceSpec::v100()}) {
+    const double t =
+        softmax_sim(nullptr, 4, 8, 1.0f, ReductionImpl::kTurbo, spec)
+            .time_us;
+    EXPECT_GT(spec.kernel_launch_us / t, 0.5);
+  }
+}
+
+TEST(SoftmaxSim, TimeScalesSublinearlyUntilDeviceFills) {
+  // Doubling rows below full occupancy costs (almost) nothing; past the
+  // concurrency limit it scales linearly — the wave model.
+  const auto spec = DeviceSpec::rtx2060();
+  const double small =
+      softmax_sim(nullptr, 60, 128, 1.0f, ReductionImpl::kTurbo, spec)
+          .time_us;
+  const double fills =
+      softmax_sim(nullptr, 240, 128, 1.0f, ReductionImpl::kTurbo, spec)
+          .time_us;
+  EXPECT_LT(fills / small, 1.2);
+  const double beyond =
+      softmax_sim(nullptr, 240 * 64, 128, 1.0f, ReductionImpl::kTurbo, spec)
+          .time_us;
+  EXPECT_GT(beyond / fills, 4.0);
+}
+
+}  // namespace
+}  // namespace turbo::gpukernels

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "gpusim/block.h"
+#include "gpusim/cycle_model.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/launch.h"
+#include "gpusim/warp.h"
+
+namespace turbo::gpusim {
+namespace {
+
+// ------------------------------------------------------------ device spec --
+
+TEST(DeviceSpec, Rtx2060Basics) {
+  const auto spec = DeviceSpec::rtx2060();
+  EXPECT_EQ(spec.num_sms, 30);
+  EXPECT_EQ(spec.warp_size, 32);
+  EXPECT_GT(spec.gmem_bytes_per_cycle_per_sm(), 0.0);
+}
+
+TEST(DeviceSpec, V100HasMoreSmsAndBandwidth) {
+  const auto a = DeviceSpec::rtx2060();
+  const auto b = DeviceSpec::v100();
+  EXPECT_GT(b.num_sms, a.num_sms);
+  EXPECT_GT(b.mem_bandwidth_gbps, a.mem_bandwidth_gbps);
+  EXPECT_GT(b.tensor_core_tflops, a.tensor_core_tflops);
+}
+
+// ---------------------------------------------------------- cycle counter --
+
+TEST(CycleCounter, BatchIsMaxOfIssueAndLatency) {
+  const auto spec = DeviceSpec::rtx2060();
+  CycleCounter cc(spec);
+  // 1 shuffle: latency-bound.
+  cc.charge_shfl_batch(1);
+  EXPECT_DOUBLE_EQ(cc.cycles(), spec.shfl_latency);
+  cc.reset();
+  // Many shuffles: issue-bound.
+  cc.charge_shfl_batch(100);
+  EXPECT_DOUBLE_EQ(cc.cycles(), 100 * spec.shfl_issue);
+}
+
+TEST(CycleCounter, ChainCostsFullLatencyPerStep) {
+  const auto spec = DeviceSpec::rtx2060();
+  CycleCounter cc(spec);
+  cc.charge_chain(5, spec.alu_latency);
+  EXPECT_DOUBLE_EQ(cc.cycles(), 5 * spec.alu_latency);
+}
+
+TEST(CycleCounter, GmemStreamScalesWithBytes) {
+  const auto spec = DeviceSpec::rtx2060();
+  CycleCounter a(spec), b(spec);
+  a.charge_gmem_stream(1024);
+  b.charge_gmem_stream(2048);
+  EXPECT_GT(b.cycles(), a.cycles());
+  // Fixed latency appears once.
+  EXPECT_LT(b.cycles(), 2 * a.cycles());
+}
+
+TEST(CycleCounter, NegativeChargeRejected) {
+  const auto spec = DeviceSpec::rtx2060();
+  CycleCounter cc(spec);
+  EXPECT_THROW(cc.charge(-1.0), CheckError);
+}
+
+// -------------------------------------------------------------- shuffles --
+
+TEST(Warp, ShflXorPermutesLanes) {
+  WarpVec v;
+  for (int i = 0; i < kWarpSize; ++i) v[i] = static_cast<float>(i);
+  const WarpVec r = shfl_xor(v, 1);
+  for (int i = 0; i < kWarpSize; ++i) {
+    EXPECT_EQ(r[i], static_cast<float>(i ^ 1));
+  }
+}
+
+TEST(Warp, ShflDownShiftsWithinBounds) {
+  WarpVec v;
+  for (int i = 0; i < kWarpSize; ++i) v[i] = static_cast<float>(i);
+  const WarpVec r = shfl_down(v, 4);
+  for (int i = 0; i < kWarpSize - 4; ++i) {
+    EXPECT_EQ(r[i], static_cast<float>(i + 4));
+  }
+}
+
+TEST(Warp, ShflXorRejectsBadMask) {
+  WarpVec v{};
+  EXPECT_THROW(shfl_xor(v, 0), CheckError);
+  EXPECT_THROW(shfl_xor(v, 32), CheckError);
+}
+
+// ------------------------------------------------- warp all-reduce: math --
+
+class WarpAllReduceParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(WarpAllReduceParam, SumMatchesDirectSumInEveryLane) {
+  const int x = GetParam();
+  const auto spec = DeviceSpec::rtx2060();
+  CycleCounter cc(spec);
+  Rng rng(42 + static_cast<uint64_t>(x));
+
+  std::vector<WarpVec> vecs(static_cast<size_t>(x));
+  std::vector<double> expected(static_cast<size_t>(x), 0.0);
+  for (int r = 0; r < x; ++r) {
+    for (int i = 0; i < kWarpSize; ++i) {
+      const float val = static_cast<float>(rng.uniform(-1, 1));
+      vecs[static_cast<size_t>(r)][i] = val;
+      expected[static_cast<size_t>(r)] += val;
+    }
+  }
+  warp_all_reduce(vecs, ReduceOp::kSum, cc);
+  for (int r = 0; r < x; ++r) {
+    for (int i = 0; i < kWarpSize; ++i) {
+      EXPECT_NEAR(vecs[static_cast<size_t>(r)][i],
+                  expected[static_cast<size_t>(r)], 1e-4);
+    }
+  }
+}
+
+TEST_P(WarpAllReduceParam, MaxMatchesDirectMax) {
+  const int x = GetParam();
+  const auto spec = DeviceSpec::rtx2060();
+  CycleCounter cc(spec);
+  Rng rng(99 + static_cast<uint64_t>(x));
+
+  std::vector<WarpVec> vecs(static_cast<size_t>(x));
+  std::vector<float> expected(static_cast<size_t>(x),
+                              -std::numeric_limits<float>::infinity());
+  for (int r = 0; r < x; ++r) {
+    for (int i = 0; i < kWarpSize; ++i) {
+      const float val = static_cast<float>(rng.uniform(-5, 5));
+      vecs[static_cast<size_t>(r)][i] = val;
+      expected[static_cast<size_t>(r)] =
+          std::max(expected[static_cast<size_t>(r)], val);
+    }
+  }
+  warp_all_reduce(vecs, ReduceOp::kMax, cc);
+  for (int r = 0; r < x; ++r) {
+    for (int i = 0; i < kWarpSize; ++i) {
+      EXPECT_EQ(vecs[static_cast<size_t>(r)][i],
+                expected[static_cast<size_t>(r)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(XWidths, WarpAllReduceParam,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+// ------------------------------------------------- warp all-reduce: cost --
+
+TEST(WarpAllReduceCost, InterleavingAmortizesLatency) {
+  // The paper's Figure 4 ILP claim: per-row reduction cost drops when X
+  // independent rows interleave, because shuffles pipeline.
+  const auto spec = DeviceSpec::rtx2060();
+  auto cost_of = [&](int x) {
+    CycleCounter cc(spec);
+    std::vector<WarpVec> vecs(static_cast<size_t>(x), WarpVec::filled(1.0f));
+    warp_all_reduce(vecs, ReduceOp::kSum, cc);
+    return cc.cycles() / x;
+  };
+  const double c1 = cost_of(1);
+  const double c2 = cost_of(2);
+  const double c4 = cost_of(4);
+  EXPECT_LT(c2, c1);
+  EXPECT_LE(c4, c2);
+}
+
+TEST(WarpAllReduceCost, SingleRowIsLatencyChain) {
+  const auto spec = DeviceSpec::rtx2060();
+  CycleCounter cc(spec);
+  std::vector<WarpVec> vecs(1, WarpVec::filled(1.0f));
+  warp_all_reduce(vecs, ReduceOp::kSum, cc);
+  // 5 butterfly steps, each shuffle latency + alu latency.
+  EXPECT_DOUBLE_EQ(cc.cycles(), 5 * (spec.shfl_latency + spec.alu_latency));
+}
+
+TEST(WarpAllReduceCost, EmptySpanChargesNothing) {
+  const auto spec = DeviceSpec::rtx2060();
+  CycleCounter cc(spec);
+  std::vector<WarpVec> vecs;
+  warp_all_reduce(vecs, ReduceOp::kSum, cc);
+  EXPECT_EQ(cc.cycles(), 0.0);
+}
+
+// -------------------------------------------------------------- BlockSim --
+
+TEST(BlockSim, SyncChargesBarrierCost) {
+  const auto spec = DeviceSpec::rtx2060();
+  BlockSim block(spec, 128, 256);
+  block.sync();
+  block.sync();
+  EXPECT_DOUBLE_EQ(block.cycles().cycles(), 2 * spec.sync_cycles);
+}
+
+TEST(BlockSim, RejectsNonWarpMultipleThreads) {
+  const auto spec = DeviceSpec::rtx2060();
+  EXPECT_THROW(BlockSim(spec, 100), CheckError);
+  EXPECT_THROW(BlockSim(spec, 0), CheckError);
+  EXPECT_THROW(BlockSim(spec, 2048), CheckError);
+}
+
+TEST(BlockSim, SmemStorageRoundTrips) {
+  const auto spec = DeviceSpec::rtx2060();
+  BlockSim block(spec, 64, 1024);
+  block.smem(7) = 3.5f;
+  EXPECT_EQ(block.smem(7), 3.5f);
+  EXPECT_THROW(block.smem(-1), CheckError);
+  EXPECT_THROW(block.smem(100000), CheckError);
+}
+
+// ------------------------------------------------------------- occupancy --
+
+TEST(Occupancy, LimitedByThreads) {
+  const auto spec = DeviceSpec::rtx2060();  // 1024 threads/SM
+  EXPECT_EQ(occupancy_blocks_per_sm(spec, 1024, 0), 1);
+  EXPECT_EQ(occupancy_blocks_per_sm(spec, 512, 0), 2);
+  EXPECT_EQ(occupancy_blocks_per_sm(spec, 128, 0), 8);
+}
+
+TEST(Occupancy, LimitedBySharedMemory) {
+  const auto spec = DeviceSpec::rtx2060();  // 64 KiB smem/SM
+  EXPECT_EQ(occupancy_blocks_per_sm(spec, 32, 32 * 1024), 2);
+}
+
+TEST(Occupancy, CappedByMaxBlocks) {
+  const auto spec = DeviceSpec::rtx2060();  // 16 blocks/SM max
+  EXPECT_EQ(occupancy_blocks_per_sm(spec, 32, 0), 16);
+}
+
+// ------------------------------------------------------------ launch time --
+
+TEST(Launch, SingleWaveBelowConcurrencyLimit) {
+  const auto spec = DeviceSpec::rtx2060();
+  const auto r = launch_time(spec, 30, 128, 0, 1000.0);
+  EXPECT_EQ(r.waves, 1);
+  EXPECT_NEAR(r.time_us, spec.kernel_launch_us + 1000.0 / (spec.clock_ghz * 1e3),
+              1e-9);
+}
+
+TEST(Launch, WavesGrowWithGrid) {
+  const auto spec = DeviceSpec::rtx2060();
+  const int concurrent = spec.num_sms * occupancy_blocks_per_sm(spec, 128, 0);
+  const auto one = launch_time(spec, concurrent, 128, 0, 1000.0);
+  const auto two = launch_time(spec, concurrent + 1, 128, 0, 1000.0);
+  EXPECT_EQ(one.waves, 1);
+  EXPECT_EQ(two.waves, 2);
+  EXPECT_GT(two.time_us, one.time_us);
+}
+
+TEST(Launch, LaunchOverheadDominatesTinyKernels) {
+  const auto spec = DeviceSpec::rtx2060();
+  const auto r = launch_time(spec, 1, 32, 0, 10.0);
+  EXPECT_GT(spec.kernel_launch_us / r.time_us, 0.99);
+}
+
+}  // namespace
+}  // namespace turbo::gpusim

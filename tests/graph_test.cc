@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "graph/builders.h"
+#include "graph/fusion.h"
+#include "graph/graph.h"
+#include "memory/model_aware_allocator.h"
+
+namespace turbo::graph {
+namespace {
+
+LayerDims bert_dims() { return LayerDims{768, 12, 3072}; }
+
+// --------------------------------------------------------------- basics --
+
+TEST(Graph, ValidateCatchesUseBeforeProduce) {
+  Graph g;
+  const int a = g.add_tensor("a", [](int, int) { return size_t{4}; });
+  const int b = g.add_tensor("b", [](int, int) { return size_t{4}; });
+  g.add_op(OpKind::kGemm, "bad", {a}, {b},
+           [](int, int) { return OpCost{}; });
+  EXPECT_THROW(g.validate(), CheckError);  // `a` never produced, not input
+}
+
+TEST(Graph, ValidateCatchesDoubleProduce) {
+  Graph g;
+  const int a = g.add_tensor("a", [](int, int) { return size_t{4}; },
+                             /*input=*/true);
+  const int b = g.add_tensor("b", [](int, int) { return size_t{4}; });
+  g.add_op(OpKind::kGemm, "p1", {a}, {b}, [](int, int) { return OpCost{}; });
+  g.add_op(OpKind::kGemm, "p2", {a}, {b}, [](int, int) { return OpCost{}; });
+  EXPECT_THROW(g.validate(), CheckError);
+}
+
+// --------------------------------------------------------- fused builder --
+
+TEST(FusedBuilder, TwelveKernelsPerLayer) {
+  const Graph g = build_encoder_layer_fused(bert_dims());
+  EXPECT_EQ(g.num_ops(), 12);
+}
+
+TEST(FusedBuilder, TensorSizesMatchPaperFigure6) {
+  // Fig. 6, seq len 200 (batch 1, hidden 768): qkv_out 1843200 B,
+  // Q/K/V 614400 B, intermediate_out 2457600 B.
+  const Graph g = build_encoder_layer_fused(bert_dims());
+  std::map<std::string, size_t> sizes;
+  for (const auto& u : g.tensor_usages(1, 200)) sizes[u.name] = u.size;
+  EXPECT_EQ(sizes.at("qkv_out"), 1843200u);
+  EXPECT_EQ(sizes.at("Q"), 614400u);
+  EXPECT_EQ(sizes.at("K"), 614400u);
+  EXPECT_EQ(sizes.at("V"), 614400u);
+  EXPECT_EQ(sizes.at("intermediate_out"), 2457600u);
+  EXPECT_EQ(sizes.at("layer_out"), 614400u);
+}
+
+TEST(FusedBuilder, LifetimesFollowDataflow) {
+  const Graph g = build_encoder_layer_fused(bert_dims());
+  std::map<std::string, std::pair<int, int>> lt;
+  for (const auto& u : g.tensor_usages(1, 64)) {
+    lt[u.name] = {u.first_op, u.last_op};
+  }
+  // qkv_out: produced by op 0, consumed by the split (op 1).
+  EXPECT_EQ(lt.at("qkv_out"), std::make_pair(0, 1));
+  // V survives until BatchGemm4 (op 4).
+  EXPECT_EQ(lt.at("V"), std::make_pair(1, 4));
+  // attn_score is written by op 2, softmaxed in place (3), read by op 4.
+  EXPECT_EQ(lt.at("attn_score"), std::make_pair(2, 4));
+  // layer_in feeds op 0 and the first residual (op 7).
+  EXPECT_EQ(lt.at("layer_in"), std::make_pair(0, 7));
+  // attn_ln_out: residual for the final layernorm (op 11).
+  EXPECT_EQ(lt.at("attn_ln_out"), std::make_pair(7, 11));
+}
+
+TEST(FusedBuilder, PeakLiveBytesGrowsWithSeq) {
+  const Graph g = build_encoder_layer_fused(bert_dims());
+  EXPECT_LT(g.peak_live_bytes(1, 100), g.peak_live_bytes(1, 200));
+  EXPECT_LT(g.peak_live_bytes(1, 200), g.peak_live_bytes(4, 200));
+}
+
+TEST(FusedBuilder, GemmFlopsScaleCorrectly) {
+  const Graph g = build_encoder_layer_fused(bert_dims());
+  double total_flops = 0;
+  for (const auto& op : g.ops()) total_flops += op.cost_fn(1, 40).flops;
+  // Per-layer flops x 12 layers should be in the ballpark of the paper's
+  // 6.9 Gflops for a 40-token BERT-base inference.
+  const double model_gflops = total_flops * 12 / 1e9;
+  EXPECT_GT(model_gflops, 5.0);
+  EXPECT_LT(model_gflops, 9.0);
+}
+
+// ------------------------------------------------------- unfused builder --
+
+TEST(UnfusedBuilder, TwentyFourKernelsPerLayer) {
+  const Graph g = build_encoder_layer_unfused(bert_dims());
+  EXPECT_EQ(g.num_ops(), 24);
+}
+
+TEST(UnfusedBuilder, SameGemmFlopsAsFused) {
+  const Graph fused = build_encoder_layer_fused(bert_dims());
+  const Graph unfused = build_encoder_layer_unfused(bert_dims());
+  auto total_flops = [](const Graph& g) {
+    double t = 0;
+    for (const auto& op : g.ops()) t += op.cost_fn(2, 128).flops;
+    return t;
+  };
+  EXPECT_NEAR(total_flops(fused), total_flops(unfused), 1.0);
+}
+
+TEST(UnfusedBuilder, MovesMoreBytesThanFused) {
+  const Graph fused = build_encoder_layer_fused(bert_dims());
+  const Graph unfused = build_encoder_layer_unfused(bert_dims());
+  auto total_bytes = [](const Graph& g) {
+    double t = 0;
+    for (const auto& op : g.ops()) t += op.cost_fn(2, 128).bytes;
+    return t;
+  };
+  EXPECT_GT(total_bytes(unfused), total_bytes(fused) * 1.2);
+}
+
+// --------------------------------------------------------- decoder step --
+
+TEST(DecoderStep, ValidatesAndHasExpectedShape) {
+  const Graph g = build_decoder_step_fused({1024, 16, 4096}, 80);
+  EXPECT_EQ(g.num_ops(), 16);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(DecoderStep, ScoreTensorGrowsWithCacheLength) {
+  const Graph g = build_decoder_step_fused({1024, 16, 4096}, 80);
+  auto size_of = [&](const char* name, int beam, int t) {
+    for (const auto& u : g.tensor_usages(beam, t)) {
+      if (u.name == name) return u.size;
+    }
+    return size_t{0};
+  };
+  // Self-attention scores grow with the cache; cross-attention scores and
+  // activations do not.
+  EXPECT_LT(size_of("self_score", 4, 10), size_of("self_score", 4, 100));
+  EXPECT_EQ(size_of("cross_score", 4, 10), size_of("cross_score", 4, 100));
+  EXPECT_EQ(size_of("x1", 4, 10), size_of("x1", 4, 100));
+}
+
+TEST(DecoderStep, ResidualLifetimesSpanTheirBlocks) {
+  const Graph g = build_decoder_step_fused({512, 8, 2048}, 40);
+  std::map<std::string, std::pair<int, int>> lt;
+  for (const auto& u : g.tensor_usages(4, 20)) {
+    lt[u.name] = {u.first_op, u.last_op};
+  }
+  // x1 is produced by the self-attention LN and survives as the residual of
+  // the cross-attention LN; x2 likewise for the FFN.
+  EXPECT_LT(lt.at("x1").first, lt.at("x2").first);
+  EXPECT_GT(lt.at("x1").second, lt.at("x1").first + 3);
+  EXPECT_EQ(lt.at("x_out").second, g.num_ops() - 1);
+}
+
+TEST(DecoderStep, AllocatorPlansEveryStepOfAGrowingCache) {
+  // Step-wise decoding with the model-aware allocator: the cache length
+  // grows every step; plans must stay valid and the footprint bounded.
+  const Graph g = build_decoder_step_fused({1024, 16, 4096}, 100);
+  memory::ModelAwareAllocator alloc;
+  size_t last_footprint = 0;
+  for (int t = 1; t <= 200; t += 7) {
+    const auto usages = g.tensor_usages(4, t);
+    const auto plan = alloc.begin_inference(usages);
+    ASSERT_NO_THROW(memory::validate_plan(usages, plan));
+    last_footprint = plan.footprint_bytes;
+  }
+  // Per-step activations are a few beam x hidden vectors: a single default
+  // chunk is plenty even at cache length 200.
+  EXPECT_LE(last_footprint, 4u << 20);
+}
+
+TEST(DecoderStep, PerStepFlopsGrowOnlyViaAttention) {
+  const Graph g = build_decoder_step_fused({1024, 16, 4096}, 80);
+  auto flops_at = [&](int t) {
+    double total = 0;
+    for (const auto& op : g.ops()) total += op.cost_fn(4, t).flops;
+    return total;
+  };
+  const double f10 = flops_at(10);
+  const double f200 = flops_at(200);
+  EXPECT_GT(f200, f10);
+  // The growth is the cache-length-linear attention term only - small
+  // relative to the constant GEMM work.
+  EXPECT_LT((f200 - f10) / f10, 0.2);
+}
+
+// ----------------------------------------------------------- fusion pass --
+
+class FusionParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FusionParam, RewritesToTheFusedKernelSequence) {
+  const auto [hidden, heads, inter] = GetParam();
+  const LayerDims dims{hidden, heads, inter};
+  const Graph fused_ref = build_encoder_layer_fused(dims);
+  const Graph fused = fuse(build_encoder_layer_unfused(dims));
+
+  ASSERT_EQ(fused.num_ops(), fused_ref.num_ops());
+  for (int i = 0; i < fused.num_ops(); ++i) {
+    EXPECT_EQ(fused.op(i).kind, fused_ref.op(i).kind)
+        << "op " << i << ": " << fused.op(i).name << " vs "
+        << fused_ref.op(i).name;
+  }
+}
+
+TEST_P(FusionParam, PreservesGemmFlopsAndMatchesFusedBytes) {
+  const auto [hidden, heads, inter] = GetParam();
+  const LayerDims dims{hidden, heads, inter};
+  const Graph fused_ref = build_encoder_layer_fused(dims);
+  const Graph fused = fuse(build_encoder_layer_unfused(dims));
+
+  for (int b : {1, 4}) {
+    for (int s : {16, 200}) {
+      double ref_flops = 0, got_flops = 0, ref_bytes = 0, got_bytes = 0;
+      for (const auto& op : fused_ref.ops()) {
+        const auto c = op.cost_fn(b, s);
+        ref_flops += c.flops;
+        ref_bytes += c.bytes;
+      }
+      for (const auto& op : fused.ops()) {
+        const auto c = op.cost_fn(b, s);
+        got_flops += c.flops;
+        got_bytes += c.bytes;
+      }
+      EXPECT_NEAR(got_flops, ref_flops, ref_flops * 1e-9);
+      EXPECT_NEAR(got_bytes, ref_bytes, ref_bytes * 0.02)
+          << "b=" << b << " s=" << s;
+    }
+  }
+}
+
+TEST_P(FusionParam, LifetimeStructureMatchesHandFusedGraph) {
+  const auto [hidden, heads, inter] = GetParam();
+  const LayerDims dims{hidden, heads, inter};
+  const Graph fused_ref = build_encoder_layer_fused(dims);
+  const Graph fused = fuse(build_encoder_layer_unfused(dims));
+
+  auto usage_multiset = [](const Graph& g) {
+    std::multiset<std::tuple<int, int, size_t>> s;
+    for (const auto& u : g.tensor_usages(1, 128)) {
+      s.insert({u.first_op, u.last_op, u.size});
+    }
+    return s;
+  };
+  EXPECT_EQ(usage_multiset(fused), usage_multiset(fused_ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, FusionParam,
+    ::testing::Values(std::make_tuple(768, 12, 3072),
+                      std::make_tuple(4096, 64, 16384),
+                      std::make_tuple(256, 4, 1024),
+                      std::make_tuple(64, 2, 128)));
+
+TEST(Fusion, OutputGraphValidates) {
+  EXPECT_NO_THROW(fuse(build_encoder_layer_unfused(bert_dims())).validate());
+}
+
+TEST(Fusion, ReducesKernelCountByHalf) {
+  const Graph unfused = build_encoder_layer_unfused(bert_dims());
+  const Graph fused = fuse(unfused);
+  EXPECT_EQ(fused.num_ops(), unfused.num_ops() / 2);
+}
+
+TEST(Fusion, IdempotentOnAlreadyFusedGraph) {
+  const Graph fused = build_encoder_layer_fused(bert_dims());
+  const Graph again = fuse(fused);
+  EXPECT_EQ(again.num_ops(), fused.num_ops());
+}
+
+}  // namespace
+}  // namespace turbo::graph

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gpusim/interpreter.h"
+
+namespace turbo::gpusim {
+namespace {
+
+DeviceSpec spec() { return DeviceSpec::rtx2060(); }
+
+WarpVec iota(float base = 0.0f) {
+  WarpVec v;
+  for (int i = 0; i < kWarpSize; ++i) v[i] = base + static_cast<float>(i);
+  return v;
+}
+
+// ---------------------------------------------------------- instructions --
+
+TEST(Interpreter, FAddLaneSemantics) {
+  std::vector<Instr> prog = {Instr::fadd(2, 0, 1)};
+  const auto r = run_warp_program(prog, {iota(0), iota(100)}, spec());
+  for (int i = 0; i < kWarpSize; ++i) {
+    EXPECT_EQ(r.registers[2][i], 100.0f + 2 * i);
+  }
+}
+
+TEST(Interpreter, FMulAndFMax) {
+  std::vector<Instr> prog = {Instr::fmul(2, 0, 1), Instr::fmax(3, 0, 1)};
+  const auto r = run_warp_program(prog, {iota(0), iota(-15)}, spec());
+  for (int i = 0; i < kWarpSize; ++i) {
+    EXPECT_EQ(r.registers[2][i], static_cast<float>(i) * (i - 15.0f));
+    EXPECT_EQ(r.registers[3][i], std::max<float>(i, i - 15.0f));
+  }
+}
+
+TEST(Interpreter, ShuffleSemanticsMatchWarpHelpers) {
+  std::vector<Instr> prog = {Instr::shfl_xor(1, 0, 4),
+                             Instr::shfl_down(2, 0, 7)};
+  const auto r = run_warp_program(prog, {iota()}, spec());
+  const WarpVec expect_xor = shfl_xor(iota(), 4);
+  const WarpVec expect_down = shfl_down(iota(), 7);
+  for (int i = 0; i < kWarpSize; ++i) {
+    EXPECT_EQ(r.registers[1][i], expect_xor[i]);
+    EXPECT_EQ(r.registers[2][i], expect_down[i]);
+  }
+}
+
+TEST(Interpreter, MovBroadcasts) {
+  std::vector<Instr> prog = {Instr::mov(0, 2.5f)};
+  const auto r = run_warp_program(prog, {}, spec());
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(r.registers[0][i], 2.5f);
+}
+
+TEST(Interpreter, RegisterFileGrowsOnDemand) {
+  std::vector<Instr> prog = {Instr::mov(17, 1.0f), Instr::fadd(18, 17, 17)};
+  const auto r = run_warp_program(prog, {}, spec());
+  ASSERT_GE(r.registers.size(), 19u);
+  EXPECT_EQ(r.registers[18][0], 2.0f);
+}
+
+// ------------------------------------------------------------- scoreboard --
+
+TEST(Interpreter, DependentChainPaysFullLatency) {
+  // add -> add -> add on the same register: each waits for the previous.
+  std::vector<Instr> prog = {Instr::fadd(0, 0, 0), Instr::fadd(0, 0, 0),
+                             Instr::fadd(0, 0, 0)};
+  const auto r = run_warp_program(prog, {WarpVec::filled(1.0f)}, spec());
+  EXPECT_DOUBLE_EQ(r.cycles, 3 * spec().alu_latency);
+}
+
+TEST(Interpreter, IndependentInstructionsPipeline) {
+  // Three adds on disjoint registers: issue-limited, one latency exposed.
+  std::vector<Instr> prog = {Instr::fadd(3, 0, 0), Instr::fadd(4, 1, 1),
+                             Instr::fadd(5, 2, 2)};
+  const auto r = run_warp_program(
+      prog, {WarpVec::filled(1), WarpVec::filled(2), WarpVec::filled(3)},
+      spec());
+  EXPECT_DOUBLE_EQ(r.cycles, 2 * spec().alu_issue + spec().alu_latency);
+}
+
+TEST(Interpreter, ShuffleLatencyHidesBehindIndependentWork) {
+  // A shuffle followed by an unrelated add: the add issues in the shuffle's
+  // shadow, total = shuffle path.
+  std::vector<Instr> prog = {Instr::shfl_xor(2, 0, 1), Instr::fadd(3, 1, 1)};
+  const auto r = run_warp_program(
+      prog, {WarpVec::filled(1), WarpVec::filled(2)}, spec());
+  EXPECT_DOUBLE_EQ(r.cycles, spec().shfl_latency);
+}
+
+// ----------------------------------------------- Figure 4 as programs -----
+
+class ReduceProgramParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceProgramParam, BothStrategiesComputeTheWarpSum) {
+  const int x = GetParam();
+  Rng rng(static_cast<uint64_t>(x));
+  std::vector<WarpVec> init;
+  std::vector<double> expected;
+  for (int r = 0; r < x; ++r) {
+    WarpVec v;
+    double sum = 0;
+    for (int i = 0; i < kWarpSize; ++i) {
+      v[i] = static_cast<float>(rng.uniform(-1, 1));
+      sum += v[i];
+    }
+    init.push_back(v);
+    expected.push_back(sum);
+  }
+
+  for (const auto& prog :
+       {make_reduce_chain_program(x), make_reduce_interleaved_program(x)}) {
+    const auto result = run_warp_program(prog, init, spec());
+    for (int r = 0; r < x; ++r) {
+      for (int i = 0; i < kWarpSize; ++i) {
+        ASSERT_NEAR(result.registers[static_cast<size_t>(r)][i],
+                    expected[static_cast<size_t>(r)], 1e-4);
+      }
+    }
+  }
+}
+
+TEST_P(ReduceProgramParam, InterleavingIsNeverSlower) {
+  const int x = GetParam();
+  const auto chain = run_warp_program(make_reduce_chain_program(x),
+                                      {WarpVec::filled(1)}, spec());
+  const auto inter = run_warp_program(make_reduce_interleaved_program(x),
+                                      {WarpVec::filled(1)}, spec());
+  EXPECT_LE(inter.cycles, chain.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(XWidths, ReduceProgramParam,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ReducePrograms, InterleavingWinsGrowWithX) {
+  // The Figure 4 claim, instruction-derived: per-row cycles fall as X rows
+  // interleave, and X = 1 degenerates to the chain.
+  const auto s = spec();
+  const double chain1 =
+      run_warp_program(make_reduce_chain_program(1), {}, s).cycles;
+  const double inter1 =
+      run_warp_program(make_reduce_interleaved_program(1), {}, s).cycles;
+  EXPECT_DOUBLE_EQ(chain1, inter1);
+
+  double prev_per_row = chain1;
+  for (int x : {2, 4, 8}) {
+    const double per_row =
+        run_warp_program(make_reduce_interleaved_program(x), {}, s).cycles /
+        x;
+    EXPECT_LT(per_row, prev_per_row);
+    prev_per_row = per_row;
+  }
+  // The chain strategy gains almost nothing from more rows (only row
+  // boundaries overlap by one instruction).
+  const double chain4_per_row =
+      run_warp_program(make_reduce_chain_program(4), {}, s).cycles / 4;
+  EXPECT_NEAR(chain4_per_row, chain1, 0.05 * chain1);
+  const double inter4_per_row =
+      run_warp_program(make_reduce_interleaved_program(4), {}, s).cycles / 4;
+  EXPECT_LT(inter4_per_row, 0.7 * chain4_per_row);
+}
+
+TEST(ReducePrograms, InterpreterAgreesWithAnalyticCostModel) {
+  // The hand-charged warp_all_reduce and the instruction-level scoreboard
+  // must agree on the chain case (X = 1): 5 steps of SHFL+FADD latency.
+  const auto s = spec();
+  CycleCounter cc(s);
+  std::vector<WarpVec> vecs(1, WarpVec::filled(1.0f));
+  warp_all_reduce(vecs, ReduceOp::kSum, cc);
+  const double program_cycles =
+      run_warp_program(make_reduce_chain_program(1), {}, s).cycles;
+  EXPECT_NEAR(cc.cycles(), program_cycles, 1e-9);
+}
+
+}  // namespace
+}  // namespace turbo::gpusim

@@ -1,0 +1,415 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "kernels/elementwise.h"
+#include "kernels/embedding.h"
+#include "kernels/gemm.h"
+#include "kernels/reduction.h"
+
+namespace turbo::kernels {
+namespace {
+
+std::vector<float> random_vec(Rng& rng, size_t n, float lo = -1.0f,
+                              float hi = 1.0f) {
+  std::vector<float> v(n);
+  rng.fill_uniform(v.data(), n, lo, hi);
+  return v;
+}
+
+// ------------------------------------------------------------------ GEMM --
+
+class GemmParam : public ::testing::TestWithParam<
+                      std::tuple<int, int, int, bool>> {};
+
+TEST_P(GemmParam, MatchesReference) {
+  const auto [m, n, k, trans_b] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 1000 + n * 10 + k + trans_b));
+  auto a = random_vec(rng, static_cast<size_t>(m) * k);
+  auto b = random_vec(rng, static_cast<size_t>(k) * n);
+  std::vector<float> c_opt(static_cast<size_t>(m) * n, 0.0f);
+  std::vector<float> c_ref = c_opt;
+  gemm(a.data(), b.data(), c_opt.data(), m, n, k, trans_b);
+  gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k, trans_b);
+  for (size_t i = 0; i < c_opt.size(); ++i) {
+    EXPECT_NEAR(c_opt[i], c_ref[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParam,
+    ::testing::Values(std::make_tuple(1, 1, 1, false),
+                      std::make_tuple(3, 5, 7, false),
+                      std::make_tuple(3, 5, 7, true),
+                      std::make_tuple(64, 64, 64, false),
+                      std::make_tuple(65, 33, 17, false),
+                      std::make_tuple(65, 33, 17, true),
+                      std::make_tuple(128, 300, 257, false),
+                      std::make_tuple(100, 100, 300, true)));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  Rng rng(5);
+  const int m = 8, n = 8, k = 8;
+  auto a = random_vec(rng, 64);
+  auto b = random_vec(rng, 64);
+  std::vector<float> c(64, 2.0f), expected(64, 0.0f);
+  gemm_ref(a.data(), b.data(), expected.data(), m, n, k, false, 0.5f, 0.0f);
+  for (auto& e : expected) e += 2.0f * 0.25f;  // beta * old
+  gemm(a.data(), b.data(), c.data(), m, n, k, false, 0.5f, 0.25f);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(c[i], expected[i], 1e-4f);
+}
+
+TEST(Gemm, ZeroSizedIsNoop) {
+  float x = 42.0f;
+  EXPECT_NO_THROW(gemm(&x, &x, &x, 0, 0, 0));
+}
+
+TEST(BatchedGemm, EachBatchIndependent) {
+  Rng rng(9);
+  const int batch = 3, m = 4, n = 5, k = 6;
+  auto a = random_vec(rng, static_cast<size_t>(batch) * m * k);
+  auto b = random_vec(rng, static_cast<size_t>(batch) * k * n);
+  std::vector<float> c(static_cast<size_t>(batch) * m * n, 0.0f);
+  batched_gemm(a.data(), b.data(), c.data(), batch, m, n, k,
+               static_cast<long>(m) * k, static_cast<long>(k) * n,
+               static_cast<long>(m) * n);
+  for (int i = 0; i < batch; ++i) {
+    std::vector<float> ref(static_cast<size_t>(m) * n, 0.0f);
+    gemm_ref(a.data() + static_cast<long>(i) * m * k,
+             b.data() + static_cast<long>(i) * k * n, ref.data(), m, n, k);
+    for (int j = 0; j < m * n; ++j) {
+      EXPECT_NEAR(c[static_cast<size_t>(i) * m * n + j], ref[static_cast<size_t>(j)], 1e-3f);
+    }
+  }
+}
+
+TEST(BatchedGemm, SharedOperandViaZeroStride) {
+  Rng rng(11);
+  const int batch = 2, m = 3, n = 3, k = 3;
+  auto a = random_vec(rng, static_cast<size_t>(m) * k);
+  auto b = random_vec(rng, static_cast<size_t>(batch) * k * n);
+  std::vector<float> c(static_cast<size_t>(batch) * m * n, 0.0f);
+  batched_gemm(a.data(), b.data(), c.data(), batch, m, n, k, /*stride_a=*/0,
+               static_cast<long>(k) * n, static_cast<long>(m) * n);
+  // Both batches used the same A.
+  std::vector<float> ref(static_cast<size_t>(m) * n, 0.0f);
+  gemm_ref(a.data(), b.data() + k * n, ref.data(), m, n, k);
+  for (int j = 0; j < m * n; ++j) {
+    EXPECT_NEAR(c[static_cast<size_t>(m * n + j)], ref[static_cast<size_t>(j)], 1e-4f);
+  }
+}
+
+// --------------------------------------------------------------- softmax --
+
+class SoftmaxParam
+    : public ::testing::TestWithParam<std::tuple<long, long>> {};
+
+TEST_P(SoftmaxParam, RowsSumToOneAndOrderPreserved) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(static_cast<uint64_t>(rows * 100 + cols));
+  auto data = random_vec(rng, static_cast<size_t>(rows * cols), -5, 5);
+  auto orig = data;
+  softmax_rows(data.data(), rows, cols);
+  for (long r = 0; r < rows; ++r) {
+    double sum = 0;
+    for (long c = 0; c < cols; ++c) {
+      const float p = data[static_cast<size_t>(r * cols + c)];
+      EXPECT_GT(p, 0.0f);
+      EXPECT_LE(p, 1.0f);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+    // Monotonicity: larger logits keep larger probabilities.
+    for (long c = 1; c < cols; ++c) {
+      const auto i0 = static_cast<size_t>(r * cols + c - 1);
+      const auto i1 = static_cast<size_t>(r * cols + c);
+      if (orig[i0] < orig[i1]) {
+        EXPECT_LE(data[i0], data[i1]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SoftmaxParam,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(1, 10),
+                                           std::make_tuple(7, 33),
+                                           std::make_tuple(64, 128),
+                                           std::make_tuple(240, 500)));
+
+TEST(Softmax, StableUnderLargeLogits) {
+  std::vector<float> row{1000.0f, 1001.0f, 999.0f};
+  softmax_rows(row.data(), 1, 3);
+  EXPECT_FALSE(std::isnan(row[0]));
+  EXPECT_NEAR(row[0] + row[1] + row[2], 1.0f, 1e-5f);
+  EXPECT_GT(row[1], row[0]);
+}
+
+TEST(Softmax, ScaleShiftsDistribution) {
+  std::vector<float> a{1.0f, 2.0f}, b{1.0f, 2.0f};
+  softmax_rows(a.data(), 1, 2, 1.0f);
+  softmax_rows(b.data(), 1, 2, 10.0f);
+  EXPECT_GT(b[1], a[1]);  // sharper with higher scale
+}
+
+TEST(AttentionSoftmax, MaskedKeysGetZeroWeight) {
+  const int B = 2, h = 2;
+  const long S = 4;
+  Rng rng(3);
+  auto scores = random_vec(rng, static_cast<size_t>(B * h * S * S));
+  std::vector<int> valid{3, 2};
+  attention_softmax(scores.data(), B, h, S, S, 1.0f, valid.data());
+  for (int b = 0; b < B; ++b) {
+    for (long r = 0; r < h * S; ++r) {
+      const float* row = scores.data() + (b * h * S + r) * S;
+      double sum = 0;
+      for (long c = 0; c < S; ++c) {
+        if (c >= valid[static_cast<size_t>(b)]) {
+          EXPECT_EQ(row[c], 0.0f);
+        }
+        sum += row[c];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-4);
+    }
+  }
+}
+
+TEST(AttentionSoftmax, NullMaskMeansFullRows) {
+  const long S = 8;
+  Rng rng(4);
+  auto a = random_vec(rng, static_cast<size_t>(S * S));
+  auto b = a;
+  attention_softmax(a.data(), 1, 1, S, S, 0.5f, nullptr);
+  softmax_rows(b.data(), S, S, 0.5f);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-6f);
+}
+
+// -------------------------------------------------------------- layernorm --
+
+class LayerNormParam
+    : public ::testing::TestWithParam<std::tuple<long, long>> {};
+
+TEST_P(LayerNormParam, OutputHasZeroMeanUnitVarWithIdentityAffine) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(static_cast<uint64_t>(rows + cols));
+  auto in = random_vec(rng, static_cast<size_t>(rows * cols), -3, 3);
+  std::vector<float> out(in.size());
+  std::vector<float> gamma(static_cast<size_t>(cols), 1.0f);
+  std::vector<float> beta(static_cast<size_t>(cols), 0.0f);
+  layernorm(out.data(), in.data(), gamma.data(), beta.data(), rows, cols);
+  for (long r = 0; r < rows; ++r) {
+    double sum = 0, sq = 0;
+    for (long c = 0; c < cols; ++c) {
+      const double v = out[static_cast<size_t>(r * cols + c)];
+      sum += v;
+      sq += v * v;
+    }
+    EXPECT_NEAR(sum / cols, 0.0, 1e-3);
+    if (cols > 1) {
+      EXPECT_NEAR(sq / cols, 1.0, 2e-2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LayerNormParam,
+                         ::testing::Values(std::make_tuple(1, 8),
+                                           std::make_tuple(5, 64),
+                                           std::make_tuple(16, 768),
+                                           std::make_tuple(3, 1000)));
+
+TEST(LayerNorm, AffineApplied) {
+  std::vector<float> in{1, 2, 3, 4};
+  std::vector<float> out(4), gamma{2, 2, 2, 2}, beta{1, 1, 1, 1};
+  layernorm(out.data(), in.data(), gamma.data(), beta.data(), 1, 4);
+  double sum = 0;
+  for (float v : out) sum += v;
+  EXPECT_NEAR(sum / 4, 1.0, 1e-4);  // beta shifts the mean
+}
+
+TEST(LayerNorm, InPlaceAllowed) {
+  Rng rng(6);
+  auto data = random_vec(rng, 64);
+  auto copy = data;
+  std::vector<float> gamma(64, 1.0f), beta(64, 0.0f), out(64);
+  layernorm(out.data(), copy.data(), gamma.data(), beta.data(), 1, 64);
+  layernorm(data.data(), data.data(), gamma.data(), beta.data(), 1, 64);
+  for (size_t i = 0; i < 64; ++i) EXPECT_EQ(data[i], out[i]);
+}
+
+TEST(AddBiasLayerNorm, MatchesComposedOps) {
+  const long rows = 6, cols = 32;
+  Rng rng(8);
+  auto x = random_vec(rng, static_cast<size_t>(rows * cols));
+  auto resid = random_vec(rng, static_cast<size_t>(rows * cols));
+  auto bias = random_vec(rng, static_cast<size_t>(cols));
+  auto gamma = random_vec(rng, static_cast<size_t>(cols), 0.5f, 1.5f);
+  auto beta = random_vec(rng, static_cast<size_t>(cols));
+
+  // Composed: add bias, add residual, layernorm.
+  auto composed = x;
+  add_bias(composed.data(), bias.data(), rows, cols);
+  add_residual(composed.data(), resid.data(), rows * cols);
+  std::vector<float> expected(composed.size());
+  layernorm(expected.data(), composed.data(), gamma.data(), beta.data(),
+            rows, cols);
+
+  std::vector<float> fused(x.size());
+  add_bias_layernorm(fused.data(), x.data(), resid.data(), bias.data(),
+                     gamma.data(), beta.data(), rows, cols);
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_NEAR(fused[i], expected[i], 1e-4f);
+  }
+}
+
+TEST(AddBiasLayerNorm, NullBiasMeansNoBias) {
+  const long rows = 2, cols = 16;
+  Rng rng(10);
+  auto x = random_vec(rng, static_cast<size_t>(rows * cols));
+  auto resid = random_vec(rng, static_cast<size_t>(rows * cols));
+  std::vector<float> gamma(16, 1.0f), beta(16, 0.0f);
+  std::vector<float> zero_bias(16, 0.0f);
+  std::vector<float> with_zero(x.size()), with_null(x.size());
+  add_bias_layernorm(with_zero.data(), x.data(), resid.data(),
+                     zero_bias.data(), gamma.data(), beta.data(), rows, cols);
+  add_bias_layernorm(with_null.data(), x.data(), resid.data(), nullptr,
+                     gamma.data(), beta.data(), rows, cols);
+  for (size_t i = 0; i < with_zero.size(); ++i) {
+    EXPECT_EQ(with_zero[i], with_null[i]);
+  }
+}
+
+// ------------------------------------------------------------ elementwise --
+
+TEST(AddBias, BroadcastsOverRows) {
+  std::vector<float> data{0, 0, 1, 1};
+  std::vector<float> bias{5, 7};
+  add_bias(data.data(), bias.data(), 2, 2);
+  EXPECT_EQ(data, (std::vector<float>{5, 7, 6, 8}));
+}
+
+TEST(Gelu, KnownValues) {
+  EXPECT_NEAR(gelu_scalar(0.0f), 0.0f, 1e-6f);
+  EXPECT_NEAR(gelu_scalar(1.0f), 0.8412f, 1e-3f);
+  EXPECT_NEAR(gelu_scalar(-1.0f), -0.1588f, 1e-3f);
+  EXPECT_NEAR(gelu_scalar(10.0f), 10.0f, 1e-3f);   // ~identity for large x
+  EXPECT_NEAR(gelu_scalar(-10.0f), 0.0f, 1e-3f);   // ~zero for very negative
+}
+
+TEST(AddBiasGelu, MatchesComposed) {
+  Rng rng(12);
+  const long rows = 4, cols = 16;
+  auto data = random_vec(rng, static_cast<size_t>(rows * cols));
+  auto bias = random_vec(rng, static_cast<size_t>(cols));
+  auto composed = data;
+  add_bias(composed.data(), bias.data(), rows, cols);
+  gelu(composed.data(), rows * cols);
+  add_bias_gelu(data.data(), bias.data(), rows, cols);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i], composed[i], 1e-6f);
+  }
+}
+
+// --------------------------------------------------------------- layouts --
+
+class TransposeParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(TransposeParam, HeadSplitAndMergeRoundTrip) {
+  const auto [B, S, heads, d] = GetParam();
+  const long hidden = static_cast<long>(heads) * d;
+  Rng rng(21);
+  auto in = random_vec(rng, static_cast<size_t>(B * S) * hidden);
+  std::vector<float> headed(in.size()), back(in.size());
+  transpose_to_heads(in.data(), headed.data(), B, S, heads, d);
+  transpose_for_score(headed.data(), back.data(), B, S, heads, d);
+  EXPECT_EQ(in, back);
+}
+
+TEST_P(TransposeParam, SplitAddBiasTransposeMatchesManual) {
+  const auto [B, S, heads, d] = GetParam();
+  const long H = static_cast<long>(heads) * d;
+  Rng rng(22);
+  auto qkv = random_vec(rng, static_cast<size_t>(B * S) * 3 * H);
+  auto bias = random_vec(rng, static_cast<size_t>(3 * H));
+  std::vector<float> q(static_cast<size_t>(B * S) * H);
+  std::vector<float> k(q.size()), v(q.size());
+  split_add_bias_transpose(qkv.data(), bias.data(), q.data(), k.data(),
+                           v.data(), B, S, heads, d);
+  // Manual check: element (b, s, which, h, dd).
+  float* outs[3] = {q.data(), k.data(), v.data()};
+  for (int b = 0; b < B; ++b) {
+    for (int s = 0; s < S; ++s) {
+      for (int which = 0; which < 3; ++which) {
+        for (int h = 0; h < heads; ++h) {
+          for (int dd = 0; dd < d; ++dd) {
+            const float src =
+                qkv[static_cast<size_t>(((b * S + s) * 3 + which) * H +
+                                        h * d + dd)] +
+                bias[static_cast<size_t>(which * H + h * d + dd)];
+            const float dst =
+                outs[which][static_cast<size_t>(((b * heads + h) * S + s) * d +
+                                                dd)];
+            ASSERT_EQ(src, dst);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TransposeParam,
+                         ::testing::Values(std::make_tuple(1, 1, 1, 4),
+                                           std::make_tuple(2, 3, 4, 8),
+                                           std::make_tuple(3, 17, 2, 5),
+                                           std::make_tuple(1, 64, 12, 64)));
+
+// -------------------------------------------------------------- embedding --
+
+TEST(Embedding, LooksUpAndNormalizes) {
+  const int B = 2, S = 3, H = 8, vocab = 10, max_pos = 16;
+  Rng rng(31);
+  auto word = random_vec(rng, static_cast<size_t>(vocab) * H);
+  auto pos = random_vec(rng, static_cast<size_t>(max_pos) * H);
+  std::vector<float> gamma(H, 1.0f), beta(H, 0.0f);
+  std::vector<int32_t> ids{1, 2, 3, 4, 5, 6};
+  std::vector<float> out(static_cast<size_t>(B * S) * H);
+  embedding_lookup_layernorm(out.data(), ids.data(), word.data(), pos.data(),
+                             nullptr, nullptr, gamma.data(), beta.data(), B,
+                             S, H, vocab, max_pos);
+  // Expected: layernorm(word[id] + pos[s]).
+  for (int b = 0; b < B; ++b) {
+    for (int s = 0; s < S; ++s) {
+      std::vector<float> expect(static_cast<size_t>(H));
+      const int id = ids[static_cast<size_t>(b * S + s)];
+      for (int h = 0; h < H; ++h) {
+        expect[static_cast<size_t>(h)] =
+            word[static_cast<size_t>(id * H + h)] +
+            pos[static_cast<size_t>(s * H + h)];
+      }
+      std::vector<float> norm(static_cast<size_t>(H));
+      layernorm(norm.data(), expect.data(), gamma.data(), beta.data(), 1, H);
+      for (int h = 0; h < H; ++h) {
+        EXPECT_NEAR(out[static_cast<size_t>((b * S + s) * H + h)],
+                    norm[static_cast<size_t>(h)], 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(Embedding, RejectsOutOfVocabIds) {
+  const int H = 4;
+  std::vector<float> word(40), pos(40), out(H);
+  std::vector<float> gamma(H, 1.0f), beta(H, 0.0f);
+  std::vector<int32_t> bad{99};
+  EXPECT_THROW(embedding_lookup_layernorm(out.data(), bad.data(), word.data(),
+                                          pos.data(), nullptr, nullptr,
+                                          gamma.data(), beta.data(), 1, 1, H,
+                                          10, 10),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace turbo::kernels

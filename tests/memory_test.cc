@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "memory/allocator.h"
+#include "memory/dynamic_allocators.h"
+#include "memory/gsoc_planner.h"
+#include "memory/model_aware_allocator.h"
+
+namespace turbo::memory {
+namespace {
+
+std::vector<TensorUsage> make_usages(
+    std::initializer_list<std::tuple<int, int, size_t>> specs) {
+  std::vector<TensorUsage> usages;
+  int id = 0;
+  for (const auto& [first, last, size] : specs) {
+    TensorUsage u;
+    u.tensor_id = id;
+    u.name = "t" + std::to_string(id);
+    u.first_op = first;
+    u.last_op = last;
+    u.size = size;
+    usages.push_back(std::move(u));
+    ++id;
+  }
+  return usages;
+}
+
+// Random tensor-usage instance resembling a DNN layer: a chain of ops with
+// short-lived activations and a couple of long-lived residuals.
+std::vector<TensorUsage> random_usages(Rng& rng, int count, int num_ops,
+                                       size_t max_size) {
+  std::vector<TensorUsage> usages;
+  for (int i = 0; i < count; ++i) {
+    TensorUsage u;
+    u.tensor_id = i;
+    u.name = "r" + std::to_string(i);
+    u.first_op = static_cast<int>(rng.uniform_int(0, num_ops - 1));
+    u.last_op = static_cast<int>(
+        rng.uniform_int(u.first_op, std::min(num_ops - 1, u.first_op + 4)));
+    u.size = static_cast<size_t>(rng.uniform_int(1, static_cast<long>(max_size)));
+    usages.push_back(std::move(u));
+  }
+  return usages;
+}
+
+size_t peak_live(const std::vector<TensorUsage>& usages) {
+  size_t peak = 0;
+  int max_op = 0;
+  for (const auto& u : usages) max_op = std::max(max_op, u.last_op);
+  for (int op = 0; op <= max_op; ++op) {
+    size_t live = 0;
+    for (const auto& u : usages) {
+      if (u.first_op <= op && op <= u.last_op) live += u.size;
+    }
+    peak = std::max(peak, live);
+  }
+  return peak;
+}
+
+// ------------------------------------------------------ ModelAwareAllocator
+
+TEST(ModelAware, PlacesAllTensorsWithoutLiveOverlap) {
+  ModelAwareAllocator alloc;
+  auto usages = make_usages({{0, 1, 1000}, {0, 2, 2000}, {1, 3, 500},
+                             {2, 4, 1500}, {4, 5, 3000}});
+  const auto plan = alloc.begin_inference(usages);
+  EXPECT_NO_THROW(validate_plan(usages, plan));
+}
+
+TEST(ModelAware, DisjointLifetimesShareMemory) {
+  ModelAwareAllocator alloc;
+  // Two 1 MB tensors that never coexist: a single 2 MB chunk must suffice.
+  auto usages = make_usages({{0, 1, 1u << 20}, {2, 3, 1u << 20}});
+  const auto plan = alloc.begin_inference(usages);
+  EXPECT_EQ(alloc.num_chunks(), 1);
+  EXPECT_EQ(plan.footprint_bytes, 2u << 20);
+}
+
+TEST(ModelAware, OversizedTensorGetsScaledChunk) {
+  ModelAwareAllocator alloc;
+  const size_t big = 10u << 20;
+  auto usages = make_usages({{0, 0, big}});
+  const auto plan = alloc.begin_inference(usages);
+  EXPECT_EQ(plan.footprint_bytes,
+            static_cast<size_t>(static_cast<double>(big) * 1.2));
+}
+
+TEST(ModelAware, ChunksReusedAcrossInferences) {
+  ModelAwareAllocator alloc;
+  auto usages = make_usages({{0, 1, 500000}, {1, 2, 600000}});
+  alloc.begin_inference(usages);
+  const auto stats_before = alloc.stats();
+  const auto plan2 = alloc.begin_inference(usages);
+  // Identical request: no new device traffic at all.
+  EXPECT_EQ(alloc.stats().device_malloc_count,
+            stats_before.device_malloc_count);
+  EXPECT_EQ(plan2.inference_malloc_bytes, 0u);
+  EXPECT_EQ(plan2.inference_free_bytes, 0u);
+}
+
+TEST(ModelAware, ShrinkingRequestReleasesUnusedChunks) {
+  ModelAwareAllocator alloc;
+  // Long request needs several chunks.
+  auto big = make_usages({{0, 1, 3u << 20}, {0, 1, 3u << 20}});
+  alloc.begin_inference(big);
+  const size_t big_footprint = alloc.stats().current_device_bytes;
+  // Short request: unused chunks are released immediately.
+  auto small = make_usages({{0, 1, 1000}});
+  const auto plan = alloc.begin_inference(small);
+  EXPECT_LT(plan.footprint_bytes, big_footprint);
+  EXPECT_GT(plan.inference_free_bytes, 0u);
+}
+
+TEST(ModelAware, IdleGraceKeepsChunksAlive) {
+  ModelAwareOptions options;
+  options.max_idle_inferences = 2;
+  ModelAwareAllocator alloc(options);
+  auto big = make_usages({{0, 1, 3u << 20}});
+  alloc.begin_inference(big);
+  // Two completely idle inferences tolerated...
+  alloc.begin_inference({});
+  alloc.begin_inference({});
+  EXPECT_EQ(alloc.stats().device_free_count, 0u);
+  // ...the third releases the idle chunk.
+  alloc.begin_inference({});
+  EXPECT_GT(alloc.stats().device_free_count, 0u);
+  EXPECT_EQ(alloc.num_chunks(), 0);
+}
+
+TEST(ModelAware, GrowingRequestAddsChunksIncrementally) {
+  ModelAwareAllocator alloc;
+  auto seq200 = make_usages({{0, 1, 1500000}, {1, 2, 1500000}});
+  alloc.begin_inference(seq200);
+  const auto before = alloc.stats().current_device_bytes;
+  // A longer request adds one overlapping tensor: existing chunks stay and
+  // only the marginal chunk is allocated (the paper's Fig. 6 seq 200 -> 240
+  // example).
+  auto seq240 =
+      make_usages({{0, 1, 1500000}, {1, 2, 1500000}, {0, 2, 1500000}});
+  const auto plan = alloc.begin_inference(seq240);
+  EXPECT_GT(alloc.stats().current_device_bytes, before);
+  EXPECT_EQ(plan.inference_free_bytes, 0u);
+  EXPECT_LT(plan.inference_malloc_bytes,
+            alloc.stats().current_device_bytes);
+}
+
+class ModelAwareProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModelAwareProperty, RandomInstancesAlwaysValid) {
+  Rng rng(GetParam());
+  ModelAwareAllocator alloc;
+  for (int round = 0; round < 8; ++round) {
+    auto usages = random_usages(rng, 24, 12, 400000);
+    const auto plan = alloc.begin_inference(usages);
+    ASSERT_NO_THROW(validate_plan(usages, plan));
+    // Footprint can never beat the information-theoretic lower bound.
+    EXPECT_GE(plan.footprint_bytes, peak_live(usages));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelAwareProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(ModelAware, PackedSelectionReleasesOversizedChunksAfterShortRequest) {
+  // The Fig. 11 footprint-tracking behaviour: after a long request, a short
+  // one must not keep the big chunks alive under the packed policy, while
+  // the literal first-fit scan does retain them.
+  auto run = [](ChunkSelection selection) {
+    ModelAwareOptions o;
+    o.chunk_selection = selection;
+    ModelAwareAllocator alloc(o);
+    // Long request: two big overlapping tensors.
+    alloc.begin_inference(
+        make_usages({{0, 2, 9u << 20}, {1, 3, 6u << 20}}));
+    // Short request: one small tensor.
+    const auto plan = alloc.begin_inference(make_usages({{0, 1, 100000}}));
+    return plan.footprint_bytes;
+  };
+  const size_t packed = run(ChunkSelection::kPacked);
+  const size_t first_fit = run(ChunkSelection::kFirstFit);
+  // Packed settles in the smallest leftover chunk (the ~7.2 MB one) and the
+  // ~10.8 MB chunk is released; first-fit scans in list order, lands in the
+  // big chunk and keeps it.
+  EXPECT_LT(packed, first_fit);
+  EXPECT_LT(packed, 8u << 20);
+  EXPECT_GT(first_fit, 10u << 20);
+}
+
+TEST(ModelAware, KScaleOneAllocatesExactOversizedChunks) {
+  ModelAwareOptions o;
+  o.k_scale = 1.0;
+  ModelAwareAllocator alloc(o);
+  const size_t big = 5u << 20;
+  const auto plan = alloc.begin_inference(make_usages({{0, 0, big}}));
+  EXPECT_EQ(plan.footprint_bytes, big);
+}
+
+TEST(ModelAware, EmptyInferenceProducesEmptyPlan) {
+  ModelAwareAllocator alloc;
+  const auto plan = alloc.begin_inference({});
+  EXPECT_TRUE(plan.placements.empty());
+  EXPECT_EQ(plan.footprint_bytes, 0u);
+}
+
+TEST(ModelAware, RejectsInvalidUsages) {
+  ModelAwareAllocator alloc;
+  std::vector<TensorUsage> zero_size = make_usages({{0, 1, 0}});
+  zero_size[0].size = 0;
+  EXPECT_THROW(alloc.begin_inference(zero_size), CheckError);
+  auto backwards = make_usages({{0, 1, 10}});
+  backwards[0].first_op = 5;
+  backwards[0].last_op = 2;
+  EXPECT_THROW(alloc.begin_inference(backwards), CheckError);
+}
+
+// ------------------------------------------------------------- GsocPlanner
+
+TEST(Gsoc, PacksWithoutLiveOverlap) {
+  auto usages = make_usages({{0, 2, 100}, {1, 3, 200}, {3, 4, 150},
+                             {0, 4, 50}});
+  GsocPlanner planner;
+  const auto plan = planner.begin_inference(usages);
+  EXPECT_NO_THROW(validate_plan(usages, plan));
+}
+
+TEST(Gsoc, ArenaAtLeastPeakLive) {
+  Rng rng(77);
+  for (int round = 0; round < 10; ++round) {
+    auto usages = random_usages(rng, 20, 10, 100000);
+    const auto packing = gsoc_plan(usages);
+    EXPECT_GE(packing.arena_size, peak_live(usages));
+  }
+}
+
+TEST(Gsoc, PerfectPackingWhenAllDisjoint) {
+  // Tensors that never coexist collapse onto offset 0.
+  auto usages = make_usages({{0, 0, 300}, {1, 1, 200}, {2, 2, 100}});
+  const auto packing = gsoc_plan(usages);
+  EXPECT_EQ(packing.arena_size, 300u);
+  for (const auto& [id, offset] : packing.offsets) EXPECT_EQ(offset, 0u);
+}
+
+TEST(Gsoc, ReallocatesWheneverArenaSizeChanges) {
+  GsocPlanner planner;
+  auto small = make_usages({{0, 1, 1000}});
+  auto large = make_usages({{0, 1, 5000}});
+  planner.begin_inference(small);
+  const auto plan2 = planner.begin_inference(large);
+  EXPECT_GT(plan2.inference_malloc_bytes, 0u);
+  EXPECT_GT(plan2.inference_free_bytes, 0u);
+  const auto plan3 = planner.begin_inference(large);
+  EXPECT_EQ(plan3.traffic_bytes(), 0u);  // same size: cached
+}
+
+// --------------------------------------------------------- turbo vs gsoc --
+
+TEST(TurboVsGsoc, TurboTrafficLowerOnAlternatingLengths) {
+  // The paper's Figure 12 claim: per-inference alloc+free traffic of the
+  // chunked allocator is below GSOC's full-arena reallocation when lengths
+  // keep changing.
+  Rng rng(123);
+  ModelAwareAllocator turbo;
+  GsocPlanner gsoc;
+  size_t turbo_traffic = 0, gsoc_traffic = 0;
+  for (int round = 0; round < 20; ++round) {
+    auto usages = random_usages(rng, 16, 9, 900000);
+    turbo_traffic += turbo.begin_inference(usages).traffic_bytes();
+    gsoc_traffic += gsoc.begin_inference(usages).traffic_bytes();
+  }
+  EXPECT_LT(turbo_traffic, gsoc_traffic);
+}
+
+// ------------------------------------------------------- NaiveDeviceAlloc --
+
+TEST(Naive, EveryAllocHitsTheDevice) {
+  NaiveDeviceAllocator alloc;
+  auto* a = alloc.alloc(100);
+  auto* b = alloc.alloc(200);
+  EXPECT_EQ(alloc.stats().device_malloc_count, 2u);
+  alloc.free(a);
+  alloc.free(b);
+  EXPECT_EQ(alloc.stats().device_free_count, 2u);
+  EXPECT_EQ(alloc.stats().current_device_bytes, 0u);
+  EXPECT_GT(alloc.total_stall_us(), 0.0);
+}
+
+TEST(Naive, FreeOfUnknownPointerRejected) {
+  NaiveDeviceAllocator alloc;
+  std::byte dummy;
+  EXPECT_THROW(alloc.free(&dummy), CheckError);
+}
+
+// ------------------------------------------------------ CubCachingAlloc --
+
+TEST(CubCaching, ReusesFreedBlocksOfSameBin) {
+  CubCachingAllocator alloc;
+  auto* a = alloc.alloc(1000);  // 1024 bin
+  alloc.free(a);
+  auto* b = alloc.alloc(900);  // same bin: cache hit
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(alloc.stats().device_malloc_count, 1u);
+}
+
+TEST(CubCaching, FootprintRatchetsUpNeverDown) {
+  CubCachingAllocator alloc;
+  auto* big = alloc.alloc(8u << 20);
+  alloc.free(big);
+  const size_t after_big = alloc.stats().current_device_bytes;
+  auto* small = alloc.alloc(100);
+  alloc.free(small);
+  // The big block is still cached: footprint never shrinks.
+  EXPECT_GE(alloc.stats().current_device_bytes, after_big);
+  EXPECT_EQ(alloc.stats().device_free_count, 0u);
+}
+
+TEST(CubCaching, EmptyCacheReturnsMemory) {
+  CubCachingAllocator alloc;
+  alloc.free(alloc.alloc(4096));
+  EXPECT_GT(alloc.cached_bytes(), 0u);
+  alloc.empty_cache();
+  EXPECT_EQ(alloc.cached_bytes(), 0u);
+  EXPECT_EQ(alloc.stats().current_device_bytes, 0u);
+}
+
+TEST(CubCaching, BinsArePowersOfTwo) {
+  CubCachingAllocator alloc;
+  alloc.alloc(513);  // rounds to 1024
+  EXPECT_EQ(alloc.stats().device_malloc_bytes, 1024u);
+}
+
+// -------------------------------------------------------- BfcArenaAlloc --
+
+TEST(BfcArena, SplitsAndCoalesces) {
+  BfcArenaAllocator alloc(1 << 20);
+  auto* a = alloc.alloc(1000);
+  auto* b = alloc.alloc(1000);
+  auto* c = alloc.alloc(1000);
+  EXPECT_EQ(alloc.num_regions(), 1u);
+  alloc.free(b);
+  alloc.free(a);
+  // a+b coalesced: a 2000-byte request fits without growing.
+  auto* d = alloc.alloc(2000);
+  EXPECT_EQ(alloc.num_regions(), 1u);
+  alloc.free(c);
+  alloc.free(d);
+}
+
+TEST(BfcArena, GrowsByDoublingRegions) {
+  BfcArenaAllocator alloc(1 << 10);
+  alloc.alloc(1 << 10);           // fills region 0 (1 KiB)
+  alloc.alloc(1 << 10);           // needs region 1 (2 KiB)
+  EXPECT_EQ(alloc.num_regions(), 2u);
+  alloc.alloc(100 << 10);         // jumps straight to a big region
+  EXPECT_EQ(alloc.num_regions(), 3u);
+}
+
+TEST(BfcArena, ArenaNeverShrinks) {
+  BfcArenaAllocator alloc(1 << 12);
+  auto* a = alloc.alloc(1 << 12);
+  const size_t reserved = alloc.stats().current_device_bytes;
+  alloc.free(a);
+  EXPECT_EQ(alloc.stats().current_device_bytes, reserved);
+}
+
+// --------------------------------------------------------- ReplayAdapter --
+
+TEST(Replay, StatsReflectOneInference) {
+  ReplayAdapter replay(std::make_unique<NaiveDeviceAllocator>());
+  auto usages = make_usages({{0, 1, 100}, {1, 2, 200}, {2, 2, 300}});
+  const auto plan = replay.begin_inference(usages);
+  EXPECT_EQ(plan.inference_malloc_count, 3u);
+  EXPECT_EQ(plan.inference_free_count, 3u);
+  EXPECT_EQ(plan.placements.size(), 3u);
+}
+
+TEST(Replay, CachingBackendQuiescesOnRepeats) {
+  ReplayAdapter replay(std::make_unique<CubCachingAllocator>());
+  auto usages = make_usages({{0, 1, 1000}, {1, 3, 2000}, {2, 3, 1000}});
+  replay.begin_inference(usages);
+  const auto plan2 = replay.begin_inference(usages);
+  EXPECT_EQ(plan2.inference_malloc_bytes, 0u);  // warm cache
+  EXPECT_EQ(plan2.inference_free_bytes, 0u);
+}
+
+// ----------------------------------------------------------- validation --
+
+TEST(ValidatePlan, DetectsOverlapOfLiveTensors) {
+  auto usages = make_usages({{0, 1, 100}, {0, 1, 100}});
+  InferencePlan plan;
+  std::vector<std::byte> arena(200);
+  plan.placements[0] = Placement{arena.data(), 0, 0};
+  plan.placements[1] = Placement{arena.data() + 50, 0, 50};  // overlaps!
+  EXPECT_THROW(validate_plan(usages, plan), CheckError);
+}
+
+TEST(ValidatePlan, DetectsMissingPlacement) {
+  auto usages = make_usages({{0, 1, 100}});
+  InferencePlan plan;
+  EXPECT_THROW(validate_plan(usages, plan), CheckError);
+}
+
+}  // namespace
+}  // namespace turbo::memory

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gpusim/device_spec.h"
+#include "perfmodel/kernel_cost.h"
+#include "perfmodel/model_latency.h"
+#include "perfmodel/runtime_profile.h"
+
+namespace turbo::perfmodel {
+namespace {
+
+using gpusim::DeviceSpec;
+
+EncoderModelDesc bert() {
+  EncoderModelDesc d;
+  d.name = "bert";
+  d.dims = graph::LayerDims{768, 12, 3072};
+  d.num_layers = 12;
+  return d;
+}
+
+// -------------------------------------------------------------- roofline --
+
+TEST(GemmTime, MonotoneInFlops) {
+  const auto spec = DeviceSpec::rtx2060();
+  const auto p = RuntimeProfile::turbo();
+  double prev = 0;
+  for (double flops : {1e6, 1e8, 1e10, 1e12}) {
+    const double t = gemm_time_us(flops, flops / 100, p, spec);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(GemmTime, TensorCoreFasterOnBigGemms) {
+  const auto spec = DeviceSpec::rtx2060();
+  const double fp32 =
+      gemm_time_us(1e11, 1e8, RuntimeProfile::turbo(), spec);
+  const double tc = gemm_time_us(1e11, 1e8, RuntimeProfile::turbo_tc(), spec);
+  EXPECT_GT(fp32 / tc, 2.0);
+}
+
+TEST(GemmTime, UtilizationPenalizesTinyGemms) {
+  const auto spec = DeviceSpec::rtx2060();
+  const auto p = RuntimeProfile::turbo();
+  // Per-flop cost should be much higher for a tiny GEMM than a big one.
+  const double tiny = gemm_time_us(1e7, 1e4, p, spec) / 1e7;
+  const double big = gemm_time_us(1e11, 1e8, p, spec) / 1e11;
+  EXPECT_GT(tiny / big, 5.0);
+}
+
+TEST(GemmTime, BandwidthBoundWhenBytesDominate) {
+  const auto spec = DeviceSpec::rtx2060();
+  const auto p = RuntimeProfile::turbo();
+  const double t = gemm_time_us(1e6, 1e9, p, spec);
+  const double memory_us = 1e9 / (spec.mem_bandwidth_gbps * 1e9) * 1e6;
+  EXPECT_DOUBLE_EQ(t, memory_us);
+}
+
+// ------------------------------------------------------------ kernel cost --
+
+TEST(KernelCost, LaunchOverheadAlwaysCharged) {
+  const auto spec = DeviceSpec::rtx2060();
+  const auto p = RuntimeProfile::turbo();
+  graph::OpCost tiny;
+  tiny.cls = graph::CostClass::kElementwise;
+  tiny.bytes = 1;
+  EXPECT_GE(kernel_time_us(graph::OpKind::kAddBias, tiny, p, spec),
+            p.launch_overhead_us);
+}
+
+TEST(KernelCost, ReductionImplMatters) {
+  const auto spec = DeviceSpec::rtx2060();
+  graph::OpCost softmax;
+  softmax.cls = graph::CostClass::kReduction;
+  softmax.reduce_rows = 20L * 12 * 128;
+  softmax.reduce_cols = 128;
+  softmax.bytes = 2.0 * softmax.reduce_rows * softmax.reduce_cols * 4;
+  const double turbo = kernel_time_us(graph::OpKind::kSoftmax, softmax,
+                                      RuntimeProfile::turbo(), spec);
+  const double pytorch = kernel_time_us(graph::OpKind::kSoftmax, softmax,
+                                        RuntimeProfile::pytorch(), spec);
+  EXPECT_GT(pytorch / turbo, 1.5);
+}
+
+// ---------------------------------------------------------- encoder model --
+
+TEST(EncoderLatency, TurboBeatsPyTorchEverywhere) {
+  const auto spec = DeviceSpec::rtx2060();
+  for (int b : {1, 20}) {
+    for (int s : {10, 100, 500}) {
+      const double turbo =
+          encoder_latency_ms(bert(), b, s, RuntimeProfile::turbo(), spec);
+      const double pytorch =
+          encoder_latency_ms(bert(), b, s, RuntimeProfile::pytorch(), spec);
+      EXPECT_GT(pytorch / turbo, 1.0) << "b=" << b << " s=" << s;
+    }
+  }
+}
+
+TEST(EncoderLatency, SpeedupLargestOnShortSequences) {
+  // Fig. 9/14 shape: the fusion + launch-overhead win shrinks as GEMMs
+  // dominate at long sequence lengths.
+  const auto spec = DeviceSpec::rtx2060();
+  const double short_speedup =
+      encoder_latency_ms(bert(), 1, 10, RuntimeProfile::pytorch(), spec) /
+      encoder_latency_ms(bert(), 1, 10, RuntimeProfile::turbo(), spec);
+  const double long_speedup =
+      encoder_latency_ms(bert(), 1, 500, RuntimeProfile::pytorch(), spec) /
+      encoder_latency_ms(bert(), 1, 500, RuntimeProfile::turbo(), spec);
+  EXPECT_GT(short_speedup, long_speedup);
+}
+
+TEST(EncoderLatency, MonotoneInBatchAndSeq) {
+  const auto spec = DeviceSpec::rtx2060();
+  const auto p = RuntimeProfile::turbo();
+  EXPECT_LT(encoder_latency_ms(bert(), 1, 100, p, spec),
+            encoder_latency_ms(bert(), 1, 200, p, spec));
+  EXPECT_LT(encoder_latency_ms(bert(), 1, 100, p, spec),
+            encoder_latency_ms(bert(), 4, 100, p, spec));
+}
+
+TEST(EncoderLatency, BatchingAmortizesPerRequestCost) {
+  // Fig. 7: latency(batch N) / N falls well below latency(batch 1).
+  const auto spec = DeviceSpec::rtx2060();
+  const auto p = RuntimeProfile::turbo();
+  const double single = encoder_latency_ms(bert(), 1, 10, p, spec);
+  const double batched = encoder_latency_ms(bert(), 10, 10, p, spec) / 10;
+  EXPECT_LT(batched / single, 0.5);
+}
+
+TEST(EncoderLatency, BreakdownComponentsSumToTotal) {
+  const auto spec = DeviceSpec::rtx2060();
+  const auto lb =
+      encoder_latency(bert(), 4, 128, RuntimeProfile::turbo(), spec, 55.0);
+  EXPECT_NEAR(lb.gemm_us + lb.reduction_us + lb.elementwise_us +
+                  lb.allocator_us,
+              lb.total_us, 1e-6);
+  EXPECT_EQ(lb.allocator_us, 55.0);
+  double per_kernel = 0;
+  for (const auto& [name, us] : lb.per_kernel_us) per_kernel += us;
+  EXPECT_NEAR(per_kernel + lb.allocator_us, lb.total_us, 1e-6);
+}
+
+TEST(EncoderLatency, GemmShareGrowsWithLength) {
+  // Fig. 10: GEMM share ~70% at len 20, ~83% at len 400.
+  const auto spec = DeviceSpec::rtx2060();
+  const auto p = RuntimeProfile::turbo();
+  const auto short_lb = encoder_latency(bert(), 1, 20, p, spec);
+  const auto long_lb = encoder_latency(bert(), 1, 400, p, spec);
+  const double short_share = short_lb.gemm_us / short_lb.total_us;
+  const double long_share = long_lb.gemm_us / long_lb.total_us;
+  EXPECT_GT(long_share, short_share);
+  EXPECT_GT(long_share, 0.6);
+}
+
+TEST(EncoderLatency, RuntimeOrderingMatchesPaper) {
+  // Fig. 14, averaged ordering: TensorRT <= FasterTransformers <= Turbo <=
+  // onnxruntime/XLA <= PyTorch.
+  const auto spec = DeviceSpec::rtx2060();
+  double trt = 0, ft = 0, turbo = 0, ort = 0, xla = 0, pt = 0;
+  for (int b : {1, 20}) {
+    for (int s : {20, 100, 400}) {
+      trt += encoder_latency_ms(bert(), b, s, RuntimeProfile::tensorrt(), spec);
+      ft += encoder_latency_ms(bert(), b, s,
+                               RuntimeProfile::faster_transformers(), spec);
+      turbo += encoder_latency_ms(bert(), b, s, RuntimeProfile::turbo(), spec);
+      ort += encoder_latency_ms(bert(), b, s, RuntimeProfile::onnxruntime(),
+                                spec);
+      xla += encoder_latency_ms(bert(), b, s, RuntimeProfile::tf_xla(), spec);
+      pt += encoder_latency_ms(bert(), b, s, RuntimeProfile::pytorch(), spec);
+    }
+  }
+  EXPECT_LT(trt, turbo);
+  EXPECT_LT(ft, turbo);
+  EXPECT_LT(turbo, ort);
+  EXPECT_LT(turbo, xla);
+  EXPECT_LT(ort, pt);
+}
+
+TEST(EncoderLatency, TensorCoreCutsLongSequenceLatency) {
+  const auto spec = DeviceSpec::rtx2060();
+  const double fp32 =
+      encoder_latency_ms(bert(), 1, 500, RuntimeProfile::turbo(), spec);
+  const double tc =
+      encoder_latency_ms(bert(), 1, 500, RuntimeProfile::turbo_tc(), spec);
+  EXPECT_GT(fp32 / tc, 1.5);
+}
+
+// ---------------------------------------------------------- decoder model --
+
+TEST(DecoderLatency, GrowsAtLeastLinearlyWithSourceLength) {
+  // Each extra source token adds a decode step (per-step cost dominated by
+  // the vocabulary projection), so latency grows at least linearly — the
+  // paper's Fig. 9 decoder curve (~100 ms at src 30 to ~300 ms at 140).
+  const auto spec = DeviceSpec::rtx2060();
+  DecoderModelDesc desc;
+  const double t30 =
+      decoder_latency_us(desc, 30, RuntimeProfile::turbo(), spec);
+  const double t60 =
+      decoder_latency_us(desc, 60, RuntimeProfile::turbo(), spec);
+  const double t120 =
+      decoder_latency_us(desc, 120, RuntimeProfile::turbo(), spec);
+  EXPECT_GT(t60 / t30, 1.9);
+  EXPECT_GT(t120 / t60, 1.9);
+}
+
+TEST(DecoderLatency, TurboFasterThanPyTorch) {
+  const auto spec = DeviceSpec::rtx2060();
+  DecoderModelDesc desc;
+  const double turbo =
+      decoder_latency_us(desc, 50, RuntimeProfile::turbo(), spec);
+  const double pytorch =
+      decoder_latency_us(desc, 50, RuntimeProfile::pytorch(), spec);
+  // Paper: 1.14x-1.20x on the decoder.
+  EXPECT_GT(pytorch / turbo, 1.02);
+  EXPECT_LT(pytorch / turbo, 2.5);
+}
+
+TEST(DecoderLatency, CapsAtMaxTargetLen) {
+  const auto spec = DeviceSpec::rtx2060();
+  DecoderModelDesc desc;
+  desc.max_target_len = 10;
+  const double a =
+      decoder_latency_us(desc, 100, RuntimeProfile::turbo(), spec);
+  const double b =
+      decoder_latency_us(desc, 110, RuntimeProfile::turbo(), spec);
+  // Target length capped: only the encoder + cross-attention part grows.
+  EXPECT_LT(b / a, 1.3);
+}
+
+// ----------------------------------------------------------- table 1 bits --
+
+TEST(Profiles, VariableLengthSupportMatchesTable1) {
+  EXPECT_TRUE(RuntimeProfile::turbo().variable_length_ok);
+  EXPECT_TRUE(RuntimeProfile::pytorch().variable_length_ok);
+  EXPECT_TRUE(RuntimeProfile::onnxruntime().variable_length_ok);
+  EXPECT_FALSE(RuntimeProfile::tf_xla().variable_length_ok);
+  EXPECT_FALSE(RuntimeProfile::tensorrt().variable_length_ok);
+  EXPECT_FALSE(RuntimeProfile::faster_transformers().variable_length_ok);
+}
+
+TEST(Profiles, PreprocessRequirementMatchesTable1) {
+  EXPECT_FALSE(RuntimeProfile::turbo().requires_preprocess);
+  EXPECT_FALSE(RuntimeProfile::pytorch().requires_preprocess);
+  EXPECT_TRUE(RuntimeProfile::tensorrt().requires_preprocess);
+  EXPECT_TRUE(RuntimeProfile::tf_xla().requires_preprocess);
+}
+
+}  // namespace
+}  // namespace turbo::perfmodel

@@ -1,0 +1,259 @@
+// Cross-module randomized property suites: invariants that must hold for
+// every seed, sweeping the spaces the paper's components operate over.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.h"
+#include "graph/builders.h"
+#include "graph/fusion.h"
+#include "gpukernels/reduction_sim.h"
+#include "gpusim/device_spec.h"
+#include "memory/dynamic_allocators.h"
+#include "memory/gsoc_planner.h"
+#include "memory/model_aware_allocator.h"
+#include "perfmodel/kernel_cost.h"
+#include "perfmodel/model_latency.h"
+#include "serving/cost_table.h"
+#include "serving/scheduler.h"
+#include "serving/simulator.h"
+#include "serving/workload.h"
+
+namespace turbo {
+namespace {
+
+// ------------------------------------------------ allocator trace fuzzing --
+
+class AllocatorTraceFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocatorTraceFuzz, EveryPlanValidOverRandomBertTrace) {
+  // Random request traces over the real BERT layer graph: every allocator
+  // must produce valid plans (full coverage, no live overlap) and the
+  // model-aware footprint must stay within a constant factor of the
+  // information-theoretic lower bound.
+  Rng rng(GetParam());
+  const graph::Graph layer =
+      graph::build_encoder_layer_fused({768, 12, 3072});
+  memory::ModelAwareAllocator turbo;
+  memory::GsocPlanner gsoc;
+  memory::ReplayAdapter pytorch(
+      std::make_unique<memory::CubCachingAllocator>());
+
+  size_t max_lower_bound = 0;
+  for (int round = 0; round < 12; ++round) {
+    const int batch = static_cast<int>(rng.uniform_int(1, 4));
+    const int len = static_cast<int>(rng.uniform_int(5, 320));
+    const auto usages = layer.tensor_usages(batch, len);
+    const auto tu = turbo.begin_inference(usages);
+    const auto gs = gsoc.begin_inference(usages);
+    const auto pt = pytorch.begin_inference(usages);
+    ASSERT_NO_THROW(memory::validate_plan(usages, tu));
+    ASSERT_NO_THROW(memory::validate_plan(usages, gs));
+    ASSERT_NO_THROW(memory::validate_plan(usages, pt));
+
+    const size_t lower_bound = layer.peak_live_bytes(batch, len);
+    max_lower_bound = std::max(max_lower_bound, lower_bound);
+    ASSERT_GE(tu.footprint_bytes, lower_bound);
+    // Chunks in use by this request may have been sized by an earlier,
+    // larger request, so the bound is against the largest working set seen
+    // so far, not this request's.
+    ASSERT_LE(tu.footprint_bytes, 3 * max_lower_bound + (4u << 20))
+        << "batch " << batch << " len " << len;
+    ASSERT_GE(gs.footprint_bytes, lower_bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorTraceFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(AllocatorDeterminism, SameTraceSamePlacements) {
+  const graph::Graph layer = graph::build_encoder_layer_fused({256, 4, 1024});
+  auto run = [&]() {
+    memory::ModelAwareAllocator alloc;
+    std::vector<std::pair<int, size_t>> placements;
+    for (int len : {40, 200, 12, 170}) {
+      const auto plan = alloc.begin_inference(layer.tensor_usages(1, len));
+      for (const auto& [id, p] : plan.placements) {
+        placements.emplace_back(id * 1000 + p.chunk_id, p.offset);
+      }
+    }
+    std::sort(placements.begin(), placements.end());
+    return placements;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ----------------------------------------------------- scheduler fuzzing --
+
+class SchedulerFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulerFuzz, DpNeverWorseThanBaselinesAndPartitionsSorted) {
+  Rng rng(GetParam());
+  const auto table = serving::CostTable::warmup(
+      [](int len, int batch) {
+        return 0.9 + (0.003 * len + 1e-5 * len * len) * batch *
+                         (0.3 + 0.7 / batch) * 4;
+      },
+      512, 20, 8);
+
+  for (int round = 0; round < 10; ++round) {
+    const int n = static_cast<int>(rng.uniform_int(1, 40));
+    std::vector<serving::Request> reqs;
+    for (int i = 0; i < n; ++i) {
+      serving::Request r;
+      r.id = i;
+      r.length = static_cast<int>(rng.uniform_int(2, 500));
+      reqs.push_back(r);
+    }
+    const auto dp = serving::DpBatchScheduler(20).schedule(reqs, table);
+    const auto naive = serving::NaiveBatchScheduler(20).schedule(reqs, table);
+    const auto nobatch = serving::NoBatchScheduler().schedule(reqs, table);
+
+    // DP objective dominates both baselines.
+    ASSERT_LE(serving::scheme_cost_ms(dp),
+              serving::scheme_cost_ms(naive) * (1 + 1e-9));
+    ASSERT_LE(serving::scheme_cost_ms(dp),
+              serving::scheme_cost_ms(nobatch) * (1 + 1e-9));
+
+    // Each DP batch is a contiguous range of the sorted lengths: no batch's
+    // interior may contain a length that belongs to another batch.
+    std::vector<std::pair<int, int>> ranges;  // (min_len, max_len) per batch
+    for (const auto& b : dp) {
+      ASSERT_LE(b.size(), 20);
+      int lo = 1 << 30, hi = 0;
+      for (size_t idx : b.request_indices) {
+        lo = std::min(lo, reqs[idx].length);
+        hi = std::max(hi, reqs[idx].length);
+      }
+      ASSERT_EQ(hi, b.padded_length);
+      ranges.emplace_back(lo, hi);
+    }
+    std::sort(ranges.begin(), ranges.end());
+    for (size_t i = 1; i < ranges.size(); ++i) {
+      ASSERT_LE(ranges[i - 1].second, ranges[i].first)
+          << "batches overlap in length space";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Values(3, 7, 31, 127, 8191));
+
+// ----------------------------------------------------- simulator physics --
+
+class SimulatorConservation : public ::testing::TestWithParam<double> {};
+
+TEST_P(SimulatorConservation, BasicQueueingInvariants) {
+  const double rate = GetParam();
+  const auto table = serving::CostTable::warmup(
+      [](int len, int batch) { return 0.8 + 0.01 * len * batch; }, 128, 20,
+      8);
+  serving::WorkloadSpec wspec;
+  wspec.rate_per_s = rate;
+  wspec.horizon_s = 4;
+  wspec.min_len = 2;
+  wspec.max_len = 100;
+  const auto arrivals = serving::generate_poisson_workload(wspec);
+  const auto r = serving::simulate_serving(
+      arrivals, serving::DpBatchScheduler(20), table, {});
+
+  // Conservation: cannot serve more than arrived.
+  EXPECT_LE(r.completed, r.arrived);
+  EXPECT_LE(r.response_rate, r.request_rate * 1.01);
+  // Latency lower bound: no request finishes faster than the cheapest
+  // possible batch containing it.
+  EXPECT_GE(r.latency_ms.min, table.batch_cost_ms(2, 1) * 0.99);
+  // The GPU cannot be busy more than 100% of elapsed time.
+  EXPECT_LE(r.gpu_busy_frac, 1.0 + 1e-9);
+  // Padding never reduces token count.
+  EXPECT_GE(r.padding_overhead_frac, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SimulatorConservation,
+                         ::testing::Values(25.0, 100.0, 400.0, 1600.0));
+
+// ------------------------------------------------ perf model monotonicity --
+
+TEST(PerfModelProperty, ReductionTimeMonotoneInRowsAndCols) {
+  const auto spec = gpusim::DeviceSpec::rtx2060();
+  for (auto impl : {gpukernels::ReductionImpl::kBaseline,
+                    gpukernels::ReductionImpl::kTurbo}) {
+    double prev = 0;
+    for (long rows : {64L, 256L, 1024L, 8192L, 65536L}) {
+      const double t =
+          gpukernels::softmax_sim(nullptr, rows, 128, 1.0f, impl, spec)
+              .time_us;
+      EXPECT_GE(t, prev);
+      prev = t;
+    }
+    prev = 0;
+    for (long cols : {16L, 64L, 256L, 512L}) {
+      const double t =
+          gpukernels::softmax_sim(nullptr, 4096, cols, 1.0f, impl, spec)
+              .time_us;
+      EXPECT_GE(t, prev);
+      prev = t;
+    }
+  }
+}
+
+TEST(PerfModelProperty, EncoderLatencyMonotoneOverGrid) {
+  const auto spec = gpusim::DeviceSpec::rtx2060();
+  perfmodel::EncoderModelDesc bert;
+  bert.dims = {768, 12, 3072};
+  bert.num_layers = 12;
+  for (const auto& profile :
+       {perfmodel::RuntimeProfile::turbo(), perfmodel::RuntimeProfile::pytorch(),
+        perfmodel::RuntimeProfile::turbo_tc()}) {
+    for (int b : {1, 4, 20}) {
+      double prev = 0;
+      for (int s : {8, 32, 128, 512}) {
+        const double t =
+            perfmodel::encoder_latency_ms(bert, b, s, profile, spec);
+        ASSERT_GT(t, prev) << profile.name << " b=" << b << " s=" << s;
+        prev = t;
+      }
+    }
+  }
+}
+
+TEST(PerfModelProperty, V100OutrunsRtx2060) {
+  perfmodel::EncoderModelDesc bert;
+  bert.dims = {768, 12, 3072};
+  bert.num_layers = 12;
+  const auto p = perfmodel::RuntimeProfile::turbo();
+  for (int s : {64, 256, 500}) {
+    EXPECT_LT(perfmodel::encoder_latency_ms(bert, 8, s, p,
+                                            gpusim::DeviceSpec::v100()),
+              perfmodel::encoder_latency_ms(bert, 8, s, p,
+                                            gpusim::DeviceSpec::rtx2060()));
+  }
+}
+
+// --------------------------------------------------------- fusion sweeps --
+
+class FusionDimSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FusionDimSweep, FusedGraphAlwaysHalvesKernelsAndKeepsFlops) {
+  const auto [hidden, heads] = GetParam();
+  const graph::LayerDims dims{hidden, heads, 4 * hidden};
+  const graph::Graph unfused = graph::build_encoder_layer_unfused(dims);
+  const graph::Graph fused = graph::fuse(unfused);
+  EXPECT_EQ(fused.num_ops(), 12);
+  EXPECT_EQ(unfused.num_ops(), 24);
+  double a = 0, b = 0;
+  for (const auto& op : unfused.ops()) a += op.cost_fn(2, 77).flops;
+  for (const auto& op : fused.ops()) b += op.cost_fn(2, 77).flops;
+  EXPECT_NEAR(a, b, a * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, FusionDimSweep,
+    ::testing::Values(std::make_tuple(128, 2), std::make_tuple(512, 8),
+                      std::make_tuple(768, 12), std::make_tuple(1024, 16),
+                      std::make_tuple(2048, 32)));
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "serving/server.h"
+
+namespace turbo::serving {
+namespace {
+
+model::ModelConfig tiny() { return model::ModelConfig::tiny(2, 32, 2, 64, 50); }
+
+CostTable tiny_table() {
+  return CostTable::warmup(
+      [](int len, int batch) { return 0.5 + 0.01 * len * batch; }, 64, 8, 8);
+}
+
+Request make_request(Rng& rng, int64_t id, int len) {
+  Request r;
+  r.id = id;
+  r.length = len;
+  r.tokens = rng.token_ids(len, 50);
+  return r;
+}
+
+std::unique_ptr<Server> make_server(size_t cache = 0) {
+  return std::make_unique<Server>(
+      std::make_unique<model::SequenceClassifier>(tiny(), 3, 99),
+      std::make_unique<DpBatchScheduler>(8), tiny_table(), cache);
+}
+
+TEST(Server, BatchedResultsMatchIndividualRuns) {
+  // End-to-end semantic soundness of the whole stack: DP batching +
+  // zero-padding + attention masking must not change any request's answer.
+  auto server = make_server();
+  Rng rng(1);
+  std::vector<Request> requests;
+  for (int i = 0; i < 6; ++i) {
+    requests.push_back(make_request(rng, i, 3 + i * 7));
+  }
+
+  const auto batched = server->serve(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto solo = server->serve({requests[i]});
+    ASSERT_EQ(solo.size(), 1u);
+    ASSERT_EQ(batched[i].logits.size(), solo[0].logits.size());
+    for (size_t c = 0; c < solo[0].logits.size(); ++c) {
+      EXPECT_NEAR(batched[i].logits[c], solo[0].logits[c], 5e-3f)
+          << "request " << i << " class " << c;
+    }
+    EXPECT_EQ(batched[i].label, solo[0].label);
+  }
+}
+
+TEST(Server, ResultsInRequestOrder) {
+  auto server = make_server();
+  Rng rng(2);
+  std::vector<Request> requests;
+  for (int i = 0; i < 5; ++i) {
+    requests.push_back(make_request(rng, 100 + i, 40 - i * 7));
+  }
+  const auto results = server->serve(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(results[i].request_id, requests[i].id);
+  }
+}
+
+TEST(Server, CacheServesRepeatsWithoutInference) {
+  auto server = make_server(/*cache=*/16);
+  Rng rng(3);
+  const auto req = make_request(rng, 7, 12);
+  const auto first = server->serve({req});
+  EXPECT_FALSE(first[0].from_cache);
+  const auto second = server->serve({req});
+  EXPECT_TRUE(second[0].from_cache);
+  EXPECT_EQ(second[0].logits, first[0].logits);
+  EXPECT_EQ(second[0].label, first[0].label);
+  EXPECT_EQ(server->cache()->hits(), 1u);
+}
+
+TEST(Server, MixedCachedAndFreshRequests) {
+  auto server = make_server(16);
+  Rng rng(4);
+  const auto a = make_request(rng, 1, 10);
+  const auto b = make_request(rng, 2, 20);
+  server->serve({a});
+  const auto results = server->serve({a, b});
+  EXPECT_TRUE(results[0].from_cache);
+  EXPECT_FALSE(results[1].from_cache);
+  EXPECT_EQ(results[0].request_id, 1);
+  EXPECT_EQ(results[1].request_id, 2);
+}
+
+TEST(Server, RejectsPayloadFreeRequests) {
+  auto server = make_server();
+  Request r;
+  r.id = 1;
+  r.length = 4;  // but no tokens
+  EXPECT_THROW(server->serve({r}), CheckError);
+}
+
+TEST(Server, EmptyQueueYieldsEmptyResults) {
+  auto server = make_server();
+  EXPECT_TRUE(server->serve({}).empty());
+}
+
+}  // namespace
+}  // namespace turbo::serving

@@ -1,0 +1,479 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "serving/cost_table.h"
+#include "serving/response_cache.h"
+#include "serving/scheduler.h"
+#include "serving/simulator.h"
+#include "serving/workload.h"
+
+namespace turbo::serving {
+namespace {
+
+// A synthetic but realistic cost function: latency grows superlinearly in
+// length and sublinearly in batch (batching amortizes fixed overheads) —
+// the qualitative shape of paper Fig. 7.
+double synthetic_cost_ms(int len, int batch) {
+  const double work = 0.004 * len + 0.000009 * len * len;
+  return 0.8 + work * batch * (0.35 + 0.65 / batch) * 4.0;
+}
+
+CostTable make_table(int max_len = 512, int max_batch = 20) {
+  return CostTable::warmup(synthetic_cost_ms, max_len, max_batch, 8);
+}
+
+std::vector<Request> make_requests(std::initializer_list<int> lengths) {
+  std::vector<Request> rs;
+  int64_t id = 0;
+  for (int len : lengths) {
+    Request r;
+    r.id = id++;
+    r.length = len;
+    rs.push_back(std::move(r));
+  }
+  return rs;
+}
+
+// -------------------------------------------------------------- cost table --
+
+TEST(CostTable, ExactAtGridPoints) {
+  const auto t = make_table();
+  EXPECT_NEAR(t.batch_cost_ms(8, 1), synthetic_cost_ms(8, 1), 1e-9);
+  EXPECT_NEAR(t.batch_cost_ms(64, 20), synthetic_cost_ms(64, 20), 1e-9);
+  EXPECT_NEAR(t.batch_cost_ms(1, 5), synthetic_cost_ms(1, 5), 1e-9);
+}
+
+TEST(CostTable, InterpolatesBetweenGridPoints) {
+  const auto t = make_table();
+  const double lo = t.batch_cost_ms(8, 4);
+  const double hi = t.batch_cost_ms(16, 4);
+  const double mid = t.batch_cost_ms(12, 4);
+  EXPECT_GT(mid, lo);
+  EXPECT_LT(mid, hi);
+  EXPECT_NEAR(mid, (lo + hi) / 2, 1e-9);  // linear interpolation
+}
+
+TEST(CostTable, MonotoneInLengthAndBatch) {
+  const auto t = make_table();
+  double prev = 0;
+  for (int len = 1; len <= 512; len += 13) {
+    const double c = t.batch_cost_ms(len, 4);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  for (int b = 2; b <= 20; ++b) {
+    EXPECT_GT(t.batch_cost_ms(100, b), t.batch_cost_ms(100, b - 1));
+  }
+}
+
+TEST(CostTable, AmortizedCostFallsWithBatch) {
+  const auto t = make_table();
+  EXPECT_LT(t.amortized_cost_ms(50, 10), t.amortized_cost_ms(50, 1));
+}
+
+TEST(CostTable, AmortizedTimesBatchRecoversBatchCost) {
+  // The identity Equation 2 relies on.
+  const auto t = make_table();
+  for (int len : {3, 77, 300}) {
+    for (int b : {1, 7, 20}) {
+      EXPECT_NEAR(t.amortized_cost_ms(len, b) * b, t.batch_cost_ms(len, b),
+                  1e-9);
+    }
+  }
+}
+
+TEST(NaiveBatch, PreservesQueueOrder) {
+  const auto table = make_table();
+  const auto reqs = make_requests({30, 10, 50, 20});
+  const auto batches = NaiveBatchScheduler(20).schedule(reqs, table);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].request_indices, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(CostTable, ClampsBeyondMaxLen) {
+  const auto t = make_table(128, 8);
+  EXPECT_DOUBLE_EQ(t.batch_cost_ms(10000, 4), t.batch_cost_ms(128, 4));
+}
+
+TEST(CostTable, RejectsBadQueries) {
+  const auto t = make_table(128, 8);
+  EXPECT_THROW(t.batch_cost_ms(0, 1), CheckError);
+  EXPECT_THROW(t.batch_cost_ms(10, 0), CheckError);
+  EXPECT_THROW(t.batch_cost_ms(10, 9), CheckError);  // > max batch
+}
+
+TEST(CostTable, ObserveMovesPredictionTowardMeasurement) {
+  auto t = make_table();
+  const int len = 50, batch = 4;  // off-grid length
+  const double before = t.batch_cost_ms(len, batch);
+  const double measured = before * 2.0;
+  t.observe(len, batch, measured);
+  const double after = t.batch_cost_ms(len, batch);
+  EXPECT_GT(after, before);
+  EXPECT_LT(after, measured);
+}
+
+TEST(CostTable, RepeatedObservationsConverge) {
+  auto t = make_table();
+  const int len = 123, batch = 7;
+  const double target = 42.0;
+  for (int i = 0; i < 100; ++i) t.observe(len, batch, target);
+  EXPECT_NEAR(t.batch_cost_ms(len, batch), target, 0.5);
+}
+
+TEST(CostTable, ObserveLeavesOtherBatchColumnsAlone) {
+  auto t = make_table();
+  const double other_before = t.batch_cost_ms(64, 9);
+  t.observe(64, 3, 100.0);
+  EXPECT_DOUBLE_EQ(t.batch_cost_ms(64, 9), other_before);
+}
+
+TEST(CostTable, ObserveRejectsBadInputs) {
+  auto t = make_table(128, 8);
+  EXPECT_THROW(t.observe(0, 1, 1.0), CheckError);
+  EXPECT_THROW(t.observe(10, 0, 1.0), CheckError);
+  EXPECT_THROW(t.observe(10, 9, 1.0), CheckError);
+  EXPECT_THROW(t.observe(10, 1, -1.0), CheckError);
+  EXPECT_THROW(t.observe(10, 1, 1.0, 0.0), CheckError);
+}
+
+TEST(CostTable, CsvRoundTrip) {
+  const auto t = make_table(100, 6);
+  const std::string path = "/tmp/turbo_cost_table_test.csv";
+  t.save_csv(path);
+  const auto loaded = CostTable::load_csv(path);
+  for (int len : {1, 7, 50, 99, 100}) {
+    for (int b = 1; b <= 6; ++b) {
+      EXPECT_NEAR(loaded.batch_cost_ms(len, b), t.batch_cost_ms(len, b),
+                  1e-9);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- schedulers --
+
+void expect_valid_partition(const std::vector<Batch>& batches, size_t n) {
+  std::set<size_t> seen;
+  for (const auto& b : batches) {
+    EXPECT_GT(b.size(), 0);
+    for (size_t idx : b.request_indices) {
+      EXPECT_TRUE(seen.insert(idx).second) << "request scheduled twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(NoBatch, OneRequestPerBatch) {
+  const auto table = make_table();
+  const auto reqs = make_requests({10, 20, 30});
+  const auto batches = NoBatchScheduler().schedule(reqs, table);
+  ASSERT_EQ(batches.size(), 3u);
+  expect_valid_partition(batches, 3);
+  for (const auto& b : batches) EXPECT_EQ(b.size(), 1);
+}
+
+TEST(NaiveBatch, PacksEverythingUpToCap) {
+  const auto table = make_table();
+  const auto reqs = make_requests({10, 20, 30, 40, 50});
+  const auto batches = NaiveBatchScheduler(3).schedule(reqs, table);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].size(), 3);
+  EXPECT_EQ(batches[1].size(), 2);
+  expect_valid_partition(batches, 5);
+  EXPECT_EQ(batches[0].padded_length, 30);
+  EXPECT_EQ(batches[1].padded_length, 50);
+}
+
+TEST(DpBatch, PaperExampleBeatsOneBigBatchAndNoBatch) {
+  // The paper's example (§5): lengths {17, 18, 52, 63, 77}; the optimal
+  // scheme packs three batches and beats both extremes.
+  const auto table = make_table();
+  const auto reqs = make_requests({17, 18, 52, 63, 77});
+  const auto dp = DpBatchScheduler(20).schedule(reqs, table);
+  const auto naive = NaiveBatchScheduler(20).schedule(reqs, table);
+  const auto nobatch = NoBatchScheduler().schedule(reqs, table);
+  expect_valid_partition(dp, 5);
+  EXPECT_LE(scheme_cost_ms(dp), scheme_cost_ms(naive));
+  EXPECT_LE(scheme_cost_ms(dp), scheme_cost_ms(nobatch));
+}
+
+TEST(DpBatch, GroupsSimilarLengthsTogether) {
+  const auto table = make_table();
+  const auto reqs = make_requests({100, 11, 99, 10, 101, 12});
+  const auto dp = DpBatchScheduler(20).schedule(reqs, table);
+  expect_valid_partition(dp, 6);
+  // Short and long requests should not share a batch under this cost
+  // function: padding 3 short requests to length ~100 is wasteful.
+  for (const auto& b : dp) {
+    int min_len = 1 << 30, max_len = 0;
+    for (size_t idx : b.request_indices) {
+      min_len = std::min(min_len, reqs[idx].length);
+      max_len = std::max(max_len, reqs[idx].length);
+    }
+    EXPECT_LT(max_len - min_len, 90);
+  }
+}
+
+TEST(DpBatch, RespectsMaxBatchCap) {
+  const auto table = make_table();
+  std::vector<Request> reqs;
+  for (int i = 0; i < 50; ++i) {
+    Request r;
+    r.id = i;
+    r.length = 20;
+    reqs.push_back(r);
+  }
+  const auto dp = DpBatchScheduler(8).schedule(reqs, table);
+  expect_valid_partition(dp, 50);
+  for (const auto& b : dp) EXPECT_LE(b.size(), 8);
+}
+
+TEST(DpBatch, EmptyQueueYieldsNoBatches) {
+  const auto table = make_table();
+  EXPECT_TRUE(DpBatchScheduler(8).schedule({}, table).empty());
+}
+
+// Brute-force optimality: the DP must match exhaustive search over all
+// contiguous partitions of the sorted request list.
+class DpOptimality : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DpOptimality, MatchesBruteForceOnSmallInstances) {
+  Rng rng(GetParam());
+  const auto table = make_table();
+  const int n = 8;
+  std::vector<Request> reqs;
+  for (int i = 0; i < n; ++i) {
+    Request r;
+    r.id = i;
+    r.length = static_cast<int>(rng.uniform_int(2, 500));
+    reqs.push_back(r);
+  }
+  std::vector<int> lens;
+  for (const auto& r : reqs) lens.push_back(r.length);
+  std::sort(lens.begin(), lens.end());
+
+  // Enumerate all 2^(n-1) contiguous partitions of the sorted lengths.
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < (1 << (n - 1)); ++mask) {
+    double cost = 0;
+    int start = 0;
+    for (int i = 0; i < n; ++i) {
+      const bool boundary = i == n - 1 || (mask >> i) & 1;
+      if (boundary) {
+        const int bs = i - start + 1;
+        if (bs > 20) {
+          cost = std::numeric_limits<double>::infinity();
+          break;
+        }
+        cost += table.batch_cost_ms(lens[static_cast<size_t>(i)], bs);
+        start = i + 1;
+      }
+    }
+    best = std::min(best, cost);
+  }
+
+  const auto dp = DpBatchScheduler(20).schedule(reqs, table);
+  EXPECT_NEAR(scheme_cost_ms(dp), best, best * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpOptimality,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// --------------------------------------------------------------- workload --
+
+TEST(Workload, PoissonArrivalsSortedAndInRange) {
+  WorkloadSpec spec;
+  spec.rate_per_s = 200;
+  spec.horizon_s = 5;
+  spec.min_len = 2;
+  spec.max_len = 100;
+  const auto reqs = generate_poisson_workload(spec);
+  EXPECT_GT(reqs.size(), 500u);  // ~1000 expected
+  EXPECT_LT(reqs.size(), 1500u);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_GE(reqs[i].length, 2);
+    EXPECT_LE(reqs[i].length, 100);
+    if (i) {
+      EXPECT_GE(reqs[i].arrival_s, reqs[i - 1].arrival_s);
+    }
+  }
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  WorkloadSpec spec;
+  const auto a = generate_poisson_workload(spec);
+  const auto b = generate_poisson_workload(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].length, b[i].length);
+  }
+}
+
+// -------------------------------------------------------------- simulator --
+
+TEST(Simulator, LowLoadUnsaturatedAndLatencyNearServiceTime) {
+  const auto table = make_table(100, 20);
+  WorkloadSpec wspec;
+  wspec.rate_per_s = 20;
+  wspec.horizon_s = 10;
+  wspec.min_len = 2;
+  wspec.max_len = 100;
+  const auto arrivals = generate_poisson_workload(wspec);
+  const auto result = simulate_serving(arrivals, NoBatchScheduler(), table,
+                                       SimOptions{});
+  EXPECT_FALSE(result.saturated);
+  EXPECT_EQ(result.completed, result.arrived);
+  // At 20 req/s the server idles; latency should be close to bare service.
+  EXPECT_LT(result.latency_ms.mean, 4 * table.batch_cost_ms(50, 1));
+}
+
+TEST(Simulator, OverloadSaturates) {
+  const auto table = make_table(100, 20);
+  WorkloadSpec wspec;
+  wspec.rate_per_s = 2000;
+  wspec.horizon_s = 5;
+  const auto arrivals = generate_poisson_workload(wspec);
+  const auto result = simulate_serving(arrivals, NoBatchScheduler(), table,
+                                       SimOptions{});
+  EXPECT_TRUE(result.saturated);
+  EXPECT_LT(result.response_rate, 0.5 * result.request_rate);
+}
+
+TEST(Simulator, DpSustainsHigherLoadThanNaiveThanNoBatch) {
+  // Fig. 15 ordering at a rate past NoBatch's critical point.
+  const auto table = make_table(512, 20);
+  WorkloadSpec wspec;
+  wspec.rate_per_s = 400;
+  wspec.horizon_s = 8;
+  wspec.min_len = 2;
+  wspec.max_len = 100;
+  const auto arrivals = generate_poisson_workload(wspec);
+  SimOptions options;
+  const auto nobatch =
+      simulate_serving(arrivals, NoBatchScheduler(), table, options);
+  const auto naive =
+      simulate_serving(arrivals, NaiveBatchScheduler(20), table, options);
+  const auto dp =
+      simulate_serving(arrivals, DpBatchScheduler(20), table, options);
+  EXPECT_GE(naive.response_rate, nobatch.response_rate);
+  EXPECT_GE(dp.response_rate, naive.response_rate * 0.98);
+}
+
+TEST(Simulator, WideLengthRangeNaivePaysPaddingTax) {
+  // Fig. 16: with lengths 5-500 the naive scheduler's padding overhead is
+  // large; DP keeps it small.
+  const auto table = make_table(512, 20);
+  WorkloadSpec wspec;
+  wspec.rate_per_s = 150;
+  wspec.horizon_s = 8;
+  wspec.min_len = 5;
+  wspec.max_len = 500;
+  const auto arrivals = generate_poisson_workload(wspec);
+  SimOptions options;
+  const auto naive =
+      simulate_serving(arrivals, NaiveBatchScheduler(20), table, options);
+  const auto dp =
+      simulate_serving(arrivals, DpBatchScheduler(20), table, options);
+  EXPECT_GT(naive.padding_overhead_frac, dp.padding_overhead_frac);
+}
+
+TEST(Simulator, LazyPolicyDelaysButStillCompletes) {
+  const auto table = make_table(100, 20);
+  WorkloadSpec wspec;
+  wspec.rate_per_s = 50;
+  wspec.horizon_s = 5;
+  const auto arrivals = generate_poisson_workload(wspec);
+  SimOptions hungry;
+  SimOptions lazy;
+  lazy.trigger = TriggerPolicy::kLazy;
+  lazy.lazy_timeout_ms = 20.0;
+  const auto h =
+      simulate_serving(arrivals, DpBatchScheduler(20), table, hungry);
+  const auto l = simulate_serving(arrivals, DpBatchScheduler(20), table, lazy);
+  EXPECT_FALSE(l.saturated);
+  EXPECT_EQ(l.completed, l.arrived);
+  // Lazy waits to form batches, so its mean latency is at least hungry's.
+  EXPECT_GE(l.latency_ms.mean, h.latency_ms.mean * 0.9);
+}
+
+TEST(Simulator, DropTimeoutShedsLoadUnderOverload) {
+  const auto table = make_table(100, 20);
+  WorkloadSpec wspec;
+  wspec.rate_per_s = 2000;  // far past capacity
+  wspec.horizon_s = 4;
+  const auto arrivals = generate_poisson_workload(wspec);
+
+  SimOptions no_drop;
+  SimOptions with_drop;
+  with_drop.drop_timeout_ms = 50.0;
+  const auto a =
+      simulate_serving(arrivals, NoBatchScheduler(), table, no_drop);
+  const auto b =
+      simulate_serving(arrivals, NoBatchScheduler(), table, with_drop);
+
+  EXPECT_EQ(a.dropped, 0u);
+  EXPECT_GT(b.dropped, 0u);
+  // Shedding keeps served latency bounded (drops happen at scheduling time,
+  // so requests admitted into a long snapshot can still overshoot, but the
+  // unbounded queue growth is gone)...
+  EXPECT_LT(b.latency_ms.max, a.latency_ms.max / 2);
+  EXPECT_LT(b.latency_ms.mean, a.latency_ms.mean / 2);
+  // ...and both runs are still (correctly) reported as saturated.
+  EXPECT_TRUE(a.saturated);
+  EXPECT_TRUE(b.saturated);
+}
+
+TEST(Simulator, NoDropsBelowCapacity) {
+  const auto table = make_table(100, 20);
+  WorkloadSpec wspec;
+  wspec.rate_per_s = 30;
+  wspec.horizon_s = 4;
+  const auto arrivals = generate_poisson_workload(wspec);
+  SimOptions options;
+  options.drop_timeout_ms = 200.0;
+  const auto r =
+      simulate_serving(arrivals, DpBatchScheduler(20), table, options);
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.completed, r.arrived);
+}
+
+// --------------------------------------------------------- response cache --
+
+TEST(ResponseCache, HitAfterInsert) {
+  ResponseCache cache(4);
+  const std::vector<int> tokens{1, 2, 3};
+  const auto key = ResponseCache::key_of(tokens);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.insert(key, {0.5f, 0.5f});
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0], 0.5f);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResponseCache, EvictsLeastRecentlyUsed) {
+  ResponseCache cache(2);
+  cache.insert(1, {1.0f});
+  cache.insert(2, {2.0f});
+  cache.lookup(1);         // 1 becomes most recent
+  cache.insert(3, {3.0f}); // evicts 2
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+}
+
+TEST(ResponseCache, DistinctTokenStreamsDistinctKeys) {
+  EXPECT_NE(ResponseCache::key_of({1, 2, 3}), ResponseCache::key_of({3, 2, 1}));
+  EXPECT_NE(ResponseCache::key_of({1}), ResponseCache::key_of({1, 1}));
+}
+
+}  // namespace
+}  // namespace turbo::serving

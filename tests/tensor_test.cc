@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace turbo {
+namespace {
+
+TEST(Shape, NumelIsProductOfDims) {
+  EXPECT_EQ((Shape{2, 3, 4}).numel(), 24);
+  EXPECT_EQ((Shape{7}).numel(), 7);
+  EXPECT_EQ(Shape{}.numel(), 1);  // scalar
+}
+
+TEST(Shape, ZeroDimGivesZeroNumel) {
+  EXPECT_EQ((Shape{2, 0, 4}).numel(), 0);
+}
+
+TEST(Shape, RejectsNegativeDims) {
+  EXPECT_THROW((Shape{2, -1}), CheckError);
+}
+
+TEST(Shape, EqualityAndStr) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_FALSE((Shape{1, 2}) == (Shape{2, 1}));
+  EXPECT_EQ((Shape{1, 2}).str(), "[1, 2]");
+}
+
+TEST(Tensor, OwnedAllocatesAndZeros) {
+  Tensor t = Tensor::zeros(Shape{3, 4});
+  EXPECT_EQ(t.numel(), 12);
+  EXPECT_EQ(t.bytes(), 48u);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(t.at({i, j}), 0.0f);
+  }
+}
+
+TEST(Tensor, AtUsesRowMajorLayout) {
+  Tensor t = Tensor::owned(Shape{2, 3});
+  float* d = t.data<float>();
+  for (int i = 0; i < 6; ++i) d[i] = static_cast<float>(i);
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_EQ(t.at({0, 2}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 2}), 5.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t = Tensor::owned(Shape{2, 3});
+  EXPECT_THROW(t.at({2, 0}), CheckError);
+  EXPECT_THROW(t.at({0, 3}), CheckError);
+  EXPECT_THROW(t.at({0}), CheckError);  // wrong rank
+}
+
+TEST(Tensor, ViewSharesExternalStorage) {
+  std::vector<float> storage(8, 1.0f);
+  Tensor v = Tensor::view(storage.data(), Shape{2, 4});
+  v.at({1, 3}) = 9.0f;
+  EXPECT_EQ(storage[7], 9.0f);
+}
+
+TEST(Tensor, IntTensorTypeChecked) {
+  Tensor t = Tensor::zeros(Shape{4}, DType::kI32);
+  EXPECT_NO_THROW(t.data<int32_t>());
+  EXPECT_THROW(t.data<float>(), CheckError);
+}
+
+TEST(Tensor, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(Tensor, CopySharesOwnedStorage) {
+  Tensor a = Tensor::zeros(Shape{4});
+  Tensor b = a;
+  b.data<float>()[0] = 5.0f;
+  EXPECT_EQ(a.data<float>()[0], 5.0f);
+}
+
+}  // namespace
+}  // namespace turbo
