@@ -1,0 +1,67 @@
+// A streaming generation service: seq2seq requests (source tokens in,
+// generated tokens out) flow through the iteration-level serving stack —
+// KV-cache pool, per-step batch re-formation, fused multi-sequence decode —
+// and every token streams back to its client the moment it is decoded,
+// while other sequences are still mid-generation.
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "genserve/generation_server.h"
+
+using namespace turbo;
+
+int main() {
+  // Small seq2seq model; the serving path is identical for a full
+  // transformer configuration.
+  genserve::GenServerOptions options;
+  options.pool.block_tokens = 8;
+  options.pool.blocks_per_slab = 16;
+  options.scheduler.max_active = 4;
+  auto engine = std::make_unique<genserve::GenerationServer>(
+      model::ModelConfig::tiny(2, 64, 4, 128, 1000), options, /*seed=*/2021);
+  genserve::AsyncGenerationServer server(std::move(engine));
+
+  // Submit a handful of translations with very different source lengths
+  // and output budgets — the workload whole-batch scheduling handles worst.
+  Rng rng(7);
+  std::mutex out_mutex;
+  std::vector<std::future<serving::GenerationResponse>> futures;
+  int64_t id = 0;
+  for (int src_len : {5, 23, 11, 47, 8, 31}) {
+    serving::GenerationRequest request;
+    request.id = id++;
+    request.src_tokens = rng.token_ids(src_len, 1000);
+    request.max_new_tokens = 6 + src_len / 4;
+    futures.push_back(server.submit(
+        std::move(request),
+        [&out_mutex](int64_t rid, int token, int step, bool last) {
+          std::lock_guard<std::mutex> lock(out_mutex);
+          std::printf("  stream: request %lld step %2d -> token %4d%s\n",
+                      static_cast<long long>(rid), step, token,
+                      last ? "  [done]" : "");
+        }));
+  }
+
+  std::printf("\nsubmitted %lld requests; tokens above interleave across "
+              "sequences (iteration-level batching)\n\n",
+              static_cast<long long>(id));
+
+  for (auto& f : futures) {
+    const auto resp = f.get();
+    std::printf("request %lld: %zu tokens in %d steps (%.2f ms)%s\n",
+                static_cast<long long>(resp.request_id), resp.tokens.size(),
+                resp.steps, resp.latency_ms,
+                resp.hit_max_len ? " [length budget]" : " [EOS]");
+  }
+
+  server.shutdown();
+  const auto snapshot = server.pool_snapshot();
+  std::printf("\nKV pool: peak footprint %.1f KB, resident after drain "
+              "%.1f KB\n",
+              snapshot.peak_device_bytes / 1024.0,
+              snapshot.device_bytes / 1024.0);
+  return 0;
+}

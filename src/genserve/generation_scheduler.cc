@@ -1,0 +1,109 @@
+#include "genserve/generation_scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace turbo::genserve {
+
+GenerationScheduler::GenerationScheduler(KvCachePool* pool,
+                                         const serving::CostTable* costs,
+                                         GenSchedulerOptions options)
+    : pool_(pool), costs_(costs), options_(options) {
+  TT_CHECK(pool_ != nullptr);
+  TT_CHECK(costs_ != nullptr);
+  TT_CHECK_GE(options_.max_active, 1);
+}
+
+void GenerationScheduler::validate(
+    const serving::GenerationRequest& request) const {
+  TT_CHECK_MSG(!request.src_tokens.empty(),
+               "generation request " << request.id << " has no source");
+  TT_CHECK_GE(request.max_new_tokens, 1);
+  // A request whose worst case exceeds the whole pool could never be
+  // admitted; accepting it would wedge the FIFO queue forever.
+  const size_t need =
+      pool_->blocks_for(static_cast<int>(request.src_tokens.size()),
+                        request.max_new_tokens);
+  TT_CHECK_MSG(need <= pool_->max_blocks(),
+               "generation request " << request.id << " needs " << need
+                                     << " KV blocks but the pool caps at "
+                                     << pool_->max_blocks());
+}
+
+void GenerationScheduler::enqueue(serving::GenerationRequest request) {
+  validate(request);
+  ++total_enqueued_;
+  queue_.push_back(std::move(request));
+}
+
+double GenerationScheduler::predicted_step_cost_ms(int max_ctx,
+                                                   int batch) const {
+  // The cached_cost dictionary is keyed (padded length, batch); a fused
+  // decode step attends over the longest active context, so that length is
+  // the conservative key. CostTable clamps length itself but rejects
+  // batches beyond its warm-up grid, so clamp here: a table smaller than
+  // max_active must not abort admission.
+  return costs_->batch_cost_ms(std::max(max_ctx, 1),
+                               std::min(batch, costs_->max_batch()));
+}
+
+std::vector<ActiveSequence*> GenerationScheduler::admit(double now_s) {
+  std::vector<ActiveSequence*> admitted;
+  // Worst-case context (source + full output budget) of every active
+  // sequence, matching the candidate term below: the step-cost cap is a
+  // lifetime guarantee for the batch, not a snapshot of current lengths —
+  // admitted sequences are never preempted, so a gate on current context
+  // would be silently violated as they grow.
+  int max_ctx = 0;
+  for (const auto& seq : active_) {
+    max_ctx = std::max(max_ctx,
+                       static_cast<int>(seq->request.src_tokens.size()) +
+                           seq->request.max_new_tokens);
+  }
+  while (!queue_.empty() &&
+         static_cast<int>(active_.size()) < options_.max_active) {
+    const serving::GenerationRequest& head = queue_.front();
+    const int s_src = static_cast<int>(head.src_tokens.size());
+    if (!pool_->can_admit(s_src, head.max_new_tokens)) break;
+    if (options_.max_step_cost_ms > 0.0) {
+      const int ctx = std::max(max_ctx, s_src + head.max_new_tokens);
+      if (predicted_step_cost_ms(ctx, static_cast<int>(active_.size()) + 1) >
+              options_.max_step_cost_ms &&
+          !active_.empty()) {
+        // A lone over-budget sequence still runs (batch of one) so the
+        // queue can never wedge.
+        break;
+      }
+    }
+
+    auto seq = std::make_unique<ActiveSequence>();
+    seq->request = std::move(queue_.front());
+    queue_.pop_front();
+    seq->kv = pool_->admit(seq->request.id, s_src, seq->request.max_new_tokens);
+    seq->last_token = seq->request.bos_id;
+    seq->admit_s = now_s;
+    ++total_admitted_;
+    max_ctx = std::max(max_ctx, s_src + seq->request.max_new_tokens);
+    admitted.push_back(seq.get());
+    active_.push_back(std::move(seq));
+  }
+  return admitted;
+}
+
+std::vector<std::unique_ptr<ActiveSequence>>
+GenerationScheduler::retire_finished() {
+  std::vector<std::unique_ptr<ActiveSequence>> retired;
+  for (auto& seq : active_) {
+    if (seq->finished) {
+      seq->kv.reset();  // KV blocks return to the pool immediately
+      ++total_retired_;
+      retired.push_back(std::move(seq));
+    }
+  }
+  std::erase_if(active_,
+                [](const std::unique_ptr<ActiveSequence>& s) { return !s; });
+  return retired;
+}
+
+}  // namespace turbo::genserve

@@ -1,0 +1,102 @@
+// Iteration-level batch scheduler for generation serving.
+//
+// The paper's DP scheduler (§5) partitions a queue snapshot into whole
+// batches: every member enters and leaves together, so a short sequence
+// waits for the longest one in its batch. Generation makes that untenable —
+// output lengths differ and are unknown up front. This scheduler re-forms
+// the active batch every decode step instead: finished sequences retire
+// (their KV blocks return to the pool immediately) and queued sequences are
+// admitted into the freed capacity, keeping the step batch full.
+//
+// Admission is gated on two resources:
+//  * KV pool capacity — a sequence joins only if its worst-case block
+//    demand fits the pool's reservation budget, so decode can never
+//    deadlock on memory;
+//  * the cost table — the predicted fused-step latency at the grown batch
+//    size must stay under `max_step_cost_ms` (the same cached_cost
+//    dictionary the §5 DP consults, applied per iteration instead of per
+//    queue snapshot).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "genserve/kv_cache_pool.h"
+#include "serving/cost_table.h"
+#include "serving/request.h"
+
+namespace turbo::genserve {
+
+// One admitted, still-decoding sequence.
+struct ActiveSequence {
+  serving::GenerationRequest request;
+  std::unique_ptr<SequenceKv> kv;
+  std::vector<int> tokens;   // generated so far (excluding BOS/EOS)
+  int last_token = 0;        // token to feed at the next step
+  int step = 0;              // next decode position
+  bool finished = false;
+  bool hit_max_len = false;
+  double admit_s = 0.0;
+};
+
+struct GenSchedulerOptions {
+  int max_active = 8;             // step-batch size cap
+  double max_step_cost_ms = 0.0;  // predicted step latency cap; 0 = off
+};
+
+class GenerationScheduler {
+ public:
+  // `pool` and `costs` are borrowed; both must outlive the scheduler.
+  GenerationScheduler(KvCachePool* pool, const serving::CostTable* costs,
+                      GenSchedulerOptions options = {});
+
+  // Throws CheckError if the request is malformed or its worst-case KV
+  // demand exceeds the whole pool (it could never be admitted). Reads only
+  // immutable pool geometry, so it is safe from any thread.
+  void validate(const serving::GenerationRequest& request) const;
+
+  void enqueue(serving::GenerationRequest request);
+
+  size_t pending() const { return queue_.size(); }
+  size_t active() const { return active_.size(); }
+  bool idle() const { return queue_.empty() && active_.empty(); }
+
+  // Iteration-level batch formation: admit queued sequences in FIFO order
+  // while the pool can reserve their worst case, max_active allows, and
+  // the cost table predicts the grown step still fits the budget. Returns
+  // the newly admitted sequences (the server must encode their source and
+  // init cross-attention before the next step).
+  std::vector<ActiveSequence*> admit(double now_s);
+
+  const std::vector<std::unique_ptr<ActiveSequence>>& active_set() const {
+    return active_;
+  }
+
+  // Remove sequences marked finished from the active set, releasing their
+  // KV blocks back to the pool. Returns them for response assembly.
+  std::vector<std::unique_ptr<ActiveSequence>> retire_finished();
+
+  // Lifetime counters (scheduler invariants: admitted == retired once
+  // idle, and every enqueued request is admitted exactly once).
+  size_t total_enqueued() const { return total_enqueued_; }
+  size_t total_admitted() const { return total_admitted_; }
+  size_t total_retired() const { return total_retired_; }
+
+ private:
+  // Predicted fused-step cost at batch size `batch` with `max_ctx` the
+  // longest active context (source + generated tokens).
+  double predicted_step_cost_ms(int max_ctx, int batch) const;
+
+  KvCachePool* pool_;
+  const serving::CostTable* costs_;
+  GenSchedulerOptions options_;
+  std::deque<serving::GenerationRequest> queue_;
+  std::vector<std::unique_ptr<ActiveSequence>> active_;
+  size_t total_enqueued_ = 0;
+  size_t total_admitted_ = 0;
+  size_t total_retired_ = 0;
+};
+
+}  // namespace turbo::genserve

@@ -1,0 +1,316 @@
+#include "genserve/generation_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace turbo::genserve {
+
+namespace {
+
+// Coarse analytic cached_cost stand-in for admission control when no
+// profiled table is supplied: step latency grows with context length and
+// batch size. Benchmarks pass a table profiled on the real runtime.
+serving::CostTable default_cost_table(const GenSchedulerOptions& scheduler) {
+  const int max_batch = std::max(scheduler.max_active, 16);
+  return serving::CostTable::warmup(
+      [](int len, int batch) {
+        return 0.1 + 0.05 * batch + 0.0005 * static_cast<double>(len) * batch;
+      },
+      /*max_len=*/512, max_batch, /*len_step=*/16);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GenerationServer
+// ---------------------------------------------------------------------------
+
+GenerationServer::GenerationServer(model::ModelConfig config,
+                                   GenServerOptions options, uint64_t seed)
+    : config_(config),
+      encoder_(config, seed),
+      decoder_(config, seed),
+      costs_(options.cost_table ? *options.cost_table
+                                : default_cost_table(options.scheduler)),
+      pool_(config, options.pool),
+      scheduler_(&pool_, &costs_, options.scheduler),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+double GenerationServer::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void GenerationServer::validate(
+    const serving::GenerationRequest& request) const {
+  // Model-bound checks the scheduler cannot see: an out-of-vocab token
+  // would otherwise TT_CHECK deep inside the encoder/decoder on the worker
+  // thread and take the whole async server down with it.
+  TT_CHECK_GE(request.bos_id, 0);
+  TT_CHECK_LT(request.bos_id, config_.vocab);
+  TT_CHECK_GE(request.eos_id, 0);
+  TT_CHECK_LT(request.eos_id, config_.vocab);
+  for (const int tok : request.src_tokens) {
+    TT_CHECK_MSG(tok >= 0 && tok < config_.vocab,
+                 "generation request " << request.id
+                                       << " has out-of-vocab token " << tok);
+  }
+  scheduler_.validate(request);
+}
+
+void GenerationServer::submit(serving::GenerationRequest request,
+                              serving::TokenCallback on_token) {
+  validate(request);
+  TT_CHECK_MSG(callbacks_.find(request.id) == callbacks_.end(),
+               "duplicate in-flight generation request id " << request.id);
+  callbacks_[request.id] = std::move(on_token);
+  scheduler_.enqueue(std::move(request));
+}
+
+int GenerationServer::step() {
+  const double now = now_s();
+
+  // Iteration-level batch formation: newly admitted sequences run the
+  // encoder as one zero-padded variable-length batch (the §4.2 allocator +
+  // masking path) and get their cross-attention K/V projected into pool
+  // blocks once.
+  const std::vector<ActiveSequence*> admitted = scheduler_.admit(now);
+  if (!admitted.empty()) {
+    const int nb_enc = static_cast<int>(admitted.size());
+    int max_src = 0;
+    std::vector<int> valid_lens(static_cast<size_t>(nb_enc));
+    for (int b = 0; b < nb_enc; ++b) {
+      const int len = static_cast<int>(
+          admitted[static_cast<size_t>(b)]->request.src_tokens.size());
+      valid_lens[static_cast<size_t>(b)] = len;
+      max_src = std::max(max_src, len);
+    }
+    Tensor ids = Tensor::zeros(Shape{nb_enc, max_src}, DType::kI32);
+    for (int b = 0; b < nb_enc; ++b) {
+      const auto& src = admitted[static_cast<size_t>(b)]->request.src_tokens;
+      std::copy(src.begin(), src.end(),
+                ids.data<int32_t>() + static_cast<long>(b) * max_src);
+    }
+    Tensor memory = encoder_.forward(ids, &valid_lens);  // [nb, max_src, H]
+    for (int b = 0; b < nb_enc; ++b) {
+      ActiveSequence* seq = admitted[static_cast<size_t>(b)];
+      Tensor view = Tensor::view(
+          memory.data<float>() +
+              static_cast<long>(b) * max_src * config_.hidden,
+          Shape{valid_lens[static_cast<size_t>(b)], config_.hidden});
+      decoder_.init_cross_attention(view, *seq->kv);
+    }
+  }
+
+  const auto& active = scheduler_.active_set();
+  if (active.empty()) return 0;
+  const int nb = static_cast<int>(active.size());
+
+  // One fused decode step over every active sequence.
+  std::vector<model::Seq2SeqDecoder::StepSlot> slots(static_cast<size_t>(nb));
+  for (int b = 0; b < nb; ++b) {
+    ActiveSequence& seq = *active[static_cast<size_t>(b)];
+    pool_.ensure_token(*seq.kv, seq.step);
+    slots[static_cast<size_t>(b)] =
+        model::Seq2SeqDecoder::StepSlot{seq.last_token, seq.step,
+                                        seq.kv.get()};
+  }
+  const int vocab = config_.vocab;
+  logits_.resize(static_cast<size_t>(nb) * vocab);
+  decoder_.step(slots, logits_.data(), workspace_);
+
+  // Greedy expansion + streaming.
+  int finished_now = 0;
+  for (int b = 0; b < nb; ++b) {
+    ActiveSequence& seq = *active[static_cast<size_t>(b)];
+    const float* row = logits_.data() + static_cast<size_t>(b) * vocab;
+    const int token =
+        static_cast<int>(std::max_element(row, row + vocab) - row);
+    const int step_idx = seq.step;
+    ++seq.step;
+    if (token == seq.request.eos_id) {
+      seq.finished = true;
+    } else {
+      seq.tokens.push_back(token);
+      seq.last_token = token;
+      if (static_cast<int>(seq.tokens.size()) >= seq.request.max_new_tokens) {
+        seq.finished = true;
+        seq.hit_max_len = true;
+      }
+    }
+    if (seq.finished) ++finished_now;
+    const auto cb = callbacks_.find(seq.request.id);
+    if (cb != callbacks_.end() && cb->second) {
+      cb->second(seq.request.id, token, step_idx, seq.finished);
+    }
+  }
+
+  // Retire: KV blocks return to the pool before the next admit round.
+  std::vector<std::unique_ptr<ActiveSequence>> retired =
+      scheduler_.retire_finished();
+  const double done = now_s();
+  for (auto& seq : retired) {
+    serving::GenerationResponse resp;
+    resp.request_id = seq->request.id;
+    resp.tokens = std::move(seq->tokens);
+    resp.steps = seq->step;
+    resp.src_len = static_cast<int>(seq->request.src_tokens.size());
+    resp.hit_max_len = seq->hit_max_len;
+    resp.latency_ms = (done - seq->admit_s) * 1000.0;
+    callbacks_.erase(resp.request_id);
+    completed_.push_back(std::move(resp));
+  }
+
+  ++iteration_;
+  if (observer_) {
+    StepStats stats;
+    stats.iteration = iteration_;
+    stats.active = nb;
+    stats.admitted = static_cast<int>(admitted.size());
+    stats.retired = static_cast<int>(retired.size());
+    stats.kv_bytes_in_use = pool_.bytes_in_use();
+    stats.kv_device_bytes = pool_.stats().current_device_bytes;
+    observer_(stats);
+  }
+  return nb;
+}
+
+std::vector<serving::GenerationResponse> GenerationServer::take_completed() {
+  return std::exchange(completed_, {});
+}
+
+std::vector<serving::GenerationResponse> GenerationServer::run_to_completion() {
+  while (!idle()) step();
+  return take_completed();
+}
+
+// ---------------------------------------------------------------------------
+// AsyncGenerationServer
+// ---------------------------------------------------------------------------
+
+AsyncGenerationServer::AsyncGenerationServer(
+    std::unique_ptr<GenerationServer> server)
+    : server_(std::move(server)) {
+  TT_CHECK(server_ != nullptr);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+AsyncGenerationServer::~AsyncGenerationServer() { shutdown(); }
+
+std::future<serving::GenerationResponse> AsyncGenerationServer::submit(
+    serving::GenerationRequest request, serving::TokenCallback on_token) {
+  // Validate on the client thread: a malformed request must throw here,
+  // not on the worker (where it could take the whole process down).
+  server_->validate(request);
+  std::future<serving::GenerationResponse> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TT_CHECK_MSG(!shutdown_, "submit after shutdown");
+    TT_CHECK_MSG(ids_in_flight_.insert(request.id).second,
+                 "duplicate in-flight generation request id " << request.id);
+    Submission s;
+    s.request = std::move(request);
+    s.on_token = std::move(on_token);
+    future = s.promise.get_future();
+    incoming_.push_back(std::move(s));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void AsyncGenerationServer::shutdown() {
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+size_t AsyncGenerationServer::served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return served_;
+}
+
+int64_t AsyncGenerationServer::iterations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return iterations_;
+}
+
+PoolSnapshot AsyncGenerationServer::pool_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool_snapshot_;
+}
+
+void AsyncGenerationServer::worker_loop() {
+  for (;;) {
+    std::vector<Submission> newly;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (incoming_.empty() && server_->idle()) {
+        cv_.wait(lock, [this] { return shutdown_ || !incoming_.empty(); });
+        if (incoming_.empty() && shutdown_) return;
+      }
+      newly = std::exchange(incoming_, {});
+    }
+
+    // A failure inside the engine (scheduler/pool invariant, model error)
+    // must not escape the worker thread — that would std::terminate the
+    // process. Surface it to every waiting client instead.
+    std::vector<serving::GenerationResponse> done;
+    try {
+      for (Submission& s : newly) {
+        in_flight_[s.request.id] = std::move(s.promise);
+        server_->submit(std::move(s.request), std::move(s.on_token));
+      }
+      // One scheduler iteration; completed sequences resolve their futures.
+      server_->step();
+      done = server_->take_completed();
+    } catch (...) {
+      std::vector<Submission> orphaned;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+        orphaned = std::exchange(incoming_, {});
+        for (auto& [id, promise] : in_flight_) {
+          promise.set_exception(std::current_exception());
+          ids_in_flight_.erase(id);
+        }
+        in_flight_.clear();
+        for (const auto& s : orphaned) ids_in_flight_.erase(s.request.id);
+      }
+      // Submissions that raced into the queue must fail too, or their
+      // clients' future.get() would block forever.
+      for (auto& s : orphaned) {
+        s.promise.set_exception(std::current_exception());
+      }
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      served_ += done.size();
+      iterations_ = server_->iterations();
+      const KvCachePool& pool = server_->pool();
+      pool_snapshot_.bytes_in_use = pool.bytes_in_use();
+      pool_snapshot_.device_bytes = pool.stats().current_device_bytes;
+      pool_snapshot_.peak_device_bytes = pool.stats().peak_device_bytes;
+      pool_snapshot_.active_sequences = pool.active_sequences();
+      for (const auto& resp : done) ids_in_flight_.erase(resp.request_id);
+    }
+    for (auto& resp : done) {
+      const auto it = in_flight_.find(resp.request_id);
+      TT_CHECK(it != in_flight_.end());
+      std::promise<serving::GenerationResponse> promise =
+          std::move(it->second);
+      in_flight_.erase(it);
+      promise.set_value(std::move(resp));
+    }
+  }
+}
+
+}  // namespace turbo::genserve

@@ -1,0 +1,170 @@
+// Generation serving front ends.
+//
+// GenerationServer is the synchronous engine: it owns the encoder (source
+// sentences run through the §4.2 model-aware allocator as usual), the
+// step-batched Seq2SeqDecoder, the KvCachePool and the iteration-level
+// GenerationScheduler. Each step() call is one scheduler iteration: admit,
+// one fused decode step over every active sequence (greedy, one token
+// each), stream tokens to per-request callbacks, retire finished
+// sequences.
+//
+// AsyncGenerationServer is the concurrent shell, mirroring
+// serving::AsyncServer: clients submit() generation requests and receive
+// futures; a worker thread runs the step loop, streaming per-token
+// callbacks from the serving thread and fulfilling each future when its
+// sequence retires.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "genserve/generation_scheduler.h"
+#include "genserve/kv_cache_pool.h"
+#include "model/decoder.h"
+#include "model/encoder.h"
+#include "serving/cost_table.h"
+#include "serving/request.h"
+
+namespace turbo::genserve {
+
+struct GenServerOptions {
+  KvPoolOptions pool;
+  GenSchedulerOptions scheduler;
+  // Admission cost dictionary; when unset, a coarse analytic warm-up is
+  // built (benchmarks pass a profiled table instead).
+  std::optional<serving::CostTable> cost_table;
+};
+
+// Per-iteration snapshot handed to the step observer (benchmark hook for
+// the Fig. 11-style footprint-vs-working-set trace).
+struct StepStats {
+  int64_t iteration = 0;
+  int active = 0;                   // sequences in this fused step
+  int admitted = 0;                 // joined this iteration
+  int retired = 0;                  // finished this iteration
+  size_t kv_bytes_in_use = 0;       // live sequences' blocks
+  size_t kv_device_bytes = 0;       // slab footprint (device reservation)
+};
+
+class GenerationServer {
+ public:
+  using StepObserver = std::function<void(const StepStats&)>;
+
+  explicit GenerationServer(model::ModelConfig config,
+                            GenServerOptions options = {}, uint64_t seed = 42);
+
+  // Throws CheckError if the request is malformed (empty source,
+  // max_new_tokens < 1) or could never fit the KV pool. Thread-safe: reads
+  // only immutable pool geometry. AsyncGenerationServer calls this on the
+  // client thread so bad requests fail at submit, not on the worker.
+  void validate(const serving::GenerationRequest& request) const;
+
+  // Queue a request. `on_token` (optional) streams each generated token.
+  void submit(serving::GenerationRequest request,
+              serving::TokenCallback on_token = nullptr);
+
+  // One scheduler iteration + one fused decode step. Returns the number of
+  // sequences stepped (0 = server idle).
+  int step();
+
+  // Step until idle, then hand over everything completed so far.
+  std::vector<serving::GenerationResponse> run_to_completion();
+  // Completed responses accumulated since the last take (completion order).
+  std::vector<serving::GenerationResponse> take_completed();
+
+  bool idle() const { return scheduler_.idle(); }
+  const KvCachePool& pool() const { return pool_; }
+  const GenerationScheduler& scheduler() const { return scheduler_; }
+  const serving::CostTable& cost_table() const { return costs_; }
+  int64_t iterations() const { return iteration_; }
+
+  void set_step_observer(StepObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  double now_s() const;
+
+  model::ModelConfig config_;
+  model::EncoderModel encoder_;
+  model::Seq2SeqDecoder decoder_;
+  serving::CostTable costs_;
+  KvCachePool pool_;
+  GenerationScheduler scheduler_;
+  std::unordered_map<int64_t, serving::TokenCallback> callbacks_;
+  std::vector<serving::GenerationResponse> completed_;
+  std::vector<float> logits_;  // step scratch [max_active, vocab]
+  model::DecodeWorkspace workspace_;  // reused across decode steps
+  StepObserver observer_;
+  int64_t iteration_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// Snapshot of pool pressure, safe to read while the worker runs.
+struct PoolSnapshot {
+  size_t bytes_in_use = 0;
+  size_t device_bytes = 0;
+  size_t peak_device_bytes = 0;
+  int active_sequences = 0;
+};
+
+class AsyncGenerationServer {
+ public:
+  explicit AsyncGenerationServer(std::unique_ptr<GenerationServer> server);
+  ~AsyncGenerationServer();
+
+  AsyncGenerationServer(const AsyncGenerationServer&) = delete;
+  AsyncGenerationServer& operator=(const AsyncGenerationServer&) = delete;
+
+  // Enqueue one generation request; the future resolves when the sequence
+  // finishes. `on_token` streams tokens from the worker thread. Request
+  // ids must be unique among in-flight requests. Throws CheckError after
+  // shutdown().
+  std::future<serving::GenerationResponse> submit(
+      serving::GenerationRequest request,
+      serving::TokenCallback on_token = nullptr);
+
+  // Serve everything pending to completion, then stop the worker.
+  // Idempotent; also called by the destructor.
+  void shutdown();
+
+  size_t served() const;
+  int64_t iterations() const;
+  PoolSnapshot pool_snapshot() const;
+
+ private:
+  struct Submission {
+    serving::GenerationRequest request;
+    serving::TokenCallback on_token;
+    std::promise<serving::GenerationResponse> promise;
+  };
+
+  void worker_loop();
+
+  std::unique_ptr<GenerationServer> server_;
+  std::mutex join_mutex_;  // serializes shutdown/join
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Submission> incoming_;
+  std::unordered_set<int64_t> ids_in_flight_;  // duplicate-id guard
+  // Promises by request id; touched only by the worker after handoff.
+  std::unordered_map<int64_t, std::promise<serving::GenerationResponse>>
+      in_flight_;
+  bool shutdown_ = false;
+  size_t served_ = 0;
+  PoolSnapshot pool_snapshot_;
+  int64_t iterations_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace turbo::genserve

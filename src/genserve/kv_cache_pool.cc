@@ -1,0 +1,249 @@
+#include "genserve/kv_cache_pool.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace turbo::genserve {
+
+namespace {
+
+size_t ceil_div(size_t a, size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SequenceKv
+// ---------------------------------------------------------------------------
+
+SequenceKv::SequenceKv(KvCachePool* pool, int64_t id, int s_src,
+                       int max_new_tokens)
+    : pool_(pool), id_(id), s_src_(s_src), max_new_(max_new_tokens) {}
+
+SequenceKv::~SequenceKv() {
+  if (!released_) pool_->release(*this);
+}
+
+int SequenceKv::capacity_tokens() const {
+  if (self_blocks_.empty()) return 0;
+  return static_cast<int>(self_blocks_[0].size()) *
+         pool_->options_.block_tokens;
+}
+
+size_t SequenceKv::blocks_held() const {
+  size_t n = 0;
+  for (const auto& layer : self_blocks_) n += layer.size();
+  for (const auto& layer : cross_blocks_) n += layer.size();
+  return n;
+}
+
+float* SequenceKv::self_k(int layer, int t) {
+  const int bt = pool_->options_.block_tokens;
+  const auto& blocks = self_blocks_[static_cast<size_t>(layer)];
+  TT_CHECK_LT(static_cast<size_t>(t / bt), blocks.size());
+  float* base = pool_->block_ptr(blocks[static_cast<size_t>(t / bt)]);
+  return base + static_cast<size_t>(t % bt) * pool_->hidden_;
+}
+
+float* SequenceKv::self_v(int layer, int t) {
+  const int bt = pool_->options_.block_tokens;
+  const auto& blocks = self_blocks_[static_cast<size_t>(layer)];
+  TT_CHECK_LT(static_cast<size_t>(t / bt), blocks.size());
+  float* base = pool_->block_ptr(blocks[static_cast<size_t>(t / bt)]);
+  return base + static_cast<size_t>(bt + t % bt) * pool_->hidden_;
+}
+
+float* SequenceKv::cross_k(int layer, int s) {
+  const int bt = pool_->options_.block_tokens;
+  const auto& blocks = cross_blocks_[static_cast<size_t>(layer)];
+  TT_CHECK_LT(static_cast<size_t>(s / bt), blocks.size());
+  float* base = pool_->block_ptr(blocks[static_cast<size_t>(s / bt)]);
+  return base + static_cast<size_t>(s % bt) * pool_->hidden_;
+}
+
+float* SequenceKv::cross_v(int layer, int s) {
+  const int bt = pool_->options_.block_tokens;
+  const auto& blocks = cross_blocks_[static_cast<size_t>(layer)];
+  TT_CHECK_LT(static_cast<size_t>(s / bt), blocks.size());
+  float* base = pool_->block_ptr(blocks[static_cast<size_t>(s / bt)]);
+  return base + static_cast<size_t>(bt + s % bt) * pool_->hidden_;
+}
+
+// ---------------------------------------------------------------------------
+// KvCachePool
+// ---------------------------------------------------------------------------
+
+KvCachePool::KvCachePool(const model::ModelConfig& config,
+                         KvPoolOptions options)
+    : hidden_(config.hidden),
+      num_layers_(config.num_layers),
+      options_(options),
+      block_floats_(static_cast<size_t>(2) * options.block_tokens *
+                    config.hidden) {
+  TT_CHECK_GE(options_.block_tokens, 1);
+  TT_CHECK_GE(options_.blocks_per_slab, 1);
+  if (options_.max_bytes > 0) {
+    TT_CHECK_MSG(options_.max_bytes >= slab_bytes(),
+                 "max_bytes below one slab: " << options_.max_bytes);
+  }
+}
+
+KvCachePool::~KvCachePool() {
+  // Sequences must not outlive the pool; a live one here would dangle.
+  TT_CHECK_EQ(active_, 0);
+}
+
+size_t KvCachePool::blocks_for(int s_src, int max_new_tokens) const {
+  TT_CHECK_GE(s_src, 1);
+  TT_CHECK_GE(max_new_tokens, 1);
+  const size_t bt = static_cast<size_t>(options_.block_tokens);
+  const size_t cross = ceil_div(static_cast<size_t>(s_src), bt);
+  const size_t self = ceil_div(static_cast<size_t>(max_new_tokens), bt);
+  return static_cast<size_t>(num_layers_) * (cross + self);
+}
+
+size_t KvCachePool::max_blocks() const {
+  if (options_.max_bytes == 0) return std::numeric_limits<size_t>::max();
+  return options_.max_bytes / slab_bytes() *
+         static_cast<size_t>(options_.blocks_per_slab);
+}
+
+bool KvCachePool::can_admit(int s_src, int max_new_tokens) const {
+  return blocks_reserved_ + blocks_for(s_src, max_new_tokens) <= max_blocks();
+}
+
+std::unique_ptr<SequenceKv> KvCachePool::admit(int64_t seq_id, int s_src,
+                                               int max_new_tokens) {
+  TT_CHECK_MSG(can_admit(s_src, max_new_tokens),
+               "KV pool over capacity admitting sequence " << seq_id);
+  std::unique_ptr<SequenceKv> seq(
+      new SequenceKv(this, seq_id, s_src, max_new_tokens));
+  seq->reserved_blocks_ = blocks_for(s_src, max_new_tokens);
+  blocks_reserved_ += seq->reserved_blocks_;
+  ++active_;
+
+  const size_t bt = static_cast<size_t>(options_.block_tokens);
+  const size_t cross_per_layer = ceil_div(static_cast<size_t>(s_src), bt);
+  seq->cross_blocks_.resize(static_cast<size_t>(num_layers_));
+  seq->self_blocks_.resize(static_cast<size_t>(num_layers_));
+  for (int layer = 0; layer < num_layers_; ++layer) {
+    auto& cross = seq->cross_blocks_[static_cast<size_t>(layer)];
+    for (size_t i = 0; i < cross_per_layer; ++i) cross.push_back(alloc_block());
+    seq->self_blocks_[static_cast<size_t>(layer)].push_back(alloc_block());
+  }
+  blocks_in_use_ += seq->blocks_held();
+  TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
+  return seq;
+}
+
+void KvCachePool::ensure_token(SequenceKv& seq, int t) {
+  TT_CHECK(!seq.released_);
+  TT_CHECK_LT(t, seq.max_new_);
+  const int bt = options_.block_tokens;
+  const size_t need = static_cast<size_t>(t / bt) + 1;
+  auto& first = seq.self_blocks_[0];
+  if (first.size() >= need) return;
+  for (int layer = 0; layer < num_layers_; ++layer) {
+    auto& blocks = seq.self_blocks_[static_cast<size_t>(layer)];
+    while (blocks.size() < need) {
+      blocks.push_back(alloc_block());
+      ++blocks_in_use_;
+    }
+  }
+  // The admission reservation covers the worst case, so growth can never
+  // push usage past it.
+  TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
+}
+
+void KvCachePool::release(SequenceKv& seq) {
+  TT_CHECK(!seq.released_);
+  const size_t held = seq.blocks_held();
+  for (auto& layer : seq.self_blocks_) {
+    for (int b : layer) free_block(b);
+    layer.clear();
+  }
+  for (auto& layer : seq.cross_blocks_) {
+    for (int b : layer) free_block(b);
+    layer.clear();
+  }
+  blocks_in_use_ -= held;
+  blocks_reserved_ -= seq.reserved_blocks_;
+  --active_;
+  seq.released_ = true;
+  sweep_empty_slabs();
+}
+
+int KvCachePool::alloc_block() {
+  if (free_blocks_.empty()) {
+    // Reuse a swept slab slot if one exists, else append a new slab.
+    size_t slab_idx = slabs_.size();
+    for (size_t i = 0; i < slabs_.size(); ++i) {
+      if (slabs_[i].buffer.empty()) {
+        slab_idx = i;
+        break;
+      }
+    }
+    if (slab_idx == slabs_.size()) slabs_.emplace_back();
+    Slab& slab = slabs_[slab_idx];
+    slab.buffer = AlignedBuffer(slab_bytes());
+    slab.live_blocks = 0;
+    tracker_.on_malloc(slab_bytes());
+    if (options_.max_bytes > 0) {
+      TT_CHECK_LE(tracker_.stats().current_device_bytes, options_.max_bytes);
+    }
+    for (int i = 0; i < options_.blocks_per_slab; ++i) {
+      free_blocks_.push_back(static_cast<int>(slab_idx) *
+                                 options_.blocks_per_slab +
+                             i);
+    }
+  }
+  const int block_id = free_blocks_.back();
+  free_blocks_.pop_back();
+  ++slabs_[static_cast<size_t>(block_id / options_.blocks_per_slab)]
+        .live_blocks;
+  return block_id;
+}
+
+void KvCachePool::free_block(int block_id) {
+  Slab& slab = slabs_[static_cast<size_t>(block_id / options_.blocks_per_slab)];
+  TT_CHECK_GT(slab.live_blocks, 0);
+  --slab.live_blocks;
+  free_blocks_.push_back(block_id);
+}
+
+float* KvCachePool::block_ptr(int block_id) {
+  Slab& slab = slabs_[static_cast<size_t>(block_id / options_.blocks_per_slab)];
+  TT_CHECK(!slab.buffer.empty());
+  return reinterpret_cast<float*>(slab.buffer.data()) +
+         static_cast<size_t>(block_id % options_.blocks_per_slab) *
+             block_floats_;
+}
+
+void KvCachePool::sweep_empty_slabs() {
+  bool swept = false;
+  std::vector<bool> freed(slabs_.size(), false);
+  for (size_t i = 0; i < slabs_.size(); ++i) {
+    Slab& slab = slabs_[i];
+    if (!slab.buffer.empty() && slab.live_blocks == 0) {
+      slab.buffer = AlignedBuffer();
+      tracker_.on_free(slab_bytes());
+      freed[i] = true;
+      swept = true;
+    }
+  }
+  if (!swept) return;
+  std::erase_if(free_blocks_, [&](int b) {
+    return freed[static_cast<size_t>(b / options_.blocks_per_slab)];
+  });
+}
+
+int KvCachePool::num_slabs() const {
+  int n = 0;
+  for (const auto& slab : slabs_) {
+    if (!slab.buffer.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace turbo::genserve

@@ -1,0 +1,156 @@
+// Slab-based K/V block pool for generation serving.
+//
+// The paper's model-aware allocator (§4.2) plans tensors whose lifetimes
+// close within one inference. Decoder K/V caches break that assumption:
+// they are born when a sequence is admitted, grow by one token row per
+// decode step, and die at EOS — lifetimes spanning many inferences, unknown
+// in advance. This pool extends the paper's chunked design to that regime:
+//
+//  * Storage is carved from slabs (AlignedBuffer chunks, the same device-
+//    allocation stand-in the §4.2 allocator uses) split into fixed-size
+//    blocks. A block holds `block_tokens` K rows followed by `block_tokens`
+//    V rows of one layer ([heads * head_dim] floats each).
+//  * A sequence is admitted with a worst-case block reservation (cross-
+//    attention rows for its source length + `max_new_tokens` self rows per
+//    layer), so admission control is exact and a mid-decode grow can never
+//    fail: capacity is never exceeded by construction.
+//  * Cross blocks are allocated eagerly on admit; self blocks materialize
+//    lazily as decode steps consume token positions.
+//  * Release returns every block to the free list and frees slabs that
+//    became empty, so the device footprint tracks the active working set —
+//    the decoder-side analogue of the paper's Fig. 11 behaviour.
+//
+// Footprint accounting reuses memory::DeviceTracker, making pool stats
+// directly comparable with the ModelAwareAllocator's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "memory/allocator.h"
+#include "model/config.h"
+#include "model/decoder.h"
+
+namespace turbo::genserve {
+
+struct KvPoolOptions {
+  int block_tokens = 16;    // token rows per block (per layer, K + V)
+  int blocks_per_slab = 32; // blocks per device slab
+  size_t max_bytes = 0;     // cap on slab footprint; 0 = unbounded
+};
+
+class KvCachePool;
+
+// Per-sequence K/V handle; implements the decoder's cache interface over
+// pool blocks. Created by KvCachePool::admit, auto-released on destruction
+// (the pool must outlive its sequences).
+class SequenceKv final : public model::KvCacheView {
+ public:
+  ~SequenceKv() override;
+  SequenceKv(const SequenceKv&) = delete;
+  SequenceKv& operator=(const SequenceKv&) = delete;
+
+  int64_t id() const { return id_; }
+  int src_len() const override { return s_src_; }
+  int max_new_tokens() const { return max_new_; }
+  // Self token positions currently backed by blocks.
+  int capacity_tokens() const;
+  size_t blocks_held() const;
+
+  float* self_k(int layer, int t) override;
+  float* self_v(int layer, int t) override;
+  float* cross_k(int layer, int s) override;
+  float* cross_v(int layer, int s) override;
+
+ private:
+  friend class KvCachePool;
+  SequenceKv(KvCachePool* pool, int64_t id, int s_src, int max_new_tokens);
+
+  KvCachePool* pool_;
+  int64_t id_;
+  int s_src_;
+  int max_new_;
+  size_t reserved_blocks_ = 0;
+  bool released_ = false;
+  // [layer][i] -> global block id backing token rows [i*bt, (i+1)*bt).
+  std::vector<std::vector<int>> self_blocks_;
+  std::vector<std::vector<int>> cross_blocks_;
+};
+
+class KvCachePool {
+ public:
+  explicit KvCachePool(const model::ModelConfig& config,
+                       KvPoolOptions options = {});
+  ~KvCachePool();
+
+  KvCachePool(const KvCachePool&) = delete;
+  KvCachePool& operator=(const KvCachePool&) = delete;
+
+  size_t block_bytes() const { return block_floats_ * sizeof(float); }
+  // Worst-case block demand of one sequence.
+  size_t blocks_for(int s_src, int max_new_tokens) const;
+  // Pool capacity in blocks (SIZE_MAX when max_bytes == 0).
+  size_t max_blocks() const;
+  bool can_admit(int s_src, int max_new_tokens) const;
+
+  // Begin a sequence lifetime: reserve its worst case, allocate the cross
+  // blocks and the first self block per layer. Throws CheckError if
+  // can_admit is false.
+  std::unique_ptr<SequenceKv> admit(int64_t seq_id, int s_src,
+                                    int max_new_tokens);
+
+  // Grow `seq` so self token position t is backed (per decode step; no-op
+  // when the current blocks already cover t). Never exceeds the admission
+  // reservation.
+  void ensure_token(SequenceKv& seq, int t);
+
+  // Device-activity stats (slab mallocs/frees, current + peak footprint),
+  // comparable with ModelAwareAllocator::stats().
+  const memory::AllocatorStats& stats() const { return tracker_.stats(); }
+  // Bytes in blocks held by live sequences (the true working set).
+  size_t bytes_in_use() const { return blocks_in_use_ * block_bytes(); }
+  // Bytes reserved for admitted sequences' worst case (admission control).
+  size_t bytes_reserved() const { return blocks_reserved_ * block_bytes(); }
+  size_t blocks_in_use() const { return blocks_in_use_; }
+  size_t blocks_reserved() const { return blocks_reserved_; }
+  int active_sequences() const { return active_; }
+  int num_slabs() const;
+
+  const KvPoolOptions& options() const { return options_; }
+
+ private:
+  friend class SequenceKv;
+
+  struct Slab {
+    AlignedBuffer buffer;  // empty when the slab is currently freed
+    int live_blocks = 0;
+  };
+
+  size_t slab_bytes() const {
+    return static_cast<size_t>(options_.blocks_per_slab) * block_bytes();
+  }
+  int alloc_block();
+  void free_block(int block_id);
+  float* block_ptr(int block_id);
+  void release(SequenceKv& seq);  // called by ~SequenceKv
+  // Drop freed-slab block ids from the free list and release the buffers
+  // of slabs that no longer hold any live block.
+  void sweep_empty_slabs();
+
+  int hidden_;
+  int num_layers_;
+  KvPoolOptions options_;
+  size_t block_floats_;
+
+  std::vector<Slab> slabs_;
+  std::vector<int> free_blocks_;
+  size_t blocks_in_use_ = 0;
+  size_t blocks_reserved_ = 0;
+  int active_ = 0;
+  memory::DeviceTracker tracker_;
+};
+
+}  // namespace turbo::genserve

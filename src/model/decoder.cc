@@ -13,15 +13,6 @@ namespace turbo::model {
 
 namespace {
 
-// Per-sentence decode state: growing K/V caches per layer plus the
-// precomputed cross-attention keys/values.
-struct DecodeState {
-  // self_k/self_v: [layer][beam * heads * max_len * d]
-  std::vector<std::vector<float>> self_k, self_v;
-  // cross_k/cross_v: [layer][heads * s_src * d] (shared across beams)
-  std::vector<std::vector<float>> cross_k, cross_v;
-};
-
 void log_softmax_row(float* row, int n) {
   float max_v = -std::numeric_limits<float>::infinity();
   for (int i = 0; i < n; ++i) max_v = std::max(max_v, row[i]);
@@ -33,19 +24,88 @@ void log_softmax_row(float* row, int n) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// DenseKvCache
+// ---------------------------------------------------------------------------
+
+DenseKvCache::DenseKvCache(const ModelConfig& config, int max_len, int s_src)
+    : hidden_(config.hidden), max_len_(max_len), s_src_(s_src) {
+  TT_CHECK_GE(max_len, 1);
+  TT_CHECK_GE(s_src, 1);
+  const size_t L = static_cast<size_t>(config.num_layers);
+  self_k_.assign(L, std::vector<float>(static_cast<size_t>(max_len) * hidden_));
+  self_v_ = self_k_;
+  cross_ = std::make_shared<CrossKv>();
+  cross_->k.assign(L, std::vector<float>(static_cast<size_t>(s_src) * hidden_));
+  cross_->v = cross_->k;
+}
+
+float* DenseKvCache::self_k(int layer, int t) {
+  TT_CHECK_LT(t, max_len_);
+  return self_k_[static_cast<size_t>(layer)].data() +
+         static_cast<size_t>(t) * hidden_;
+}
+
+float* DenseKvCache::self_v(int layer, int t) {
+  TT_CHECK_LT(t, max_len_);
+  return self_v_[static_cast<size_t>(layer)].data() +
+         static_cast<size_t>(t) * hidden_;
+}
+
+float* DenseKvCache::cross_k(int layer, int s) {
+  TT_CHECK_LT(s, s_src_);
+  return cross_->k[static_cast<size_t>(layer)].data() +
+         static_cast<size_t>(s) * hidden_;
+}
+
+float* DenseKvCache::cross_v(int layer, int s) {
+  TT_CHECK_LT(s, s_src_);
+  return cross_->v[static_cast<size_t>(layer)].data() +
+         static_cast<size_t>(s) * hidden_;
+}
+
+// ---------------------------------------------------------------------------
+// Seq2SeqDecoder
+// ---------------------------------------------------------------------------
+
 Seq2SeqDecoder::Seq2SeqDecoder(ModelConfig config, uint64_t seed)
     : config_(std::move(config)),
       weights_(DecoderWeights::random(config_, seed)) {}
 
-Hypothesis Seq2SeqDecoder::decode(const Tensor& memory, int max_len,
-                                  int bos_id, int eos_id,
-                                  int beam_size) const {
+void Seq2SeqDecoder::init_cross_attention(const Tensor& memory,
+                                          KvCacheView& cache) const {
   TT_CHECK_EQ(memory.shape().ndim(), 2);
   const int s_src = static_cast<int>(memory.shape()[0]);
   const int H = config_.hidden;
   TT_CHECK_EQ(memory.shape()[1], H);
-  TT_CHECK_GE(beam_size, 1);
-  TT_CHECK_GE(max_len, 1);
+  TT_CHECK_EQ(cache.src_len(), s_src);
+
+  std::vector<float> kv(static_cast<size_t>(s_src) * 2 * H);
+  for (int layer = 0; layer < config_.num_layers; ++layer) {
+    const auto& w = weights_.layers[static_cast<size_t>(layer)];
+    kernels::gemm(memory.data<float>(), w.cross_kv_weight.data<float>(),
+                  kv.data(), s_src, 2 * H, H);
+    kernels::add_bias(kv.data(), w.cross_kv_bias.data<float>(), s_src, 2 * H);
+    // kv row s is [K | V], each an [H] = [heads * d] strip.
+    for (int s = 0; s < s_src; ++s) {
+      const float* row = &kv[static_cast<size_t>(s) * 2 * H];
+      std::copy(row, row + H, cache.cross_k(layer, s));
+      std::copy(row + H, row + 2 * H, cache.cross_v(layer, s));
+    }
+  }
+}
+
+void Seq2SeqDecoder::step(const std::vector<StepSlot>& slots,
+                          float* logits) const {
+  DecodeWorkspace ws;
+  step(slots, logits, ws);
+}
+
+void Seq2SeqDecoder::step(const std::vector<StepSlot>& slots, float* logits,
+                          DecodeWorkspace& ws) const {
+  const int nb = static_cast<int>(slots.size());
+  TT_CHECK_GE(nb, 1);
+  const int H = config_.hidden;
   const int heads = config_.heads;
   const int d = config_.head_dim();
   const int I = config_.intermediate;
@@ -53,180 +113,182 @@ Hypothesis Seq2SeqDecoder::decode(const Tensor& memory, int max_len,
   const int L = config_.num_layers;
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
 
-  DecodeState state;
-  state.self_k.assign(static_cast<size_t>(L),
-                      std::vector<float>(static_cast<size_t>(beam_size) *
-                                         heads * max_len * d));
-  state.self_v = state.self_k;
-  state.cross_k.assign(static_cast<size_t>(L),
-                       std::vector<float>(static_cast<size_t>(heads) * s_src *
-                                          d));
-  state.cross_v = state.cross_k;
+  // resize() never shrinks capacity, so a reused workspace stops
+  // allocating once it has seen the largest batch.
+  auto& x = ws.x;
+  auto& qkv = ws.qkv;
+  auto& attn = ws.attn;
+  auto& proj = ws.proj;
+  auto& resid = ws.resid;
+  auto& inter = ws.inter;
+  x.resize(static_cast<size_t>(nb) * H);
+  qkv.resize(static_cast<size_t>(nb) * 3 * H);
+  attn.resize(static_cast<size_t>(nb) * H);
+  proj.resize(static_cast<size_t>(nb) * H);
+  resid.resize(static_cast<size_t>(nb) * H);
+  inter.resize(static_cast<size_t>(nb) * I);
 
-  // Precompute cross-attention K/V from the encoder memory (once per
-  // sentence — the optimization the step loop depends on).
-  {
-    std::vector<float> kv(static_cast<size_t>(s_src) * 2 * H);
-    for (int layer = 0; layer < L; ++layer) {
-      const auto& w = weights_.layers[static_cast<size_t>(layer)];
-      kernels::gemm(memory.data<float>(), w.cross_kv_weight.data<float>(),
-                    kv.data(), s_src, 2 * H, H);
-      kernels::add_bias(kv.data(), w.cross_kv_bias.data<float>(), s_src,
-                        2 * H);
-      // Split [s, 2, H] planes into [heads, s_src, d].
-      for (int s = 0; s < s_src; ++s) {
-        for (int h = 0; h < heads; ++h) {
-          for (int dd = 0; dd < d; ++dd) {
-            const long src_base = (static_cast<long>(s) * 2) * H + h * d + dd;
-            const long dst = (static_cast<long>(h) * s_src + s) * d + dd;
-            state.cross_k[static_cast<size_t>(layer)][static_cast<size_t>(dst)] =
-                kv[static_cast<size_t>(src_base)];
-            state.cross_v[static_cast<size_t>(layer)][static_cast<size_t>(dst)] =
-                kv[static_cast<size_t>(src_base + H)];
-          }
+  // Embed each slot's previous token at its own position.
+  for (int b = 0; b < nb; ++b) {
+    const StepSlot& slot = slots[static_cast<size_t>(b)];
+    TT_CHECK(slot.cache != nullptr);
+    TT_CHECK_GE(slot.step, 0);
+    TT_CHECK_GE(slot.prev_token, 0);
+    TT_CHECK_LT(slot.prev_token, vocab);
+    const float* wv = weights_.embedding.word.data<float>() +
+                      static_cast<long>(slot.prev_token) * H;
+    const float* pv =
+        weights_.embedding.position.data<float>() +
+        static_cast<long>(std::min(slot.step, config_.max_pos - 1)) * H;
+    for (int i = 0; i < H; ++i) x[static_cast<size_t>(b) * H + i] = wv[i] + pv[i];
+  }
+  kernels::layernorm(x.data(), x.data(),
+                     weights_.embedding.ln_gamma.data<float>(),
+                     weights_.embedding.ln_beta.data<float>(), nb, H);
+
+  auto& krows = ws.krows;
+  auto& vrows = ws.vrows;
+  auto& scores = ws.scores;
+  for (int layer = 0; layer < L; ++layer) {
+    const auto& w = weights_.layers[static_cast<size_t>(layer)];
+
+    // --- cached causal self-attention ---
+    std::copy(x.begin(), x.begin() + static_cast<long>(nb) * H, resid.begin());
+    kernels::gemm(x.data(), w.self_qkv_weight.data<float>(), qkv.data(), nb,
+                  3 * H, H);
+    kernels::add_bias(qkv.data(), w.self_qkv_bias.data<float>(), nb, 3 * H);
+    for (int b = 0; b < nb; ++b) {
+      const StepSlot& slot = slots[static_cast<size_t>(b)];
+      KvCacheView& cache = *slot.cache;
+      const int t = slot.step;
+      const float* qfull = &qkv[(static_cast<size_t>(b) * 3 + 0) * H];
+      const float* kfull = &qkv[(static_cast<size_t>(b) * 3 + 1) * H];
+      const float* vfull = &qkv[(static_cast<size_t>(b) * 3 + 2) * H];
+      std::copy(kfull, kfull + H, cache.self_k(layer, t));
+      std::copy(vfull, vfull + H, cache.self_v(layer, t));
+      krows.assign(static_cast<size_t>(t) + 1, nullptr);
+      vrows.assign(static_cast<size_t>(t) + 1, nullptr);
+      for (int u = 0; u <= t; ++u) {
+        krows[static_cast<size_t>(u)] = cache.self_k(layer, u);
+        vrows[static_cast<size_t>(u)] = cache.self_v(layer, u);
+      }
+      for (int h = 0; h < heads; ++h) {
+        const float* qrow = qfull + static_cast<size_t>(h) * d;
+        scores.resize(static_cast<size_t>(t) + 1);
+        for (int u = 0; u <= t; ++u) {
+          const float* ku = krows[static_cast<size_t>(u)] + h * d;
+          float acc = 0.0f;
+          for (int dd = 0; dd < d; ++dd) acc += qrow[dd] * ku[dd];
+          scores[static_cast<size_t>(u)] = acc;
+        }
+        kernels::softmax_rows(scores.data(), 1, t + 1, scale);
+        float* out = &attn[static_cast<size_t>(b) * H +
+                           static_cast<size_t>(h) * d];
+        std::fill(out, out + d, 0.0f);
+        for (int u = 0; u <= t; ++u) {
+          const float* vu = vrows[static_cast<size_t>(u)] + h * d;
+          const float p = scores[static_cast<size_t>(u)];
+          for (int dd = 0; dd < d; ++dd) out[dd] += p * vu[dd];
         }
       }
     }
+    kernels::gemm(attn.data(), w.self_out_weight.data<float>(), proj.data(),
+                  nb, H, H);
+    kernels::add_bias_layernorm(x.data(), proj.data(), resid.data(),
+                                w.self_out_bias.data<float>(),
+                                w.ln1_gamma.data<float>(),
+                                w.ln1_beta.data<float>(), nb, H);
+
+    // --- cross-attention over each slot's encoder memory ---
+    std::copy(x.begin(), x.begin() + static_cast<long>(nb) * H, resid.begin());
+    kernels::gemm(x.data(), w.cross_q_weight.data<float>(), proj.data(), nb,
+                  H, H);
+    kernels::add_bias(proj.data(), w.cross_q_bias.data<float>(), nb, H);
+    for (int b = 0; b < nb; ++b) {
+      KvCacheView& cache = *slots[static_cast<size_t>(b)].cache;
+      const int s_src = cache.src_len();
+      krows.assign(static_cast<size_t>(s_src), nullptr);
+      vrows.assign(static_cast<size_t>(s_src), nullptr);
+      for (int s = 0; s < s_src; ++s) {
+        krows[static_cast<size_t>(s)] = cache.cross_k(layer, s);
+        vrows[static_cast<size_t>(s)] = cache.cross_v(layer, s);
+      }
+      for (int h = 0; h < heads; ++h) {
+        const float* qrow =
+            &proj[static_cast<size_t>(b) * H + static_cast<size_t>(h) * d];
+        scores.resize(static_cast<size_t>(s_src));
+        for (int s = 0; s < s_src; ++s) {
+          const float* ks = krows[static_cast<size_t>(s)] + h * d;
+          float acc = 0.0f;
+          for (int dd = 0; dd < d; ++dd) acc += qrow[dd] * ks[dd];
+          scores[static_cast<size_t>(s)] = acc;
+        }
+        kernels::softmax_rows(scores.data(), 1, s_src, scale);
+        float* out = &attn[static_cast<size_t>(b) * H +
+                           static_cast<size_t>(h) * d];
+        std::fill(out, out + d, 0.0f);
+        for (int s = 0; s < s_src; ++s) {
+          const float* vs = vrows[static_cast<size_t>(s)] + h * d;
+          const float p = scores[static_cast<size_t>(s)];
+          for (int dd = 0; dd < d; ++dd) out[dd] += p * vs[dd];
+        }
+      }
+    }
+    kernels::gemm(attn.data(), w.cross_out_weight.data<float>(), proj.data(),
+                  nb, H, H);
+    kernels::add_bias_layernorm(x.data(), proj.data(), resid.data(),
+                                w.cross_out_bias.data<float>(),
+                                w.ln2_gamma.data<float>(),
+                                w.ln2_beta.data<float>(), nb, H);
+
+    // --- feed-forward ---
+    std::copy(x.begin(), x.begin() + static_cast<long>(nb) * H, resid.begin());
+    kernels::gemm(x.data(), w.inter_weight.data<float>(), inter.data(), nb, I,
+                  H);
+    kernels::add_bias_gelu(inter.data(), w.inter_bias.data<float>(), nb, I);
+    kernels::gemm(inter.data(), w.out_weight.data<float>(), proj.data(), nb,
+                  H, I);
+    kernels::add_bias_layernorm(x.data(), proj.data(), resid.data(),
+                                w.out_bias.data<float>(),
+                                w.ln3_gamma.data<float>(),
+                                w.ln3_beta.data<float>(), nb, H);
   }
+
+  kernels::gemm(x.data(), weights_.output_proj.data<float>(), logits, nb,
+                vocab, H);
+}
+
+Hypothesis Seq2SeqDecoder::decode(const Tensor& memory, int max_len,
+                                  int bos_id, int eos_id,
+                                  int beam_size) const {
+  TT_CHECK_EQ(memory.shape().ndim(), 2);
+  const int s_src = static_cast<int>(memory.shape()[0]);
+  TT_CHECK_EQ(memory.shape()[1], config_.hidden);
+  TT_CHECK_GE(beam_size, 1);
+  TT_CHECK_GE(max_len, 1);
+  const int vocab = config_.vocab;
+
+  // Cross-attention K/V once per sentence; beam copies share them.
+  DenseKvCache proto(config_, max_len, s_src);
+  init_cross_attention(memory, proto);
 
   std::vector<Hypothesis> beams(1);
   beams[0].tokens = {bos_id};
+  std::vector<DenseKvCache> caches(1, proto);
   std::vector<Hypothesis> finished;
 
-  // Scratch buffers sized for the full beam.
-  std::vector<float> x(static_cast<size_t>(beam_size) * H);
-  std::vector<float> qkv(static_cast<size_t>(beam_size) * 3 * H);
-  std::vector<float> attn(static_cast<size_t>(beam_size) * H);
-  std::vector<float> proj(static_cast<size_t>(beam_size) * H);
-  std::vector<float> resid(static_cast<size_t>(beam_size) * H);
-  std::vector<float> inter(static_cast<size_t>(beam_size) * I);
   std::vector<float> logits(static_cast<size_t>(beam_size) * vocab);
+  DecodeWorkspace ws;
 
   for (int t = 0; t < max_len; ++t) {
     const int nb = static_cast<int>(beams.size());
-    // Embed the last token of each live hypothesis.
+    std::vector<StepSlot> slots(static_cast<size_t>(nb));
     for (int b = 0; b < nb; ++b) {
-      const int tok = beams[static_cast<size_t>(b)].tokens.back();
-      TT_CHECK_GE(tok, 0);
-      TT_CHECK_LT(tok, vocab);
-      const float* wv =
-          weights_.embedding.word.data<float>() + static_cast<long>(tok) * H;
-      const float* pv = weights_.embedding.position.data<float>() +
-                        static_cast<long>(std::min(t, config_.max_pos - 1)) *
-                            H;
-      for (int i = 0; i < H; ++i) x[static_cast<size_t>(b) * H + i] = wv[i] + pv[i];
+      slots[static_cast<size_t>(b)] = StepSlot{
+          beams[static_cast<size_t>(b)].tokens.back(), t,
+          &caches[static_cast<size_t>(b)]};
     }
-    kernels::layernorm(x.data(), x.data(),
-                       weights_.embedding.ln_gamma.data<float>(),
-                       weights_.embedding.ln_beta.data<float>(), nb, H);
-
-    for (int layer = 0; layer < L; ++layer) {
-      const auto& w = weights_.layers[static_cast<size_t>(layer)];
-      auto& ck = state.self_k[static_cast<size_t>(layer)];
-      auto& cv = state.self_v[static_cast<size_t>(layer)];
-
-      // --- cached causal self-attention ---
-      std::copy(x.begin(), x.begin() + static_cast<long>(nb) * H,
-                resid.begin());
-      kernels::gemm(x.data(), w.self_qkv_weight.data<float>(), qkv.data(), nb,
-                    3 * H, H);
-      kernels::add_bias(qkv.data(), w.self_qkv_bias.data<float>(), nb, 3 * H);
-      for (int b = 0; b < nb; ++b) {
-        for (int h = 0; h < heads; ++h) {
-          const float* qrow = &qkv[(static_cast<size_t>(b) * 3 + 0) * H +
-                                   static_cast<size_t>(h) * d];
-          const float* krow = &qkv[(static_cast<size_t>(b) * 3 + 1) * H +
-                                   static_cast<size_t>(h) * d];
-          const float* vrow = &qkv[(static_cast<size_t>(b) * 3 + 2) * H +
-                                   static_cast<size_t>(h) * d];
-          float* kc = &ck[((static_cast<size_t>(b) * heads + h) * max_len + t) *
-                          d];
-          float* vc = &cv[((static_cast<size_t>(b) * heads + h) * max_len + t) *
-                          d];
-          std::copy(krow, krow + d, kc);
-          std::copy(vrow, vrow + d, vc);
-          // Scores over the cache [0..t].
-          std::vector<float> scores(static_cast<size_t>(t) + 1);
-          for (int u = 0; u <= t; ++u) {
-            const float* ku =
-                &ck[((static_cast<size_t>(b) * heads + h) * max_len + u) * d];
-            float acc = 0.0f;
-            for (int dd = 0; dd < d; ++dd) acc += qrow[dd] * ku[dd];
-            scores[static_cast<size_t>(u)] = acc;
-          }
-          kernels::softmax_rows(scores.data(), 1, t + 1, scale);
-          float* out = &attn[static_cast<size_t>(b) * H +
-                             static_cast<size_t>(h) * d];
-          std::fill(out, out + d, 0.0f);
-          for (int u = 0; u <= t; ++u) {
-            const float* vu =
-                &cv[((static_cast<size_t>(b) * heads + h) * max_len + u) * d];
-            const float p = scores[static_cast<size_t>(u)];
-            for (int dd = 0; dd < d; ++dd) out[dd] += p * vu[dd];
-          }
-        }
-      }
-      kernels::gemm(attn.data(), w.self_out_weight.data<float>(), proj.data(),
-                    nb, H, H);
-      kernels::add_bias_layernorm(x.data(), proj.data(), resid.data(),
-                                  w.self_out_bias.data<float>(),
-                                  w.ln1_gamma.data<float>(),
-                                  w.ln1_beta.data<float>(), nb, H);
-
-      // --- cross-attention over the encoder memory ---
-      std::copy(x.begin(), x.begin() + static_cast<long>(nb) * H,
-                resid.begin());
-      kernels::gemm(x.data(), w.cross_q_weight.data<float>(), proj.data(), nb,
-                    H, H);
-      kernels::add_bias(proj.data(), w.cross_q_bias.data<float>(), nb, H);
-      const auto& xk = state.cross_k[static_cast<size_t>(layer)];
-      const auto& xv = state.cross_v[static_cast<size_t>(layer)];
-      for (int b = 0; b < nb; ++b) {
-        for (int h = 0; h < heads; ++h) {
-          const float* qrow =
-              &proj[static_cast<size_t>(b) * H + static_cast<size_t>(h) * d];
-          std::vector<float> scores(static_cast<size_t>(s_src));
-          for (int s = 0; s < s_src; ++s) {
-            const float* ks = &xk[(static_cast<size_t>(h) * s_src + s) * d];
-            float acc = 0.0f;
-            for (int dd = 0; dd < d; ++dd) acc += qrow[dd] * ks[dd];
-            scores[static_cast<size_t>(s)] = acc;
-          }
-          kernels::softmax_rows(scores.data(), 1, s_src, scale);
-          float* out = &attn[static_cast<size_t>(b) * H +
-                             static_cast<size_t>(h) * d];
-          std::fill(out, out + d, 0.0f);
-          for (int s = 0; s < s_src; ++s) {
-            const float* vs = &xv[(static_cast<size_t>(h) * s_src + s) * d];
-            const float p = scores[static_cast<size_t>(s)];
-            for (int dd = 0; dd < d; ++dd) out[dd] += p * vs[dd];
-          }
-        }
-      }
-      kernels::gemm(attn.data(), w.cross_out_weight.data<float>(),
-                    proj.data(), nb, H, H);
-      kernels::add_bias_layernorm(x.data(), proj.data(), resid.data(),
-                                  w.cross_out_bias.data<float>(),
-                                  w.ln2_gamma.data<float>(),
-                                  w.ln2_beta.data<float>(), nb, H);
-
-      // --- feed-forward ---
-      std::copy(x.begin(), x.begin() + static_cast<long>(nb) * H,
-                resid.begin());
-      kernels::gemm(x.data(), w.inter_weight.data<float>(), inter.data(), nb,
-                    I, H);
-      kernels::add_bias_gelu(inter.data(), w.inter_bias.data<float>(), nb, I);
-      kernels::gemm(inter.data(), w.out_weight.data<float>(), proj.data(), nb,
-                    H, I);
-      kernels::add_bias_layernorm(x.data(), proj.data(), resid.data(),
-                                  w.out_bias.data<float>(),
-                                  w.ln3_gamma.data<float>(),
-                                  w.ln3_beta.data<float>(), nb, H);
-    }
-
-    // --- vocabulary projection + beam expansion ---
-    kernels::gemm(x.data(), weights_.output_proj.data<float>(), logits.data(),
-                  nb, vocab, H);
+    step(slots, logits.data(), ws);
     for (int b = 0; b < nb; ++b) {
       log_softmax_row(&logits[static_cast<size_t>(b) * vocab], vocab);
     }
@@ -266,23 +328,13 @@ Hypothesis Seq2SeqDecoder::decode(const Tensor& memory, int max_len,
     }
     if (next.empty()) break;
 
-    // Reorder self-attention caches to follow surviving hypotheses.
-    const long slice = static_cast<long>(heads) * max_len * d;
-    for (int layer = 0; layer < L; ++layer) {
-      auto& ck = state.self_k[static_cast<size_t>(layer)];
-      auto& cv = state.self_v[static_cast<size_t>(layer)];
-      std::vector<float> nk(ck.size()), nv(cv.size());
-      for (size_t b = 0; b < next.size(); ++b) {
-        const long src = static_cast<long>(parents[b]) * slice;
-        const long dst = static_cast<long>(b) * slice;
-        std::copy(ck.begin() + src, ck.begin() + src + slice,
-                  nk.begin() + dst);
-        std::copy(cv.begin() + src, cv.begin() + src + slice,
-                  nv.begin() + dst);
-      }
-      ck = std::move(nk);
-      cv = std::move(nv);
+    // Self-attention caches follow surviving hypotheses (cross K/V shared).
+    std::vector<DenseKvCache> next_caches;
+    next_caches.reserve(next.size());
+    for (size_t b = 0; b < next.size(); ++b) {
+      next_caches.push_back(caches[static_cast<size_t>(parents[b])]);
     }
+    caches = std::move(next_caches);
     beams = std::move(next);
   }
 

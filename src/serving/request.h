@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace turbo::serving {
@@ -20,5 +21,32 @@ struct Response {
   int batch_size = 0;        // batch the request was served in
   int padded_length = 0;     // padded length of that batch
 };
+
+// One generation (seq2seq decode) request for the iteration-level serving
+// path in src/genserve: encode `src_tokens`, then decode autoregressively
+// until EOS or `max_new_tokens`.
+struct GenerationRequest {
+  int64_t id = 0;
+  std::vector<int> src_tokens;
+  int max_new_tokens = 32;
+  int bos_id = 1;
+  int eos_id = 2;
+};
+
+struct GenerationResponse {
+  int64_t request_id = 0;
+  std::vector<int> tokens;   // generated tokens, excluding BOS and EOS
+  int steps = 0;             // decode steps consumed (== tokens fed)
+  int src_len = 0;
+  bool hit_max_len = false;  // stopped by max_new_tokens, not EOS
+  double latency_ms = 0.0;   // admission -> completion, server clock
+};
+
+// Streaming hook: invoked once per decoded token, in decode order, from
+// the serving thread. Every decoded token is streamed, including a
+// terminating EOS (whose call carries is_last = true); a sequence stopped
+// by max_new_tokens instead carries is_last on its final content token.
+using TokenCallback =
+    std::function<void(int64_t request_id, int token, int step, bool is_last)>;
 
 }  // namespace turbo::serving

@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "genserve/generation_server.h"
+#include "genserve/kv_cache_pool.h"
+#include "model/decoder.h"
+#include "model/encoder.h"
+
+namespace turbo::genserve {
+namespace {
+
+model::ModelConfig tiny() { return model::ModelConfig::tiny(2, 32, 2, 64, 50); }
+
+KvPoolOptions small_pool() {
+  KvPoolOptions o;
+  o.block_tokens = 4;
+  o.blocks_per_slab = 8;
+  return o;
+}
+
+serving::GenerationRequest make_request(Rng& rng, int64_t id, int src_len,
+                                        int max_new) {
+  serving::GenerationRequest r;
+  r.id = id;
+  r.src_tokens = rng.token_ids(src_len, 50);
+  r.max_new_tokens = max_new;
+  r.bos_id = 1;
+  r.eos_id = 2;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// KvCachePool
+// ---------------------------------------------------------------------------
+
+TEST(KvCachePool, AdmitGrowReleaseAccounting) {
+  KvCachePool pool(tiny(), small_pool());
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+  EXPECT_EQ(pool.active_sequences(), 0);
+
+  // bt=4, L=2: s_src=6 -> 2 cross blocks/layer, max_new=8 -> reserve
+  // 2 self blocks/layer; admit materializes cross + 1 self per layer.
+  auto seq = pool.admit(7, /*s_src=*/6, /*max_new_tokens=*/8);
+  EXPECT_EQ(pool.blocks_reserved(), 8u);
+  EXPECT_EQ(pool.blocks_in_use(), 6u);
+  EXPECT_EQ(pool.active_sequences(), 1);
+  EXPECT_EQ(seq->capacity_tokens(), 4);
+
+  // Growth within the first block is free; crossing the boundary adds one
+  // block per layer.
+  pool.ensure_token(*seq, 3);
+  EXPECT_EQ(pool.blocks_in_use(), 6u);
+  pool.ensure_token(*seq, 4);
+  EXPECT_EQ(pool.blocks_in_use(), 8u);
+  EXPECT_EQ(seq->capacity_tokens(), 8);
+  EXPECT_LE(pool.blocks_in_use(), pool.blocks_reserved());
+
+  const size_t peak = pool.stats().peak_device_bytes;
+  EXPECT_GT(peak, 0u);
+
+  // Release: everything returns, empty slabs are freed, footprint drops.
+  seq.reset();
+  EXPECT_EQ(pool.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.blocks_reserved(), 0u);
+  EXPECT_EQ(pool.active_sequences(), 0);
+  EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+  EXPECT_EQ(pool.num_slabs(), 0);
+  EXPECT_EQ(pool.stats().peak_device_bytes, peak);
+}
+
+TEST(KvCachePool, CapacityIsNeverExceeded) {
+  KvPoolOptions opts = small_pool();
+  KvCachePool probe(tiny(), small_pool());
+  opts.max_bytes = 8 * probe.block_bytes();  // exactly one slab
+  KvCachePool pool(tiny(), opts);
+
+  ASSERT_TRUE(pool.can_admit(6, 8));  // needs all 8 blocks
+  auto seq = pool.admit(1, 6, 8);
+  EXPECT_FALSE(pool.can_admit(1, 1));
+  EXPECT_THROW(pool.admit(2, 1, 1), CheckError);
+
+  seq.reset();
+  EXPECT_TRUE(pool.can_admit(6, 8));
+  auto seq2 = pool.admit(3, 6, 8);
+  EXPECT_LE(pool.stats().current_device_bytes, opts.max_bytes);
+}
+
+TEST(KvCachePool, SequencesDoNotAlias) {
+  const auto config = tiny();
+  KvCachePool pool(config, small_pool());
+  auto a = pool.admit(1, 5, 8);
+  auto b = pool.admit(2, 3, 8);
+
+  const int H = config.hidden;
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    for (int t = 0; t < 8; ++t) {
+      pool.ensure_token(*a, t);
+      pool.ensure_token(*b, t);
+      std::fill(a->self_k(layer, t), a->self_k(layer, t) + H, 1.0f);
+      std::fill(b->self_k(layer, t), b->self_k(layer, t) + H, 2.0f);
+      std::fill(a->self_v(layer, t), a->self_v(layer, t) + H, 3.0f);
+      std::fill(b->self_v(layer, t), b->self_v(layer, t) + H, 4.0f);
+    }
+    for (int s = 0; s < a->src_len(); ++s) {
+      std::fill(a->cross_k(layer, s), a->cross_k(layer, s) + H, 5.0f);
+    }
+    for (int s = 0; s < b->src_len(); ++s) {
+      std::fill(b->cross_k(layer, s), b->cross_k(layer, s) + H, 6.0f);
+    }
+  }
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    for (int t = 0; t < 8; ++t) {
+      EXPECT_EQ(a->self_k(layer, t)[0], 1.0f);
+      EXPECT_EQ(b->self_k(layer, t)[H - 1], 2.0f);
+      EXPECT_EQ(a->self_v(layer, t)[0], 3.0f);
+      EXPECT_EQ(b->self_v(layer, t)[H - 1], 4.0f);
+    }
+    for (int s = 0; s < a->src_len(); ++s) {
+      EXPECT_EQ(a->cross_k(layer, s)[0], 5.0f);
+    }
+    for (int s = 0; s < b->src_len(); ++s) {
+      EXPECT_EQ(b->cross_k(layer, s)[0], 6.0f);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Step decoding over pool caches matches whole-sentence greedy decode
+// ---------------------------------------------------------------------------
+
+TEST(StepDecoding, PooledGreedyMatchesBeamOneDecode) {
+  const auto config = tiny();
+  model::Seq2SeqDecoder decoder(config, 29);
+  Rng rng(11);
+  const int s_src = 7;
+  const int max_new = 10;
+  Tensor memory = Tensor::owned(Shape{s_src, config.hidden});
+  rng.fill_normal(memory.data<float>(), static_cast<size_t>(memory.numel()),
+                  0.0f, 1.0f);
+
+  const auto reference = decoder.decode(memory, max_new, 1, 2, 1);
+
+  KvCachePool pool(config, small_pool());
+  auto kv = pool.admit(1, s_src, max_new);
+  decoder.init_cross_attention(memory, *kv);
+
+  std::vector<int> generated;
+  int last = 1;  // BOS
+  std::vector<float> logits(static_cast<size_t>(config.vocab));
+  for (int t = 0; t < max_new; ++t) {
+    pool.ensure_token(*kv, t);
+    decoder.step({{last, t, kv.get()}}, logits.data());
+    const int token = static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+    if (token == 2) break;
+    generated.push_back(token);
+    last = token;
+  }
+
+  // reference.tokens = [BOS, content...]
+  ASSERT_GE(reference.tokens.size(), 1u);
+  const std::vector<int> ref_content(reference.tokens.begin() + 1,
+                                     reference.tokens.end());
+  EXPECT_EQ(generated, ref_content);
+}
+
+// ---------------------------------------------------------------------------
+// GenerationScheduler invariants
+// ---------------------------------------------------------------------------
+
+TEST(GenerationScheduler, RespectsMaxActiveAndServesEveryoneOnce) {
+  GenServerOptions options;
+  options.pool = small_pool();
+  options.scheduler.max_active = 2;
+  GenerationServer server(tiny(), options, 29);
+
+  Rng rng(3);
+  const int n = 6;
+  for (int i = 0; i < n; ++i) {
+    server.submit(make_request(rng, i, 3 + i, 6));
+  }
+
+  int max_seen_active = 0;
+  server.set_step_observer([&](const StepStats& s) {
+    max_seen_active = std::max(max_seen_active, s.active);
+  });
+  const auto responses = server.run_to_completion();
+
+  EXPECT_LE(max_seen_active, 2);
+  EXPECT_EQ(responses.size(), static_cast<size_t>(n));
+  std::vector<int64_t> ids;
+  for (const auto& r : responses) ids.push_back(r.request_id);
+  std::sort(ids.begin(), ids.end());
+  for (int i = 0; i < n; ++i) EXPECT_EQ(ids[static_cast<size_t>(i)], i);
+  EXPECT_EQ(server.scheduler().total_enqueued(), static_cast<size_t>(n));
+  EXPECT_EQ(server.scheduler().total_admitted(), static_cast<size_t>(n));
+  EXPECT_EQ(server.scheduler().total_retired(), static_cast<size_t>(n));
+  EXPECT_TRUE(server.idle());
+  EXPECT_EQ(server.pool().active_sequences(), 0);
+  EXPECT_EQ(server.pool().stats().current_device_bytes, 0u);
+}
+
+TEST(GenerationScheduler, PoolCapacityStagesAdmission) {
+  GenServerOptions options;
+  options.pool = small_pool();
+  // One slab: exactly one (s_src<=4 ? cross 1 : 2, max_new 8) sequence.
+  {
+    KvCachePool probe(tiny(), small_pool());
+    options.pool.max_bytes = 8 * probe.block_bytes();
+  }
+  options.scheduler.max_active = 4;
+  GenerationServer server(tiny(), options, 29);
+
+  Rng rng(4);
+  for (int i = 0; i < 3; ++i) server.submit(make_request(rng, i, 6, 8));
+
+  int max_seen_active = 0;
+  size_t max_device_bytes = 0;
+  server.set_step_observer([&](const StepStats& s) {
+    max_seen_active = std::max(max_seen_active, s.active);
+    max_device_bytes = std::max(max_device_bytes, s.kv_device_bytes);
+  });
+  const auto responses = server.run_to_completion();
+  EXPECT_EQ(responses.size(), 3u);
+  EXPECT_EQ(max_seen_active, 1);  // capacity admits one at a time
+  EXPECT_LE(max_device_bytes, options.pool.max_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Iteration-level batching must not change any sequence's output
+// ---------------------------------------------------------------------------
+
+TEST(GenerationServer, BatchedResultsMatchSoloRuns) {
+  const auto config = tiny();
+  Rng rng(5);
+  std::vector<serving::GenerationRequest> requests;
+  for (int i = 0; i < 5; ++i) {
+    requests.push_back(make_request(rng, i, 3 + 2 * i, 8));
+  }
+
+  // Solo: one server per request.
+  std::map<int64_t, std::vector<int>> solo;
+  for (const auto& r : requests) {
+    GenServerOptions options;
+    options.pool = small_pool();
+    GenerationServer server(config, options, 29);
+    server.submit(r);
+    const auto responses = server.run_to_completion();
+    ASSERT_EQ(responses.size(), 1u);
+    solo[r.id] = responses[0].tokens;
+  }
+
+  // Batched: all through one server with iteration-level batching.
+  GenServerOptions options;
+  options.pool = small_pool();
+  options.scheduler.max_active = 3;
+  GenerationServer server(config, options, 29);
+  for (const auto& r : requests) server.submit(r);
+  const auto responses = server.run_to_completion();
+  ASSERT_EQ(responses.size(), requests.size());
+  for (const auto& resp : responses) {
+    EXPECT_EQ(resp.tokens, solo[resp.request_id])
+        << "request " << resp.request_id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AsyncGenerationServer end-to-end streaming
+// ---------------------------------------------------------------------------
+
+TEST(AsyncGenerationServer, StreamsAndResolvesConcurrentRequests) {
+  GenServerOptions options;
+  options.pool = small_pool();
+  options.scheduler.max_active = 8;
+  auto engine = std::make_unique<GenerationServer>(tiny(), options, 29);
+  AsyncGenerationServer server(std::move(engine));
+
+  struct Stream {
+    std::vector<int> tokens;  // streamed content tokens (EOS excluded)
+    std::vector<int> steps;
+    int last_count = 0;
+  };
+  std::mutex stream_mutex;
+  std::map<int64_t, Stream> streams;
+
+  Rng rng(6);
+  const int n = 10;
+  std::vector<serving::GenerationRequest> requests;
+  std::vector<std::future<serving::GenerationResponse>> futures;
+  for (int i = 0; i < n; ++i) {
+    requests.push_back(make_request(rng, i, 3 + (i % 5) * 2, 5 + (i % 3) * 3));
+  }
+  for (const auto& r : requests) {
+    futures.push_back(server.submit(
+        r, [&, eos = r.eos_id](int64_t id, int token, int step, bool last) {
+          std::lock_guard<std::mutex> lock(stream_mutex);
+          auto& s = streams[id];
+          if (token != eos) s.tokens.push_back(token);
+          s.steps.push_back(step);
+          if (last) ++s.last_count;
+        }));
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const auto resp = futures[static_cast<size_t>(i)].get();
+    EXPECT_EQ(resp.request_id, i);
+    EXPECT_GE(resp.steps, 1);
+    EXPECT_LE(static_cast<int>(resp.tokens.size()),
+              requests[static_cast<size_t>(i)].max_new_tokens);
+    std::lock_guard<std::mutex> lock(stream_mutex);
+    const auto& s = streams[i];
+    // Streamed content tokens match the final response, in order, with
+    // exactly one is_last and strictly increasing step indices.
+    EXPECT_EQ(s.tokens, resp.tokens);
+    EXPECT_EQ(s.last_count, 1);
+    for (size_t k = 1; k < s.steps.size(); ++k) {
+      EXPECT_EQ(s.steps[k], s.steps[k - 1] + 1);
+    }
+  }
+  server.shutdown();
+  EXPECT_EQ(server.served(), static_cast<size_t>(n));
+  const auto snapshot = server.pool_snapshot();
+  EXPECT_EQ(snapshot.active_sequences, 0);
+  EXPECT_EQ(snapshot.device_bytes, 0u);
+  EXPECT_GT(snapshot.peak_device_bytes, 0u);
+}
+
+TEST(AsyncGenerationServer, RejectsSubmitAfterShutdownAndDuplicateIds) {
+  GenServerOptions options;
+  options.pool = small_pool();
+  auto engine = std::make_unique<GenerationServer>(tiny(), options, 29);
+  AsyncGenerationServer server(std::move(engine));
+  Rng rng(7);
+
+  // Hold request 1 open (its first token callback blocks the worker) so
+  // the duplicate submit below cannot race with its completion.
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  std::atomic<bool> gated{false};
+  auto f1 = server.submit(make_request(rng, 1, 4, 4),
+                          [&, gate_future](int64_t, int, int, bool) {
+                            if (!gated.exchange(true)) gate_future.wait();
+                          });
+  EXPECT_THROW(server.submit(make_request(rng, 1, 4, 4)), CheckError);
+  gate.set_value();
+  f1.get();
+  server.shutdown();
+  EXPECT_THROW(server.submit(make_request(rng, 2, 4, 4)), CheckError);
+}
+
+TEST(AsyncGenerationServer, RejectsNeverAdmittableRequestAtSubmit) {
+  GenServerOptions options;
+  options.pool = small_pool();
+  {
+    KvCachePool probe(tiny(), small_pool());
+    options.pool.max_bytes = 8 * probe.block_bytes();  // one slab = 8 blocks
+  }
+  auto engine = std::make_unique<GenerationServer>(tiny(), options, 29);
+  AsyncGenerationServer server(std::move(engine));
+  Rng rng(8);
+
+  // Worst case 2*(2+10) = 24 blocks > 8: impossible ever to admit. Must
+  // throw on the client thread instead of wedging the queue forever.
+  EXPECT_THROW(server.submit(make_request(rng, 1, 6, 40)), CheckError);
+  // Out-of-vocab source tokens must also fail at submit, not crash the
+  // worker mid-serving.
+  auto bad = make_request(rng, 3, 4, 4);
+  bad.src_tokens[0] = 9999;
+  EXPECT_THROW(server.submit(std::move(bad)), CheckError);
+  // A feasible request behind it still gets served.
+  auto f = server.submit(make_request(rng, 2, 6, 8));
+  EXPECT_EQ(f.get().request_id, 2);
+  server.shutdown();
+}
+
+TEST(GenerationScheduler, CostTableSmallerThanMaxActiveDoesNotAbort) {
+  GenServerOptions options;
+  options.pool = small_pool();
+  options.scheduler.max_active = 4;
+  options.scheduler.max_step_cost_ms = 1e9;  // budget on, never binding
+  // Warm-up grid caps at batch 2 < max_active: admission must clamp the
+  // lookup, not crash.
+  options.cost_table = serving::CostTable::warmup(
+      [](int len, int batch) { return 0.1 + 0.01 * len * batch; }, 64, 2, 8);
+  GenerationServer server(tiny(), options, 29);
+  Rng rng(9);
+  for (int i = 0; i < 6; ++i) server.submit(make_request(rng, i, 4, 4));
+  int max_seen_active = 0;
+  server.set_step_observer([&](const StepStats& s) {
+    max_seen_active = std::max(max_seen_active, s.active);
+  });
+  EXPECT_EQ(server.run_to_completion().size(), 6u);
+  EXPECT_EQ(max_seen_active, 4);
+}
+
+}  // namespace
+}  // namespace turbo::genserve
