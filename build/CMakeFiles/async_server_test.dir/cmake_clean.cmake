@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_server_test.dir/tests/async_server_test.cc.o"
+  "CMakeFiles/async_server_test.dir/tests/async_server_test.cc.o.d"
+  "async_server_test"
+  "async_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_allocator.dir/bench/ablation_allocator.cc.o"
+  "CMakeFiles/bench_ablation_allocator.dir/bench/ablation_allocator.cc.o.d"
+  "bench_ablation_allocator"
+  "bench_ablation_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_xelem.dir/bench/ablation_xelem.cc.o"
+  "CMakeFiles/bench_ablation_xelem.dir/bench/ablation_xelem.cc.o.d"
+  "bench_ablation_xelem"
+  "bench_ablation_xelem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_xelem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

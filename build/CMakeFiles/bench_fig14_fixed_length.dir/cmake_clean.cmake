@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_fixed_length.dir/bench/fig14_fixed_length.cc.o"
+  "CMakeFiles/bench_fig14_fixed_length.dir/bench/fig14_fixed_length.cc.o.d"
+  "bench_fig14_fixed_length"
+  "bench_fig14_fixed_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_fixed_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

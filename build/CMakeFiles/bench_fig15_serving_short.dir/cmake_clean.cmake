@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_serving_short.dir/bench/fig15_serving_short.cc.o"
+  "CMakeFiles/bench_fig15_serving_short.dir/bench/fig15_serving_short.cc.o.d"
+  "bench_fig15_serving_short"
+  "bench_fig15_serving_short.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_serving_short.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_serving_long.dir/bench/fig16_serving_long.cc.o"
+  "CMakeFiles/bench_fig16_serving_long.dir/bench/fig16_serving_long.cc.o.d"
+  "bench_fig16_serving_long"
+  "bench_fig16_serving_long.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_serving_long.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_batch_reduction.dir/bench/fig5_batch_reduction.cc.o"
+  "CMakeFiles/bench_fig5_batch_reduction.dir/bench/fig5_batch_reduction.cc.o.d"
+  "bench_fig5_batch_reduction"
+  "bench_fig5_batch_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_batch_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

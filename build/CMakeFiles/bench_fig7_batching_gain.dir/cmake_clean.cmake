@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_batching_gain.dir/bench/fig7_batching_gain.cc.o"
+  "CMakeFiles/bench_fig7_batching_gain.dir/bench/fig7_batching_gain.cc.o.d"
+  "bench_fig7_batching_gain"
+  "bench_fig7_batching_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_batching_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

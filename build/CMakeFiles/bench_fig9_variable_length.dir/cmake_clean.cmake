@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_variable_length.dir/bench/fig9_variable_length.cc.o"
+  "CMakeFiles/bench_fig9_variable_length.dir/bench/fig9_variable_length.cc.o.d"
+  "bench_fig9_variable_length"
+  "bench_fig9_variable_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_variable_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gen_serving.dir/bench/gen_serving.cc.o"
+  "CMakeFiles/bench_gen_serving.dir/bench/gen_serving.cc.o.d"
+  "bench_gen_serving"
+  "bench_gen_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gen_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

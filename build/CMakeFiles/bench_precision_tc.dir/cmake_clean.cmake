@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precision_tc.dir/bench/precision_tc.cc.o"
+  "CMakeFiles/bench_precision_tc.dir/bench/precision_tc.cc.o.d"
+  "bench_precision_tc"
+  "bench_precision_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precision_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_reduction_share.dir/bench/table2_reduction_share.cc.o"
+  "CMakeFiles/bench_table2_reduction_share.dir/bench/table2_reduction_share.cc.o.d"
+  "bench_table2_reduction_share"
+  "bench_table2_reduction_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_reduction_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

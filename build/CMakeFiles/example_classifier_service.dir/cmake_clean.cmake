@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_classifier_service.dir/examples/classifier_service.cpp.o"
+  "CMakeFiles/example_classifier_service.dir/examples/classifier_service.cpp.o.d"
+  "example_classifier_service"
+  "example_classifier_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_classifier_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

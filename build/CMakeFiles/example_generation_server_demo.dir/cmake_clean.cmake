@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_generation_server_demo.dir/examples/generation_server_demo.cpp.o"
+  "CMakeFiles/example_generation_server_demo.dir/examples/generation_server_demo.cpp.o.d"
+  "example_generation_server_demo"
+  "example_generation_server_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_generation_server_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_generation_server_demo.
+# This may be replaced when dependencies are built.

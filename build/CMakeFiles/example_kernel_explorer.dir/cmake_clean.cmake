@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kernel_explorer.dir/examples/kernel_explorer.cpp.o"
+  "CMakeFiles/example_kernel_explorer.dir/examples/kernel_explorer.cpp.o.d"
+  "example_kernel_explorer"
+  "example_kernel_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kernel_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_memory_planner_demo.dir/examples/memory_planner_demo.cpp.o"
+  "CMakeFiles/example_memory_planner_demo.dir/examples/memory_planner_demo.cpp.o.d"
+  "example_memory_planner_demo"
+  "example_memory_planner_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_memory_planner_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

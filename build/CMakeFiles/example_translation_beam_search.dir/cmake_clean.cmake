@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_translation_beam_search.dir/examples/translation_beam_search.cpp.o"
+  "CMakeFiles/example_translation_beam_search.dir/examples/translation_beam_search.cpp.o.d"
+  "example_translation_beam_search"
+  "example_translation_beam_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_translation_beam_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

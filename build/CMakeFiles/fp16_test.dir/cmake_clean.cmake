@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp16_test.dir/tests/fp16_test.cc.o"
+  "CMakeFiles/fp16_test.dir/tests/fp16_test.cc.o.d"
+  "fp16_test"
+  "fp16_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp16_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

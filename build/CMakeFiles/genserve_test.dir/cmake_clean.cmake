@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genserve_test.dir/tests/genserve_test.cc.o"
+  "CMakeFiles/genserve_test.dir/tests/genserve_test.cc.o.d"
+  "genserve_test"
+  "genserve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genserve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpukernels_test.dir/tests/gpukernels_test.cc.o"
+  "CMakeFiles/gpukernels_test.dir/tests/gpukernels_test.cc.o.d"
+  "gpukernels_test"
+  "gpukernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpukernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

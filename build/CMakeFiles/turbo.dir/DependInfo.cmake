@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/aligned_buffer.cc" "CMakeFiles/turbo.dir/src/common/aligned_buffer.cc.o" "gcc" "CMakeFiles/turbo.dir/src/common/aligned_buffer.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/turbo.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/turbo.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/turbo.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/turbo.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/turbo.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/turbo.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/turbo.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/turbo.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/genserve/generation_scheduler.cc" "CMakeFiles/turbo.dir/src/genserve/generation_scheduler.cc.o" "gcc" "CMakeFiles/turbo.dir/src/genserve/generation_scheduler.cc.o.d"
+  "/root/repo/src/genserve/generation_server.cc" "CMakeFiles/turbo.dir/src/genserve/generation_server.cc.o" "gcc" "CMakeFiles/turbo.dir/src/genserve/generation_server.cc.o.d"
+  "/root/repo/src/genserve/kv_cache_pool.cc" "CMakeFiles/turbo.dir/src/genserve/kv_cache_pool.cc.o" "gcc" "CMakeFiles/turbo.dir/src/genserve/kv_cache_pool.cc.o.d"
+  "/root/repo/src/gpukernels/block_reduce.cc" "CMakeFiles/turbo.dir/src/gpukernels/block_reduce.cc.o" "gcc" "CMakeFiles/turbo.dir/src/gpukernels/block_reduce.cc.o.d"
+  "/root/repo/src/gpukernels/layernorm_sim.cc" "CMakeFiles/turbo.dir/src/gpukernels/layernorm_sim.cc.o" "gcc" "CMakeFiles/turbo.dir/src/gpukernels/layernorm_sim.cc.o.d"
+  "/root/repo/src/gpukernels/softmax_sim.cc" "CMakeFiles/turbo.dir/src/gpukernels/softmax_sim.cc.o" "gcc" "CMakeFiles/turbo.dir/src/gpukernels/softmax_sim.cc.o.d"
+  "/root/repo/src/gpusim/block.cc" "CMakeFiles/turbo.dir/src/gpusim/block.cc.o" "gcc" "CMakeFiles/turbo.dir/src/gpusim/block.cc.o.d"
+  "/root/repo/src/gpusim/device_spec.cc" "CMakeFiles/turbo.dir/src/gpusim/device_spec.cc.o" "gcc" "CMakeFiles/turbo.dir/src/gpusim/device_spec.cc.o.d"
+  "/root/repo/src/gpusim/interpreter.cc" "CMakeFiles/turbo.dir/src/gpusim/interpreter.cc.o" "gcc" "CMakeFiles/turbo.dir/src/gpusim/interpreter.cc.o.d"
+  "/root/repo/src/gpusim/launch.cc" "CMakeFiles/turbo.dir/src/gpusim/launch.cc.o" "gcc" "CMakeFiles/turbo.dir/src/gpusim/launch.cc.o.d"
+  "/root/repo/src/gpusim/warp.cc" "CMakeFiles/turbo.dir/src/gpusim/warp.cc.o" "gcc" "CMakeFiles/turbo.dir/src/gpusim/warp.cc.o.d"
+  "/root/repo/src/graph/builders.cc" "CMakeFiles/turbo.dir/src/graph/builders.cc.o" "gcc" "CMakeFiles/turbo.dir/src/graph/builders.cc.o.d"
+  "/root/repo/src/graph/fusion.cc" "CMakeFiles/turbo.dir/src/graph/fusion.cc.o" "gcc" "CMakeFiles/turbo.dir/src/graph/fusion.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/turbo.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/turbo.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/kernels/elementwise.cc" "CMakeFiles/turbo.dir/src/kernels/elementwise.cc.o" "gcc" "CMakeFiles/turbo.dir/src/kernels/elementwise.cc.o.d"
+  "/root/repo/src/kernels/embedding.cc" "CMakeFiles/turbo.dir/src/kernels/embedding.cc.o" "gcc" "CMakeFiles/turbo.dir/src/kernels/embedding.cc.o.d"
+  "/root/repo/src/kernels/fp16.cc" "CMakeFiles/turbo.dir/src/kernels/fp16.cc.o" "gcc" "CMakeFiles/turbo.dir/src/kernels/fp16.cc.o.d"
+  "/root/repo/src/kernels/gemm.cc" "CMakeFiles/turbo.dir/src/kernels/gemm.cc.o" "gcc" "CMakeFiles/turbo.dir/src/kernels/gemm.cc.o.d"
+  "/root/repo/src/kernels/reduction.cc" "CMakeFiles/turbo.dir/src/kernels/reduction.cc.o" "gcc" "CMakeFiles/turbo.dir/src/kernels/reduction.cc.o.d"
+  "/root/repo/src/memory/allocator.cc" "CMakeFiles/turbo.dir/src/memory/allocator.cc.o" "gcc" "CMakeFiles/turbo.dir/src/memory/allocator.cc.o.d"
+  "/root/repo/src/memory/dynamic_allocators.cc" "CMakeFiles/turbo.dir/src/memory/dynamic_allocators.cc.o" "gcc" "CMakeFiles/turbo.dir/src/memory/dynamic_allocators.cc.o.d"
+  "/root/repo/src/memory/gsoc_planner.cc" "CMakeFiles/turbo.dir/src/memory/gsoc_planner.cc.o" "gcc" "CMakeFiles/turbo.dir/src/memory/gsoc_planner.cc.o.d"
+  "/root/repo/src/memory/model_aware_allocator.cc" "CMakeFiles/turbo.dir/src/memory/model_aware_allocator.cc.o" "gcc" "CMakeFiles/turbo.dir/src/memory/model_aware_allocator.cc.o.d"
+  "/root/repo/src/model/classifier.cc" "CMakeFiles/turbo.dir/src/model/classifier.cc.o" "gcc" "CMakeFiles/turbo.dir/src/model/classifier.cc.o.d"
+  "/root/repo/src/model/decoder.cc" "CMakeFiles/turbo.dir/src/model/decoder.cc.o" "gcc" "CMakeFiles/turbo.dir/src/model/decoder.cc.o.d"
+  "/root/repo/src/model/encoder.cc" "CMakeFiles/turbo.dir/src/model/encoder.cc.o" "gcc" "CMakeFiles/turbo.dir/src/model/encoder.cc.o.d"
+  "/root/repo/src/model/serialization.cc" "CMakeFiles/turbo.dir/src/model/serialization.cc.o" "gcc" "CMakeFiles/turbo.dir/src/model/serialization.cc.o.d"
+  "/root/repo/src/model/weights.cc" "CMakeFiles/turbo.dir/src/model/weights.cc.o" "gcc" "CMakeFiles/turbo.dir/src/model/weights.cc.o.d"
+  "/root/repo/src/perfmodel/kernel_cost.cc" "CMakeFiles/turbo.dir/src/perfmodel/kernel_cost.cc.o" "gcc" "CMakeFiles/turbo.dir/src/perfmodel/kernel_cost.cc.o.d"
+  "/root/repo/src/perfmodel/model_latency.cc" "CMakeFiles/turbo.dir/src/perfmodel/model_latency.cc.o" "gcc" "CMakeFiles/turbo.dir/src/perfmodel/model_latency.cc.o.d"
+  "/root/repo/src/perfmodel/runtime_profile.cc" "CMakeFiles/turbo.dir/src/perfmodel/runtime_profile.cc.o" "gcc" "CMakeFiles/turbo.dir/src/perfmodel/runtime_profile.cc.o.d"
+  "/root/repo/src/serving/async_server.cc" "CMakeFiles/turbo.dir/src/serving/async_server.cc.o" "gcc" "CMakeFiles/turbo.dir/src/serving/async_server.cc.o.d"
+  "/root/repo/src/serving/cost_table.cc" "CMakeFiles/turbo.dir/src/serving/cost_table.cc.o" "gcc" "CMakeFiles/turbo.dir/src/serving/cost_table.cc.o.d"
+  "/root/repo/src/serving/load_balancer.cc" "CMakeFiles/turbo.dir/src/serving/load_balancer.cc.o" "gcc" "CMakeFiles/turbo.dir/src/serving/load_balancer.cc.o.d"
+  "/root/repo/src/serving/model_registry.cc" "CMakeFiles/turbo.dir/src/serving/model_registry.cc.o" "gcc" "CMakeFiles/turbo.dir/src/serving/model_registry.cc.o.d"
+  "/root/repo/src/serving/response_cache.cc" "CMakeFiles/turbo.dir/src/serving/response_cache.cc.o" "gcc" "CMakeFiles/turbo.dir/src/serving/response_cache.cc.o.d"
+  "/root/repo/src/serving/scheduler.cc" "CMakeFiles/turbo.dir/src/serving/scheduler.cc.o" "gcc" "CMakeFiles/turbo.dir/src/serving/scheduler.cc.o.d"
+  "/root/repo/src/serving/server.cc" "CMakeFiles/turbo.dir/src/serving/server.cc.o" "gcc" "CMakeFiles/turbo.dir/src/serving/server.cc.o.d"
+  "/root/repo/src/serving/simulator.cc" "CMakeFiles/turbo.dir/src/serving/simulator.cc.o" "gcc" "CMakeFiles/turbo.dir/src/serving/simulator.cc.o.d"
+  "/root/repo/src/serving/workload.cc" "CMakeFiles/turbo.dir/src/serving/workload.cc.o" "gcc" "CMakeFiles/turbo.dir/src/serving/workload.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "CMakeFiles/turbo.dir/src/tensor/tensor.cc.o" "gcc" "CMakeFiles/turbo.dir/src/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
