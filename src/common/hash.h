@@ -1,0 +1,22 @@
+// Shared hashing helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace turbo {
+
+// FNV-1a over a token-id stream. Used wherever a token sequence keys a
+// cache (serving::ResponseCache responses, genserve::KvCachePool prompt
+// shares); collisions are resolved by the callers' exact compares, so this
+// only needs to spread well, not be collision-free.
+inline uint64_t fnv1a_tokens(const std::vector<int>& tokens) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const int t : tokens) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(t));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace turbo

@@ -65,7 +65,11 @@ std::vector<ActiveSequence*> GenerationScheduler::admit(double now_s) {
          static_cast<int>(active_.size()) < options_.max_active) {
     const serving::GenerationRequest& head = queue_.front();
     const int s_src = static_cast<int>(head.src_tokens.size());
-    if (!pool_->can_admit(s_src, head.max_new_tokens)) break;
+    // Charge only the request's *unshared* worst case: when its prompt is
+    // already resident in the pool, the cross blocks are mapped to the live
+    // share (counted once however many sequences read them) and only the
+    // self-block budget is marginal.
+    if (!pool_->can_admit_prompt(head.src_tokens, head.max_new_tokens)) break;
     if (options_.max_step_cost_ms > 0.0) {
       const int ctx = std::max(max_ctx, s_src + head.max_new_tokens);
       if (predicted_step_cost_ms(ctx, static_cast<int>(active_.size()) + 1) >
@@ -80,7 +84,10 @@ std::vector<ActiveSequence*> GenerationScheduler::admit(double now_s) {
     auto seq = std::make_unique<ActiveSequence>();
     seq->request = std::move(queue_.front());
     queue_.pop_front();
-    seq->kv = pool_->admit(seq->request.id, s_src, seq->request.max_new_tokens);
+    // Prompt-keyed admission: identical prompts share cross blocks, and the
+    // server skips re-encoding when kv->needs_cross_init() is false.
+    seq->kv = pool_->admit(seq->request.id, seq->request.src_tokens,
+                           seq->request.max_new_tokens);
     seq->last_token = seq->request.bos_id;
     seq->admit_s = now_s;
     ++total_admitted_;

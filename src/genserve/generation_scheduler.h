@@ -11,7 +11,9 @@
 // Admission is gated on two resources:
 //  * KV pool capacity — a sequence joins only if its worst-case block
 //    demand fits the pool's reservation budget, so decode can never
-//    deadlock on memory;
+//    deadlock on memory. The demand is marginal: a request whose prompt is
+//    already resident shares those cross blocks (charged once for the whole
+//    group), so only its unshared self-block budget counts;
 //  * the cost table — the predicted fused-step latency at the grown batch
 //    size must stay under `max_step_cost_ms` (the same cached_cost
 //    dictionary the §5 DP consults, applied per iteration instead of per

@@ -77,32 +77,39 @@ int GenerationServer::step() {
   // Iteration-level batch formation: newly admitted sequences run the
   // encoder as one zero-padded variable-length batch (the §4.2 allocator +
   // masking path) and get their cross-attention K/V projected into pool
-  // blocks once.
+  // blocks once. Sequences whose prompt matched a resident share skip the
+  // encoder entirely — their cross blocks are (or are being) filled by the
+  // share's creator, the prefix-sharing fast path.
   const std::vector<ActiveSequence*> admitted = scheduler_.admit(now);
-  if (!admitted.empty()) {
-    const int nb_enc = static_cast<int>(admitted.size());
+  std::vector<ActiveSequence*> to_encode;
+  for (ActiveSequence* seq : admitted) {
+    if (seq->kv->needs_cross_init()) to_encode.push_back(seq);
+  }
+  if (!to_encode.empty()) {
+    const int nb_enc = static_cast<int>(to_encode.size());
     int max_src = 0;
     std::vector<int> valid_lens(static_cast<size_t>(nb_enc));
     for (int b = 0; b < nb_enc; ++b) {
       const int len = static_cast<int>(
-          admitted[static_cast<size_t>(b)]->request.src_tokens.size());
+          to_encode[static_cast<size_t>(b)]->request.src_tokens.size());
       valid_lens[static_cast<size_t>(b)] = len;
       max_src = std::max(max_src, len);
     }
     Tensor ids = Tensor::zeros(Shape{nb_enc, max_src}, DType::kI32);
     for (int b = 0; b < nb_enc; ++b) {
-      const auto& src = admitted[static_cast<size_t>(b)]->request.src_tokens;
+      const auto& src = to_encode[static_cast<size_t>(b)]->request.src_tokens;
       std::copy(src.begin(), src.end(),
                 ids.data<int32_t>() + static_cast<long>(b) * max_src);
     }
     Tensor memory = encoder_.forward(ids, &valid_lens);  // [nb, max_src, H]
     for (int b = 0; b < nb_enc; ++b) {
-      ActiveSequence* seq = admitted[static_cast<size_t>(b)];
+      ActiveSequence* seq = to_encode[static_cast<size_t>(b)];
       Tensor view = Tensor::view(
           memory.data<float>() +
               static_cast<long>(b) * max_src * config_.hidden,
           Shape{valid_lens[static_cast<size_t>(b)], config_.hidden});
       decoder_.init_cross_attention(view, *seq->kv);
+      seq->kv->mark_cross_ready();
     }
   }
 
@@ -171,6 +178,8 @@ int GenerationServer::step() {
     stats.iteration = iteration_;
     stats.active = nb;
     stats.admitted = static_cast<int>(admitted.size());
+    stats.admitted_shared =
+        static_cast<int>(admitted.size() - to_encode.size());
     stats.retired = static_cast<int>(retired.size());
     stats.kv_bytes_in_use = pool_.bytes_in_use();
     stats.kv_device_bytes = pool_.stats().current_device_bytes;

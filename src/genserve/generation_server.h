@@ -51,6 +51,8 @@ struct StepStats {
   int64_t iteration = 0;
   int active = 0;                   // sequences in this fused step
   int admitted = 0;                 // joined this iteration
+  int admitted_shared = 0;          // of those, joined via a prompt match
+                                    // (cross blocks shared, encoder skipped)
   int retired = 0;                  // finished this iteration
   size_t kv_bytes_in_use = 0;       // live sequences' blocks
   size_t kv_device_bytes = 0;       // slab footprint (device reservation)

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace turbo::genserve {
 
@@ -34,8 +36,19 @@ int SequenceKv::capacity_tokens() const {
 size_t SequenceKv::blocks_held() const {
   size_t n = 0;
   for (const auto& layer : self_blocks_) n += layer.size();
-  for (const auto& layer : cross_blocks_) n += layer.size();
+  const auto& share = pool_->shares_.at(share_id_);
+  for (const auto& layer : share.blocks) n += layer.size();
   return n;
+}
+
+bool SequenceKv::needs_cross_init() const {
+  if (!cross_creator_) return false;
+  return !pool_->shares_.at(share_id_).ready;
+}
+
+void SequenceKv::mark_cross_ready() {
+  TT_CHECK(cross_creator_);
+  pool_->shares_.at(share_id_).ready = true;
 }
 
 float* SequenceKv::self_k(int layer, int t) {
@@ -56,7 +69,8 @@ float* SequenceKv::self_v(int layer, int t) {
 
 float* SequenceKv::cross_k(int layer, int s) {
   const int bt = pool_->options_.block_tokens;
-  const auto& blocks = cross_blocks_[static_cast<size_t>(layer)];
+  const auto& blocks =
+      pool_->shares_.at(share_id_).blocks[static_cast<size_t>(layer)];
   TT_CHECK_LT(static_cast<size_t>(s / bt), blocks.size());
   float* base = pool_->block_ptr(blocks[static_cast<size_t>(s / bt)]);
   return base + static_cast<size_t>(s % bt) * pool_->hidden_;
@@ -64,7 +78,8 @@ float* SequenceKv::cross_k(int layer, int s) {
 
 float* SequenceKv::cross_v(int layer, int s) {
   const int bt = pool_->options_.block_tokens;
-  const auto& blocks = cross_blocks_[static_cast<size_t>(layer)];
+  const auto& blocks =
+      pool_->shares_.at(share_id_).blocks[static_cast<size_t>(layer)];
   TT_CHECK_LT(static_cast<size_t>(s / bt), blocks.size());
   float* base = pool_->block_ptr(blocks[static_cast<size_t>(s / bt)]);
   return base + static_cast<size_t>(bt + s % bt) * pool_->hidden_;
@@ -92,15 +107,36 @@ KvCachePool::KvCachePool(const model::ModelConfig& config,
 KvCachePool::~KvCachePool() {
   // Sequences must not outlive the pool; a live one here would dangle.
   TT_CHECK_EQ(active_, 0);
+  TT_CHECK(shares_.empty());
+}
+
+size_t KvCachePool::self_blocks_for(int max_new_tokens) const {
+  TT_CHECK_GE(max_new_tokens, 1);
+  return static_cast<size_t>(num_layers_) *
+         ceil_div(static_cast<size_t>(max_new_tokens),
+                  static_cast<size_t>(options_.block_tokens));
+}
+
+size_t KvCachePool::cross_blocks_for(int s_src) const {
+  TT_CHECK_GE(s_src, 1);
+  return static_cast<size_t>(num_layers_) *
+         ceil_div(static_cast<size_t>(s_src),
+                  static_cast<size_t>(options_.block_tokens));
 }
 
 size_t KvCachePool::blocks_for(int s_src, int max_new_tokens) const {
-  TT_CHECK_GE(s_src, 1);
-  TT_CHECK_GE(max_new_tokens, 1);
-  const size_t bt = static_cast<size_t>(options_.block_tokens);
-  const size_t cross = ceil_div(static_cast<size_t>(s_src), bt);
-  const size_t self = ceil_div(static_cast<size_t>(max_new_tokens), bt);
-  return static_cast<size_t>(num_layers_) * (cross + self);
+  return cross_blocks_for(s_src) + self_blocks_for(max_new_tokens);
+}
+
+size_t KvCachePool::blocks_for_prompt(const std::vector<int>& prompt_tokens,
+                                      int max_new_tokens) const {
+  const int s_src = static_cast<int>(prompt_tokens.size());
+  if (options_.enable_prefix_sharing && find_share(prompt_tokens) >= 0) {
+    // The prompt is resident: its cross blocks (and their reservation) are
+    // already charged to the live share, so only the self side is marginal.
+    return self_blocks_for(max_new_tokens);
+  }
+  return blocks_for(s_src, max_new_tokens);
 }
 
 size_t KvCachePool::max_blocks() const {
@@ -113,63 +149,192 @@ bool KvCachePool::can_admit(int s_src, int max_new_tokens) const {
   return blocks_reserved_ + blocks_for(s_src, max_new_tokens) <= max_blocks();
 }
 
+bool KvCachePool::can_admit_prompt(const std::vector<int>& prompt_tokens,
+                                   int max_new_tokens) const {
+  return blocks_reserved_ + blocks_for_prompt(prompt_tokens, max_new_tokens) <=
+         max_blocks();
+}
+
+uint64_t KvCachePool::prompt_hash(const std::vector<int>& prompt_tokens) {
+  // Exact-match confirmation happens against the stored prompt, so
+  // collisions cost a compare, never correctness.
+  return fnv1a_tokens(prompt_tokens);
+}
+
+int64_t KvCachePool::find_share(const std::vector<int>& prompt_tokens) const {
+  const uint64_t key = prompt_hash(prompt_tokens);
+  const auto [begin, end] = prompt_index_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    const CrossShare& share = shares_.at(it->second);
+    if (share.prompt == prompt_tokens) return it->second;
+  }
+  return -1;
+}
+
+int64_t KvCachePool::create_share(std::vector<int> prompt_tokens, int s_src) {
+  const int64_t id = next_share_id_++;
+  CrossShare share;
+  share.key = prompt_hash(prompt_tokens);
+  share.reserved_blocks = cross_blocks_for(s_src);
+  blocks_reserved_ += share.reserved_blocks;
+  const size_t per_layer =
+      share.reserved_blocks / static_cast<size_t>(num_layers_);
+  share.blocks.resize(static_cast<size_t>(num_layers_));
+  for (auto& layer : share.blocks) {
+    for (size_t i = 0; i < per_layer; ++i) layer.push_back(alloc_block());
+  }
+  if (options_.enable_prefix_sharing && !prompt_tokens.empty()) {
+    prompt_index_.emplace(share.key, id);
+  }
+  share.prompt = std::move(prompt_tokens);
+  shares_.emplace(id, std::move(share));
+  return id;
+}
+
+void KvCachePool::unref_share(int64_t share_id) {
+  CrossShare& share = shares_.at(share_id);
+  TT_CHECK_GT(share.refs, 0);
+  if (--share.refs > 0) return;
+  for (const auto& layer : share.blocks) {
+    for (const int b : layer) unref_block(b);
+  }
+  blocks_reserved_ -= share.reserved_blocks;
+  const auto [begin, end] = prompt_index_.equal_range(share.key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == share_id) {
+      prompt_index_.erase(it);
+      break;
+    }
+  }
+  shares_.erase(share_id);
+}
+
+std::unique_ptr<SequenceKv> KvCachePool::admit_with_share(int64_t seq_id,
+                                                          int s_src,
+                                                          int max_new_tokens,
+                                                          int64_t share_id,
+                                                          bool created_share) {
+  CrossShare& share = shares_.at(share_id);
+  std::unique_ptr<SequenceKv> seq(
+      new SequenceKv(this, seq_id, s_src, max_new_tokens));
+  seq->share_id_ = share_id;
+  ++share.refs;
+  if (!share.ready && !share.creator_live) {
+    // First live admit of this prompt (or the previous creator released
+    // before projecting cross K/V): this sequence owes the init.
+    share.creator_live = true;
+    seq->cross_creator_ = true;
+  }
+  if (!created_share) ++prefix_hits_;
+
+  seq->reserved_blocks_ = self_blocks_for(max_new_tokens);
+  blocks_reserved_ += seq->reserved_blocks_;
+  ++active_;
+
+  seq->self_blocks_.resize(static_cast<size_t>(num_layers_));
+  for (auto& layer : seq->self_blocks_) layer.push_back(alloc_block());
+  TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
+  live_.insert(seq.get());
+  return seq;
+}
+
+std::unique_ptr<SequenceKv> KvCachePool::admit(
+    int64_t seq_id, const std::vector<int>& prompt_tokens,
+    int max_new_tokens) {
+  const int s_src = static_cast<int>(prompt_tokens.size());
+  // Resolve the share once: the same lookup decides both the marginal
+  // demand (shared prompts cost no cross blocks) and the mapping.
+  int64_t share_id =
+      options_.enable_prefix_sharing ? find_share(prompt_tokens) : -1;
+  const bool created = share_id < 0;
+  const size_t marginal = created ? blocks_for(s_src, max_new_tokens)
+                                  : self_blocks_for(max_new_tokens);
+  TT_CHECK_MSG(blocks_reserved_ + marginal <= max_blocks(),
+               "KV pool over capacity admitting sequence " << seq_id);
+  if (created) share_id = create_share(prompt_tokens, s_src);
+  return admit_with_share(seq_id, s_src, max_new_tokens, share_id, created);
+}
+
 std::unique_ptr<SequenceKv> KvCachePool::admit(int64_t seq_id, int s_src,
                                                int max_new_tokens) {
   TT_CHECK_MSG(can_admit(s_src, max_new_tokens),
                "KV pool over capacity admitting sequence " << seq_id);
-  std::unique_ptr<SequenceKv> seq(
-      new SequenceKv(this, seq_id, s_src, max_new_tokens));
-  seq->reserved_blocks_ = blocks_for(s_src, max_new_tokens);
-  blocks_reserved_ += seq->reserved_blocks_;
-  ++active_;
+  // No prompt key: the share is anonymous (never matched), but still owns
+  // the cross blocks so forks of this sequence share them refcounted.
+  const int64_t share_id = create_share({}, s_src);
+  return admit_with_share(seq_id, s_src, max_new_tokens, share_id,
+                          /*created_share=*/true);
+}
 
-  const size_t bt = static_cast<size_t>(options_.block_tokens);
-  const size_t cross_per_layer = ceil_div(static_cast<size_t>(s_src), bt);
-  seq->cross_blocks_.resize(static_cast<size_t>(num_layers_));
-  seq->self_blocks_.resize(static_cast<size_t>(num_layers_));
-  for (int layer = 0; layer < num_layers_; ++layer) {
-    auto& cross = seq->cross_blocks_[static_cast<size_t>(layer)];
-    for (size_t i = 0; i < cross_per_layer; ++i) cross.push_back(alloc_block());
-    seq->self_blocks_[static_cast<size_t>(layer)].push_back(alloc_block());
+bool KvCachePool::can_fork(const SequenceKv& parent) const {
+  return blocks_reserved_ + self_blocks_for(parent.max_new_) <= max_blocks();
+}
+
+std::unique_ptr<SequenceKv> KvCachePool::fork(const SequenceKv& parent,
+                                              int64_t child_id) {
+  TT_CHECK(!parent.released_);
+  TT_CHECK_MSG(can_fork(parent),
+               "KV pool over capacity forking sequence " << parent.id_);
+  std::unique_ptr<SequenceKv> child(
+      new SequenceKv(this, child_id, parent.s_src_, parent.max_new_));
+  child->share_id_ = parent.share_id_;
+  ++shares_.at(parent.share_id_).refs;
+  // Share every materialized self block; the child copies one only when it
+  // first writes into it (ensure_token's CoW barrier).
+  child->self_blocks_ = parent.self_blocks_;
+  for (const auto& layer : child->self_blocks_) {
+    for (const int b : layer) ref_block(b);
   }
-  blocks_in_use_ += seq->blocks_held();
+  child->reserved_blocks_ = self_blocks_for(parent.max_new_);
+  blocks_reserved_ += child->reserved_blocks_;
+  ++active_;
+  ++forks_;
+  live_.insert(child.get());
   TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
-  return seq;
+  return child;
 }
 
 void KvCachePool::ensure_token(SequenceKv& seq, int t) {
   TT_CHECK(!seq.released_);
+  TT_CHECK_GE(t, 0);
   TT_CHECK_LT(t, seq.max_new_);
   const int bt = options_.block_tokens;
   const size_t need = static_cast<size_t>(t / bt) + 1;
-  auto& first = seq.self_blocks_[0];
-  if (first.size() >= need) return;
   for (int layer = 0; layer < num_layers_; ++layer) {
     auto& blocks = seq.self_blocks_[static_cast<size_t>(layer)];
-    while (blocks.size() < need) {
-      blocks.push_back(alloc_block());
-      ++blocks_in_use_;
+    while (blocks.size() < need) blocks.push_back(alloc_block());
+    // Copy-on-write barrier: row t is about to be written, so the block
+    // receiving it must be exclusively owned. Shared history before this
+    // block stays shared.
+    int& target = blocks[need - 1];
+    if (block_refs_[static_cast<size_t>(target)] > 1) {
+      const int fresh = alloc_block();
+      std::copy_n(block_ptr(target), block_floats_, block_ptr(fresh));
+      unref_block(target);
+      target = fresh;
+      ++cow_copies_;
     }
   }
-  // The admission reservation covers the worst case, so growth can never
-  // push usage past it.
+  // The admission reservation covers the worst case (every self block
+  // uniquely owned), so growth and CoW can never push usage past it.
   TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
 }
 
 void KvCachePool::release(SequenceKv& seq) {
   TT_CHECK(!seq.released_);
-  const size_t held = seq.blocks_held();
   for (auto& layer : seq.self_blocks_) {
-    for (int b : layer) free_block(b);
+    for (const int b : layer) unref_block(b);
     layer.clear();
   }
-  for (auto& layer : seq.cross_blocks_) {
-    for (int b : layer) free_block(b);
-    layer.clear();
+  if (seq.cross_creator_ && !shares_.at(seq.share_id_).ready) {
+    // The creator died before projecting cross K/V; let a later admit of
+    // the same prompt claim the init instead of decoding garbage.
+    shares_.at(seq.share_id_).creator_live = false;
   }
-  blocks_in_use_ -= held;
+  unref_share(seq.share_id_);
   blocks_reserved_ -= seq.reserved_blocks_;
   --active_;
+  live_.erase(&seq);
   seq.released_ = true;
   sweep_empty_slabs();
 }
@@ -184,7 +349,12 @@ int KvCachePool::alloc_block() {
         break;
       }
     }
-    if (slab_idx == slabs_.size()) slabs_.emplace_back();
+    if (slab_idx == slabs_.size()) {
+      slabs_.emplace_back();
+      block_refs_.resize(slabs_.size() *
+                             static_cast<size_t>(options_.blocks_per_slab),
+                         0);
+    }
     Slab& slab = slabs_[slab_idx];
     slab.buffer = AlignedBuffer(slab_bytes());
     slab.live_blocks = 0;
@@ -200,15 +370,28 @@ int KvCachePool::alloc_block() {
   }
   const int block_id = free_blocks_.back();
   free_blocks_.pop_back();
+  TT_CHECK_EQ(block_refs_[static_cast<size_t>(block_id)], 0);
+  block_refs_[static_cast<size_t>(block_id)] = 1;
+  ++blocks_in_use_;
+  peak_blocks_in_use_ = std::max(peak_blocks_in_use_, blocks_in_use_);
   ++slabs_[static_cast<size_t>(block_id / options_.blocks_per_slab)]
         .live_blocks;
   return block_id;
 }
 
-void KvCachePool::free_block(int block_id) {
+void KvCachePool::ref_block(int block_id) {
+  TT_CHECK_GT(block_refs_[static_cast<size_t>(block_id)], 0);
+  ++block_refs_[static_cast<size_t>(block_id)];
+}
+
+void KvCachePool::unref_block(int block_id) {
+  int& refs = block_refs_[static_cast<size_t>(block_id)];
+  TT_CHECK_GT(refs, 0);
+  if (--refs > 0) return;
   Slab& slab = slabs_[static_cast<size_t>(block_id / options_.blocks_per_slab)];
   TT_CHECK_GT(slab.live_blocks, 0);
   --slab.live_blocks;
+  --blocks_in_use_;
   free_blocks_.push_back(block_id);
 }
 
@@ -218,6 +401,10 @@ float* KvCachePool::block_ptr(int block_id) {
   return reinterpret_cast<float*>(slab.buffer.data()) +
          static_cast<size_t>(block_id % options_.blocks_per_slab) *
              block_floats_;
+}
+
+const float* KvCachePool::block_ptr(int block_id) const {
+  return const_cast<KvCachePool*>(this)->block_ptr(block_id);
 }
 
 void KvCachePool::sweep_empty_slabs() {
@@ -244,6 +431,95 @@ int KvCachePool::num_slabs() const {
     if (!slab.buffer.empty()) ++n;
   }
   return n;
+}
+
+void KvCachePool::check_invariants() const {
+  // Reconstruct every block's expected refcount from first principles: one
+  // reference per holding sequence (self) plus one per share (cross).
+  std::vector<int> expected(block_refs_.size(), 0);
+  size_t reserved = 0;
+  for (const SequenceKv* seq : live_) {
+    TT_CHECK(!seq->released_);
+    TT_CHECK(shares_.find(seq->share_id_) != shares_.end());
+    for (const auto& layer : seq->self_blocks_) {
+      for (const int b : layer) ++expected[static_cast<size_t>(b)];
+    }
+    reserved += seq->reserved_blocks_;
+  }
+  size_t share_refs = 0;
+  for (const auto& [id, share] : shares_) {
+    TT_CHECK_GT(share.refs, 0);
+    share_refs += static_cast<size_t>(share.refs);
+    for (const auto& layer : share.blocks) {
+      for (const int b : layer) ++expected[static_cast<size_t>(b)];
+    }
+    reserved += share.reserved_blocks;
+  }
+  TT_CHECK_EQ(share_refs, live_.size());
+  TT_CHECK_EQ(reserved, blocks_reserved_);
+  TT_CHECK_EQ(static_cast<size_t>(active_), live_.size());
+
+  size_t unique = 0;
+  for (size_t b = 0; b < expected.size(); ++b) {
+    TT_CHECK_MSG(expected[b] == block_refs_[b],
+                 "block " << b << " refcount " << block_refs_[b]
+                          << " != held references " << expected[b]);
+    if (expected[b] > 0) ++unique;
+  }
+  TT_CHECK_EQ(unique, blocks_in_use_);
+  TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
+
+  const size_t per_slab = static_cast<size_t>(options_.blocks_per_slab);
+  std::vector<int> slab_live(slabs_.size(), 0);
+  for (size_t b = 0; b < expected.size(); ++b) {
+    if (expected[b] > 0) ++slab_live[b / per_slab];
+  }
+  for (size_t i = 0; i < slabs_.size(); ++i) {
+    TT_CHECK_EQ(slab_live[i], slabs_[i].live_blocks);
+    if (slabs_[i].buffer.empty()) TT_CHECK_EQ(slab_live[i], 0);
+  }
+
+  std::vector<bool> in_free(block_refs_.size(), false);
+  for (const int b : free_blocks_) {
+    const size_t idx = static_cast<size_t>(b);
+    TT_CHECK_MSG(!in_free[idx], "block " << b << " on the free list twice");
+    in_free[idx] = true;
+    TT_CHECK_EQ(block_refs_[idx], 0);
+    TT_CHECK(!slabs_[idx / per_slab].buffer.empty());
+  }
+  for (size_t b = 0; b < block_refs_.size(); ++b) {
+    if (block_refs_[b] == 0 && !slabs_[b / per_slab].buffer.empty()) {
+      TT_CHECK_MSG(in_free[b], "free block " << b << " leaked off the list");
+    }
+  }
+  for (const auto& [key, id] : prompt_index_) {
+    const auto it = shares_.find(id);
+    TT_CHECK(it != shares_.end());
+    TT_CHECK_EQ(it->second.key, key);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PooledBeamKv
+// ---------------------------------------------------------------------------
+
+PooledBeamKv::PooledBeamKv(KvCachePool* pool, int64_t first_id)
+    : pool_(pool), next_id_(first_id) {
+  TT_CHECK(pool_ != nullptr);
+}
+
+std::unique_ptr<model::KvCacheView> PooledBeamKv::create(int s_src,
+                                                         int max_len) {
+  return pool_->admit(next_id_--, s_src, max_len);
+}
+
+std::unique_ptr<model::KvCacheView> PooledBeamKv::fork(
+    model::KvCacheView& parent) {
+  return pool_->fork(static_cast<SequenceKv&>(parent), next_id_--);
+}
+
+void PooledBeamKv::prepare_token(model::KvCacheView& cache, int t) {
+  pool_->ensure_token(static_cast<SequenceKv&>(cache), t);
 }
 
 }  // namespace turbo::genserve

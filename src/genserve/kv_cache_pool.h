@@ -1,4 +1,5 @@
-// Slab-based K/V block pool for generation serving.
+// Slab-based K/V block pool for generation serving, with refcounted blocks,
+// prompt-prefix sharing and copy-on-write forking.
 //
 // The paper's model-aware allocator (§4.2) plans tensors whose lifetimes
 // close within one inference. Decoder K/V caches break that assumption:
@@ -10,15 +11,37 @@
 //    allocation stand-in the §4.2 allocator uses) split into fixed-size
 //    blocks. A block holds `block_tokens` K rows followed by `block_tokens`
 //    V rows of one layer ([heads * head_dim] floats each).
-//  * A sequence is admitted with a worst-case block reservation (cross-
-//    attention rows for its source length + `max_new_tokens` self rows per
-//    layer), so admission control is exact and a mid-decode grow can never
-//    fail: capacity is never exceeded by construction.
-//  * Cross blocks are allocated eagerly on admit; self blocks materialize
-//    lazily as decode steps consume token positions.
-//  * Release returns every block to the free list and frees slabs that
-//    became empty, so the device footprint tracks the active working set —
-//    the decoder-side analogue of the paper's Fig. 11 behaviour.
+//  * Every block carries a refcount. The generation-side analogue of the
+//    allocator's cross-tensor chunk sharing is cross-*sequence* block
+//    sharing: token histories that overlap map to the same physical blocks.
+//  * Prefix sharing: admit() takes the prompt token ids as the sharing key.
+//    A sequence whose prompt matches a live admitted prompt maps its
+//    cross-attention blocks to the existing physical blocks (refcount++
+//    instead of allocate) and skips re-encoding — the server asks
+//    needs_cross_init() before running the encoder. The match is on the
+//    *full* prompt: the encoder is bidirectional, so the cross K/V of every
+//    source position depends on the whole sentence; sharing a shorter
+//    common prefix would change numerics. Block-granular prefix reuse is
+//    what fork() provides on the self side, where causal masking makes it
+//    exact.
+//  * fork() (pooled beam search): a forked sequence shares *all* of its
+//    parent's blocks. Self blocks are copy-on-write — a block is copied
+//    only when a sequence is about to write a token row into a block it
+//    does not exclusively own (ensure_token is the write barrier; the hot
+//    row accessors stay branch-free). Beams therefore share their common
+//    history physically and diverge one block at a time.
+//  * A sequence is admitted with a worst-case reservation of the blocks it
+//    may come to own *uniquely*: self rows for `max_new_tokens` per layer,
+//    plus — only when its prompt is not already resident — cross rows for
+//    its source length. The cross reservation is charged once per live
+//    prompt (it lives with the share, not the sequence), so admission
+//    control charges shared prefix blocks a single time. A mid-decode grow
+//    or CoW copy can never fail: capacity is never exceeded by
+//    construction.
+//  * Release drops refcounts; a block returns to the free list only when
+//    its last owner releases, and slabs that became empty free their
+//    buffers, so the device footprint tracks the unique working set — the
+//    decoder-side analogue of the paper's Fig. 11 behaviour.
 //
 // Footprint accounting reuses memory::DeviceTracker, making pool stats
 // directly comparable with the ModelAwareAllocator's.
@@ -27,6 +50,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/aligned_buffer.h"
@@ -40,13 +65,17 @@ struct KvPoolOptions {
   int block_tokens = 16;    // token rows per block (per layer, K + V)
   int blocks_per_slab = 32; // blocks per device slab
   size_t max_bytes = 0;     // cap on slab footprint; 0 = unbounded
+  // When false, admit() never matches prompts: every sequence gets private
+  // cross blocks (fork()'s CoW still works). The A/B switch for the
+  // prefix-sharing benchmark.
+  bool enable_prefix_sharing = true;
 };
 
 class KvCachePool;
 
 // Per-sequence K/V handle; implements the decoder's cache interface over
-// pool blocks. Created by KvCachePool::admit, auto-released on destruction
-// (the pool must outlive its sequences).
+// pool blocks. Created by KvCachePool::admit or fork, auto-released on
+// destruction (the pool must outlive its sequences).
 class SequenceKv final : public model::KvCacheView {
  public:
   ~SequenceKv() override;
@@ -58,7 +87,17 @@ class SequenceKv final : public model::KvCacheView {
   int max_new_tokens() const { return max_new_; }
   // Self token positions currently backed by blocks.
   int capacity_tokens() const;
+  // Block references this sequence holds (self + cross); shared blocks are
+  // counted by every holder, so this is not a unique-footprint measure.
   size_t blocks_held() const;
+
+  // True for the sequence that must run the encoder and project cross K/V
+  // (the first admit of its prompt); false when the blocks were shared from
+  // a prompt whose creator already did or will do it this iteration.
+  bool needs_cross_init() const;
+  // The creator calls this after init_cross_attention so later admits of
+  // the same prompt can skip straight to decoding.
+  void mark_cross_ready();
 
   float* self_k(int layer, int t) override;
   float* self_v(int layer, int t) override;
@@ -73,11 +112,12 @@ class SequenceKv final : public model::KvCacheView {
   int64_t id_;
   int s_src_;
   int max_new_;
-  size_t reserved_blocks_ = 0;
+  size_t reserved_blocks_ = 0;  // self worst case (cross lives in the share)
   bool released_ = false;
-  // [layer][i] -> global block id backing token rows [i*bt, (i+1)*bt).
+  bool cross_creator_ = false;  // this admit owes the share its cross init
+  int64_t share_id_ = -1;  // cross-block share this sequence references
+  // [layer][i] -> global block id backing self rows [i*bt, (i+1)*bt).
   std::vector<std::vector<int>> self_blocks_;
-  std::vector<std::vector<int>> cross_blocks_;
 };
 
 class KvCachePool {
@@ -90,34 +130,77 @@ class KvCachePool {
   KvCachePool& operator=(const KvCachePool&) = delete;
 
   size_t block_bytes() const { return block_floats_ * sizeof(float); }
-  // Worst-case block demand of one sequence.
+  // Worst-case block demand of one sequence with a cold (unshared) prompt.
   size_t blocks_for(int s_src, int max_new_tokens) const;
+  // Marginal worst-case demand of admitting `prompt_tokens` right now:
+  // drops the cross-block term when the prompt is already resident, so
+  // shared prefix blocks are charged against capacity exactly once.
+  size_t blocks_for_prompt(const std::vector<int>& prompt_tokens,
+                           int max_new_tokens) const;
   // Pool capacity in blocks (SIZE_MAX when max_bytes == 0).
   size_t max_blocks() const;
   bool can_admit(int s_src, int max_new_tokens) const;
+  bool can_admit_prompt(const std::vector<int>& prompt_tokens,
+                        int max_new_tokens) const;
 
-  // Begin a sequence lifetime: reserve its worst case, allocate the cross
-  // blocks and the first self block per layer. Throws CheckError if
-  // can_admit is false.
+  // Begin a sequence lifetime keyed by its prompt tokens: reserve the
+  // marginal worst case, map cross blocks to an existing live prompt match
+  // (refcount++) or allocate them, and allocate the first self block per
+  // layer. Throws CheckError if can_admit_prompt is false.
+  std::unique_ptr<SequenceKv> admit(int64_t seq_id,
+                                    const std::vector<int>& prompt_tokens,
+                                    int max_new_tokens);
+  // Promptless admission (no sharing key): private cross blocks, reserved
+  // like blocks_for. Used by pooled beam roots over raw encoder memory.
   std::unique_ptr<SequenceKv> admit(int64_t seq_id, int s_src,
                                     int max_new_tokens);
 
+  // Fork `parent` copy-on-write: the child shares every cross and self
+  // block (refcount++ only) and reserves its own self worst case, so it
+  // can later diverge completely without allocation failure. Throws
+  // CheckError when that reservation does not fit — on a bounded pool,
+  // budget one extra self reservation per fork held while the parent is
+  // still live (decode()'s beam reorder forks only parents surviving into
+  // multiple hypotheses; the last child takes the parent's cache over, so
+  // its transient demand is at most beam_size - 1 extra reservations).
+  std::unique_ptr<SequenceKv> fork(const SequenceKv& parent, int64_t child_id);
+  bool can_fork(const SequenceKv& parent) const;
+
   // Grow `seq` so self token position t is backed (per decode step; no-op
-  // when the current blocks already cover t). Never exceeds the admission
+  // when the current blocks already cover t), and copy-on-write the block
+  // that will receive row t if it is not exclusively owned. Must be called
+  // before the decode step that writes row t. Never exceeds the admission
   // reservation.
   void ensure_token(SequenceKv& seq, int t);
 
   // Device-activity stats (slab mallocs/frees, current + peak footprint),
   // comparable with ModelAwareAllocator::stats().
   const memory::AllocatorStats& stats() const { return tracker_.stats(); }
-  // Bytes in blocks held by live sequences (the true working set).
+  // Bytes in unique physical blocks held by live sequences (the true
+  // working set; a block shared by N sequences counts once).
   size_t bytes_in_use() const { return blocks_in_use_ * block_bytes(); }
   // Bytes reserved for admitted sequences' worst case (admission control).
   size_t bytes_reserved() const { return blocks_reserved_ * block_bytes(); }
   size_t blocks_in_use() const { return blocks_in_use_; }
+  // High-water mark of blocks_in_use over the pool lifetime (the peak
+  // unique working set, independent of slab-granular footprint).
+  size_t peak_blocks_in_use() const { return peak_blocks_in_use_; }
   size_t blocks_reserved() const { return blocks_reserved_; }
   int active_sequences() const { return active_; }
   int num_slabs() const;
+
+  // Sharing-activity counters (monotonic over the pool lifetime).
+  size_t prefix_hits() const { return prefix_hits_; }   // admits that shared
+  size_t cow_copies() const { return cow_copies_; }     // CoW block copies
+  size_t forks() const { return forks_; }
+
+  // Cross-checks every pool invariant against the live sequence registry:
+  // per-block refcounts equal the references actually held by sequences
+  // and shares, blocks_in_use_ equals the number of unique live blocks,
+  // per-slab live counts and the free list are consistent, and usage never
+  // exceeds reservation. Throws CheckError on violation. O(pool size);
+  // meant for tests.
+  void check_invariants() const;
 
   const KvPoolOptions& options() const { return options_; }
 
@@ -126,15 +209,43 @@ class KvCachePool {
 
   struct Slab {
     AlignedBuffer buffer;  // empty when the slab is currently freed
-    int live_blocks = 0;
+    int live_blocks = 0;   // unique live blocks resident in this slab
+  };
+
+  // Cross-attention blocks for one live prompt, shared by every sequence
+  // (and fork) decoding from it. The cross worst-case reservation lives
+  // here so it is charged once however many sequences share the prompt,
+  // and released only when the last of them does.
+  struct CrossShare {
+    std::vector<int> prompt;  // empty for promptless (unshareable) admits
+    uint64_t key = 0;
+    std::vector<std::vector<int>> blocks;  // [layer][i]
+    int refs = 0;
+    size_t reserved_blocks = 0;
+    bool ready = false;           // init_cross_attention has run
+    bool creator_live = false;    // a live sequence owns initialization
   };
 
   size_t slab_bytes() const {
     return static_cast<size_t>(options_.blocks_per_slab) * block_bytes();
   }
+  size_t self_blocks_for(int max_new_tokens) const;
+  size_t cross_blocks_for(int s_src) const;
+  static uint64_t prompt_hash(const std::vector<int>& prompt_tokens);
+  // Live share with this exact prompt, or -1.
+  int64_t find_share(const std::vector<int>& prompt_tokens) const;
+  int64_t create_share(std::vector<int> prompt_tokens, int s_src);
+  void unref_share(int64_t share_id);
+  std::unique_ptr<SequenceKv> admit_with_share(int64_t seq_id, int s_src,
+                                               int max_new_tokens,
+                                               int64_t share_id,
+                                               bool created_share);
+
   int alloc_block();
-  void free_block(int block_id);
+  void ref_block(int block_id);
+  void unref_block(int block_id);
   float* block_ptr(int block_id);
+  const float* block_ptr(int block_id) const;
   void release(SequenceKv& seq);  // called by ~SequenceKv
   // Drop freed-slab block ids from the free list and release the buffers
   // of slabs that no longer hold any live block.
@@ -147,10 +258,39 @@ class KvCachePool {
 
   std::vector<Slab> slabs_;
   std::vector<int> free_blocks_;
+  std::vector<int> block_refs_;  // per global block id; 0 = free
   size_t blocks_in_use_ = 0;
+  size_t peak_blocks_in_use_ = 0;
   size_t blocks_reserved_ = 0;
   int active_ = 0;
   memory::DeviceTracker tracker_;
+
+  std::unordered_map<int64_t, CrossShare> shares_;
+  std::unordered_multimap<uint64_t, int64_t> prompt_index_;  // hash -> share
+  int64_t next_share_id_ = 0;
+  std::unordered_set<const SequenceKv*> live_;  // invariant-check registry
+
+  size_t prefix_hits_ = 0;
+  size_t cow_copies_ = 0;
+  size_t forks_ = 0;
+};
+
+// model::BeamKvFactory over a KvCachePool: decode()'s beam search allocates
+// its root cache with admit() and reorders beams with fork(), so unchanged
+// history is shared copy-on-write instead of deep-copied per beam.
+class PooledBeamKv final : public model::BeamKvFactory {
+ public:
+  // Sequence ids are drawn from `first_id` downward by default (negative),
+  // keeping them clear of server-issued request ids in shared pools.
+  explicit PooledBeamKv(KvCachePool* pool, int64_t first_id = -1);
+
+  std::unique_ptr<model::KvCacheView> create(int s_src, int max_len) override;
+  std::unique_ptr<model::KvCacheView> fork(model::KvCacheView& parent) override;
+  void prepare_token(model::KvCacheView& cache, int t) override;
+
+ private:
+  KvCachePool* pool_;
+  int64_t next_id_;
 };
 
 }  // namespace turbo::genserve

@@ -77,6 +77,23 @@ class DenseKvCache final : public KvCacheView {
   std::shared_ptr<CrossKv> cross_;
 };
 
+// Per-beam cache allocation strategy for decode(). Beam search needs three
+// cache operations: create the root, fork a surviving hypothesis's cache
+// when the beam reorders, and prepare a cache for the step that writes self
+// row t. The default (dense) factory deep-copies DenseKvCache on fork;
+// genserve::PooledBeamKv instead forks refcounted pool blocks and uses
+// prepare_token as the copy-on-write barrier, so beams share their common
+// history physically. Both produce bit-identical decode results — the
+// factory only changes where K/V rows live, never their values.
+class BeamKvFactory {
+ public:
+  virtual ~BeamKvFactory() = default;
+  virtual std::unique_ptr<KvCacheView> create(int s_src, int max_len) = 0;
+  virtual std::unique_ptr<KvCacheView> fork(KvCacheView& parent) = 0;
+  // Called before the decode step that writes self row t of `cache`.
+  virtual void prepare_token(KvCacheView& cache, int t);
+};
+
 // Reusable scratch for step(): callers on the serving hot path keep one
 // across calls so per-token work allocates nothing after warm-up.
 struct DecodeWorkspace {
@@ -109,10 +126,14 @@ class Seq2SeqDecoder {
   void step(const std::vector<StepSlot>& slots, float* logits) const;
 
   // memory: encoder output [S_src, H] for one sentence. Returns the best
-  // hypothesis after beam search (beam_size >= 1; 1 = greedy). Implemented
-  // on top of step() with DenseKvCaches, one per live beam.
+  // hypothesis after beam search (beam_size >= 1; 1 = greedy), implemented
+  // on top of step() with one cache per live beam. `kv` chooses where beam
+  // caches live: nullptr decodes over DenseKvCaches (fork = deep copy); a
+  // genserve::PooledBeamKv decodes through the block pool, sharing
+  // unchanged history across beams copy-on-write. The result is
+  // bit-identical either way.
   Hypothesis decode(const Tensor& memory, int max_len, int bos_id, int eos_id,
-                    int beam_size) const;
+                    int beam_size, BeamKvFactory* kv = nullptr) const;
 
   const ModelConfig& config() const { return config_; }
   const DecoderWeights& weights() const { return weights_; }

@@ -1,15 +1,11 @@
 #include "serving/response_cache.h"
 
+#include "common/hash.h"
+
 namespace turbo::serving {
 
 uint64_t ResponseCache::key_of(const std::vector<int>& tokens) {
-  // FNV-1a over the token stream.
-  uint64_t h = 1469598103934665603ULL;
-  for (int t : tokens) {
-    h ^= static_cast<uint64_t>(static_cast<uint32_t>(t));
-    h *= 1099511628211ULL;
-  }
-  return h;
+  return fnv1a_tokens(tokens);
 }
 
 std::optional<std::vector<float>> ResponseCache::lookup(uint64_t key) {

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
+#include <map>
+#include <mutex>
 #include <thread>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "genserve/generation_server.h"
 #include "serving/async_server.h"
 
 namespace turbo::serving {
@@ -135,6 +139,92 @@ TEST(AsyncServer, BadRequestSurfacesAsException) {
   Rng rng(6);
   auto good = server.submit(make_request(rng, 2, 5));
   EXPECT_NO_THROW(good.get());
+}
+
+// ---------------------------------------------------------------------------
+// Shared-prefix concurrency through AsyncGenerationServer: N clients racing
+// identical prompts must all complete, and CoW prefix sharing must keep the
+// peak pool footprint well under N independent worst-case reservations.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncGenerationSharedPrefix, ConcurrentClientsShareBlocks) {
+  const auto config = tiny();
+  genserve::GenServerOptions options;
+  options.pool.block_tokens = 4;
+  options.pool.blocks_per_slab = 4;
+  options.scheduler.max_active = 16;
+  auto engine =
+      std::make_unique<genserve::GenerationServer>(config, options, 29);
+  genserve::AsyncGenerationServer server(std::move(engine));
+
+  // One long prompt shared by every client: cross-heavy on purpose, so the
+  // shared blocks dominate each request's worst case.
+  Rng prompt_rng(42);
+  const std::vector<int> shared_src = prompt_rng.token_ids(32, 50);
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 2;
+  constexpr int kRequests = kClients * kPerClient;
+  int max_new_cap = 0;
+
+  struct Stream {
+    std::vector<int> tokens;
+    int last_count = 0;
+  };
+  std::mutex stream_mutex;
+  std::map<int64_t, Stream> streams;
+
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::future<serving::GenerationResponse>>> futures(
+      kClients);
+  for (int c = 0; c < kClients; ++c) {
+    const int max_new = 4 + c % 3;
+    max_new_cap = std::max(max_new_cap, max_new);
+    clients.emplace_back([&, c, max_new] {
+      for (int i = 0; i < kPerClient; ++i) {
+        serving::GenerationRequest r;
+        r.id = c * 100 + i;
+        r.src_tokens = shared_src;
+        r.max_new_tokens = max_new;
+        futures[static_cast<size_t>(c)].push_back(server.submit(
+            r, [&](int64_t id, int token, int /*step*/, bool last) {
+              std::lock_guard<std::mutex> lock(stream_mutex);
+              auto& s = streams[id];
+              if (token != 2) s.tokens.push_back(token);
+              if (last) ++s.last_count;
+            }));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Every stream completes and matches its future's response.
+  for (int c = 0; c < kClients; ++c) {
+    for (auto& f : futures[static_cast<size_t>(c)]) {
+      const auto resp = f.get();
+      EXPECT_GE(resp.steps, 1);
+      std::lock_guard<std::mutex> lock(stream_mutex);
+      const auto& s = streams[resp.request_id];
+      EXPECT_EQ(s.tokens, resp.tokens) << "request " << resp.request_id;
+      EXPECT_EQ(s.last_count, 1) << "request " << resp.request_id;
+    }
+  }
+  server.shutdown();
+
+  // Peak pool blocks must stay far below N independent worst-case
+  // reservations: the prompt's cross blocks exist once per wave, not once
+  // per request.
+  genserve::KvCachePool probe(config, options.pool);
+  const size_t worst_case_bytes =
+      probe.blocks_for(static_cast<int>(shared_src.size()), max_new_cap) *
+      probe.block_bytes();
+  const auto snapshot = server.pool_snapshot();
+  EXPECT_GT(snapshot.peak_device_bytes, 0u);
+  EXPECT_LT(snapshot.peak_device_bytes, kRequests * worst_case_bytes);
+  // Stronger: sharing should beat even half the unshared budget.
+  EXPECT_LT(snapshot.peak_device_bytes, kRequests * worst_case_bytes / 2);
+  EXPECT_EQ(snapshot.active_sequences, 0);
+  EXPECT_EQ(snapshot.device_bytes, 0u);
 }
 
 }  // namespace

@@ -173,6 +173,101 @@ TEST(StepDecoding, PooledGreedyMatchesBeamOneDecode) {
 }
 
 // ---------------------------------------------------------------------------
+// Pooled CoW beam search is bit-identical to the DenseKvCache path
+// ---------------------------------------------------------------------------
+
+TEST(PooledBeamDecode, BitIdenticalToDenseAcrossBeamSizes) {
+  const auto config = tiny();
+  model::Seq2SeqDecoder decoder(config, 29);
+  Rng rng(13);
+  const int s_src = 7;
+  const int max_len = 12;
+  Tensor memory = Tensor::owned(Shape{s_src, config.hidden});
+  rng.fill_normal(memory.data<float>(), static_cast<size_t>(memory.numel()),
+                  0.0f, 1.0f);
+
+  for (const int beam : {1, 2, 3}) {
+    const auto dense = decoder.decode(memory, max_len, 1, 2, beam);
+
+    KvCachePool pool(config, small_pool());
+    PooledBeamKv factory(&pool);
+    const auto pooled = decoder.decode(memory, max_len, 1, 2, beam, &factory);
+
+    // Same cache contents, same comparisons, same beam: tokens and the
+    // accumulated log-probability must match bit for bit.
+    EXPECT_EQ(pooled.tokens, dense.tokens) << "beam " << beam;
+    EXPECT_EQ(pooled.log_prob, dense.log_prob) << "beam " << beam;
+    if (beam >= 2) {
+      EXPECT_GT(pool.forks(), 0u);
+    }
+    // decode() released every beam: the pool drains to zero.
+    EXPECT_EQ(pool.active_sequences(), 0);
+    EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+  }
+}
+
+TEST(PooledBeamDecode, ForkedStepLogitsMatchDenseExactly) {
+  // Drive a dense cache and a pooled cache in lockstep through a scripted
+  // fork, comparing every step's logits bitwise. After the fork the two
+  // branches overwrite different suffixes, so the pooled path must CoW
+  // exactly where the dense deep copy diverged.
+  const auto config = tiny();
+  model::Seq2SeqDecoder decoder(config, 31);
+  Rng rng(17);
+  const int s_src = 6;
+  const int max_len = 10;
+  const int vocab = config.vocab;
+  Tensor memory = Tensor::owned(Shape{s_src, config.hidden});
+  rng.fill_normal(memory.data<float>(), static_cast<size_t>(memory.numel()),
+                  0.0f, 1.0f);
+
+  model::DenseKvCache dense_root(config, max_len, s_src);
+  decoder.init_cross_attention(memory, dense_root);
+  KvCachePool pool(config, small_pool());
+  auto pooled_root = pool.admit(1, s_src, max_len);
+  decoder.init_cross_attention(memory, *pooled_root);
+
+  std::vector<float> dense_logits(static_cast<size_t>(vocab));
+  std::vector<float> pooled_logits(static_cast<size_t>(vocab));
+  auto step_pair = [&](model::KvCacheView& dense, SequenceKv& pooled,
+                       int token, int t) {
+    pool.ensure_token(pooled, t);
+    decoder.step({{token, t, &dense}}, dense_logits.data());
+    decoder.step({{token, t, &pooled}}, pooled_logits.data());
+    for (int i = 0; i < vocab; ++i) {
+      ASSERT_EQ(pooled_logits[static_cast<size_t>(i)],
+                dense_logits[static_cast<size_t>(i)])
+          << "step " << t << " logit " << i;
+    }
+  };
+
+  // Shared history: 5 steps (crosses the 4-token block boundary).
+  std::vector<int> history = {1, 5, 9, 13, 17};
+  for (int t = 0; t < static_cast<int>(history.size()); ++t) {
+    step_pair(dense_root, *pooled_root, history[static_cast<size_t>(t)], t);
+  }
+
+  model::DenseKvCache dense_fork(dense_root);  // deep copy
+  auto pooled_fork = pool.fork(*pooled_root, 2);
+  EXPECT_GT(pool.blocks_in_use(), 0u);
+  pool.check_invariants();
+
+  // Divergent suffixes: parent and fork write different tokens into the
+  // same positions; each pooled branch must match its dense twin.
+  const int t0 = static_cast<int>(history.size());
+  for (int k = 0; k < 4; ++k) {
+    step_pair(dense_root, *pooled_root, 20 + k, t0 + k);
+    step_pair(dense_fork, *pooled_fork, 30 + k, t0 + k);
+  }
+  EXPECT_GT(pool.cow_copies(), 0u);
+  pool.check_invariants();
+
+  pooled_fork.reset();
+  pooled_root.reset();
+  EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // GenerationScheduler invariants
 // ---------------------------------------------------------------------------
 
@@ -270,6 +365,54 @@ TEST(GenerationServer, BatchedResultsMatchSoloRuns) {
     EXPECT_EQ(resp.tokens, solo[resp.request_id])
         << "request " << resp.request_id;
   }
+}
+
+TEST(GenerationServer, PrefixSharingDoesNotChangeOutputs) {
+  // Requests repeating the same prompt take the sharing fast path (mapped
+  // cross blocks, encoder skipped); their tokens must match a server with
+  // sharing disabled exactly.
+  const auto config = tiny();
+  Rng rng(19);
+  std::vector<serving::GenerationRequest> requests;
+  const auto shared_src = rng.token_ids(9, 50);
+  for (int i = 0; i < 6; ++i) {
+    auto r = make_request(rng, i, 3 + i, 6);
+    if (i % 2 == 0) r.src_tokens = shared_src;  // ids 0, 2, 4 share a prompt
+    requests.push_back(std::move(r));
+  }
+
+  std::map<int64_t, std::vector<int>> reference;
+  {
+    GenServerOptions options;
+    options.pool = small_pool();
+    options.pool.enable_prefix_sharing = false;
+    options.scheduler.max_active = 6;
+    GenerationServer server(config, options, 29);
+    for (const auto& r : requests) server.submit(r);
+    for (const auto& resp : server.run_to_completion()) {
+      reference[resp.request_id] = resp.tokens;
+    }
+    EXPECT_EQ(server.pool().prefix_hits(), 0u);
+  }
+
+  GenServerOptions options;
+  options.pool = small_pool();
+  options.scheduler.max_active = 6;
+  GenerationServer server(config, options, 29);
+  int shared_admits = 0;
+  server.set_step_observer(
+      [&](const StepStats& s) { shared_admits += s.admitted_shared; });
+  for (const auto& r : requests) server.submit(r);
+  const auto responses = server.run_to_completion();
+  ASSERT_EQ(responses.size(), requests.size());
+  for (const auto& resp : responses) {
+    EXPECT_EQ(resp.tokens, reference[resp.request_id])
+        << "request " << resp.request_id;
+  }
+  EXPECT_EQ(server.pool().prefix_hits(), 2u);  // requests 2 and 4
+  EXPECT_EQ(shared_admits, 2);
+  server.pool().check_invariants();
+  EXPECT_EQ(server.pool().stats().current_device_bytes, 0u);
 }
 
 // ---------------------------------------------------------------------------

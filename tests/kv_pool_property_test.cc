@@ -1,0 +1,296 @@
+// Randomized property tests for the copy-on-write KvCachePool.
+//
+// A model of the pool is maintained alongside the real one: every sequence
+// remembers the exact K/V values it (or the ancestor it was forked from)
+// wrote into each self row, and the value its prompt's cross rows were
+// initialized with. Random interleavings of admit / grow-write / fork /
+// release then check, after every operation:
+//
+//  * refcount conservation — KvCachePool::check_invariants() rebuilds each
+//    block's expected refcount from the live sequences and prompt shares
+//    and compares it with the pool's counters, free list and slab
+//    occupancy;
+//  * no aliasing — each sequence's recorded rows still read back exactly,
+//    so no write through one sequence (including CoW divergence after
+//    fork) can leak into an unrelated sequence's blocks;
+//  * exact drain — after all releases the DeviceTracker footprint, slab
+//    count, refcounts and reservations return exactly to zero.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "genserve/kv_cache_pool.h"
+#include "model/config.h"
+
+namespace turbo::genserve {
+namespace {
+
+model::ModelConfig tiny() { return model::ModelConfig::tiny(2, 32, 2, 64, 50); }
+
+struct ModelSeq {
+  std::unique_ptr<SequenceKv> kv;
+  int steps = 0;                  // self rows written so far
+  int marker = 0;                 // base of values this sequence writes
+  float cross_value = 0.0f;       // value its cross rows were filled with
+  std::vector<float> expected;    // expected[t] = value written into row t
+};
+
+// The value sequence `marker` writes into self row t (K side; V adds 0.5).
+float row_value(int marker, int t) {
+  return static_cast<float>(marker) * 100.0f + static_cast<float>(t);
+}
+
+void write_next_row(const model::ModelConfig& config, KvCachePool& pool,
+                    ModelSeq& s) {
+  const int t = s.steps;
+  pool.ensure_token(*s.kv, t);
+  const float v = row_value(s.marker, t);
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    std::fill_n(s.kv->self_k(layer, t), config.hidden, v);
+    std::fill_n(s.kv->self_v(layer, t), config.hidden, v + 0.5f);
+  }
+  s.expected.push_back(v);
+  ++s.steps;
+}
+
+void init_cross(const model::ModelConfig& config, ModelSeq& s, float value) {
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    for (int pos = 0; pos < s.kv->src_len(); ++pos) {
+      std::fill_n(s.kv->cross_k(layer, pos), config.hidden, value);
+      std::fill_n(s.kv->cross_v(layer, pos), config.hidden, value);
+    }
+  }
+  s.kv->mark_cross_ready();
+}
+
+void verify_seq(const model::ModelConfig& config, ModelSeq& s) {
+  const int H = config.hidden;
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    for (int t = 0; t < s.steps; ++t) {
+      const float v = s.expected[static_cast<size_t>(t)];
+      ASSERT_EQ(s.kv->self_k(layer, t)[0], v)
+          << "seq " << s.kv->id() << " layer " << layer << " row " << t;
+      ASSERT_EQ(s.kv->self_k(layer, t)[H - 1], v);
+      ASSERT_EQ(s.kv->self_v(layer, t)[0], v + 0.5f);
+    }
+    for (int pos = 0; pos < s.kv->src_len(); ++pos) {
+      ASSERT_EQ(s.kv->cross_k(layer, pos)[0], s.cross_value)
+          << "seq " << s.kv->id() << " cross row " << pos;
+      ASSERT_EQ(s.kv->cross_v(layer, pos)[H - 1], s.cross_value);
+    }
+  }
+}
+
+void run_interleaving(uint64_t seed, KvPoolOptions opts) {
+  const auto config = tiny();
+  KvCachePool pool(config, opts);
+  Rng rng(seed);
+
+  // A small template set so admits collide on prompts and exercise the
+  // prefix-sharing paths; identical templates must share cross blocks.
+  const int kTemplates = 5;
+  std::vector<std::vector<int>> prompts;
+  for (int i = 0; i < kTemplates; ++i) {
+    prompts.push_back(
+        rng.token_ids(3 + static_cast<int>(rng.uniform_int(0, 7)), 50));
+  }
+
+  std::vector<ModelSeq> live;
+  int64_t next_id = 1;
+  int next_marker = 1;
+  const int kOps = 400;
+
+  for (int op = 0; op < kOps; ++op) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 9));
+    if (kind <= 2 || live.empty()) {
+      // Admit from a random template.
+      const auto& prompt =
+          prompts[static_cast<size_t>(rng.uniform_int(0, kTemplates - 1))];
+      const int max_new = 4 + static_cast<int>(rng.uniform_int(0, 8));
+      if (!pool.can_admit_prompt(prompt, max_new)) continue;
+      ModelSeq s;
+      s.kv = pool.admit(next_id++, prompt, max_new);
+      s.marker = next_marker++;
+      // Cross rows carry a template-determined value, so every sequence
+      // sharing the prompt expects identical cross content.
+      s.cross_value = static_cast<float>(prompt[0]) + 7000.0f;
+      if (s.kv->needs_cross_init()) init_cross(config, s, s.cross_value);
+      live.push_back(std::move(s));
+    } else if (kind <= 5) {
+      // Write the next token row of a random sequence (grow + CoW barrier).
+      ModelSeq& s = live[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(live.size()) - 1))];
+      if (s.steps < s.kv->max_new_tokens()) write_next_row(config, pool, s);
+    } else if (kind <= 7) {
+      // Fork a random sequence: the child shares all history, then writes
+      // under its own marker so parent/child divergence is observable.
+      ModelSeq& parent = live[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(live.size()) - 1))];
+      if (!pool.can_fork(*parent.kv)) continue;
+      ModelSeq child;
+      child.kv = pool.fork(*parent.kv, next_id++);
+      child.steps = parent.steps;
+      child.marker = next_marker++;
+      child.cross_value = parent.cross_value;
+      child.expected = parent.expected;
+      live.push_back(std::move(child));
+    } else {
+      // Release a random sequence, verifying its content first.
+      const size_t idx = static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(live.size()) - 1));
+      verify_seq(config, live[idx]);
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+    ASSERT_NO_THROW(pool.check_invariants()) << "after op " << op;
+  }
+
+  // Every sequence must still read back its own writes (full sweep), then
+  // drain the pool and require the footprint to return exactly to zero.
+  for (auto& s : live) verify_seq(config, s);
+  while (!live.empty()) {
+    live.pop_back();
+    pool.check_invariants();
+  }
+  EXPECT_EQ(pool.active_sequences(), 0);
+  EXPECT_EQ(pool.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.blocks_reserved(), 0u);
+  EXPECT_EQ(pool.num_slabs(), 0);
+  EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+  EXPECT_EQ(pool.stats().device_malloc_bytes, pool.stats().device_free_bytes);
+}
+
+KvPoolOptions base_opts() {
+  KvPoolOptions o;
+  o.block_tokens = 4;
+  o.blocks_per_slab = 8;
+  return o;
+}
+
+TEST(KvPoolProperty, RandomInterleavingsUnbounded) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    run_interleaving(seed, base_opts());
+  }
+}
+
+TEST(KvPoolProperty, RandomInterleavingsBoundedPool) {
+  // A tight capacity forces admission rejections, slab sweep + slot reuse
+  // and CoW under pressure; the reservation discipline must still make
+  // every grow/fork succeed once admitted.
+  auto opts = base_opts();
+  const size_t slab_bytes = static_cast<size_t>(opts.blocks_per_slab) *
+                            KvCachePool(tiny(), opts).block_bytes();
+  opts.max_bytes = 6 * slab_bytes;  // 48 blocks: a handful of sequences
+  for (uint64_t seed = 11; seed <= 14; ++seed) {
+    run_interleaving(seed, opts);
+  }
+}
+
+TEST(KvPoolProperty, RandomInterleavingsSharingDisabled) {
+  // With prefix matching off every admit owns private cross blocks, but
+  // fork CoW still shares; all invariants must hold identically.
+  auto opts = base_opts();
+  opts.enable_prefix_sharing = false;
+  for (uint64_t seed = 21; seed <= 23; ++seed) {
+    run_interleaving(seed, opts);
+  }
+}
+
+TEST(KvPoolProperty, ForkDivergenceIsExact) {
+  // Deterministic CoW scenario: parent writes 6 rows, forks twice, each
+  // branch overwrites a different suffix; all three must read their own
+  // values and the shared prefix must stay intact.
+  const auto config = tiny();
+  KvCachePool pool(config, base_opts());
+  Rng rng(99);
+  const auto prompt = rng.token_ids(6, 50);
+
+  ModelSeq parent;
+  parent.kv = pool.admit(1, prompt, 12);
+  parent.marker = 1;
+  parent.cross_value = 42.0f;
+  init_cross(config, parent, parent.cross_value);
+  for (int t = 0; t < 6; ++t) write_next_row(config, pool, parent);
+
+  ModelSeq a, b;
+  a.kv = pool.fork(*parent.kv, 2);
+  b.kv = pool.fork(*parent.kv, 3);
+  for (ModelSeq* child : {&a, &b}) {
+    child->steps = parent.steps;
+    child->cross_value = parent.cross_value;
+    child->expected = parent.expected;
+  }
+  a.marker = 2;
+  b.marker = 3;
+
+  // Forks share everything: no new unique blocks yet.
+  const size_t shared_blocks = pool.blocks_in_use();
+  pool.check_invariants();
+
+  for (int t = 0; t < 4; ++t) {
+    write_next_row(config, pool, a);
+    write_next_row(config, pool, b);
+    write_next_row(config, pool, parent);
+    pool.check_invariants();
+  }
+  EXPECT_GT(pool.cow_copies(), 0u);
+  EXPECT_GT(pool.blocks_in_use(), shared_blocks);
+
+  verify_seq(config, parent);
+  verify_seq(config, a);
+  verify_seq(config, b);
+
+  a.kv.reset();
+  b.kv.reset();
+  parent.kv.reset();
+  pool.check_invariants();
+  EXPECT_EQ(pool.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+}
+
+TEST(KvPoolProperty, PromptSharingChargesCrossBlocksOnce) {
+  const auto config = tiny();
+  KvCachePool pool(config, base_opts());
+  Rng rng(7);
+  const auto prompt = rng.token_ids(8, 50);  // 2 cross blocks x 2 layers
+
+  auto a = pool.admit(1, prompt, 4);
+  const size_t reserved_one = pool.blocks_reserved();
+  const size_t in_use_one = pool.blocks_in_use();
+  EXPECT_TRUE(a->needs_cross_init());
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    for (int s = 0; s < a->src_len(); ++s) {
+      std::fill_n(a->cross_k(layer, s), config.hidden, 3.5f);
+    }
+  }
+  a->mark_cross_ready();
+
+  // Same prompt: marginal demand is self-only and cross blocks are mapped,
+  // not allocated.
+  EXPECT_LT(pool.blocks_for_prompt(prompt, 4), pool.blocks_for(8, 4));
+  auto b = pool.admit(2, prompt, 4);
+  EXPECT_FALSE(b->needs_cross_init());
+  EXPECT_EQ(pool.prefix_hits(), 1u);
+  EXPECT_EQ(pool.blocks_reserved() - reserved_one,
+            pool.blocks_for_prompt(prompt, 4));
+  // Unique blocks grew only by b's first self block per layer.
+  EXPECT_EQ(pool.blocks_in_use() - in_use_one,
+            static_cast<size_t>(config.num_layers));
+  // The two sequences read the same physical cross rows.
+  EXPECT_EQ(a->cross_k(0, 0), b->cross_k(0, 0));
+  pool.check_invariants();
+
+  // The share outlives its creator: b keeps the cross blocks (and their
+  // projected content) alive.
+  a.reset();
+  pool.check_invariants();
+  EXPECT_EQ(b->cross_k(1, b->src_len() - 1)[0], 3.5f);
+  b.reset();
+  EXPECT_EQ(pool.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace turbo::genserve
