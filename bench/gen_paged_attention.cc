@@ -1,0 +1,215 @@
+// Paged KV attention: block-iterating vs row-pointer fused decode.
+//
+// Part 1 measures one fused decode step (the generation-serving hot path)
+// over pooled KV caches at fixed context lengths and batch sizes, with the
+// decoder's attention walking the history two ways:
+//
+//  * rows  — the pre-paging baseline: two virtual row lookups per cached
+//    token per layer (a pointer gather before every head loop);
+//  * paged — block-extent iteration: the cache hands the decoder one
+//    contiguous [ptr, rows] span per pool block, and the span kernels
+//    (kernels/paged_qk_dot / paged_av_accumulate) stream each block's rows
+//    gather-free, once past all heads.
+//
+// Both paths execute identical arithmetic in identical order, so logits
+// are asserted bit-equal before anything is timed. Throughput should favor
+// the paged path as context grows: the row path's per-token virtual calls
+// and pointer chasing scale with context, the span path's per-block
+// overhead scales with context / block_tokens.
+//
+// Part 2 re-asserts end-to-end bit-identity on whole decodes — greedy and
+// beam, dense and pooled caches, both attention paths — the acceptance
+// gate for swapping the default path.
+#include <algorithm>
+#include <cmath>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "genserve/kv_cache_pool.h"
+#include "model/decoder.h"
+#include "tensor/tensor.h"
+
+using namespace turbo;
+using AttnPath = model::Seq2SeqDecoder::AttentionPath;
+
+namespace {
+
+// Serving-sized decoder slice: big enough that attention dominates the
+// step, small enough to run in seconds on CPU.
+model::ModelConfig bench_config() {
+  return model::ModelConfig::tiny(/*layers=*/2, /*hidden=*/256, /*heads=*/8,
+                                  /*inter=*/512, /*vocab=*/1000);
+}
+
+double time_steps(model::Seq2SeqDecoder& decoder, AttnPath path,
+                  const std::vector<model::Seq2SeqDecoder::StepSlot>& slots,
+                  float* logits, model::DecodeWorkspace& ws, int iters) {
+  decoder.set_attention_path(path);
+  decoder.step(slots, logits, ws);  // warm-up (fills caches' row `ctx`)
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) decoder.step(slots, logits, ws);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count() / iters;
+}
+
+}  // namespace
+
+int main() {
+  const auto config = bench_config();
+  model::Seq2SeqDecoder decoder(config, 29);
+  const int H = config.hidden;
+  const int vocab = config.vocab;
+  const int s_src = 24;
+  const int measure_iters = 20;
+
+  std::printf("Paged KV attention — block-iterating vs row-pointer fused "
+              "decode\n");
+  std::printf("model: L=%d H=%d heads=%d vocab=%d; pool block_tokens=16, "
+              "src len %d; %d timed steps/cell\n",
+              config.num_layers, H, config.heads, vocab, s_src,
+              measure_iters);
+  bench::print_rule('=');
+  std::printf("%5s %6s | %12s %12s %9s | %12s\n", "ctx", "batch",
+              "rows ms/step", "paged ms/step", "speedup", "paged tok/s");
+
+  genserve::KvPoolOptions pool_opts;
+  pool_opts.block_tokens = 16;
+  pool_opts.blocks_per_slab = 32;
+
+  Rng rng(0xBEEF);
+  double worst_speedup_512 = 1e9;
+  double log_speedup_sum_512 = 0.0;
+  int cells_512 = 0;
+  for (const int ctx : {128, 512, 1024}) {
+    for (const int batch : {1, 4, 8}) {
+      genserve::KvCachePool pool(config, pool_opts);
+      std::vector<std::unique_ptr<genserve::SequenceKv>> caches;
+      std::vector<model::Seq2SeqDecoder::StepSlot> slots;
+      for (int b = 0; b < batch; ++b) {
+        auto kv = pool.admit(b, s_src, ctx + 1);
+        // Prefill rows [0, ctx) and the cross memory with random values:
+        // attention cost depends only on geometry, and the same cache is
+        // read by both paths, so the comparison stays apples-to-apples.
+        for (int t = 0; t < ctx; ++t) pool.ensure_token(*kv, t);
+        for (int layer = 0; layer < config.num_layers; ++layer) {
+          for (int t = 0; t < ctx; ++t) {
+            rng.fill_normal(kv->self_k(layer, t), static_cast<size_t>(H),
+                            0.0f, 1.0f);
+            rng.fill_normal(kv->self_v(layer, t), static_cast<size_t>(H),
+                            0.0f, 1.0f);
+          }
+          for (int s = 0; s < s_src; ++s) {
+            rng.fill_normal(kv->cross_k(layer, s), static_cast<size_t>(H),
+                            0.0f, 1.0f);
+            rng.fill_normal(kv->cross_v(layer, s), static_cast<size_t>(H),
+                            0.0f, 1.0f);
+          }
+        }
+        pool.ensure_token(*kv, ctx);  // the timed step writes row `ctx`
+        slots.push_back({7 + b, ctx, kv.get()});
+        caches.push_back(std::move(kv));
+      }
+
+      std::vector<float> logits_rows(static_cast<size_t>(batch) * vocab);
+      std::vector<float> logits_paged(static_cast<size_t>(batch) * vocab);
+      model::DecodeWorkspace ws;
+
+      // Bit-identity gate before timing.
+      decoder.set_attention_path(AttnPath::kRows);
+      decoder.step(slots, logits_rows.data(), ws);
+      decoder.set_attention_path(AttnPath::kPaged);
+      decoder.step(slots, logits_paged.data(), ws);
+      TT_CHECK_MSG(std::memcmp(logits_rows.data(), logits_paged.data(),
+                               logits_rows.size() * sizeof(float)) == 0,
+                   "paged and row-pointer logits diverged at ctx " << ctx);
+
+      // Interleaved repetitions, best-of: decorrelates the two paths from
+      // machine drift and takes the noise floor of each.
+      double rows_ms = 1e100, paged_ms = 1e100;
+      for (int rep = 0; rep < 4; ++rep) {
+        rows_ms = std::min(rows_ms,
+                           time_steps(decoder, AttnPath::kRows, slots,
+                                      logits_rows.data(), ws, measure_iters));
+        paged_ms = std::min(paged_ms,
+                            time_steps(decoder, AttnPath::kPaged, slots,
+                                       logits_paged.data(), ws,
+                                       measure_iters));
+      }
+      const double speedup = rows_ms / paged_ms;
+      if (ctx >= 512) {
+        worst_speedup_512 = std::min(worst_speedup_512, speedup);
+        log_speedup_sum_512 += std::log(speedup);
+        ++cells_512;
+      }
+      std::printf("%5d %6d | %12.3f %12.3f %8.2fx | %12.0f\n", ctx, batch,
+                  rows_ms, paged_ms, speedup, batch / (paged_ms / 1000.0));
+    }
+  }
+  bench::print_rule();
+  // Acceptance gate: block-iterating decode is at least as fast as the
+  // row-pointer path at long contexts. DRAM-saturated cells (largest
+  // ctx x batch on a memory-bound host) land at parity by physics — both
+  // paths stream identical bytes — so the per-cell bound allows timing
+  // noise there while the geometric mean must show the win.
+  const double geomean_512 = std::exp(log_speedup_sum_512 / cells_512);
+  std::printf("ctx >= 512 paged/rows speedup: geomean %.2fx (acceptance "
+              ">= 1.0x), worst cell %.2fx (>= 0.90x noise floor)\n\n",
+              geomean_512, worst_speedup_512);
+  // TURBO_BENCH_NO_GATE demotes the timing gate to report-only for hosts
+  // with untrustworthy clocks (shared CI runners with CPU steal). The
+  // bit-identity checks above are never soft.
+  if (std::getenv("TURBO_BENCH_NO_GATE") == nullptr) {
+    TT_CHECK_GE(geomean_512, 1.0);
+    TT_CHECK_GE(worst_speedup_512, 0.90);
+  }
+
+  // -------------------------------------------------------------------
+  // Part 2: whole-decode bit-identity (greedy + beam, dense + pooled).
+  // -------------------------------------------------------------------
+  std::printf("End-to-end equivalence — tokens and log-probs across "
+              "{dense,pooled} x {rows,paged}\n");
+  bench::print_rule('=');
+  const auto small = model::ModelConfig::tiny(2, 64, 4, 128, 500);
+  model::Seq2SeqDecoder small_decoder(small, 41);
+  Rng mem_rng(0xA11CE);
+  Tensor memory = Tensor::owned(Shape{17, small.hidden});
+  mem_rng.fill_normal(memory.data<float>(),
+                      static_cast<size_t>(memory.numel()), 0.0f, 1.0f);
+  genserve::KvPoolOptions small_pool;
+  small_pool.block_tokens = 4;
+  small_pool.blocks_per_slab = 16;
+
+  for (const int beam : {1, 3}) {
+    small_decoder.set_attention_path(AttnPath::kRows);
+    const auto reference = small_decoder.decode(memory, 24, 1, 2, beam);
+    for (const bool pooled : {false, true}) {
+      for (const bool paged : {false, true}) {
+        small_decoder.set_attention_path(paged ? AttnPath::kPaged
+                                               : AttnPath::kRows);
+        genserve::KvCachePool pool(small, small_pool);
+        genserve::PooledBeamKv factory(&pool);
+        const auto got = small_decoder.decode(memory, 24, 1, 2, beam,
+                                              pooled ? &factory : nullptr);
+        TT_CHECK_MSG(got.tokens == reference.tokens &&
+                         got.log_prob == reference.log_prob,
+                     "decode diverged: beam " << beam << " pooled " << pooled
+                                              << " paged " << paged);
+        std::printf("beam %d %-6s %-5s: %2zu tokens, log-prob %+.6f  "
+                    "(bit-identical)\n",
+                    beam, pooled ? "pooled" : "dense",
+                    paged ? "paged" : "rows", got.tokens.size(),
+                    got.log_prob);
+      }
+    }
+  }
+  bench::print_rule();
+  std::printf("all paths bit-identical; paged is the default decode path\n");
+  return 0;
+}

@@ -48,6 +48,18 @@ struct GenSchedulerOptions {
   double max_step_cost_ms = 0.0;  // predicted step latency cap; 0 = off
 };
 
+// Ownership: borrows the pool and cost table (both must outlive it); owns
+// the pending queue and every ActiveSequence — including each sequence's
+// SequenceKv, which it releases back to the pool on retire.
+// Thread-safety: externally synchronized, same single consumer as the
+// pool (the server's step loop). validate() is the exception: it reads
+// only immutable pool geometry and request fields, so any thread may call
+// it (AsyncGenerationServer does, from client threads).
+// Invariants: every enqueued request is admitted exactly once, FIFO;
+// active() <= max_active; the pool reservation of the active set never
+// exceeds capacity (admission is charged at marginal worst case before a
+// sequence joins); once idle(), total_enqueued == total_admitted ==
+// total_retired.
 class GenerationScheduler {
  public:
   // `pool` and `costs` are borrowed; both must outlive the scheduler.

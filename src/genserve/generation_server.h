@@ -58,6 +58,21 @@ struct StepStats {
   size_t kv_device_bytes = 0;       // slab footprint (device reservation)
 };
 
+// Ownership: owns the whole sync engine — encoder, decoder, cost table,
+// KV pool and scheduler construct and destruct together, so their borrow
+// relationships (scheduler -> pool, scheduler -> costs) are safe by
+// construction. Callbacks registered at submit() are owned until their
+// sequence retires.
+// Thread-safety: single-threaded by design. submit()/step()/
+// run_to_completion()/take_completed() must all come from one thread
+// (AsyncGenerationServer's worker, in the async stack). validate() reads
+// only immutable configuration and pool geometry and may be called from
+// any thread. Token callbacks run synchronously inside step().
+// Invariants: one step() == one scheduler iteration — admit, encode the
+// cold-prompt admits as one batch, one fused decode step over the whole
+// active set, stream, retire; a retired sequence's blocks are back in the
+// pool before the next admit round; every submitted request produces
+// exactly one GenerationResponse.
 class GenerationServer {
  public:
   using StepObserver = std::function<void(const StepStats&)>;
@@ -120,6 +135,18 @@ struct PoolSnapshot {
   int active_sequences = 0;
 };
 
+// Ownership: takes the engine by unique_ptr and owns it plus the worker
+// thread; shutdown() (also run by the destructor) drains pending work and
+// joins the worker.
+// Thread-safety: submit(), served(), iterations(), pool_snapshot() and
+// shutdown() are safe from any thread. The engine itself is touched only
+// by the worker; request validation runs on the submitting thread so
+// malformed requests throw at the call site. on_token callbacks fire on
+// the worker thread — they must not call back into this server.
+// Invariants: every accepted submit() resolves its future exactly once —
+// with a response, or with the engine's exception if the engine fails
+// (the failure also rejects queued submissions rather than wedging their
+// clients). Duplicate in-flight ids and submits after shutdown throw.
 class AsyncGenerationServer {
  public:
   explicit AsyncGenerationServer(std::unique_ptr<GenerationServer> server);

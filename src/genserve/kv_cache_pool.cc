@@ -85,6 +85,35 @@ float* SequenceKv::cross_v(int layer, int s) {
   return base + static_cast<size_t>(bt + s % bt) * pool_->hidden_;
 }
 
+// Shared extents walk: a block holds `bt` K rows followed by `bt` V rows,
+// so block b contributes one span {base, base + bt * hidden, rows}.
+void SequenceKv::block_extents(const std::vector<int>& blocks, int count,
+                               std::vector<model::KvSpan>& out) const {
+  const int bt = pool_->options_.block_tokens;
+  const int hidden = pool_->hidden_;
+  out.clear();
+  for (int first = 0; first < count; first += bt) {
+    const size_t idx = static_cast<size_t>(first / bt);
+    TT_CHECK_LT(idx, blocks.size());
+    const float* base = pool_->block_ptr(blocks[idx]);
+    out.push_back(model::KvSpan{base,
+                                base + static_cast<size_t>(bt) * hidden,
+                                std::min(bt, count - first)});
+  }
+}
+
+bool SequenceKv::self_extents(int layer, int count,
+                              std::vector<model::KvSpan>& out) {
+  block_extents(self_blocks_[static_cast<size_t>(layer)], count, out);
+  return true;
+}
+
+bool SequenceKv::cross_extents(int layer, std::vector<model::KvSpan>& out) {
+  block_extents(pool_->shares_.at(share_id_).blocks[static_cast<size_t>(layer)],
+                s_src_, out);
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // KvCachePool
 // ---------------------------------------------------------------------------

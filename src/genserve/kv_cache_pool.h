@@ -75,7 +75,19 @@ class KvCachePool;
 
 // Per-sequence K/V handle; implements the decoder's cache interface over
 // pool blocks. Created by KvCachePool::admit or fork, auto-released on
-// destruction (the pool must outlive its sequences).
+// destruction.
+//
+// Ownership: move-only handle returned by the pool; destroying it releases
+// every block reference it holds. The pool must outlive all of its
+// SequenceKv handles (the pool destructor checks this).
+// Thread-safety: not thread-safe; a sequence belongs to whichever single
+// thread is decoding it, and all of a pool's sequences must be driven from
+// the pool's owning thread (see KvCachePool).
+// Invariants: row accessors and extents only cover positions already
+// materialized — cross rows exist from admit, self row t after
+// ensure_token(t). Writing a self row without the preceding ensure_token
+// call breaks CoW isolation; the accessors themselves stay branch-free by
+// contract.
 class SequenceKv final : public model::KvCacheView {
  public:
   ~SequenceKv() override;
@@ -104,9 +116,22 @@ class SequenceKv final : public model::KvCacheView {
   float* cross_k(int layer, int s) override;
   float* cross_v(int layer, int s) override;
 
+  // Paged-attention geometry: one KvSpan per backing block, in token-
+  // position order (block i covers rows [i*bt, (i+1)*bt); the last span is
+  // truncated to `count` / src_len()). Works identically on CoW-shared
+  // blocks — sharing only affects writes (ensure_token's barrier), never
+  // where reads live. Self extents require ensure_token(count - 1) to have
+  // run; physical order of spans tracks however the free list fragmented,
+  // which is invisible to the decoder.
+  bool self_extents(int layer, int count,
+                    std::vector<model::KvSpan>& out) override;
+  bool cross_extents(int layer, std::vector<model::KvSpan>& out) override;
+
  private:
   friend class KvCachePool;
   SequenceKv(KvCachePool* pool, int64_t id, int s_src, int max_new_tokens);
+  void block_extents(const std::vector<int>& blocks, int count,
+                     std::vector<model::KvSpan>& out) const;
 
   KvCachePool* pool_;
   int64_t id_;
@@ -120,6 +145,27 @@ class SequenceKv final : public model::KvCacheView {
   std::vector<std::vector<int>> self_blocks_;
 };
 
+// Ownership: owns all slabs, blocks and cross shares; hands out SequenceKv
+// handles that reference (never own) block storage. Borrowed by
+// GenerationScheduler and GenerationServer; must outlive every handle and
+// borrower.
+// Thread-safety: externally synchronized. All mutating calls (admit, fork,
+// ensure_token, sequence destruction) must come from one thread at a time
+// — in the serving stack that is AsyncGenerationServer's worker. Only the
+// immutable-geometry readers (block_bytes, blocks_for, max_blocks) are
+// safe to call concurrently with mutation; they are what validate() uses
+// from client threads.
+// Invariants (enforced by check_invariants(), fuzzed in
+// tests/kv_pool_property_test.cc):
+//  * every live block's refcount equals the references actually held by
+//    sequences (self) and shares (cross); blocks_in_use_ counts unique
+//    live blocks;
+//  * blocks_in_use() <= blocks_reserved() <= max_blocks() at every point
+//    between public calls — admission reserves the worst case, so grow and
+//    CoW can never fail mid-decode;
+//  * a freed block is on the free list of a live slab; empty slabs hold no
+//    buffer; the device footprint returns to exactly zero when the last
+//    sequence releases.
 class KvCachePool {
  public:
   explicit KvCachePool(const model::ModelConfig& config,

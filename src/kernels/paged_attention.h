@@ -1,0 +1,53 @@
+// Span-based attention kernels for paged (block-iterating) decode.
+//
+// The decoder's fused single-step attention walks a sequence's K/V history.
+// When that history lives in pool blocks (genserve::KvCachePool), the rows
+// of one block are contiguous hidden-strided strips, so the inner loop can
+// run over [ptr, rows] extents instead of gathering one row pointer per
+// token — and each row can be streamed through the cache hierarchy exactly
+// once, every head consuming its strip on the way through. The per-row
+// reference path iterates head-major instead, touching every K and V row
+// once per head.
+//
+// Bit-exactness contract: both kernels perform *exactly* the arithmetic of
+// the per-row reference path, per head, in the same order — each (head,
+// row) score is one scalar accumulator over ascending feature index, and
+// each output lane accumulates its weighted V rows in ascending position
+// order. Only the loop nest (row-major vs head-major) and the work split
+// across threads differ; no operation moves within any accumulation chain,
+// so decode results are bit-identical to the row-pointer path on any cache
+// layout, serial or parallel.
+#pragma once
+
+namespace turbo::kernels {
+
+// One contiguous extent of K/V rows. Covers `rows` consecutive token
+// positions of one layer; row r's K strip starts at k + r * row_stride and
+// its V strip at v + r * row_stride (row_stride = heads * head_dim, the
+// cache's hidden size). A pool block yields one span; a dense cache yields
+// a single span covering everything.
+struct KvSpan {
+  const float* k = nullptr;
+  const float* v = nullptr;
+  int rows = 0;
+};
+
+// Attention scores over an extent list totalling `count` rows, all heads:
+//   scores[h * count + pos(s, i)] = dot(q[h*d .. h*d+d),
+//                                       spans[s].k[i * row_stride + h*d ..])
+// where pos(s, i) numbers rows in span order. Large extents split across
+// threads (every score is an independent chain).
+void paged_qk_dot(const float* q, const KvSpan* spans, int num_spans,
+                  long count, long row_stride, int heads, int d,
+                  float* scores);
+
+// Weighted-value accumulation over the same extent list:
+//   out[h*d + dd] += probs[h * count + pos] * spans[s].v[i*row_stride + h*d + dd]
+// applied in ascending pos order per output lane (part of the contract
+// above; the parallel split is by head, which keeps each lane's order).
+// `out` must hold heads * d floats, pre-initialized by the caller.
+void paged_av_accumulate(const float* probs, const KvSpan* spans,
+                         int num_spans, long count, long row_stride,
+                         int heads, int d, float* out);
+
+}  // namespace turbo::kernels

@@ -8,19 +8,22 @@
 
 namespace turbo::kernels {
 
+void softmax_row(float* row, long n, float scale) {
+  float max_v = -std::numeric_limits<float>::infinity();
+  for (long c = 0; c < n; ++c) max_v = std::max(max_v, row[c] * scale);
+  float sum = 0.0f;
+  for (long c = 0; c < n; ++c) {
+    row[c] = std::exp(row[c] * scale - max_v);
+    sum += row[c];
+  }
+  const float inv = 1.0f / sum;
+  for (long c = 0; c < n; ++c) row[c] *= inv;
+}
+
 void softmax_rows(float* data, long rows, long cols, float scale) {
 #pragma omp parallel for schedule(static)
   for (long r = 0; r < rows; ++r) {
-    float* row = data + r * cols;
-    float max_v = -std::numeric_limits<float>::infinity();
-    for (long c = 0; c < cols; ++c) max_v = std::max(max_v, row[c] * scale);
-    float sum = 0.0f;
-    for (long c = 0; c < cols; ++c) {
-      row[c] = std::exp(row[c] * scale - max_v);
-      sum += row[c];
-    }
-    const float inv = 1.0f / sum;
-    for (long c = 0; c < cols; ++c) row[c] *= inv;
+    softmax_row(data + r * cols, cols, scale);
   }
 }
 

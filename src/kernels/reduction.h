@@ -8,6 +8,12 @@
 
 namespace turbo::kernels {
 
+// Numerically stable softmax over one row of n floats, in place. `scale`
+// multiplies logits first (1/sqrt(d) attention scaling). The single-row
+// primitive softmax_rows applies per row — callers on serial hot paths
+// (decoder attention) use it directly to skip the parallel region.
+void softmax_row(float* row, long n, float scale = 1.0f);
+
 // Numerically stable softmax over each row of data[rows, cols], in place.
 // `scale` multiplies logits first (1/sqrt(d) attention scaling).
 void softmax_rows(float* data, long rows, long cols, float scale = 1.0f);

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "kernels/elementwise.h"
 #include "kernels/gemm.h"
+#include "kernels/paged_attention.h"
 #include "kernels/reduction.h"
 
 namespace turbo::model {
@@ -47,6 +48,19 @@ void BeamKvFactory::prepare_token(KvCacheView& cache, int t) {
   (void)t;  // dense caches pre-allocate max_len rows; nothing to do
 }
 
+bool KvCacheView::self_extents(int layer, int count, std::vector<KvSpan>& out) {
+  (void)layer;
+  (void)count;
+  (void)out;  // no extents: the decoder gathers per-row pointers instead
+  return false;
+}
+
+bool KvCacheView::cross_extents(int layer, std::vector<KvSpan>& out) {
+  (void)layer;
+  (void)out;
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // DenseKvCache
 // ---------------------------------------------------------------------------
@@ -85,6 +99,22 @@ float* DenseKvCache::cross_v(int layer, int s) {
   TT_CHECK_LT(s, s_src_);
   return cross_->v[static_cast<size_t>(layer)].data() +
          static_cast<size_t>(s) * hidden_;
+}
+
+bool DenseKvCache::self_extents(int layer, int count,
+                                std::vector<KvSpan>& out) {
+  TT_CHECK_LE(count, max_len_);
+  out.clear();
+  out.push_back(KvSpan{self_k_[static_cast<size_t>(layer)].data(),
+                       self_v_[static_cast<size_t>(layer)].data(), count});
+  return true;
+}
+
+bool DenseKvCache::cross_extents(int layer, std::vector<KvSpan>& out) {
+  out.clear();
+  out.push_back(KvSpan{cross_->k[static_cast<size_t>(layer)].data(),
+                       cross_->v[static_cast<size_t>(layer)].data(), s_src_});
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -129,7 +159,6 @@ void Seq2SeqDecoder::step(const std::vector<StepSlot>& slots, float* logits,
   const int nb = static_cast<int>(slots.size());
   TT_CHECK_GE(nb, 1);
   const int H = config_.hidden;
-  const int heads = config_.heads;
   const int d = config_.head_dim();
   const int I = config_.intermediate;
   const int vocab = config_.vocab;
@@ -169,9 +198,6 @@ void Seq2SeqDecoder::step(const std::vector<StepSlot>& slots, float* logits,
                      weights_.embedding.ln_gamma.data<float>(),
                      weights_.embedding.ln_beta.data<float>(), nb, H);
 
-  auto& krows = ws.krows;
-  auto& vrows = ws.vrows;
-  auto& scores = ws.scores;
   for (int layer = 0; layer < L; ++layer) {
     const auto& w = weights_.layers[static_cast<size_t>(layer)];
 
@@ -189,31 +215,8 @@ void Seq2SeqDecoder::step(const std::vector<StepSlot>& slots, float* logits,
       const float* vfull = &qkv[(static_cast<size_t>(b) * 3 + 2) * H];
       std::copy(kfull, kfull + H, cache.self_k(layer, t));
       std::copy(vfull, vfull + H, cache.self_v(layer, t));
-      krows.assign(static_cast<size_t>(t) + 1, nullptr);
-      vrows.assign(static_cast<size_t>(t) + 1, nullptr);
-      for (int u = 0; u <= t; ++u) {
-        krows[static_cast<size_t>(u)] = cache.self_k(layer, u);
-        vrows[static_cast<size_t>(u)] = cache.self_v(layer, u);
-      }
-      for (int h = 0; h < heads; ++h) {
-        const float* qrow = qfull + static_cast<size_t>(h) * d;
-        scores.resize(static_cast<size_t>(t) + 1);
-        for (int u = 0; u <= t; ++u) {
-          const float* ku = krows[static_cast<size_t>(u)] + h * d;
-          float acc = 0.0f;
-          for (int dd = 0; dd < d; ++dd) acc += qrow[dd] * ku[dd];
-          scores[static_cast<size_t>(u)] = acc;
-        }
-        kernels::softmax_rows(scores.data(), 1, t + 1, scale);
-        float* out = &attn[static_cast<size_t>(b) * H +
-                           static_cast<size_t>(h) * d];
-        std::fill(out, out + d, 0.0f);
-        for (int u = 0; u <= t; ++u) {
-          const float* vu = vrows[static_cast<size_t>(u)] + h * d;
-          const float p = scores[static_cast<size_t>(u)];
-          for (int dd = 0; dd < d; ++dd) out[dd] += p * vu[dd];
-        }
-      }
+      attend(cache, layer, /*self_side=*/true, t + 1, qfull,
+             &attn[static_cast<size_t>(b) * H], scale, ws);
     }
     kernels::gemm(attn.data(), w.self_out_weight.data<float>(), proj.data(),
                   nb, H, H);
@@ -229,33 +232,9 @@ void Seq2SeqDecoder::step(const std::vector<StepSlot>& slots, float* logits,
     kernels::add_bias(proj.data(), w.cross_q_bias.data<float>(), nb, H);
     for (int b = 0; b < nb; ++b) {
       KvCacheView& cache = *slots[static_cast<size_t>(b)].cache;
-      const int s_src = cache.src_len();
-      krows.assign(static_cast<size_t>(s_src), nullptr);
-      vrows.assign(static_cast<size_t>(s_src), nullptr);
-      for (int s = 0; s < s_src; ++s) {
-        krows[static_cast<size_t>(s)] = cache.cross_k(layer, s);
-        vrows[static_cast<size_t>(s)] = cache.cross_v(layer, s);
-      }
-      for (int h = 0; h < heads; ++h) {
-        const float* qrow =
-            &proj[static_cast<size_t>(b) * H + static_cast<size_t>(h) * d];
-        scores.resize(static_cast<size_t>(s_src));
-        for (int s = 0; s < s_src; ++s) {
-          const float* ks = krows[static_cast<size_t>(s)] + h * d;
-          float acc = 0.0f;
-          for (int dd = 0; dd < d; ++dd) acc += qrow[dd] * ks[dd];
-          scores[static_cast<size_t>(s)] = acc;
-        }
-        kernels::softmax_rows(scores.data(), 1, s_src, scale);
-        float* out = &attn[static_cast<size_t>(b) * H +
-                           static_cast<size_t>(h) * d];
-        std::fill(out, out + d, 0.0f);
-        for (int s = 0; s < s_src; ++s) {
-          const float* vs = vrows[static_cast<size_t>(s)] + h * d;
-          const float p = scores[static_cast<size_t>(s)];
-          for (int dd = 0; dd < d; ++dd) out[dd] += p * vs[dd];
-        }
-      }
+      attend(cache, layer, /*self_side=*/false, cache.src_len(),
+             &proj[static_cast<size_t>(b) * H],
+             &attn[static_cast<size_t>(b) * H], scale, ws);
     }
     kernels::gemm(attn.data(), w.cross_out_weight.data<float>(), proj.data(),
                   nb, H, H);
@@ -279,6 +258,74 @@ void Seq2SeqDecoder::step(const std::vector<StepSlot>& slots, float* logits,
 
   kernels::gemm(x.data(), weights_.output_proj.data<float>(), logits, nb,
                 vocab, H);
+}
+
+void Seq2SeqDecoder::attend(KvCacheView& cache, int layer, bool self_side,
+                            int count, const float* q, float* out, float scale,
+                            DecodeWorkspace& ws) const {
+  const int H = config_.hidden;
+  const int heads = config_.heads;
+  const int d = config_.head_dim();
+  auto& scores = ws.scores;
+
+  auto& spans = ws.spans;
+  const bool paged =
+      attn_path_ == AttentionPath::kPaged &&
+      (self_side ? cache.self_extents(layer, count, spans)
+                 : cache.cross_extents(layer, spans));
+  if (paged) {
+    long covered = 0;
+    for (const KvSpan& span : spans) covered += span.rows;
+    TT_CHECK_EQ(covered, count);
+    // Scores live [heads, count]: the kernels stream each K/V row once
+    // past all heads (splitting big extent lists across threads), with a
+    // per-head softmax in between.
+    scores.resize(static_cast<size_t>(heads) * count);
+    kernels::paged_qk_dot(q, spans.data(), static_cast<int>(spans.size()),
+                          count, H, heads, d, scores.data());
+    for (int h = 0; h < heads; ++h) {
+      kernels::softmax_row(scores.data() + static_cast<long>(h) * count, count,
+                           scale);
+    }
+    std::fill(out, out + H, 0.0f);
+    kernels::paged_av_accumulate(scores.data(), spans.data(),
+                                 static_cast<int>(spans.size()), count, H,
+                                 heads, d, out);
+    return;
+  }
+  scores.resize(static_cast<size_t>(count));
+
+  // Row-pointer fallback: gather one K and one V pointer per cached token,
+  // then walk them per head. Arithmetic (ascending-feature dots, ascending-
+  // position accumulation) matches the span kernels exactly, so both paths
+  // are bit-identical.
+  auto& krows = ws.krows;
+  auto& vrows = ws.vrows;
+  krows.assign(static_cast<size_t>(count), nullptr);
+  vrows.assign(static_cast<size_t>(count), nullptr);
+  for (int u = 0; u < count; ++u) {
+    krows[static_cast<size_t>(u)] =
+        self_side ? cache.self_k(layer, u) : cache.cross_k(layer, u);
+    vrows[static_cast<size_t>(u)] =
+        self_side ? cache.self_v(layer, u) : cache.cross_v(layer, u);
+  }
+  for (int h = 0; h < heads; ++h) {
+    const float* qrow = q + static_cast<size_t>(h) * d;
+    for (int u = 0; u < count; ++u) {
+      const float* ku = krows[static_cast<size_t>(u)] + h * d;
+      float acc = 0.0f;
+      for (int dd = 0; dd < d; ++dd) acc += qrow[dd] * ku[dd];
+      scores[static_cast<size_t>(u)] = acc;
+    }
+    kernels::softmax_row(scores.data(), count, scale);
+    float* o = out + static_cast<size_t>(h) * d;
+    std::fill(o, o + d, 0.0f);
+    for (int u = 0; u < count; ++u) {
+      const float* vu = vrows[static_cast<size_t>(u)] + h * d;
+      const float p = scores[static_cast<size_t>(u)];
+      for (int dd = 0; dd < d; ++dd) o[dd] += p * vu[dd];
+    }
+  }
 }
 
 Hypothesis Seq2SeqDecoder::decode(const Tensor& memory, int max_len,

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "kernels/paged_attention.h"
 #include "model/weights.h"
 #include "tensor/tensor.h"
 
@@ -29,6 +30,10 @@ struct Hypothesis {
   std::vector<int> tokens;  // includes BOS, excludes EOS
   double log_prob = 0.0;
 };
+
+// One contiguous extent of K/V rows (paged attention) — the currency
+// between caches and the span kernels; see kernels/paged_attention.h.
+using KvSpan = kernels::KvSpan;
 
 // Per-sequence decode state owned outside the decoder. Rows are contiguous
 // [heads * head_dim] strips; storage across tokens may be non-contiguous
@@ -49,12 +54,24 @@ class KvCacheView {
   // [heads * head_dim] row for cross-attention K/V of source position s.
   virtual float* cross_k(int layer, int s) = 0;
   virtual float* cross_v(int layer, int s) = 0;
+
+  // Block-extent iteration (paged attention): overwrite `out` with
+  // contiguous spans covering self token rows [0, count) — respectively
+  // cross rows [0, src_len()) — in position order. Returning false means
+  // the cache does not expose extents and the decoder falls back to
+  // per-row self_k/self_v gathers; that is the base-class default, so any
+  // external KvCacheView keeps working unchanged. Implementations must
+  // only report rows that are already materialized (for pool caches,
+  // ensure_token up to count - 1 must have run).
+  virtual bool self_extents(int layer, int count, std::vector<KvSpan>& out);
+  virtual bool cross_extents(int layer, std::vector<KvSpan>& out);
 };
 
 // Simple contiguous KvCacheView for one sequence: the reference cache
 // implementation, used by decode()'s beam search. Copies share the
 // cross-attention K/V (immutable after init_cross_attention) and deep-copy
-// the self caches, which is exactly what beam reordering needs.
+// the self caches, which is exactly what beam reordering needs. Being fully
+// contiguous, its extents are a single span per layer.
 class DenseKvCache final : public KvCacheView {
  public:
   DenseKvCache(const ModelConfig& config, int max_len, int s_src);
@@ -64,6 +81,8 @@ class DenseKvCache final : public KvCacheView {
   float* self_v(int layer, int t) override;
   float* cross_k(int layer, int s) override;
   float* cross_v(int layer, int s) override;
+  bool self_extents(int layer, int count, std::vector<KvSpan>& out) override;
+  bool cross_extents(int layer, std::vector<KvSpan>& out) override;
 
  private:
   struct CrossKv {
@@ -99,11 +118,28 @@ class BeamKvFactory {
 struct DecodeWorkspace {
   std::vector<float> x, qkv, attn, proj, resid, inter, scores;
   std::vector<const float*> krows, vrows;
+  std::vector<KvSpan> spans;
 };
 
 class Seq2SeqDecoder {
  public:
   explicit Seq2SeqDecoder(ModelConfig config, uint64_t seed = 42);
+
+  // How step() walks a sequence's K/V history.
+  enum class AttentionPath {
+    // Block-extent iteration: ask the cache for contiguous spans once per
+    // (sequence, layer) and run the span kernels over each — gather-free.
+    // Caches without extents (base-class default) silently use the row
+    // path; DenseKvCache and genserve::SequenceKv both provide extents.
+    kPaged,
+    // Per-row pointer gather (two virtual calls per cached token). The
+    // pre-paging baseline, kept for benchmarking and equivalence tests;
+    // bit-identical to kPaged by construction.
+    kRows,
+  };
+
+  void set_attention_path(AttentionPath path) { attn_path_ = path; }
+  AttentionPath attention_path() const { return attn_path_; }
 
   // One sequence's slot in a step batch.
   struct StepSlot {
@@ -139,8 +175,16 @@ class Seq2SeqDecoder {
   const DecoderWeights& weights() const { return weights_; }
 
  private:
+  // One query's attention over `count` cached K/V rows of `cache` (self
+  // history when `self_side`, else cross memory): scores, softmax, weighted
+  // values into out[H]. Dispatches between the span and row paths.
+  void attend(KvCacheView& cache, int layer, bool self_side, int count,
+              const float* q, float* out, float scale,
+              DecodeWorkspace& ws) const;
+
   ModelConfig config_;
   DecoderWeights weights_;
+  AttentionPath attn_path_ = AttentionPath::kPaged;
 };
 
 }  // namespace turbo::model

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every *.md file in the repository (skipping build trees and .git)
+for inline links/images `[text](target)` and reference definitions
+`[label]: target`, and checks that every relative target resolves to an
+existing file or directory. For targets with a `#fragment` pointing at a
+markdown file, the fragment must match a heading's GitHub-style anchor.
+
+External links (http/https/mailto) are not fetched — CI must not depend
+on the network. Stdlib only.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", ".claude", "node_modules"}
+SKIP_PREFIXES = ("build",)  # build/, build-asan/, ...
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+
+def heading_anchor(text):
+    """GitHub-style anchor: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", text)              # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path):
+    with open(md_path, encoding="utf-8") as f:
+        body = CODE_FENCE.sub("", f.read())
+    anchors = set()
+    counts = {}
+    for m in HEADING.finditer(body):
+        a = heading_anchor(m.group(1))
+        n = counts.get(a, 0)
+        counts[a] = n + 1
+        anchors.add(a if n == 0 else f"{a}-{n}")
+    return anchors
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith(SKIP_PREFIXES)
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    errors = []
+    checked = 0
+    for md in sorted(md_files(root)):
+        with open(md, encoding="utf-8") as f:
+            body = CODE_FENCE.sub("", f.read())
+        targets = INLINE_LINK.findall(body) + REF_DEF.findall(body)
+        for target in targets:
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # scheme
+                continue
+            checked += 1
+            path_part, _, fragment = target.partition("#")
+            base = os.path.dirname(md)
+            if path_part:
+                resolved = os.path.normpath(os.path.join(base, path_part))
+                if not os.path.exists(resolved):
+                    errors.append(f"{md}: broken link -> {target}")
+                    continue
+            else:
+                resolved = md  # pure fragment: same document
+            if fragment and resolved.endswith(".md"):
+                if fragment not in anchors_of(resolved):
+                    errors.append(
+                        f"{md}: missing anchor #{fragment} in {resolved}")
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    print(f"checked {checked} intra-repo links, {len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
