@@ -1,0 +1,271 @@
+// Optimistic admission + preempt-and-requeue vs worst-case reservation.
+//
+// The same oversubscribed generation burst runs through two servers that
+// differ only in GenSchedulerOptions::optimistic_admission. Worst-case
+// reservation admits a sequence only when its *full output budget* fits
+// the pool, so blocks reserved for tokens that may never be generated sit
+// idle exactly when the queue is deepest. Optimistic admission charges only
+// today's blocks, packs the step batch to max_active, and absorbs the
+// oversubscription by preempting victims when growth runs the pool dry —
+// vLLM/PagedAttention's recomputation strategy over this repo's refcounted
+// CoW block pool (parked tokens replay through still-resident cross
+// blocks; no re-encode unless the share itself was evicted).
+//
+// Before any timing, every request's tokens are asserted bit-identical to
+// an uncontended (unbounded-pool, never-preempted) reference run, and the
+// pooled/dense beam equivalence is re-asserted so preemption changes
+// nothing it shares machinery with. Those checks are always hard. The
+// throughput/utilization gates demote to report-only under
+// TURBO_BENCH_NO_GATE (shared CI runners have untrustworthy clocks).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "genserve/generation_server.h"
+#include "model/decoder.h"
+#include "serving/request.h"
+
+using namespace turbo;
+
+namespace {
+
+model::ModelConfig gen_config() {
+  return model::ModelConfig::tiny(/*layers=*/2, /*hidden=*/64, /*heads=*/4,
+                                  /*inter=*/128, /*vocab=*/500);
+}
+
+struct BurstResult {
+  std::map<int64_t, std::vector<int>> tokens_by_id;
+  size_t tokens = 0;
+  double wall_s = 0.0;
+  double mean_active = 0.0;       // mean step-batch size
+  double mean_utilization = 0.0;  // mean blocks_in_use / max_blocks
+  double peak_oversub = 0.0;      // peak blocks_reserved / max_blocks
+  size_t preemptions = 0;
+  size_t resumes = 0;
+  size_t evictions = 0;
+  size_t replayed = 0;            // re-derived (wasted) step slots
+  int64_t iterations = 0;
+};
+
+BurstResult run_burst_once(
+    const model::ModelConfig& config,
+    const std::vector<serving::GenerationRequest>& requests, size_t max_bytes,
+    bool optimistic) {
+  genserve::GenServerOptions options;
+  options.pool.block_tokens = 8;
+  options.pool.blocks_per_slab = 8;
+  options.pool.max_bytes = max_bytes;
+  options.scheduler.max_active = 8;
+  options.scheduler.optimistic_admission = optimistic;
+  genserve::GenerationServer server(config, options, 29);
+  const double max_blocks =
+      max_bytes == 0 ? 0.0 : static_cast<double>(server.pool().max_blocks());
+
+  BurstResult r;
+  size_t active_sum = 0;
+  size_t in_use_sum = 0;
+  server.set_step_observer([&](const genserve::StepStats& s) {
+    active_sum += static_cast<size_t>(s.active);
+    in_use_sum += s.kv_blocks_in_use;
+    r.replayed += static_cast<size_t>(s.replayed);
+    if (max_blocks > 0.0) {
+      r.peak_oversub =
+          std::max(r.peak_oversub,
+                   static_cast<double>(s.kv_blocks_reserved) / max_blocks);
+    }
+  });
+  for (const auto& req : requests) server.submit(req);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto responses = server.run_to_completion();
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+  TT_CHECK_EQ(responses.size(), requests.size());
+  for (const auto& resp : responses) {
+    r.tokens += resp.tokens.size();
+    r.tokens_by_id[resp.request_id] = resp.tokens;
+  }
+  r.iterations = server.iterations();
+  r.mean_active = r.iterations ? static_cast<double>(active_sum) /
+                                     static_cast<double>(r.iterations)
+                               : 0.0;
+  r.mean_utilization =
+      (r.iterations && max_blocks > 0.0)
+          ? static_cast<double>(in_use_sum) /
+                (static_cast<double>(r.iterations) * max_blocks)
+          : 0.0;
+  r.preemptions = server.scheduler().total_preempted();
+  r.resumes = server.scheduler().total_resumed();
+  r.evictions = server.scheduler().total_evicted();
+  TT_CHECK_EQ(server.pool().stats().current_device_bytes, 0u);
+  return r;
+}
+
+// Scheduling is single-threaded and fully deterministic — only the clock
+// is noisy. Repeat the burst and keep the best wall time; everything else
+// (tokens, preemptions, batch shapes) must come out identical every rep.
+BurstResult run_burst(const model::ModelConfig& config,
+                      const std::vector<serving::GenerationRequest>& requests,
+                      size_t max_bytes, bool optimistic, int reps = 3) {
+  BurstResult best = run_burst_once(config, requests, max_bytes, optimistic);
+  for (int rep = 1; rep < reps; ++rep) {
+    BurstResult r = run_burst_once(config, requests, max_bytes, optimistic);
+    TT_CHECK(r.tokens_by_id == best.tokens_by_id);
+    TT_CHECK_EQ(r.preemptions, best.preemptions);
+    TT_CHECK_EQ(r.iterations, best.iterations);
+    if (r.wall_s < best.wall_s) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const auto config = gen_config();
+  const bool gate = std::getenv("TURBO_BENCH_NO_GATE") == nullptr;
+
+  // The serving regime optimistic admission exists for: every request
+  // carries a generous output budget (max_new_tokens = 64, what worst-case
+  // admission must reserve) while actual generations stop far earlier.
+  // A deterministic pre-pass discovers each request's natural generation
+  // and picks its EOS id from the tokens it actually produces (first
+  // occurrence nearest a target length ~ U(6,20)), so "stops early" is a
+  // property of the model's own greedy trajectory — identical in every
+  // run, preempted or not.
+  const int num_requests = 48;
+  const int budget = 64;
+  Rng rng(0xFA57);
+  std::vector<serving::GenerationRequest> requests;
+  for (int i = 0; i < num_requests; ++i) {
+    serving::GenerationRequest r;
+    r.id = i;
+    const int len = static_cast<int>(rng.uniform_int(6, 16));
+    r.src_tokens = rng.token_ids(len, 500);
+    r.max_new_tokens = budget;
+    r.eos_id = 2;  // pre-pass: never fires in the random-weight model
+    requests.push_back(std::move(r));
+  }
+  {
+    const BurstResult probe_run = run_burst(config, requests, /*max_bytes=*/0,
+                                            /*optimistic=*/false, /*reps=*/1);
+    for (auto& r : requests) {
+      const auto& toks = probe_run.tokens_by_id.at(r.id);
+      const int target =
+          static_cast<int>(rng.uniform_int(8, 24));
+      int best_tok = -1;
+      int best_dist = 1 << 30;
+      std::map<int, int> first_occurrence;
+      for (size_t k = 0; k < toks.size(); ++k) {
+        first_occurrence.emplace(toks[k], static_cast<int>(k));
+      }
+      for (const auto& [tok, first] : first_occurrence) {
+        const int dist = std::abs(first - target);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_tok = tok;
+        }
+      }
+      TT_CHECK_GE(best_tok, 0);
+      r.eos_id = best_tok;  // generation now ends at its first occurrence
+    }
+  }
+
+  // Uncontended reference: unbounded pool, worst-case admission, never a
+  // preemption. Its per-request tokens are the bit-identity baseline.
+  const BurstResult reference =
+      run_burst(config, requests, /*max_bytes=*/0, /*optimistic=*/false);
+
+  // Pool of 32 blocks: one worst-case reservation (~18-20 blocks: cross
+  // ceil(src/8)*2 + self ceil(64/8)*2) fits, two never do — worst-case
+  // admission serializes the burst while actual usage (~6-10 blocks per
+  // live sequence) would happily fit four.
+  genserve::KvPoolOptions probe_opts;
+  probe_opts.block_tokens = 8;
+  probe_opts.blocks_per_slab = 8;
+  genserve::KvCachePool probe(config, probe_opts);
+  double worst8 = 0.0;  // worst case of a full eight-deep step batch
+  for (int i = 0; i < 8; ++i) {
+    worst8 += static_cast<double>(
+        probe.blocks_for(static_cast<int>(requests[i].src_tokens.size()),
+                         requests[i].max_new_tokens));
+  }
+  const size_t slab_blocks = 8;
+  const size_t slabs = 4;
+  const size_t max_bytes = slabs * slab_blocks * probe.block_bytes();
+
+  const BurstResult worst =
+      run_burst(config, requests, max_bytes, /*optimistic=*/false);
+  const BurstResult opt =
+      run_burst(config, requests, max_bytes, /*optimistic=*/true);
+
+  // Bit-identity (always hard): preempted-and-resumed sequences must
+  // reproduce the uncontended run exactly, token for token.
+  for (const auto& [id, toks] : reference.tokens_by_id) {
+    TT_CHECK_MSG(worst.tokens_by_id.at(id) == toks,
+                 "worst-case run diverged on request " << id);
+    TT_CHECK_MSG(opt.tokens_by_id.at(id) == toks,
+                 "optimistic (preempted) run diverged on request " << id);
+  }
+  TT_CHECK_GT(opt.preemptions, 0u);  // the contention was real
+
+  size_t actual_tokens = 0;
+  for (const auto& [id, toks] : reference.tokens_by_id) {
+    actual_tokens += toks.size();
+  }
+  const double oversub =
+      worst8 / static_cast<double>(slabs * slab_blocks);
+  std::printf("KV preemption — %d requests, src U(6,16), budget %d tokens "
+              "(actual mean %.1f), pool %zu blocks\n",
+              num_requests, budget,
+              static_cast<double>(actual_tokens) / num_requests,
+              slabs * slab_blocks);
+  std::printf("step-batch worst-case reservation: %.0f blocks = %.1fx pool "
+              "capacity\n",
+              worst8, oversub);
+  bench::print_rule('=');
+  std::printf("%-12s | %9s %9s %9s | %8s %8s | %6s %6s %6s %7s\n", "admission",
+              "tok/s", "wall ms", "iters", "batch", "util", "preempt",
+              "resume", "evict", "replay");
+  const auto row = [](const char* name, const BurstResult& r) {
+    std::printf("%-12s | %9.0f %9.1f %9lld | %8.2f %7.1f%% | %6zu %6zu %6zu "
+                "%7zu\n",
+                name, static_cast<double>(r.tokens) / r.wall_s,
+                r.wall_s * 1e3, static_cast<long long>(r.iterations),
+                r.mean_active, 100.0 * r.mean_utilization, r.preemptions,
+                r.resumes, r.evictions, r.replayed);
+  };
+  row("worst-case", worst);
+  row("optimistic", opt);
+  bench::print_rule();
+  const double util_gain = opt.mean_utilization / worst.mean_utilization;
+  const double tput_gain =
+      (static_cast<double>(opt.tokens) / opt.wall_s) /
+      (static_cast<double>(worst.tokens) / worst.wall_s);
+  std::printf("optimistic vs worst-case: %.2fx sustained pool utilization, "
+              "%.2fx completed-tokens/s\n",
+              util_gain, tput_gain);
+  std::printf("peak reservation oversubscription: worst-case %.2fx (capped "
+              "at 1.0), optimistic %.2fx\n",
+              worst.peak_oversub, opt.peak_oversub);
+  std::printf("outputs bit-identical to the uncontended run across all %d "
+              "requests in both modes.\n",
+              num_requests);
+
+  // Timing/utilization gates: report-only under TURBO_BENCH_NO_GATE.
+  if (gate) {
+    TT_CHECK_GE(oversub, 1.5);         // the workload really oversubscribes
+    TT_CHECK_GT(util_gain, 1.0);       // higher sustained pool utilization
+    TT_CHECK_GE(tput_gain, 1.0);       // and no throughput regression
+  } else {
+    std::printf("(gates skipped: TURBO_BENCH_NO_GATE set)\n");
+  }
+  return 0;
+}

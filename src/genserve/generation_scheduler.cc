@@ -9,7 +9,7 @@ namespace turbo::genserve {
 GenerationScheduler::GenerationScheduler(KvCachePool* pool,
                                          const serving::CostTable* costs,
                                          GenSchedulerOptions options)
-    : pool_(pool), costs_(costs), options_(options) {
+    : pool_(pool), costs_(costs), options_(std::move(options)) {
   TT_CHECK(pool_ != nullptr);
   TT_CHECK(costs_ != nullptr);
   TT_CHECK_GE(options_.max_active, 1);
@@ -21,7 +21,10 @@ void GenerationScheduler::validate(
                "generation request " << request.id << " has no source");
   TT_CHECK_GE(request.max_new_tokens, 1);
   // A request whose worst case exceeds the whole pool could never be
-  // admitted; accepting it would wedge the FIFO queue forever.
+  // admitted; accepting it would wedge the FIFO queue forever. Under
+  // optimistic admission this cap doubles as the progress guarantee: the
+  // highest-ranked sequence can always preempt everything else and still
+  // fit alone.
   const size_t need =
       pool_->blocks_for(static_cast<int>(request.src_tokens.size()),
                         request.max_new_tokens);
@@ -53,49 +56,244 @@ std::vector<ActiveSequence*> GenerationScheduler::admit(double now_s) {
   // Worst-case context (source + full output budget) of every active
   // sequence, matching the candidate term below: the step-cost cap is a
   // lifetime guarantee for the batch, not a snapshot of current lengths —
-  // admitted sequences are never preempted, so a gate on current context
-  // would be silently violated as they grow.
+  // a gate on current context would be silently violated as sequences
+  // grow. (Preemption under optimistic admission is triggered by pool
+  // exhaustion, never by the cost gate, so the lifetime view stays right.)
   int max_ctx = 0;
   for (const auto& seq : active_) {
     max_ctx = std::max(max_ctx,
                        static_cast<int>(seq->request.src_tokens.size()) +
                            seq->request.max_new_tokens);
   }
-  while (!queue_.empty() &&
-         static_cast<int>(active_.size()) < options_.max_active) {
-    const serving::GenerationRequest& head = queue_.front();
-    const int s_src = static_cast<int>(head.src_tokens.size());
-    // Charge only the request's *unshared* worst case: when its prompt is
-    // already resident in the pool, the cross blocks are mapped to the live
-    // share (counted once however many sequences read them) and only the
-    // self-block budget is marginal.
-    if (!pool_->can_admit_prompt(head.src_tokens, head.max_new_tokens)) break;
-    if (options_.max_step_cost_ms > 0.0) {
-      const int ctx = std::max(max_ctx, s_src + head.max_new_tokens);
-      if (predicted_step_cost_ms(ctx, static_cast<int>(active_.size()) + 1) >
-              options_.max_step_cost_ms &&
-          !active_.empty()) {
-        // A lone over-budget sequence still runs (batch of one) so the
-        // queue can never wedge.
-        break;
+  const auto cost_blocks = [&](const serving::GenerationRequest& r) {
+    if (options_.max_step_cost_ms <= 0.0) return false;
+    const int ctx = std::max(
+        max_ctx, static_cast<int>(r.src_tokens.size()) + r.max_new_tokens);
+    // A lone over-budget sequence still runs (batch of one) so the queue
+    // can never wedge.
+    return predicted_step_cost_ms(ctx, static_cast<int>(active_.size()) + 1) >
+               options_.max_step_cost_ms &&
+           !active_.empty();
+  };
+
+  // Admission keeps one boundary-crossing of growth headroom per running
+  // sequence uncommitted: packing the pool to the last block would only
+  // buy a sequence that the very next grow preempts again (and whose
+  // parked tokens must then be replayed — pure waste).
+  const auto headroom = [&] {
+    return pool_->blocks_per_boundary() * active_.size();
+  };
+
+  for (;;) {
+    // Requeued (preempted) sequences resume first: they are older than
+    // anything still pending and their cross blocks are usually resident.
+    while (!requeued_.empty() &&
+           static_cast<int>(active_.size()) < options_.max_active) {
+      ActiveSequence* seq = requeued_.front().get();
+      if (cost_blocks(seq->request)) break;
+      // Resuming is only worth it when the whole replay fits: coming back
+      // with less space thrashes the sequence straight back out.
+      const int replay_rows = static_cast<int>(seq->tokens.size()) + 1;
+      if (seq->kv) {
+        if (!pool_->can_resume(*seq->kv, replay_rows, headroom())) break;
+        pool_->resume(*seq->kv);
+      } else {
+        // Evicted while parked: the cross share was dropped, so this is a
+        // full re-admission (the server re-encodes unless the prompt is
+        // resident again through another sequence). The replay must fit
+        // here too, or the paid-for encoder pass just thrashes out.
+        if (!pool_->can_readmit_now(seq->request.src_tokens, replay_rows,
+                                    headroom())) {
+          break;
+        }
+        seq->kv = pool_->admit_optimistic(seq->request.id,
+                                          seq->request.src_tokens,
+                                          seq->request.max_new_tokens);
       }
+      // Restart the decode cursor; steps [0, replay) re-derive the parked
+      // tokens bit-identically and are not streamed again.
+      seq->step = 0;
+      seq->last_token = seq->request.bos_id;
+      seq->replay = static_cast<int>(seq->tokens.size());
+      ++total_resumed_;
+      max_ctx = std::max(max_ctx,
+                         static_cast<int>(seq->request.src_tokens.size()) +
+                             seq->request.max_new_tokens);
+      admitted.push_back(seq);
+      active_.push_back(std::move(requeued_.front()));
+      requeued_.pop_front();
     }
 
-    auto seq = std::make_unique<ActiveSequence>();
-    seq->request = std::move(queue_.front());
-    queue_.pop_front();
-    // Prompt-keyed admission: identical prompts share cross blocks, and the
-    // server skips re-encoding when kv->needs_cross_init() is false.
-    seq->kv = pool_->admit(seq->request.id, seq->request.src_tokens,
-                           seq->request.max_new_tokens);
-    seq->last_token = seq->request.bos_id;
-    seq->admit_s = now_s;
-    ++total_admitted_;
-    max_ctx = std::max(max_ctx, s_src + seq->request.max_new_tokens);
-    admitted.push_back(seq.get());
-    active_.push_back(std::move(seq));
+    // Fresh FIFO admissions — only once nothing older is waiting to
+    // resume, so requeued sequences cannot be starved by new arrivals.
+    while (requeued_.empty() && !queue_.empty() &&
+           static_cast<int>(active_.size()) < options_.max_active) {
+      const serving::GenerationRequest& head = queue_.front();
+      // Charge only the request's *unshared* demand: when its prompt is
+      // already resident in the pool, the cross blocks are mapped to the
+      // live share (counted once however many sequences read them).
+      // Worst-case policy reserves the full output budget; optimistic
+      // admission needs only today's blocks to fit.
+      const bool fits =
+          options_.optimistic_admission
+              ? pool_->can_admit_now(head.src_tokens, headroom())
+              : pool_->can_admit_prompt(head.src_tokens, head.max_new_tokens);
+      if (!fits) break;
+      if (cost_blocks(head)) break;
+
+      auto seq = std::make_unique<ActiveSequence>();
+      seq->request = std::move(queue_.front());
+      queue_.pop_front();
+      // Prompt-keyed admission: identical prompts share cross blocks, and
+      // the server skips re-encoding when kv->needs_cross_init() is false.
+      seq->kv = options_.optimistic_admission
+                    ? pool_->admit_optimistic(seq->request.id,
+                                              seq->request.src_tokens,
+                                              seq->request.max_new_tokens)
+                    : pool_->admit(seq->request.id, seq->request.src_tokens,
+                                   seq->request.max_new_tokens);
+      seq->last_token = seq->request.bos_id;
+      seq->admit_s = now_s;
+      seq->admit_order = admit_stamp_++;
+      ++total_admitted_;
+      max_ctx = std::max(max_ctx,
+                         static_cast<int>(seq->request.src_tokens.size()) +
+                             seq->request.max_new_tokens);
+      admitted.push_back(seq.get());
+      active_.push_back(std::move(seq));
+    }
+
+    // Progress guard: nothing is running, work remains, and the loops
+    // above admitted no one — parked cross shares are hogging the pool.
+    // Evict one and retry; validate() guarantees this converges.
+    if (active_.empty() && !idle()) {
+      if (evict_one_parked()) continue;
+      TT_CHECK_MSG(false, "generation scheduler wedged: empty pool refuses "
+                          "every admission");
+    }
+    break;
   }
   return admitted;
+}
+
+bool GenerationScheduler::outranks(const ActiveSequence& a,
+                                   const ActiveSequence& b) const {
+  if (options_.victim_policy ==
+          GenSchedulerOptions::VictimPolicy::kLowestPriority &&
+      a.request.priority != b.request.priority) {
+    return a.request.priority > b.request.priority;
+  }
+  // Admission order breaks every remaining tie, making the order strict
+  // and total — the progress guarantee needs exactly that.
+  return a.admit_order < b.admit_order;
+}
+
+double GenerationScheduler::replay_cost_ms(const ActiveSequence& s) const {
+  // Re-deriving a preempted sequence replays its parked tokens one fused
+  // step at a time. The cost table supplies the per-step latency at the
+  // victim's context — measured values once the server has fed observe().
+  const int ctx =
+      static_cast<int>(s.request.src_tokens.size()) + std::max(s.step, 1);
+  return static_cast<double>(s.tokens.size()) * predicted_step_cost_ms(ctx, 1);
+}
+
+ActiveSequence* GenerationScheduler::pick_victim(
+    const ActiveSequence& requester) {
+  std::vector<ActiveSequence*> eligible;
+  for (const auto& seq : active_) {
+    if (seq.get() == &requester) continue;
+    if (outranks(requester, *seq)) eligible.push_back(seq.get());
+  }
+  if (eligible.empty()) return nullptr;
+  if (options_.victim_selector) {
+    if (ActiveSequence* chosen = options_.victim_selector(eligible)) {
+      TT_CHECK_MSG(std::find(eligible.begin(), eligible.end(), chosen) !=
+                       eligible.end(),
+                   "victim_selector returned a non-eligible sequence");
+      return chosen;
+    }
+  }
+  ActiveSequence* best = eligible.front();
+  for (ActiveSequence* cand : eligible) {
+    if (options_.victim_policy ==
+        GenSchedulerOptions::VictimPolicy::kCheapestRecompute) {
+      const double c = replay_cost_ms(*cand);
+      const double b = replay_cost_ms(*best);
+      if (c < b || (c == b && outranks(*best, *cand))) best = cand;
+    } else {
+      // Lowest-ranked candidate loses (for kMostRecentlyAdmitted that is
+      // the newest admission; for kLowestPriority the weakest priority).
+      if (outranks(*best, *cand)) best = cand;
+    }
+  }
+  return best;
+}
+
+void GenerationScheduler::park(ActiveSequence* seq,
+                               std::vector<ActiveSequence*>* prepared) {
+  pool_->preempt(*seq->kv);
+  ++seq->preempt_count;
+  ++total_preempted_;
+  if (prepared) {
+    prepared->erase(std::remove(prepared->begin(), prepared->end(), seq),
+                    prepared->end());
+  }
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    if (it->get() == seq) {
+      requeued_.push_back(std::move(*it));
+      active_.erase(it);
+      return;
+    }
+  }
+  TT_CHECK_MSG(false, "parked sequence " << seq->request.id
+                                         << " not in the active set");
+}
+
+bool GenerationScheduler::evict_one_parked() {
+  // Evict back-to-front: the most recently preempted sequence resumes
+  // last, so it has the longest to wait for a fresh encoder pass anyway.
+  // Prefer a handle whose cross share is not co-held — releasing a shared
+  // one frees nothing while still costing that sequence a re-encode.
+  for (const bool require_exclusive : {true, false}) {
+    for (auto it = requeued_.rbegin(); it != requeued_.rend(); ++it) {
+      if (!(*it)->kv) continue;
+      if (require_exclusive && (*it)->kv->cross_shared()) continue;
+      (*it)->kv.reset();  // releases the cross share back to the pool
+      ++total_evicted_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ActiveSequence*> GenerationScheduler::prepare_step() {
+  std::vector<ActiveSequence*> prepared;
+  // Growth mutates active_ (victims move to the requeue queue), so walk a
+  // snapshot; anything parked by an earlier grower is skipped when its
+  // turn comes.
+  std::vector<ActiveSequence*> order;
+  order.reserve(active_.size());
+  for (const auto& seq : active_) order.push_back(seq.get());
+  for (ActiveSequence* seq : order) {
+    if (!seq->kv || seq->kv->parked()) continue;  // victimized this call
+    for (;;) {
+      if (pool_->try_ensure_token(*seq->kv, seq->step)) {
+        prepared.push_back(seq);
+        break;
+      }
+      // Pool exhausted mid-decode: preempt downward. A victim this grower
+      // outranks goes first; then parked cross shares; and when neither
+      // exists the grower itself yields to the sequences above it.
+      if (ActiveSequence* victim = pick_victim(*seq)) {
+        park(victim, &prepared);
+        continue;
+      }
+      if (evict_one_parked()) continue;
+      park(seq, &prepared);
+      break;
+    }
+  }
+  return prepared;
 }
 
 std::vector<std::unique_ptr<ActiveSequence>>

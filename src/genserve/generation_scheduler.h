@@ -9,19 +9,32 @@
 // admitted into the freed capacity, keeping the step batch full.
 //
 // Admission is gated on two resources:
-//  * KV pool capacity — a sequence joins only if its worst-case block
-//    demand fits the pool's reservation budget, so decode can never
-//    deadlock on memory. The demand is marginal: a request whose prompt is
-//    already resident shares those cross blocks (charged once for the whole
-//    group), so only its unshared self-block budget counts;
+//  * KV pool capacity — under the default worst-case policy a sequence
+//    joins only if its worst-case block demand fits the pool's reservation
+//    budget, so decode can never deadlock on memory. The demand is
+//    marginal: a request whose prompt is already resident shares those
+//    cross blocks (charged once for the whole group), so only its unshared
+//    self-block budget counts. Under optimistic admission
+//    (GenSchedulerOptions::optimistic_admission) a sequence joins when its
+//    *current* demand fits — worst cases may oversubscribe the pool, and
+//    when a running sequence's growth finds the pool exhausted the
+//    scheduler preempts a victim (pluggable policy): the victim's unshared
+//    blocks return to the pool, its generated tokens are parked, and it is
+//    requeued to resume by replaying those tokens from its still-resident
+//    cross blocks (no re-encode). Preemption only ever flows down the
+//    priority order, so the strongest sequence always runs to completion —
+//    no livelock;
 //  * the cost table — the predicted fused-step latency at the grown batch
 //    size must stay under `max_step_cost_ms` (the same cached_cost
 //    dictionary the §5 DP consults, applied per iteration instead of per
-//    queue snapshot).
+//    queue snapshot; the server feeds measured fused-step latencies back
+//    through CostTable::observe, so the gate and the victim policy's
+//    recompute estimates track real costs instead of the analytic warm-up).
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -34,32 +47,62 @@ namespace turbo::genserve {
 // One admitted, still-decoding sequence.
 struct ActiveSequence {
   serving::GenerationRequest request;
-  std::unique_ptr<SequenceKv> kv;
+  std::unique_ptr<SequenceKv> kv;  // null while evicted (cross share dropped)
   std::vector<int> tokens;   // generated so far (excluding BOS/EOS)
   int last_token = 0;        // token to feed at the next step
   int step = 0;              // next decode position
+  // Steps [0, replay) after a resume re-derive already-parked tokens: the
+  // decoder rebuilds the self K/V rows bit-identically (cross K/V never
+  // changed), the server asserts each replayed argmax matches the parked
+  // token and must not stream it again.
+  int replay = 0;
   bool finished = false;
   bool hit_max_len = false;
-  double admit_s = 0.0;
+  double admit_s = 0.0;      // first admission (latency includes requeues)
+  int64_t admit_order = 0;   // first-admission stamp, stable across requeues
+  int preempt_count = 0;     // times this sequence was preempted
 };
 
 struct GenSchedulerOptions {
+  // How the pool-exhausted victim is chosen among sequences the requester
+  // outranks (preemption never flows up the priority order).
+  enum class VictimPolicy {
+    kMostRecentlyAdmitted,  // LIFO: newest admission loses first
+    kLowestPriority,        // request.priority, ties by admission order
+    // Cheapest predicted re-derivation: fewest parked tokens weighted by
+    // the cost table's per-step latency at the victim's context — measured
+    // costs once the server has fed observe().
+    kCheapestRecompute,
+  };
+  // Custom victim choice; receives the eligible candidates (every active
+  // sequence the requester outranks) and returns one of them, or nullptr
+  // to defer to victim_policy. Eligibility is not negotiable — it is what
+  // guarantees forward progress.
+  using VictimSelector =
+      std::function<ActiveSequence*(const std::vector<ActiveSequence*>&)>;
+
   int max_active = 8;             // step-batch size cap
   double max_step_cost_ms = 0.0;  // predicted step latency cap; 0 = off
+  // Admit on current marginal demand instead of the worst case, absorbing
+  // the oversubscription with preempt-and-requeue.
+  bool optimistic_admission = false;
+  VictimPolicy victim_policy = VictimPolicy::kMostRecentlyAdmitted;
+  VictimSelector victim_selector;
 };
 
 // Ownership: borrows the pool and cost table (both must outlive it); owns
-// the pending queue and every ActiveSequence — including each sequence's
-// SequenceKv, which it releases back to the pool on retire.
+// the pending queue, the requeue queue and every ActiveSequence — including
+// each sequence's SequenceKv, which it releases back to the pool on retire.
 // Thread-safety: externally synchronized, same single consumer as the
 // pool (the server's step loop). validate() is the exception: it reads
 // only immutable pool geometry and request fields, so any thread may call
 // it (AsyncGenerationServer does, from client threads).
-// Invariants: every enqueued request is admitted exactly once, FIFO;
-// active() <= max_active; the pool reservation of the active set never
-// exceeds capacity (admission is charged at marginal worst case before a
-// sequence joins); once idle(), total_enqueued == total_admitted ==
-// total_retired.
+// Invariants: every enqueued request is admitted exactly once, FIFO, and
+// retired exactly once (requeues resume, they do not re-admit);
+// active() <= max_active; under worst-case admission the pool reservation
+// of the active set never exceeds capacity; under optimistic admission
+// blocks_in_use never exceeds capacity (prepare_step preempts instead);
+// once idle(), total_enqueued == total_admitted == total_retired.
 class GenerationScheduler {
  public:
   // `pool` and `costs` are borrowed; both must outlive the scheduler.
@@ -67,7 +110,9 @@ class GenerationScheduler {
                       GenSchedulerOptions options = {});
 
   // Throws CheckError if the request is malformed or its worst-case KV
-  // demand exceeds the whole pool (it could never be admitted). Reads only
+  // demand exceeds the whole pool (it could never be admitted — and under
+  // optimistic admission this cap is also what guarantees the strongest
+  // sequence can always preempt its way to completion). Reads only
   // immutable pool geometry, so it is safe from any thread.
   void validate(const serving::GenerationRequest& request) const;
 
@@ -75,14 +120,29 @@ class GenerationScheduler {
 
   size_t pending() const { return queue_.size(); }
   size_t active() const { return active_.size(); }
-  bool idle() const { return queue_.empty() && active_.empty(); }
+  size_t requeued() const { return requeued_.size(); }
+  bool idle() const {
+    return queue_.empty() && active_.empty() && requeued_.empty();
+  }
 
-  // Iteration-level batch formation: admit queued sequences in FIFO order
-  // while the pool can reserve their worst case, max_active allows, and
-  // the cost table predicts the grown step still fits the budget. Returns
-  // the newly admitted sequences (the server must encode their source and
-  // init cross-attention before the next step).
+  // Iteration-level batch formation. Requeued (preempted) sequences resume
+  // first — they are older than anything pending, and their cross blocks
+  // are already resident — then queued requests join in FIFO order, while
+  // the pool admits (worst case or current demand, by policy), max_active
+  // allows, and the cost table predicts the grown step under budget.
+  // Returns every sequence that (re)joined: the server must encode the
+  // sources of those with kv->needs_cross_init() before the next step;
+  // resumed ones carry replay > 0 and re-derive instead of streaming.
   std::vector<ActiveSequence*> admit(double now_s);
+
+  // Growth phase of one iteration: back self row `step` of every active
+  // sequence (CoW barrier included), preempting victims when the pool is
+  // exhausted. Returns the sequences that should run this step — under
+  // worst-case admission that is every active sequence; under optimistic
+  // admission a sequence may instead have been parked (preempted) this
+  // call, either as a victim or by yielding to a higher-priority grower.
+  // At least one sequence survives whenever any was active.
+  std::vector<ActiveSequence*> prepare_step();
 
   const std::vector<std::unique_ptr<ActiveSequence>>& active_set() const {
     return active_;
@@ -97,20 +157,44 @@ class GenerationScheduler {
   size_t total_enqueued() const { return total_enqueued_; }
   size_t total_admitted() const { return total_admitted_; }
   size_t total_retired() const { return total_retired_; }
+  // Preemption activity: preemptions park a victim's tokens and requeue
+  // it; resumes re-admit from the requeue queue; evictions additionally
+  // dropped a parked sequence's cross share (it must re-encode on resume).
+  size_t total_preempted() const { return total_preempted_; }
+  size_t total_resumed() const { return total_resumed_; }
+  size_t total_evicted() const { return total_evicted_; }
 
  private:
   // Predicted fused-step cost at batch size `batch` with `max_ctx` the
   // longest active context (source + generated tokens).
   double predicted_step_cost_ms(int max_ctx, int batch) const;
+  // Strict total order for preemption: true when `a` is safer than `b`.
+  bool outranks(const ActiveSequence& a, const ActiveSequence& b) const;
+  // Predicted cost of re-deriving `s`'s parked tokens after a preemption.
+  double replay_cost_ms(const ActiveSequence& s) const;
+  // Victim among active sequences the requester outranks; null when none.
+  ActiveSequence* pick_victim(const ActiveSequence& requester);
+  // Preempt `seq`: park its tokens, move it to the requeue queue, and drop
+  // it from `prepared` if it had already been grown this iteration.
+  void park(ActiveSequence* seq, std::vector<ActiveSequence*>* prepared);
+  // Drop the cross share of the most recently preempted parked sequence
+  // (it will re-encode on resume). Last-resort capacity relief.
+  bool evict_one_parked();
 
   KvCachePool* pool_;
   const serving::CostTable* costs_;
   GenSchedulerOptions options_;
   std::deque<serving::GenerationRequest> queue_;
   std::vector<std::unique_ptr<ActiveSequence>> active_;
+  // Preempted sequences awaiting re-admission, oldest first.
+  std::deque<std::unique_ptr<ActiveSequence>> requeued_;
+  int64_t admit_stamp_ = 0;
   size_t total_enqueued_ = 0;
   size_t total_admitted_ = 0;
   size_t total_retired_ = 0;
+  size_t total_preempted_ = 0;
+  size_t total_resumed_ = 0;
+  size_t total_evicted_ = 0;
 };
 
 }  // namespace turbo::genserve

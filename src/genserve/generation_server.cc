@@ -37,6 +37,8 @@ GenerationServer::GenerationServer(model::ModelConfig config,
                                 : default_cost_table(options.scheduler)),
       pool_(config, options.pool),
       scheduler_(&pool_, &costs_, options.scheduler),
+      observe_costs_(options.observe_step_costs),
+      observe_alpha_(options.cost_observe_alpha),
       epoch_(std::chrono::steady_clock::now()) {}
 
 double GenerationServer::now_s() const {
@@ -73,17 +75,31 @@ void GenerationServer::submit(serving::GenerationRequest request,
 
 int GenerationServer::step() {
   const double now = now_s();
+  const size_t admitted_before = scheduler_.total_admitted();
+  const size_t preempted_before = scheduler_.total_preempted();
+  const size_t resumed_before = scheduler_.total_resumed();
+  const size_t evicted_before = scheduler_.total_evicted();
 
   // Iteration-level batch formation: newly admitted sequences run the
   // encoder as one zero-padded variable-length batch (the §4.2 allocator +
   // masking path) and get their cross-attention K/V projected into pool
   // blocks once. Sequences whose prompt matched a resident share skip the
   // encoder entirely — their cross blocks are (or are being) filled by the
-  // share's creator, the prefix-sharing fast path.
+  // share's creator, the prefix-sharing fast path. Resumed (previously
+  // preempted) sequences rejoin here too; their cross blocks are still
+  // resident unless the share was evicted, in which case they re-encode
+  // like a cold admit.
   const std::vector<ActiveSequence*> admitted = scheduler_.admit(now);
   std::vector<ActiveSequence*> to_encode;
+  // First admits that ran the encoder this iteration, counted before
+  // prepare_step can preempt one of them (which would bump its
+  // preempt_count and make it indistinguishable from a resume later).
+  int fresh_encoded = 0;
   for (ActiveSequence* seq : admitted) {
-    if (seq->kv->needs_cross_init()) to_encode.push_back(seq);
+    if (seq->kv->needs_cross_init()) {
+      to_encode.push_back(seq);
+      if (seq->preempt_count == 0) ++fresh_encoded;
+    }
   }
   if (!to_encode.empty()) {
     const int nb_enc = static_cast<int>(to_encode.size());
@@ -113,32 +129,65 @@ int GenerationServer::step() {
     }
   }
 
-  const auto& active = scheduler_.active_set();
-  if (active.empty()) return 0;
-  const int nb = static_cast<int>(active.size());
+  // Growth phase: back every active sequence's next self row. Under
+  // optimistic admission this is where pool exhaustion surfaces and the
+  // scheduler preempts — only the survivors step.
+  const std::vector<ActiveSequence*> stepping = scheduler_.prepare_step();
+  if (stepping.empty()) return 0;
+  const int nb = static_cast<int>(stepping.size());
 
-  // One fused decode step over every active sequence.
+  // One fused decode step over every surviving sequence.
   std::vector<model::Seq2SeqDecoder::StepSlot> slots(static_cast<size_t>(nb));
+  int max_ctx_now = 1;
   for (int b = 0; b < nb; ++b) {
-    ActiveSequence& seq = *active[static_cast<size_t>(b)];
-    pool_.ensure_token(*seq.kv, seq.step);
+    ActiveSequence& seq = *stepping[static_cast<size_t>(b)];
     slots[static_cast<size_t>(b)] =
         model::Seq2SeqDecoder::StepSlot{seq.last_token, seq.step,
                                         seq.kv.get()};
+    max_ctx_now =
+        std::max(max_ctx_now,
+                 static_cast<int>(seq.request.src_tokens.size()) + seq.step + 1);
   }
   const int vocab = config_.vocab;
   logits_.resize(static_cast<size_t>(nb) * vocab);
+  const auto step_t0 = std::chrono::steady_clock::now();
   decoder_.step(slots, logits_.data(), workspace_);
+  const double step_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - step_t0)
+          .count();
+  // Lazy-evaluation feedback (§6.3): the admission gate and the
+  // cheapest-recompute victim policy predict from this table, so feed it
+  // what the step actually cost at the batch's real context length. A
+  // batch wider than the table's grid is dropped — folding an 8-wide
+  // latency into the widest cell would inflate its EMA forever.
+  if (observe_costs_ && step_ms > 0.0 && nb <= costs_.max_batch()) {
+    costs_.observe(max_ctx_now, nb, step_ms, observe_alpha_);
+  }
 
-  // Greedy expansion + streaming.
+  // Greedy expansion + streaming. Replayed positions (step < replay after
+  // a resume) re-derive parked tokens: the argmax is asserted identical to
+  // the parked token and is NOT streamed again — clients already saw it —
+  // so the stream stays gapless and duplicate-free across preemptions.
   int finished_now = 0;
+  int replayed_now = 0;
   for (int b = 0; b < nb; ++b) {
-    ActiveSequence& seq = *active[static_cast<size_t>(b)];
+    ActiveSequence& seq = *stepping[static_cast<size_t>(b)];
     const float* row = logits_.data() + static_cast<size_t>(b) * vocab;
     const int token =
         static_cast<int>(std::max_element(row, row + vocab) - row);
     const int step_idx = seq.step;
     ++seq.step;
+    if (step_idx < seq.replay) {
+      TT_CHECK_MSG(token == seq.tokens[static_cast<size_t>(step_idx)],
+                   "preemption replay diverged for request "
+                       << seq.request.id << " at step " << step_idx << ": "
+                       << token << " != "
+                       << seq.tokens[static_cast<size_t>(step_idx)]);
+      seq.last_token = token;
+      ++replayed_now;
+      continue;
+    }
     if (token == seq.request.eos_id) {
       seq.finished = true;
     } else {
@@ -177,12 +226,23 @@ int GenerationServer::step() {
     StepStats stats;
     stats.iteration = iteration_;
     stats.active = nb;
-    stats.admitted = static_cast<int>(admitted.size());
-    stats.admitted_shared =
-        static_cast<int>(admitted.size() - to_encode.size());
+    stats.admitted =
+        static_cast<int>(scheduler_.total_admitted() - admitted_before);
+    // First admits that skipped the encoder via a prompt match (resumed
+    // sequences are excluded from both counts).
+    stats.admitted_shared = stats.admitted - fresh_encoded;
     stats.retired = static_cast<int>(retired.size());
+    stats.preempted =
+        static_cast<int>(scheduler_.total_preempted() - preempted_before);
+    stats.resumed =
+        static_cast<int>(scheduler_.total_resumed() - resumed_before);
+    stats.evicted =
+        static_cast<int>(scheduler_.total_evicted() - evicted_before);
+    stats.replayed = replayed_now;
     stats.kv_bytes_in_use = pool_.bytes_in_use();
     stats.kv_device_bytes = pool_.stats().current_device_bytes;
+    stats.kv_blocks_in_use = pool_.blocks_in_use();
+    stats.kv_blocks_reserved = pool_.blocks_reserved();
     observer_(stats);
   }
   return nb;
@@ -309,6 +369,9 @@ void AsyncGenerationServer::worker_loop() {
       pool_snapshot_.device_bytes = pool.stats().current_device_bytes;
       pool_snapshot_.peak_device_bytes = pool.stats().peak_device_bytes;
       pool_snapshot_.active_sequences = pool.active_sequences();
+      pool_snapshot_.preemptions = server_->scheduler().total_preempted();
+      pool_snapshot_.resumes = server_->scheduler().total_resumed();
+      pool_snapshot_.evictions = server_->scheduler().total_evicted();
       for (const auto& resp : done) ids_in_flight_.erase(resp.request_id);
     }
     for (auto& resp : done) {

@@ -43,6 +43,12 @@ struct GenServerOptions {
   // Admission cost dictionary; when unset, a coarse analytic warm-up is
   // built (benchmarks pass a profiled table instead).
   std::optional<serving::CostTable> cost_table;
+  // Fold each fused step's measured latency back into the cost table
+  // (CostTable::observe, §6.3 lazy evaluation): the analytic warm-up is
+  // only the starting point, admission and victim-choice predictions
+  // converge to real costs as the server runs.
+  bool observe_step_costs = true;
+  double cost_observe_alpha = 0.25;
 };
 
 // Per-iteration snapshot handed to the step observer (benchmark hook for
@@ -50,12 +56,19 @@ struct GenServerOptions {
 struct StepStats {
   int64_t iteration = 0;
   int active = 0;                   // sequences in this fused step
-  int admitted = 0;                 // joined this iteration
+  int admitted = 0;                 // joined this iteration (first admits)
   int admitted_shared = 0;          // of those, joined via a prompt match
                                     // (cross blocks shared, encoder skipped)
   int retired = 0;                  // finished this iteration
+  int preempted = 0;                // victims parked this iteration
+  int resumed = 0;                  // requeued sequences re-admitted
+  int evicted = 0;                  // parked cross shares dropped
+  int replayed = 0;                 // step slots re-deriving parked tokens
   size_t kv_bytes_in_use = 0;       // live sequences' blocks
   size_t kv_device_bytes = 0;       // slab footprint (device reservation)
+  size_t kv_blocks_in_use = 0;      // unique live blocks
+  size_t kv_blocks_reserved = 0;    // worst-case reservations (can exceed
+                                    // capacity under optimistic admission)
 };
 
 // Ownership: owns the whole sync engine — encoder, decoder, cost table,
@@ -68,11 +81,14 @@ struct StepStats {
 // (AsyncGenerationServer's worker, in the async stack). validate() reads
 // only immutable configuration and pool geometry and may be called from
 // any thread. Token callbacks run synchronously inside step().
-// Invariants: one step() == one scheduler iteration — admit, encode the
-// cold-prompt admits as one batch, one fused decode step over the whole
-// active set, stream, retire; a retired sequence's blocks are back in the
-// pool before the next admit round; every submitted request produces
-// exactly one GenerationResponse.
+// Invariants: one step() == one scheduler iteration — admit (resuming
+// preempted sequences first), encode the cold-prompt admits as one batch,
+// grow-or-preempt, one fused decode step over the surviving active set,
+// stream, retire; a retired sequence's blocks are back in the pool before
+// the next admit round; every submitted request produces exactly one
+// GenerationResponse. Preemption is invisible to clients: a resumed
+// sequence re-derives its parked tokens (asserted bit-identical) without
+// re-streaming them, so the token stream has no gaps and no duplicates.
 class GenerationServer {
  public:
   using StepObserver = std::function<void(const StepStats&)>;
@@ -103,6 +119,9 @@ class GenerationServer {
   const KvCachePool& pool() const { return pool_; }
   const GenerationScheduler& scheduler() const { return scheduler_; }
   const serving::CostTable& cost_table() const { return costs_; }
+  // The live admission dictionary (tests feed synthetic observe()
+  // measurements through this; the step loop feeds real ones).
+  serving::CostTable& mutable_cost_table() { return costs_; }
   int64_t iterations() const { return iteration_; }
 
   void set_step_observer(StepObserver observer) {
@@ -123,6 +142,8 @@ class GenerationServer {
   std::vector<float> logits_;  // step scratch [max_active, vocab]
   model::DecodeWorkspace workspace_;  // reused across decode steps
   StepObserver observer_;
+  bool observe_costs_ = true;
+  double observe_alpha_ = 0.25;
   int64_t iteration_ = 0;
   std::chrono::steady_clock::time_point epoch_;
 };
@@ -133,6 +154,10 @@ struct PoolSnapshot {
   size_t device_bytes = 0;
   size_t peak_device_bytes = 0;
   int active_sequences = 0;
+  // Preempt-and-requeue activity (optimistic admission).
+  size_t preemptions = 0;
+  size_t resumes = 0;
+  size_t evictions = 0;
 };
 
 // Ownership: takes the engine by unique_ptr and owns it plus the worker

@@ -46,6 +46,10 @@ bool SequenceKv::needs_cross_init() const {
   return !pool_->shares_.at(share_id_).ready;
 }
 
+bool SequenceKv::cross_shared() const {
+  return pool_->shares_.at(share_id_).refs > 1;
+}
+
 void SequenceKv::mark_cross_ready() {
   TT_CHECK(cross_creator_);
   pool_->shares_.at(share_id_).ready = true;
@@ -295,6 +299,100 @@ std::unique_ptr<SequenceKv> KvCachePool::admit(int64_t seq_id, int s_src,
                           /*created_share=*/true);
 }
 
+size_t KvCachePool::blocks_for_admit_now(
+    const std::vector<int>& prompt_tokens) const {
+  // What admit() materializes immediately: cross blocks unless the prompt
+  // is resident, plus the first self block of every layer.
+  size_t now = static_cast<size_t>(num_layers_);
+  if (!options_.enable_prefix_sharing || find_share(prompt_tokens) < 0) {
+    now += cross_blocks_for(static_cast<int>(prompt_tokens.size()));
+  }
+  return now;
+}
+
+bool KvCachePool::can_admit_now(const std::vector<int>& prompt_tokens,
+                                size_t headroom_blocks) const {
+  return blocks_in_use_ + blocks_for_admit_now(prompt_tokens) +
+             headroom_blocks <=
+         max_blocks();
+}
+
+bool KvCachePool::can_readmit_now(const std::vector<int>& prompt_tokens,
+                                  int token_rows,
+                                  size_t headroom_blocks) const {
+  // blocks_for_admit_now already counts the first self block per layer;
+  // the remaining replay rows add the blocks beyond it.
+  const size_t rows = static_cast<size_t>(std::max(token_rows, 1));
+  const size_t replay_extra =
+      static_cast<size_t>(num_layers_) *
+      (ceil_div(rows, static_cast<size_t>(options_.block_tokens)) - 1);
+  return can_admit_now(prompt_tokens, headroom_blocks + replay_extra);
+}
+
+std::unique_ptr<SequenceKv> KvCachePool::admit_optimistic(
+    int64_t seq_id, const std::vector<int>& prompt_tokens,
+    int max_new_tokens) {
+  TT_CHECK_MSG(can_admit_now(prompt_tokens),
+               "KV pool out of blocks optimistically admitting sequence "
+                   << seq_id);
+  int64_t share_id =
+      options_.enable_prefix_sharing ? find_share(prompt_tokens) : -1;
+  const bool created = share_id < 0;
+  if (created) {
+    share_id = create_share(prompt_tokens,
+                            static_cast<int>(prompt_tokens.size()));
+  }
+  // The worst case still lands in blocks_reserved_ (inside
+  // admit_with_share); under optimistic admission that sum may exceed
+  // max_blocks() — the overshoot is exactly the oversubscription that
+  // preempt-and-requeue absorbs.
+  return admit_with_share(seq_id, static_cast<int>(prompt_tokens.size()),
+                          max_new_tokens, share_id, created);
+}
+
+void KvCachePool::preempt(SequenceKv& seq) {
+  TT_CHECK(!seq.released_);
+  TT_CHECK_MSG(!seq.parked_, "double preempt of sequence " << seq.id_);
+  TT_CHECK_MSG(!seq.needs_cross_init(),
+               "preempting sequence " << seq.id_ << " before cross init");
+  const size_t before = blocks_in_use_;
+  // Drop every self reference. A block CoW-shared with a fork stays live
+  // through the other holders — only the victim's unshared storage frees.
+  for (auto& layer : seq.self_blocks_) {
+    for (const int b : layer) unref_block(b);
+    layer.clear();
+  }
+  blocks_reserved_ -= seq.reserved_blocks_;
+  seq.reserved_blocks_ = 0;
+  seq.parked_ = true;
+  ++parked_;
+  tracker_.on_preempt((before - blocks_in_use_) * block_bytes());
+  sweep_empty_slabs();
+}
+
+bool KvCachePool::can_resume(const SequenceKv& seq, int token_rows,
+                             size_t headroom_blocks) const {
+  TT_CHECK(seq.parked_);
+  const size_t rows = static_cast<size_t>(std::max(token_rows, 1));
+  const size_t replay_blocks =
+      static_cast<size_t>(num_layers_) *
+      ceil_div(rows, static_cast<size_t>(options_.block_tokens));
+  return blocks_in_use_ + replay_blocks + headroom_blocks <= max_blocks();
+}
+
+void KvCachePool::resume(SequenceKv& seq) {
+  TT_CHECK(!seq.released_);
+  TT_CHECK_MSG(can_resume(seq),
+               "KV pool out of blocks resuming sequence " << seq.id_);
+  seq.parked_ = false;
+  --parked_;
+  seq.reserved_blocks_ = self_blocks_for(seq.max_new_);
+  blocks_reserved_ += seq.reserved_blocks_;
+  for (auto& layer : seq.self_blocks_) layer.push_back(alloc_block());
+  tracker_.on_resume();
+  TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
+}
+
 bool KvCachePool::can_fork(const SequenceKv& parent) const {
   return blocks_reserved_ + self_blocks_for(parent.max_new_) <= max_blocks();
 }
@@ -324,11 +422,36 @@ std::unique_ptr<SequenceKv> KvCachePool::fork(const SequenceKv& parent,
 }
 
 void KvCachePool::ensure_token(SequenceKv& seq, int t) {
+  // Worst-case admits reserved every block this call could materialize, so
+  // exhaustion here means the caller admitted optimistically but did not
+  // route growth through try_ensure_token + preemption.
+  TT_CHECK_MSG(try_ensure_token(seq, t),
+               "KV pool exhausted growing sequence " << seq.id_
+                                                     << " to token " << t);
+}
+
+bool KvCachePool::try_ensure_token(SequenceKv& seq, int t) {
   TT_CHECK(!seq.released_);
+  TT_CHECK_MSG(!seq.parked_,
+               "growing preempted sequence " << seq.id_ << " before resume");
   TT_CHECK_GE(t, 0);
   TT_CHECK_LT(t, seq.max_new_);
   const int bt = options_.block_tokens;
   const size_t need = static_cast<size_t>(t / bt) + 1;
+  // Count the new blocks this grow would materialize — growth to cover t
+  // plus a CoW copy when the receiving block is shared (copying frees
+  // nothing: the shared original stays live through its other holders) —
+  // so exhaustion is detected before any state changes.
+  size_t fresh = 0;
+  for (int layer = 0; layer < num_layers_; ++layer) {
+    const auto& blocks = seq.self_blocks_[static_cast<size_t>(layer)];
+    if (blocks.size() < need) {
+      fresh += need - blocks.size();
+    } else if (block_refs_[static_cast<size_t>(blocks[need - 1])] > 1) {
+      ++fresh;
+    }
+  }
+  if (fresh > 0 && blocks_in_use_ + fresh > max_blocks()) return false;
   for (int layer = 0; layer < num_layers_; ++layer) {
     auto& blocks = seq.self_blocks_[static_cast<size_t>(layer)];
     while (blocks.size() < need) blocks.push_back(alloc_block());
@@ -337,16 +460,18 @@ void KvCachePool::ensure_token(SequenceKv& seq, int t) {
     // block stays shared.
     int& target = blocks[need - 1];
     if (block_refs_[static_cast<size_t>(target)] > 1) {
-      const int fresh = alloc_block();
-      std::copy_n(block_ptr(target), block_floats_, block_ptr(fresh));
+      const int fresh_block = alloc_block();
+      std::copy_n(block_ptr(target), block_floats_, block_ptr(fresh_block));
       unref_block(target);
-      target = fresh;
+      target = fresh_block;
       ++cow_copies_;
     }
   }
-  // The admission reservation covers the worst case (every self block
-  // uniquely owned), so growth and CoW can never push usage past it.
+  // Every holder's reservation covers its worst case (every self block
+  // uniquely owned), so growth and CoW never push usage past the summed
+  // reservations — even when those reservations oversubscribe capacity.
   TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
+  return true;
 }
 
 void KvCachePool::release(SequenceKv& seq) {
@@ -363,6 +488,7 @@ void KvCachePool::release(SequenceKv& seq) {
   unref_share(seq.share_id_);
   blocks_reserved_ -= seq.reserved_blocks_;
   --active_;
+  if (seq.parked_) --parked_;
   live_.erase(&seq);
   seq.released_ = true;
   sweep_empty_slabs();
@@ -467,14 +593,23 @@ void KvCachePool::check_invariants() const {
   // reference per holding sequence (self) plus one per share (cross).
   std::vector<int> expected(block_refs_.size(), 0);
   size_t reserved = 0;
+  int parked = 0;
   for (const SequenceKv* seq : live_) {
     TT_CHECK(!seq->released_);
     TT_CHECK(shares_.find(seq->share_id_) != shares_.end());
+    if (seq->parked_) {
+      // A parked sequence surrendered its self blocks and reservation; it
+      // holds only its cross share until resume.
+      ++parked;
+      TT_CHECK_EQ(seq->reserved_blocks_, 0u);
+      for (const auto& layer : seq->self_blocks_) TT_CHECK(layer.empty());
+    }
     for (const auto& layer : seq->self_blocks_) {
       for (const int b : layer) ++expected[static_cast<size_t>(b)];
     }
     reserved += seq->reserved_blocks_;
   }
+  TT_CHECK_EQ(parked, parked_);
   size_t share_refs = 0;
   for (const auto& [id, share] : shares_) {
     TT_CHECK_GT(share.refs, 0);

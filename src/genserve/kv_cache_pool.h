@@ -38,6 +38,16 @@
 //    control charges shared prefix blocks a single time. A mid-decode grow
 //    or CoW copy can never fail: capacity is never exceeded by
 //    construction.
+//  * Optimistic admission (admit_optimistic) drops that guarantee for
+//    utilization: a sequence joins when its *current* marginal demand fits
+//    (cold cross blocks + one self block per layer), while its worst case
+//    is still tallied into blocks_reserved() as the oversubscription
+//    measure. Growth then goes through try_ensure_token(), which reports
+//    exhaustion instead of allocating past capacity; the scheduler reacts
+//    by preempting a victim — preempt() releases the victim's unshared
+//    self blocks back to the free list but keeps its cross share resident
+//    (parked), so resume() re-admits without re-encoding and the victim
+//    re-derives its self rows by replaying its own generated tokens.
 //  * Release drops refcounts; a block returns to the free list only when
 //    its last owner releases, and slabs that became empty free their
 //    buffers, so the device footprint tracks the unique working set — the
@@ -97,6 +107,10 @@ class SequenceKv final : public model::KvCacheView {
   int64_t id() const { return id_; }
   int src_len() const override { return s_src_; }
   int max_new_tokens() const { return max_new_; }
+  // True between KvCachePool::preempt and resume: the self blocks are
+  // surrendered (row accessors must not be used) while the cross share
+  // stays resident, so resume skips the encoder.
+  bool parked() const { return parked_; }
   // Self token positions currently backed by blocks.
   int capacity_tokens() const;
   // Block references this sequence holds (self + cross); shared blocks are
@@ -107,6 +121,11 @@ class SequenceKv final : public model::KvCacheView {
   // (the first admit of its prompt); false when the blocks were shared from
   // a prompt whose creator already did or will do it this iteration.
   bool needs_cross_init() const;
+  // True while another live sequence references the same cross share —
+  // releasing this handle would then free no cross blocks. (The
+  // scheduler's last-resort eviction prefers handles whose release
+  // actually returns storage.)
+  bool cross_shared() const;
   // The creator calls this after init_cross_attention so later admits of
   // the same prompt can skip straight to decoding.
   void mark_cross_ready();
@@ -139,6 +158,7 @@ class SequenceKv final : public model::KvCacheView {
   int max_new_;
   size_t reserved_blocks_ = 0;  // self worst case (cross lives in the share)
   bool released_ = false;
+  bool parked_ = false;   // preempted: self blocks surrendered, share kept
   bool cross_creator_ = false;  // this admit owes the share its cross init
   int64_t share_id_ = -1;  // cross-block share this sequence references
   // [layer][i] -> global block id backing self rows [i*bt, (i+1)*bt).
@@ -159,10 +179,12 @@ class SequenceKv final : public model::KvCacheView {
 // tests/kv_pool_property_test.cc):
 //  * every live block's refcount equals the references actually held by
 //    sequences (self) and shares (cross); blocks_in_use_ counts unique
-//    live blocks;
-//  * blocks_in_use() <= blocks_reserved() <= max_blocks() at every point
-//    between public calls — admission reserves the worst case, so grow and
-//    CoW can never fail mid-decode;
+//    live blocks; a parked sequence holds no self blocks;
+//  * blocks_in_use() <= blocks_reserved() at every point between public
+//    calls. Worst-case admission additionally keeps blocks_reserved() <=
+//    max_blocks(), so grow and CoW can never fail mid-decode; optimistic
+//    admission lets reservations oversubscribe capacity and instead keeps
+//    blocks_in_use() <= max_blocks() by failing try_ensure_token;
 //  * a freed block is on the free list of a live slab; empty slabs hold no
 //    buffer; the device footprint returns to exactly zero when the last
 //    sequence releases.
@@ -201,6 +223,57 @@ class KvCachePool {
   std::unique_ptr<SequenceKv> admit(int64_t seq_id, int s_src,
                                     int max_new_tokens);
 
+  // --- Optimistic admission + preempt-and-requeue ---------------------
+  // Marginal blocks an admit of `prompt_tokens` would materialize *right
+  // now*: cross blocks when the prompt is cold, plus one self block per
+  // layer. This is what optimistic admission gates on, instead of the
+  // worst case. `headroom_blocks` keeps capacity uncommitted for the
+  // near-term growth of sequences already running (the scheduler passes
+  // one boundary-crossing per active sequence), damping admit-then-
+  // immediately-preempt thrash.
+  size_t blocks_for_admit_now(const std::vector<int>& prompt_tokens) const;
+  bool can_admit_now(const std::vector<int>& prompt_tokens,
+                     size_t headroom_blocks = 0) const;
+  // can_admit_now for a sequence that will immediately re-materialize
+  // `token_rows` self rows (an evicted sequence re-admitting to replay its
+  // parked tokens): the rows' blocks are part of the demand, mirroring
+  // can_resume for parked handles.
+  bool can_readmit_now(const std::vector<int>& prompt_tokens, int token_rows,
+                       size_t headroom_blocks = 0) const;
+  // Blocks one sequence materializes when it crosses a block-tokens
+  // boundary (one per layer) — the unit of growth headroom.
+  size_t blocks_per_boundary() const {
+    return static_cast<size_t>(num_layers_);
+  }
+  // Admit when the *current* marginal demand fits. The worst case is still
+  // added to blocks_reserved() — with optimistic admission that total may
+  // exceed max_blocks(); the overshoot is the pool's oversubscription.
+  // Growth for optimistic sequences must go through try_ensure_token, and
+  // the caller must be prepared to preempt() a victim when it fails.
+  std::unique_ptr<SequenceKv> admit_optimistic(
+      int64_t seq_id, const std::vector<int>& prompt_tokens,
+      int max_new_tokens);
+
+  // Preempt `seq`: drop every self-block reference it holds (physical
+  // blocks it shared CoW with a fork stay live through the other holders)
+  // and zero its reservation, but keep its cross share referenced so a
+  // later resume() skips the encoder. The handle stays live in a parked
+  // state; row accessors and growth are invalid until resume. Requires
+  // cross init to have completed (preempting a sequence that still owes
+  // its share the encoder pass would wedge the share).
+  void preempt(SequenceKv& seq);
+  // Can `seq` rejoin right now? `token_rows` is how many self rows it will
+  // re-materialize immediately (its parked tokens plus the next step) —
+  // resuming into less space than the replay needs would just thrash the
+  // sequence straight back out. `headroom_blocks` as in can_admit_now.
+  bool can_resume(const SequenceKv& seq, int token_rows = 1,
+                  size_t headroom_blocks = 0) const;
+  // Re-admit a parked sequence: recharge its self reservation and give it
+  // its first self block per layer again. The caller re-derives the self
+  // rows by replaying the sequence's generated tokens through the decoder
+  // (bit-identical: the cross K/V never left the pool).
+  void resume(SequenceKv& seq);
+
   // Fork `parent` copy-on-write: the child shares every cross and self
   // block (refcount++ only) and reserves its own self worst case, so it
   // can later diverge completely without allocation failure. Throws
@@ -216,8 +289,13 @@ class KvCachePool {
   // when the current blocks already cover t), and copy-on-write the block
   // that will receive row t if it is not exclusively owned. Must be called
   // before the decode step that writes row t. Never exceeds the admission
-  // reservation.
+  // reservation. Throws CheckError on pool exhaustion — impossible for
+  // worst-case admits, so only optimistic callers need try_ensure_token.
   void ensure_token(SequenceKv& seq, int t);
+  // Like ensure_token, but returns false (mutating nothing) when backing
+  // row t would push blocks_in_use() past max_blocks(). The optimistic
+  // scheduler's growth path: a false return triggers preemption.
+  bool try_ensure_token(SequenceKv& seq, int t);
 
   // Device-activity stats (slab mallocs/frees, current + peak footprint),
   // comparable with ModelAwareAllocator::stats().
@@ -239,6 +317,10 @@ class KvCachePool {
   size_t prefix_hits() const { return prefix_hits_; }   // admits that shared
   size_t cow_copies() const { return cow_copies_; }     // CoW block copies
   size_t forks() const { return forks_; }
+  // Preemption counters (also folded into stats() via DeviceTracker).
+  size_t preemptions() const { return stats().preempt_count; }
+  size_t resumes() const { return stats().resume_count; }
+  int parked_sequences() const { return parked_; }
 
   // Cross-checks every pool invariant against the live sequence registry:
   // per-block refcounts equal the references actually held by sequences
@@ -309,6 +391,7 @@ class KvCachePool {
   size_t peak_blocks_in_use_ = 0;
   size_t blocks_reserved_ = 0;
   int active_ = 0;
+  int parked_ = 0;
   memory::DeviceTracker tracker_;
 
   std::unordered_map<int64_t, CrossShare> shares_;

@@ -21,6 +21,13 @@ void DeviceTracker::on_free(size_t bytes) {
   stats_.current_device_bytes -= bytes;
 }
 
+void DeviceTracker::on_preempt(size_t bytes) {
+  ++stats_.preempt_count;
+  stats_.preempt_freed_bytes += bytes;
+}
+
+void DeviceTracker::on_resume() { ++stats_.resume_count; }
+
 double DeviceTracker::total_stall_us() const {
   return static_cast<double>(stats_.device_malloc_count) * kMallocStallUs +
          static_cast<double>(stats_.device_free_count) * kFreeStallUs;

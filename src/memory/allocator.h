@@ -55,6 +55,12 @@ struct AllocatorStats {
   size_t device_free_bytes = 0;
   size_t current_device_bytes = 0;  // reserved right now
   size_t peak_device_bytes = 0;
+  // Preemption activity (generation serving: a victim sequence surrenders
+  // its unshared KV blocks mid-decode and is requeued). Zero for the
+  // encoder-side allocators, whose tensors never live across inferences.
+  size_t preempt_count = 0;
+  size_t preempt_freed_bytes = 0;  // unique bytes released by preemptions
+  size_t resume_count = 0;         // preempted owners re-admitted
 };
 
 // Result of planning one inference.
@@ -93,6 +99,10 @@ class DeviceTracker {
  public:
   void on_malloc(size_t bytes);
   void on_free(size_t bytes);
+  // A preemption released `bytes` of unique storage back to its owner's
+  // pool (no device free happens — blocks return to the free list).
+  void on_preempt(size_t bytes);
+  void on_resume();
   const AllocatorStats& stats() const { return stats_; }
 
   // Modeled wall-time cost of the device calls made so far (used by the

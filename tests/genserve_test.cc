@@ -524,6 +524,155 @@ TEST(AsyncGenerationServer, RejectsNeverAdmittableRequestAtSubmit) {
   server.shutdown();
 }
 
+TEST(AsyncGenerationServer, OversubscribedPoolPreemptsWithoutGapsOrDuplicates) {
+  // Concurrent submitters against a pool ~2x oversubscribed by worst-case
+  // demand: the worker must preempt and requeue under load, yet every
+  // request completes and every stream is gapless and duplicate-free.
+  GenServerOptions options;
+  options.pool = small_pool();
+  {
+    KvCachePool probe(tiny(), small_pool());
+    options.pool.max_bytes = 3 * 8 * probe.block_bytes();  // 24 blocks
+  }
+  options.scheduler.max_active = 8;
+  options.scheduler.optimistic_admission = true;
+  auto engine = std::make_unique<GenerationServer>(tiny(), options, 29);
+  AsyncGenerationServer server(std::move(engine));
+
+  struct Stream {
+    std::vector<int> tokens;
+    std::vector<int> steps;
+    int last_count = 0;
+  };
+  std::mutex stream_mutex;
+  std::map<int64_t, Stream> streams;
+
+  Rng rng(23);
+  const int threads = 4;
+  const int per_thread = 4;
+  std::vector<serving::GenerationRequest> requests;
+  for (int i = 0; i < threads * per_thread; ++i) {
+    // Worst case 10 blocks each (cross 4 + self 6): any 3 in flight
+    // oversubscribe the 24-block pool.
+    requests.push_back(make_request(rng, i, 5 + (i % 4), 9 + (i % 3)));
+  }
+
+  std::vector<std::future<serving::GenerationResponse>> futures(
+      requests.size());
+  std::vector<std::thread> submitters;
+  for (int tid = 0; tid < threads; ++tid) {
+    submitters.emplace_back([&, tid] {
+      for (int k = 0; k < per_thread; ++k) {
+        const size_t idx = static_cast<size_t>(tid * per_thread + k);
+        futures[idx] = server.submit(
+            requests[idx], [&, eos = requests[idx].eos_id](
+                               int64_t id, int token, int step, bool last) {
+              std::lock_guard<std::mutex> lock(stream_mutex);
+              auto& s = streams[id];
+              if (token != eos) s.tokens.push_back(token);
+              s.steps.push_back(step);
+              if (last) ++s.last_count;
+            });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const auto resp = futures[i].get();  // every request completes
+    EXPECT_EQ(resp.request_id, static_cast<int64_t>(i));
+    std::lock_guard<std::mutex> lock(stream_mutex);
+    const auto& s = streams[static_cast<int64_t>(i)];
+    // No duplicates, no gaps across preemptions: step indices are exactly
+    // 0,1,2,... and the streamed tokens equal the final response.
+    EXPECT_EQ(s.tokens, resp.tokens);
+    EXPECT_EQ(s.last_count, 1);
+    for (size_t k = 0; k < s.steps.size(); ++k) {
+      EXPECT_EQ(s.steps[k], static_cast<int>(k)) << "request " << i;
+    }
+  }
+  server.shutdown();
+  EXPECT_EQ(server.served(), requests.size());
+  const auto snapshot = server.pool_snapshot();
+  EXPECT_EQ(snapshot.active_sequences, 0);
+  EXPECT_EQ(snapshot.device_bytes, 0u);
+  EXPECT_GT(snapshot.preemptions, 0u)
+      << "pool was not tight enough to force preemption";
+  EXPECT_EQ(snapshot.preemptions, snapshot.resumes);
+}
+
+TEST(GenerationServer, ObservedCostsOverrideAnalyticAdmission) {
+  // The admission gate must switch from the analytic warm-up to measured
+  // costs: an optimistic table predicts everything fits the budget; after
+  // synthetic observe() measurements report ~100x slower steps, the same
+  // budget admits smaller batches.
+  const double budget_ms = 1.0;
+  auto run_burst = [&](bool warm) {
+    GenServerOptions options;
+    options.pool = small_pool();
+    options.scheduler.max_active = 6;
+    options.scheduler.max_step_cost_ms = budget_ms;
+    // Analytic stand-in: ~0.1 ms per step at any batch — far under budget.
+    options.cost_table = serving::CostTable::warmup(
+        [](int len, int batch) {
+          return 0.05 + 0.001 * batch + 0.0001 * len;
+        },
+        /*max_len=*/64, /*max_batch=*/8, /*len_step=*/8);
+    // The server's own steps run in microseconds and would drag the table
+    // back down; freeze it so the synthetic measurements decide alone.
+    options.observe_step_costs = false;
+    GenerationServer server(tiny(), options, 29);
+    if (warm) {
+      // Synthetic fused-step measurements: big batches measured ~0.9 ms
+      // per extra sequence. Repeated observations converge the EMA.
+      for (int rep = 0; rep < 64; ++rep) {
+        for (int batch = 1; batch <= 8; ++batch) {
+          for (int len = 8; len <= 24; len += 8) {
+            server.mutable_cost_table().observe(len, batch,
+                                                0.2 + 0.9 * (batch - 1));
+          }
+        }
+      }
+    }
+    Rng rng(12);
+    for (int i = 0; i < 6; ++i) server.submit(make_request(rng, i, 4, 6));
+    int max_seen_active = 0;
+    server.set_step_observer([&](const StepStats& s) {
+      max_seen_active = std::max(max_seen_active, s.active);
+    });
+    EXPECT_EQ(server.run_to_completion().size(), 6u);
+    return max_seen_active;
+  };
+
+  const int analytic_batch = run_burst(/*warm=*/false);
+  const int warmed_batch = run_burst(/*warm=*/true);
+  EXPECT_EQ(analytic_batch, 6);  // analytic table: budget never binds
+  // Warmed table: 0.2 + 0.9*(b-1) <= 1.0 ms admits at most batch 1.
+  EXPECT_LT(warmed_batch, analytic_batch);
+  EXPECT_EQ(warmed_batch, 1);
+}
+
+TEST(GenerationServer, StepLatencyFeedsCostTableObserve) {
+  // With observe_step_costs on (the default), serving mutates the table:
+  // real fused-step latencies replace the analytic stand-in.
+  GenServerOptions options;
+  options.pool = small_pool();
+  options.scheduler.max_active = 4;
+  // Absurd analytic warm-up (1 second per step) that measurements must
+  // pull toward reality (microseconds).
+  options.cost_table = serving::CostTable::warmup(
+      [](int, int) { return 1000.0; }, /*max_len=*/64, /*max_batch=*/8,
+      /*len_step=*/8);
+  GenerationServer server(tiny(), options, 29);
+  const double before = server.cost_table().batch_cost_ms(16, 4);
+  Rng rng(13);
+  for (int i = 0; i < 8; ++i) server.submit(make_request(rng, i, 6, 8));
+  server.run_to_completion();
+  const double after = server.cost_table().batch_cost_ms(16, 4);
+  EXPECT_EQ(before, 1000.0);
+  EXPECT_LT(after, before);
+}
+
 TEST(GenerationScheduler, CostTableSmallerThanMaxActiveDoesNotAbort) {
   GenServerOptions options;
   options.pool = small_pool();

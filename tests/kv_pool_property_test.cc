@@ -250,6 +250,184 @@ TEST(KvPoolProperty, ForkDivergenceIsExact) {
   EXPECT_EQ(pool.stats().current_device_bytes, 0u);
 }
 
+// Randomized admit / grow / fork / preempt / resume / release
+// interleavings under optimistic admission. The model tracks parked state:
+// a preempted sequence keeps its expected row values (its tokens are
+// parked), must hold no self blocks, and must read back every row exactly
+// after a resume replays them — while refcount conservation holds at every
+// step and the pool never exceeds capacity.
+void run_preemption_interleaving(uint64_t seed, KvPoolOptions opts) {
+  const auto config = tiny();
+  KvCachePool pool(config, opts);
+  Rng rng(seed);
+
+  const int kTemplates = 4;
+  std::vector<std::vector<int>> prompts;
+  for (int i = 0; i < kTemplates; ++i) {
+    prompts.push_back(
+        rng.token_ids(3 + static_cast<int>(rng.uniform_int(0, 7)), 50));
+  }
+
+  struct PSeq : ModelSeq {
+    bool parked = false;
+  };
+  std::vector<PSeq> live;
+  int64_t next_id = 1;
+  int next_marker = 1;
+  size_t preempts = 0;
+  size_t resumes = 0;
+  const int kOps = 500;
+
+  // Replay after resume: re-derive every parked row (the serving stack
+  // feeds the parked tokens back through the decoder; here the model
+  // rewrites the recorded values). Growth may hit capacity mid-replay —
+  // that is a legitimate cascading preemption, so the sequence parks
+  // again.
+  auto replay = [&](PSeq& s) {
+    for (int t = 0; t < s.steps; ++t) {
+      if (!pool.try_ensure_token(*s.kv, t)) {
+        pool.preempt(*s.kv);
+        s.parked = true;
+        ++preempts;
+        return;
+      }
+      for (int layer = 0; layer < config.num_layers; ++layer) {
+        std::fill_n(s.kv->self_k(layer, t), config.hidden, s.expected[t]);
+        std::fill_n(s.kv->self_v(layer, t), config.hidden,
+                    s.expected[t] + 0.5f);
+      }
+    }
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 11));
+    if (kind <= 1 || live.empty()) {
+      const auto& prompt =
+          prompts[static_cast<size_t>(rng.uniform_int(0, kTemplates - 1))];
+      const int max_new = 4 + static_cast<int>(rng.uniform_int(0, 8));
+      if (!pool.can_admit_now(prompt)) continue;
+      PSeq s;
+      s.kv = pool.admit_optimistic(next_id++, prompt, max_new);
+      s.marker = next_marker++;
+      s.cross_value = static_cast<float>(prompt[0]) + 7000.0f;
+      if (s.kv->needs_cross_init()) init_cross(config, s, s.cross_value);
+      live.push_back(std::move(s));
+    } else if (kind <= 7) {
+      // Grow one row, optimistically: exhaustion preempts a random other
+      // non-parked sequence (or parks this one when it is alone).
+      PSeq& s = live[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(live.size()) - 1))];
+      if (s.parked || s.steps >= s.kv->max_new_tokens()) continue;
+      while (!pool.try_ensure_token(*s.kv, s.steps)) {
+        std::vector<PSeq*> victims;
+        for (auto& other : live) {
+          if (!other.parked && other.kv.get() != s.kv.get()) {
+            victims.push_back(&other);
+          }
+        }
+        PSeq* victim =
+            victims.empty()
+                ? &s
+                : victims[static_cast<size_t>(rng.uniform_int(
+                      0, static_cast<int64_t>(victims.size()) - 1))];
+        pool.preempt(*victim->kv);
+        victim->parked = true;
+        ++preempts;
+        if (victim == &s) break;
+      }
+      if (!s.parked) {
+        const float v = row_value(s.marker, s.steps);
+        for (int layer = 0; layer < config.num_layers; ++layer) {
+          std::fill_n(s.kv->self_k(layer, s.steps), config.hidden, v);
+          std::fill_n(s.kv->self_v(layer, s.steps), config.hidden, v + 0.5f);
+        }
+        s.expected.push_back(v);
+        ++s.steps;
+      }
+    } else if (kind <= 9) {
+      // Resume a random parked sequence and replay its parked rows.
+      std::vector<PSeq*> parked;
+      for (auto& s : live) {
+        if (s.parked) parked.push_back(&s);
+      }
+      if (parked.empty()) continue;
+      PSeq& s = *parked[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(parked.size()) - 1))];
+      if (!pool.can_resume(*s.kv)) continue;
+      pool.resume(*s.kv);
+      s.parked = false;
+      ++resumes;
+      replay(s);
+    } else if (kind <= 10) {
+      // Fork a non-parked sequence (CoW sharing under preemption churn).
+      std::vector<PSeq*> forkable;
+      for (auto& s : live) {
+        if (!s.parked) forkable.push_back(&s);
+      }
+      if (forkable.empty()) continue;
+      PSeq& parent = *forkable[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(forkable.size()) - 1))];
+      if (!pool.can_fork(*parent.kv)) continue;
+      PSeq child;
+      child.kv = pool.fork(*parent.kv, next_id++);
+      child.steps = parent.steps;
+      child.marker = next_marker++;
+      child.cross_value = parent.cross_value;
+      child.expected = parent.expected;
+      live.push_back(std::move(child));
+    } else {
+      // Release a random sequence (parked or not), verifying it first.
+      const size_t idx = static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(live.size()) - 1));
+      if (!live[idx].parked) verify_seq(config, live[idx]);
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+    ASSERT_NO_THROW(pool.check_invariants()) << "after op " << op;
+    ASSERT_LE(pool.blocks_in_use(), pool.max_blocks()) << "after op " << op;
+  }
+  EXPECT_GT(preempts, 0u) << "seed " << seed << " never preempted";
+
+  // Every non-parked sequence reads back its writes; drain to zero.
+  for (auto& s : live) {
+    if (!s.parked) verify_seq(config, s);
+  }
+  while (!live.empty()) {
+    live.pop_back();
+    pool.check_invariants();
+  }
+  EXPECT_EQ(pool.active_sequences(), 0);
+  EXPECT_EQ(pool.parked_sequences(), 0);
+  EXPECT_EQ(pool.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.blocks_reserved(), 0u);
+  EXPECT_EQ(pool.num_slabs(), 0);
+  EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+  EXPECT_EQ(pool.stats().device_malloc_bytes, pool.stats().device_free_bytes);
+}
+
+TEST(KvPoolProperty, RandomPreemptRequeueInterleavingsOversubscribed) {
+  // Tight capacity + optimistic admission: admits oversubscribe, growth
+  // runs the pool dry, preempt/resume churns constantly. No block may
+  // leak or double-free, and usage must never exceed capacity.
+  auto opts = base_opts();
+  const size_t slab_bytes = static_cast<size_t>(opts.blocks_per_slab) *
+                            KvCachePool(tiny(), opts).block_bytes();
+  opts.max_bytes = 2 * slab_bytes;  // 16 blocks: a couple of sequences
+  for (uint64_t seed = 31; seed <= 36; ++seed) {
+    run_preemption_interleaving(seed, opts);
+  }
+}
+
+TEST(KvPoolProperty, RandomPreemptRequeueSharingDisabled) {
+  auto opts = base_opts();
+  opts.enable_prefix_sharing = false;
+  const size_t slab_bytes = static_cast<size_t>(opts.blocks_per_slab) *
+                            KvCachePool(tiny(), opts).block_bytes();
+  opts.max_bytes = 2 * slab_bytes;
+  for (uint64_t seed = 41; seed <= 43; ++seed) {
+    run_preemption_interleaving(seed, opts);
+  }
+}
+
 TEST(KvPoolProperty, PromptSharingChargesCrossBlocksOnce) {
   const auto config = tiny();
   KvCachePool pool(config, base_opts());

@@ -1,0 +1,584 @@
+// Deterministic preempt-and-requeue scenarios for optimistic admission.
+//
+// The contract under test: preemption is invisible to results. A victim
+// surrenders its unshared self blocks (CoW-shared and prefix-shared blocks
+// stay resident through their other holders), parks its generated tokens,
+// and on resume re-derives them bit-identically — same tokens, same
+// logits — because the cross K/V never left the pool and the decoder is
+// deterministic. KvCachePool::check_invariants() runs after every event.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "genserve/generation_server.h"
+#include "genserve/kv_cache_pool.h"
+#include "model/decoder.h"
+
+namespace turbo::genserve {
+namespace {
+
+model::ModelConfig tiny() { return model::ModelConfig::tiny(2, 32, 2, 64, 50); }
+
+KvPoolOptions small_pool() {
+  KvPoolOptions o;
+  o.block_tokens = 4;
+  o.blocks_per_slab = 8;
+  return o;
+}
+
+size_t pool_block_bytes() {
+  return KvCachePool(tiny(), small_pool()).block_bytes();
+}
+
+float row_value(int marker, int t) {
+  return static_cast<float>(marker) * 100.0f + static_cast<float>(t);
+}
+
+void write_row(const model::ModelConfig& config, SequenceKv& kv, int marker,
+               int t) {
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    std::fill_n(kv.self_k(layer, t), config.hidden, row_value(marker, t));
+    std::fill_n(kv.self_v(layer, t), config.hidden,
+                row_value(marker, t) + 0.5f);
+  }
+}
+
+void expect_rows(const model::ModelConfig& config, SequenceKv& kv, int marker,
+                 int rows) {
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    for (int t = 0; t < rows; ++t) {
+      ASSERT_EQ(kv.self_k(layer, t)[0], row_value(marker, t))
+          << "seq " << kv.id() << " layer " << layer << " row " << t;
+      ASSERT_EQ(kv.self_v(layer, t)[config.hidden - 1],
+                row_value(marker, t) + 0.5f);
+    }
+  }
+}
+
+void init_cross(const model::ModelConfig& config, SequenceKv& kv,
+                float value) {
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    for (int s = 0; s < kv.src_len(); ++s) {
+      std::fill_n(kv.cross_k(layer, s), config.hidden, value);
+      std::fill_n(kv.cross_v(layer, s), config.hidden, value);
+    }
+  }
+  if (kv.needs_cross_init()) kv.mark_cross_ready();
+}
+
+serving::GenerationRequest make_request(Rng& rng, int64_t id, int src_len,
+                                        int max_new) {
+  serving::GenerationRequest r;
+  r.id = id;
+  r.src_tokens = rng.token_ids(src_len, 50);
+  r.max_new_tokens = max_new;
+  r.bos_id = 1;
+  r.eos_id = 2;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Pool-level lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(Preemption, SingleVictimReleasesBlocksAndResumesExactly) {
+  const auto config = tiny();
+  auto opts = small_pool();
+  opts.max_bytes = 2 * 8 * pool_block_bytes();  // 16 blocks
+  KvCachePool pool(config, opts);
+  Rng rng(31);
+
+  // Two optimistic admits: current demand (2 cross blocks x 2 layers +
+  // 1 self block x 2 layers = 6 each) fits; the summed worst case
+  // (blocks_for: 10 + 8 = 18) oversubscribes the 16-block pool.
+  const auto prompt_a = rng.token_ids(6, 50);
+  const auto prompt_b = rng.token_ids(7, 50);
+  auto a = pool.admit_optimistic(1, prompt_a, 12);
+  auto b = pool.admit_optimistic(2, prompt_b, 8);
+  init_cross(config, *a, 10.0f);
+  init_cross(config, *b, 20.0f);
+  pool.check_invariants();
+  EXPECT_EQ(pool.blocks_in_use(), 12u);
+  EXPECT_GT(pool.blocks_reserved(), pool.max_blocks());  // oversubscribed
+
+  // a grows to 9 rows (two block-boundary crossings: 12 -> 14 -> 16).
+  int a_rows = 0;
+  for (int t = 0; t < 9; ++t, ++a_rows) {
+    ASSERT_TRUE(pool.try_ensure_token(*a, t));
+    write_row(config, *a, 1, t);
+  }
+  int b_rows = 0;
+  for (int t = 0; t < 4; ++t, ++b_rows) {
+    ASSERT_TRUE(pool.try_ensure_token(*b, t));
+    write_row(config, *b, 2, t);
+  }
+  pool.check_invariants();
+  EXPECT_EQ(pool.blocks_in_use(), 16u);
+
+  // b's next row needs a block per layer: the pool is exhausted, and the
+  // failed grow must mutate nothing.
+  EXPECT_FALSE(pool.try_ensure_token(*b, 4));
+  pool.check_invariants();
+  expect_rows(config, *b, 2, b_rows);
+
+  // Preempt b: its 2 self blocks return, its cross share stays resident.
+  pool.preempt(*b);
+  pool.check_invariants();
+  EXPECT_TRUE(b->parked());
+  EXPECT_EQ(pool.parked_sequences(), 1);
+  EXPECT_EQ(pool.blocks_in_use(), 14u);
+  EXPECT_EQ(pool.preemptions(), 1u);
+  EXPECT_EQ(pool.stats().preempt_freed_bytes, 2 * pool.block_bytes());
+  // b's cross rows are still readable (the share never moved).
+  EXPECT_EQ(b->cross_k(0, 0)[0], 20.0f);
+
+  // a keeps decoding through the capacity b released.
+  for (int t = 9; t < 12; ++t, ++a_rows) {
+    ASSERT_TRUE(pool.try_ensure_token(*a, t));
+    write_row(config, *a, 1, t);
+  }
+  pool.check_invariants();
+
+  // a retires; b resumes and replays its rows past the old blocker.
+  a.reset();
+  pool.check_invariants();
+  ASSERT_TRUE(pool.can_resume(*b));
+  pool.resume(*b);
+  pool.check_invariants();
+  EXPECT_FALSE(b->parked());
+  EXPECT_EQ(pool.resumes(), 1u);
+  for (int t = 0; t <= b_rows; ++t) {
+    ASSERT_TRUE(pool.try_ensure_token(*b, t));
+    write_row(config, *b, 2, t);
+  }
+  ++b_rows;
+  pool.check_invariants();
+  expect_rows(config, *b, 2, b_rows);
+  EXPECT_EQ(b->cross_k(1, b->src_len() - 1)[0], 20.0f);
+
+  b.reset();
+  pool.check_invariants();
+  EXPECT_EQ(pool.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+}
+
+TEST(Preemption, CowForkedBeamVictimFreesOnlyUnsharedBlocks) {
+  const auto config = tiny();
+  KvCachePool pool(config, small_pool());
+  Rng rng(33);
+
+  auto parent = pool.admit(1, rng.token_ids(5, 50), 12);
+  init_cross(config, *parent, 5.0f);
+  for (int t = 0; t < 6; ++t) {
+    pool.ensure_token(*parent, t);
+    write_row(config, *parent, 1, t);
+  }
+  auto child = pool.fork(*parent, 2);
+  pool.check_invariants();
+
+  // Child diverges in the tail block (CoW copy), keeps rows 0-3 shared.
+  for (int t = 4; t < 6; ++t) {
+    pool.ensure_token(*child, t);
+    write_row(config, *child, 2, t);
+  }
+  ASSERT_GT(pool.cow_copies(), 0u);
+  pool.check_invariants();
+
+  // Preempting the parent must free only the blocks the child does not
+  // hold: the diverged tail block per layer (the shared rows 0-3 blocks
+  // stay live through the child).
+  const size_t in_use_before = pool.blocks_in_use();
+  pool.preempt(*parent);
+  pool.check_invariants();
+  EXPECT_EQ(pool.blocks_in_use(),
+            in_use_before - static_cast<size_t>(config.num_layers));
+  // Child reads all of its history unchanged: the shared prefix and its
+  // own diverged tail.
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    for (int t = 0; t < 4; ++t) {
+      ASSERT_EQ(child->self_k(layer, t)[0], row_value(1, t));
+    }
+    for (int t = 4; t < 6; ++t) {
+      ASSERT_EQ(child->self_k(layer, t)[0], row_value(2, t));
+    }
+  }
+
+  // Parent resumes and replays under the CoW barrier: fresh blocks, child
+  // untouched, both read their own values.
+  pool.resume(*parent);
+  for (int t = 0; t < 6; ++t) {
+    pool.ensure_token(*parent, t);
+    write_row(config, *parent, 1, t);
+  }
+  pool.check_invariants();
+  expect_rows(config, *parent, 1, 6);
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    for (int t = 4; t < 6; ++t) {
+      ASSERT_EQ(child->self_k(layer, t)[0], row_value(2, t));
+    }
+  }
+
+  child.reset();
+  parent.reset();
+  pool.check_invariants();
+  EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+}
+
+TEST(Preemption, SharedPrefixVictimKeepsCrossBlocksResident) {
+  const auto config = tiny();
+  KvCachePool pool(config, small_pool());
+  Rng rng(35);
+  const auto prompt = rng.token_ids(8, 50);
+
+  auto a = pool.admit_optimistic(1, prompt, 6);
+  init_cross(config, *a, 7.0f);
+  auto b = pool.admit_optimistic(2, prompt, 6);
+  EXPECT_FALSE(b->needs_cross_init());
+  EXPECT_EQ(pool.prefix_hits(), 1u);
+  pool.check_invariants();
+
+  const size_t cross_blocks =
+      static_cast<size_t>(config.num_layers) * 2;  // ceil(8/4) per layer
+
+  // Preempt b, then a: the share must survive both because the parked
+  // handles keep their references.
+  pool.preempt(*b);
+  pool.check_invariants();
+  pool.preempt(*a);
+  pool.check_invariants();
+  EXPECT_EQ(pool.parked_sequences(), 2);
+  EXPECT_EQ(pool.blocks_in_use(), cross_blocks);  // only the shared cross
+  EXPECT_EQ(a->cross_k(0, 0)[0], 7.0f);
+  EXPECT_EQ(b->cross_k(1, 7)[0], 7.0f);
+
+  // Both resume without re-encoding (the share is still ready).
+  pool.resume(*a);
+  pool.resume(*b);
+  pool.check_invariants();
+  EXPECT_FALSE(a->needs_cross_init());
+  EXPECT_FALSE(b->needs_cross_init());
+  EXPECT_EQ(b->cross_k(0, 3)[0], 7.0f);
+
+  a.reset();
+  b.reset();
+  pool.check_invariants();
+  EXPECT_EQ(pool.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: replayed steps reproduce the exact logits
+// ---------------------------------------------------------------------------
+
+TEST(Preemption, ResumeReplayLogitsMatchUncontendedRunBitwise) {
+  const auto config = tiny();
+  model::Seq2SeqDecoder decoder(config, 29);
+  Rng rng(37);
+  const int s_src = 6;
+  const int max_new = 10;
+  Tensor memory = Tensor::owned(Shape{s_src, config.hidden});
+  rng.fill_normal(memory.data<float>(), static_cast<size_t>(memory.numel()),
+                  0.0f, 1.0f);
+
+  KvCachePool pool(config, small_pool());
+  auto kv = pool.admit(1, rng.token_ids(s_src, 50), max_new);
+  decoder.init_cross_attention(memory, *kv);
+  kv->mark_cross_ready();
+
+  // Uncontended pass: record every step's logits and greedy tokens.
+  const int vocab = config.vocab;
+  std::vector<std::vector<float>> reference;
+  std::vector<int> tokens;
+  std::vector<float> logits(static_cast<size_t>(vocab));
+  int last = 1;
+  const int steps = 6;
+  for (int t = 0; t < steps; ++t) {
+    pool.ensure_token(*kv, t);
+    decoder.step({{last, t, kv.get()}}, logits.data());
+    reference.push_back(logits);
+    last = static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+    tokens.push_back(last);
+  }
+
+  // Preempt, resume, replay: every replayed step must reproduce the
+  // recorded logits bit for bit (cross K/V never left the pool; self rows
+  // are a deterministic function of the replayed tokens).
+  pool.preempt(*kv);
+  pool.check_invariants();
+  pool.resume(*kv);
+  pool.check_invariants();
+  last = 1;
+  for (int t = 0; t < steps; ++t) {
+    pool.ensure_token(*kv, t);
+    decoder.step({{last, t, kv.get()}}, logits.data());
+    for (int i = 0; i < vocab; ++i) {
+      ASSERT_EQ(logits[static_cast<size_t>(i)],
+                reference[static_cast<size_t>(t)][static_cast<size_t>(i)])
+          << "replayed step " << t << " logit " << i;
+    }
+    last = static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+    ASSERT_EQ(last, tokens[static_cast<size_t>(t)]);
+  }
+  kv.reset();
+  pool.check_invariants();
+}
+
+TEST(Preemption, PooledBeamDecodeUnchangedByParkedNeighbors) {
+  // Beam search through a pool that also holds preempted (parked)
+  // sequences: the parked cross shares must not perturb the beams' blocks
+  // or numerics — pooled results stay bit-identical to dense.
+  const auto config = tiny();
+  model::Seq2SeqDecoder decoder(config, 29);
+  Rng rng(39);
+  const int s_src = 7;
+  const int max_len = 12;
+  Tensor memory = Tensor::owned(Shape{s_src, config.hidden});
+  rng.fill_normal(memory.data<float>(), static_cast<size_t>(memory.numel()),
+                  0.0f, 1.0f);
+
+  for (const int beam : {2, 3}) {
+    const auto dense = decoder.decode(memory, max_len, 1, 2, beam);
+
+    KvCachePool pool(config, small_pool());
+    auto bystander = pool.admit_optimistic(100, rng.token_ids(5, 50), 8);
+    init_cross(config, *bystander, 3.0f);
+    for (int t = 0; t < 3; ++t) {
+      ASSERT_TRUE(pool.try_ensure_token(*bystander, t));
+      write_row(config, *bystander, 9, t);
+    }
+    pool.preempt(*bystander);
+    pool.check_invariants();
+
+    PooledBeamKv factory(&pool);
+    const auto pooled = decoder.decode(memory, max_len, 1, 2, beam, &factory);
+    EXPECT_EQ(pooled.tokens, dense.tokens) << "beam " << beam;
+    EXPECT_EQ(pooled.log_prob, dense.log_prob) << "beam " << beam;
+    pool.check_invariants();
+
+    pool.resume(*bystander);
+    EXPECT_EQ(bystander->cross_k(0, 0)[0], 3.0f);
+    bystander.reset();
+    pool.check_invariants();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server-level: preemption is invisible in results and streams
+// ---------------------------------------------------------------------------
+
+struct StreamLog {
+  std::vector<int> tokens;  // streamed content tokens (EOS excluded)
+  std::vector<int> steps;   // streamed step indices
+  int last_count = 0;
+};
+
+std::map<int64_t, std::vector<int>> run_reference(
+    const model::ModelConfig& config,
+    const std::vector<serving::GenerationRequest>& requests) {
+  GenServerOptions options;
+  options.pool = small_pool();  // unbounded: never preempts
+  options.scheduler.max_active = 8;
+  GenerationServer server(config, options, 29);
+  for (const auto& r : requests) server.submit(r);
+  std::map<int64_t, std::vector<int>> out;
+  for (const auto& resp : server.run_to_completion()) {
+    out[resp.request_id] = resp.tokens;
+  }
+  TT_CHECK_EQ(server.scheduler().total_preempted(), 0u);
+  return out;
+}
+
+TEST(Preemption, ServerPreemptsAndMatchesUncontendedRunExactly) {
+  const auto config = tiny();
+  Rng rng(41);
+  std::vector<serving::GenerationRequest> requests;
+  for (int i = 0; i < 4; ++i) {
+    requests.push_back(make_request(rng, i, 5 + i, 10));
+  }
+  const auto reference = run_reference(config, requests);
+
+  GenServerOptions options;
+  options.pool = small_pool();
+  options.pool.max_bytes = 3 * 8 * pool_block_bytes();  // 24 blocks, tight
+  options.scheduler.max_active = 8;
+  options.scheduler.optimistic_admission = true;
+  GenerationServer server(config, options, 29);
+
+  std::map<int64_t, StreamLog> streams;
+  for (const auto& r : requests) {
+    server.submit(r, [&, eos = r.eos_id](int64_t id, int token, int step,
+                                         bool last) {
+      auto& s = streams[id];
+      if (token != eos) s.tokens.push_back(token);
+      s.steps.push_back(step);
+      if (last) ++s.last_count;
+    });
+  }
+  // check_invariants() after every event: one observer call per iteration
+  // covers every admit / grow / preempt / resume / retire in it.
+  int preempted = 0;
+  server.set_step_observer([&](const StepStats& s) {
+    preempted += s.preempted;
+    server.pool().check_invariants();
+    EXPECT_LE(server.pool().blocks_in_use(), server.pool().max_blocks());
+  });
+  const auto responses = server.run_to_completion();
+
+  ASSERT_EQ(responses.size(), requests.size());
+  EXPECT_GT(preempted, 0) << "pool was not tight enough to force preemption";
+  EXPECT_EQ(static_cast<size_t>(preempted),
+            server.scheduler().total_preempted());
+  EXPECT_EQ(server.scheduler().total_resumed(),
+            server.scheduler().total_preempted());
+  for (const auto& resp : responses) {
+    EXPECT_EQ(resp.tokens, reference.at(resp.request_id))
+        << "request " << resp.request_id;
+    // Streaming continuity: no duplicates, no gaps, one is_last.
+    const auto& s = streams[resp.request_id];
+    EXPECT_EQ(s.tokens, resp.tokens);
+    EXPECT_EQ(s.last_count, 1);
+    for (size_t k = 0; k < s.steps.size(); ++k) {
+      EXPECT_EQ(s.steps[k], static_cast<int>(k))
+          << "request " << resp.request_id;
+    }
+  }
+  EXPECT_TRUE(server.idle());
+  EXPECT_EQ(server.pool().active_sequences(), 0);
+  EXPECT_EQ(server.pool().stats().current_device_bytes, 0u);
+}
+
+TEST(Preemption, CascadingPreemptionStillServesEveryoneIdentically) {
+  // A pool so tight that growing one sequence preempts several victims in
+  // a cascade (and may evict parked cross shares entirely).
+  const auto config = tiny();
+  Rng rng(43);
+  std::vector<serving::GenerationRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    requests.push_back(make_request(rng, i, 4 + (i % 3), 12));
+  }
+  const auto reference = run_reference(config, requests);
+
+  GenServerOptions options;
+  options.pool = small_pool();
+  options.pool.max_bytes = 2 * 8 * pool_block_bytes();  // 16 blocks, brutal
+  options.scheduler.max_active = 6;
+  options.scheduler.optimistic_admission = true;
+  GenerationServer server(config, options, 29);
+  for (const auto& r : requests) server.submit(r);
+
+  int max_preempted_in_one_step = 0;
+  server.set_step_observer([&](const StepStats& s) {
+    max_preempted_in_one_step = std::max(max_preempted_in_one_step,
+                                         s.preempted);
+    server.pool().check_invariants();
+  });
+  const auto responses = server.run_to_completion();
+  ASSERT_EQ(responses.size(), requests.size());
+  EXPECT_GE(server.scheduler().total_preempted(), 2u);
+  for (const auto& resp : responses) {
+    EXPECT_EQ(resp.tokens, reference.at(resp.request_id))
+        << "request " << resp.request_id;
+  }
+  EXPECT_EQ(server.pool().stats().current_device_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Victim policies
+// ---------------------------------------------------------------------------
+
+// Drives a scheduler directly (no decoder): admit three sequences, fill
+// the pool, and check who gets parked when the requester grows.
+class VictimPolicyTest : public ::testing::Test {
+ protected:
+  void run(GenSchedulerOptions scheduler_opts,
+           const std::vector<int>& priorities, int64_t expected_victim) {
+    const auto config = tiny();
+    auto pool_opts = small_pool();
+    pool_opts.max_bytes = 2 * 8 * pool_block_bytes();  // 16 blocks
+    KvCachePool pool(config, pool_opts);
+    auto costs = serving::CostTable::warmup(
+        [](int len, int batch) { return 0.1 + 0.01 * len * batch; }, 64, 8, 8);
+    scheduler_opts.optimistic_admission = true;
+    scheduler_opts.max_active = 3;
+    GenerationScheduler scheduler(&pool, &costs, scheduler_opts);
+
+    // Three admits at 4 blocks each (12, plus admission growth headroom
+    // fills out the 16-block pool). Only the FIRST sequence decodes:
+    // its third block-boundary crossing exhausts the pool with the oldest
+    // sequence as the requester, so victim eligibility (sequences the
+    // requester outranks) covers both of the others.
+    Rng rng(45);
+    for (size_t i = 0; i < priorities.size(); ++i) {
+      auto r = make_request(rng, static_cast<int64_t>(i), 4, i == 0 ? 16 : 12);
+      r.priority = priorities[i];
+      scheduler.enqueue(std::move(r));
+    }
+    const auto admitted = scheduler.admit(0.0);
+    ASSERT_EQ(admitted.size(), priorities.size());
+    for (ActiveSequence* seq : admitted) {
+      if (seq->kv->needs_cross_init()) seq->kv->mark_cross_ready();
+    }
+    // Advance only sequence 0 until its growth preempts someone.
+    while (scheduler.total_preempted() == 0) {
+      const auto stepping = scheduler.prepare_step();
+      ASSERT_FALSE(stepping.empty());
+      for (ActiveSequence* seq : stepping) {
+        if (seq->request.id != 0) continue;
+        ++seq->step;
+        seq->tokens.push_back(3);  // park something replayable
+        ASSERT_LT(seq->step, 15) << "pool never filled";
+      }
+      pool.check_invariants();
+    }
+    ASSERT_EQ(scheduler.requeued(), 1u);
+    // The victim is whoever vanished from the active set.
+    std::vector<int64_t> active_ids;
+    for (const auto& seq : scheduler.active_set()) {
+      active_ids.push_back(seq->request.id);
+    }
+    EXPECT_EQ(active_ids.size(), priorities.size() - 1);
+    EXPECT_TRUE(std::find(active_ids.begin(), active_ids.end(),
+                          expected_victim) == active_ids.end())
+        << "expected victim " << expected_victim << " still active";
+    // Drain: release everything so the pool destructor is happy.
+    while (!scheduler.idle()) {
+      scheduler.admit(0.0);
+      for (const auto& seq : scheduler.active_set()) seq->finished = true;
+      scheduler.retire_finished();
+    }
+  }
+};
+
+TEST_F(VictimPolicyTest, MostRecentlyAdmittedLosesByDefault) {
+  run({}, {0, 0, 0}, /*expected_victim=*/2);
+}
+
+TEST_F(VictimPolicyTest, LowestPriorityLosesFirst) {
+  GenSchedulerOptions opts;
+  opts.victim_policy = GenSchedulerOptions::VictimPolicy::kLowestPriority;
+  // Admission order would blame id 2; priority order blames id 1.
+  run(opts, {5, 1, 3}, /*expected_victim=*/1);
+}
+
+TEST_F(VictimPolicyTest, CustomSelectorIsPluggable) {
+  GenSchedulerOptions opts;
+  opts.victim_selector =
+      [](const std::vector<ActiveSequence*>& eligible) -> ActiveSequence* {
+    // Deliberately pick the *oldest* eligible candidate.
+    ActiveSequence* best = eligible.front();
+    for (ActiveSequence* cand : eligible) {
+      if (cand->admit_order < best->admit_order) best = cand;
+    }
+    return best;
+  };
+  run(opts, {0, 0, 0}, /*expected_victim=*/1);
+}
+
+}  // namespace
+}  // namespace turbo::genserve
