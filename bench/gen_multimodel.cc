@@ -1,0 +1,327 @@
+// Multi-model serving: one shared slab budget vs a static per-model
+// partition, under skewed two-model load.
+//
+// Two decoder configurations serve the same device-memory budget B. The
+// static baseline gives each model max_bytes = B/2 — its own
+// GenerationServer, its own cap, nobody can touch the other's half. The
+// shared run fronts both models with MultiModelGenerationServer: each
+// model's pool charges the one SlabBudget (guarantee B/2 apiece), so the
+// busy model borrows the slabs the light one is not using and the light
+// model reclaims them through the preemption path when its own traffic
+// needs its guarantee back.
+//
+// The load is deliberately skewed — a deep queue on the "heavy" model, a
+// trickle on the "light" one — which is exactly where static partitioning
+// wastes memory: the light half idles while the heavy half preempts. Both
+// runs are asserted bit-identical, request for request, to each model's
+// dedicated uncontended server (always hard, preemptions and reclaims
+// included). The utilization/throughput gates demote to report-only under
+// TURBO_BENCH_NO_GATE (shared CI runners have untrustworthy clocks).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "genserve/generation_server.h"
+#include "genserve/model_bundle.h"
+#include "genserve/multi_model_server.h"
+#include "serving/request.h"
+
+using namespace turbo;
+
+namespace {
+
+// Different shapes on purpose: multi-model serving must arbitrate across
+// pools whose block geometry differs.
+model::ModelConfig heavy_config() {
+  return model::ModelConfig::tiny(/*layers=*/2, /*hidden=*/64, /*heads=*/4,
+                                  /*inter=*/128, /*vocab=*/500);
+}
+model::ModelConfig light_config() {
+  return model::ModelConfig::tiny(/*layers=*/2, /*hidden=*/32, /*heads=*/2,
+                                  /*inter=*/64, /*vocab=*/500);
+}
+
+genserve::GenServerOptions engine_options() {
+  genserve::GenServerOptions o;
+  o.pool.block_tokens = 8;
+  o.pool.blocks_per_slab = 8;
+  o.scheduler.max_active = 8;
+  o.scheduler.optimistic_admission = true;
+  return o;
+}
+
+struct RunResult {
+  std::map<int64_t, std::vector<int>> tokens_by_id;
+  size_t tokens = 0;
+  double wall_s = 0.0;
+  double mean_utilization = 0.0;  // mean aggregate used / budget
+  size_t peak_used = 0;           // peak aggregate slab bytes
+  size_t preemptions = 0;
+  size_t reclaims = 0;
+  int64_t iterations = 0;
+};
+
+void collect(std::vector<serving::GenerationResponse> responses,
+             RunResult& r) {
+  for (auto& resp : responses) {
+    r.tokens += resp.tokens.size();
+    r.tokens_by_id[resp.request_id] = std::move(resp.tokens);
+  }
+}
+
+// Dedicated uncontended reference: unbounded pool, one model, no budget.
+RunResult run_dedicated(const std::shared_ptr<genserve::ModelBundle>& bundle,
+                        const std::vector<serving::GenerationRequest>& reqs) {
+  genserve::GenerationServer server(bundle, engine_options());
+  for (const auto& req : reqs) server.submit(req);
+  RunResult r;
+  collect(server.run_to_completion(), r);
+  return r;
+}
+
+// Static partition: each model runs its own server capped at half the
+// budget; the loop interleaves one step per model per iteration — the
+// same cross-model cadence the shared run gets, minus the borrowing.
+RunResult run_static_once(
+    const std::shared_ptr<genserve::ModelBundle>& heavy,
+    const std::shared_ptr<genserve::ModelBundle>& light,
+    const std::vector<serving::GenerationRequest>& heavy_reqs,
+    const std::vector<serving::GenerationRequest>& light_reqs,
+    size_t total_budget) {
+  genserve::GenServerOptions heavy_opts = engine_options();
+  heavy_opts.pool.max_bytes = total_budget / 2;
+  genserve::GenServerOptions light_opts = engine_options();
+  light_opts.pool.max_bytes = total_budget / 2;
+  genserve::GenerationServer heavy_server(heavy, heavy_opts);
+  genserve::GenerationServer light_server(light, light_opts);
+  for (const auto& req : heavy_reqs) heavy_server.submit(req);
+  for (const auto& req : light_reqs) light_server.submit(req);
+
+  RunResult r;
+  size_t used_sum = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!heavy_server.idle() || !light_server.idle()) {
+    heavy_server.step();
+    light_server.step();
+    const size_t used = heavy_server.pool().stats().current_device_bytes +
+                        light_server.pool().stats().current_device_bytes;
+    used_sum += used;
+    r.peak_used = std::max(r.peak_used, used);
+    ++r.iterations;
+  }
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+  collect(heavy_server.take_completed(), r);
+  collect(light_server.take_completed(), r);
+  r.mean_utilization = r.iterations
+                           ? static_cast<double>(used_sum) /
+                                 (static_cast<double>(r.iterations) *
+                                  static_cast<double>(total_budget))
+                           : 0.0;
+  r.preemptions = heavy_server.scheduler().total_preempted() +
+                  light_server.scheduler().total_preempted();
+  return r;
+}
+
+// Shared budget: both pools charge one SlabBudget, guarantee B/2 apiece.
+RunResult run_shared_once(
+    const std::shared_ptr<genserve::ModelBundle>& heavy,
+    const std::shared_ptr<genserve::ModelBundle>& light,
+    const std::vector<serving::GenerationRequest>& heavy_reqs,
+    const std::vector<serving::GenerationRequest>& light_reqs,
+    size_t total_budget) {
+  genserve::MultiModelOptions options;
+  options.engine = engine_options();
+  options.total_kv_bytes = total_budget;
+  genserve::MultiModelGenerationServer server(options);
+  server.register_bundle(heavy, total_budget / 2);
+  server.register_bundle(light, total_budget / 2);
+  for (const auto& req : heavy_reqs) server.submit(req);
+  for (const auto& req : light_reqs) server.submit(req);
+
+  RunResult r;
+  size_t used_sum = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!server.idle()) {
+    server.step();
+    const size_t used = server.budget().used_bytes();
+    used_sum += used;
+    r.peak_used = std::max(r.peak_used, used);
+    ++r.iterations;
+  }
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+  collect(server.take_completed(), r);
+  r.mean_utilization = r.iterations
+                           ? static_cast<double>(used_sum) /
+                                 (static_cast<double>(r.iterations) *
+                                  static_cast<double>(total_budget))
+                           : 0.0;
+  for (const auto& s : server.stats()) r.preemptions += s.pool.preemptions;
+  r.reclaims = server.total_reclaims();
+  TT_CHECK_LE(server.budget().snapshot().peak_used_bytes, total_budget);
+  TT_CHECK_EQ(server.budget().used_bytes(), 0u);
+  return r;
+}
+
+// Scheduling is deterministic; only the clock is noisy. Best-of-N wall
+// time, with every rep asserted token-identical to the first.
+template <typename Fn>
+RunResult best_of(Fn&& run, int reps = 3) {
+  RunResult best = run();
+  for (int rep = 1; rep < reps; ++rep) {
+    RunResult r = run();
+    TT_CHECK(r.tokens_by_id == best.tokens_by_id);
+    TT_CHECK_EQ(r.iterations, best.iterations);
+    if (r.wall_s < best.wall_s) best = std::move(r);
+  }
+  return best;
+}
+
+// EOS-from-trajectory pre-pass (as in bench_gen_preemption): each request
+// stops at a token its own uncontended greedy trajectory actually emits,
+// so "finishes early" is deterministic and identical across runs.
+void assign_natural_eos(std::vector<serving::GenerationRequest>& requests,
+                        const RunResult& probe, Rng& rng, int lo, int hi) {
+  for (auto& r : requests) {
+    const auto& toks = probe.tokens_by_id.at(r.id);
+    const int target = static_cast<int>(rng.uniform_int(lo, hi));
+    std::map<int, int> first_occurrence;
+    for (size_t k = 0; k < toks.size(); ++k) {
+      first_occurrence.emplace(toks[k], static_cast<int>(k));
+    }
+    int best_tok = -1, best_dist = 1 << 30;
+    for (const auto& [tok, first] : first_occurrence) {
+      const int dist = std::abs(first - target);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_tok = tok;
+      }
+    }
+    TT_CHECK_GE(best_tok, 0);
+    r.eos_id = best_tok;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const bool gate = std::getenv("TURBO_BENCH_NO_GATE") == nullptr;
+  auto heavy = genserve::make_bundle("heavy", 1, heavy_config(), 31);
+  auto light = genserve::make_bundle("light", 1, light_config(), 32);
+
+  // Skewed load: 32 heavy requests with generous output budgets against 6
+  // light ones. Budgets are what worst-case sizing must provision for;
+  // the EOS pre-pass makes actual generations stop far earlier.
+  Rng rng(0x3350);
+  std::vector<serving::GenerationRequest> heavy_reqs, light_reqs;
+  for (int i = 0; i < 32; ++i) {
+    serving::GenerationRequest r;
+    r.id = i;
+    r.src_tokens = rng.token_ids(static_cast<int>(rng.uniform_int(6, 16)),
+                                 500);
+    r.max_new_tokens = 48;
+    r.eos_id = 2;
+    r.model = "heavy";
+    heavy_reqs.push_back(std::move(r));
+  }
+  for (int i = 0; i < 6; ++i) {
+    serving::GenerationRequest r;
+    r.id = 1000 + i;
+    r.src_tokens = rng.token_ids(static_cast<int>(rng.uniform_int(4, 10)),
+                                 500);
+    r.max_new_tokens = 16;
+    r.eos_id = 2;
+    r.model = "light";
+    light_reqs.push_back(std::move(r));
+  }
+  assign_natural_eos(heavy_reqs,
+                     run_dedicated(heavy, heavy_reqs), rng, 8, 24);
+  assign_natural_eos(light_reqs,
+                     run_dedicated(light, light_reqs), rng, 4, 10);
+
+  // Bit-identity baselines: dedicated uncontended per-model servers.
+  const RunResult ref_heavy = run_dedicated(heavy, heavy_reqs);
+  const RunResult ref_light = run_dedicated(light, light_reqs);
+
+  // Budget B: 8 heavy slabs. The static halves are 4 heavy slabs (the
+  // heavy model starves: one worst-case request alone wants ~2) vs 8
+  // light-model slabs (the light trickle never fills one).
+  const size_t heavy_slab = static_cast<size_t>(8) * 8 *
+                            heavy_config().kv_bytes_per_token() /
+                            heavy_config().num_layers;
+  const size_t total_budget = 8 * heavy_slab;
+
+  const RunResult stat = best_of([&] {
+    return run_static_once(heavy, light, heavy_reqs, light_reqs,
+                           total_budget);
+  });
+  const RunResult shared = best_of([&] {
+    return run_shared_once(heavy, light, heavy_reqs, light_reqs,
+                           total_budget);
+  });
+
+  // Bit-identity (always hard): both arbitration schemes must reproduce
+  // each model's dedicated run exactly, token for token.
+  for (const auto* ref : {&ref_heavy, &ref_light}) {
+    for (const auto& [id, toks] : ref->tokens_by_id) {
+      TT_CHECK_MSG(stat.tokens_by_id.at(id) == toks,
+                   "static partition diverged on request " << id);
+      TT_CHECK_MSG(shared.tokens_by_id.at(id) == toks,
+                   "shared budget diverged on request " << id);
+    }
+  }
+
+  std::printf("multi-model serving — %zu heavy + %zu light requests, "
+              "budget %zu KB (heavy guarantee %zu KB, light %zu KB)\n",
+              heavy_reqs.size(), light_reqs.size(), total_budget / 1024,
+              total_budget / 2048, total_budget / 2048);
+  bench::print_rule('=');
+  std::printf("%-16s | %9s %9s %9s | %8s %9s | %8s %8s\n", "arbitration",
+              "tok/s", "wall ms", "iters", "util", "peak KB", "preempt",
+              "reclaim");
+  const auto row = [](const char* name, const RunResult& r) {
+    std::printf("%-16s | %9.0f %9.1f %9lld | %7.1f%% %9.1f | %8zu %8zu\n",
+                name, static_cast<double>(r.tokens) / r.wall_s,
+                r.wall_s * 1e3, static_cast<long long>(r.iterations),
+                100.0 * r.mean_utilization, r.peak_used / 1024.0,
+                r.preemptions, r.reclaims);
+  };
+  row("static halves", stat);
+  row("shared budget", shared);
+  bench::print_rule();
+  const double util_gain = shared.mean_utilization / stat.mean_utilization;
+  const double tput_gain = (static_cast<double>(shared.tokens) /
+                            shared.wall_s) /
+                           (static_cast<double>(stat.tokens) / stat.wall_s);
+  std::printf("shared vs static: %.2fx aggregate pool utilization, %.2fx "
+              "completed-tokens/s, peak footprint %.1f vs %.1f KB\n",
+              util_gain, tput_gain, shared.peak_used / 1024.0,
+              stat.peak_used / 1024.0);
+  std::printf("outputs bit-identical to the dedicated per-model servers in "
+              "both modes.\n");
+
+  if (gate) {
+    TT_CHECK_GT(shared.preemptions, 0u);  // the skew really contended
+    // The structural claim is utilization: borrowed slabs turn the light
+    // model's stranded half into working memory (measured ~1.9x).
+    TT_CHECK_GT(util_gain, 1.2);
+    // Throughput is parity-or-better, not a win to gate hard: on one core
+    // the fused step is ~linear in batch width, so the wider batches the
+    // borrowed slabs buy amortize only the per-step fixed cost (observed
+    // 0.95-1.15x run to run). Gate against a real regression only.
+    TT_CHECK_GE(tput_gain, 0.9);
+  } else {
+    std::printf("(gates skipped: TURBO_BENCH_NO_GATE set)\n");
+  }
+  return 0;
+}

@@ -1,40 +1,62 @@
-// A streaming generation service: seq2seq requests (source tokens in,
-// generated tokens out) flow through the iteration-level serving stack —
-// KV-cache pool, per-step batch re-formation, fused multi-sequence decode —
-// and every token streams back to its client the moment it is decoded,
-// while other sequences are still mid-generation.
+// A streaming multi-model generation service: seq2seq requests (source
+// tokens in, generated tokens out) flow through the iteration-level
+// serving stack — per-model KV-cache pools on one shared slab budget,
+// per-step batch re-formation, fused multi-sequence decode — and every
+// token streams back to its client the moment it is decoded, while other
+// sequences (of either model!) are still mid-generation.
+//
+// Two bundles register under different names; requests route by
+// GenerationRequest::model (empty = default model, model_version <= 0 =
+// latest registered version).
 #include <cstdio>
 #include <future>
 #include <mutex>
 #include <vector>
 
 #include "common/rng.h"
-#include "genserve/generation_server.h"
+#include "genserve/model_bundle.h"
+#include "genserve/multi_model_server.h"
 
 using namespace turbo;
 
 int main() {
-  // Small seq2seq model; the serving path is identical for a full
-  // transformer configuration.
-  genserve::GenServerOptions options;
-  options.pool.block_tokens = 8;
-  options.pool.blocks_per_slab = 16;
-  options.scheduler.max_active = 4;
-  auto engine = std::make_unique<genserve::GenerationServer>(
-      model::ModelConfig::tiny(2, 64, 4, 128, 1000), options, /*seed=*/2021);
-  genserve::AsyncGenerationServer server(std::move(engine));
+  // Two small seq2seq configurations; the serving path is identical for
+  // full transformer sizes. Both KV pools draw on one 256 KB slab budget,
+  // guaranteed half-and-half — a busy model borrows the other's idle
+  // headroom and gives it back (via preemption + bit-identical replay)
+  // when the owner's traffic returns.
+  genserve::GenServerOptions engine;
+  engine.pool.block_tokens = 8;
+  engine.pool.blocks_per_slab = 16;
+  engine.scheduler.max_active = 4;
+  genserve::MultiModelOptions options;
+  options.engine = engine;
+  options.total_kv_bytes = 256 * 1024;
+  genserve::AsyncMultiModelGenerationServer server(options);
 
-  // Submit a handful of translations with very different source lengths
-  // and output budgets — the workload whole-batch scheduling handles worst.
+  auto base = genserve::make_bundle(
+      "base", 1, model::ModelConfig::tiny(2, 64, 4, 128, 1000), /*seed=*/2021);
+  auto wide = genserve::make_bundle(
+      "wide", 1, model::ModelConfig::tiny(2, 128, 8, 256, 1000),
+      /*seed=*/2022);
+  server.register_bundle(base, options.total_kv_bytes / 2).get();
+  server.register_bundle(wide, options.total_kv_bytes / 2).get();
+
+  // Submit translations with very different source lengths and output
+  // budgets, alternating between the two models.
   Rng rng(7);
   std::mutex out_mutex;
   std::vector<std::future<serving::GenerationResponse>> futures;
+  std::vector<std::string> routed;
   int64_t id = 0;
   for (int src_len : {5, 23, 11, 47, 8, 31}) {
     serving::GenerationRequest request;
-    request.id = id++;
+    request.id = id;
     request.src_tokens = rng.token_ids(src_len, 1000);
     request.max_new_tokens = 6 + src_len / 4;
+    request.model = id % 2 == 0 ? "base" : "wide";  // explicit routing
+    routed.push_back(request.model);
+    ++id;
     futures.push_back(server.submit(
         std::move(request),
         [&out_mutex](int64_t rid, int token, int step, bool last) {
@@ -45,23 +67,30 @@ int main() {
         }));
   }
 
-  std::printf("\nsubmitted %lld requests; tokens above interleave across "
-              "sequences (iteration-level batching)\n\n",
+  std::printf("\nsubmitted %lld requests across 2 models; tokens above "
+              "interleave across sequences AND models (iteration-level "
+              "batching per model, cross-model round-robin)\n\n",
               static_cast<long long>(id));
 
-  for (auto& f : futures) {
-    const auto resp = f.get();
-    std::printf("request %lld: %zu tokens in %d steps (%.2f ms)%s\n",
-                static_cast<long long>(resp.request_id), resp.tokens.size(),
-                resp.steps, resp.latency_ms,
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const auto resp = futures[i].get();
+    std::printf("request %lld -> %-4s: %zu tokens in %d steps (%.2f ms)%s\n",
+                static_cast<long long>(resp.request_id), routed[i].c_str(),
+                resp.tokens.size(), resp.steps, resp.latency_ms,
                 resp.hit_max_len ? " [length budget]" : " [EOS]");
   }
 
   server.shutdown();
-  const auto snapshot = server.pool_snapshot();
-  std::printf("\nKV pool: peak footprint %.1f KB, resident after drain "
+  std::printf("\nper-model breakdown:\n");
+  for (const auto& s : server.model_stats()) {
+    std::printf("  %s:v%d  served %zu  peak pool %.1f KB  preempt %zu\n",
+                s.name.c_str(), s.version, s.served,
+                s.pool.peak_device_bytes / 1024.0, s.pool.preemptions);
+  }
+  const auto budget = server.budget_snapshot();
+  std::printf("shared budget: peak %.1f / %.1f KB, resident after drain "
               "%.1f KB\n",
-              snapshot.peak_device_bytes / 1024.0,
-              snapshot.device_bytes / 1024.0);
+              budget.peak_used_bytes / 1024.0, budget.total_bytes / 1024.0,
+              budget.used_bytes / 1024.0);
   return 0;
 }

@@ -25,13 +25,16 @@ void GenerationScheduler::validate(
   // optimistic admission this cap doubles as the progress guarantee: the
   // highest-ranked sequence can always preempt everything else and still
   // fit alone.
+  // The cap is the lifetime ceiling, not max_blocks(): a budget-attached
+  // pool's momentary capacity fluctuates with sibling borrowing, and
+  // validate() must stay immutable-read (client threads call it).
   const size_t need =
       pool_->blocks_for(static_cast<int>(request.src_tokens.size()),
                         request.max_new_tokens);
-  TT_CHECK_MSG(need <= pool_->max_blocks(),
+  TT_CHECK_MSG(need <= pool_->max_blocks_ceiling(),
                "generation request " << request.id << " needs " << need
                                      << " KV blocks but the pool caps at "
-                                     << pool_->max_blocks());
+                                     << pool_->max_blocks_ceiling());
 }
 
 void GenerationScheduler::enqueue(serving::GenerationRequest request) {
@@ -168,6 +171,12 @@ std::vector<ActiveSequence*> GenerationScheduler::admit(double now_s) {
     // Evict one and retry; validate() guarantees this converges.
     if (active_.empty() && !idle()) {
       if (evict_one_parked()) continue;
+      // Nothing left to free locally. If sibling pools' borrowing has
+      // shrunk this pool below its ceiling, the refusal is external
+      // starvation, not a wedge: stall this iteration and let the shared
+      // budget's owner reclaim (MultiModelGenerationServer sees
+      // admission_blocked() and sheds a borrower).
+      if (pool_->capacity_borrowed_elsewhere()) break;
       TT_CHECK_MSG(false, "generation scheduler wedged: empty pool refuses "
                           "every admission");
     }
@@ -294,6 +303,75 @@ std::vector<ActiveSequence*> GenerationScheduler::prepare_step() {
     }
   }
   return prepared;
+}
+
+bool GenerationScheduler::admission_blocked() const {
+  if (static_cast<int>(active_.size()) >= options_.max_active) return false;
+  const size_t headroom = pool_->blocks_per_boundary() * active_.size();
+  if (!requeued_.empty()) {
+    // Mirror admit()'s resume gate: the front of the requeue queue goes
+    // first, replay-sized.
+    const ActiveSequence& seq = *requeued_.front();
+    const int replay_rows = static_cast<int>(seq.tokens.size()) + 1;
+    if (seq.kv) return !pool_->can_resume(*seq.kv, replay_rows, headroom);
+    return !pool_->can_readmit_now(seq.request.src_tokens, replay_rows,
+                                   headroom);
+  }
+  if (!queue_.empty()) {
+    const serving::GenerationRequest& head = queue_.front();
+    return options_.optimistic_admission
+               ? !pool_->can_admit_now(head.src_tokens, headroom)
+               : !pool_->can_admit_prompt(head.src_tokens,
+                                          head.max_new_tokens);
+  }
+  return false;
+}
+
+size_t GenerationScheduler::admission_demand_blocks() const {
+  const size_t headroom = pool_->blocks_per_boundary() * active_.size();
+  const size_t bt = static_cast<size_t>(pool_->options().block_tokens);
+  if (!requeued_.empty()) {
+    const ActiveSequence& seq = *requeued_.front();
+    const size_t rows = seq.tokens.size() + 1;
+    const size_t replay = pool_->blocks_per_boundary() * ((rows + bt - 1) / bt);
+    if (seq.kv) return replay + headroom;  // cross share still resident
+    // Evicted: a full re-admission plus the replay rows beyond the first
+    // self block blocks_for_admit_now already counts.
+    return pool_->blocks_for_admit_now(seq.request.src_tokens) + replay -
+           pool_->blocks_per_boundary() + headroom;
+  }
+  if (!queue_.empty()) {
+    return pool_->blocks_for_admit_now(queue_.front().src_tokens) + headroom;
+  }
+  return 0;
+}
+
+size_t GenerationScheduler::shed(size_t bytes) {
+  const size_t before = pool_->stats().current_device_bytes;
+  const auto freed = [&] {
+    return before - pool_->stats().current_device_bytes;
+  };
+  while (freed() < bytes) {
+    // Lowest-ranked preemptible sequence loses, same strict order the
+    // internal grow-or-preempt path uses. A sequence that still owes its
+    // cross share the encoder pass cannot park (the share would wedge);
+    // the server encodes admits within the same iteration, so by the time
+    // a sibling model's reclaim runs there is normally nothing pending.
+    ActiveSequence* victim = nullptr;
+    for (const auto& seq : active_) {
+      if (!seq->kv || seq->kv->parked() || seq->kv->needs_cross_init()) {
+        continue;
+      }
+      if (victim == nullptr || outranks(*victim, *seq)) victim = seq.get();
+    }
+    if (victim != nullptr) {
+      park(victim, nullptr);
+      continue;
+    }
+    if (evict_one_parked()) continue;
+    break;
+  }
+  return freed();
 }
 
 std::vector<std::unique_ptr<ActiveSequence>>

@@ -152,6 +152,28 @@ class GenerationScheduler {
   // KV blocks back to the pool. Returns them for response assembly.
   std::vector<std::unique_ptr<ActiveSequence>> retire_finished();
 
+  // True when admission is currently blocked on pool capacity: work is
+  // waiting (requeued or queued) and the pool cannot take the next
+  // candidate even at its current marginal demand. The multi-model budget
+  // owner polls this to decide when to reclaim borrowed slabs from sibling
+  // pools; false when the only brake is max_active or the cost gate.
+  bool admission_blocked() const;
+
+  // Forced preemption for cross-pool budget reclaim: park lowest-ranked
+  // active sequences (then evict parked cross shares, last resort) until
+  // the pool's slab footprint has dropped by at least `bytes`, or nothing
+  // preemptible remains. The parked sequences take the ordinary
+  // preempt-and-requeue path — they resume and replay bit-identically once
+  // capacity returns. Returns the bytes actually freed (slab-granular, so
+  // possibly more than asked).
+  size_t shed(size_t bytes);
+
+  // Blocks the front waiting candidate needs materialized to (re)join
+  // right now, growth headroom included; 0 when nothing waits. The budget
+  // owner sizes reclaims with this, so a lightly loaded model claws back
+  // only what its demand justifies, not its whole guarantee.
+  size_t admission_demand_blocks() const;
+
   // Lifetime counters (scheduler invariants: admitted == retired once
   // idle, and every enqueued request is admitted exactly once).
   size_t total_enqueued() const { return total_enqueued_; }

@@ -22,6 +22,25 @@ serving::CostTable default_cost_table(const GenSchedulerOptions& scheduler) {
       /*max_len=*/512, max_batch, /*len_step=*/16);
 }
 
+// Admission-cost preference: explicit engine option, then the bundle's
+// profiled per-model table, then the coarse analytic warm-up.
+serving::CostTable resolve_cost_table(const ModelBundle& bundle,
+                                      const GenServerOptions& options) {
+  if (options.cost_table) return *options.cost_table;
+  if (bundle.cost_table) return *bundle.cost_table;
+  return default_cost_table(options.scheduler);
+}
+
+// The member-init list dereferences the bundle (config copy, cost-table
+// resolution), so the null check must run before initialization starts.
+std::shared_ptr<ModelBundle> require_bundle(
+    std::shared_ptr<ModelBundle> bundle) {
+  TT_CHECK_MSG(bundle != nullptr, "GenerationServer needs a model bundle");
+  TT_CHECK(bundle->encoder != nullptr);
+  TT_CHECK(bundle->decoder != nullptr);
+  return bundle;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -30,12 +49,16 @@ serving::CostTable default_cost_table(const GenSchedulerOptions& scheduler) {
 
 GenerationServer::GenerationServer(model::ModelConfig config,
                                    GenServerOptions options, uint64_t seed)
-    : config_(config),
-      encoder_(config, seed),
-      decoder_(config, seed),
-      costs_(options.cost_table ? *options.cost_table
-                                : default_cost_table(options.scheduler)),
-      pool_(config, options.pool),
+    : GenerationServer(make_bundle(config.name.empty() ? "model" : config.name,
+                                   /*version=*/1, config, seed),
+                       std::move(options)) {}
+
+GenerationServer::GenerationServer(std::shared_ptr<ModelBundle> bundle,
+                                   GenServerOptions options)
+    : bundle_(require_bundle(std::move(bundle))),
+      config_(bundle_->config),
+      costs_(resolve_cost_table(*bundle_, options)),
+      pool_(config_, options.pool),
       scheduler_(&pool_, &costs_, options.scheduler),
       observe_costs_(options.observe_step_costs),
       observe_alpha_(options.cost_observe_alpha),
@@ -117,14 +140,15 @@ int GenerationServer::step() {
       std::copy(src.begin(), src.end(),
                 ids.data<int32_t>() + static_cast<long>(b) * max_src);
     }
-    Tensor memory = encoder_.forward(ids, &valid_lens);  // [nb, max_src, H]
+    Tensor memory =
+        bundle_->encoder->forward(ids, &valid_lens);  // [nb, max_src, H]
     for (int b = 0; b < nb_enc; ++b) {
       ActiveSequence* seq = to_encode[static_cast<size_t>(b)];
       Tensor view = Tensor::view(
           memory.data<float>() +
               static_cast<long>(b) * max_src * config_.hidden,
           Shape{valid_lens[static_cast<size_t>(b)], config_.hidden});
-      decoder_.init_cross_attention(view, *seq->kv);
+      bundle_->decoder->init_cross_attention(view, *seq->kv);
       seq->kv->mark_cross_ready();
     }
   }
@@ -151,7 +175,7 @@ int GenerationServer::step() {
   const int vocab = config_.vocab;
   logits_.resize(static_cast<size_t>(nb) * vocab);
   const auto step_t0 = std::chrono::steady_clock::now();
-  decoder_.step(slots, logits_.data(), workspace_);
+  bundle_->decoder->step(slots, logits_.data(), workspace_);
   const double step_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - step_t0)
@@ -250,6 +274,18 @@ int GenerationServer::step() {
 
 std::vector<serving::GenerationResponse> GenerationServer::take_completed() {
   return std::exchange(completed_, {});
+}
+
+PoolSnapshot GenerationServer::pool_snapshot() const {
+  PoolSnapshot s;
+  s.bytes_in_use = pool_.bytes_in_use();
+  s.device_bytes = pool_.stats().current_device_bytes;
+  s.peak_device_bytes = pool_.stats().peak_device_bytes;
+  s.active_sequences = pool_.active_sequences();
+  s.preemptions = scheduler_.total_preempted();
+  s.resumes = scheduler_.total_resumed();
+  s.evictions = scheduler_.total_evicted();
+  return s;
 }
 
 std::vector<serving::GenerationResponse> GenerationServer::run_to_completion() {
@@ -364,14 +400,7 @@ void AsyncGenerationServer::worker_loop() {
       std::lock_guard<std::mutex> lock(mutex_);
       served_ += done.size();
       iterations_ = server_->iterations();
-      const KvCachePool& pool = server_->pool();
-      pool_snapshot_.bytes_in_use = pool.bytes_in_use();
-      pool_snapshot_.device_bytes = pool.stats().current_device_bytes;
-      pool_snapshot_.peak_device_bytes = pool.stats().peak_device_bytes;
-      pool_snapshot_.active_sequences = pool.active_sequences();
-      pool_snapshot_.preemptions = server_->scheduler().total_preempted();
-      pool_snapshot_.resumes = server_->scheduler().total_resumed();
-      pool_snapshot_.evictions = server_->scheduler().total_evicted();
+      pool_snapshot_ = server_->pool_snapshot();
       for (const auto& resp : done) ids_in_flight_.erase(resp.request_id);
     }
     for (auto& resp : done) {

@@ -30,6 +30,7 @@
 
 #include "genserve/generation_scheduler.h"
 #include "genserve/kv_cache_pool.h"
+#include "genserve/model_bundle.h"
 #include "model/decoder.h"
 #include "model/encoder.h"
 #include "serving/cost_table.h"
@@ -71,8 +72,24 @@ struct StepStats {
                                     // capacity under optimistic admission)
 };
 
-// Ownership: owns the whole sync engine — encoder, decoder, cost table,
-// KV pool and scheduler construct and destruct together, so their borrow
+// Snapshot of pool pressure plus preemption activity, assembled by
+// GenerationServer::pool_snapshot(); safe for the async shells to cache
+// and serve while the worker runs.
+struct PoolSnapshot {
+  size_t bytes_in_use = 0;
+  size_t device_bytes = 0;
+  size_t peak_device_bytes = 0;
+  int active_sequences = 0;
+  // Preempt-and-requeue activity (optimistic admission).
+  size_t preemptions = 0;
+  size_t resumes = 0;
+  size_t evictions = 0;
+};
+
+// Ownership: owns the whole sync engine — the model bundle is pinned by
+// shared_ptr (private to this engine via the config constructor, or a
+// registry-shared bundle via the bundle constructor); cost table, KV pool
+// and scheduler construct and destruct together, so their borrow
 // relationships (scheduler -> pool, scheduler -> costs) are safe by
 // construction. Callbacks registered at submit() are owned until their
 // sequence retires.
@@ -93,8 +110,17 @@ class GenerationServer {
  public:
   using StepObserver = std::function<void(const StepStats&)>;
 
+  // Single-model construction: builds a private bundle from config + seed
+  // (bit-identical to make_bundle(..., seed) routed through the bundle
+  // constructor).
   explicit GenerationServer(model::ModelConfig config,
                             GenServerOptions options = {}, uint64_t seed = 42);
+  // Serve a registered bundle. The engine pins it for its own lifetime —
+  // the multi-model server's hot-unregistration path relies on exactly
+  // this pin. When options carry no cost table, the bundle's (if any) is
+  // copied in, so per-model profiled tables follow the bundle.
+  explicit GenerationServer(std::shared_ptr<ModelBundle> bundle,
+                            GenServerOptions options = {});
 
   // Throws CheckError if the request is malformed (empty source,
   // max_new_tokens < 1) or could never fit the KV pool. Thread-safe: reads
@@ -118,6 +144,15 @@ class GenerationServer {
   bool idle() const { return scheduler_.idle(); }
   const KvCachePool& pool() const { return pool_; }
   const GenerationScheduler& scheduler() const { return scheduler_; }
+  const std::shared_ptr<ModelBundle>& bundle() const { return bundle_; }
+  // Current pool pressure + preemption totals, one assembly shared by the
+  // async shell and the multi-model breakdown. Worker-thread only (reads
+  // mutable pool state).
+  PoolSnapshot pool_snapshot() const;
+  // Cross-pool budget reclaim entry point (multi-model serving): preempt
+  // this engine's lowest-ranked sequences until `bytes` of slab footprint
+  // freed (see GenerationScheduler::shed). Worker-thread only.
+  size_t shed_kv(size_t bytes) { return scheduler_.shed(bytes); }
   const serving::CostTable& cost_table() const { return costs_; }
   // The live admission dictionary (tests feed synthetic observe()
   // measurements through this; the step loop feeds real ones).
@@ -131,9 +166,8 @@ class GenerationServer {
  private:
   double now_s() const;
 
-  model::ModelConfig config_;
-  model::EncoderModel encoder_;
-  model::Seq2SeqDecoder decoder_;
+  std::shared_ptr<ModelBundle> bundle_;  // pinned until the engine dies
+  model::ModelConfig config_;            // copy of bundle_->config
   serving::CostTable costs_;
   KvCachePool pool_;
   GenerationScheduler scheduler_;
@@ -146,18 +180,6 @@ class GenerationServer {
   double observe_alpha_ = 0.25;
   int64_t iteration_ = 0;
   std::chrono::steady_clock::time_point epoch_;
-};
-
-// Snapshot of pool pressure, safe to read while the worker runs.
-struct PoolSnapshot {
-  size_t bytes_in_use = 0;
-  size_t device_bytes = 0;
-  size_t peak_device_bytes = 0;
-  int active_sequences = 0;
-  // Preempt-and-requeue activity (optimistic admission).
-  size_t preemptions = 0;
-  size_t resumes = 0;
-  size_t evictions = 0;
 };
 
 // Ownership: takes the engine by unique_ptr and owns it plus the worker

@@ -135,12 +135,27 @@ KvCachePool::KvCachePool(const model::ModelConfig& config,
     TT_CHECK_MSG(options_.max_bytes >= slab_bytes(),
                  "max_bytes below one slab: " << options_.max_bytes);
   }
+  if (options_.slab_budget != nullptr) {
+    if (options_.slab_budget->total_bytes() > 0) {
+      TT_CHECK_MSG(options_.slab_budget->total_bytes() >= slab_bytes(),
+                   "shared budget below one slab: "
+                       << options_.slab_budget->total_bytes());
+    }
+    budget_client_ = options_.slab_budget->register_client(
+        options_.budget_client_name.empty() ? "kv-pool"
+                                            : options_.budget_client_name,
+        options_.budget_guarantee_bytes);
+  }
 }
 
 KvCachePool::~KvCachePool() {
   // Sequences must not outlive the pool; a live one here would dangle.
   TT_CHECK_EQ(active_, 0);
   TT_CHECK(shares_.empty());
+  if (options_.slab_budget != nullptr) {
+    // All sequences released -> every slab swept -> zero bytes charged.
+    options_.slab_budget->unregister_client(budget_client_);
+  }
 }
 
 size_t KvCachePool::self_blocks_for(int max_new_tokens) const {
@@ -173,9 +188,40 @@ size_t KvCachePool::blocks_for_prompt(const std::vector<int>& prompt_tokens,
 }
 
 size_t KvCachePool::max_blocks() const {
-  if (options_.max_bytes == 0) return std::numeric_limits<size_t>::max();
-  return options_.max_bytes / slab_bytes() *
-         static_cast<size_t>(options_.blocks_per_slab);
+  size_t cap = std::numeric_limits<size_t>::max();
+  if (options_.max_bytes > 0) {
+    cap = options_.max_bytes / slab_bytes() *
+          static_cast<size_t>(options_.blocks_per_slab);
+  }
+  if (options_.slab_budget != nullptr) {
+    const size_t avail = options_.slab_budget->available_bytes();
+    if (avail != std::numeric_limits<size_t>::max()) {
+      // What this pool could hold right now: its own slabs (already
+      // charged) plus whole slabs the budget's free headroom still backs.
+      // Only whole slabs count — blocks come from slabs, so a fractional
+      // remainder buys nothing.
+      const size_t mine = tracker_.stats().current_device_bytes;
+      cap = std::min(cap, (mine + avail) / slab_bytes() *
+                              static_cast<size_t>(options_.blocks_per_slab));
+    }
+  }
+  return cap;
+}
+
+size_t KvCachePool::max_blocks_ceiling() const {
+  size_t cap = std::numeric_limits<size_t>::max();
+  if (options_.max_bytes > 0) {
+    cap = options_.max_bytes / slab_bytes() *
+          static_cast<size_t>(options_.blocks_per_slab);
+  }
+  if (options_.slab_budget != nullptr) {
+    const size_t total = options_.slab_budget->total_bytes();
+    if (total > 0) {
+      cap = std::min(cap, total / slab_bytes() *
+                              static_cast<size_t>(options_.blocks_per_slab));
+    }
+  }
+  return cap;
 }
 
 bool KvCachePool::can_admit(int s_src, int max_new_tokens) const {
@@ -511,6 +557,16 @@ int KvCachePool::alloc_block() {
                          0);
     }
     Slab& slab = slabs_[slab_idx];
+    if (options_.slab_budget != nullptr) {
+      // Never fires for callers that respected the capacity gates: every
+      // admission/growth check runs against max_blocks(), which already
+      // counts the budget's free headroom in whole slabs, and nothing else
+      // runs between that check and this charge (pools sharing a budget
+      // are driven from one worker at a time).
+      TT_CHECK_MSG(
+          options_.slab_budget->try_acquire(budget_client_, slab_bytes()),
+          "shared slab budget exhausted under an ungated allocation");
+    }
     slab.buffer = AlignedBuffer(slab_bytes());
     slab.live_blocks = 0;
     tracker_.on_malloc(slab_bytes());
@@ -570,6 +626,9 @@ void KvCachePool::sweep_empty_slabs() {
     if (!slab.buffer.empty() && slab.live_blocks == 0) {
       slab.buffer = AlignedBuffer();
       tracker_.on_free(slab_bytes());
+      if (options_.slab_budget != nullptr) {
+        options_.slab_budget->release(budget_client_, slab_bytes());
+      }
       freed[i] = true;
       swept = true;
     }

@@ -66,6 +66,7 @@
 
 #include "common/aligned_buffer.h"
 #include "memory/allocator.h"
+#include "memory/slab_budget.h"
 #include "model/config.h"
 #include "model/decoder.h"
 
@@ -79,6 +80,24 @@ struct KvPoolOptions {
   // cross blocks (fork()'s CoW still works). The A/B switch for the
   // prefix-sharing benchmark.
   bool enable_prefix_sharing = true;
+  // Shared cross-pool byte budget (multi-model serving). When set, every
+  // slab malloc/free is charged against it, and the pool's effective
+  // capacity becomes dynamic: max_blocks() counts the budget's free
+  // headroom as this pool's, so a busy model borrows slabs an idle one is
+  // not using. Borrowed pointer; must outlive the pool. The pool registers
+  // itself as a budget client on construction (under `budget_client_name`,
+  // with `budget_guarantee_bytes` as its reclaim floor) and unregisters on
+  // destruction.
+  //
+  // Capacity under a shared budget can shrink *between* a sequence's
+  // admission and its growth (another pool borrows the headroom), so
+  // worst-case admission's never-fails guarantee does not hold across
+  // pools: schedulers over budget-attached pools must run optimistic
+  // admission and route growth through try_ensure_token + preemption
+  // (MultiModelGenerationServer enforces this).
+  memory::SlabBudget* slab_budget = nullptr;
+  std::string budget_client_name;
+  size_t budget_guarantee_bytes = 0;
 };
 
 class KvCachePool;
@@ -205,8 +224,24 @@ class KvCachePool {
   // shared prefix blocks are charged against capacity exactly once.
   size_t blocks_for_prompt(const std::vector<int>& prompt_tokens,
                            int max_new_tokens) const;
-  // Pool capacity in blocks (SIZE_MAX when max_bytes == 0).
+  // Pool capacity in blocks right now. For a budget-attached pool this is
+  // dynamic: the pool's own slabs plus whatever whole slabs the shared
+  // budget could still back (shrinks as sibling pools borrow, grows back
+  // as they drain). SIZE_MAX when neither max_bytes nor a bounded budget
+  // caps the pool.
   size_t max_blocks() const;
+  // Hard ceiling on max_blocks() over the pool's lifetime: own max_bytes
+  // and the *full* shared budget, as if no sibling pool held anything.
+  // Immutable after construction (what request validation checks against —
+  // safe from any thread).
+  size_t max_blocks_ceiling() const;
+  // True while sibling pools' borrowing is currently reducing this pool's
+  // capacity below its ceiling — admission failures in that state are
+  // external starvation the budget owner can fix by reclaiming, not a
+  // wedge.
+  bool capacity_borrowed_elsewhere() const {
+    return max_blocks() < max_blocks_ceiling();
+  }
   bool can_admit(int s_src, int max_new_tokens) const;
   bool can_admit_prompt(const std::vector<int>& prompt_tokens,
                         int max_new_tokens) const;
@@ -393,6 +428,9 @@ class KvCachePool {
   int active_ = 0;
   int parked_ = 0;
   memory::DeviceTracker tracker_;
+  // Shared-budget registration (slab_budget set): charged at slab malloc,
+  // released when empty slabs free their buffers.
+  memory::SlabBudget::ClientId budget_client_ = -1;
 
   std::unordered_map<int64_t, CrossShare> shares_;
   std::unordered_multimap<uint64_t, int64_t> prompt_index_;  // hash -> share

@@ -1,0 +1,23 @@
+#include "genserve/model_bundle.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace turbo::genserve {
+
+std::shared_ptr<ModelBundle> make_bundle(std::string name, int version,
+                                         const model::ModelConfig& config,
+                                         uint64_t seed) {
+  TT_CHECK_MSG(!name.empty(), "bundle needs a non-empty name");
+  TT_CHECK_GE(version, 1);
+  auto bundle = std::make_shared<ModelBundle>();
+  bundle->name = std::move(name);
+  bundle->version = version;
+  bundle->config = config;
+  bundle->encoder = std::make_shared<model::EncoderModel>(config, seed);
+  bundle->decoder = std::make_shared<model::Seq2SeqDecoder>(config, seed);
+  return bundle;
+}
+
+}  // namespace turbo::genserve

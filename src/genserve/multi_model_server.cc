@@ -1,0 +1,498 @@
+#include "genserve/multi_model_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace turbo::genserve {
+
+// ---------------------------------------------------------------------------
+// MultiModelGenerationServer
+// ---------------------------------------------------------------------------
+
+MultiModelGenerationServer::MultiModelGenerationServer(
+    MultiModelOptions options)
+    : options_(std::move(options)), budget_(options_.total_kv_bytes) {}
+
+MultiModelGenerationServer::~MultiModelGenerationServer() {
+  // Engines (and their pools, which unregister from budget_) are destroyed
+  // by member order before budget_ — nothing to do, but the order matters.
+}
+
+MultiModelGenerationServer::Engine* MultiModelGenerationServer::find_engine(
+    const std::string& name, int version) {
+  for (const auto& e : engines_) {
+    if (e->bundle->name == name && e->bundle->version == version) {
+      return e.get();
+    }
+  }
+  return nullptr;
+}
+
+const MultiModelGenerationServer::Engine*
+MultiModelGenerationServer::find_engine(const std::string& name,
+                                        int version) const {
+  return const_cast<MultiModelGenerationServer*>(this)->find_engine(name,
+                                                                    version);
+}
+
+void MultiModelGenerationServer::register_bundle(
+    std::shared_ptr<ModelBundle> bundle, size_t guarantee_bytes,
+    std::optional<GenServerOptions> overrides) {
+  TT_CHECK(bundle != nullptr);
+  TT_CHECK_MSG(find_engine(bundle->name, bundle->version) == nullptr,
+               bundle->label() << " already registered (or still draining)");
+
+  GenServerOptions eopts =
+      overrides ? std::move(*overrides) : options_.engine;
+  // The pool's budget attachment is the server's to manage, never the
+  // caller's: every pool charges the one shared arbiter.
+  eopts.pool.slab_budget = &budget_;
+  eopts.pool.budget_client_name = bundle->label();
+  eopts.pool.budget_guarantee_bytes = guarantee_bytes;
+  if (options_.total_kv_bytes > 0) {
+    // Shared capacity can shrink between a sequence's admission and its
+    // growth (a sibling borrows the headroom); only optimistic admission's
+    // try_ensure_token + preemption path absorbs that, so it is mandatory
+    // under a bounded budget.
+    eopts.scheduler.optimistic_admission = true;
+  }
+
+  auto engine = std::make_unique<Engine>();
+  engine->bundle = bundle;
+  engine->guarantee_bytes = guarantee_bytes;
+  engine->server = std::make_unique<GenerationServer>(bundle, eopts);
+  engine->server->set_step_observer(
+      [this, eng = engine.get()](const StepStats& s) {
+        eng->last_step = s;
+        if (observer_) {
+          observer_(eng->bundle->name, eng->bundle->version, s);
+        }
+      });
+  registry_.register_model(bundle->name, bundle->version, bundle);
+  if (default_model_.empty()) default_model_ = bundle->name;
+  engines_.push_back(std::move(engine));
+}
+
+bool MultiModelGenerationServer::unregister_bundle(const std::string& name,
+                                                   int version) {
+  Engine* engine = find_engine(name, version);
+  if (engine == nullptr || engine->draining) return false;
+  registry_.unregister_model(name, version);
+  engine->draining = true;
+  // Already idle: tear down now — nothing pins the bundle past this call.
+  collect_completed(*engine);
+  std::erase_if(engines_, [](const std::unique_ptr<Engine>& e) {
+    return e->draining && e->server->idle();
+  });
+  return true;
+}
+
+void MultiModelGenerationServer::set_default_model(const std::string& name) {
+  TT_CHECK_MSG(!registry_.versions(name).empty(),
+               "default model '" << name << "' is not registered");
+  default_model_ = name;
+}
+
+const MultiModelGenerationServer::Engine* MultiModelGenerationServer::route(
+    const serving::GenerationRequest& request) const {
+  const std::string& name =
+      request.model.empty() ? default_model_ : request.model;
+  if (name.empty()) return nullptr;
+  const Engine* best = nullptr;
+  for (const auto& e : engines_) {
+    if (e->draining || e->bundle->name != name) continue;
+    if (request.model_version > 0) {
+      if (e->bundle->version == request.model_version) return e.get();
+    } else if (best == nullptr ||
+               e->bundle->version > best->bundle->version) {
+      best = e.get();  // latest live version wins
+    }
+  }
+  return request.model_version > 0 ? nullptr : best;
+}
+
+MultiModelGenerationServer::Engine* MultiModelGenerationServer::route(
+    const serving::GenerationRequest& request) {
+  return const_cast<Engine*>(
+      static_cast<const MultiModelGenerationServer*>(this)->route(request));
+}
+
+void MultiModelGenerationServer::validate(
+    const serving::GenerationRequest& request) const {
+  const Engine* engine = route(request);
+  TT_CHECK_MSG(engine != nullptr,
+               "generation request " << request.id << " routes to unknown "
+                                     << "model '" << request.model << "' v"
+                                     << request.model_version);
+  engine->server->validate(request);
+}
+
+void MultiModelGenerationServer::submit(serving::GenerationRequest request,
+                                        serving::TokenCallback on_token) {
+  Engine* engine = route(request);
+  TT_CHECK_MSG(engine != nullptr,
+               "generation request " << request.id << " routes to unknown "
+                                     << "model '" << request.model << "' v"
+                                     << request.model_version);
+  const int64_t id = request.id;
+  TT_CHECK_MSG(ids_in_flight_.insert(id).second,
+               "duplicate in-flight generation request id " << id);
+  try {
+    engine->server->submit(std::move(request), std::move(on_token));
+  } catch (...) {
+    // Validation failed on the routed engine: the id never went in flight.
+    ids_in_flight_.erase(id);
+    throw;
+  }
+}
+
+std::vector<size_t> MultiModelGenerationServer::step_order() const {
+  std::vector<size_t> order(engines_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (engines_.empty()) return order;
+  if (options_.policy == MultiModelOptions::Policy::kWeightedQueueDepth) {
+    // Deepest backlog first: a congested model admits into free budget
+    // before light ones nibble it. Stable tie-break on registration order.
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const auto& sa = engines_[a]->server->scheduler();
+      const auto& sb = engines_[b]->server->scheduler();
+      return sa.pending() + sa.requeued() > sb.pending() + sb.requeued();
+    });
+  } else {
+    std::rotate(order.begin(),
+                order.begin() +
+                    static_cast<long>(rr_cursor_ % engines_.size()),
+                order.end());
+  }
+  // Admission-blocked models step first regardless of policy: slabs that
+  // last iteration's reclaim freed for them must not be re-borrowed by a
+  // sibling that happens to come earlier in the rotation — that ordering
+  // race starves the owner forever.
+  std::stable_partition(order.begin(), order.end(), [&](size_t i) {
+    return engines_[i]->server->scheduler().admission_blocked();
+  });
+  return order;
+}
+
+void MultiModelGenerationServer::collect_completed(Engine& engine) {
+  for (auto& resp : engine.server->take_completed()) {
+    ids_in_flight_.erase(resp.request_id);
+    ++engine.served;
+    completed_.push_back(std::move(resp));
+  }
+}
+
+size_t MultiModelGenerationServer::reclaim_for_starved_models() {
+  size_t freed_total = 0;
+  for (const auto& me : engines_) {
+    Engine& m = *me;
+    if (!m.server->scheduler().admission_blocked()) continue;
+    const KvCachePool& pool = m.server->pool();
+    const size_t slab =
+        static_cast<size_t>(pool.options().blocks_per_slab) *
+        pool.block_bytes();
+    const size_t used = pool.stats().current_device_bytes;
+    // Guarantees are reclaim floors: the owner only claws back up to its
+    // declared share. Above it, this model is itself a borrower and waits
+    // for siblings to drain naturally.
+    if (used + slab > m.guarantee_bytes) continue;
+    // Reclaim what the blocked demand justifies (cross blocks of a cold
+    // prompt + first self blocks + headroom, in whole slabs) — an
+    // undersized reclaim frees bytes a sibling re-borrows before they add
+    // up to an admission, an entitlement-sized one would gut a busy
+    // borrower for a model that wants two slabs. The guarantee stays the
+    // hard cap on what the owner may claw back.
+    const size_t entitled = m.guarantee_bytes - used;
+    const size_t demand_bytes =
+        m.server->scheduler().admission_demand_blocks() * pool.block_bytes();
+    const size_t demand_slabs = (demand_bytes + slab - 1) / slab * slab;
+    const size_t target = std::min(entitled, std::max(demand_slabs, slab));
+    const size_t avail = budget_.available_bytes();
+    if (avail >= target) continue;  // budget is not the blocker
+    size_t needed = target - avail;
+    for (const auto& de : engines_) {
+      if (de.get() == &m || needed == 0) continue;
+      Engine& d = *de;
+      const size_t d_used = d.server->pool().stats().current_device_bytes;
+      if (d_used <= d.guarantee_bytes) continue;  // nothing borrowed
+      const size_t borrowed = d_used - d.guarantee_bytes;
+      const size_t got = d.server->shed_kv(std::min(needed, borrowed));
+      if (got > 0) {
+        ++total_reclaims_;
+        freed_total += got;
+        needed = got >= needed ? 0 : needed - got;
+      }
+    }
+  }
+  return freed_total;
+}
+
+int MultiModelGenerationServer::step() {
+  int stepped = 0;
+  for (const size_t idx : step_order()) {
+    Engine& engine = *engines_[idx];
+    stepped += engine.server->step();
+    collect_completed(engine);
+  }
+  // Cross-model arbitration: give admission-blocked under-guarantee models
+  // their slabs back before the next iteration admits anyone.
+  if (budget_.total_bytes() > 0 && engines_.size() > 1) {
+    reclaim_for_starved_models();
+  }
+  // Drained unregistered engines die here — the last pin on their bundle.
+  std::erase_if(engines_, [](const std::unique_ptr<Engine>& e) {
+    return e->draining && e->server->idle();
+  });
+  if (!engines_.empty()) rr_cursor_ = (rr_cursor_ + 1) % engines_.size();
+  if (stepped > 0) ++iteration_;
+  return stepped;
+}
+
+bool MultiModelGenerationServer::idle() const {
+  for (const auto& e : engines_) {
+    if (!e->server->idle()) return false;
+  }
+  return true;
+}
+
+bool MultiModelGenerationServer::serving(const std::string& name,
+                                         int version) const {
+  return find_engine(name, version) != nullptr;
+}
+
+std::vector<serving::GenerationResponse>
+MultiModelGenerationServer::take_completed() {
+  return std::exchange(completed_, {});
+}
+
+std::vector<serving::GenerationResponse>
+MultiModelGenerationServer::run_to_completion() {
+  while (!idle()) step();
+  return take_completed();
+}
+
+std::vector<ModelServingStats> MultiModelGenerationServer::stats() const {
+  std::vector<ModelServingStats> out;
+  out.reserve(engines_.size());
+  for (const auto& e : engines_) {
+    ModelServingStats s;
+    s.name = e->bundle->name;
+    s.version = e->bundle->version;
+    s.draining = e->draining;
+    const GenerationScheduler& sched = e->server->scheduler();
+    s.pending = sched.pending() + sched.requeued();
+    s.active = sched.active();
+    s.served = e->served;
+    s.last_step = e->last_step;
+    s.pool = e->server->pool_snapshot();
+    s.budget_guarantee_bytes = e->guarantee_bytes;
+    s.budget_used_bytes = s.pool.device_bytes;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// AsyncMultiModelGenerationServer
+// ---------------------------------------------------------------------------
+
+AsyncMultiModelGenerationServer::AsyncMultiModelGenerationServer(
+    MultiModelOptions options)
+    : server_(std::make_unique<MultiModelGenerationServer>(
+          std::move(options))) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+AsyncMultiModelGenerationServer::~AsyncMultiModelGenerationServer() {
+  shutdown();
+}
+
+std::future<void> AsyncMultiModelGenerationServer::register_bundle(
+    std::shared_ptr<ModelBundle> bundle, size_t guarantee_bytes,
+    std::optional<GenServerOptions> overrides) {
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> future = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TT_CHECK_MSG(!shutdown_, "register_bundle after shutdown");
+    Event e;
+    e.control = [this, promise, bundle = std::move(bundle), guarantee_bytes,
+                 overrides = std::move(overrides)]() mutable {
+      try {
+        server_->register_bundle(std::move(bundle), guarantee_bytes,
+                                 std::move(overrides));
+        promise->set_value();
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    };
+    incoming_.push_back(std::move(e));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::future<bool> AsyncMultiModelGenerationServer::unregister_bundle(
+    std::string name, int version) {
+  auto promise = std::make_shared<std::promise<bool>>();
+  std::future<bool> future = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TT_CHECK_MSG(!shutdown_, "unregister_bundle after shutdown");
+    Event e;
+    e.control = [this, promise, name = std::move(name), version] {
+      try {
+        promise->set_value(server_->unregister_bundle(name, version));
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    };
+    incoming_.push_back(std::move(e));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::future<serving::GenerationResponse>
+AsyncMultiModelGenerationServer::submit(serving::GenerationRequest request,
+                                        serving::TokenCallback on_token) {
+  // Routing and validation happen on the worker — the route table is the
+  // worker's to mutate (hot registration), so a stale read here could
+  // mis-route. A bad request therefore rejects its future, never the call.
+  std::future<serving::GenerationResponse> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TT_CHECK_MSG(!shutdown_, "submit after shutdown");
+    TT_CHECK_MSG(ids_in_flight_.insert(request.id).second,
+                 "duplicate in-flight generation request id " << request.id);
+    Submission s;
+    s.request = std::move(request);
+    s.on_token = std::move(on_token);
+    future = s.promise.get_future();
+    Event e;
+    e.submission = std::move(s);
+    incoming_.push_back(std::move(e));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void AsyncMultiModelGenerationServer::shutdown() {
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+size_t AsyncMultiModelGenerationServer::served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return served_;
+}
+
+int64_t AsyncMultiModelGenerationServer::iterations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return iterations_;
+}
+
+std::vector<ModelServingStats> AsyncMultiModelGenerationServer::model_stats()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return model_stats_;
+}
+
+memory::SlabBudgetSnapshot AsyncMultiModelGenerationServer::budget_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return budget_snapshot_;
+}
+
+void AsyncMultiModelGenerationServer::worker_loop() {
+  for (;;) {
+    std::vector<Event> events;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (incoming_.empty() && server_->idle()) {
+        cv_.wait(lock, [this] { return shutdown_ || !incoming_.empty(); });
+        if (incoming_.empty() && shutdown_) return;
+      }
+      events = std::exchange(incoming_, {});
+    }
+
+    // Engine failures must not escape the worker (std::terminate); they
+    // fail every waiting client instead. Per-request routing/validation
+    // errors are not engine failures — they reject just their own future.
+    std::vector<serving::GenerationResponse> done;
+    try {
+      // Strictly in enqueue order: a submit that preceded an unregister
+      // (or a register of a newer version) resolves against the routes
+      // live when the client issued it.
+      for (Event& e : events) {
+        if (e.control) {
+          e.control();  // resolves its own promise
+          continue;
+        }
+        Submission& s = *e.submission;
+        const int64_t id = s.request.id;
+        try {
+          server_->submit(std::move(s.request), std::move(s.on_token));
+          in_flight_[id] = std::move(s.promise);
+        } catch (...) {
+          s.promise.set_exception(std::current_exception());
+          std::lock_guard<std::mutex> lock(mutex_);
+          ids_in_flight_.erase(id);
+        }
+      }
+      server_->step();
+      done = server_->take_completed();
+    } catch (...) {
+      std::vector<Event> orphaned;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+        orphaned = std::exchange(incoming_, {});
+        for (auto& [id, promise] : in_flight_) {
+          promise.set_exception(std::current_exception());
+          ids_in_flight_.erase(id);
+        }
+        in_flight_.clear();
+        for (const auto& e : orphaned) {
+          if (e.submission) ids_in_flight_.erase(e.submission->request.id);
+        }
+      }
+      for (auto& e : orphaned) {
+        if (e.submission) {
+          e.submission->promise.set_exception(std::current_exception());
+        } else if (e.control) {
+          // Control ops self-contain their error handling; running them
+          // (even against a broken server) resolves their promises
+          // instead of wedging their callers.
+          e.control();
+        }
+      }
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      served_ += done.size();
+      iterations_ = server_->iterations();
+      model_stats_ = server_->stats();
+      budget_snapshot_ = server_->budget().snapshot();
+      for (const auto& resp : done) ids_in_flight_.erase(resp.request_id);
+    }
+    for (auto& resp : done) {
+      const auto it = in_flight_.find(resp.request_id);
+      TT_CHECK(it != in_flight_.end());
+      std::promise<serving::GenerationResponse> promise =
+          std::move(it->second);
+      in_flight_.erase(it);
+      promise.set_value(std::move(resp));
+    }
+  }
+}
+
+}  // namespace turbo::genserve

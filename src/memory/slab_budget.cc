@@ -1,0 +1,142 @@
+#include "memory/slab_budget.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace turbo::memory {
+
+SlabBudget::SlabBudget(size_t total_bytes) : total_(total_bytes) {}
+
+SlabBudget::~SlabBudget() {
+  // Every registered pool must have drained and unregistered; a live
+  // client here would keep charging a dead arbiter.
+  for (const Client& c : clients_) {
+    TT_CHECK_MSG(!c.live, "budget client '" << c.name
+                                            << "' outlives the SlabBudget");
+  }
+  TT_CHECK_EQ(used_, 0u);
+}
+
+SlabBudget::ClientId SlabBudget::register_client(std::string name,
+                                                 size_t guarantee_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (total_ > 0) {
+    TT_CHECK_MSG(guaranteed_ + guarantee_bytes <= total_,
+                 "budget guarantees oversubscribed registering '"
+                     << name << "': " << guaranteed_ << " + "
+                     << guarantee_bytes << " > " << total_);
+  }
+  Client c;
+  c.name = std::move(name);
+  c.guarantee = guarantee_bytes;
+  c.live = true;
+  guaranteed_ += guarantee_bytes;
+  // Reuse a dead slot (ids are vector indices, so entries can never be
+  // erased): hot register/unregister churn — the multi-model server does
+  // one registration per bundle — must not grow the table forever.
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    if (!clients_[i].live) {
+      clients_[i] = std::move(c);
+      return static_cast<ClientId>(i);
+    }
+  }
+  clients_.push_back(std::move(c));
+  return static_cast<ClientId>(clients_.size()) - 1;
+}
+
+void SlabBudget::unregister_client(ClientId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Client& c = clients_.at(static_cast<size_t>(id));
+  TT_CHECK_MSG(c.live, "budget client " << id << " already unregistered");
+  TT_CHECK_MSG(c.used == 0,
+               "budget client '" << c.name << "' unregistering with "
+                                 << c.used << " bytes still charged");
+  guaranteed_ -= c.guarantee;
+  c.live = false;
+}
+
+bool SlabBudget::try_acquire(ClientId id, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Client& c = clients_.at(static_cast<size_t>(id));
+  TT_CHECK(c.live);
+  if (total_ > 0 && used_ + bytes > total_) {
+    ++c.denials;
+    ++denials_;
+    return false;
+  }
+  used_ += bytes;
+  peak_used_ = std::max(peak_used_, used_);
+  c.used += bytes;
+  c.peak_used = std::max(c.peak_used, c.used);
+  return true;
+}
+
+void SlabBudget::release(ClientId id, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Client& c = clients_.at(static_cast<size_t>(id));
+  TT_CHECK(c.live);
+  TT_CHECK_GE(c.used, bytes);
+  c.used -= bytes;
+  used_ -= bytes;
+}
+
+const SlabBudget::Client& SlabBudget::client(ClientId id) const {
+  const Client& c = clients_.at(static_cast<size_t>(id));
+  TT_CHECK(c.live);
+  return c;
+}
+
+size_t SlabBudget::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+size_t SlabBudget::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_;
+}
+
+size_t SlabBudget::available_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (total_ == 0) return std::numeric_limits<size_t>::max();
+  return total_ - used_;
+}
+
+size_t SlabBudget::used_bytes(ClientId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client(id).used;
+}
+
+size_t SlabBudget::guarantee_bytes(ClientId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client(id).guarantee;
+}
+
+size_t SlabBudget::borrowed_bytes(ClientId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Client& c = client(id);
+  return c.used > c.guarantee ? c.used - c.guarantee : 0;
+}
+
+SlabBudgetSnapshot SlabBudget::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SlabBudgetSnapshot s;
+  s.total_bytes = total_;
+  s.used_bytes = used_;
+  s.peak_used_bytes = peak_used_;
+  s.denials = denials_;
+  for (const Client& c : clients_) {
+    if (!c.live) continue;
+    SlabBudgetClientStats cs;
+    cs.name = c.name;
+    cs.guarantee_bytes = c.guarantee;
+    cs.used_bytes = c.used;
+    cs.peak_used_bytes = c.peak_used;
+    cs.denials = c.denials;
+    s.clients.push_back(std::move(cs));
+  }
+  return s;
+}
+
+}  // namespace turbo::memory

@@ -1,0 +1,117 @@
+// Shared slab-byte budget arbitrated across several KV-cache pools
+// (multi-model generation serving).
+//
+// The paper's serving framework manages one model's memory; serving several
+// decoder configurations from one host raises a resource-arbitration
+// question the per-pool `max_bytes` cap cannot answer: statically
+// partitioning device memory reserves worst-case headroom per model, so an
+// idle model's share sits unusable exactly when a busy one needs it. A
+// SlabBudget instead caps the *sum* of every registered pool's slab
+// footprint:
+//
+//  * Pools charge try_acquire(client, bytes) at slab-malloc time and
+//    release() when an empty slab frees its buffer. An acquire succeeds
+//    whenever the total fits — which bytes belong to whom is not enforced
+//    here, so a busy pool freely borrows headroom an idle one is not using.
+//  * Each client may declare a guarantee: a byte floor it is entitled to
+//    reclaim. Guarantees are not enforced at acquire time (that would be
+//    static partitioning again); they inform the *reclaim* decision made by
+//    the pools' owner — MultiModelGenerationServer preempts sequences of
+//    over-guarantee pools (the existing preempt-and-requeue path frees
+//    their slabs) when an under-guarantee pool's admission is blocked.
+//
+// Thread-safety: every method is mutex-guarded, so concurrent calls are
+// safe in isolation — but the KV pools' capacity-gate-then-charge
+// sequence is not atomic across pools, so pools *sharing* one budget must
+// all be driven from a single worker at a time (as
+// MultiModelGenerationServer does). Pools on separate workers need
+// separate budgets; a lost gate/charge race would otherwise surface as a
+// fatal check in the pool's slab allocation.
+// Invariants: used() never exceeds total_bytes() (denied acquires are
+// counted, never partially applied); per-client usage sums to the total;
+// a client must drain to zero bytes before unregistering; dead client
+// slots are reused, so the table stays bounded by the live-client peak.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <mutex>
+#include <vector>
+
+namespace turbo::memory {
+
+// Per-client view inside a SlabBudgetSnapshot.
+struct SlabBudgetClientStats {
+  std::string name;
+  size_t guarantee_bytes = 0;  // reclaim floor (0 = pure borrower)
+  size_t used_bytes = 0;       // slab bytes currently charged
+  size_t peak_used_bytes = 0;
+  size_t denials = 0;          // acquires refused for this client
+};
+
+struct SlabBudgetSnapshot {
+  size_t total_bytes = 0;  // 0 = unbounded
+  size_t used_bytes = 0;
+  size_t peak_used_bytes = 0;
+  size_t denials = 0;
+  std::vector<SlabBudgetClientStats> clients;  // registration order
+};
+
+class SlabBudget {
+ public:
+  using ClientId = int;
+
+  // total_bytes == 0 means unbounded: every acquire succeeds but usage is
+  // still tracked per client (footprint attribution without a cap).
+  explicit SlabBudget(size_t total_bytes);
+
+  SlabBudget(const SlabBudget&) = delete;
+  SlabBudget& operator=(const SlabBudget&) = delete;
+  ~SlabBudget();
+
+  // Registers a charging client. `guarantee_bytes` is its reclaim floor;
+  // the sum of guarantees must fit the (bounded) total. Throws CheckError
+  // otherwise.
+  ClientId register_client(std::string name, size_t guarantee_bytes = 0);
+  // The client must have released everything it acquired.
+  void unregister_client(ClientId id);
+
+  // Charge `bytes` to `id` if the total still fits; false (and a denial
+  // tick) otherwise. Nothing is partially applied.
+  bool try_acquire(ClientId id, size_t bytes);
+  void release(ClientId id, size_t bytes);
+
+  size_t total_bytes() const;
+  size_t used_bytes() const;
+  // Uncommitted bytes any client could still claim (SIZE_MAX when
+  // unbounded).
+  size_t available_bytes() const;
+  size_t used_bytes(ClientId id) const;
+  size_t guarantee_bytes(ClientId id) const;
+  // Usage above the client's guarantee — what a reclaim may take back.
+  size_t borrowed_bytes(ClientId id) const;
+
+  SlabBudgetSnapshot snapshot() const;
+
+ private:
+  struct Client {
+    std::string name;
+    size_t guarantee = 0;
+    size_t used = 0;
+    size_t peak_used = 0;
+    size_t denials = 0;
+    bool live = false;
+  };
+
+  const Client& client(ClientId id) const;
+
+  mutable std::mutex mutex_;
+  size_t total_ = 0;
+  size_t used_ = 0;
+  size_t peak_used_ = 0;
+  size_t guaranteed_ = 0;  // sum of live clients' guarantees
+  size_t denials_ = 0;
+  std::vector<Client> clients_;
+};
+
+}  // namespace turbo::memory

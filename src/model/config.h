@@ -31,6 +31,13 @@ struct ModelConfig {
 
   int head_dim() const { return hidden / heads; }
 
+  // K + V bytes one cached token row costs across all decoder layers —
+  // the unit multi-model budget sizing is done in (a KV block holds
+  // block_tokens of these per layer).
+  size_t kv_bytes_per_token() const {
+    return static_cast<size_t>(2) * hidden * num_layers * sizeof(float);
+  }
+
   graph::LayerDims layer_dims() const {
     return graph::LayerDims{hidden, heads, intermediate};
   }

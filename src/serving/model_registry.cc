@@ -4,60 +4,6 @@
 
 namespace turbo::serving {
 
-void ModelRegistry::register_model(
-    const std::string& name, int version,
-    std::shared_ptr<model::EncoderModel> model) {
-  TT_CHECK(model != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto& versions = models_[name];
-  TT_CHECK_MSG(versions.find(version) == versions.end(),
-               name << " v" << version << " already registered");
-  versions[version] = std::move(model);
-}
-
-bool ModelRegistry::unregister_model(const std::string& name, int version) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = models_.find(name);
-  if (it == models_.end()) return false;
-  const bool erased = it->second.erase(version) > 0;
-  if (it->second.empty()) models_.erase(it);
-  return erased;
-}
-
-std::shared_ptr<model::EncoderModel> ModelRegistry::latest(
-    const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = models_.find(name);
-  if (it == models_.end() || it->second.empty()) return nullptr;
-  return it->second.rbegin()->second;
-}
-
-std::shared_ptr<model::EncoderModel> ModelRegistry::version(
-    const std::string& name, int v) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = models_.find(name);
-  if (it == models_.end()) return nullptr;
-  auto vit = it->second.find(v);
-  return vit == it->second.end() ? nullptr : vit->second;
-}
-
-std::vector<int> ModelRegistry::versions(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<int> out;
-  auto it = models_.find(name);
-  if (it != models_.end()) {
-    for (const auto& [v, m] : it->second) out.push_back(v);
-  }
-  return out;
-}
-
-size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  size_t n = 0;
-  for (const auto& [name, versions] : models_) n += versions.size();
-  return n;
-}
-
 EncoderEnsemble::EncoderEnsemble(
     std::vector<std::shared_ptr<model::EncoderModel>> members)
     : members_(std::move(members)) {

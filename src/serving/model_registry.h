@@ -2,51 +2,113 @@
 // functionalities of the serving framework include ... model version
 // management, and model ensembles").
 //
-// A registry maps model name -> versioned encoder checkpoints. Serving code
-// resolves either the latest version or a pinned one; an Ensemble averages
-// the hidden-state outputs (or classifier logits) of several registered
-// models. Registration and resolution are thread-safe.
+// VersionedRegistry maps model name -> version -> shared_ptr<ModelT>.
+// Serving code resolves either the latest version or a pinned one; holders
+// keep resolved models alive through the shared_ptr even after
+// unregistration (hot model replacement: in-flight work pins its model
+// until it retires). Registration and resolution are thread-safe.
+//
+// Two instantiations matter today: ModelRegistry (encoder checkpoints, the
+// paper's classifier-serving path) and genserve::BundleRegistry (seq2seq
+// bundles behind the multi-model generation server).
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "model/encoder.h"
 
 namespace turbo::serving {
 
-class ModelRegistry {
+template <typename ModelT>
+class VersionedRegistry {
  public:
   // Registers a model under (name, version). Throws if the exact pair is
   // already present.
   void register_model(const std::string& name, int version,
-                      std::shared_ptr<model::EncoderModel> model);
+                      std::shared_ptr<ModelT> model) {
+    TT_CHECK(model != nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& versions = models_[name];
+    TT_CHECK_MSG(versions.find(version) == versions.end(),
+                 name << " v" << version << " already registered");
+    versions[version] = std::move(model);
+  }
 
-  // Removes one version; returns false if absent.
-  bool unregister_model(const std::string& name, int version);
+  // Removes one version; returns false if absent. Holders of the removed
+  // shared_ptr keep the model alive until they drop it.
+  bool unregister_model(const std::string& name, int version) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    if (it == models_.end()) return false;
+    const bool erased = it->second.erase(version) > 0;
+    if (it->second.empty()) models_.erase(it);
+    return erased;
+  }
 
   // Latest (highest-version) model for the name; nullptr if none.
-  std::shared_ptr<model::EncoderModel> latest(const std::string& name) const;
+  std::shared_ptr<ModelT> latest(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    if (it == models_.end() || it->second.empty()) return nullptr;
+    return it->second.rbegin()->second;
+  }
 
   // Exact version; nullptr if absent.
-  std::shared_ptr<model::EncoderModel> version(const std::string& name,
-                                               int v) const;
+  std::shared_ptr<ModelT> version(const std::string& name, int v) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    if (it == models_.end()) return nullptr;
+    auto vit = it->second.find(v);
+    return vit == it->second.end() ? nullptr : vit->second;
+  }
+
+  // Routing convention shared by every serving front end: version <= 0
+  // means "the latest live right now", positive pins an exact version.
+  // nullptr when the name (or pinned version) is absent.
+  std::shared_ptr<ModelT> resolve(const std::string& name,
+                                  int v = 0) const {
+    return v <= 0 ? latest(name) : version(name, v);
+  }
 
   // All registered versions of a model, ascending.
-  std::vector<int> versions(const std::string& name) const;
+  std::vector<int> versions(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<int> out;
+    auto it = models_.find(name);
+    if (it != models_.end()) {
+      for (const auto& [v, m] : it->second) out.push_back(v);
+    }
+    return out;
+  }
 
-  size_t size() const;
+  // Registered model names, ascending.
+  std::vector<std::string> names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    for (const auto& [name, versions] : models_) out.push_back(name);
+    return out;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto& [name, versions] : models_) n += versions.size();
+    return n;
+  }
 
  private:
   mutable std::mutex mutex_;
   // name -> version -> model
-  std::map<std::string, std::map<int, std::shared_ptr<model::EncoderModel>>>
-      models_;
+  std::map<std::string, std::map<int, std::shared_ptr<ModelT>>> models_;
 };
+
+// The paper's encoder-checkpoint registry.
+using ModelRegistry = VersionedRegistry<model::EncoderModel>;
 
 // Averages the forward outputs of several models with identical output
 // shapes (same hidden size). Standard serving-side ensembling.

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace turbo::serving {
@@ -36,6 +37,15 @@ struct GenerationRequest {
   // GenSchedulerOptions::victim_policy). Ignored by worst-case admission,
   // which never preempts.
   int priority = 0;
+  // Multi-model routing (genserve::MultiModelGenerationServer). `model`
+  // names the registered bundle to decode with; empty routes to the
+  // server's default model (the first registered name unless overridden).
+  // `model_version` pins an exact registered version; <= 0 resolves to the
+  // latest version live at submit time — later registrations move the
+  // "latest" route, but a sequence never migrates once admitted. The
+  // single-model GenerationServer ignores both fields.
+  std::string model;
+  int model_version = 0;
 };
 
 struct GenerationResponse {

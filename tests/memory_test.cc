@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "common/check.h"
@@ -9,6 +10,7 @@
 #include "memory/dynamic_allocators.h"
 #include "memory/gsoc_planner.h"
 #include "memory/model_aware_allocator.h"
+#include "memory/slab_budget.h"
 
 namespace turbo::memory {
 namespace {
@@ -402,6 +404,66 @@ TEST(ValidatePlan, DetectsMissingPlacement) {
   auto usages = make_usages({{0, 1, 100}});
   InferencePlan plan;
   EXPECT_THROW(validate_plan(usages, plan), CheckError);
+}
+
+// ---------------------------------------------------------- slab budget --
+
+TEST(SlabBudget, SharedCapAcrossClientsWithBorrowing) {
+  SlabBudget budget(1000);
+  const auto a = budget.register_client("a", 400);
+  const auto b = budget.register_client("b", 400);
+
+  // a borrows well past its guarantee while b is idle...
+  EXPECT_TRUE(budget.try_acquire(a, 700));
+  EXPECT_EQ(budget.used_bytes(a), 700u);
+  EXPECT_EQ(budget.borrowed_bytes(a), 300u);
+  EXPECT_EQ(budget.available_bytes(), 300u);
+  // ...and the *total* is what caps: b gets the remainder, not its share.
+  EXPECT_FALSE(budget.try_acquire(b, 400));
+  EXPECT_TRUE(budget.try_acquire(b, 300));
+  EXPECT_EQ(budget.used_bytes(), 1000u);
+  EXPECT_FALSE(budget.try_acquire(a, 1));
+
+  budget.release(a, 700);
+  EXPECT_EQ(budget.borrowed_bytes(a), 0u);
+  EXPECT_TRUE(budget.try_acquire(b, 700));
+  budget.release(b, 1000);
+  EXPECT_EQ(budget.used_bytes(), 0u);
+
+  const auto snap = budget.snapshot();
+  EXPECT_EQ(snap.total_bytes, 1000u);
+  EXPECT_EQ(snap.peak_used_bytes, 1000u);
+  EXPECT_EQ(snap.denials, 2u);
+  ASSERT_EQ(snap.clients.size(), 2u);
+  EXPECT_EQ(snap.clients[0].name, "a");
+  EXPECT_EQ(snap.clients[0].peak_used_bytes, 700u);
+  EXPECT_EQ(snap.clients[1].denials, 1u);
+
+  budget.unregister_client(a);
+  budget.unregister_client(b);
+}
+
+TEST(SlabBudget, GuaranteesMustFitAndClientsMustDrain) {
+  SlabBudget budget(100);
+  const auto a = budget.register_client("a", 80);
+  EXPECT_THROW(budget.register_client("b", 30), CheckError);
+  // Unregistering a returns its guarantee to the pot.
+  budget.unregister_client(a);
+  const auto b = budget.register_client("b", 90);
+  EXPECT_TRUE(budget.try_acquire(b, 50));
+  EXPECT_THROW(budget.unregister_client(b), CheckError);  // still charged
+  budget.release(b, 50);
+  budget.unregister_client(b);
+}
+
+TEST(SlabBudget, UnboundedTracksAttributionWithoutACap) {
+  SlabBudget budget(0);
+  const auto a = budget.register_client("a");
+  EXPECT_TRUE(budget.try_acquire(a, 1 << 30));
+  EXPECT_EQ(budget.used_bytes(a), static_cast<size_t>(1) << 30);
+  EXPECT_EQ(budget.available_bytes(), std::numeric_limits<size_t>::max());
+  budget.release(a, 1 << 30);
+  budget.unregister_client(a);
 }
 
 }  // namespace

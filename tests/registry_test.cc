@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "genserve/model_bundle.h"
+#include "genserve/multi_model_server.h"
 #include "model/serialization.h"
 #include "serving/load_balancer.h"
 #include "serving/model_registry.h"
@@ -114,6 +116,72 @@ TEST(Registry, UnregisterRollsBackToPreviousVersion) {
   EXPECT_FALSE(registry.unregister_model("m", 2));
   EXPECT_TRUE(registry.unregister_model("m", 1));
   EXPECT_EQ(registry.latest("m"), nullptr);
+}
+
+// ------------------------------------------------------- decoder bundles --
+
+TEST(Registry, BundleLatestVsPinnedResolution) {
+  genserve::BundleRegistry registry;
+  auto v1 = genserve::make_bundle("seq2seq", 1, tiny(), 1);
+  auto v3 = genserve::make_bundle("seq2seq", 3, tiny(), 3);
+  registry.register_model("seq2seq", 1, v1);
+  registry.register_model("seq2seq", 3, v3);
+
+  // resolve() is the request-routing convention: model_version <= 0 means
+  // the latest live version, positive pins exactly.
+  EXPECT_EQ(registry.resolve("seq2seq"), v3);
+  EXPECT_EQ(registry.resolve("seq2seq", 0), v3);
+  EXPECT_EQ(registry.resolve("seq2seq", -1), v3);
+  EXPECT_EQ(registry.resolve("seq2seq", 1), v1);
+  EXPECT_EQ(registry.resolve("seq2seq", 2), nullptr);
+  EXPECT_EQ(registry.resolve("other"), nullptr);
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"seq2seq"}));
+
+  // Unregistering the latest rolls the latest-route back; pinned routes to
+  // the removed version go dark even though live holders keep it alive.
+  EXPECT_TRUE(registry.unregister_model("seq2seq", 3));
+  EXPECT_EQ(registry.resolve("seq2seq"), v1);
+  EXPECT_EQ(registry.resolve("seq2seq", 3), nullptr);
+  EXPECT_EQ(v3->config.hidden, tiny().hidden);  // our pin still works
+}
+
+TEST(Registry, BundleUnregisterWhileInFlightPinsUntilRetirement) {
+  genserve::MultiModelGenerationServer server;
+  genserve::GenServerOptions engine;
+  engine.pool.block_tokens = 4;
+  engine.pool.blocks_per_slab = 4;
+  std::weak_ptr<genserve::ModelBundle> weak;
+  {
+    auto bundle = genserve::make_bundle("m", 1, tiny(), 7);
+    weak = bundle;
+    server.register_bundle(std::move(bundle), 0, engine);
+  }
+
+  Rng rng(13);
+  serving::GenerationRequest request;
+  request.id = 0;
+  request.src_tokens = rng.token_ids(9, 50);
+  request.max_new_tokens = 12;
+  server.submit(request);
+  server.step();  // the sequence is mid-decode
+
+  // The route disappears immediately; the engine's shared_ptr keeps the
+  // bundle alive for the in-flight sequence.
+  EXPECT_TRUE(server.unregister_bundle("m", 1));
+  EXPECT_EQ(server.registry().resolve("m"), nullptr);
+  EXPECT_TRUE(server.serving("m", 1));
+  EXPECT_FALSE(weak.expired());
+  serving::GenerationRequest late = request;
+  late.id = 1;
+  EXPECT_THROW(server.submit(late), CheckError);
+
+  // Drain: the last sequence retires, the engine tears down, the bundle
+  // unpins.
+  const auto responses = server.run_to_completion();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(server.serving("m", 1));
+  EXPECT_EQ(server.live_engines(), 0u);
+  EXPECT_TRUE(weak.expired());
 }
 
 // --------------------------------------------------------------- ensemble --
