@@ -29,6 +29,8 @@
 #include "common/rng.h"
 #include "genserve/generation_server.h"
 #include "model/decoder.h"
+#include "obs/passes.h"
+#include "obs/trace_io.h"
 #include "serving/request.h"
 
 using namespace turbo;
@@ -258,6 +260,41 @@ int main() {
   std::printf("outputs bit-identical to the uncontended run across all %d "
               "requests in both modes.\n",
               num_requests);
+
+  // Traced replay of the optimistic burst (untimed). Tracing must not
+  // change a single token, and the offline phase attribution must explain
+  // >= 95% of the measured step wall-time — both structural properties of
+  // the instrumentation, independent of the runner's clock quality, so
+  // these gates stay hard even under TURBO_BENCH_NO_GATE.
+  {
+    genserve::GenServerOptions options;
+    options.pool.block_tokens = 8;
+    options.pool.blocks_per_slab = 8;
+    options.pool.max_bytes = max_bytes;
+    options.scheduler.max_active = 8;
+    options.scheduler.optimistic_admission = true;
+    options.trace.enabled = true;
+    genserve::GenerationServer server(config, options, 29);
+    for (const auto& req : requests) server.submit(req);
+    const auto responses = server.run_to_completion();
+    TT_CHECK_EQ(responses.size(), requests.size());
+    for (const auto& resp : responses) {
+      TT_CHECK_MSG(reference.tokens_by_id.at(resp.request_id) == resp.tokens,
+                   "traced run diverged on request " << resp.request_id);
+    }
+    const std::vector<obs::TraceSpan> spans = server.trace_spans();
+    TT_CHECK_EQ(server.trace_ring()->dropped(), 0u);
+    const obs::PhaseAttribution attr = obs::attribute_phases(spans);
+    std::printf("\n");
+    std::fputs(obs::render_trace_summary(spans).c_str(), stdout);
+    TT_CHECK_GE(attr.iterations, static_cast<size_t>(opt.iterations));
+    TT_CHECK_GE(attr.coverage, 0.95);
+    // Dump for offline tooling (tools/trace_report consumes this in CI).
+    if (const char* out = std::getenv("TURBO_TRACE_OUT")) {
+      obs::write_trace_file(out, spans);
+      std::printf("trace written to %s (%zu spans)\n", out, spans.size());
+    }
+  }
 
   // Timing/utilization gates: report-only under TURBO_BENCH_NO_GATE.
   if (gate) {

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "genserve/model_bundle.h"
 #include "genserve/multi_model_server.h"
+#include "obs/passes.h"
 
 using namespace turbo;
 
@@ -31,6 +32,9 @@ int main() {
   engine.scheduler.max_active = 4;
   genserve::MultiModelOptions options;
   options.engine = engine;
+  // Step-level tracing: both engines record phase spans into one shared
+  // ring, summarized offline at end of run (see src/obs/).
+  options.engine.trace.enabled = true;
   options.total_kv_bytes = 256 * 1024;
   genserve::AsyncMultiModelGenerationServer server(options);
 
@@ -92,5 +96,10 @@ int main() {
               "%.1f KB\n",
               budget.peak_used_bytes / 1024.0, budget.total_bytes / 1024.0,
               budget.used_bytes / 1024.0);
+
+  // Offline latency attribution over the drained trace: per-phase p99
+  // table, queueing breakdown, and the worst preemption cascade, straight
+  // from the span stream both engines recorded.
+  std::printf("\n%s", obs::render_trace_summary(server.trace_spans()).c_str());
   return 0;
 }

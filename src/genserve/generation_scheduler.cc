@@ -119,6 +119,14 @@ std::vector<ActiveSequence*> GenerationScheduler::admit(double now_s) {
       seq->last_token = seq->request.bos_id;
       seq->replay = static_cast<int>(seq->tokens.size());
       ++total_resumed_;
+      if (tracing() && seq->park_ticks != 0) {
+        // The resume span covers the whole parked interval; its token count
+        // is the replay bill the preemption incurred.
+        tracer_->span(obs::SpanKind::kResume, seq->park_ticks,
+                      obs::now_ticks(), seq->request.id, /*batch=*/0,
+                      seq->replay);
+        seq->park_ticks = 0;
+      }
       max_ctx = std::max(max_ctx,
                          static_cast<int>(seq->request.src_tokens.size()) +
                              seq->request.max_new_tokens);
@@ -243,6 +251,11 @@ void GenerationScheduler::park(ActiveSequence* seq,
   pool_->preempt(*seq->kv);
   ++seq->preempt_count;
   ++total_preempted_;
+  if (tracing()) {
+    seq->park_ticks = obs::now_ticks();
+    tracer_->instant(obs::SpanKind::kPreempt, seq->request.id,
+                     static_cast<int32_t>(seq->tokens.size()));
+  }
   if (prepared) {
     prepared->erase(std::remove(prepared->begin(), prepared->end(), seq),
                     prepared->end());
@@ -269,6 +282,9 @@ bool GenerationScheduler::evict_one_parked() {
       if (require_exclusive && (*it)->kv->cross_shared()) continue;
       (*it)->kv.reset();  // releases the cross share back to the pool
       ++total_evicted_;
+      if (tracing()) {
+        tracer_->instant(obs::SpanKind::kEvict, (*it)->request.id);
+      }
       return true;
     }
   }

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "genserve/kv_cache_pool.h"
+#include "obs/trace.h"
 #include "serving/cost_table.h"
 #include "serving/request.h"
 
@@ -61,6 +62,7 @@ struct ActiveSequence {
   double admit_s = 0.0;      // first admission (latency includes requeues)
   int64_t admit_order = 0;   // first-admission stamp, stable across requeues
   int preempt_count = 0;     // times this sequence was preempted
+  uint64_t park_ticks = 0;   // when last parked (tracing only; 0 = never)
 };
 
 struct GenSchedulerOptions {
@@ -117,6 +119,12 @@ class GenerationScheduler {
   void validate(const serving::GenerationRequest& request) const;
 
   void enqueue(serving::GenerationRequest request);
+
+  // Borrowed recording handle (the owning server's; may be disabled). The
+  // scheduler emits the sequence-lifecycle events only it can see: preempt
+  // (victim parked), resume (parked -> re-admitted, with the replay bill),
+  // evict (parked cross share dropped).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   size_t pending() const { return queue_.size(); }
   size_t active() const { return active_.size(); }
@@ -203,9 +211,13 @@ class GenerationScheduler {
   // (it will re-encode on resume). Last-resort capacity relief.
   bool evict_one_parked();
 
+  // True when a tracer is attached and recording (one-branch gate).
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+
   KvCachePool* pool_;
   const serving::CostTable* costs_;
   GenSchedulerOptions options_;
+  obs::Tracer* tracer_ = nullptr;  // borrowed from the owning server
   std::deque<serving::GenerationRequest> queue_;
   std::vector<std::unique_ptr<ActiveSequence>> active_;
   // Preempted sequences awaiting re-admission, oldest first.

@@ -41,6 +41,15 @@ std::shared_ptr<ModelBundle> require_bundle(
   return bundle;
 }
 
+// Monotonic time_point -> the obs tick domain (both are steady_clock, so
+// the conversion is exact and spans line up with obs::now_ticks stamps).
+uint64_t to_ticks(std::chrono::steady_clock::time_point tp) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -62,7 +71,37 @@ GenerationServer::GenerationServer(std::shared_ptr<ModelBundle> bundle,
       scheduler_(&pool_, &costs_, options.scheduler),
       observe_costs_(options.observe_step_costs),
       observe_alpha_(options.cost_observe_alpha),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now()) {
+  std::shared_ptr<obs::TraceRing> ring = options.trace.ring;
+  if (ring == nullptr && options.trace.enabled) {
+    ring = std::make_shared<obs::TraceRing>(options.trace.capacity);
+  }
+  tracer_ = obs::Tracer(std::move(ring), bundle_->label(), bundle_->version);
+  scheduler_.set_tracer(&tracer_);
+  metrics_ =
+      options.metrics ? options.metrics : std::make_shared<obs::Registry>();
+  metric_prefix_ = "gen." + bundle_->label() + ".";
+  bind_metrics();
+}
+
+void GenerationServer::bind_metrics() {
+  const std::string& p = metric_prefix_;
+  m_steps_ = &metrics_->counter(p + "steps");
+  m_submitted_ = &metrics_->counter(p + "requests_submitted");
+  m_completed_ = &metrics_->counter(p + "requests_completed");
+  m_tokens_ = &metrics_->counter(p + "tokens_streamed");
+  m_admitted_ = &metrics_->counter(p + "admitted");
+  m_preempted_ = &metrics_->counter(p + "preemptions");
+  m_resumed_ = &metrics_->counter(p + "resumes");
+  m_evicted_ = &metrics_->counter(p + "evictions");
+  m_replayed_ = &metrics_->counter(p + "replayed_tokens");
+  g_active_ = &metrics_->gauge(p + "active_sequences");
+  g_kv_bytes_ = &metrics_->gauge(p + "kv_bytes_in_use");
+  g_device_bytes_ = &metrics_->gauge(p + "kv_device_bytes");
+  h_step_ms_ = &metrics_->histogram(p + "step_ms");
+  h_batch_ = &metrics_->histogram(p + "batch_size");
+  h_latency_ms_ = &metrics_->histogram(p + "request_latency_ms");
+}
 
 double GenerationServer::now_s() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -92,11 +131,15 @@ void GenerationServer::submit(serving::GenerationRequest request,
   validate(request);
   TT_CHECK_MSG(callbacks_.find(request.id) == callbacks_.end(),
                "duplicate in-flight generation request id " << request.id);
+  m_submitted_->add(1);
+  if (tracer_.enabled()) arrivals_[request.id] = obs::now_ticks();
   callbacks_[request.id] = std::move(on_token);
   scheduler_.enqueue(std::move(request));
 }
 
 int GenerationServer::step() {
+  const bool tracing = tracer_.enabled();
+  if (tracing) tracer_.set_iteration(iteration_ + 1);
   const double now = now_s();
   const size_t admitted_before = scheduler_.total_admitted();
   const size_t preempted_before = scheduler_.total_preempted();
@@ -112,7 +155,24 @@ int GenerationServer::step() {
   // preempted) sequences rejoin here too; their cross blocks are still
   // resident unless the share was evicted, in which case they re-encode
   // like a cold admit.
+  const uint64_t t_admit0 = tracing ? obs::now_ticks() : 0;
   const std::vector<ActiveSequence*> admitted = scheduler_.admit(now);
+  if (tracing) {
+    const uint64_t t_admit1 = obs::now_ticks();
+    tracer_.span(obs::SpanKind::kAdmit, t_admit0, t_admit1, /*seq=*/-1,
+                 static_cast<int32_t>(admitted.size()));
+    // Per-sequence admit spans cover arrival -> admitted (the queue wait
+    // the offline queueing pass decomposes); only first admissions carry
+    // one — resumes already have their resume span.
+    for (const ActiveSequence* seq : admitted) {
+      const auto it = arrivals_.find(seq->request.id);
+      if (it != arrivals_.end()) {
+        tracer_.span(obs::SpanKind::kAdmit, it->second, t_admit1,
+                     seq->request.id);
+        arrivals_.erase(it);
+      }
+    }
+  }
   std::vector<ActiveSequence*> to_encode;
   // First admits that ran the encoder this iteration, counted before
   // prepare_step can preempt one of them (which would bump its
@@ -125,6 +185,7 @@ int GenerationServer::step() {
     }
   }
   if (!to_encode.empty()) {
+    const uint64_t t_enc0 = tracing ? obs::now_ticks() : 0;
     const int nb_enc = static_cast<int>(to_encode.size());
     int max_src = 0;
     std::vector<int> valid_lens(static_cast<size_t>(nb_enc));
@@ -151,12 +212,23 @@ int GenerationServer::step() {
       bundle_->decoder->init_cross_attention(view, *seq->kv);
       seq->kv->mark_cross_ready();
     }
+    if (tracing) {
+      int prefill_tokens = 0;
+      for (const int len : valid_lens) prefill_tokens += len;
+      tracer_.span(obs::SpanKind::kEncodePrefill, t_enc0, obs::now_ticks(),
+                   /*seq=*/-1, nb_enc, prefill_tokens);
+    }
   }
 
   // Growth phase: back every active sequence's next self row. Under
   // optimistic admission this is where pool exhaustion surfaces and the
   // scheduler preempts — only the survivors step.
+  const uint64_t t_sched0 = tracing ? obs::now_ticks() : 0;
   const std::vector<ActiveSequence*> stepping = scheduler_.prepare_step();
+  if (tracing) {
+    tracer_.span(obs::SpanKind::kSchedule, t_sched0, obs::now_ticks(),
+                 /*seq=*/-1, static_cast<int32_t>(stepping.size()));
+  }
   if (stepping.empty()) return 0;
   const int nb = static_cast<int>(stepping.size());
 
@@ -176,10 +248,15 @@ int GenerationServer::step() {
   logits_.resize(static_cast<size_t>(nb) * vocab);
   const auto step_t0 = std::chrono::steady_clock::now();
   bundle_->decoder->step(slots, logits_.data(), workspace_);
+  const auto step_t1 = std::chrono::steady_clock::now();
   const double step_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - step_t0)
-          .count();
+      std::chrono::duration<double, std::milli>(step_t1 - step_t0).count();
+  if (tracing) {
+    // The decode span reuses the cost-observation timestamps — no extra
+    // clock reads bracket the fused step.
+    tracer_.span(obs::SpanKind::kDecodeStep, to_ticks(step_t0),
+                 to_ticks(step_t1), /*seq=*/-1, nb, /*tokens=*/nb);
+  }
   // Lazy-evaluation feedback (§6.3): the admission gate and the
   // cheapest-recompute victim policy predict from this table, so feed it
   // what the step actually cost at the batch's real context length. A
@@ -193,6 +270,7 @@ int GenerationServer::step() {
   // a resume) re-derive parked tokens: the argmax is asserted identical to
   // the parked token and is NOT streamed again — clients already saw it —
   // so the stream stays gapless and duplicate-free across preemptions.
+  const uint64_t t_stream0 = tracing ? obs::now_ticks() : 0;
   int finished_now = 0;
   int replayed_now = 0;
   for (int b = 0; b < nb; ++b) {
@@ -223,6 +301,12 @@ int GenerationServer::step() {
       }
     }
     if (seq.finished) ++finished_now;
+    if (tracing && step_idx == 0) {
+      // First streamed token of the sequence (replayed positions never get
+      // here, so this fires exactly once per request): the queueing pass
+      // anchors time-to-first-token on it.
+      tracer_.instant(obs::SpanKind::kStream, seq.request.id);
+    }
     const auto cb = callbacks_.find(seq.request.id);
     if (cb != callbacks_.end() && cb->second) {
       cb->second(seq.request.id, token, step_idx, seq.finished);
@@ -241,11 +325,31 @@ int GenerationServer::step() {
     resp.src_len = static_cast<int>(seq->request.src_tokens.size());
     resp.hit_max_len = seq->hit_max_len;
     resp.latency_ms = (done - seq->admit_s) * 1000.0;
+    h_latency_ms_->record(resp.latency_ms);
     callbacks_.erase(resp.request_id);
+    arrivals_.erase(resp.request_id);
     completed_.push_back(std::move(resp));
+  }
+  if (tracing) {
+    tracer_.span(obs::SpanKind::kStream, t_stream0, obs::now_ticks(),
+                 /*seq=*/-1, nb, nb - replayed_now);
   }
 
   ++iteration_;
+  m_steps_->add(1);
+  m_admitted_->add(scheduler_.total_admitted() - admitted_before);
+  m_preempted_->add(scheduler_.total_preempted() - preempted_before);
+  m_resumed_->add(scheduler_.total_resumed() - resumed_before);
+  m_evicted_->add(scheduler_.total_evicted() - evicted_before);
+  m_replayed_->add(static_cast<uint64_t>(replayed_now));
+  m_tokens_->add(static_cast<uint64_t>(nb - replayed_now));
+  m_completed_->add(retired.size());
+  h_step_ms_->record(step_ms);
+  h_batch_->record(static_cast<double>(nb));
+  g_active_->set(static_cast<double>(pool_.active_sequences()));
+  g_kv_bytes_->set(static_cast<double>(pool_.bytes_in_use()));
+  g_device_bytes_->set(
+      static_cast<double>(pool_.stats().current_device_bytes));
   if (observer_) {
     StepStats stats;
     stats.iteration = iteration_;
@@ -338,13 +442,15 @@ void AsyncGenerationServer::shutdown() {
 }
 
 size_t AsyncGenerationServer::served() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return served_;
+  // Registry-backed (no cached copy): the registry is lock-free to read
+  // and — when shared — outlives this shell, so the totals survive a
+  // worker teardown instead of resetting with it.
+  return server_->completed_total();
 }
 
 int64_t AsyncGenerationServer::iterations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return iterations_;
+  return static_cast<int64_t>(server_->metrics()->counter_value(
+      server_->metric_prefix() + "steps"));
 }
 
 PoolSnapshot AsyncGenerationServer::pool_snapshot() const {
@@ -398,8 +504,6 @@ void AsyncGenerationServer::worker_loop() {
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      served_ += done.size();
-      iterations_ = server_->iterations();
       pool_snapshot_ = server_->pool_snapshot();
       for (const auto& resp : done) ids_in_flight_.erase(resp.request_id);
     }

@@ -33,6 +33,8 @@
 #include "genserve/model_bundle.h"
 #include "model/decoder.h"
 #include "model/encoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/cost_table.h"
 #include "serving/request.h"
 
@@ -50,6 +52,16 @@ struct GenServerOptions {
   // converge to real costs as the server runs.
   bool observe_step_costs = true;
   double cost_observe_alpha = 0.25;
+  // Step-level tracing (obs/trace.h). Off by default: the step loop then
+  // reads no clock and takes one never-true branch per recording site.
+  // Enabled, each step emits one span per phase plus per-sequence
+  // lifecycle events into the ring (private, or shared via trace.ring).
+  obs::TraceConfig trace;
+  // Metrics registry the engine publishes into (obs/metrics.h). When null
+  // the engine creates a private one; the multi-model server and the async
+  // shells pass a shared registry so counters survive engine teardown
+  // (draining a model no longer zeroes its totals).
+  std::shared_ptr<obs::Registry> metrics;
 };
 
 // Per-iteration snapshot handed to the step observer (benchmark hook for
@@ -159,12 +171,35 @@ class GenerationServer {
   serving::CostTable& mutable_cost_table() { return costs_; }
   int64_t iterations() const { return iteration_; }
 
+  // The registry this engine publishes into (never null) and the name
+  // prefix of its metrics ("gen.<name:vN>."). Registry reads are safe from
+  // any thread.
+  const std::shared_ptr<obs::Registry>& metrics() const { return metrics_; }
+  const std::string& metric_prefix() const { return metric_prefix_; }
+  // Lifetime totals, read back from the registry (the single home for
+  // these counts — the async shell and the multi-model stats view read the
+  // same numbers). Safe from any thread.
+  size_t completed_total() const {
+    return metrics_->counter_value(metric_prefix_ + "requests_completed");
+  }
+  // The trace ring (null when tracing is off) and a consistent snapshot of
+  // its spans. Snapshot is safe concurrently with the step loop.
+  const std::shared_ptr<obs::TraceRing>& trace_ring() const {
+    return tracer_.ring();
+  }
+  std::vector<obs::TraceSpan> trace_spans() const {
+    return tracer_.ring() ? tracer_.ring()->snapshot()
+                          : std::vector<obs::TraceSpan>{};
+  }
+
   void set_step_observer(StepObserver observer) {
     observer_ = std::move(observer);
   }
 
  private:
   double now_s() const;
+  // Resolves the cached metric handles out of metrics_ (constructor tail).
+  void bind_metrics();
 
   std::shared_ptr<ModelBundle> bundle_;  // pinned until the engine dies
   model::ModelConfig config_;            // copy of bundle_->config
@@ -180,6 +215,33 @@ class GenerationServer {
   double observe_alpha_ = 0.25;
   int64_t iteration_ = 0;
   std::chrono::steady_clock::time_point epoch_;
+
+  // Observability. The tracer is disabled unless options.trace asked for a
+  // ring; the registry always exists (a disabled registry would make every
+  // publish site conditional for no win — relaxed counter adds are cheaper
+  // than the branch is worth).
+  obs::Tracer tracer_;
+  std::shared_ptr<obs::Registry> metrics_;
+  std::string metric_prefix_;  // "gen.<name:vN>."
+  // Arrival ticks by request id while tracing (drained into the per-seq
+  // admit span at first admission).
+  std::unordered_map<int64_t, uint64_t> arrivals_;
+  // Cached handles into metrics_ (hot path publishes without name lookups).
+  obs::Counter* m_steps_ = nullptr;
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_tokens_ = nullptr;
+  obs::Counter* m_admitted_ = nullptr;
+  obs::Counter* m_preempted_ = nullptr;
+  obs::Counter* m_resumed_ = nullptr;
+  obs::Counter* m_evicted_ = nullptr;
+  obs::Counter* m_replayed_ = nullptr;
+  obs::Gauge* g_active_ = nullptr;
+  obs::Gauge* g_kv_bytes_ = nullptr;
+  obs::Gauge* g_device_bytes_ = nullptr;
+  obs::Histogram* h_step_ms_ = nullptr;
+  obs::Histogram* h_batch_ = nullptr;
+  obs::Histogram* h_latency_ms_ = nullptr;
 };
 
 // Ownership: takes the engine by unique_ptr and owns it plus the worker
@@ -214,9 +276,20 @@ class AsyncGenerationServer {
   // Idempotent; also called by the destructor.
   void shutdown();
 
+  // Lifetime totals, read straight from the engine's metrics registry (no
+  // cached copies to fall out of sync — and with a shared registry the
+  // counts survive this shell, so a replacement server resumes them
+  // instead of restarting from zero).
   size_t served() const;
   int64_t iterations() const;
   PoolSnapshot pool_snapshot() const;
+  // The engine's registry; safe from any thread.
+  const std::shared_ptr<obs::Registry>& metrics() const {
+    return server_->metrics();
+  }
+  std::vector<obs::TraceSpan> trace_spans() const {
+    return server_->trace_spans();
+  }
 
  private:
   struct Submission {
@@ -237,9 +310,7 @@ class AsyncGenerationServer {
   std::unordered_map<int64_t, std::promise<serving::GenerationResponse>>
       in_flight_;
   bool shutdown_ = false;
-  size_t served_ = 0;
   PoolSnapshot pool_snapshot_;
-  int64_t iterations_ = 0;
   std::thread worker_;
 };
 

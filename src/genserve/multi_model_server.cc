@@ -13,7 +13,20 @@ namespace turbo::genserve {
 
 MultiModelGenerationServer::MultiModelGenerationServer(
     MultiModelOptions options)
-    : options_(std::move(options)), budget_(options_.total_kv_bytes) {}
+    : options_(std::move(options)), budget_(options_.total_kv_bytes) {
+  metrics_ = options_.engine.metrics ? options_.engine.metrics
+                                     : std::make_shared<obs::Registry>();
+  if (options_.engine.trace.ring != nullptr) {
+    trace_ring_ = options_.engine.trace.ring;
+  } else if (options_.engine.trace.enabled) {
+    trace_ring_ = std::make_shared<obs::TraceRing>(
+        options_.engine.trace.capacity);
+  }
+  m_completed_total_ = &metrics_->counter("gen.server.requests_completed");
+  m_iterations_ = &metrics_->counter("gen.server.iterations");
+  m_reclaims_ = &metrics_->counter("gen.server.reclaims");
+  m_reclaimed_bytes_ = &metrics_->counter("gen.server.reclaimed_bytes");
+}
 
 MultiModelGenerationServer::~MultiModelGenerationServer() {
   // Engines (and their pools, which unregister from budget_) are destroyed
@@ -51,6 +64,15 @@ void MultiModelGenerationServer::register_bundle(
   eopts.pool.slab_budget = &budget_;
   eopts.pool.budget_client_name = bundle->label();
   eopts.pool.budget_guarantee_bytes = guarantee_bytes;
+  // Observability attachments are the server's to manage too: one shared
+  // registry (counters outlive drained engines) and, when tracing, one
+  // shared ring — a global timeline the offline passes can correlate
+  // across models.
+  eopts.metrics = metrics_;
+  if (trace_ring_ != nullptr) {
+    eopts.trace.ring = trace_ring_;
+    eopts.trace.enabled = true;
+  }
   if (options_.total_kv_bytes > 0) {
     // Shared capacity can shrink between a sequence's admission and its
     // growth (a sibling borrows the headroom); only optimistic admission's
@@ -179,7 +201,7 @@ std::vector<size_t> MultiModelGenerationServer::step_order() const {
 void MultiModelGenerationServer::collect_completed(Engine& engine) {
   for (auto& resp : engine.server->take_completed()) {
     ids_in_flight_.erase(resp.request_id);
-    ++engine.served;
+    m_completed_total_->add(1);
     completed_.push_back(std::move(resp));
   }
 }
@@ -221,8 +243,26 @@ size_t MultiModelGenerationServer::reclaim_for_starved_models() {
       const size_t got = d.server->shed_kv(std::min(needed, borrowed));
       if (got > 0) {
         ++total_reclaims_;
+        m_reclaims_->add(1);
+        m_reclaimed_bytes_->add(got);
         freed_total += got;
         needed = got >= needed ? 0 : needed - got;
+        if (trace_ring_ != nullptr) {
+          // Cross-model reclaim event: starved model in `model`, donor in
+          // `peer` — the borrow/reclaim timeline pass keys on exactly this
+          // pair.
+          obs::TraceSpan span;
+          span.kind = obs::SpanKind::kReclaim;
+          span.model_version = m.bundle->version;
+          span.seq = -1;
+          span.iteration = iteration_ + 1;
+          span.bytes = got;
+          span.start_ticks = obs::now_ticks();
+          span.end_ticks = span.start_ticks;
+          obs::copy_name(span.model, m.bundle->label());
+          obs::copy_name(span.peer, d.bundle->label());
+          trace_ring_->record(span);
+        }
       }
     }
   }
@@ -246,7 +286,10 @@ int MultiModelGenerationServer::step() {
     return e->draining && e->server->idle();
   });
   if (!engines_.empty()) rr_cursor_ = (rr_cursor_ + 1) % engines_.size();
-  if (stepped > 0) ++iteration_;
+  if (stepped > 0) {
+    ++iteration_;
+    m_iterations_->add(1);
+  }
   return stepped;
 }
 
@@ -284,7 +327,7 @@ std::vector<ModelServingStats> MultiModelGenerationServer::stats() const {
     const GenerationScheduler& sched = e->server->scheduler();
     s.pending = sched.pending() + sched.requeued();
     s.active = sched.active();
-    s.served = e->served;
+    s.served = e->server->completed_total();
     s.last_step = e->last_step;
     s.pool = e->server->pool_snapshot();
     s.budget_guarantee_bytes = e->guarantee_bytes;
@@ -390,13 +433,14 @@ void AsyncMultiModelGenerationServer::shutdown() {
 }
 
 size_t AsyncMultiModelGenerationServer::served() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return served_;
+  // Registry-backed: the shared registry is lock-free to read and keeps
+  // counting across engine drains, so there is no cached copy to reset.
+  return server_->served_total();
 }
 
 int64_t AsyncMultiModelGenerationServer::iterations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return iterations_;
+  return static_cast<int64_t>(
+      server_->metrics()->counter_value("gen.server.iterations"));
 }
 
 std::vector<ModelServingStats> AsyncMultiModelGenerationServer::model_stats()
@@ -478,8 +522,6 @@ void AsyncMultiModelGenerationServer::worker_loop() {
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      served_ += done.size();
-      iterations_ = server_->iterations();
       model_stats_ = server_->stats();
       budget_snapshot_ = server_->budget().snapshot();
       for (const auto& resp : done) ids_in_flight_.erase(resp.request_id);

@@ -49,6 +49,8 @@
 #include "genserve/generation_server.h"
 #include "genserve/model_bundle.h"
 #include "memory/slab_budget.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/request.h"
 
 namespace turbo::genserve {
@@ -62,7 +64,10 @@ struct MultiModelOptions {
   size_t total_kv_bytes = 0;
   // Per-engine defaults (pool geometry, scheduler, cost observation).
   // register_bundle() may override per model; the pool's budget fields are
-  // always overwritten by the server.
+  // always overwritten by the server, and so are the observability
+  // attachments — every engine publishes into the server's one registry,
+  // and engine.trace.enabled stands up ONE shared ring all engines record
+  // into (a global timeline; cross-model reclaims land on it too).
   GenServerOptions engine;
   // Cross-model step order within one iteration. Order matters under
   // contention: earlier models admit into free budget first.
@@ -80,7 +85,8 @@ struct ModelServingStats {
   bool draining = false;    // unregistered, finishing in-flight sequences
   size_t pending = 0;       // queued + requeued (preempted awaiting resume)
   size_t active = 0;        // sequences in the step batch
-  size_t served = 0;        // responses completed through this engine
+  size_t served = 0;        // responses completed through this engine (a
+                            // snapshot view over the shared obs::Registry)
   StepStats last_step;      // engine's most recent iteration snapshot
   PoolSnapshot pool;        // pool pressure + preemption activity
   size_t budget_guarantee_bytes = 0;
@@ -166,6 +172,25 @@ class MultiModelGenerationServer {
   const memory::SlabBudget& budget() const { return budget_; }
   std::vector<ModelServingStats> stats() const;
 
+  // The shared metrics registry (never null; safe from any thread). Every
+  // engine publishes under "gen.<name:vN>."; server-level totals live
+  // under "gen.server.". Counters survive engine teardown — draining a
+  // model does not zero its history.
+  const std::shared_ptr<obs::Registry>& metrics() const { return metrics_; }
+  // Responses completed across all engines, living and drained.
+  size_t served_total() const {
+    return metrics_->counter_value("gen.server.requests_completed");
+  }
+  // The shared trace ring (null when options.engine.trace is off) and a
+  // consistent snapshot of the global timeline.
+  const std::shared_ptr<obs::TraceRing>& trace_ring() const {
+    return trace_ring_;
+  }
+  std::vector<obs::TraceSpan> trace_spans() const {
+    return trace_ring_ ? trace_ring_->snapshot()
+                       : std::vector<obs::TraceSpan>{};
+  }
+
   void set_step_observer(StepObserver observer) {
     observer_ = std::move(observer);
   }
@@ -176,7 +201,6 @@ class MultiModelGenerationServer {
     std::unique_ptr<GenerationServer> server;
     size_t guarantee_bytes = 0;
     bool draining = false;
-    size_t served = 0;
     StepStats last_step;
   };
 
@@ -195,6 +219,12 @@ class MultiModelGenerationServer {
 
   MultiModelOptions options_;
   memory::SlabBudget budget_;  // declared before engines_: pools borrow it
+  std::shared_ptr<obs::Registry> metrics_;    // shared by every engine
+  std::shared_ptr<obs::TraceRing> trace_ring_;  // null = tracing off
+  obs::Counter* m_completed_total_ = nullptr;   // gen.server.requests_completed
+  obs::Counter* m_iterations_ = nullptr;        // gen.server.iterations
+  obs::Counter* m_reclaims_ = nullptr;          // gen.server.reclaims
+  obs::Counter* m_reclaimed_bytes_ = nullptr;   // gen.server.reclaimed_bytes
   BundleRegistry registry_;
   std::vector<std::unique_ptr<Engine>> engines_;  // registration order
   std::string default_model_;
@@ -257,12 +287,22 @@ class AsyncMultiModelGenerationServer {
   // Serve everything pending to completion, then stop the worker.
   void shutdown();
 
+  // Lifetime totals, read straight from the shared metrics registry (no
+  // cached copies; they survive engine drains and this shell's teardown
+  // when the registry is read afterwards).
   size_t served() const;
   int64_t iterations() const;
   // Per-model breakdowns + budget snapshot, refreshed after every worker
   // iteration.
   std::vector<ModelServingStats> model_stats() const;
   memory::SlabBudgetSnapshot budget_snapshot() const;
+  // Shared registry / global trace timeline; safe from any thread.
+  const std::shared_ptr<obs::Registry>& metrics() const {
+    return server_->metrics();
+  }
+  std::vector<obs::TraceSpan> trace_spans() const {
+    return server_->trace_spans();
+  }
 
  private:
   struct Submission {
@@ -290,8 +330,6 @@ class AsyncMultiModelGenerationServer {
   std::unordered_map<int64_t, std::promise<serving::GenerationResponse>>
       in_flight_;
   bool shutdown_ = false;
-  size_t served_ = 0;
-  int64_t iterations_ = 0;
   std::vector<ModelServingStats> model_stats_;
   memory::SlabBudgetSnapshot budget_snapshot_;
   std::thread worker_;

@@ -1,0 +1,241 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace turbo::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram() : Histogram(Options{}) {}
+
+Histogram::Histogram(Options options) : options_(options) {
+  TT_CHECK_GT(options_.first_bound, 0.0);
+  TT_CHECK_GT(options_.growth, 1.0);
+  TT_CHECK_GE(options_.buckets, 2);
+  bounds_.resize(static_cast<size_t>(options_.buckets));
+  double b = options_.first_bound;
+  for (auto& bound : bounds_) {
+    bound = b;
+    b *= options_.growth;
+  }
+  counts_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+size_t Histogram::bucket_index(double value) const {
+  // Buckets are half-open: bucket i covers [bounds_[i-1], bounds_[i]),
+  // bucket 0 covers [0, first_bound), the extra last bucket overflows.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<size_t>(it - bounds_.begin());
+}
+
+void Histogram::record(double value) {
+  if (!(value > 0.0)) value = 0.0;  // clamp negatives and NaN
+  counts_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  double seen = min_.load(std::memory_order_relaxed);
+  // First record initializes min; afterwards standard CAS-min. count_ was
+  // bumped above, so "empty" is keyed on the pre-update counter.
+  if (count_.load(std::memory_order_relaxed) == 1) {
+    min_.store(value, std::memory_order_relaxed);
+  } else {
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  double high = max_.load(std::memory_order_relaxed);
+  while (value > high && !max_.compare_exchange_weak(
+                             high, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  // Rank in [1, total]; walk buckets until the cumulative count covers it,
+  // then interpolate linearly inside the owning bucket.
+  const double rank = std::max(1.0, q * static_cast<double>(total));
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(bucket_count(i));
+    if (c == 0.0) continue;
+    if (cum + c >= rank) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      // The overflow bucket has no finite upper bound; the observed max
+      // is the tightest honest one.
+      const double upper = i < bounds_.size() ? bounds_[i] : max();
+      const double frac = (rank - cum) / c;
+      const double v = lower + frac * (std::max(upper, lower) - lower);
+      return std::clamp(v, min(), max());
+    }
+    cum += c;
+  }
+  return max();
+}
+
+HistogramSnapshot summarize(const Histogram& h) {
+  HistogramSnapshot s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.mean = h.mean();
+  s.min = h.min();
+  s.max = h.max();
+  s.p50 = h.quantile(0.50);
+  s.p90 = h.quantile(0.90);
+  s.p99 = h.quantile(0.99);
+  s.p999 = h.quantile(0.999);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TT_CHECK_MSG(gauges_.find(name) == gauges_.end() &&
+                   histograms_.find(name) == histograms_.end(),
+               "metric '" << name << "' already registered as another type");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TT_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                   histograms_.find(name) == histograms_.end(),
+               "metric '" << name << "' already registered as another type");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               Histogram::Options options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TT_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                   gauges_.find(name) == gauges_.end(),
+               "metric '" << name << "' already registered as another type");
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(options);
+  return *slot;
+}
+
+uint64_t Registry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    json_escape(os, name);
+    os << ':' << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    json_escape(os, name);
+    os << ':' << g->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    const HistogramSnapshot s = summarize(*h);
+    json_escape(os, name);
+    os << ":{\"count\":" << s.count << ",\"sum\":" << s.sum
+       << ",\"mean\":" << s.mean << ",\"min\":" << s.min
+       << ",\"max\":" << s.max << ",\"p50\":" << s.p50 << ",\"p90\":" << s.p90
+       << ",\"p99\":" << s.p99 << ",\"p999\":" << s.p999 << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prom_name(name);
+    const HistogramSnapshot s = summarize(*h);
+    os << "# TYPE " << n << " summary\n";
+    os << n << "{quantile=\"0.5\"} " << s.p50 << '\n';
+    os << n << "{quantile=\"0.9\"} " << s.p90 << '\n';
+    os << n << "{quantile=\"0.99\"} " << s.p99 << '\n';
+    os << n << "{quantile=\"0.999\"} " << s.p999 << '\n';
+    os << n << "_sum " << s.sum << '\n';
+    os << n << "_count " << s.count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace turbo::obs

@@ -1,0 +1,144 @@
+// Metrics registry: named counters, gauges and log-bucketed latency
+// histograms, publishable from the serving hot path.
+//
+// The serving stack previously grew one-off counters in every layer
+// (scheduler lifetime totals, async-shell served/iteration caches,
+// per-engine served counts) with inconsistent lifetimes — a draining
+// engine took its counts down with it. The registry is the single,
+// process-lifetime home: engines publish into it with relaxed atomics,
+// any thread reads it without coordination, and exports (JSON,
+// Prometheus text) serialize one coherent view.
+//
+// Histograms are log-bucketed: bucket upper bounds grow geometrically, so
+// 96 buckets span sub-microsecond to ~half an hour (in µs) with bounded
+// relative error, and p50/p90/p99/p999 come from linear interpolation
+// inside the owning bucket — no sample retention, O(1) record.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace turbo::obs {
+
+// Monotonic counter. add() is a relaxed atomic increment — safe from any
+// thread, cheap enough for per-step publishing.
+class Counter {
+ public:
+  void add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (pool pressure, batch size).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log-bucketed histogram. Values are non-negative (latencies in µs, sizes
+// in blocks); negatives clamp to zero. Thread-safe: record() touches only
+// relaxed atomics; quantile()/count()/sum() read a live (momentarily
+// inconsistent across buckets, individually exact) view.
+class Histogram {
+ public:
+  struct Options {
+    double first_bound = 1.0;  // upper bound of the first finite bucket
+    double growth = 1.25;      // geometric bucket growth factor (> 1)
+    int buckets = 96;          // finite buckets (+ implicit overflow)
+  };
+
+  // Two constructors instead of one defaulted argument: a `= {}` default
+  // would need Options' member initializers before the enclosing class is
+  // complete, which GCC rejects.
+  Histogram();
+  explicit Histogram(Options options);
+
+  void record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+
+  // Quantile estimate by linear interpolation inside the bucket holding
+  // rank q * count: error is bounded by the bucket width (growth - 1
+  // relative), and the result is clamped to the observed [min, max].
+  // q in [0, 1]; returns 0 when empty.
+  double quantile(double q) const;
+
+  // Bucket upper bound / count views, for exports and tests.
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  size_t bucket_index(double value) const;
+
+  Options options_;
+  std::vector<double> bounds_;  // bounds_[i] = upper bound of bucket i
+  // counts_ has bounds_.size() + 1 entries; the last is the overflow
+  // bucket [bounds_.back(), inf).
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// Point-in-time histogram summary (export helper).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0, mean = 0, min = 0, max = 0;
+  double p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+};
+HistogramSnapshot summarize(const Histogram& h);
+
+// Ownership: owns every metric it creates; returned references stay valid
+// for the registry's lifetime (metrics are never removed).
+// Thread-safety: creation (counter()/gauge()/histogram()) takes a mutex;
+// the returned metric objects are lock-free to use. Callers on hot paths
+// resolve names once and cache the references. Exports are safe from any
+// thread and serialize a live view.
+// Invariants: one metric per name — re-requesting a name returns the same
+// object; requesting it as a different type throws CheckError.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       Histogram::Options options = {});
+
+  // Value reads by name; zero when the metric does not exist (snapshot
+  // convenience for views over the registry).
+  uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  // sum, mean, min, max, p50, p90, p99, p999}}}, keys sorted.
+  std::string to_json() const;
+  // Prometheus text exposition: names sanitized ([^a-zA-Z0-9_:] -> '_'),
+  // histograms exported as summaries (quantile-labelled gauges + _sum +
+  // _count).
+  std::string to_prometheus() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace turbo::obs

@@ -1,0 +1,105 @@
+// Offline analysis passes over a drained trace.
+//
+// PerFlow-style: the runtime records raw spans (obs/trace.h), and
+// attribution happens after the fact as passes over the span stream —
+// each pass answers one "where did the time go" question the aggregate
+// counters cannot:
+//
+//  * attribute_phases — which phase (admit / prefill / schedule / decode /
+//    stream) each step's wall-time went to, overall and in the p99 tail.
+//  * queueing_breakdown — arrival -> admit -> first-token decomposition of
+//    time-to-first-token, per sequence.
+//  * detect_cascades — preemption cascades: runs of consecutive iterations
+//    that kept parking victims, their victim chains, and what the replays
+//    cost.
+//  * reclaim_timeline — cross-model budget sheds (who was starved, who
+//    donated, how many bytes), in timeline order.
+//
+// Passes are pure functions of the span vector: they read a snapshot (or
+// a trace file via obs/trace_io.h) and never touch the live ring.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace turbo::obs {
+
+// Per-phase share of step wall-time.
+struct PhaseStat {
+  SpanKind kind = SpanKind::kAdmit;
+  size_t count = 0;       // spans of this kind
+  double total_ms = 0;    // summed duration
+  double p50_ms = 0;      // per-span duration quantiles
+  double p99_ms = 0;
+  double fraction = 0;      // share of summed step wall-time
+  double tail_fraction = 0; // share of wall-time inside p99-tail iterations
+};
+
+struct PhaseAttribution {
+  size_t iterations = 0;    // distinct (model, iteration) steps seen
+  double step_wall_ms = 0;  // sum over steps of (last phase end - first
+                            // phase start)
+  double covered_ms = 0;    // sum of top-level phase durations
+  double coverage = 0;      // covered_ms / step_wall_ms (gap = glue code)
+  double iter_p50_ms = 0;   // per-step wall-time quantiles
+  double iter_p99_ms = 0;
+  // The phase holding the largest share of tail-step time (the "what do I
+  // fix for p99" answer). kCount when the trace had no phase spans.
+  SpanKind dominant_tail_phase = SpanKind::kCount;
+  std::vector<PhaseStat> phases;  // every kind present, by total_ms desc
+};
+
+// Attribution over engine-level phase spans (seq == -1). Sequence-level
+// spans contribute event counts to `phases` but never to coverage — they
+// nest inside the phases and would double-count.
+PhaseAttribution attribute_phases(const std::vector<TraceSpan>& spans);
+
+// Arrival -> admit -> first-token decomposition, over sequences for which
+// the trace holds both a per-seq admit span and a first-token event.
+struct QueueingBreakdown {
+  size_t sequences = 0;
+  double queue_p50_ms = 0;        // arrival -> admitted (queue wait)
+  double queue_p99_ms = 0;
+  double admit_to_first_p50_ms = 0;  // admitted -> first streamed token
+  double admit_to_first_p99_ms = 0;
+  double first_token_p50_ms = 0;  // arrival -> first token (the SLO number)
+  double first_token_p99_ms = 0;
+};
+QueueingBreakdown queueing_breakdown(const std::vector<TraceSpan>& spans);
+
+// A run of consecutive iterations (per model) in which victims kept being
+// parked; the chain and its replay bill.
+struct PreemptionCascade {
+  std::string model;
+  int64_t first_iteration = 0;
+  int64_t last_iteration = 0;
+  std::vector<int64_t> victims;  // sequence ids in park order (repeats =
+                                 // re-preempted while resuming)
+  size_t preemptions = 0;
+  size_t evictions = 0;          // parked cross shares dropped in the run
+  int64_t replayed_tokens = 0;   // tokens re-derived by the victims' resumes
+  double parked_ms = 0;          // summed parked time across those resumes
+};
+// Cascades sorted by replay cost (replayed_tokens desc). `max_gap` joins
+// preemption iterations no further than that many iterations apart.
+std::vector<PreemptionCascade> detect_cascades(
+    const std::vector<TraceSpan>& spans, int64_t max_gap = 1);
+
+// One cross-model budget shed.
+struct ReclaimEvent {
+  double at_ms = 0;  // offset from the first span in the trace
+  std::string starved;  // model whose guarantee forced the reclaim
+  std::string donor;    // model that shed borrowed slabs
+  uint64_t bytes = 0;
+  int64_t iteration = 0;
+};
+std::vector<ReclaimEvent> reclaim_timeline(const std::vector<TraceSpan>& spans);
+
+// Human-readable summary of all passes (phase table, queueing breakdown,
+// top cascades, reclaim totals) — what the demo prints at end of run and
+// tools/trace_report builds on.
+std::string render_trace_summary(const std::vector<TraceSpan>& spans);
+
+}  // namespace turbo::obs

@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace turbo::obs {
+
+namespace {
+
+constexpr const char* kKindNames[kSpanKinds] = {
+    "admit",   "prefill", "schedule", "decode", "preempt",
+    "resume",  "evict",   "reclaim",  "stream",
+};
+
+size_t round_up_pow2(size_t n) {
+  size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* span_kind_name(SpanKind kind) {
+  const int i = static_cast<int>(kind);
+  TT_CHECK_LT(i, kSpanKinds);
+  return kKindNames[i];
+}
+
+bool span_kind_from_name(std::string_view name, SpanKind* out) {
+  for (int i = 0; i < kSpanKinds; ++i) {
+    if (name == kKindNames[i]) {
+      *out = static_cast<SpanKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+void copy_name(char (&dst)[kTraceNameLen], std::string_view src) {
+  const size_t n = std::min(src.size(), kTraceNameLen - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+// ---------------------------------------------------------------------------
+// TraceRing
+// ---------------------------------------------------------------------------
+
+TraceRing::TraceRing(size_t capacity)
+    : slots_(round_up_pow2(std::max<size_t>(capacity, 2))),
+      mask_(slots_.size() - 1) {}
+
+void TraceRing::record(const TraceSpan& span) {
+  const uint64_t t = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[t & mask_];
+
+  // Claim the slot. A well-sized ring makes contention here essentially
+  // impossible (a writer must lap the whole ring while another writer is
+  // inside its two-store window), but when it happens the newer span is
+  // dropped rather than torn into the older one: `cur` odd means a writer
+  // is mid-publish, `cur > 2t` means a younger ticket already owns the
+  // slot, and a failed CAS means we lost the claim race.
+  uint64_t cur = slot.stamp.load(std::memory_order_relaxed);
+  if (cur % 2 == 1 || cur > 2 * t ||
+      !slot.stamp.compare_exchange_strong(cur, 2 * t + 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Publish the payload word by word. Relaxed is enough for the words
+  // themselves; the release store of the stamp orders them for readers.
+  uint64_t words[kSpanWords] = {};
+  std::memcpy(words, &span, sizeof(TraceSpan));
+  for (size_t w = 0; w < kSpanWords; ++w) {
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  slot.stamp.store(2 * t + 2, std::memory_order_release);
+}
+
+std::vector<TraceSpan> TraceRing::snapshot() const {
+  std::vector<TraceSpan> out;
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t n = std::min<uint64_t>(head, slots_.size());
+  out.reserve(n);
+  for (uint64_t t = head - n; t < head; ++t) {
+    const Slot& slot = slots_[t & mask_];
+    if (slot.stamp.load(std::memory_order_acquire) != 2 * t + 2) {
+      continue;  // dropped, mid-write, or already overwritten
+    }
+    uint64_t words[kSpanWords];
+    for (size_t w = 0; w < kSpanWords; ++w) {
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    // Seqlock validation: the acquire re-read pairs with the writer's
+    // release publish — if the stamp still names our ticket, no writer
+    // touched the words between the two loads and the copy is whole.
+    if (slot.stamp.load(std::memory_order_acquire) != 2 * t + 2) continue;
+    TraceSpan span;
+    std::memcpy(&span, words, sizeof(TraceSpan));
+    out.push_back(span);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer::Tracer(std::shared_ptr<TraceRing> ring, std::string_view model,
+               int32_t version)
+    : ring_(std::move(ring)), version_(version) {
+  copy_name(model_, model);
+}
+
+void Tracer::span(SpanKind kind, uint64_t start_ticks, uint64_t end_ticks,
+                  int64_t seq, int32_t batch, int32_t tokens, uint64_t bytes) {
+  if (!ring_) return;
+  TraceSpan s;
+  s.kind = kind;
+  s.model_version = version_;
+  s.seq = seq;
+  s.iteration = iteration_;
+  s.batch = batch;
+  s.tokens = tokens;
+  s.bytes = bytes;
+  s.start_ticks = start_ticks;
+  s.end_ticks = end_ticks;
+  std::memcpy(s.model, model_, kTraceNameLen);
+  ring_->record(s);
+}
+
+void Tracer::instant(SpanKind kind, int64_t seq, int32_t tokens) {
+  if (!ring_) return;
+  const uint64_t t = now_ticks();
+  span(kind, t, t, seq, /*batch=*/0, tokens);
+}
+
+}  // namespace turbo::obs

@@ -1,0 +1,152 @@
+#include "obs/trace_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+
+namespace turbo::obs {
+
+namespace {
+
+constexpr const char* kHeader = "# turbo-trace v1";
+
+std::string field_or_dash(const char* s) {
+  return s[0] == '\0' ? std::string("-") : std::string(s);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const std::vector<TraceSpan>& spans) {
+  os << kHeader << '\n';
+  for (const TraceSpan& s : spans) {
+    os << span_kind_name(s.kind) << '\t' << field_or_dash(s.model) << '\t'
+       << s.model_version << '\t' << s.seq << '\t' << s.iteration << '\t'
+       << s.batch << '\t' << s.tokens << '\t' << s.bytes << '\t'
+       << s.start_ticks << '\t' << s.end_ticks << '\t'
+       << field_or_dash(s.peer) << '\n';
+  }
+}
+
+std::vector<TraceSpan> read_trace(std::istream& is) {
+  std::string line;
+  TT_CHECK_MSG(std::getline(is, line) && line == kHeader,
+               "not a turbo-trace v1 file");
+  std::vector<TraceSpan> out;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind, model, peer;
+    TraceSpan s;
+    ls >> kind >> model >> s.model_version >> s.seq >> s.iteration >>
+        s.batch >> s.tokens >> s.bytes >> s.start_ticks >> s.end_ticks >>
+        peer;
+    TT_CHECK_MSG(!ls.fail(), "malformed trace line: " << line);
+    TT_CHECK_MSG(span_kind_from_name(kind, &s.kind),
+                 "unknown span kind '" << kind << "'");
+    copy_name(s.model, model == "-" ? "" : model);
+    copy_name(s.peer, peer == "-" ? "" : peer);
+    out.push_back(s);
+  }
+  return out;
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<TraceSpan>& spans) {
+  std::ofstream os(path);
+  TT_CHECK_MSG(os.good(), "cannot open trace file for writing: " << path);
+  write_trace(os, spans);
+  TT_CHECK_MSG(os.good(), "failed writing trace file: " << path);
+}
+
+std::vector<TraceSpan> read_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  TT_CHECK_MSG(is.good(), "cannot open trace file: " << path);
+  return read_trace(is);
+}
+
+std::string chrome_trace_json(const std::vector<TraceSpan>& spans) {
+  uint64_t t0 = UINT64_MAX;
+  for (const TraceSpan& s : spans) t0 = std::min(t0, s.start_ticks);
+  if (spans.empty()) t0 = 0;
+
+  // One track (tid) per model label; named via metadata events so the
+  // viewer shows "base:v1" instead of a bare number.
+  std::map<std::string, int> tracks;
+  for (const TraceSpan& s : spans) {
+    const std::string label = s.model[0] ? s.model : "engine";
+    tracks.emplace(label, static_cast<int>(tracks.size()) + 1);
+  }
+
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& ev) {
+    if (!first) os << ',';
+    first = false;
+    os << ev;
+  };
+  for (const auto& [label, tid] : tracks) {
+    std::ostringstream ev;
+    ev << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << label
+       << "\"}}";
+    emit(ev.str());
+  }
+  for (const TraceSpan& s : spans) {
+    const std::string label = s.model[0] ? s.model : "engine";
+    const int tid = tracks[label];
+    const double ts = static_cast<double>(s.start_ticks - t0) * 1e-3;  // us
+    const double dur = static_cast<double>(s.end_ticks - s.start_ticks) * 1e-3;
+    std::ostringstream ev;
+    ev.precision(3);
+    ev << std::fixed;
+    const char* name = span_kind_name(s.kind);
+    const std::string args =
+        [&] {
+          std::ostringstream a;
+          a << "{\"seq\":" << s.seq << ",\"iteration\":" << s.iteration
+            << ",\"batch\":" << s.batch << ",\"tokens\":" << s.tokens
+            << ",\"bytes\":" << s.bytes;
+          if (s.peer[0]) a << ",\"peer\":\"" << s.peer << '"';
+          a << '}';
+          return a.str();
+        }();
+    if (s.seq < 0) {
+      // Engine phase span: complete event on the model's track. Chrome
+      // nests same-track X events by duration, which matches how phases
+      // tile a step.
+      ev << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"name\":\""
+         << name << "\",\"ts\":" << ts << ",\"dur\":" << dur
+         << ",\"args\":" << args << '}';
+      emit(ev.str());
+    } else if (s.end_ticks > s.start_ticks) {
+      // Sequence span: async begin/end pair keyed by the sequence id, so
+      // concurrent sequences land on separate async rows.
+      ev << "{\"ph\":\"b\",\"cat\":\"seq\",\"pid\":1,\"tid\":" << tid
+         << ",\"id\":" << s.seq << ",\"name\":\"" << name
+         << "\",\"ts\":" << ts << ",\"args\":" << args << '}';
+      emit(ev.str());
+      std::ostringstream ev2;
+      ev2.precision(3);
+      ev2 << std::fixed;
+      ev2 << "{\"ph\":\"e\",\"cat\":\"seq\",\"pid\":1,\"tid\":" << tid
+          << ",\"id\":" << s.seq << ",\"name\":\"" << name
+          << "\",\"ts\":" << ts + dur << '}';
+      emit(ev2.str());
+    } else {
+      ev << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << tid
+         << ",\"name\":\"" << name << "\",\"ts\":" << ts
+         << ",\"args\":" << args << '}';
+      emit(ev.str());
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace turbo::obs

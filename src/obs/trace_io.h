@@ -1,0 +1,35 @@
+// Trace serialization: a line-oriented trace file format (what benches
+// dump and tools/trace_report reads back) and a Chrome-tracing JSON
+// export (load in chrome://tracing or ui.perfetto.dev).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace turbo::obs {
+
+// One span per line, tab-separated:
+//   kind model version seq iteration batch tokens bytes start end peer
+// preceded by a "# turbo-trace v1" header. Empty model/peer serialize as
+// "-". Deterministic, diff-friendly, and append-safe.
+void write_trace(std::ostream& os, const std::vector<TraceSpan>& spans);
+// Throws CheckError on a malformed line or missing header.
+std::vector<TraceSpan> read_trace(std::istream& is);
+
+// Convenience file wrappers; throw CheckError when the file cannot be
+// opened.
+void write_trace_file(const std::string& path,
+                      const std::vector<TraceSpan>& spans);
+std::vector<TraceSpan> read_trace_file(const std::string& path);
+
+// Chrome-tracing ("Trace Event Format") JSON. Engine phase spans render
+// as complete events ("X") on one track per model; sequence-lifecycle
+// spans render as async events ("b"/"e") keyed by sequence id, so
+// overlapping sequences stack instead of colliding; instants render as
+// "i". Timestamps are microseconds relative to the earliest span.
+std::string chrome_trace_json(const std::vector<TraceSpan>& spans);
+
+}  // namespace turbo::obs

@@ -376,5 +376,52 @@ TEST(AsyncMultiModelServer, UnregisterDrainsThenUnpins) {
   EXPECT_TRUE(weak.expired()) << "drained engine failed to unpin its bundle";
 }
 
+// ---------------------------------------------------------- observability --
+
+TEST(MultiModelServer, SharedTraceRingAndRegistryAcrossEngines) {
+  MultiModelOptions options;
+  options.engine = small_engine();
+  options.engine.trace.enabled = true;
+  MultiModelGenerationServer server(options);
+  server.register_bundle(make_bundle("a", 1, tiny(), /*seed=*/11), 0,
+                         options.engine);
+  server.register_bundle(make_bundle("b", 1, tiny(), /*seed=*/22), 0,
+                         options.engine);
+  ASSERT_NE(server.trace_ring(), nullptr);
+
+  Rng rng(9);
+  const int per_model = 3;
+  for (int i = 0; i < per_model; ++i) {
+    server.submit(make_request(rng, i, 5, 4, "a"));
+    server.submit(make_request(rng, 100 + i, 5, 4, "b"));
+  }
+  const auto responses = server.run_to_completion();
+  EXPECT_EQ(responses.size(), 2u * per_model);
+
+  // Both engines share one ring, so the drained timeline interleaves the
+  // two models' phase spans on one clock.
+  bool saw_a = false, saw_b = false;
+  for (const auto& s : server.trace_spans()) {
+    if (std::string_view(s.model) == "a:v1") saw_a = true;
+    if (std::string_view(s.model) == "b:v1") saw_b = true;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+
+  // One registry too: per-engine counters plus server-level totals, and
+  // stats() is a view over it rather than a separately-maintained count.
+  const auto& reg = *server.metrics();
+  EXPECT_EQ(server.served_total(), 2u * per_model);
+  EXPECT_EQ(reg.counter_value("gen.server.requests_completed"),
+            2u * per_model);
+  EXPECT_EQ(reg.counter_value("gen.a:v1.requests_completed"),
+            static_cast<uint64_t>(per_model));
+  EXPECT_EQ(reg.counter_value("gen.b:v1.requests_completed"),
+            static_cast<uint64_t>(per_model));
+  size_t served_from_stats = 0;
+  for (const auto& s : server.stats()) served_from_stats += s.served;
+  EXPECT_EQ(served_from_stats, 2u * per_model);
+}
+
 }  // namespace
 }  // namespace turbo::genserve
