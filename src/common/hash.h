@@ -10,13 +10,17 @@ namespace turbo {
 // cache (serving::ResponseCache responses, genserve::KvCachePool prompt
 // shares); collisions are resolved by the callers' exact compares, so this
 // only needs to spread well, not be collision-free.
-inline uint64_t fnv1a_tokens(const std::vector<int>& tokens) {
+inline uint64_t fnv1a_range(const int* tokens, int count) {
   uint64_t h = 1469598103934665603ULL;
-  for (const int t : tokens) {
-    h ^= static_cast<uint64_t>(static_cast<uint32_t>(t));
+  for (int i = 0; i < count; ++i) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(tokens[i]));
     h *= 1099511628211ULL;
   }
   return h;
+}
+
+inline uint64_t fnv1a_tokens(const std::vector<int>& tokens) {
+  return fnv1a_range(tokens.data(), static_cast<int>(tokens.size()));
 }
 
 }  // namespace turbo

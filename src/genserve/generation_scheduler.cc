@@ -20,6 +20,14 @@ void GenerationScheduler::validate(
   TT_CHECK_MSG(!request.src_tokens.empty(),
                "generation request " << request.id << " has no source");
   TT_CHECK_GE(request.max_new_tokens, 1);
+  // Negative ids are the PooledBeamKv id space: a beam search sharing this
+  // pool draws sequence ids downward from -1, and the pool keys live
+  // sequences by id. A request arriving with a negative id would collide
+  // with beam roots, so the partition is enforced at both ends.
+  TT_CHECK_MSG(request.id >= 0,
+               "generation request ids must be non-negative (got "
+                   << request.id
+                   << "); negative ids are reserved for pooled beam roots");
   // A request whose worst case exceeds the whole pool could never be
   // admitted; accepting it would wedge the FIFO queue forever. Under
   // optimistic admission this cap doubles as the progress guarantee: the
@@ -29,12 +37,22 @@ void GenerationScheduler::validate(
   // pool's momentary capacity fluctuates with sibling borrowing, and
   // validate() must stay immutable-read (client threads call it).
   const size_t need =
-      pool_->blocks_for(static_cast<int>(request.src_tokens.size()),
-                        request.max_new_tokens);
+      options_.causal_lm
+          ? pool_->blocks_for_causal(
+                static_cast<int>(request.src_tokens.size()),
+                request.max_new_tokens)
+          : pool_->blocks_for(static_cast<int>(request.src_tokens.size()),
+                              request.max_new_tokens);
   TT_CHECK_MSG(need <= pool_->max_blocks_ceiling(),
                "generation request " << request.id << " needs " << need
                                      << " KV blocks but the pool caps at "
                                      << pool_->max_blocks_ceiling());
+}
+
+std::vector<int> GenerationScheduler::fed_tokens(const ActiveSequence& seq) {
+  std::vector<int> fed = seq.request.src_tokens;
+  fed.insert(fed.end(), seq.tokens.begin(), seq.tokens.end());
+  return fed;
 }
 
 void GenerationScheduler::enqueue(serving::GenerationRequest request) {
@@ -97,27 +115,59 @@ std::vector<ActiveSequence*> GenerationScheduler::admit(double now_s) {
       // Resuming is only worth it when the whole replay fits: coming back
       // with less space thrashes the sequence straight back out.
       const int replay_rows = static_cast<int>(seq->tokens.size()) + 1;
-      if (seq->kv) {
-        if (!pool_->can_resume(*seq->kv, replay_rows, headroom())) break;
-        pool_->resume(*seq->kv);
-      } else {
-        // Evicted while parked: the cross share was dropped, so this is a
-        // full re-admission (the server re-encodes unless the prompt is
-        // resident again through another sequence). The replay must fit
-        // here too, or the paid-for encoder pass just thrashes out.
-        if (!pool_->can_readmit_now(seq->request.src_tokens, replay_rows,
-                                    headroom())) {
-          break;
+      if (options_.causal_lm) {
+        // Causal resume: re-plan the radix prefix over the full fed history
+        // (prompt + parked tokens) — a resume may adopt *more* cached rows
+        // than the original admission, and adopted rows never replay.
+        const std::vector<int> fed = fed_tokens(*seq);
+        const int fed_rows = static_cast<int>(fed.size()) + 1;
+        const auto plan = pool_->plan_causal(fed);
+        if (seq->kv) {
+          if (!pool_->can_resume_causal(*seq->kv, plan, fed_rows,
+                                        headroom())) {
+            break;
+          }
+          pool_->resume_causal(*seq->kv, plan);
+        } else {
+          if (!pool_->can_readmit_causal_now(plan, fed_rows, headroom())) {
+            break;
+          }
+          seq->kv = pool_->admit_causal(seq->request.id,
+                                        seq->request.src_tokens,
+                                        seq->request.max_new_tokens, plan);
         }
-        seq->kv = pool_->admit_optimistic(seq->request.id,
-                                          seq->request.src_tokens,
-                                          seq->request.max_new_tokens);
+        // Restart the decode cursor behind the adopted prefix; replayed
+        // steps re-derive only the parked tokens the prefix does not back.
+        seq->step = seq->kv->prefix_rows();
+        seq->last_token = fed[seq->step];
+        seq->replay = static_cast<int>(seq->tokens.size());
+        if (tracing() && seq->kv->prefix_rows() > 0) {
+          tracer_->instant(obs::SpanKind::kRadixHit, seq->request.id,
+                           seq->kv->prefix_rows());
+        }
+      } else {
+        if (seq->kv) {
+          if (!pool_->can_resume(*seq->kv, replay_rows, headroom())) break;
+          pool_->resume(*seq->kv);
+        } else {
+          // Evicted while parked: the cross share was dropped, so this is a
+          // full re-admission (the server re-encodes unless the prompt is
+          // resident again through another sequence). The replay must fit
+          // here too, or the paid-for encoder pass just thrashes out.
+          if (!pool_->can_readmit_now(seq->request.src_tokens, replay_rows,
+                                      headroom())) {
+            break;
+          }
+          seq->kv = pool_->admit_optimistic(seq->request.id,
+                                            seq->request.src_tokens,
+                                            seq->request.max_new_tokens);
+        }
+        // Restart the decode cursor; steps [0, replay) re-derive the parked
+        // tokens bit-identically and are not streamed again.
+        seq->step = 0;
+        seq->last_token = seq->request.bos_id;
+        seq->replay = static_cast<int>(seq->tokens.size());
       }
-      // Restart the decode cursor; steps [0, replay) re-derive the parked
-      // tokens bit-identically and are not streamed again.
-      seq->step = 0;
-      seq->last_token = seq->request.bos_id;
-      seq->replay = static_cast<int>(seq->tokens.size());
       ++total_resumed_;
       if (tracing() && seq->park_ticks != 0) {
         // The resume span covers the whole parked interval; its token count
@@ -144,26 +194,58 @@ std::vector<ActiveSequence*> GenerationScheduler::admit(double now_s) {
       // already resident in the pool, the cross blocks are mapped to the
       // live share (counted once however many sequences read them).
       // Worst-case policy reserves the full output budget; optimistic
-      // admission needs only today's blocks to fit.
-      const bool fits =
-          options_.optimistic_admission
-              ? pool_->can_admit_now(head.src_tokens, headroom())
-              : pool_->can_admit_prompt(head.src_tokens, head.max_new_tokens);
+      // admission needs only today's blocks to fit. Causal admission plans
+      // the radix prefix once and threads the plan into admit_causal —
+      // plan and gate see the same snapshot, and the tree is walked once.
+      KvCachePool::CausalPlan causal_plan;
+      KvCachePool::SharePlan share_plan;
+      bool fits;
+      if (options_.causal_lm) {
+        causal_plan = pool_->plan_causal(head.src_tokens);
+        fits = options_.optimistic_admission
+                   ? pool_->can_admit_causal_now(causal_plan, headroom())
+                   : pool_->can_admit_causal(
+                         static_cast<int>(head.src_tokens.size()),
+                         head.max_new_tokens);
+      } else {
+        // Resolve the prompt-share lookup once per admission and thread it
+        // through the gate and the admit (each used to redo find_share).
+        share_plan = pool_->plan_share(head.src_tokens);
+        fits = options_.optimistic_admission
+                   ? pool_->can_admit_now(head.src_tokens, share_plan,
+                                          headroom())
+                   : pool_->can_admit_prompt(head.src_tokens,
+                                             head.max_new_tokens, share_plan);
+      }
       if (!fits) break;
       if (cost_blocks(head)) break;
 
       auto seq = std::make_unique<ActiveSequence>();
       seq->request = std::move(queue_.front());
       queue_.pop_front();
-      // Prompt-keyed admission: identical prompts share cross blocks, and
-      // the server skips re-encoding when kv->needs_cross_init() is false.
-      seq->kv = options_.optimistic_admission
-                    ? pool_->admit_optimistic(seq->request.id,
-                                              seq->request.src_tokens,
-                                              seq->request.max_new_tokens)
-                    : pool_->admit(seq->request.id, seq->request.src_tokens,
-                                   seq->request.max_new_tokens);
-      seq->last_token = seq->request.bos_id;
+      if (options_.causal_lm) {
+        seq->kv = pool_->admit_causal(seq->request.id, seq->request.src_tokens,
+                                      seq->request.max_new_tokens, causal_plan);
+        // Prefill cursor: start behind the adopted radix prefix, feeding
+        // the first prompt token the cache does not already back.
+        seq->step = seq->kv->prefix_rows();
+        seq->last_token = seq->request.src_tokens[seq->step];
+        if (tracing() && seq->kv->prefix_rows() > 0) {
+          tracer_->instant(obs::SpanKind::kRadixHit, seq->request.id,
+                           seq->kv->prefix_rows());
+        }
+      } else {
+        // Prompt-keyed admission: identical prompts share cross blocks, and
+        // the server skips re-encoding when kv->needs_cross_init() is false.
+        seq->kv = options_.optimistic_admission
+                      ? pool_->admit_optimistic(seq->request.id,
+                                                seq->request.src_tokens,
+                                                seq->request.max_new_tokens,
+                                                share_plan)
+                      : pool_->admit(seq->request.id, seq->request.src_tokens,
+                                     seq->request.max_new_tokens, share_plan);
+        seq->last_token = seq->request.bos_id;
+      }
       seq->admit_s = now_s;
       seq->admit_order = admit_stamp_++;
       ++total_admitted_;
@@ -329,12 +411,29 @@ bool GenerationScheduler::admission_blocked() const {
     // first, replay-sized.
     const ActiveSequence& seq = *requeued_.front();
     const int replay_rows = static_cast<int>(seq.tokens.size()) + 1;
+    if (options_.causal_lm) {
+      const std::vector<int> fed = fed_tokens(seq);
+      const int fed_rows = static_cast<int>(fed.size()) + 1;
+      const auto plan = pool_->plan_causal(fed);
+      if (seq.kv) {
+        return !pool_->can_resume_causal(*seq.kv, plan, fed_rows, headroom);
+      }
+      return !pool_->can_readmit_causal_now(plan, fed_rows, headroom);
+    }
     if (seq.kv) return !pool_->can_resume(*seq.kv, replay_rows, headroom);
     return !pool_->can_readmit_now(seq.request.src_tokens, replay_rows,
                                    headroom);
   }
   if (!queue_.empty()) {
     const serving::GenerationRequest& head = queue_.front();
+    if (options_.causal_lm) {
+      const auto plan = pool_->plan_causal(head.src_tokens);
+      return options_.optimistic_admission
+                 ? !pool_->can_admit_causal_now(plan, headroom)
+                 : !pool_->can_admit_causal(
+                       static_cast<int>(head.src_tokens.size()),
+                       head.max_new_tokens);
+    }
     return options_.optimistic_admission
                ? !pool_->can_admit_now(head.src_tokens, headroom)
                : !pool_->can_admit_prompt(head.src_tokens,
@@ -348,6 +447,16 @@ size_t GenerationScheduler::admission_demand_blocks() const {
   const size_t bt = static_cast<size_t>(pool_->options().block_tokens);
   if (!requeued_.empty()) {
     const ActiveSequence& seq = *requeued_.front();
+    if (options_.causal_lm) {
+      // Rows the resume must materialize beyond the adopted radix prefix,
+      // plus the chain blocks adoption moves out of the evictable tier.
+      const std::vector<int> fed = fed_tokens(seq);
+      const auto plan = pool_->plan_causal(fed);
+      const size_t rows = fed.size() + 1 - static_cast<size_t>(plan.prefix_rows);
+      return pool_->blocks_for_causal_now(plan) +
+             pool_->blocks_per_boundary() * ((rows + bt - 1) / bt - 1) +
+             headroom;
+    }
     const size_t rows = seq.tokens.size() + 1;
     const size_t replay = pool_->blocks_per_boundary() * ((rows + bt - 1) / bt);
     if (seq.kv) return replay + headroom;  // cross share still resident
@@ -357,6 +466,10 @@ size_t GenerationScheduler::admission_demand_blocks() const {
            pool_->blocks_per_boundary() + headroom;
   }
   if (!queue_.empty()) {
+    if (options_.causal_lm) {
+      const auto plan = pool_->plan_causal(queue_.front().src_tokens);
+      return pool_->blocks_for_causal_now(plan) + headroom;
+    }
     return pool_->blocks_for_admit_now(queue_.front().src_tokens) + headroom;
   }
   return 0;
@@ -367,6 +480,9 @@ size_t GenerationScheduler::shed(size_t bytes) {
   const auto freed = [&] {
     return before - pool_->stats().current_device_bytes;
   };
+  // The radix cache tier goes first: it is exactly the memory that costs
+  // no running sequence anything to lose (only future prefix hits).
+  if (freed() < bytes) pool_->drop_radix_cache();
   while (freed() < bytes) {
     // Lowest-ranked preemptible sequence loses, same strict order the
     // internal grow-or-preempt path uses. A sequence that still owes its
@@ -395,6 +511,17 @@ GenerationScheduler::retire_finished() {
   std::vector<std::unique_ptr<ActiveSequence>> retired;
   for (auto& seq : active_) {
     if (seq->finished) {
+      if (options_.causal_lm && seq->kv && !seq->kv->parked()) {
+        // Donate the retiring sequence's materialized self rows to the
+        // radix tier: whole blocks of fed tokens it actually wrote (steps
+        // executed = rows [0, step)), so later turns of this conversation —
+        // and siblings sharing its prompt prefix — skip the recompute.
+        std::vector<int> fed = fed_tokens(*seq);
+        if (static_cast<size_t>(seq->step) < fed.size()) {
+          fed.resize(static_cast<size_t>(seq->step));
+        }
+        pool_->donate_radix(*seq->kv, fed);
+      }
       seq->kv.reset();  // KV blocks return to the pool immediately
       ++total_retired_;
       retired.push_back(std::move(seq));

@@ -88,6 +88,12 @@ struct GenSchedulerOptions {
   // Admit on current marginal demand instead of the worst case, absorbing
   // the oversubscription with preempt-and-requeue.
   bool optimistic_admission = false;
+  // Decoder-only serving: requests are causal-LM prompts prefilled through
+  // the decode loop. Admission goes through the pool's radix-aware causal
+  // path (admit_causal / resume_causal), a (re)admitted sequence starts at
+  // step kv->prefix_rows() instead of 0, and retiring sequences donate
+  // their block-aligned fed history to the radix cache tier.
+  bool causal_lm = false;
   VictimPolicy victim_policy = VictimPolicy::kMostRecentlyAdmitted;
   VictimSelector victim_selector;
 };
@@ -213,6 +219,10 @@ class GenerationScheduler {
 
   // True when a tracer is attached and recording (one-branch gate).
   bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+
+  // Fed-token history of a causal sequence: prompt then generated tokens —
+  // the radix planning/donation key.
+  static std::vector<int> fed_tokens(const ActiveSequence& seq);
 
   KvCachePool* pool_;
   const serving::CostTable* costs_;

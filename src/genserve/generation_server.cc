@@ -36,9 +36,20 @@ serving::CostTable resolve_cost_table(const ModelBundle& bundle,
 std::shared_ptr<ModelBundle> require_bundle(
     std::shared_ptr<ModelBundle> bundle) {
   TT_CHECK_MSG(bundle != nullptr, "GenerationServer needs a model bundle");
-  TT_CHECK(bundle->encoder != nullptr);
+  TT_CHECK_MSG(bundle->decoder_only() || bundle->encoder != nullptr,
+               "seq2seq bundle " << bundle->label() << " has no encoder");
   TT_CHECK(bundle->decoder != nullptr);
   return bundle;
+}
+
+// The serving mode follows the bundle, not the caller: a decoder-only
+// bundle always runs the scheduler's causal-LM path (radix prefix
+// admission, prompt prefill through the decode loop).
+GenSchedulerOptions resolve_scheduler_options(const ModelBundle& bundle,
+                                              const GenServerOptions& options) {
+  GenSchedulerOptions scheduler = options.scheduler;
+  scheduler.causal_lm = bundle.decoder_only();
+  return scheduler;
 }
 
 // Monotonic time_point -> the obs tick domain (both are steady_clock, so
@@ -68,7 +79,8 @@ GenerationServer::GenerationServer(std::shared_ptr<ModelBundle> bundle,
       config_(bundle_->config),
       costs_(resolve_cost_table(*bundle_, options)),
       pool_(config_, options.pool),
-      scheduler_(&pool_, &costs_, options.scheduler),
+      scheduler_(&pool_, &costs_, resolve_scheduler_options(*bundle_, options)),
+      causal_(bundle_->decoder_only()),
       observe_costs_(options.observe_step_costs),
       observe_alpha_(options.cost_observe_alpha),
       epoch_(std::chrono::steady_clock::now()) {
@@ -95,6 +107,12 @@ void GenerationServer::bind_metrics() {
   m_resumed_ = &metrics_->counter(p + "resumes");
   m_evicted_ = &metrics_->counter(p + "evictions");
   m_replayed_ = &metrics_->counter(p + "replayed_tokens");
+  m_prefilled_ = &metrics_->counter(p + "prefilled_tokens");
+  m_radix_hits_ = &metrics_->counter(p + "radix_hits");
+  m_radix_hit_rows_ = &metrics_->counter(p + "radix_hit_rows");
+  m_radix_evictions_ = &metrics_->counter(p + "radix_evictions");
+  g_radix_cached_blocks_ = &metrics_->gauge(p + "radix_cached_blocks");
+  g_radix_evictable_blocks_ = &metrics_->gauge(p + "radix_evictable_blocks");
   g_active_ = &metrics_->gauge(p + "active_sequences");
   g_kv_bytes_ = &metrics_->gauge(p + "kv_bytes_in_use");
   g_device_bytes_ = &metrics_->gauge(p + "kv_device_bytes");
@@ -145,6 +163,9 @@ int GenerationServer::step() {
   const size_t preempted_before = scheduler_.total_preempted();
   const size_t resumed_before = scheduler_.total_resumed();
   const size_t evicted_before = scheduler_.total_evicted();
+  const size_t radix_hits_before = pool_.radix_hits();
+  const size_t radix_hit_rows_before = pool_.radix_hit_rows();
+  const size_t radix_evictions_before = pool_.radix_evictions();
 
   // Iteration-level batch formation: newly admitted sequences run the
   // encoder as one zero-padded variable-length batch (the §4.2 allocator +
@@ -177,8 +198,17 @@ int GenerationServer::step() {
   // First admits that ran the encoder this iteration, counted before
   // prepare_step can preempt one of them (which would bump its
   // preempt_count and make it indistinguishable from a resume later).
+  // Causal sequences never encode (empty share, born ready); the sharing
+  // count for them is first admits that adopted a radix prefix.
   int fresh_encoded = 0;
+  int radix_admits = 0;
   for (ActiveSequence* seq : admitted) {
+    if (causal_) {
+      if (seq->preempt_count == 0 && seq->kv->prefix_rows() > 0) {
+        ++radix_admits;
+      }
+      continue;
+    }
     if (seq->kv->needs_cross_init()) {
       to_encode.push_back(seq);
       if (seq->preempt_count == 0) ++fresh_encoded;
@@ -240,9 +270,13 @@ int GenerationServer::step() {
     slots[static_cast<size_t>(b)] =
         model::Seq2SeqDecoder::StepSlot{seq.last_token, seq.step,
                                         seq.kv.get()};
-    max_ctx_now =
-        std::max(max_ctx_now,
-                 static_cast<int>(seq.request.src_tokens.size()) + seq.step + 1);
+    // Causal context is the self rows alone (the prompt lives in them);
+    // seq2seq attends source + generated.
+    max_ctx_now = std::max(
+        max_ctx_now,
+        causal_ ? seq.step + 1
+                : static_cast<int>(seq.request.src_tokens.size()) + seq.step +
+                      1);
   }
   const int vocab = config_.vocab;
   logits_.resize(static_cast<size_t>(nb) * vocab);
@@ -273,6 +307,7 @@ int GenerationServer::step() {
   const uint64_t t_stream0 = tracing ? obs::now_ticks() : 0;
   int finished_now = 0;
   int replayed_now = 0;
+  int prefilled_now = 0;
   for (int b = 0; b < nb; ++b) {
     ActiveSequence& seq = *stepping[static_cast<size_t>(b)];
     const float* row = logits_.data() + static_cast<size_t>(b) * vocab;
@@ -280,12 +315,27 @@ int GenerationServer::step() {
         static_cast<int>(std::max_element(row, row + vocab) - row);
     const int step_idx = seq.step;
     ++seq.step;
-    if (step_idx < seq.replay) {
-      TT_CHECK_MSG(token == seq.tokens[static_cast<size_t>(step_idx)],
+    // Causal prefill: feeding prompt row step_idx produces logits for
+    // position step_idx + 1; while that position is still inside the
+    // prompt the prediction is discarded and the real prompt token is fed
+    // next — nothing streams. emit_idx is the generated-token index this
+    // step produced (seq2seq prefills through the encoder, so there the
+    // step index is already it).
+    const int prompt_len =
+        causal_ ? static_cast<int>(seq.request.src_tokens.size()) : 0;
+    const int emit_idx = causal_ ? step_idx + 1 - prompt_len : step_idx;
+    if (emit_idx < 0) {
+      seq.last_token =
+          seq.request.src_tokens[static_cast<size_t>(step_idx) + 1];
+      ++prefilled_now;
+      continue;
+    }
+    if (emit_idx < seq.replay) {
+      TT_CHECK_MSG(token == seq.tokens[static_cast<size_t>(emit_idx)],
                    "preemption replay diverged for request "
                        << seq.request.id << " at step " << step_idx << ": "
                        << token << " != "
-                       << seq.tokens[static_cast<size_t>(step_idx)]);
+                       << seq.tokens[static_cast<size_t>(emit_idx)]);
       seq.last_token = token;
       ++replayed_now;
       continue;
@@ -301,10 +351,10 @@ int GenerationServer::step() {
       }
     }
     if (seq.finished) ++finished_now;
-    if (tracing && step_idx == 0) {
-      // First streamed token of the sequence (replayed positions never get
-      // here, so this fires exactly once per request): the queueing pass
-      // anchors time-to-first-token on it.
+    if (tracing && emit_idx == 0) {
+      // First streamed token of the sequence (replayed and prefill
+      // positions never get here, so this fires exactly once per request):
+      // the queueing pass anchors time-to-first-token on it.
       tracer_.instant(obs::SpanKind::kStream, seq.request.id);
     }
     const auto cb = callbacks_.find(seq.request.id);
@@ -332,7 +382,13 @@ int GenerationServer::step() {
   }
   if (tracing) {
     tracer_.span(obs::SpanKind::kStream, t_stream0, obs::now_ticks(),
-                 /*seq=*/-1, nb, nb - replayed_now);
+                 /*seq=*/-1, nb, nb - replayed_now - prefilled_now);
+    const size_t radix_evicted_now =
+        pool_.radix_evictions() - radix_evictions_before;
+    if (radix_evicted_now > 0) {
+      tracer_.instant(obs::SpanKind::kRadixEvict, /*seq=*/-1,
+                      static_cast<int32_t>(radix_evicted_now));
+    }
   }
 
   ++iteration_;
@@ -342,8 +398,16 @@ int GenerationServer::step() {
   m_resumed_->add(scheduler_.total_resumed() - resumed_before);
   m_evicted_->add(scheduler_.total_evicted() - evicted_before);
   m_replayed_->add(static_cast<uint64_t>(replayed_now));
-  m_tokens_->add(static_cast<uint64_t>(nb - replayed_now));
+  m_prefilled_->add(static_cast<uint64_t>(prefilled_now));
+  m_tokens_->add(static_cast<uint64_t>(nb - replayed_now - prefilled_now));
   m_completed_->add(retired.size());
+  m_radix_hits_->add(pool_.radix_hits() - radix_hits_before);
+  m_radix_hit_rows_->add(pool_.radix_hit_rows() - radix_hit_rows_before);
+  m_radix_evictions_->add(pool_.radix_evictions() - radix_evictions_before);
+  g_radix_cached_blocks_->set(
+      static_cast<double>(pool_.radix_cached_blocks()));
+  g_radix_evictable_blocks_->set(
+      static_cast<double>(pool_.radix_evictable_blocks()));
   h_step_ms_->record(step_ms);
   h_batch_->record(static_cast<double>(nb));
   g_active_->set(static_cast<double>(pool_.active_sequences()));
@@ -356,9 +420,11 @@ int GenerationServer::step() {
     stats.active = nb;
     stats.admitted =
         static_cast<int>(scheduler_.total_admitted() - admitted_before);
-    // First admits that skipped the encoder via a prompt match (resumed
-    // sequences are excluded from both counts).
-    stats.admitted_shared = stats.admitted - fresh_encoded;
+    // First admits that skipped work via sharing: a prompt match for
+    // seq2seq (encoder skipped), a radix prefix hit for causal (prompt
+    // rows adopted). Resumed sequences are excluded from both counts.
+    stats.admitted_shared =
+        causal_ ? radix_admits : stats.admitted - fresh_encoded;
     stats.retired = static_cast<int>(retired.size());
     stats.preempted =
         static_cast<int>(scheduler_.total_preempted() - preempted_before);
@@ -367,6 +433,7 @@ int GenerationServer::step() {
     stats.evicted =
         static_cast<int>(scheduler_.total_evicted() - evicted_before);
     stats.replayed = replayed_now;
+    stats.prefilled = prefilled_now;
     stats.kv_bytes_in_use = pool_.bytes_in_use();
     stats.kv_device_bytes = pool_.stats().current_device_bytes;
     stats.kv_blocks_in_use = pool_.blocks_in_use();

@@ -71,12 +71,15 @@ struct StepStats {
   int active = 0;                   // sequences in this fused step
   int admitted = 0;                 // joined this iteration (first admits)
   int admitted_shared = 0;          // of those, joined via a prompt match
-                                    // (cross blocks shared, encoder skipped)
+                                    // (cross blocks shared, encoder skipped;
+                                    // causal: adopted a radix prefix)
   int retired = 0;                  // finished this iteration
   int preempted = 0;                // victims parked this iteration
   int resumed = 0;                  // requeued sequences re-admitted
   int evicted = 0;                  // parked cross shares dropped
   int replayed = 0;                 // step slots re-deriving parked tokens
+  int prefilled = 0;                // causal step slots still feeding prompt
+                                    // tokens (nothing streamed)
   size_t kv_bytes_in_use = 0;       // live sequences' blocks
   size_t kv_device_bytes = 0;       // slab footprint (device reservation)
   size_t kv_blocks_in_use = 0;      // unique live blocks
@@ -206,6 +209,7 @@ class GenerationServer {
   serving::CostTable costs_;
   KvCachePool pool_;
   GenerationScheduler scheduler_;
+  bool causal_ = false;  // decoder-only bundle: causal-LM serving path
   std::unordered_map<int64_t, serving::TokenCallback> callbacks_;
   std::vector<serving::GenerationResponse> completed_;
   std::vector<float> logits_;  // step scratch [max_active, vocab]
@@ -236,6 +240,12 @@ class GenerationServer {
   obs::Counter* m_resumed_ = nullptr;
   obs::Counter* m_evicted_ = nullptr;
   obs::Counter* m_replayed_ = nullptr;
+  obs::Counter* m_prefilled_ = nullptr;
+  obs::Counter* m_radix_hits_ = nullptr;
+  obs::Counter* m_radix_hit_rows_ = nullptr;
+  obs::Counter* m_radix_evictions_ = nullptr;
+  obs::Gauge* g_radix_cached_blocks_ = nullptr;
+  obs::Gauge* g_radix_evictable_blocks_ = nullptr;
   obs::Gauge* g_active_ = nullptr;
   obs::Gauge* g_kv_bytes_ = nullptr;
   obs::Gauge* g_device_bytes_ = nullptr;

@@ -146,12 +146,18 @@ KvCachePool::KvCachePool(const model::ModelConfig& config,
                                             : options_.budget_client_name,
         options_.budget_guarantee_bytes);
   }
+  radix_ = std::make_unique<BlockRadixTree>(options_.block_tokens, num_layers_,
+                                            options_.chunk_hash_override);
 }
 
 KvCachePool::~KvCachePool() {
   // Sequences must not outlive the pool; a live one here would dangle.
   TT_CHECK_EQ(active_, 0);
   TT_CHECK(shares_.empty());
+  // With no live sequence every radix node is unpinned, so the cache tier
+  // drains completely and the footprint returns to zero.
+  drop_radix_cache();
+  TT_CHECK_EQ(blocks_in_use_, 0u);
   if (options_.slab_budget != nullptr) {
     // All sequences released -> every slab swept -> zero bytes charged.
     options_.slab_budget->unregister_client(budget_client_);
@@ -166,7 +172,9 @@ size_t KvCachePool::self_blocks_for(int max_new_tokens) const {
 }
 
 size_t KvCachePool::cross_blocks_for(int s_src) const {
-  TT_CHECK_GE(s_src, 1);
+  // s_src == 0 is the causal (decoder-only) case: no encoder, no cross
+  // blocks.
+  TT_CHECK_GE(s_src, 0);
   return static_cast<size_t>(num_layers_) *
          ceil_div(static_cast<size_t>(s_src),
                   static_cast<size_t>(options_.block_tokens));
@@ -176,15 +184,28 @@ size_t KvCachePool::blocks_for(int s_src, int max_new_tokens) const {
   return cross_blocks_for(s_src) + self_blocks_for(max_new_tokens);
 }
 
+KvCachePool::SharePlan KvCachePool::plan_share(
+    const std::vector<int>& prompt_tokens) const {
+  SharePlan plan;
+  if (options_.enable_prefix_sharing) plan.share_id = find_share(prompt_tokens);
+  return plan;
+}
+
 size_t KvCachePool::blocks_for_prompt(const std::vector<int>& prompt_tokens,
                                       int max_new_tokens) const {
-  const int s_src = static_cast<int>(prompt_tokens.size());
-  if (options_.enable_prefix_sharing && find_share(prompt_tokens) >= 0) {
+  return blocks_for_prompt(prompt_tokens, max_new_tokens,
+                           plan_share(prompt_tokens));
+}
+
+size_t KvCachePool::blocks_for_prompt(const std::vector<int>& prompt_tokens,
+                                      int max_new_tokens,
+                                      const SharePlan& plan) const {
+  if (plan.share_id >= 0) {
     // The prompt is resident: its cross blocks (and their reservation) are
     // already charged to the live share, so only the self side is marginal.
     return self_blocks_for(max_new_tokens);
   }
-  return blocks_for(s_src, max_new_tokens);
+  return blocks_for(static_cast<int>(prompt_tokens.size()), max_new_tokens);
 }
 
 size_t KvCachePool::max_blocks() const {
@@ -230,13 +251,25 @@ bool KvCachePool::can_admit(int s_src, int max_new_tokens) const {
 
 bool KvCachePool::can_admit_prompt(const std::vector<int>& prompt_tokens,
                                    int max_new_tokens) const {
-  return blocks_reserved_ + blocks_for_prompt(prompt_tokens, max_new_tokens) <=
+  return can_admit_prompt(prompt_tokens, max_new_tokens,
+                          plan_share(prompt_tokens));
+}
+
+bool KvCachePool::can_admit_prompt(const std::vector<int>& prompt_tokens,
+                                   int max_new_tokens,
+                                   const SharePlan& plan) const {
+  return blocks_reserved_ +
+             blocks_for_prompt(prompt_tokens, max_new_tokens, plan) <=
          max_blocks();
 }
 
-uint64_t KvCachePool::prompt_hash(const std::vector<int>& prompt_tokens) {
+uint64_t KvCachePool::prompt_hash(const std::vector<int>& prompt_tokens) const {
   // Exact-match confirmation happens against the stored prompt, so
-  // collisions cost a compare, never correctness.
+  // collisions cost a compare, never correctness (the override exists so
+  // tests can force that path deterministically).
+  if (options_.prompt_hash_override) {
+    return options_.prompt_hash_override(prompt_tokens);
+  }
   return fnv1a_tokens(prompt_tokens);
 }
 
@@ -254,6 +287,9 @@ int64_t KvCachePool::create_share(std::vector<int> prompt_tokens, int s_src) {
   const int64_t id = next_share_id_++;
   CrossShare share;
   share.key = prompt_hash(prompt_tokens);
+  // A causal share owns no cross blocks and nothing to encode: born ready,
+  // so needs_cross_init() is always false for decoder-only sequences.
+  share.ready = (s_src == 0);
   share.reserved_blocks = cross_blocks_for(s_src);
   blocks_reserved_ += share.reserved_blocks;
   const size_t per_layer =
@@ -311,8 +347,9 @@ std::unique_ptr<SequenceKv> KvCachePool::admit_with_share(int64_t seq_id,
   ++active_;
 
   seq->self_blocks_.resize(static_cast<size_t>(num_layers_));
+  make_room(static_cast<size_t>(num_layers_));
   for (auto& layer : seq->self_blocks_) layer.push_back(alloc_block());
-  TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
+  TT_CHECK_LE(blocks_in_use_, blocks_reserved_ + radix_cached_blocks());
   live_.insert(seq.get());
   return seq;
 }
@@ -320,17 +357,23 @@ std::unique_ptr<SequenceKv> KvCachePool::admit_with_share(int64_t seq_id,
 std::unique_ptr<SequenceKv> KvCachePool::admit(
     int64_t seq_id, const std::vector<int>& prompt_tokens,
     int max_new_tokens) {
-  const int s_src = static_cast<int>(prompt_tokens.size());
   // Resolve the share once: the same lookup decides both the marginal
   // demand (shared prompts cost no cross blocks) and the mapping.
-  int64_t share_id =
-      options_.enable_prefix_sharing ? find_share(prompt_tokens) : -1;
-  const bool created = share_id < 0;
-  const size_t marginal = created ? blocks_for(s_src, max_new_tokens)
-                                  : self_blocks_for(max_new_tokens);
+  return admit(seq_id, prompt_tokens, max_new_tokens,
+               plan_share(prompt_tokens));
+}
+
+std::unique_ptr<SequenceKv> KvCachePool::admit(
+    int64_t seq_id, const std::vector<int>& prompt_tokens, int max_new_tokens,
+    const SharePlan& plan) {
+  const int s_src = static_cast<int>(prompt_tokens.size());
+  const bool created = plan.share_id < 0;
+  const size_t marginal =
+      blocks_for_prompt(prompt_tokens, max_new_tokens, plan);
   TT_CHECK_MSG(blocks_reserved_ + marginal <= max_blocks(),
                "KV pool over capacity admitting sequence " << seq_id);
-  if (created) share_id = create_share(prompt_tokens, s_src);
+  const int64_t share_id =
+      created ? create_share(prompt_tokens, s_src) : plan.share_id;
   return admit_with_share(seq_id, s_src, max_new_tokens, share_id, created);
 }
 
@@ -347,10 +390,15 @@ std::unique_ptr<SequenceKv> KvCachePool::admit(int64_t seq_id, int s_src,
 
 size_t KvCachePool::blocks_for_admit_now(
     const std::vector<int>& prompt_tokens) const {
+  return blocks_for_admit_now(prompt_tokens, plan_share(prompt_tokens));
+}
+
+size_t KvCachePool::blocks_for_admit_now(const std::vector<int>& prompt_tokens,
+                                         const SharePlan& plan) const {
   // What admit() materializes immediately: cross blocks unless the prompt
   // is resident, plus the first self block of every layer.
   size_t now = static_cast<size_t>(num_layers_);
-  if (!options_.enable_prefix_sharing || find_share(prompt_tokens) < 0) {
+  if (plan.share_id < 0) {
     now += cross_blocks_for(static_cast<int>(prompt_tokens.size()));
   }
   return now;
@@ -358,7 +406,14 @@ size_t KvCachePool::blocks_for_admit_now(
 
 bool KvCachePool::can_admit_now(const std::vector<int>& prompt_tokens,
                                 size_t headroom_blocks) const {
-  return blocks_in_use_ + blocks_for_admit_now(prompt_tokens) +
+  return can_admit_now(prompt_tokens, plan_share(prompt_tokens),
+                       headroom_blocks);
+}
+
+bool KvCachePool::can_admit_now(const std::vector<int>& prompt_tokens,
+                                const SharePlan& plan,
+                                size_t headroom_blocks) const {
+  return charged_blocks() + blocks_for_admit_now(prompt_tokens, plan) +
              headroom_blocks <=
          max_blocks();
 }
@@ -366,34 +421,263 @@ bool KvCachePool::can_admit_now(const std::vector<int>& prompt_tokens,
 bool KvCachePool::can_readmit_now(const std::vector<int>& prompt_tokens,
                                   int token_rows,
                                   size_t headroom_blocks) const {
+  return can_readmit_now(prompt_tokens, plan_share(prompt_tokens), token_rows,
+                         headroom_blocks);
+}
+
+bool KvCachePool::can_readmit_now(const std::vector<int>& prompt_tokens,
+                                  const SharePlan& plan, int token_rows,
+                                  size_t headroom_blocks) const {
   // blocks_for_admit_now already counts the first self block per layer;
   // the remaining replay rows add the blocks beyond it.
   const size_t rows = static_cast<size_t>(std::max(token_rows, 1));
   const size_t replay_extra =
       static_cast<size_t>(num_layers_) *
       (ceil_div(rows, static_cast<size_t>(options_.block_tokens)) - 1);
-  return can_admit_now(prompt_tokens, headroom_blocks + replay_extra);
+  return can_admit_now(prompt_tokens, plan, headroom_blocks + replay_extra);
 }
 
 std::unique_ptr<SequenceKv> KvCachePool::admit_optimistic(
     int64_t seq_id, const std::vector<int>& prompt_tokens,
     int max_new_tokens) {
-  TT_CHECK_MSG(can_admit_now(prompt_tokens),
+  return admit_optimistic(seq_id, prompt_tokens, max_new_tokens,
+                          plan_share(prompt_tokens));
+}
+
+std::unique_ptr<SequenceKv> KvCachePool::admit_optimistic(
+    int64_t seq_id, const std::vector<int>& prompt_tokens, int max_new_tokens,
+    const SharePlan& plan) {
+  TT_CHECK_MSG(can_admit_now(prompt_tokens, plan, 0),
                "KV pool out of blocks optimistically admitting sequence "
                    << seq_id);
-  int64_t share_id =
-      options_.enable_prefix_sharing ? find_share(prompt_tokens) : -1;
-  const bool created = share_id < 0;
-  if (created) {
-    share_id = create_share(prompt_tokens,
-                            static_cast<int>(prompt_tokens.size()));
-  }
+  const bool created = plan.share_id < 0;
+  const int64_t share_id =
+      created ? create_share(prompt_tokens,
+                             static_cast<int>(prompt_tokens.size()))
+              : plan.share_id;
   // The worst case still lands in blocks_reserved_ (inside
   // admit_with_share); under optimistic admission that sum may exceed
   // max_blocks() — the overshoot is exactly the oversubscription that
   // preempt-and-requeue absorbs.
   return admit_with_share(seq_id, static_cast<int>(prompt_tokens.size()),
                           max_new_tokens, share_id, created);
+}
+
+// ---------------------------------------------------------------------------
+// Causal (decoder-only) admission over the radix tier
+// ---------------------------------------------------------------------------
+
+KvCachePool::CausalPlan KvCachePool::plan_causal(
+    const std::vector<int>& fed_tokens) const {
+  CausalPlan plan;
+  if (!options_.enable_radix_tree || fed_tokens.empty()) return plan;
+  // Cap at size - 1: the final fed token's step must run live (its logits
+  // seed the next token), so a fully cached history still replays one row.
+  const auto match = radix_->match(fed_tokens,
+                                   static_cast<int>(fed_tokens.size()) - 1);
+  plan.prefix_rows = match.rows;
+  plan.chain = match.chain;
+  return plan;
+}
+
+size_t KvCachePool::blocks_for_causal(int prompt_len,
+                                      int max_new_tokens) const {
+  TT_CHECK_GE(prompt_len, 1);
+  return self_blocks_for(prompt_len + max_new_tokens);
+}
+
+bool KvCachePool::can_admit_causal(int prompt_len, int max_new_tokens) const {
+  return blocks_reserved_ + blocks_for_causal(prompt_len, max_new_tokens) <=
+         max_blocks();
+}
+
+size_t KvCachePool::blocks_for_causal_now(const CausalPlan& plan) const {
+  // One fresh self block per layer for the first live row, plus the chain
+  // nodes whose bytes currently sit in the evictable tier: adopting those
+  // pins them, moving them into the charged set.
+  size_t now = static_cast<size_t>(num_layers_);
+  for (const auto* node : plan.chain) {
+    if (node->pins == 0) now += static_cast<size_t>(num_layers_);
+  }
+  return now;
+}
+
+bool KvCachePool::can_admit_causal_now(const CausalPlan& plan,
+                                       size_t headroom_blocks) const {
+  return charged_blocks() + blocks_for_causal_now(plan) + headroom_blocks <=
+         max_blocks();
+}
+
+bool KvCachePool::can_readmit_causal_now(const CausalPlan& plan,
+                                         int token_rows,
+                                         size_t headroom_blocks) const {
+  // blocks_for_causal_now covers the first block past the prefix; replay
+  // rows beyond it add the rest.
+  const size_t rows = std::max(static_cast<size_t>(std::max(token_rows, 1)),
+                               static_cast<size_t>(plan.prefix_rows) + 1);
+  const size_t replay_extra =
+      static_cast<size_t>(num_layers_) *
+      (ceil_div(rows, static_cast<size_t>(options_.block_tokens)) -
+       static_cast<size_t>(plan.chain.size()) - 1);
+  return can_admit_causal_now(plan, headroom_blocks + replay_extra);
+}
+
+std::unique_ptr<SequenceKv> KvCachePool::admit_causal(
+    int64_t seq_id, const std::vector<int>& prompt_tokens, int max_new_tokens,
+    const CausalPlan& plan) {
+  TT_CHECK_GE(prompt_tokens.size(), 1u);
+  TT_CHECK_MSG(can_admit_causal_now(plan),
+               "KV pool out of blocks admitting causal sequence " << seq_id);
+  const int total_rows =
+      static_cast<int>(prompt_tokens.size()) + max_new_tokens;
+  // The share is empty (s_src 0): nothing to encode, no cross blocks, but
+  // keeping the share object lets causal sequences reuse the whole
+  // seq2seq lifecycle (fork refcounts, release, invariants) unchanged.
+  const int64_t share_id = create_share({}, /*s_src=*/0);
+  std::unique_ptr<SequenceKv> seq(
+      new SequenceKv(this, seq_id, /*s_src=*/0, total_rows));
+  seq->causal_ = true;
+  seq->share_id_ = share_id;
+  ++shares_.at(share_id).refs;
+  seq->reserved_blocks_ = self_blocks_for(total_rows);
+  blocks_reserved_ += seq->reserved_blocks_;
+  ++active_;
+  seq->self_blocks_.resize(static_cast<size_t>(num_layers_));
+  // Pin before making room: the chain must never be evicted out from
+  // under the admit that is adopting it.
+  attach_radix(*seq, plan);
+  make_room(static_cast<size_t>(num_layers_));
+  for (auto& layer : seq->self_blocks_) layer.push_back(alloc_block());
+  TT_CHECK_LE(blocks_in_use_, blocks_reserved_ + radix_cached_blocks());
+  live_.insert(seq.get());
+  return seq;
+}
+
+bool KvCachePool::can_resume_causal(const SequenceKv& seq,
+                                    const CausalPlan& plan, int token_rows,
+                                    size_t headroom_blocks) const {
+  TT_CHECK(seq.parked_);
+  TT_CHECK(seq.causal_);
+  const size_t rows = std::max(static_cast<size_t>(std::max(token_rows, 1)),
+                               static_cast<size_t>(plan.prefix_rows) + 1);
+  size_t demand =
+      static_cast<size_t>(num_layers_) *
+      (ceil_div(rows, static_cast<size_t>(options_.block_tokens)) -
+       static_cast<size_t>(plan.chain.size()));
+  for (const auto* node : plan.chain) {
+    if (node->pins == 0) demand += static_cast<size_t>(num_layers_);
+  }
+  return charged_blocks() + demand + headroom_blocks <= max_blocks();
+}
+
+void KvCachePool::resume_causal(SequenceKv& seq, const CausalPlan& plan) {
+  TT_CHECK(!seq.released_);
+  TT_CHECK(seq.causal_);
+  TT_CHECK_MSG(can_resume_causal(seq, plan, plan.prefix_rows + 1),
+               "KV pool out of blocks resuming causal sequence " << seq.id_);
+  seq.parked_ = false;
+  --parked_;
+  seq.reserved_blocks_ = self_blocks_for(seq.max_new_);
+  blocks_reserved_ += seq.reserved_blocks_;
+  attach_radix(seq, plan);
+  make_room(static_cast<size_t>(num_layers_));
+  for (auto& layer : seq.self_blocks_) layer.push_back(alloc_block());
+  tracker_.on_resume();
+  TT_CHECK_LE(blocks_in_use_, blocks_reserved_ + radix_cached_blocks());
+}
+
+void KvCachePool::attach_radix(SequenceKv& seq, const CausalPlan& plan) {
+  TT_CHECK(seq.radix_chain_.empty());
+  TT_CHECK_EQ(seq.prefix_rows_, 0);
+  if (plan.chain.empty()) return;
+  TT_CHECK_EQ(static_cast<size_t>(plan.prefix_rows),
+              plan.chain.size() * static_cast<size_t>(options_.block_tokens));
+  radix_->pin_chain(plan.chain);
+  seq.radix_chain_ = plan.chain;
+  seq.prefix_rows_ = plan.prefix_rows;
+  for (int layer = 0; layer < num_layers_; ++layer) {
+    auto& blocks = seq.self_blocks_[static_cast<size_t>(layer)];
+    for (const auto* node : plan.chain) {
+      const int b = node->blocks[static_cast<size_t>(layer)];
+      ref_block(b);
+      blocks.push_back(b);
+    }
+  }
+  ++radix_hits_;
+  radix_hit_rows_ += static_cast<size_t>(plan.prefix_rows);
+}
+
+void KvCachePool::detach_radix(SequenceKv& seq) {
+  if (!seq.radix_chain_.empty()) radix_->unpin_chain(seq.radix_chain_);
+  seq.radix_chain_.clear();
+  seq.prefix_rows_ = 0;
+}
+
+void KvCachePool::donate_radix(const SequenceKv& seq,
+                               const std::vector<int>& fed_tokens) {
+  if (!options_.enable_radix_tree) return;
+  TT_CHECK(seq.causal_);
+  TT_CHECK(!seq.parked_);
+  const int bt = options_.block_tokens;
+  const int full_rows =
+      std::min(static_cast<int>(fed_tokens.size()), seq.capacity_tokens());
+  BlockRadixTree::Node* node = nullptr;
+  for (int first = 0; first + bt <= full_rows; first += bt) {
+    const int* chunk = fed_tokens.data() + first;
+    BlockRadixTree::Node* child = radix_->find_child(node, chunk);
+    if (child == nullptr) {
+      // New chunk: the tree takes its own reference on the sequence's
+      // blocks, so they survive the sequence's release as evictable cache.
+      std::vector<int> layer_blocks(static_cast<size_t>(num_layers_));
+      const size_t idx = static_cast<size_t>(first / bt);
+      for (int layer = 0; layer < num_layers_; ++layer) {
+        const int b = seq.self_blocks_[static_cast<size_t>(layer)][idx];
+        ref_block(b);
+        layer_blocks[static_cast<size_t>(layer)] = b;
+      }
+      child = radix_->insert_child(node, chunk, std::move(layer_blocks));
+    }
+    node = child;
+  }
+}
+
+void KvCachePool::drop_radix_cache() {
+  std::vector<int> freed;
+  while (radix_ && radix_->evict_lru(&freed)) ++radix_evictions_;
+  for (const int b : freed) unref_block(b);
+  sweep_empty_slabs();
+}
+
+size_t KvCachePool::charged_blocks() const {
+  if (radix_ == nullptr) return blocks_in_use_;
+  // Discount only tier bytes that eviction would actually hand back to the
+  // free list: blocks of unpinned nodes held by nothing but the tree. A
+  // donated block still CoW-shared with a live sequence (a fork of the
+  // donor, or another adopter's chain) frees nothing when its node is
+  // evicted — counting it as headroom would let admission gates pass and
+  // then blow the byte cap when make_room runs dry. Unpinned nodes never
+  // have pinned descendants (chains pin root-first), so every block
+  // counted here is genuinely reachable by LRU leaf eviction.
+  size_t reclaimable = 0;
+  radix_->for_each([&](const BlockRadixTree::Node& n) {
+    if (n.pins > 0) return;
+    for (const int b : n.blocks) {
+      if (block_refs_[static_cast<size_t>(b)] == 1) ++reclaimable;
+    }
+  });
+  return blocks_in_use_ - std::min(blocks_in_use_, reclaimable);
+}
+
+void KvCachePool::make_room(size_t fresh) {
+  if (radix_ == nullptr) return;
+  // Freed blocks go back on the free list (not swept): the allocation this
+  // call is making room for reuses them directly, without slab churn.
+  std::vector<int> freed;
+  while (blocks_in_use_ + fresh > max_blocks() && radix_->evict_lru(&freed)) {
+    for (const int b : freed) unref_block(b);
+    freed.clear();
+    ++radix_evictions_;
+  }
 }
 
 void KvCachePool::preempt(SequenceKv& seq) {
@@ -404,6 +688,10 @@ void KvCachePool::preempt(SequenceKv& seq) {
   const size_t before = blocks_in_use_;
   // Drop every self reference. A block CoW-shared with a fork stays live
   // through the other holders — only the victim's unshared storage frees.
+  // An adopted radix prefix is surrendered too (unpinned back into the
+  // evictable tier); resume re-plans against the tree, so a prefix that
+  // survives eviction until then is re-adopted instead of replayed.
+  detach_radix(seq);
   for (auto& layer : seq.self_blocks_) {
     for (const int b : layer) unref_block(b);
     layer.clear();
@@ -423,7 +711,7 @@ bool KvCachePool::can_resume(const SequenceKv& seq, int token_rows,
   const size_t replay_blocks =
       static_cast<size_t>(num_layers_) *
       ceil_div(rows, static_cast<size_t>(options_.block_tokens));
-  return blocks_in_use_ + replay_blocks + headroom_blocks <= max_blocks();
+  return charged_blocks() + replay_blocks + headroom_blocks <= max_blocks();
 }
 
 void KvCachePool::resume(SequenceKv& seq) {
@@ -434,9 +722,10 @@ void KvCachePool::resume(SequenceKv& seq) {
   --parked_;
   seq.reserved_blocks_ = self_blocks_for(seq.max_new_);
   blocks_reserved_ += seq.reserved_blocks_;
+  make_room(static_cast<size_t>(num_layers_));
   for (auto& layer : seq.self_blocks_) layer.push_back(alloc_block());
   tracker_.on_resume();
-  TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
+  TT_CHECK_LE(blocks_in_use_, blocks_reserved_ + radix_cached_blocks());
 }
 
 bool KvCachePool::can_fork(const SequenceKv& parent) const {
@@ -458,12 +747,19 @@ std::unique_ptr<SequenceKv> KvCachePool::fork(const SequenceKv& parent,
   for (const auto& layer : child->self_blocks_) {
     for (const int b : layer) ref_block(b);
   }
+  // A causal child inherits the parent's pinned radix prefix — pinning it
+  // again keeps the invariant that every sequence-held tree block belongs
+  // to a pinned node (so the evictable tier is always genuinely freeable).
+  child->causal_ = parent.causal_;
+  child->prefix_rows_ = parent.prefix_rows_;
+  child->radix_chain_ = parent.radix_chain_;
+  if (!child->radix_chain_.empty()) radix_->pin_chain(child->radix_chain_);
   child->reserved_blocks_ = self_blocks_for(parent.max_new_);
   blocks_reserved_ += child->reserved_blocks_;
   ++active_;
   ++forks_;
   live_.insert(child.get());
-  TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
+  TT_CHECK_LE(blocks_in_use_, blocks_reserved_ + radix_cached_blocks());
   return child;
 }
 
@@ -482,6 +778,9 @@ bool KvCachePool::try_ensure_token(SequenceKv& seq, int t) {
                "growing preempted sequence " << seq.id_ << " before resume");
   TT_CHECK_GE(t, 0);
   TT_CHECK_LT(t, seq.max_new_);
+  // Adopted radix rows are shared history: rewriting one would corrupt
+  // every other adopter. The caller decodes from prefix_rows() onward.
+  if (seq.causal_) TT_CHECK_GE(t, seq.prefix_rows_);
   const int bt = options_.block_tokens;
   const size_t need = static_cast<size_t>(t / bt) + 1;
   // Count the new blocks this grow would materialize — growth to cover t
@@ -497,7 +796,12 @@ bool KvCachePool::try_ensure_token(SequenceKv& seq, int t) {
       ++fresh;
     }
   }
-  if (fresh > 0 && blocks_in_use_ + fresh > max_blocks()) return false;
+  if (fresh > 0 && blocks_in_use_ + fresh > max_blocks()) {
+    // Reclaim evictable radix nodes before giving up: cached bytes are a
+    // lower tier than live growth.
+    make_room(fresh);
+    if (blocks_in_use_ + fresh > max_blocks()) return false;
+  }
   for (int layer = 0; layer < num_layers_; ++layer) {
     auto& blocks = seq.self_blocks_[static_cast<size_t>(layer)];
     while (blocks.size() < need) blocks.push_back(alloc_block());
@@ -515,13 +819,15 @@ bool KvCachePool::try_ensure_token(SequenceKv& seq, int t) {
   }
   // Every holder's reservation covers its worst case (every self block
   // uniquely owned), so growth and CoW never push usage past the summed
-  // reservations — even when those reservations oversubscribe capacity.
-  TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
+  // reservations plus the tree-held cache tier — even when reservations
+  // oversubscribe capacity.
+  TT_CHECK_LE(blocks_in_use_, blocks_reserved_ + radix_cached_blocks());
   return true;
 }
 
 void KvCachePool::release(SequenceKv& seq) {
   TT_CHECK(!seq.released_);
+  detach_radix(seq);
   for (auto& layer : seq.self_blocks_) {
     for (const int b : layer) unref_block(b);
     layer.clear();
@@ -651,24 +957,48 @@ void KvCachePool::check_invariants() const {
   // Reconstruct every block's expected refcount from first principles: one
   // reference per holding sequence (self) plus one per share (cross).
   std::vector<int> expected(block_refs_.size(), 0);
+  std::unordered_map<const BlockRadixTree::Node*, int> expected_pins;
   size_t reserved = 0;
   int parked = 0;
   for (const SequenceKv* seq : live_) {
     TT_CHECK(!seq->released_);
     TT_CHECK(shares_.find(seq->share_id_) != shares_.end());
     if (seq->parked_) {
-      // A parked sequence surrendered its self blocks and reservation; it
-      // holds only its cross share until resume.
+      // A parked sequence surrendered its self blocks, its reservation and
+      // its radix chain; it holds only its cross share until resume.
       ++parked;
       TT_CHECK_EQ(seq->reserved_blocks_, 0u);
       for (const auto& layer : seq->self_blocks_) TT_CHECK(layer.empty());
+      TT_CHECK(seq->radix_chain_.empty());
+      TT_CHECK_EQ(seq->prefix_rows_, 0);
     }
     for (const auto& layer : seq->self_blocks_) {
       for (const int b : layer) ++expected[static_cast<size_t>(b)];
     }
+    // An adopted chain is pinned once per holder, block-aligned, and its
+    // node blocks are exactly the sequence's leading self blocks.
+    TT_CHECK_EQ(static_cast<size_t>(seq->prefix_rows_),
+                seq->radix_chain_.size() *
+                    static_cast<size_t>(options_.block_tokens));
+    for (size_t i = 0; i < seq->radix_chain_.size(); ++i) {
+      const BlockRadixTree::Node* node = seq->radix_chain_[i];
+      ++expected_pins[node];
+      for (int layer = 0; layer < num_layers_; ++layer) {
+        TT_CHECK_EQ(node->blocks[static_cast<size_t>(layer)],
+                    seq->self_blocks_[static_cast<size_t>(layer)][i]);
+      }
+    }
     reserved += seq->reserved_blocks_;
   }
   TT_CHECK_EQ(parked, parked_);
+  if (radix_ != nullptr) {
+    radix_->check_invariants();
+    radix_->for_each([&](const BlockRadixTree::Node& node) {
+      const auto it = expected_pins.find(&node);
+      TT_CHECK_EQ(node.pins, it == expected_pins.end() ? 0 : it->second);
+      for (const int b : node.blocks) ++expected[static_cast<size_t>(b)];
+    });
+  }
   size_t share_refs = 0;
   for (const auto& [id, share] : shares_) {
     TT_CHECK_GT(share.refs, 0);
@@ -690,7 +1020,7 @@ void KvCachePool::check_invariants() const {
     if (expected[b] > 0) ++unique;
   }
   TT_CHECK_EQ(unique, blocks_in_use_);
-  TT_CHECK_LE(blocks_in_use_, blocks_reserved_);
+  TT_CHECK_LE(blocks_in_use_, blocks_reserved_ + radix_cached_blocks());
 
   const size_t per_slab = static_cast<size_t>(options_.blocks_per_slab);
   std::vector<int> slab_live(slabs_.size(), 0);
@@ -729,6 +1059,11 @@ void KvCachePool::check_invariants() const {
 PooledBeamKv::PooledBeamKv(KvCachePool* pool, int64_t first_id)
     : pool_(pool), next_id_(first_id) {
   TT_CHECK(pool_ != nullptr);
+  // Beam ids descend from first_id while server request ids ascend from 0;
+  // a non-negative start would eventually collide with a served sequence
+  // in a shared pool.
+  TT_CHECK_MSG(first_id < 0, "PooledBeamKv first_id must be negative, got "
+                                 << first_id);
 }
 
 std::unique_ptr<model::KvCacheView> PooledBeamKv::create(int s_src,

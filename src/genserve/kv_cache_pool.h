@@ -59,12 +59,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/aligned_buffer.h"
+#include "genserve/radix_tree.h"
 #include "memory/allocator.h"
 #include "memory/slab_budget.h"
 #include "model/config.h"
@@ -80,6 +82,15 @@ struct KvPoolOptions {
   // cross blocks (fork()'s CoW still works). The A/B switch for the
   // prefix-sharing benchmark.
   bool enable_prefix_sharing = true;
+  // When false, plan_causal() never matches and retiring causal sequences
+  // donate nothing: causal admits behave like exact-match-only sharing
+  // (i.e. no sharing at all, since every turn's prompt differs). The A/B
+  // switch for the radix-prefix benchmark. Seq2seq paths ignore it.
+  bool enable_radix_tree = true;
+  // Test hooks: override the prompt hash (find_share collision regression)
+  // and the radix chunk hash (forced-collision tree tests). Empty = FNV-1a.
+  std::function<uint64_t(const std::vector<int>&)> prompt_hash_override;
+  std::function<uint64_t(const int*, int)> chunk_hash_override;
   // Shared cross-pool byte budget (multi-model serving). When set, every
   // slab malloc/free is charged against it, and the pool's effective
   // capacity becomes dynamic: max_blocks() counts the budget's free
@@ -126,6 +137,13 @@ class SequenceKv final : public model::KvCacheView {
   int64_t id() const { return id_; }
   int src_len() const override { return s_src_; }
   int max_new_tokens() const { return max_new_; }
+  // Decoder-only sequence (admit_causal): s_src == 0, no cross K/V, and
+  // max_new_tokens() counts *total* self rows (prompt + generation).
+  bool causal() const { return causal_; }
+  // Self rows [0, prefix_rows) adopted from the radix tier at admit or
+  // resume — already materialized, must never be rewritten; the caller
+  // starts decoding at step prefix_rows(). Always block-aligned.
+  int prefix_rows() const { return prefix_rows_; }
   // True between KvCachePool::preempt and resume: the self blocks are
   // surrendered (row accessors must not be used) while the cross share
   // stays resident, so resume skips the encoder.
@@ -179,7 +197,12 @@ class SequenceKv final : public model::KvCacheView {
   bool released_ = false;
   bool parked_ = false;   // preempted: self blocks surrendered, share kept
   bool cross_creator_ = false;  // this admit owes the share its cross init
+  bool causal_ = false;   // decoder-only: empty share, radix-shareable self
+  int prefix_rows_ = 0;   // self rows adopted from the radix tier
   int64_t share_id_ = -1;  // cross-block share this sequence references
+  // Pinned radix nodes backing self rows [0, prefix_rows_); node i's blocks
+  // are this sequence's self blocks i (additionally refcounted per holder).
+  std::vector<BlockRadixTree::Node*> radix_chain_;
   // [layer][i] -> global block id backing self rows [i*bt, (i+1)*bt).
   std::vector<std::vector<int>> self_blocks_;
 };
@@ -197,13 +220,18 @@ class SequenceKv final : public model::KvCacheView {
 // Invariants (enforced by check_invariants(), fuzzed in
 // tests/kv_pool_property_test.cc):
 //  * every live block's refcount equals the references actually held by
-//    sequences (self) and shares (cross); blocks_in_use_ counts unique
-//    live blocks; a parked sequence holds no self blocks;
-//  * blocks_in_use() <= blocks_reserved() at every point between public
-//    calls. Worst-case admission additionally keeps blocks_reserved() <=
-//    max_blocks(), so grow and CoW can never fail mid-decode; optimistic
-//    admission lets reservations oversubscribe capacity and instead keeps
-//    blocks_in_use() <= max_blocks() by failing try_ensure_token;
+//    sequences (self), shares (cross) and radix nodes; blocks_in_use_
+//    counts unique live blocks; a parked sequence holds no self blocks and
+//    no radix chain;
+//  * blocks_in_use() <= blocks_reserved() + radix_cached_blocks() at every
+//    point between public calls (tree-only blocks are the slack; every
+//    other block is covered by a holder's reservation). Worst-case
+//    admission additionally keeps blocks_reserved() <= max_blocks(), so
+//    grow and CoW can never fail mid-decode — the radix tier preserves
+//    this because unpinned nodes are always evictable down to zero;
+//    optimistic admission lets reservations oversubscribe capacity and
+//    instead keeps blocks_in_use() <= max_blocks() by failing
+//    try_ensure_token;
 //  * a freed block is on the free list of a live slab; empty slabs hold no
 //    buffer; the device footprint returns to exactly zero when the last
 //    sequence releases.
@@ -246,6 +274,23 @@ class KvCachePool {
   bool can_admit_prompt(const std::vector<int>& prompt_tokens,
                         int max_new_tokens) const;
 
+  // Resolved share lookup, computed once per admission attempt. The admit
+  // paths used to re-run find_share() (a full prompt re-hash + compare) up
+  // to three times per admission — once in can_admit_prompt, once in
+  // blocks_for_prompt, once in admit; planning first and passing the plan
+  // through does the lookup exactly once. A plan is a point-in-time
+  // snapshot: use it for one admission on the same thread, before any
+  // other pool mutation, then replan.
+  struct SharePlan {
+    int64_t share_id = -1;  // live share with this exact prompt, or -1
+  };
+  SharePlan plan_share(const std::vector<int>& prompt_tokens) const;
+
+  size_t blocks_for_prompt(const std::vector<int>& prompt_tokens,
+                           int max_new_tokens, const SharePlan& plan) const;
+  bool can_admit_prompt(const std::vector<int>& prompt_tokens,
+                        int max_new_tokens, const SharePlan& plan) const;
+
   // Begin a sequence lifetime keyed by its prompt tokens: reserve the
   // marginal worst case, map cross blocks to an existing live prompt match
   // (refcount++) or allocate them, and allocate the first self block per
@@ -253,6 +298,9 @@ class KvCachePool {
   std::unique_ptr<SequenceKv> admit(int64_t seq_id,
                                     const std::vector<int>& prompt_tokens,
                                     int max_new_tokens);
+  std::unique_ptr<SequenceKv> admit(int64_t seq_id,
+                                    const std::vector<int>& prompt_tokens,
+                                    int max_new_tokens, const SharePlan& plan);
   // Promptless admission (no sharing key): private cross blocks, reserved
   // like blocks_for. Used by pooled beam roots over raw encoder memory.
   std::unique_ptr<SequenceKv> admit(int64_t seq_id, int s_src,
@@ -267,14 +315,21 @@ class KvCachePool {
   // one boundary-crossing per active sequence), damping admit-then-
   // immediately-preempt thrash.
   size_t blocks_for_admit_now(const std::vector<int>& prompt_tokens) const;
+  size_t blocks_for_admit_now(const std::vector<int>& prompt_tokens,
+                              const SharePlan& plan) const;
   bool can_admit_now(const std::vector<int>& prompt_tokens,
                      size_t headroom_blocks = 0) const;
+  bool can_admit_now(const std::vector<int>& prompt_tokens,
+                     const SharePlan& plan, size_t headroom_blocks) const;
   // can_admit_now for a sequence that will immediately re-materialize
   // `token_rows` self rows (an evicted sequence re-admitting to replay its
   // parked tokens): the rows' blocks are part of the demand, mirroring
   // can_resume for parked handles.
   bool can_readmit_now(const std::vector<int>& prompt_tokens, int token_rows,
                        size_t headroom_blocks = 0) const;
+  bool can_readmit_now(const std::vector<int>& prompt_tokens,
+                       const SharePlan& plan, int token_rows,
+                       size_t headroom_blocks) const;
   // Blocks one sequence materializes when it crosses a block-tokens
   // boundary (one per layer) — the unit of growth headroom.
   size_t blocks_per_boundary() const {
@@ -288,6 +343,82 @@ class KvCachePool {
   std::unique_ptr<SequenceKv> admit_optimistic(
       int64_t seq_id, const std::vector<int>& prompt_tokens,
       int max_new_tokens);
+  std::unique_ptr<SequenceKv> admit_optimistic(
+      int64_t seq_id, const std::vector<int>& prompt_tokens,
+      int max_new_tokens, const SharePlan& plan);
+
+  // --- Causal (decoder-only) admission over the radix tier --------------
+  // A causal sequence has no encoder: its prompt is prefilled through the
+  // decoder one token per step, so every self row t is a pure function of
+  // fed tokens [0, t] and any *block-aligned prefix* of fed tokens cached
+  // in the radix tree can be adopted bit-identically instead of recomputed.
+  // The tree is a cache tier below the active pool: unpinned (evictable)
+  // node bytes do not count against the admission gates — charged_blocks()
+  // is what competes for capacity — and are reclaimed LRU-first on demand.
+  //
+  // Plan-then-admit, like SharePlan: plan_causal() resolves the longest
+  // cached prefix once; the admit/resume call adopts exactly that chain.
+  // The match is capped at tokens.size() - 1 rows: the final fed token's
+  // step must always run live, because its logits seed the next token.
+  struct CausalPlan {
+    int prefix_rows = 0;  // block-aligned; chain.size() * block_tokens
+    std::vector<BlockRadixTree::Node*> chain;
+  };
+  CausalPlan plan_causal(const std::vector<int>& fed_tokens) const;
+
+  // Worst-case block demand of one causal sequence: self rows for the
+  // whole prompt plus `max_new_tokens` generated rows, shared prefix
+  // included (the reservation must cover full divergence, so worst-case
+  // admission keeps its never-fails guarantee; the concurrency win comes
+  // from optimistic admission gating on charged_blocks()).
+  size_t blocks_for_causal(int prompt_len, int max_new_tokens) const;
+  bool can_admit_causal(int prompt_len, int max_new_tokens) const;
+  // Blocks an admit with this plan materializes-or-charges right now: one
+  // fresh self block per layer, plus the chain nodes not currently pinned
+  // (adopting them moves their bytes from the evictable tier into the
+  // charged set).
+  size_t blocks_for_causal_now(const CausalPlan& plan) const;
+  bool can_admit_causal_now(const CausalPlan& plan,
+                            size_t headroom_blocks = 0) const;
+  // As can_admit_causal_now for an evicted causal sequence re-admitting to
+  // replay `token_rows` total self rows (fed history + next step); the
+  // rows beyond the plan's prefix are part of the immediate demand.
+  bool can_readmit_causal_now(const CausalPlan& plan, int token_rows,
+                              size_t headroom_blocks = 0) const;
+  // Admit a decoder-only sequence: empty cross share (never encoded),
+  // reservation for prompt + max_new self rows, prefix chain adopted from
+  // `plan` (pinned + refcounted into the sequence), first fresh self block
+  // allocated. Throws CheckError unless can_admit_causal_now(plan). The
+  // caller prefills from step prefix_rows(). Under worst-case admission
+  // gate on can_admit_causal first; the reservation may oversubscribe
+  // capacity otherwise, exactly like admit_optimistic.
+  std::unique_ptr<SequenceKv> admit_causal(
+      int64_t seq_id, const std::vector<int>& prompt_tokens,
+      int max_new_tokens, const CausalPlan& plan);
+
+  // Causal analogues of can_resume/resume: a parked causal sequence
+  // re-plans against its full fed history (prompt + generated so far), so
+  // a resume can adopt *more* cached rows than it was admitted with.
+  bool can_resume_causal(const SequenceKv& seq, const CausalPlan& plan,
+                         int token_rows, size_t headroom_blocks = 0) const;
+  void resume_causal(SequenceKv& seq, const CausalPlan& plan);
+
+  // Donate `seq`'s materialized self rows to the radix tier, covering the
+  // fed tokens it actually wrote (the caller truncates to rows decoded).
+  // Whole blocks only; chunks already cached dedup against the existing
+  // nodes. Called right before the handle is released (retire), so the
+  // donated rows outlive the sequence as evictable cache. No-op when the
+  // radix tier is disabled.
+  void donate_radix(const SequenceKv& seq, const std::vector<int>& fed_tokens);
+
+  // Evict every unpinned radix node, returning its bytes to the free pool
+  // (memory-pressure shedding, pool teardown, A/B resets).
+  void drop_radix_cache();
+
+  // Blocks competing for admission capacity: unique blocks in use minus
+  // the evictable radix tier (those bytes are reclaimable on demand, so
+  // optimistic gates see them as free).
+  size_t charged_blocks() const;
 
   // Preempt `seq`: drop every self-block reference it holds (physical
   // blocks it shared CoW with a fork stay live through the other holders)
@@ -352,6 +483,17 @@ class KvCachePool {
   size_t prefix_hits() const { return prefix_hits_; }   // admits that shared
   size_t cow_copies() const { return cow_copies_; }     // CoW block copies
   size_t forks() const { return forks_; }
+  // Radix-tier counters (monotonic) and gauges.
+  size_t radix_hits() const { return radix_hits_; }       // admits/resumes
+  size_t radix_hit_rows() const { return radix_hit_rows_; }  // rows skipped
+  size_t radix_evictions() const { return radix_evictions_; }  // nodes
+  size_t radix_nodes() const { return radix_ ? radix_->nodes() : 0; }
+  size_t radix_cached_blocks() const {
+    return radix_ ? radix_->cached_blocks() : 0;
+  }
+  size_t radix_evictable_blocks() const {
+    return radix_ ? radix_->evictable_blocks() : 0;
+  }
   // Preemption counters (also folded into stats() via DeviceTracker).
   size_t preemptions() const { return stats().preempt_count; }
   size_t resumes() const { return stats().resume_count; }
@@ -394,7 +536,7 @@ class KvCachePool {
   }
   size_t self_blocks_for(int max_new_tokens) const;
   size_t cross_blocks_for(int s_src) const;
-  static uint64_t prompt_hash(const std::vector<int>& prompt_tokens);
+  uint64_t prompt_hash(const std::vector<int>& prompt_tokens) const;
   // Live share with this exact prompt, or -1.
   int64_t find_share(const std::vector<int>& prompt_tokens) const;
   int64_t create_share(std::vector<int> prompt_tokens, int s_src);
@@ -403,6 +545,16 @@ class KvCachePool {
                                                int max_new_tokens,
                                                int64_t share_id,
                                                bool created_share);
+  // Pin `plan`'s chain into `seq`: one block reference per node per layer,
+  // prefix_rows set; bumps the radix hit counters when the chain is
+  // non-empty.
+  void attach_radix(SequenceKv& seq, const CausalPlan& plan);
+  // Unpin and forget the chain (preempt/release); block unrefs are the
+  // caller's (they walk self_blocks_, which includes the chain blocks).
+  void detach_radix(SequenceKv& seq);
+  // Evict unpinned radix nodes LRU-first until `fresh` more blocks fit
+  // under max_blocks(), or the evictable tier is dry.
+  void make_room(size_t fresh);
 
   int alloc_block();
   void ref_block(int block_id);
@@ -437,9 +589,16 @@ class KvCachePool {
   int64_t next_share_id_ = 0;
   std::unordered_set<const SequenceKv*> live_;  // invariant-check registry
 
+  // Radix cache tier over causal self blocks (always constructed; only
+  // consulted when options_.enable_radix_tree).
+  std::unique_ptr<BlockRadixTree> radix_;
+
   size_t prefix_hits_ = 0;
   size_t cow_copies_ = 0;
   size_t forks_ = 0;
+  size_t radix_hits_ = 0;
+  size_t radix_hit_rows_ = 0;
+  size_t radix_evictions_ = 0;
 };
 
 // model::BeamKvFactory over a KvCachePool: decode()'s beam search allocates
@@ -447,8 +606,11 @@ class KvCachePool {
 // history is shared copy-on-write instead of deep-copied per beam.
 class PooledBeamKv final : public model::BeamKvFactory {
  public:
-  // Sequence ids are drawn from `first_id` downward by default (negative),
-  // keeping them clear of server-issued request ids in shared pools.
+  // Sequence ids are drawn from `first_id` downward (negative), keeping
+  // them clear of server-issued request ids in shared pools: servers issue
+  // ids >= 0 growing upward, beam roots take < 0 growing downward, so the
+  // two spaces can never collide. The constructor enforces first_id < 0
+  // (a non-negative start would march straight into server id territory).
   explicit PooledBeamKv(KvCachePool* pool, int64_t first_id = -1);
 
   std::unique_ptr<model::KvCacheView> create(int s_src, int max_len) override;

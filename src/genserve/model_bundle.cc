@@ -15,9 +15,17 @@ std::shared_ptr<ModelBundle> make_bundle(std::string name, int version,
   bundle->name = std::move(name);
   bundle->version = version;
   bundle->config = config;
-  bundle->encoder = std::make_shared<model::EncoderModel>(config, seed);
+  if (!config.decoder_only) {
+    bundle->encoder = std::make_shared<model::EncoderModel>(config, seed);
+  }
   bundle->decoder = std::make_shared<model::Seq2SeqDecoder>(config, seed);
   return bundle;
+}
+
+std::shared_ptr<ModelBundle> make_decoder_only_bundle(
+    std::string name, int version, model::ModelConfig config, uint64_t seed) {
+  config.decoder_only = true;
+  return make_bundle(std::move(name), version, config, seed);
 }
 
 }  // namespace turbo::genserve

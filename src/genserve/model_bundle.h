@@ -34,12 +34,16 @@ struct ModelBundle {
   std::string name;
   int version = 1;
   model::ModelConfig config;
+  // Null for decoder-only bundles: a causal LM has no encoder, its prompt
+  // is prefilled through the decoder's step loop.
   std::shared_ptr<model::EncoderModel> encoder;
   std::shared_ptr<model::Seq2SeqDecoder> decoder;
   // Per-model admission dictionary. Engines *copy* it at attach time so
   // each engine's observe() feedback (measured fused-step latencies)
   // converges against its own traffic, not a sibling's.
   std::optional<serving::CostTable> cost_table;
+
+  bool decoder_only() const { return config.decoder_only; }
 
   std::string label() const {
     return name + ":v" + std::to_string(version);
@@ -53,6 +57,13 @@ struct ModelBundle {
 std::shared_ptr<ModelBundle> make_bundle(std::string name, int version,
                                          const model::ModelConfig& config,
                                          uint64_t seed = 42);
+
+// Decoder-only (GPT-style) bundle: forces config.decoder_only and builds no
+// encoder. Engines serving it run the causal-LM path — radix prefix
+// sharing over the KV pool, prompt prefill through the fused step loop.
+std::shared_ptr<ModelBundle> make_decoder_only_bundle(
+    std::string name, int version, model::ModelConfig config,
+    uint64_t seed = 42);
 
 // name -> version -> bundle; resolve() implements the request-routing
 // convention (model_version <= 0 = latest, positive = pinned).

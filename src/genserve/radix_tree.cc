@@ -1,0 +1,169 @@
+#include "genserve/radix_tree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace turbo::genserve {
+
+BlockRadixTree::BlockRadixTree(
+    int block_tokens, int num_layers,
+    std::function<uint64_t(const int*, int)> chunk_hash)
+    : block_tokens_(block_tokens),
+      num_layers_(num_layers),
+      hash_override_(std::move(chunk_hash)) {
+  TT_CHECK_GE(block_tokens_, 1);
+  TT_CHECK_GE(num_layers_, 1);
+}
+
+uint64_t BlockRadixTree::chunk_hash(const int* chunk) const {
+  if (hash_override_) return hash_override_(chunk, block_tokens_);
+  return fnv1a_range(chunk, block_tokens_);
+}
+
+BlockRadixTree::Node* BlockRadixTree::find_child(const Node* parent,
+                                                 const int* chunk) const {
+  const Node* node = parent == nullptr ? &root_ : parent;
+  const uint64_t key = chunk_hash(chunk);
+  const auto [begin, end] = node->children.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    // Exact per-node token comparison: a hash collision must never map a
+    // sequence onto another prefix's KV blocks.
+    if (std::equal(it->second->tokens.begin(), it->second->tokens.end(),
+                   chunk)) {
+      return it->second.get();
+    }
+  }
+  return nullptr;
+}
+
+BlockRadixTree::Match BlockRadixTree::match(const std::vector<int>& tokens,
+                                            int max_rows) const {
+  Match m;
+  const int bt = block_tokens_;
+  const int limit =
+      std::min(static_cast<int>(tokens.size()), std::max(max_rows, 0));
+  const Node* node = nullptr;  // root
+  for (int first = 0; first + bt <= limit; first += bt) {
+    Node* child = find_child(node, tokens.data() + first);
+    if (child == nullptr) break;
+    m.chain.push_back(child);
+    m.rows += bt;
+    node = child;
+  }
+  return m;
+}
+
+BlockRadixTree::Node* BlockRadixTree::insert_child(
+    Node* parent, const int* chunk, std::vector<int> layer_blocks) {
+  TT_CHECK_EQ(layer_blocks.size(), static_cast<size_t>(num_layers_));
+  TT_CHECK_MSG(find_child(parent, chunk) == nullptr,
+               "duplicate radix chunk insert");
+  auto node = std::make_unique<Node>();
+  node->parent = parent;
+  node->tokens.assign(chunk, chunk + block_tokens_);
+  node->blocks = std::move(layer_blocks);
+  node->hash = chunk_hash(chunk);
+  node->stamp = ++clock_;
+  Node* raw = node.get();
+  Node* owner = parent == nullptr ? &root_ : parent;
+  owner->children.emplace(raw->hash, std::move(node));
+  ++node_count_;
+  ++evictable_nodes_;  // born unpinned
+  return raw;
+}
+
+void BlockRadixTree::pin_chain(const std::vector<Node*>& chain) {
+  for (Node* node : chain) {
+    if (node->pins++ == 0) {
+      TT_CHECK_GT(evictable_nodes_, 0u);
+      --evictable_nodes_;
+    }
+    node->stamp = ++clock_;
+  }
+}
+
+void BlockRadixTree::unpin_chain(const std::vector<Node*>& chain) {
+  for (Node* node : chain) {
+    TT_CHECK_GT(node->pins, 0);
+    if (--node->pins == 0) ++evictable_nodes_;
+  }
+}
+
+bool BlockRadixTree::evict_lru(std::vector<int>* freed_blocks) {
+  // Leaf-first LRU: an interior node only becomes a candidate once its
+  // subtree has drained, so every cached node stays reachable from the
+  // root (its whole prefix chain is still present).
+  Node* victim = nullptr;
+  std::function<void(Node&)> walk = [&](Node& node) {
+    for (auto& [key, child] : node.children) {
+      if (child->pins == 0 && child->children.empty() &&
+          (victim == nullptr || child->stamp < victim->stamp)) {
+        victim = child.get();
+      }
+      walk(*child);
+    }
+  };
+  walk(root_);
+  if (victim == nullptr) return false;
+  if (freed_blocks != nullptr) {
+    freed_blocks->insert(freed_blocks->end(), victim->blocks.begin(),
+                         victim->blocks.end());
+  }
+  Node* owner = victim->parent == nullptr ? &root_ : victim->parent;
+  const auto [begin, end] = owner->children.equal_range(victim->hash);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second.get() == victim) {
+      owner->children.erase(it);
+      --node_count_;
+      TT_CHECK_GT(evictable_nodes_, 0u);
+      --evictable_nodes_;
+      return true;
+    }
+  }
+  TT_CHECK_MSG(false, "radix victim missing from its parent's children");
+  return false;
+}
+
+void BlockRadixTree::for_each(
+    const std::function<void(const Node&)>& fn) const {
+  std::function<void(const Node&)> walk = [&](const Node& node) {
+    for (const auto& [key, child] : node.children) {
+      fn(*child);
+      walk(*child);
+    }
+  };
+  walk(root_);
+}
+
+void BlockRadixTree::check_invariants() const {
+  size_t nodes = 0;
+  size_t evictable = 0;
+  std::function<void(const Node&, const Node*)> walk = [&](const Node& node,
+                                                           const Node* parent) {
+    for (const auto& [key, child] : node.children) {
+      ++nodes;
+      TT_CHECK_EQ(child->hash, key);
+      TT_CHECK(child->parent == parent);
+      TT_CHECK_EQ(child->tokens.size(), static_cast<size_t>(block_tokens_));
+      TT_CHECK_EQ(child->blocks.size(), static_cast<size_t>(num_layers_));
+      TT_CHECK_GE(child->pins, 0);
+      if (child->pins == 0) ++evictable;
+      if (child->pins > 0 && parent != nullptr) {
+        // A pinned node's whole prefix chain is pinned (pin_chain pins
+        // root-first), so eviction can never orphan a live reference.
+        TT_CHECK_GT(parent->pins, 0);
+      }
+      walk(*child, child.get());
+    }
+  };
+  walk(root_, nullptr);
+  TT_CHECK_EQ(nodes, node_count_);
+  TT_CHECK_EQ(evictable, evictable_nodes_);
+}
+
+}  // namespace turbo::genserve

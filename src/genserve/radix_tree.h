@@ -1,0 +1,132 @@
+// Token-radix tree over block-aligned KV prefixes (SGLang/vLLM lineage).
+//
+// PR 2's prefix sharing keys on the *full* prompt, so a multi-turn
+// conversation whose history grows by one user turn shares nothing with
+// its previous turn. This tree fixes that for self-attention KV, where
+// causal masking makes partial reuse exact: row t depends only on rows
+// [0, t], so any common *prefix* of fed tokens produces bit-identical K/V
+// rows. (Cross-attention KV stays exact-match in KvCachePool — the encoder
+// is bidirectional, every cross row depends on the whole sentence.)
+//
+// Granularity is one pool block: a node covers exactly `block_tokens` fed
+// tokens and owns one physical block id per decoder layer. Matching walks
+// chunk-by-chunk from the root, so only block-aligned prefixes are shared
+// — a partial block is never split, which keeps the mapping onto
+// KvCachePool's fixed-size blocks trivial (node i of a chain backs self
+// rows [i*bt, (i+1)*bt) in every layer).
+//
+// The tree is a *cache tier below the active pool*:
+//  * A live sequence that adopted a chain pins it (pin_chain); pinned
+//    nodes are never evicted, so a sequence's shared prefix cannot be
+//    pulled out from under it.
+//  * Unpinned nodes are evictable in LRU order (leaf-first, so a chain
+//    drains bottom-up and the tree never orphans a reachable suffix).
+//    The pool treats their blocks as free capacity: evictable bytes do
+//    not count against admission, they are reclaimed on demand.
+//
+// Children are keyed by a chunk hash but verified by full token-sequence
+// comparison — a hash collision costs a compare, never a wrong match. The
+// hash is injectable so tests can force colliding chunks deterministically.
+//
+// Ownership: the tree owns its nodes; physical block ids are opaque here —
+// KvCachePool refs a block once per tree node holding it and unrefs on
+// eviction, so block lifetime stays with the pool's refcounts.
+// Thread-safety: externally synchronized, same single-consumer rule as the
+// owning pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace turbo::genserve {
+
+class BlockRadixTree {
+ public:
+  struct Node {
+    Node* parent = nullptr;     // null for children of the root
+    std::vector<int> tokens;    // exactly block_tokens fed-token ids
+    std::vector<int> blocks;    // [num_layers] physical block ids
+    uint64_t hash = 0;          // chunk hash (children-map key)
+    uint64_t stamp = 0;         // LRU clock, bumped on pin and insert
+    int pins = 0;               // live sequences holding this node
+    // hash -> child; collisions resolved by exact token compare.
+    std::unordered_multimap<uint64_t, std::unique_ptr<Node>> children;
+  };
+
+  // Root-first chain of matched nodes; rows == chain.size() * block_tokens.
+  struct Match {
+    std::vector<Node*> chain;
+    int rows = 0;
+  };
+
+  // `chunk_hash` overrides the FNV-1a chunk hash (tests force collisions
+  // with it); default-constructed means the real hash.
+  BlockRadixTree(int block_tokens, int num_layers,
+                 std::function<uint64_t(const int*, int)> chunk_hash = {});
+
+  BlockRadixTree(const BlockRadixTree&) = delete;
+  BlockRadixTree& operator=(const BlockRadixTree&) = delete;
+
+  // Longest cached block-aligned prefix of `tokens`, capped at `max_rows`
+  // rows. Read-only (LRU stamps move on pin_chain, not on lookup, so const
+  // capacity queries can plan without mutating).
+  Match match(const std::vector<int>& tokens, int max_rows) const;
+
+  // Child of `parent` (null = root) holding exactly `chunk[0, block_tokens)`,
+  // or null. Exact token compare on every hash hit.
+  Node* find_child(const Node* parent, const int* chunk) const;
+
+  // Insert a child of `parent` covering `chunk` backed by `layer_blocks`
+  // (one block id per layer). The caller must have checked find_child ==
+  // null (duplicate chunks are a bug) and owns the blocks' refcounts.
+  Node* insert_child(Node* parent, const int* chunk,
+                     std::vector<int> layer_blocks);
+
+  // Pin/unpin every node of a matched chain (a live sequence adopting or
+  // surrendering it). Pinning bumps the LRU stamps.
+  void pin_chain(const std::vector<Node*>& chain);
+  void unpin_chain(const std::vector<Node*>& chain);
+
+  // Evict the least-recently-stamped unpinned *leaf*, appending its
+  // per-layer block ids to `freed_blocks` for the pool to unref. Returns
+  // false when nothing is evictable. Whenever any unpinned node exists an
+  // unpinned leaf exists (a pinned child implies a pinned parent), so
+  // repeated calls drain the whole evictable tier.
+  bool evict_lru(std::vector<int>* freed_blocks);
+
+  size_t nodes() const { return node_count_; }
+  // Blocks the tree holds a reference to (num_layers per node).
+  size_t cached_blocks() const {
+    return node_count_ * static_cast<size_t>(num_layers_);
+  }
+  // Blocks in unpinned nodes — reclaimable without touching live work.
+  size_t evictable_blocks() const {
+    return evictable_nodes_ * static_cast<size_t>(num_layers_);
+  }
+  int block_tokens() const { return block_tokens_; }
+
+  // Visit every node (pre-order). For invariant checks and tests.
+  void for_each(const std::function<void(const Node&)>& fn) const;
+
+  // Structural self-check: parent links, per-node geometry (token count,
+  // one block per layer), child-map keys, pin nonnegativity, and the
+  // evictable-node count. Throws CheckError on violation.
+  void check_invariants() const;
+
+ private:
+  uint64_t chunk_hash(const int* chunk) const;
+
+  int block_tokens_;
+  int num_layers_;
+  std::function<uint64_t(const int*, int)> hash_override_;
+  Node root_;  // sentinel: empty tokens/blocks, never matched or evicted
+  size_t node_count_ = 0;
+  size_t evictable_nodes_ = 0;
+  uint64_t clock_ = 0;
+};
+
+}  // namespace turbo::genserve

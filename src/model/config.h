@@ -28,6 +28,11 @@ struct ModelConfig {
   // fp16, fp32 accumulation) — the Turbo-TC configuration. The paper calls
   // its accuracy impact "minimal and acceptable"; tests quantify it.
   bool tensor_core_gemm = false;
+  // Decoder-only (GPT-style causal LM): no encoder, and the decoder skips
+  // its cross-attention sublayer entirely. Prompts are prefilled through
+  // the decode loop one token per step, which is what makes block-aligned
+  // radix prefix sharing of the self K/V exact.
+  bool decoder_only = false;
 
   int head_dim() const { return hidden / heads; }
 
@@ -82,6 +87,16 @@ struct ModelConfig {
     c.intermediate = inter;
     c.vocab = vocab;
     c.max_pos = 512;
+    return c;
+  }
+  // Tiny causal-LM variant (decoder-only GPT layout) for the radix-prefix
+  // serving paths.
+  static ModelConfig tiny_causal(int layers = 2, int hidden = 64,
+                                 int heads = 4, int inter = 128,
+                                 int vocab = 100) {
+    ModelConfig c = tiny(layers, hidden, heads, inter, vocab);
+    c.name = "TinyCausal";
+    c.decoder_only = true;
     return c;
   }
 };

@@ -127,6 +127,8 @@ Seq2SeqDecoder::Seq2SeqDecoder(ModelConfig config, uint64_t seed)
 
 void Seq2SeqDecoder::init_cross_attention(const Tensor& memory,
                                           KvCacheView& cache) const {
+  TT_CHECK_MSG(!config_.decoder_only,
+               "decoder-only model has no cross-attention to initialize");
   TT_CHECK_EQ(memory.shape().ndim(), 2);
   const int s_src = static_cast<int>(memory.shape()[0]);
   const int H = config_.hidden;
@@ -226,22 +228,28 @@ void Seq2SeqDecoder::step(const std::vector<StepSlot>& slots, float* logits,
                                 w.ln1_beta.data<float>(), nb, H);
 
     // --- cross-attention over each slot's encoder memory ---
-    std::copy(x.begin(), x.begin() + static_cast<long>(nb) * H, resid.begin());
-    kernels::gemm(x.data(), w.cross_q_weight.data<float>(), proj.data(), nb,
-                  H, H);
-    kernels::add_bias(proj.data(), w.cross_q_bias.data<float>(), nb, H);
-    for (int b = 0; b < nb; ++b) {
-      KvCacheView& cache = *slots[static_cast<size_t>(b)].cache;
-      attend(cache, layer, /*self_side=*/false, cache.src_len(),
-             &proj[static_cast<size_t>(b) * H],
-             &attn[static_cast<size_t>(b) * H], scale, ws);
+    // A decoder-only (causal LM) layer is self-attention + FFN: the whole
+    // cross sublayer — projection, attention and its residual layernorm —
+    // is absent, not merely zeroed.
+    if (!config_.decoder_only) {
+      std::copy(x.begin(), x.begin() + static_cast<long>(nb) * H,
+                resid.begin());
+      kernels::gemm(x.data(), w.cross_q_weight.data<float>(), proj.data(), nb,
+                    H, H);
+      kernels::add_bias(proj.data(), w.cross_q_bias.data<float>(), nb, H);
+      for (int b = 0; b < nb; ++b) {
+        KvCacheView& cache = *slots[static_cast<size_t>(b)].cache;
+        attend(cache, layer, /*self_side=*/false, cache.src_len(),
+               &proj[static_cast<size_t>(b) * H],
+               &attn[static_cast<size_t>(b) * H], scale, ws);
+      }
+      kernels::gemm(attn.data(), w.cross_out_weight.data<float>(),
+                    proj.data(), nb, H, H);
+      kernels::add_bias_layernorm(x.data(), proj.data(), resid.data(),
+                                  w.cross_out_bias.data<float>(),
+                                  w.ln2_gamma.data<float>(),
+                                  w.ln2_beta.data<float>(), nb, H);
     }
-    kernels::gemm(attn.data(), w.cross_out_weight.data<float>(), proj.data(),
-                  nb, H, H);
-    kernels::add_bias_layernorm(x.data(), proj.data(), resid.data(),
-                                w.cross_out_bias.data<float>(),
-                                w.ln2_gamma.data<float>(),
-                                w.ln2_beta.data<float>(), nb, H);
 
     // --- feed-forward ---
     std::copy(x.begin(), x.begin() + static_cast<long>(nb) * H, resid.begin());
@@ -331,6 +339,9 @@ void Seq2SeqDecoder::attend(KvCacheView& cache, int layer, bool self_side,
 Hypothesis Seq2SeqDecoder::decode(const Tensor& memory, int max_len,
                                   int bos_id, int eos_id, int beam_size,
                                   BeamKvFactory* kv) const {
+  TT_CHECK_MSG(!config_.decoder_only,
+               "decode() beam search requires encoder memory; decoder-only "
+               "models are served through GenerationServer's causal path");
   TT_CHECK_EQ(memory.shape().ndim(), 2);
   const int s_src = static_cast<int>(memory.shape()[0]);
   TT_CHECK_EQ(memory.shape()[1], config_.hidden);

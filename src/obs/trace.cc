@@ -9,8 +9,9 @@ namespace turbo::obs {
 namespace {
 
 constexpr const char* kKindNames[kSpanKinds] = {
-    "admit",   "prefill", "schedule", "decode", "preempt",
-    "resume",  "evict",   "reclaim",  "stream",
+    "admit",   "prefill", "schedule", "decode",    "preempt",
+    "resume",  "evict",   "reclaim",  "stream",    "radix_hit",
+    "radix_evict",
 };
 
 size_t round_up_pow2(size_t n) {

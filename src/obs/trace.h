@@ -51,6 +51,10 @@ enum class SpanKind : uint8_t {
   kReclaim,          // cross-model: budget shed (bytes; model = starved,
                      // peer = donor)
   kStream,           // phase: argmax + callbacks + retire | seq: first token
+  kRadixHit,         // seq event: admit/resume adopted a cached radix
+                     // prefix (tokens = prefix rows skipped)
+  kRadixEvict,       // pool event: radix-tier LRU eviction(s) reclaimed
+                     // blocks (tokens = evictions this step)
   kCount,            // number of kinds (not a span)
 };
 

@@ -693,5 +693,125 @@ TEST(GenerationScheduler, CostTableSmallerThanMaxActiveDoesNotAbort) {
   EXPECT_EQ(max_seen_active, 4);
 }
 
+// ---------------------------------------------------------------------------
+// Decoder-only serving over the radix tier
+// ---------------------------------------------------------------------------
+
+TEST(GenerationServer, DecoderOnlyRadixSharingDoesNotChangeOutputs) {
+  // Causal requests sharing a block-aligned prompt prefix: the second wave
+  // (after the first wave's retirements donated their rows) adopts cached
+  // prefixes and skips their prefill steps — tokens must match a radix-off
+  // server bit-exactly.
+  const auto config = model::ModelConfig::tiny_causal(2, 32, 2, 64, 50);
+  Rng rng(23);
+  const auto system_prompt = rng.token_ids(12, 50);  // 3 blocks of 4
+  std::vector<serving::GenerationRequest> wave1, wave2;
+  for (int i = 0; i < 4; ++i) {
+    serving::GenerationRequest r;
+    r.id = i;
+    r.src_tokens = system_prompt;
+    const auto user = rng.token_ids(2 + i, 50);
+    r.src_tokens.insert(r.src_tokens.end(), user.begin(), user.end());
+    r.max_new_tokens = 5;
+    r.bos_id = 1;
+    r.eos_id = 2;
+    wave1.push_back(r);
+    r.id = 10 + i;
+    wave2.push_back(std::move(r));
+  }
+
+  auto run = [&](bool radix) {
+    GenServerOptions options;
+    options.pool = small_pool();
+    options.pool.enable_radix_tree = radix;
+    options.scheduler.max_active = 4;
+    GenerationServer server(config, options, 29);
+    std::map<int64_t, std::vector<int>> out;
+    int prefilled = 0;
+    server.set_step_observer(
+        [&](const StepStats& s) { prefilled += s.prefilled; });
+    for (const auto& r : wave1) server.submit(r);
+    for (const auto& resp : server.run_to_completion()) {
+      out[resp.request_id] = resp.tokens;
+    }
+    for (const auto& r : wave2) server.submit(r);
+    for (const auto& resp : server.run_to_completion()) {
+      out[resp.request_id] = resp.tokens;
+    }
+    if (radix) {
+      // Wave 2 repeats wave-1 prompts exactly: each request adopts the
+      // donated prefix instead of re-prefilling it.
+      EXPECT_GE(server.pool().radix_hits(), wave2.size());
+      EXPECT_GT(server.pool().radix_hit_rows(), 0u);
+      // Only the donated cache tier is left, all of it evictable.
+      EXPECT_EQ(server.pool().charged_blocks(), 0u);
+      EXPECT_EQ(server.pool().blocks_in_use(),
+                server.pool().radix_cached_blocks());
+    } else {
+      EXPECT_EQ(server.pool().radix_hits(), 0u);
+      EXPECT_EQ(server.pool().stats().current_device_bytes, 0u);
+    }
+    server.pool().check_invariants();
+    return std::make_pair(out, prefilled);
+  };
+
+  const auto off = run(false);
+  const auto on = run(true);
+  EXPECT_EQ(on.first, off.first);  // bit-identical token streams
+  EXPECT_LT(on.second, off.second);  // adopted rows skipped prefill steps
+}
+
+TEST(KvCachePool, PromptHashCollisionsNeverShare) {
+  // Force every prompt onto one hash bucket: sharing decisions must fall
+  // back to full token equality, so distinct prompts stay unshared and
+  // identical prompts still share.
+  const auto config = tiny();
+  auto opts = small_pool();
+  opts.prompt_hash_override = [](const std::vector<int>&) -> uint64_t {
+    return 7;
+  };
+  KvCachePool pool(config, opts);
+  Rng rng(31);
+  const auto prompt_a = rng.token_ids(8, 50);
+  auto prompt_b = prompt_a;
+  prompt_b.back() += 1;  // same length, same forced hash, different tokens
+
+  auto a = pool.admit(1, prompt_a, 4);
+  EXPECT_TRUE(a->needs_cross_init());
+  auto b = pool.admit(2, prompt_b, 4);
+  EXPECT_TRUE(b->needs_cross_init()) << "collision must not map b onto a's "
+                                        "cross blocks";
+  EXPECT_EQ(pool.prefix_hits(), 0u);
+  EXPECT_NE(a->cross_k(0, 0), b->cross_k(0, 0));
+  a->mark_cross_ready();
+  b->mark_cross_ready();
+
+  auto c = pool.admit(3, prompt_a, 4);  // true repeat still shares
+  EXPECT_FALSE(c->needs_cross_init());
+  EXPECT_EQ(pool.prefix_hits(), 1u);
+  EXPECT_EQ(a->cross_k(0, 0), c->cross_k(0, 0));
+  pool.check_invariants();
+}
+
+TEST(GenerationScheduler, RejectsNegativeRequestIds) {
+  // Negative sequence ids are the pooled-beam namespace; server requests
+  // must stay non-negative so the two can never collide in the pool.
+  GenServerOptions options;
+  options.pool = small_pool();
+  GenerationServer server(tiny(), options, 29);
+  Rng rng(3);
+  auto r = make_request(rng, -1, 4, 4);
+  EXPECT_THROW(server.submit(r), CheckError);
+}
+
+TEST(PooledBeamDecode, BeamRootIdsMustBeNegative) {
+  const auto config = tiny();
+  KvCachePool pool(config, small_pool());
+  EXPECT_THROW(PooledBeamKv(&pool, 0), CheckError);
+  EXPECT_THROW(PooledBeamKv(&pool, 7), CheckError);
+  PooledBeamKv beams(&pool, -1);  // the reserved namespace is fine
+  (void)beams;
+}
+
 }  // namespace
 }  // namespace turbo::genserve

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "genserve/kv_cache_pool.h"
 #include "model/config.h"
@@ -466,6 +467,375 @@ TEST(KvPoolProperty, PromptSharingChargesCrossBlocksOnce) {
   pool.check_invariants();
   EXPECT_EQ(b->cross_k(1, b->src_len() - 1)[0], 3.5f);
   b.reset();
+  EXPECT_EQ(pool.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Causal (decoder-only) sequences over the radix cache tier.
+//
+// Every self row t of a causal sequence is a pure function of the fed
+// tokens [0, t] — the model writes fnv1a(fed[0..t]) into row t, so a
+// radix adoption that ever attached a wrong-prefix chain reads back as a
+// value mismatch, not just a refcount error. Random interleavings of
+// admit / grow / preempt / resume / fork / donate-and-release then check
+// refcount conservation, the cache-tier byte accounting
+// (blocks_in_use <= blocks_reserved + radix_cached_blocks), that LRU
+// eviction never drops a node a live sequence still references, and that
+// drop_radix_cache() + release drains the pool to exactly zero bytes.
+// ---------------------------------------------------------------------------
+
+float causal_row_value(const std::vector<int>& fed, int t) {
+  return static_cast<float>(fnv1a_range(fed.data(), t + 1) % 8192u);
+}
+
+struct CSeq {
+  std::unique_ptr<SequenceKv> kv;
+  std::vector<int> fed;  // prompt + generated tokens fed so far
+  int steps = 0;         // self rows written (== fed.size() unless parked)
+  bool parked = false;
+};
+
+struct CausalRunStats {
+  size_t preempts = 0;
+  size_t radix_hits = 0;
+  size_t radix_hit_rows = 0;
+  size_t radix_evictions = 0;
+};
+
+void verify_causal(const model::ModelConfig& config, const CSeq& s) {
+  const int H = config.hidden;
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    for (int t = 0; t < s.steps; ++t) {
+      const float v = causal_row_value(s.fed, t);
+      ASSERT_EQ(s.kv->self_k(layer, t)[0], v)
+          << "seq " << s.kv->id() << " layer " << layer << " row " << t
+          << " (prefix_rows " << s.kv->prefix_rows() << ")";
+      ASSERT_EQ(s.kv->self_k(layer, t)[H - 1], v);
+      ASSERT_EQ(s.kv->self_v(layer, t)[0], v + 0.5f);
+    }
+  }
+}
+
+void run_causal_radix_interleaving(uint64_t seed, KvPoolOptions opts,
+                                   CausalRunStats* out) {
+  const auto config = tiny();
+  KvCachePool pool(config, opts);
+  Rng rng(seed);
+  CausalRunStats stats;
+
+  // Prompt templates sharing a block-aligned base, then diverging: admits
+  // branch the tree instead of only extending one chain.
+  const std::vector<int> base = rng.token_ids(2 * opts.block_tokens, 50);
+  const int kTemplates = 5;
+  std::vector<std::vector<int>> prompts;
+  for (int i = 0; i < kTemplates; ++i) {
+    auto p = base;
+    const auto tail =
+        rng.token_ids(1 + static_cast<int>(rng.uniform_int(0, 5)), 50);
+    p.insert(p.end(), tail.begin(), tail.end());
+    prompts.push_back(std::move(p));
+  }
+
+  std::vector<CSeq> live;
+  int64_t next_id = 1;
+  const int kOps = 400;
+
+  // Write self row `t` (value derived from the fed prefix), preempting
+  // random victims on block exhaustion; parks `s` itself when it is the
+  // last one standing. Returns false if `s` parked.
+  auto write_row = [&](CSeq& s, int t) -> bool {
+    while (!pool.try_ensure_token(*s.kv, t)) {
+      CSeq* victim = nullptr;
+      for (auto& other : live) {
+        if (!other.parked && other.kv && other.kv.get() != s.kv.get()) {
+          victim = &other;
+        }
+      }
+      if (victim == nullptr) {
+        pool.preempt(*s.kv);
+        s.parked = true;
+        ++stats.preempts;
+        return false;
+      }
+      pool.preempt(*victim->kv);
+      victim->parked = true;
+      ++stats.preempts;
+    }
+    const float v = causal_row_value(s.fed, t);
+    for (int layer = 0; layer < config.num_layers; ++layer) {
+      std::fill_n(s.kv->self_k(layer, t), config.hidden, v);
+      std::fill_n(s.kv->self_v(layer, t), config.hidden, v + 0.5f);
+    }
+    return true;
+  };
+  // Write rows [s.steps, rows); s.steps tracks progress even if parked.
+  auto write_until = [&](CSeq& s, int rows) {
+    while (s.steps < rows) {
+      if (!write_row(s, s.steps)) return;
+      ++s.steps;
+    }
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 11));
+    if (kind <= 2 || live.empty()) {
+      // Admit from a random template, adopting whatever block-aligned
+      // prefix of it the tree has cached. Adopted rows must already read
+      // back as this fed-prefix's values — a wrong-prefix adoption fails
+      // loudly here.
+      const auto& prompt =
+          prompts[static_cast<size_t>(rng.uniform_int(0, kTemplates - 1))];
+      const int max_new = 4 + static_cast<int>(rng.uniform_int(0, 8));
+      const auto plan = pool.plan_causal(prompt);
+      if (!pool.can_admit_causal_now(plan)) continue;
+      CSeq s;
+      s.kv = pool.admit_causal(next_id++, prompt, max_new, plan);
+      s.fed = prompt;
+      s.steps = s.kv->prefix_rows();
+      ASSERT_TRUE(s.kv->causal());
+      ASSERT_FALSE(s.kv->needs_cross_init());
+      ASSERT_EQ(s.kv->prefix_rows(), plan.prefix_rows);
+      ASSERT_EQ(s.kv->prefix_rows() % opts.block_tokens, 0);
+      ASSERT_LT(s.kv->prefix_rows(), static_cast<int>(prompt.size()));
+      verify_causal(config, s);
+      live.push_back(std::move(s));
+      write_until(live.back(), static_cast<int>(live.back().fed.size()));
+    } else if (kind <= 6) {
+      // Grow a non-parked sequence by one fed token.
+      std::vector<CSeq*> growable;
+      for (auto& s : live) {
+        if (!s.parked &&
+            static_cast<int>(s.fed.size()) <
+                s.kv->src_len() + s.kv->max_new_tokens()) {
+          growable.push_back(&s);
+        }
+      }
+      if (growable.empty()) continue;
+      CSeq& s = *growable[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(growable.size()) - 1))];
+      s.fed.push_back(static_cast<int>(rng.uniform_int(0, 49)));
+      write_until(s, static_cast<int>(s.fed.size()));
+    } else if (kind <= 7) {
+      // Preempt a random non-parked sequence outright.
+      std::vector<CSeq*> up;
+      for (auto& s : live) {
+        if (!s.parked) up.push_back(&s);
+      }
+      if (up.empty()) continue;
+      CSeq& s = *up[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(up.size()) - 1))];
+      pool.preempt(*s.kv);
+      s.parked = true;
+      ++stats.preempts;
+    } else if (kind <= 9) {
+      // Resume a parked sequence: re-plan over the full fed history (it
+      // may adopt *more* rows than it was admitted with, e.g. its own
+      // donation from a neighbour's retirement), then replay the rest.
+      std::vector<CSeq*> parked;
+      for (auto& s : live) {
+        if (s.parked) parked.push_back(&s);
+      }
+      if (parked.empty()) continue;
+      CSeq& s = *parked[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(parked.size()) - 1))];
+      const auto plan = pool.plan_causal(s.fed);
+      if (!pool.can_resume_causal(*s.kv, plan,
+                                  static_cast<int>(s.fed.size()))) {
+        continue;
+      }
+      pool.resume_causal(*s.kv, plan);
+      s.parked = false;
+      s.steps = s.kv->prefix_rows();
+      verify_causal(config, s);
+      write_until(s, static_cast<int>(s.fed.size()));
+    } else if (kind <= 10) {
+      // Fork a non-parked sequence: the child re-pins the parent's radix
+      // chain and must diverge CoW-exactly as it grows its own fed tail.
+      std::vector<CSeq*> forkable;
+      for (auto& s : live) {
+        if (!s.parked) forkable.push_back(&s);
+      }
+      if (forkable.empty()) continue;
+      CSeq& parent = *forkable[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(forkable.size()) - 1))];
+      if (!pool.can_fork(*parent.kv)) continue;
+      CSeq child;
+      child.kv = pool.fork(*parent.kv, next_id++);
+      child.fed = parent.fed;
+      child.steps = parent.steps;
+      live.push_back(std::move(child));
+    } else {
+      // Retire a random sequence: verify, donate its written rows to the
+      // cache tier, release the handle.
+      const size_t idx = static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(live.size()) - 1));
+      CSeq& s = live[idx];
+      if (!s.parked) {
+        verify_causal(config, s);
+        std::vector<int> written(s.fed.begin(),
+                                 s.fed.begin() + s.steps);
+        pool.donate_radix(*s.kv, written);
+      }
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+    ASSERT_NO_THROW(pool.check_invariants()) << "seed " << seed
+                                             << " after op " << op;
+    ASSERT_LE(pool.blocks_in_use(),
+              pool.blocks_reserved() + pool.radix_cached_blocks())
+        << "seed " << seed << " after op " << op;
+    ASSERT_LE(pool.radix_evictable_blocks(), pool.radix_cached_blocks());
+    if (pool.max_blocks() != 0) {
+      ASSERT_LE(pool.blocks_in_use(), pool.max_blocks())
+          << "seed " << seed << " after op " << op;
+    }
+  }
+
+  // Every surviving non-parked sequence still reads back its fed-derived
+  // rows — eviction under churn never touched a live-referenced node.
+  for (auto& s : live) {
+    if (!s.parked) verify_causal(config, s);
+  }
+  while (!live.empty()) {
+    CSeq& s = live.back();
+    if (!s.parked) {
+      std::vector<int> written(s.fed.begin(), s.fed.begin() + s.steps);
+      pool.donate_radix(*s.kv, written);
+    }
+    live.pop_back();
+    pool.check_invariants();
+  }
+  EXPECT_EQ(pool.active_sequences(), 0);
+  EXPECT_EQ(pool.parked_sequences(), 0);
+  EXPECT_EQ(pool.blocks_reserved(), 0u);
+  // Only the cache tier is left holding blocks, all of it evictable.
+  EXPECT_EQ(pool.blocks_in_use(), pool.radix_cached_blocks());
+  EXPECT_EQ(pool.radix_evictable_blocks(), pool.radix_cached_blocks());
+  EXPECT_EQ(pool.charged_blocks(), 0u);
+
+  stats.radix_hits = pool.radix_hits();
+  stats.radix_hit_rows = pool.radix_hit_rows();
+  stats.radix_evictions = pool.radix_evictions();
+
+  pool.drop_radix_cache();
+  pool.check_invariants();
+  EXPECT_EQ(pool.radix_cached_blocks(), 0u);
+  EXPECT_EQ(pool.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.num_slabs(), 0);
+  EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+  EXPECT_EQ(pool.stats().device_malloc_bytes, pool.stats().device_free_bytes);
+  *out = stats;
+}
+
+TEST(KvPoolProperty, RandomCausalRadixInterleavingsUnbounded) {
+  CausalRunStats total;
+  for (uint64_t seed = 51; seed <= 54; ++seed) {
+    CausalRunStats s;
+    run_causal_radix_interleaving(seed, base_opts(), &s);
+    total.radix_hits += s.radix_hits;
+    total.radix_hit_rows += s.radix_hit_rows;
+  }
+  // The workload shares block-aligned prefixes by construction: the tier
+  // must actually get hit, or the whole test is vacuous.
+  EXPECT_GT(total.radix_hits, 0u);
+  EXPECT_GT(total.radix_hit_rows, 0u);
+}
+
+TEST(KvPoolProperty, RandomCausalRadixInterleavingsBoundedPool) {
+  // Tight capacity: admissions force make_room to reclaim the evictable
+  // tier LRU-first and preempt/resume churns; live-referenced (pinned)
+  // nodes must survive every eviction.
+  auto opts = base_opts();
+  const size_t slab_bytes = static_cast<size_t>(opts.blocks_per_slab) *
+                            KvCachePool(tiny(), opts).block_bytes();
+  opts.max_bytes = 4 * slab_bytes;  // 32 blocks
+  CausalRunStats total;
+  for (uint64_t seed = 61; seed <= 66; ++seed) {
+    CausalRunStats s;
+    run_causal_radix_interleaving(seed, opts, &s);
+    total.preempts += s.preempts;
+    total.radix_hits += s.radix_hits;
+    total.radix_evictions += s.radix_evictions;
+  }
+  EXPECT_GT(total.preempts, 0u);
+  EXPECT_GT(total.radix_hits, 0u);
+  EXPECT_GT(total.radix_evictions, 0u);
+}
+
+TEST(KvPoolProperty, RandomCausalRadixDisabled) {
+  // enable_radix_tree=false: plans never match, donations are no-ops, and
+  // the same interleavings still conserve refcounts and drain to zero.
+  auto opts = base_opts();
+  opts.enable_radix_tree = false;
+  for (uint64_t seed = 71; seed <= 72; ++seed) {
+    CausalRunStats s;
+    run_causal_radix_interleaving(seed, opts, &s);
+    EXPECT_EQ(s.radix_hits, 0u);
+    EXPECT_EQ(s.radix_evictions, 0u);
+  }
+}
+
+TEST(KvPoolProperty, CausalDonationAdoptionIsExact) {
+  // Deterministic end-to-end of the tier: write, donate, re-admit, adopt.
+  const auto config = tiny();
+  auto opts = base_opts();
+  KvCachePool pool(config, opts);
+  Rng rng(9);
+  const auto prompt = rng.token_ids(11, 50);  // 2 whole blocks + 3 tokens
+
+  CSeq a;
+  a.kv = pool.admit_causal(1, prompt, 4, pool.plan_causal(prompt));
+  a.fed = prompt;
+  EXPECT_EQ(a.kv->prefix_rows(), 0);  // cold tree
+  for (int t = 0; t < static_cast<int>(prompt.size()); ++t) {
+    pool.ensure_token(*a.kv, t);
+    const float v = causal_row_value(a.fed, t);
+    for (int layer = 0; layer < config.num_layers; ++layer) {
+      std::fill_n(a.kv->self_k(layer, t), config.hidden, v);
+      std::fill_n(a.kv->self_v(layer, t), config.hidden, v + 0.5f);
+    }
+    ++a.steps;
+  }
+  pool.donate_radix(*a.kv, a.fed);
+  // 2 whole chunks x 2 layers donated; the 3-token tail is not block
+  // aligned and stays private.
+  EXPECT_EQ(pool.radix_nodes(), 2u);
+  EXPECT_EQ(pool.radix_cached_blocks(),
+            2u * static_cast<size_t>(config.num_layers));
+  a.kv.reset();
+  pool.check_invariants();
+  EXPECT_EQ(pool.radix_evictable_blocks(), pool.radix_cached_blocks());
+
+  // Same prompt again: adopts both cached chunks, reads back a's values.
+  const auto plan = pool.plan_causal(prompt);
+  EXPECT_EQ(plan.prefix_rows, 2 * opts.block_tokens);
+  CSeq b;
+  b.kv = pool.admit_causal(2, prompt, 4, plan);
+  b.fed = prompt;
+  b.steps = b.kv->prefix_rows();
+  EXPECT_EQ(b.kv->prefix_rows(), 2 * opts.block_tokens);
+  EXPECT_EQ(pool.radix_hits(), 1u);
+  EXPECT_EQ(pool.radix_hit_rows(), static_cast<size_t>(2 * opts.block_tokens));
+  verify_causal(config, b);
+  // Adopted nodes are pinned: not evictable while b holds them.
+  EXPECT_EQ(pool.radix_evictable_blocks(), 0u);
+  pool.check_invariants();
+
+  // CoW write barrier: extending b past the adopted prefix must not
+  // mutate the cached chunk in place.
+  b.fed.push_back(42);
+  pool.ensure_token(*b.kv, b.steps);
+  const float v = causal_row_value(b.fed, b.steps);
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    std::fill_n(b.kv->self_k(layer, b.steps), config.hidden, v);
+    std::fill_n(b.kv->self_v(layer, b.steps), config.hidden, v + 0.5f);
+  }
+  ++b.steps;
+  verify_causal(config, b);
+  pool.donate_radix(*b.kv, b.fed);
+  b.kv.reset();
+  pool.drop_radix_cache();
+  pool.check_invariants();
   EXPECT_EQ(pool.blocks_in_use(), 0u);
   EXPECT_EQ(pool.stats().current_device_bytes, 0u);
 }

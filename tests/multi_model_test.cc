@@ -273,6 +273,61 @@ TEST(MultiModelServer, PerModelStatsBreakdown) {
   EXPECT_EQ(drained[0].pool.bytes_in_use, 0u);
 }
 
+// ----------------------------------------------------- decoder-only route --
+
+TEST(MultiModelServer, DecoderOnlyBundleServesAlongsideSeq2Seq) {
+  // A GPT-style bundle and a seq2seq bundle behind one router: requests
+  // route by name, the causal engine runs prefill through the step loop
+  // (with radix prefix sharing on repeats), and each model's outputs match
+  // a dedicated single-model server over the same bundle bit-exactly.
+  const auto causal_config = model::ModelConfig::tiny_causal(2, 32, 2, 64, 50);
+  auto seq2seq = make_bundle("a", 1, tiny(), /*seed=*/11);
+  auto gpt = make_decoder_only_bundle("g", 1, causal_config, /*seed=*/13);
+  EXPECT_FALSE(seq2seq->decoder_only());
+  EXPECT_TRUE(gpt->decoder_only());
+
+  MultiModelGenerationServer server;
+  server.register_bundle(seq2seq, 0, small_engine());
+  server.register_bundle(gpt, 0, small_engine());
+
+  Rng rng(17);
+  const auto shared_prompt = rng.token_ids(9, 50);
+  std::vector<serving::GenerationRequest> gpt_requests;
+  for (int i = 0; i < 4; ++i) {
+    auto r = make_request(rng, i, 6, 5, "g");
+    if (i >= 2) r.src_tokens = shared_prompt;  // repeats hit the radix tier
+    gpt_requests.push_back(std::move(r));
+  }
+  std::vector<serving::GenerationRequest> seq_requests;
+  for (int i = 0; i < 2; ++i) {
+    seq_requests.push_back(make_request(rng, 10 + i, 6, 5, "a"));
+  }
+
+  const auto gpt_ref = dedicated_reference(gpt, gpt_requests);
+  const auto seq_ref = dedicated_reference(seq2seq, seq_requests);
+
+  for (const auto& r : gpt_requests) server.submit(r);
+  for (const auto& r : seq_requests) server.submit(r);
+  std::map<int64_t, std::vector<int>> tokens;
+  for (auto& resp : server.run_to_completion()) {
+    tokens[resp.request_id] = std::move(resp.tokens);
+  }
+  ASSERT_EQ(tokens.size(), gpt_requests.size() + seq_requests.size());
+  for (const auto& [id, expect] : gpt_ref) {
+    EXPECT_EQ(tokens.at(id), expect) << "gpt request " << id;
+  }
+  for (const auto& [id, expect] : seq_ref) {
+    EXPECT_EQ(tokens.at(id), expect) << "seq2seq request " << id;
+  }
+
+  const auto stats = server.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "a");
+  EXPECT_EQ(stats[0].served, seq_requests.size());
+  EXPECT_EQ(stats[1].name, "g");
+  EXPECT_EQ(stats[1].served, gpt_requests.size());
+}
+
 // ------------------------------------------------------------ async shell --
 
 TEST(AsyncMultiModelServer, RoutesStreamsAndHotRegisters) {

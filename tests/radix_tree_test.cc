@@ -1,0 +1,159 @@
+// BlockRadixTree unit tests: block-aligned matching, pin/evict discipline,
+// LRU order, and forced chunk-hash collisions (a collision must cost a
+// token compare, never a wrong match).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "genserve/radix_tree.h"
+
+namespace turbo::genserve {
+namespace {
+
+constexpr int kBt = 4;      // block_tokens
+constexpr int kLayers = 2;  // blocks per node
+
+std::vector<int> seq(int start, int count) {
+  std::vector<int> v(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) v[static_cast<size_t>(i)] = start + i;
+  return v;
+}
+
+std::vector<int> fake_blocks(int base) { return {base, base + 1}; }
+
+TEST(RadixTree, MatchWalksBlockAlignedPrefixes) {
+  BlockRadixTree tree(kBt, kLayers);
+  // Chain A: tokens [0..7] as two chunks; branch B shares the first chunk
+  // then diverges.
+  const auto a = seq(0, 12);
+  BlockRadixTree::Node* n0 = tree.insert_child(nullptr, a.data(),
+                                               fake_blocks(100));
+  BlockRadixTree::Node* n1 = tree.insert_child(n0, a.data() + kBt,
+                                               fake_blocks(200));
+  std::vector<int> b = seq(0, 8);
+  std::fill(b.begin() + kBt, b.end(), 77);
+  BlockRadixTree::Node* nb = tree.insert_child(n0, b.data() + kBt,
+                                               fake_blocks(300));
+  tree.check_invariants();
+  EXPECT_EQ(tree.nodes(), 3u);
+  EXPECT_EQ(tree.cached_blocks(), 6u);
+
+  // Full prefix of A: both chunks, 8 rows (the trailing partial chunk of
+  // the 12 tokens is never matched — blocks are whole or nothing).
+  const auto m = tree.match(a, /*max_rows=*/12);
+  ASSERT_EQ(m.chain.size(), 2u);
+  EXPECT_EQ(m.rows, 2 * kBt);
+  EXPECT_EQ(m.chain[0], n0);
+  EXPECT_EQ(m.chain[1], n1);
+
+  // max_rows caps at whole chunks: 7 rows allows only one block.
+  const auto capped = tree.match(a, /*max_rows=*/7);
+  ASSERT_EQ(capped.chain.size(), 1u);
+  EXPECT_EQ(capped.rows, kBt);
+
+  // The B branch matches through its own leaf.
+  const auto mb = tree.match(b, /*max_rows=*/8);
+  ASSERT_EQ(mb.chain.size(), 2u);
+  EXPECT_EQ(mb.chain[1], nb);
+
+  // Unrelated tokens match nothing.
+  EXPECT_EQ(tree.match(seq(50, 8), 8).rows, 0);
+  // match() is read-only: no pins appeared.
+  tree.for_each([](const BlockRadixTree::Node& n) { EXPECT_EQ(n.pins, 0); });
+}
+
+TEST(RadixTree, PinnedChainsSurviveEvictionLeafFirst) {
+  BlockRadixTree tree(kBt, kLayers);
+  const auto a = seq(0, 8);
+  auto* n0 = tree.insert_child(nullptr, a.data(), fake_blocks(100));
+  auto* n1 = tree.insert_child(n0, a.data() + kBt, fake_blocks(200));
+  std::vector<int> b = seq(0, 8);
+  std::fill(b.begin() + kBt, b.end(), 77);
+  tree.insert_child(n0, b.data() + kBt, fake_blocks(300));
+  EXPECT_EQ(tree.evictable_blocks(), tree.cached_blocks());
+
+  // Pin chain A: only the B leaf stays evictable.
+  const std::vector<BlockRadixTree::Node*> chain = {n0, n1};
+  tree.pin_chain(chain);
+  tree.check_invariants();
+  EXPECT_EQ(tree.evictable_blocks(), static_cast<size_t>(kLayers));
+
+  std::vector<int> freed;
+  ASSERT_TRUE(tree.evict_lru(&freed));
+  EXPECT_EQ(freed, fake_blocks(300));  // the unpinned B leaf, never A
+  EXPECT_EQ(tree.nodes(), 2u);
+  // Everything left is pinned: nothing evictable.
+  EXPECT_FALSE(tree.evict_lru(&freed));
+  tree.check_invariants();
+
+  // Unpin and drain: leaf-first, so the child's blocks come out before the
+  // parent's and the tree never orphans a reachable suffix.
+  tree.unpin_chain(chain);
+  freed.clear();
+  ASSERT_TRUE(tree.evict_lru(&freed));
+  EXPECT_EQ(freed, fake_blocks(200));
+  ASSERT_TRUE(tree.evict_lru(&freed));
+  EXPECT_EQ(freed, (std::vector<int>{200, 201, 100, 101}));
+  EXPECT_FALSE(tree.evict_lru(&freed));
+  EXPECT_EQ(tree.nodes(), 0u);
+  EXPECT_EQ(tree.cached_blocks(), 0u);
+  tree.check_invariants();
+}
+
+TEST(RadixTree, EvictionIsLruAmongLeaves) {
+  BlockRadixTree tree(kBt, kLayers);
+  auto* old_leaf = tree.insert_child(nullptr, seq(0, 4).data(),
+                                     fake_blocks(100));
+  auto* young_leaf = tree.insert_child(nullptr, seq(10, 4).data(),
+                                       fake_blocks(200));
+  // Touch the older node (pin/unpin bumps its LRU stamp, as an adopting
+  // sequence would): the other leaf is now least recent.
+  tree.pin_chain({old_leaf});
+  tree.unpin_chain({old_leaf});
+  std::vector<int> freed;
+  ASSERT_TRUE(tree.evict_lru(&freed));
+  EXPECT_EQ(freed, fake_blocks(200));
+  const auto m = tree.match(seq(0, 4), 4);
+  ASSERT_EQ(m.chain.size(), 1u);
+  EXPECT_EQ(m.chain[0], old_leaf);
+  (void)young_leaf;
+}
+
+TEST(RadixTree, ForcedHashCollisionsResolveByTokenCompare) {
+  // Every chunk hashes to the same bucket: matching correctness must come
+  // entirely from the exact token comparison.
+  BlockRadixTree tree(kBt, kLayers,
+                      [](const int*, int) -> uint64_t { return 42; });
+  const auto a = seq(0, 4);
+  const auto b = seq(100, 4);
+  const auto c = seq(200, 4);
+  auto* na = tree.insert_child(nullptr, a.data(), fake_blocks(100));
+  auto* nb = tree.insert_child(nullptr, b.data(), fake_blocks(200));
+  tree.check_invariants();
+
+  EXPECT_EQ(tree.find_child(nullptr, a.data()), na);
+  EXPECT_EQ(tree.find_child(nullptr, b.data()), nb);
+  EXPECT_EQ(tree.find_child(nullptr, c.data()), nullptr);
+
+  const auto ma = tree.match(a, 4);
+  ASSERT_EQ(ma.chain.size(), 1u);
+  EXPECT_EQ(ma.chain[0], na);
+  const auto mb = tree.match(b, 4);
+  ASSERT_EQ(mb.chain.size(), 1u);
+  EXPECT_EQ(mb.chain[0], nb);
+  EXPECT_EQ(tree.match(c, 4).rows, 0);
+
+  // Colliding children under a non-root parent too.
+  auto* deep_a = tree.insert_child(na, b.data(), fake_blocks(300));
+  EXPECT_EQ(tree.find_child(na, b.data()), deep_a);
+  EXPECT_EQ(tree.find_child(na, c.data()), nullptr);
+  std::vector<int> ab = a;
+  ab.insert(ab.end(), b.begin(), b.end());
+  EXPECT_EQ(tree.match(ab, 8).rows, 8);
+  tree.check_invariants();
+}
+
+}  // namespace
+}  // namespace turbo::genserve
