@@ -1,0 +1,222 @@
+// Chunked padding-free prefill fused into the decode loop: time-to-first-
+// token and decode jitter on the causal-LM serving path.
+//
+// Workload: a mixed arrival trace — many short prompts and a few long
+// ones — submitted over the step loop's lifetime (iteration-scheduled
+// arrivals, so both runs see identical traffic). The trace replays twice
+// through servers that differ only in the token quantum:
+//
+//  * unchunked (quantum 0): legacy stepping feeds one prompt row per
+//    sequence per fused step, so a P-token prompt waits ~P iterations for
+//    its first sampled token while decodes tick along beside it;
+//  * chunked (step_token_quantum > 0): prepare_step packs decode rows
+//    plus block-sized prefill chunks under a per-step token budget, and
+//    the fused step writes chunk K/V rows directly into pool blocks with
+//    zero padding — a long prompt prefills in a handful of steps without
+//    unbounded step-time spikes for its decode-ready neighbours.
+//
+// Measured per request, wall clock: TTFT (submit -> first streamed token,
+// via the token callback) and decode jitter (inter-token gap spread after
+// the first token, reported as p50/p99 gap and the per-run max). The
+// generated token streams must be bit-identical across the two runs —
+// that gate is hard, never skipped. The p99 TTFT improvement gate is
+// report-only under TURBO_BENCH_NO_GATE.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "genserve/generation_server.h"
+#include "serving/request.h"
+
+using namespace turbo;
+
+namespace {
+
+constexpr int kVocab = 500;
+constexpr int kBlockTokens = 8;
+constexpr int kShort = 20;        // short prompts in the trace
+constexpr int kLong = 5;          // long prompts in the trace
+constexpr int kShortTokens = 12;
+constexpr int kLongTokens = 192;
+constexpr int kMaxNew = 16;
+constexpr int kQuantum = 48;
+constexpr int kArrivalStride = 6;  // steps between arrivals
+
+model::ModelConfig gen_config() {
+  return model::ModelConfig::tiny_causal(/*layers=*/2, /*hidden=*/64,
+                                         /*heads=*/4, /*inter=*/128,
+                                         /*vocab=*/kVocab);
+}
+
+double pct(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(
+      std::min(v.size() - 1.0, std::ceil(q * static_cast<double>(v.size())) - 1));
+  return v[idx];
+}
+
+struct RunResult {
+  std::map<int64_t, std::vector<int>> tokens;  // bit-identity witness
+  std::vector<double> ttft_ms;                 // per request
+  std::vector<double> long_ttft_ms;            // long-prompt subset
+  std::vector<double> gaps_ms;                 // decode inter-token gaps
+  size_t steps = 0;
+  size_t prefill_chunks = 0;
+  double wall_s = 0.0;
+};
+
+RunResult run_trace(const model::ModelConfig& config,
+                    const std::vector<serving::GenerationRequest>& trace,
+                    int quantum) {
+  genserve::GenServerOptions options;
+  options.pool.block_tokens = kBlockTokens;
+  options.pool.blocks_per_slab = 16;
+  options.scheduler.max_active = 16;
+  options.scheduler.optimistic_admission = true;
+  options.scheduler.causal_lm = true;
+  options.scheduler.step_token_quantum = quantum;
+  genserve::GenerationServer server(config, options, 29);
+
+  RunResult r;
+  server.set_step_observer([&](const genserve::StepStats& s) {
+    r.prefill_chunks += static_cast<size_t>(s.prefill_chunks);
+  });
+
+  using clock = std::chrono::steady_clock;
+  std::map<int64_t, clock::time_point> submitted, last_token;
+  const auto on_token = [&](int64_t id, int /*token*/, int /*step*/,
+                            bool /*is_last*/) {
+    const auto now = clock::now();
+    auto it = last_token.find(id);
+    if (it == last_token.end()) {
+      const double ttft =
+          std::chrono::duration<double, std::milli>(now - submitted.at(id))
+              .count();
+      r.ttft_ms.push_back(ttft);
+      if (id >= 1000) r.long_ttft_ms.push_back(ttft);
+      last_token.emplace(id, now);
+    } else {
+      r.gaps_ms.push_back(
+          std::chrono::duration<double, std::milli>(now - it->second).count());
+      it->second = now;
+    }
+  };
+
+  const auto t0 = clock::now();
+  size_t next = 0;
+  while (next < trace.size() || !server.idle()) {
+    while (next < trace.size() &&
+           r.steps >= next * static_cast<size_t>(kArrivalStride)) {
+      submitted.emplace(trace[next].id, clock::now());
+      server.submit(trace[next], on_token);
+      ++next;
+    }
+    server.step();
+    ++r.steps;
+  }
+  r.wall_s = std::chrono::duration<double>(clock::now() - t0).count();
+  for (auto& resp : server.take_completed()) {
+    r.tokens[resp.request_id] = std::move(resp.tokens);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const auto config = gen_config();
+
+  // Mixed arrival trace: shorts carry the decode load, longs stress
+  // prefill. Long prompts get ids >= 1000 so the TTFT split is trivial.
+  Rng rng(0xC1F);
+  std::vector<serving::GenerationRequest> trace;
+  int s = 0, l = 0;
+  while (s < kShort || l < kLong) {
+    // One long prompt after every fourth short one.
+    const bool want_long = l < kLong && (s >= kShort || (s > 0 && s % 4 == 0 &&
+                                                         l * 4 < s));
+    serving::GenerationRequest r;
+    if (want_long) {
+      r.id = 1000 + l++;
+      r.src_tokens = rng.token_ids(kLongTokens, kVocab);
+    } else {
+      r.id = s++;
+      r.src_tokens = rng.token_ids(kShortTokens, kVocab);
+    }
+    r.max_new_tokens = kMaxNew;
+    r.bos_id = 1;
+    r.eos_id = 2;
+    trace.push_back(std::move(r));
+  }
+
+  std::printf("Chunked padding-free prefill — causal LM mixed trace: %d short"
+              " (%d tok) + %d long\n(%d tok) prompts, max_new %d, arrival "
+              "every %d steps, quantum %d\n",
+              kShort, kShortTokens, kLong, kLongTokens, kMaxNew,
+              kArrivalStride, kQuantum);
+  bench::print_rule('=');
+
+  const RunResult off = run_trace(config, trace, /*quantum=*/0);
+  const RunResult on = run_trace(config, trace, kQuantum);
+
+  const auto row = [](const char* name, const RunResult& r) {
+    std::printf("%-9s | %7zu steps %6.3fs | TTFT p50 %8.2f p99 %8.2f | long "
+                "p99 %8.2f\n",
+                name, r.steps, r.wall_s, pct(r.ttft_ms, 0.50),
+                pct(r.ttft_ms, 0.99), pct(r.long_ttft_ms, 0.99));
+  };
+  row("unchunked", off);
+  row("chunked", on);
+  bench::print_rule();
+  std::printf("decode jitter (inter-token gap): unchunked p50 %.3f p99 %.3f "
+              "max %.3f ms\n",
+              pct(off.gaps_ms, 0.50), pct(off.gaps_ms, 0.99),
+              off.gaps_ms.empty()
+                  ? 0.0
+                  : *std::max_element(off.gaps_ms.begin(), off.gaps_ms.end()));
+  std::printf("                                   chunked p50 %.3f p99 %.3f "
+              "max %.3f ms\n",
+              pct(on.gaps_ms, 0.50), pct(on.gaps_ms, 0.99),
+              on.gaps_ms.empty()
+                  ? 0.0
+                  : *std::max_element(on.gaps_ms.begin(), on.gaps_ms.end()));
+  std::printf("chunked run: %zu multi-row chunk launches across %zu steps\n",
+              on.prefill_chunks, on.steps);
+
+  // Hard gate: chunking reorders work, it must not change a single token.
+  if (off.tokens != on.tokens) {
+    std::printf("!! token streams diverged between chunked and unchunked — "
+                "chunked prefill must be bit-exact\n");
+    return 1;
+  }
+  std::printf("outputs bit-identical across the A/B (%zu requests)\n",
+              off.tokens.size());
+
+  // p99 TTFT gate (report-only under TURBO_BENCH_NO_GATE): packing prompt
+  // rows chunk-wise must beat one-row-per-step prefill on first tokens.
+  const double p99_off = pct(off.ttft_ms, 0.99);
+  const double p99_on = pct(on.ttft_ms, 0.99);
+  if (std::getenv("TURBO_BENCH_NO_GATE") == nullptr) {
+    if (!(p99_on < p99_off)) {
+      std::printf("!! p99 TTFT gate failed: chunked %.2f ms vs unchunked "
+                  "%.2f ms (need improvement)\n",
+                  p99_on, p99_off);
+      return 1;
+    }
+    std::printf("gate passed: p99 TTFT %.2f ms -> %.2f ms (%.2fx)\n", p99_off,
+                p99_on, p99_on > 0 ? p99_off / p99_on : 0.0);
+  } else {
+    std::printf("(gate skipped: TURBO_BENCH_NO_GATE set; p99 TTFT %.2f ms -> "
+                "%.2f ms)\n",
+                p99_off, p99_on);
+  }
+  return 0;
+}

@@ -13,6 +13,8 @@ GenerationScheduler::GenerationScheduler(KvCachePool* pool,
   TT_CHECK(pool_ != nullptr);
   TT_CHECK(costs_ != nullptr);
   TT_CHECK_GE(options_.max_active, 1);
+  TT_CHECK_GE(options_.step_token_quantum, 0);
+  TT_CHECK_GE(options_.prefill_chunk_tokens, 0);
 }
 
 void GenerationScheduler::validate(
@@ -301,6 +303,10 @@ ActiveSequence* GenerationScheduler::pick_victim(
   std::vector<ActiveSequence*> eligible;
   for (const auto& seq : active_) {
     if (seq.get() == &requester) continue;
+    // A sequence whose deferred encode has not run yet cannot park: the
+    // pool's preempt() would wedge its cross share (no one left to
+    // encode). It becomes eligible once the encode job completes.
+    if (seq->kv && seq->kv->needs_cross_init()) continue;
     if (outranks(requester, *seq)) eligible.push_back(seq.get());
   }
   if (eligible.empty()) return nullptr;
@@ -328,8 +334,7 @@ ActiveSequence* GenerationScheduler::pick_victim(
   return best;
 }
 
-void GenerationScheduler::park(ActiveSequence* seq,
-                               std::vector<ActiveSequence*>* prepared) {
+void GenerationScheduler::park(ActiveSequence* seq, StepPlan* plan) {
   pool_->preempt(*seq->kv);
   ++seq->preempt_count;
   ++total_preempted_;
@@ -338,9 +343,13 @@ void GenerationScheduler::park(ActiveSequence* seq,
     tracer_->instant(obs::SpanKind::kPreempt, seq->request.id,
                      static_cast<int32_t>(seq->tokens.size()));
   }
-  if (prepared) {
-    prepared->erase(std::remove(prepared->begin(), prepared->end(), seq),
-                    prepared->end());
+  if (plan) {
+    auto& stepping = plan->stepping;
+    stepping.erase(std::remove(stepping.begin(), stepping.end(), seq),
+                   stepping.end());
+    auto& encode = plan->encode;
+    encode.erase(std::remove(encode.begin(), encode.end(), seq),
+                 encode.end());
   }
   for (auto it = active_.begin(); it != active_.end(); ++it) {
     if (it->get() == seq) {
@@ -373,8 +382,22 @@ bool GenerationScheduler::evict_one_parked() {
   return false;
 }
 
-std::vector<ActiveSequence*> GenerationScheduler::prepare_step() {
-  std::vector<ActiveSequence*> prepared;
+int GenerationScheduler::known_rows(const ActiveSequence& seq) const {
+  // Fed tokens already determined: a causal sequence feeds its whole
+  // prompt then every generated token; a seq2seq sequence feeds BOS then
+  // every generated token. Rows [0, seq.step) are written, so the
+  // remainder can run without sampling. Decode-ready sequences are
+  // exactly the known_rows == 1 case (the freshly sampled last_token).
+  const size_t total = options_.causal_lm
+                           ? seq.request.src_tokens.size() + seq.tokens.size()
+                           : 1 + seq.tokens.size();
+  return static_cast<int>(total) - seq.step;
+}
+
+GenerationScheduler::StepPlan GenerationScheduler::prepare_step() {
+  ++step_iter_;
+  if (options_.step_token_quantum > 0) return prepare_step_quantum();
+  StepPlan plan;
   // Growth mutates active_ (victims move to the requeue queue), so walk a
   // snapshot; anything parked by an earlier grower is skipped when its
   // turn comes.
@@ -385,22 +408,151 @@ std::vector<ActiveSequence*> GenerationScheduler::prepare_step() {
     if (!seq->kv || seq->kv->parked()) continue;  // victimized this call
     for (;;) {
       if (pool_->try_ensure_token(*seq->kv, seq->step)) {
-        prepared.push_back(seq);
+        seq->step_tokens = 1;
+        seq->last_step_iter = step_iter_;
+        plan.stepping.push_back(seq);
+        ++plan.quantum_charged;
         break;
       }
       // Pool exhausted mid-decode: preempt downward. A victim this grower
       // outranks goes first; then parked cross shares; and when neither
       // exists the grower itself yields to the sequences above it.
       if (ActiveSequence* victim = pick_victim(*seq)) {
-        park(victim, &prepared);
+        park(victim, &plan);
         continue;
       }
       if (evict_one_parked()) continue;
-      park(seq, &prepared);
+      park(seq, &plan);
       break;
     }
   }
-  return prepared;
+  return plan;
+}
+
+GenerationScheduler::StepPlan GenerationScheduler::prepare_step_quantum() {
+  StepPlan plan;
+  const int quantum = options_.step_token_quantum;
+  const int chunk = options_.prefill_chunk_tokens > 0
+                        ? options_.prefill_chunk_tokens
+                        : pool_->options().block_tokens;
+  int budget = quantum;
+
+  // Rotation order: least recently stepped first (admission order breaks
+  // ties). A sequence passed over keeps its old stamp and moves to the
+  // front next step, so every active sequence gets a pass-0 row at least
+  // once every ceil(active / quantum) steps — the decode starvation
+  // bound.
+  std::vector<ActiveSequence*> order;
+  order.reserve(active_.size());
+  for (const auto& seq : active_) order.push_back(seq.get());
+  std::sort(order.begin(), order.end(),
+            [](const ActiveSequence* a, const ActiveSequence* b) {
+              if (a->last_step_iter != b->last_step_iter) {
+                return a->last_step_iter < b->last_step_iter;
+              }
+              return a->admit_order < b->admit_order;
+            });
+
+  // Pass 0: whole-prompt encode jobs and one row per sequence. The first
+  // row keeps the legacy grow-or-preempt ladder (decode progress is worth
+  // preempting for); chunk extensions below never preempt.
+  for (ActiveSequence* seq : order) {
+    if (budget <= 0) break;
+    if (!seq->kv || seq->kv->parked()) continue;  // victimized this call
+    if (seq->kv->needs_cross_init()) {
+      // Deferred seq2seq encode: indivisible (the encoder is
+      // bidirectional), charged at its source length. When it cannot fit
+      // the remaining budget it runs anyway if the step would otherwise
+      // be empty — a prompt longer than the whole quantum must still
+      // encode exactly once (progress), flagged as overflow.
+      const int src = seq->kv->src_len();
+      if (src <= budget) {
+        budget -= src;
+      } else if (plan.empty()) {
+        budget = 0;
+        plan.quantum_overflow = true;
+      } else {
+        continue;  // retry next step, from the front of the rotation
+      }
+      plan.encode.push_back(seq);
+      plan.quantum_charged += src;
+      seq->last_step_iter = step_iter_;
+      continue;  // decode rows start the step after the encode ran
+    }
+    // A follower of a share whose creator has not encoded yet has no
+    // cross K/V to read; it joins once the pending encode job completes.
+    if (!seq->kv->cross_ready()) continue;
+    bool backed = false;
+    for (;;) {
+      if (pool_->try_ensure_token(*seq->kv, seq->step)) {
+        backed = true;
+        break;
+      }
+      if (ActiveSequence* victim = pick_victim(*seq)) {
+        park(victim, &plan);
+        continue;
+      }
+      if (evict_one_parked()) continue;
+      park(seq, &plan);
+      break;
+    }
+    if (!backed) continue;
+    seq->step_tokens = 1;
+    seq->last_step_iter = step_iter_;
+    plan.stepping.push_back(seq);
+    --budget;
+    ++plan.quantum_charged;
+  }
+
+  // Extension rounds: deepen prefill/replay chunks round-robin while the
+  // budget lasts, up to `chunk` rows per sequence per round so one long
+  // prompt cannot monopolize the quantum. Each extra row goes through the
+  // CoW barrier individually (a chunk may span several blocks, and only
+  // the block receiving a row is copied); on exhaustion the chunk simply
+  // stays short — extensions are opportunistic and never preempt. The
+  // cost gate prices the fused step at its grown row count and stops
+  // extending once the predicted latency would exceed max_step_cost_ms.
+  const auto cost_capped = [&](int rows_after, int ctx_after) {
+    if (options_.max_step_cost_ms <= 0.0) return false;
+    return predicted_step_cost_ms(ctx_after, rows_after) >
+           options_.max_step_cost_ms;
+  };
+  const auto seq_ctx = [&](const ActiveSequence& seq) {
+    return static_cast<int>(options_.causal_lm
+                                ? 0
+                                : seq.request.src_tokens.size()) +
+           seq.step + seq.step_tokens;
+  };
+  int max_ctx = 1;
+  for (const ActiveSequence* seq : plan.stepping) {
+    max_ctx = std::max(max_ctx, seq_ctx(*seq));
+  }
+  bool extended = true;
+  bool capped = false;
+  while (budget > 0 && extended && !capped) {
+    extended = false;
+    for (ActiveSequence* seq : plan.stepping) {
+      if (budget <= 0 || capped) break;
+      const int pending = known_rows(*seq) - seq->step_tokens;
+      const int take = std::min({chunk, pending, budget});
+      for (int i = 0; i < take; ++i) {
+        const int ctx_after = std::max(max_ctx, seq_ctx(*seq) + 1);
+        if (cost_capped(plan.quantum_charged + 1, ctx_after)) {
+          capped = true;
+          break;
+        }
+        if (!pool_->try_ensure_token(*seq->kv, seq->step + seq->step_tokens)) {
+          break;  // shrink on exhaustion; pass-0 rows already made progress
+        }
+        ++seq->step_tokens;
+        --budget;
+        ++plan.quantum_charged;
+        max_ctx = ctx_after;
+        extended = true;
+      }
+    }
+  }
+  return plan;
 }
 
 bool GenerationScheduler::admission_blocked() const {

@@ -63,6 +63,15 @@ struct ActiveSequence {
   int64_t admit_order = 0;   // first-admission stamp, stable across requeues
   int preempt_count = 0;     // times this sequence was preempted
   uint64_t park_ticks = 0;   // when last parked (tracing only; 0 = never)
+  // Rows this sequence runs in the next fused step: rows [step, step +
+  // step_tokens), each fed an already-known token. 1 for a decode-ready
+  // sequence; larger while a prefill or replay chunk is scheduled under
+  // the token quantum. Written by prepare_step, consumed by the server.
+  int step_tokens = 1;
+  // Iteration stamp of the last step that ran this sequence: the quantum
+  // allocator serves least-recently-stepped first, which is what bounds
+  // decode starvation under long prefills.
+  int64_t last_step_iter = -1;
 };
 
 struct GenSchedulerOptions {
@@ -85,6 +94,23 @@ struct GenSchedulerOptions {
 
   int max_active = 8;             // step-batch size cap
   double max_step_cost_ms = 0.0;  // predicted step latency cap; 0 = off
+  // Token-quantum budget of one fused step (0 = legacy one-row-per-
+  // sequence stepping). When set, prepare_step assembles a mixed batch of
+  // decode rows plus as many pending prefill/replay chunk rows as fit the
+  // quantum: every active sequence in rotation order first gets one row
+  // (decode progress), then sequences with known-but-unfed tokens (causal
+  // prompts mid-prefill, parked tokens replaying after a resume) are
+  // deepened chunk-wise until the budget — or the cost gate — runs out.
+  // Seq2seq prompt encodes cannot be split numerically (the encoder is
+  // bidirectional), so they are scheduled as whole deferred jobs charged
+  // src_len tokens against the same quantum; one may overflow the budget
+  // only when the step would otherwise be empty (progress guarantee),
+  // flagged in StepPlan::quantum_overflow.
+  int step_token_quantum = 0;
+  // Max rows one sequence's prefill/replay advances per extension round
+  // (0 = the pool's block_tokens). Bounds how much of the quantum a single
+  // long prompt can claim before the round-robin moves on.
+  int prefill_chunk_tokens = 0;
   // Admit on current marginal demand instead of the worst case, absorbing
   // the oversubscription with preempt-and-requeue.
   bool optimistic_admission = false;
@@ -149,14 +175,37 @@ class GenerationScheduler {
   // resumed ones carry replay > 0 and re-derive instead of streaming.
   std::vector<ActiveSequence*> admit(double now_s);
 
-  // Growth phase of one iteration: back self row `step` of every active
-  // sequence (CoW barrier included), preempting victims when the pool is
-  // exhausted. Returns the sequences that should run this step — under
-  // worst-case admission that is every active sequence; under optimistic
-  // admission a sequence may instead have been parked (preempted) this
-  // call, either as a victim or by yielding to a higher-priority grower.
-  // At least one sequence survives whenever any was active.
-  std::vector<ActiveSequence*> prepare_step();
+  // One iteration's worth of work, as assembled by prepare_step.
+  struct StepPlan {
+    // Sequences that run decoder rows this step; each runs rows
+    // [seq->step, seq->step + seq->step_tokens), every row backed by a
+    // pool block (CoW barrier included).
+    std::vector<ActiveSequence*> stepping;
+    // Deferred seq2seq encode jobs: run the encoder over each sequence's
+    // source (one forward per sequence — padding-free) and
+    // mark_cross_ready before the decode rows of the NEXT step may touch
+    // it. Empty in legacy mode (the server encodes at admission).
+    std::vector<ActiveSequence*> encode;
+    // Token rows charged against the quantum this step: one per decode /
+    // prefill / replay row plus src_len per encode job. In legacy mode,
+    // the step batch size.
+    int quantum_charged = 0;
+    // True when a whole-prompt encode job exceeded the remaining budget
+    // but ran anyway because the step would otherwise have been empty.
+    bool quantum_overflow = false;
+    bool empty() const { return stepping.empty() && encode.empty(); }
+  };
+
+  // Growth phase of one iteration: back the self rows every scheduled
+  // sequence will write (CoW barrier included), preempting victims when
+  // the pool is exhausted. In legacy mode (step_token_quantum == 0) every
+  // active sequence gets exactly one row — a sequence may instead have
+  // been parked this call, either as a victim or by yielding to a
+  // higher-priority grower; at least one survives whenever any was
+  // active. In quantum mode the plan additionally packs prefill/replay
+  // chunks and deferred encode jobs under the token budget (see
+  // GenSchedulerOptions::step_token_quantum).
+  StepPlan prepare_step();
 
   const std::vector<std::unique_ptr<ActiveSequence>>& active_set() const {
     return active_;
@@ -209,10 +258,12 @@ class GenerationScheduler {
   // Predicted cost of re-deriving `s`'s parked tokens after a preemption.
   double replay_cost_ms(const ActiveSequence& s) const;
   // Victim among active sequences the requester outranks; null when none.
+  // Sequences still owing their share a deferred encoder pass are never
+  // eligible (the pool cannot park them without wedging the share).
   ActiveSequence* pick_victim(const ActiveSequence& requester);
   // Preempt `seq`: park its tokens, move it to the requeue queue, and drop
-  // it from `prepared` if it had already been grown this iteration.
-  void park(ActiveSequence* seq, std::vector<ActiveSequence*>* prepared);
+  // it from `plan` if it had already been scheduled this iteration.
+  void park(ActiveSequence* seq, StepPlan* plan);
   // Drop the cross share of the most recently preempted parked sequence
   // (it will re-encode on resume). Last-resort capacity relief.
   bool evict_one_parked();
@@ -224,6 +275,15 @@ class GenerationScheduler {
   // the radix planning/donation key.
   static std::vector<int> fed_tokens(const ActiveSequence& seq);
 
+  // Rows of `seq` whose fed token is already known, counted from
+  // seq.step: 1 for a decode-ready sequence (the freshly sampled token),
+  // more while a causal prompt is still prefilling or parked tokens are
+  // replaying after a resume. The quantum allocator may schedule up to
+  // this many rows in one step without sampling anything.
+  int known_rows(const ActiveSequence& seq) const;
+  // Quantum-mode batch formation (see prepare_step).
+  StepPlan prepare_step_quantum();
+
   KvCachePool* pool_;
   const serving::CostTable* costs_;
   GenSchedulerOptions options_;
@@ -233,6 +293,7 @@ class GenerationScheduler {
   // Preempted sequences awaiting re-admission, oldest first.
   std::deque<std::unique_ptr<ActiveSequence>> requeued_;
   int64_t admit_stamp_ = 0;
+  int64_t step_iter_ = 0;  // prepare_step invocations (rotation clock)
   size_t total_enqueued_ = 0;
   size_t total_admitted_ = 0;
   size_t total_retired_ = 0;

@@ -81,6 +81,7 @@ GenerationServer::GenerationServer(std::shared_ptr<ModelBundle> bundle,
       pool_(config_, options.pool),
       scheduler_(&pool_, &costs_, resolve_scheduler_options(*bundle_, options)),
       causal_(bundle_->decoder_only()),
+      quantum_on_(options.scheduler.step_token_quantum > 0),
       observe_costs_(options.observe_step_costs),
       observe_alpha_(options.cost_observe_alpha),
       epoch_(std::chrono::steady_clock::now()) {
@@ -107,7 +108,8 @@ void GenerationServer::bind_metrics() {
   m_resumed_ = &metrics_->counter(p + "resumes");
   m_evicted_ = &metrics_->counter(p + "evictions");
   m_replayed_ = &metrics_->counter(p + "replayed_tokens");
-  m_prefilled_ = &metrics_->counter(p + "prefilled_tokens");
+  m_prefilled_ = &metrics_->counter(p + "prefill_tokens");
+  m_prefill_chunks_ = &metrics_->counter(p + "prefill_chunks");
   m_radix_hits_ = &metrics_->counter(p + "radix_hits");
   m_radix_hit_rows_ = &metrics_->counter(p + "radix_hit_rows");
   m_radix_evictions_ = &metrics_->counter(p + "radix_evictions");
@@ -195,13 +197,15 @@ int GenerationServer::step() {
     }
   }
   std::vector<ActiveSequence*> to_encode;
-  // First admits that ran the encoder this iteration, counted before
-  // prepare_step can preempt one of them (which would bump its
+  // First admits that owe the encoder a pass this iteration, counted
+  // before prepare_step can preempt one of them (which would bump its
   // preempt_count and make it indistinguishable from a resume later).
   // Causal sequences never encode (empty share, born ready); the sharing
   // count for them is first admits that adopted a radix prefix.
   int fresh_encoded = 0;
   int radix_admits = 0;
+  int prefilled_now = 0;  // prompt tokens prefilled this step (encoder
+                          // source rows + causal prompt-feeding rows)
   for (ActiveSequence* seq : admitted) {
     if (causal_) {
       if (seq->preempt_count == 0 && seq->kv->prefix_rows() > 0) {
@@ -210,8 +214,10 @@ int GenerationServer::step() {
       continue;
     }
     if (seq->kv->needs_cross_init()) {
-      to_encode.push_back(seq);
       if (seq->preempt_count == 0) ++fresh_encoded;
+      // Quantum mode defers the encode: the scheduler charges it against
+      // a step's token budget and hands it back in StepPlan::encode.
+      if (!quantum_on_) to_encode.push_back(seq);
     }
   }
   if (!to_encode.empty()) {
@@ -241,6 +247,7 @@ int GenerationServer::step() {
           Shape{valid_lens[static_cast<size_t>(b)], config_.hidden});
       bundle_->decoder->init_cross_attention(view, *seq->kv);
       seq->kv->mark_cross_ready();
+      prefilled_now += valid_lens[static_cast<size_t>(b)];
     }
     if (tracing) {
       int prefill_tokens = 0;
@@ -250,118 +257,198 @@ int GenerationServer::step() {
     }
   }
 
-  // Growth phase: back every active sequence's next self row. Under
-  // optimistic admission this is where pool exhaustion surfaces and the
-  // scheduler preempts — only the survivors step.
+  // Growth phase: back the self rows every scheduled sequence will write.
+  // Under optimistic admission this is where pool exhaustion surfaces and
+  // the scheduler preempts — only the survivors step. In quantum mode the
+  // plan is a mixed batch: decode rows plus prefill/replay chunk rows,
+  // plus deferred whole-prompt encode jobs, together priced under the
+  // step token quantum.
   const uint64_t t_sched0 = tracing ? obs::now_ticks() : 0;
-  const std::vector<ActiveSequence*> stepping = scheduler_.prepare_step();
+  const GenerationScheduler::StepPlan plan = scheduler_.prepare_step();
   if (tracing) {
     tracer_.span(obs::SpanKind::kSchedule, t_sched0, obs::now_ticks(),
-                 /*seq=*/-1, static_cast<int32_t>(stepping.size()));
+                 /*seq=*/-1, static_cast<int32_t>(plan.stepping.size()));
   }
-  if (stepping.empty()) return 0;
-  const int nb = static_cast<int>(stepping.size());
+  if (plan.empty()) return 0;
+  const int nb_seqs = static_cast<int>(plan.stepping.size());
 
-  // One fused decode step over every surviving sequence.
-  std::vector<model::Seq2SeqDecoder::StepSlot> slots(static_cast<size_t>(nb));
+  // Deferred encode jobs (quantum mode): one encoder forward per sequence
+  // — exactly the source length, zero padding — then the cross K/V
+  // projection into the share's pool blocks. Decode rows of this sequence
+  // start next step at the earliest (the scheduler never mixes a
+  // sequence's encode and decode in one plan).
+  for (ActiveSequence* seq : plan.encode) {
+    const uint64_t t_enc0 = tracing ? obs::now_ticks() : 0;
+    const auto& src = seq->request.src_tokens;
+    const int len = static_cast<int>(src.size());
+    Tensor ids = Tensor::zeros(Shape{1, len}, DType::kI32);
+    std::copy(src.begin(), src.end(), ids.data<int32_t>());
+    std::vector<int> valid_lens{len};
+    Tensor memory = bundle_->encoder->forward(ids, &valid_lens);
+    Tensor view =
+        Tensor::view(memory.data<float>(), Shape{len, config_.hidden});
+    bundle_->decoder->init_cross_attention(view, *seq->kv);
+    seq->kv->mark_cross_ready();
+    prefilled_now += len;
+    if (tracing) {
+      tracer_.span(obs::SpanKind::kEncodePrefill, t_enc0, obs::now_ticks(),
+                   seq->request.id, /*batch=*/1, len);
+    }
+  }
+
+  // One fused decode step over every surviving sequence: one StepSlot per
+  // scheduled row. A chunked sequence contributes step_tokens consecutive
+  // rows at ascending positions; every fed token is already known (prompt
+  // tokens mid-prefill, parked tokens mid-replay, the sampled last token
+  // on the frontier row), and the slot order within the batch matches the
+  // per-token path's row order, so the fused chunk is bit-identical to
+  // feeding the rows one step at a time. Rows whose logits nobody reads
+  // (causal prompt rows short of the frontier) skip the vocabulary
+  // projection via need_logits.
+  std::vector<model::Seq2SeqDecoder::StepSlot> slots;
+  slots.reserve(static_cast<size_t>(
+      std::max(plan.quantum_charged, nb_seqs)));
   int max_ctx_now = 1;
-  for (int b = 0; b < nb; ++b) {
-    ActiveSequence& seq = *stepping[static_cast<size_t>(b)];
-    slots[static_cast<size_t>(b)] =
-        model::Seq2SeqDecoder::StepSlot{seq.last_token, seq.step,
-                                        seq.kv.get()};
-    // Causal context is the self rows alone (the prompt lives in them);
-    // seq2seq attends source + generated.
-    max_ctx_now = std::max(
-        max_ctx_now,
-        causal_ ? seq.step + 1
-                : static_cast<int>(seq.request.src_tokens.size()) + seq.step +
-                      1);
+  int chunked_now = 0;
+  for (ActiveSequence* sp : plan.stepping) {
+    const ActiveSequence& seq = *sp;
+    const auto& src = seq.request.src_tokens;
+    const int src_len = static_cast<int>(src.size());
+    const int prompt_len = causal_ ? src_len : 0;
+    if (seq.step_tokens > 1) {
+      ++chunked_now;
+      if (tracing) {
+        tracer_.instant(obs::SpanKind::kPrefillChunk, seq.request.id,
+                        seq.step_tokens);
+      }
+    }
+    for (int i = 0; i < seq.step_tokens; ++i) {
+      const int p = seq.step + i;
+      model::Seq2SeqDecoder::StepSlot slot;
+      if (causal_) {
+        slot.prev_token = p < prompt_len
+                              ? src[static_cast<size_t>(p)]
+                              : seq.tokens[static_cast<size_t>(p - prompt_len)];
+      } else {
+        slot.prev_token = p == 0 ? seq.request.bos_id
+                                 : seq.tokens[static_cast<size_t>(p - 1)];
+      }
+      slot.step = p;
+      slot.cache = seq.kv.get();
+      // Causal rows still inside the prompt predict a position whose
+      // token is already known — their logits are never read.
+      slot.need_logits = (causal_ ? p + 1 - prompt_len : p) >= 0;
+      slots.push_back(slot);
+      // Causal context is the self rows alone (the prompt lives in them);
+      // seq2seq attends source + generated.
+      max_ctx_now =
+          std::max(max_ctx_now, causal_ ? p + 1 : src_len + p + 1);
+    }
   }
+  const int nb_rows = static_cast<int>(slots.size());
   const int vocab = config_.vocab;
-  logits_.resize(static_cast<size_t>(nb) * vocab);
-  const auto step_t0 = std::chrono::steady_clock::now();
-  bundle_->decoder->step(slots, logits_.data(), workspace_);
-  const auto step_t1 = std::chrono::steady_clock::now();
-  const double step_ms =
-      std::chrono::duration<double, std::milli>(step_t1 - step_t0).count();
-  if (tracing) {
-    // The decode span reuses the cost-observation timestamps — no extra
-    // clock reads bracket the fused step.
-    tracer_.span(obs::SpanKind::kDecodeStep, to_ticks(step_t0),
-                 to_ticks(step_t1), /*seq=*/-1, nb, /*tokens=*/nb);
-  }
-  // Lazy-evaluation feedback (§6.3): the admission gate and the
-  // cheapest-recompute victim policy predict from this table, so feed it
-  // what the step actually cost at the batch's real context length. A
-  // batch wider than the table's grid is dropped — folding an 8-wide
-  // latency into the widest cell would inflate its EMA forever.
-  if (observe_costs_ && step_ms > 0.0 && nb <= costs_.max_batch()) {
-    costs_.observe(max_ctx_now, nb, step_ms, observe_alpha_);
+  double step_ms = 0.0;
+  if (nb_rows > 0) {
+    logits_.resize(static_cast<size_t>(nb_rows) * vocab);
+    const auto step_t0 = std::chrono::steady_clock::now();
+    bundle_->decoder->step(slots, logits_.data(), workspace_);
+    const auto step_t1 = std::chrono::steady_clock::now();
+    step_ms =
+        std::chrono::duration<double, std::milli>(step_t1 - step_t0).count();
+    if (tracing) {
+      // The decode span reuses the cost-observation timestamps — no extra
+      // clock reads bracket the fused step.
+      tracer_.span(obs::SpanKind::kDecodeStep, to_ticks(step_t0),
+                   to_ticks(step_t1), /*seq=*/-1, nb_rows, /*tokens=*/nb_rows);
+    }
+    // Lazy-evaluation feedback (§6.3): the admission gate and the
+    // cheapest-recompute victim policy predict from this table, so feed it
+    // what the step actually cost at the batch's real context length. A
+    // batch wider than the table's grid is dropped — folding an 8-wide
+    // latency into the widest cell would inflate its EMA forever.
+    if (observe_costs_ && step_ms > 0.0 && nb_rows <= costs_.max_batch()) {
+      costs_.observe(max_ctx_now, nb_rows, step_ms, observe_alpha_);
+    }
   }
 
-  // Greedy expansion + streaming. Replayed positions (step < replay after
-  // a resume) re-derive parked tokens: the argmax is asserted identical to
-  // the parked token and is NOT streamed again — clients already saw it —
-  // so the stream stays gapless and duplicate-free across preemptions.
+  // Greedy expansion + streaming, row by row in slot order. Replayed
+  // positions (emit_idx < replay after a resume) re-derive parked tokens:
+  // the argmax is asserted identical to the parked token and is NOT
+  // streamed again — clients already saw it — so the stream stays gapless
+  // and duplicate-free across preemptions. Causal prompt rows short of
+  // the frontier discard their (never-projected) prediction; a chunk that
+  // does not reach the frontier samples nothing this step. At most the
+  // final row of a sequence's chunk can stream — chunks never extend past
+  // the known-token frontier.
   const uint64_t t_stream0 = tracing ? obs::now_ticks() : 0;
   int finished_now = 0;
   int replayed_now = 0;
-  int prefilled_now = 0;
-  for (int b = 0; b < nb; ++b) {
-    ActiveSequence& seq = *stepping[static_cast<size_t>(b)];
-    const float* row = logits_.data() + static_cast<size_t>(b) * vocab;
-    const int token =
-        static_cast<int>(std::max_element(row, row + vocab) - row);
-    const int step_idx = seq.step;
-    ++seq.step;
-    // Causal prefill: feeding prompt row step_idx produces logits for
-    // position step_idx + 1; while that position is still inside the
-    // prompt the prediction is discarded and the real prompt token is fed
-    // next — nothing streams. emit_idx is the generated-token index this
-    // step produced (seq2seq prefills through the encoder, so there the
-    // step index is already it).
-    const int prompt_len =
-        causal_ ? static_cast<int>(seq.request.src_tokens.size()) : 0;
-    const int emit_idx = causal_ ? step_idx + 1 - prompt_len : step_idx;
-    if (emit_idx < 0) {
-      seq.last_token =
-          seq.request.src_tokens[static_cast<size_t>(step_idx) + 1];
-      ++prefilled_now;
-      continue;
-    }
-    if (emit_idx < seq.replay) {
-      TT_CHECK_MSG(token == seq.tokens[static_cast<size_t>(emit_idx)],
-                   "preemption replay diverged for request "
-                       << seq.request.id << " at step " << step_idx << ": "
-                       << token << " != "
-                       << seq.tokens[static_cast<size_t>(emit_idx)]);
-      seq.last_token = token;
-      ++replayed_now;
-      continue;
-    }
-    if (token == seq.request.eos_id) {
-      seq.finished = true;
-    } else {
-      seq.tokens.push_back(token);
-      seq.last_token = token;
-      if (static_cast<int>(seq.tokens.size()) >= seq.request.max_new_tokens) {
+  int streamed_now = 0;
+  size_t si = 0;
+  for (ActiveSequence* sp : plan.stepping) {
+    ActiveSequence& seq = *sp;
+    const int rows = seq.step_tokens;
+    for (int i = 0; i < rows; ++i, ++si) {
+      const int step_idx = slots[si].step;
+      TT_CHECK_EQ(step_idx, seq.step);
+      ++seq.step;
+      // Causal prefill: feeding prompt row step_idx produces logits for
+      // position step_idx + 1; while that position is still inside the
+      // prompt the prediction is discarded and the real prompt token is
+      // fed next — nothing streams. emit_idx is the generated-token index
+      // this row produced (seq2seq prefills through the encoder, so there
+      // the row index is already it).
+      const int prompt_len =
+          causal_ ? static_cast<int>(seq.request.src_tokens.size()) : 0;
+      const int emit_idx = causal_ ? step_idx + 1 - prompt_len : step_idx;
+      if (emit_idx < 0) {
+        seq.last_token =
+            seq.request.src_tokens[static_cast<size_t>(step_idx) + 1];
+        ++prefilled_now;
+        continue;
+      }
+      const float* row = logits_.data() + si * static_cast<size_t>(vocab);
+      const int token =
+          static_cast<int>(std::max_element(row, row + vocab) - row);
+      if (emit_idx < seq.replay) {
+        TT_CHECK_MSG(token == seq.tokens[static_cast<size_t>(emit_idx)],
+                     "preemption replay diverged for request "
+                         << seq.request.id << " at step " << step_idx << ": "
+                         << token << " != "
+                         << seq.tokens[static_cast<size_t>(emit_idx)]);
+        seq.last_token = token;
+        ++replayed_now;
+        continue;
+      }
+      // Frontier row: the one freshly sampled token this sequence gets
+      // this step (necessarily its last scheduled row).
+      TT_CHECK_EQ(i, rows - 1);
+      ++streamed_now;
+      if (token == seq.request.eos_id) {
         seq.finished = true;
-        seq.hit_max_len = true;
+      } else {
+        seq.tokens.push_back(token);
+        seq.last_token = token;
+        if (static_cast<int>(seq.tokens.size()) >=
+            seq.request.max_new_tokens) {
+          seq.finished = true;
+          seq.hit_max_len = true;
+        }
+      }
+      if (seq.finished) ++finished_now;
+      if (tracing && emit_idx == 0) {
+        // First streamed token of the sequence (replayed and prefill
+        // positions never get here, so this fires exactly once per
+        // request): the queueing pass anchors time-to-first-token on it.
+        tracer_.instant(obs::SpanKind::kStream, seq.request.id);
+      }
+      const auto cb = callbacks_.find(seq.request.id);
+      if (cb != callbacks_.end() && cb->second) {
+        cb->second(seq.request.id, token, step_idx, seq.finished);
       }
     }
-    if (seq.finished) ++finished_now;
-    if (tracing && emit_idx == 0) {
-      // First streamed token of the sequence (replayed and prefill
-      // positions never get here, so this fires exactly once per request):
-      // the queueing pass anchors time-to-first-token on it.
-      tracer_.instant(obs::SpanKind::kStream, seq.request.id);
-    }
-    const auto cb = callbacks_.find(seq.request.id);
-    if (cb != callbacks_.end() && cb->second) {
-      cb->second(seq.request.id, token, step_idx, seq.finished);
-    }
   }
+  TT_CHECK_EQ(si, slots.size());
 
   // Retire: KV blocks return to the pool before the next admit round.
   std::vector<std::unique_ptr<ActiveSequence>> retired =
@@ -382,7 +469,7 @@ int GenerationServer::step() {
   }
   if (tracing) {
     tracer_.span(obs::SpanKind::kStream, t_stream0, obs::now_ticks(),
-                 /*seq=*/-1, nb, nb - replayed_now - prefilled_now);
+                 /*seq=*/-1, nb_rows, streamed_now);
     const size_t radix_evicted_now =
         pool_.radix_evictions() - radix_evictions_before;
     if (radix_evicted_now > 0) {
@@ -399,7 +486,8 @@ int GenerationServer::step() {
   m_evicted_->add(scheduler_.total_evicted() - evicted_before);
   m_replayed_->add(static_cast<uint64_t>(replayed_now));
   m_prefilled_->add(static_cast<uint64_t>(prefilled_now));
-  m_tokens_->add(static_cast<uint64_t>(nb - replayed_now - prefilled_now));
+  m_prefill_chunks_->add(static_cast<uint64_t>(chunked_now));
+  m_tokens_->add(static_cast<uint64_t>(streamed_now));
   m_completed_->add(retired.size());
   m_radix_hits_->add(pool_.radix_hits() - radix_hits_before);
   m_radix_hit_rows_->add(pool_.radix_hit_rows() - radix_hit_rows_before);
@@ -408,8 +496,10 @@ int GenerationServer::step() {
       static_cast<double>(pool_.radix_cached_blocks()));
   g_radix_evictable_blocks_->set(
       static_cast<double>(pool_.radix_evictable_blocks()));
-  h_step_ms_->record(step_ms);
-  h_batch_->record(static_cast<double>(nb));
+  if (nb_rows > 0) {
+    h_step_ms_->record(step_ms);
+    h_batch_->record(static_cast<double>(nb_rows));
+  }
   g_active_->set(static_cast<double>(pool_.active_sequences()));
   g_kv_bytes_->set(static_cast<double>(pool_.bytes_in_use()));
   g_device_bytes_->set(
@@ -417,7 +507,8 @@ int GenerationServer::step() {
   if (observer_) {
     StepStats stats;
     stats.iteration = iteration_;
-    stats.active = nb;
+    stats.active = nb_seqs;
+    stats.step_rows = nb_rows;
     stats.admitted =
         static_cast<int>(scheduler_.total_admitted() - admitted_before);
     // First admits that skipped work via sharing: a prompt match for
@@ -434,13 +525,16 @@ int GenerationServer::step() {
         static_cast<int>(scheduler_.total_evicted() - evicted_before);
     stats.replayed = replayed_now;
     stats.prefilled = prefilled_now;
+    stats.prefill_chunks = chunked_now;
+    stats.quantum_charged = plan.quantum_charged;
+    stats.quantum_overflow = plan.quantum_overflow;
     stats.kv_bytes_in_use = pool_.bytes_in_use();
     stats.kv_device_bytes = pool_.stats().current_device_bytes;
     stats.kv_blocks_in_use = pool_.blocks_in_use();
     stats.kv_blocks_reserved = pool_.blocks_reserved();
     observer_(stats);
   }
-  return nb;
+  return nb_seqs + static_cast<int>(plan.encode.size());
 }
 
 std::vector<serving::GenerationResponse> GenerationServer::take_completed() {

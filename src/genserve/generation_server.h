@@ -69,6 +69,9 @@ struct GenServerOptions {
 struct StepStats {
   int64_t iteration = 0;
   int active = 0;                   // sequences in this fused step
+  int step_rows = 0;                // decoder rows in this fused step (==
+                                    // active in legacy mode; more while
+                                    // prefill/replay chunks are scheduled)
   int admitted = 0;                 // joined this iteration (first admits)
   int admitted_shared = 0;          // of those, joined via a prompt match
                                     // (cross blocks shared, encoder skipped;
@@ -77,9 +80,19 @@ struct StepStats {
   int preempted = 0;                // victims parked this iteration
   int resumed = 0;                  // requeued sequences re-admitted
   int evicted = 0;                  // parked cross shares dropped
-  int replayed = 0;                 // step slots re-deriving parked tokens
-  int prefilled = 0;                // causal step slots still feeding prompt
-                                    // tokens (nothing streamed)
+  int replayed = 0;                 // decoder rows re-deriving parked tokens
+  int prefilled = 0;                // prompt TOKENS prefilled this step:
+                                    // causal rows still feeding the prompt
+                                    // (nothing streamed) plus seq2seq source
+                                    // tokens run through the encoder —
+                                    // comparable across the chunked and
+                                    // per-token paths
+  int prefill_chunks = 0;           // sequences that ran a multi-row
+                                    // prefill/replay chunk this step
+  int quantum_charged = 0;          // token rows charged against the step
+                                    // quantum (StepPlan::quantum_charged)
+  bool quantum_overflow = false;    // a whole-prompt encode overran the
+                                    // budget to keep the step non-empty
   size_t kv_bytes_in_use = 0;       // live sequences' blocks
   size_t kv_device_bytes = 0;       // slab footprint (device reservation)
   size_t kv_blocks_in_use = 0;      // unique live blocks
@@ -210,6 +223,11 @@ class GenerationServer {
   KvCachePool pool_;
   GenerationScheduler scheduler_;
   bool causal_ = false;  // decoder-only bundle: causal-LM serving path
+  // Token-quantum stepping (scheduler.step_token_quantum > 0): admits are
+  // NOT encoded at admission — the scheduler schedules whole-prompt
+  // encode jobs against the quantum, and the server runs each as its own
+  // padding-free encoder forward.
+  bool quantum_on_ = false;
   std::unordered_map<int64_t, serving::TokenCallback> callbacks_;
   std::vector<serving::GenerationResponse> completed_;
   std::vector<float> logits_;  // step scratch [max_active, vocab]
@@ -241,6 +259,7 @@ class GenerationServer {
   obs::Counter* m_evicted_ = nullptr;
   obs::Counter* m_replayed_ = nullptr;
   obs::Counter* m_prefilled_ = nullptr;
+  obs::Counter* m_prefill_chunks_ = nullptr;
   obs::Counter* m_radix_hits_ = nullptr;
   obs::Counter* m_radix_hit_rows_ = nullptr;
   obs::Counter* m_radix_evictions_ = nullptr;

@@ -50,6 +50,10 @@ bool SequenceKv::cross_shared() const {
   return pool_->shares_.at(share_id_).refs > 1;
 }
 
+bool SequenceKv::cross_ready() const {
+  return pool_->shares_.at(share_id_).ready;
+}
+
 void SequenceKv::mark_cross_ready() {
   TT_CHECK(cross_creator_);
   pool_->shares_.at(share_id_).ready = true;

@@ -163,6 +163,16 @@ class SequenceKv final : public model::KvCacheView {
   // scheduler's last-resort eviction prefers handles whose release
   // actually returns storage.)
   bool cross_shared() const;
+  // True once the cross K/V this sequence reads are materialized: causal
+  // sequences always (no cross side), sharing followers only after the
+  // share's creator ran init_cross_attention + mark_cross_ready. With
+  // deferred (quantum-scheduled) encoding a follower can be admitted before
+  // its creator encoded; it must not step until this turns true.
+  bool cross_ready() const;
+  // Cross-block share this sequence references (-1 for promptless admits).
+  // Two sequences with the same share id read the same cross K/V, so a
+  // scheduler can tell whether a pending encode job unblocks a follower.
+  int64_t share_id() const { return share_id_; }
   // The creator calls this after init_cross_attention so later admits of
   // the same prompt can skip straight to decoding.
   void mark_cross_ready();

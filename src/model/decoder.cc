@@ -264,8 +264,40 @@ void Seq2SeqDecoder::step(const std::vector<StepSlot>& slots, float* logits,
                                 w.ln3_beta.data<float>(), nb, H);
   }
 
-  kernels::gemm(x.data(), weights_.output_proj.data<float>(), logits, nb,
-                vocab, H);
+  // Vocabulary projection. Prompt rows fed during chunked prefill carry
+  // need_logits = false: gather the flagged rows, project only those, and
+  // scatter back. gemm rows are independent, so the compact path produces
+  // bit-identical logits for every flagged row; unflagged rows of `logits`
+  // are left untouched.
+  int keep = 0;
+  for (const StepSlot& slot : slots) keep += slot.need_logits ? 1 : 0;
+  if (keep == nb) {
+    kernels::gemm(x.data(), weights_.output_proj.data<float>(), logits, nb,
+                  vocab, H);
+  } else if (keep > 0) {
+    auto& xg = ws.xg;
+    auto& lg = ws.lg;
+    xg.resize(static_cast<size_t>(keep) * H);
+    lg.resize(static_cast<size_t>(keep) * vocab);
+    int g = 0;
+    for (int b = 0; b < nb; ++b) {
+      if (!slots[static_cast<size_t>(b)].need_logits) continue;
+      std::copy(x.begin() + static_cast<long>(b) * H,
+                x.begin() + static_cast<long>(b + 1) * H,
+                xg.begin() + static_cast<long>(g) * H);
+      ++g;
+    }
+    kernels::gemm(xg.data(), weights_.output_proj.data<float>(), lg.data(),
+                  keep, vocab, H);
+    g = 0;
+    for (int b = 0; b < nb; ++b) {
+      if (!slots[static_cast<size_t>(b)].need_logits) continue;
+      std::copy(lg.begin() + static_cast<long>(g) * vocab,
+                lg.begin() + static_cast<long>(g + 1) * vocab,
+                logits + static_cast<long>(b) * vocab);
+      ++g;
+    }
+  }
 }
 
 void Seq2SeqDecoder::attend(KvCacheView& cache, int layer, bool self_side,

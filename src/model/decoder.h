@@ -117,6 +117,7 @@ class BeamKvFactory {
 // across calls so per-token work allocates nothing after warm-up.
 struct DecodeWorkspace {
   std::vector<float> x, qkv, attn, proj, resid, inter, scores;
+  std::vector<float> xg, lg;  // gathered hidden rows / compact logits
   std::vector<const float*> krows, vrows;
   std::vector<KvSpan> spans;
 };
@@ -146,6 +147,10 @@ class Seq2SeqDecoder {
     int prev_token = 0;          // token fed at this step (BOS at step 0)
     int step = 0;                // 0-based decode position
     KvCacheView* cache = nullptr;
+    // Chunked prefill feeds prompt rows whose outputs nobody samples; such
+    // slots still write K/V and attend (the cache must fill) but skip the
+    // vocabulary projection. Their logits rows are left untouched.
+    bool need_logits = true;
   };
 
   // Project the encoder memory [s_src, H] of one sentence into the cache's

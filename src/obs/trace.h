@@ -55,6 +55,8 @@ enum class SpanKind : uint8_t {
                      // prefix (tokens = prefix rows skipped)
   kRadixEvict,       // pool event: radix-tier LRU eviction(s) reclaimed
                      // blocks (tokens = evictions this step)
+  kPrefillChunk,     // seq event: a multi-row prefill/replay chunk ran in
+                     // the fused step (tokens = rows in the chunk)
   kCount,            // number of kinds (not a span)
 };
 

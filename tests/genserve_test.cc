@@ -761,6 +761,102 @@ TEST(GenerationServer, DecoderOnlyRadixSharingDoesNotChangeOutputs) {
   EXPECT_LT(on.second, off.second);  // adopted rows skipped prefill steps
 }
 
+// ---------------------------------------------------------------------------
+// Chunked prefill bit-identity (token-quantum stepping vs legacy)
+// ---------------------------------------------------------------------------
+
+TEST(GenerationServer, ChunkedPrefillBitIdenticalSeq2Seq) {
+  // Quantum stepping reorders work — deferred whole-prompt encode jobs,
+  // mixed decode batches, preempt-and-requeue under an oversubscribed
+  // pool — but every request's token stream must match the legacy
+  // encode-at-admission path bit-exactly. Two requests share a prompt so
+  // the follower waits on the creator's deferred encode (cross_ready).
+  const auto config = tiny();
+  Rng rng(47);
+  std::vector<serving::GenerationRequest> requests;
+  const auto shared_src = rng.token_ids(7, 50);
+  for (int i = 0; i < 6; ++i) {
+    auto r = make_request(rng, i, 3 + i, 10);
+    if (i == 1 || i == 4) r.src_tokens = shared_src;
+    requests.push_back(std::move(r));
+  }
+
+  auto run = [&](int quantum) {
+    GenServerOptions options;
+    options.pool = small_pool();
+    {
+      KvCachePool probe(tiny(), small_pool());
+      options.pool.max_bytes = 16 * probe.block_bytes();  // 2 slabs
+    }
+    options.scheduler.max_active = 6;
+    options.scheduler.optimistic_admission = true;
+    options.scheduler.step_token_quantum = quantum;
+    GenerationServer server(config, options, 29);
+    for (const auto& r : requests) server.submit(r);
+    std::map<int64_t, std::vector<int>> out;
+    for (auto& resp : server.run_to_completion()) {
+      out[resp.request_id] = std::move(resp.tokens);
+    }
+    server.pool().check_invariants();
+    EXPECT_EQ(server.pool().stats().current_device_bytes, 0u);
+    return std::make_pair(std::move(out), server.pool_snapshot().preemptions);
+  };
+
+  const auto off = run(0);
+  const auto on = run(4);
+  ASSERT_EQ(on.first.size(), requests.size());
+  EXPECT_EQ(on.first, off.first);
+  EXPECT_GT(on.second, 0u) << "pool was not tight enough to preempt";
+}
+
+TEST(GenerationServer, ChunkedPrefillBitIdenticalCausalWithMidPrefillPreempt) {
+  // Decoder-only: four 16-token prompts against a 16-block pool under
+  // optimistic admission. Chunked prefill races all four prompts through
+  // the pool at once, so at least one sequence is preempted before its
+  // prompt finishes feeding (a kPreempt event with zero parked tokens)
+  // and must resume mid-prefill — outputs still match the legacy
+  // one-prompt-token-per-step path bit-exactly.
+  const auto config = model::ModelConfig::tiny_causal(2, 32, 2, 64, 50);
+  Rng rng(53);
+  std::vector<serving::GenerationRequest> requests;
+  for (int i = 0; i < 4; ++i) {
+    requests.push_back(make_request(rng, i, 16, 6));
+  }
+
+  auto run = [&](int quantum) {
+    GenServerOptions options;
+    options.pool = small_pool();
+    {
+      KvCachePool probe(config, small_pool());
+      options.pool.max_bytes = 16 * probe.block_bytes();
+    }
+    options.scheduler.max_active = 4;
+    options.scheduler.optimistic_admission = true;
+    options.scheduler.step_token_quantum = quantum;
+    options.trace.enabled = true;
+    GenerationServer server(config, options, 29);
+    for (const auto& r : requests) server.submit(r);
+    std::map<int64_t, std::vector<int>> out;
+    for (auto& resp : server.run_to_completion()) {
+      out[resp.request_id] = std::move(resp.tokens);
+    }
+    bool mid_prefill_preempt = false;
+    for (const auto& span : server.trace_spans()) {
+      if (span.kind == obs::SpanKind::kPreempt && span.tokens == 0) {
+        mid_prefill_preempt = true;
+      }
+    }
+    server.pool().check_invariants();
+    return std::make_pair(std::move(out), mid_prefill_preempt);
+  };
+
+  const auto off = run(0);
+  const auto on = run(6);
+  ASSERT_EQ(on.first.size(), requests.size());
+  EXPECT_EQ(on.first, off.first);
+  EXPECT_TRUE(on.second) << "no sequence was preempted mid-prefill";
+}
+
 TEST(KvCachePool, PromptHashCollisionsNeverShare) {
   // Force every prompt onto one hash bucket: sharing decisions must fall
   // back to full token equality, so distinct prompts stay unshared and

@@ -23,8 +23,10 @@
 
 #include "common/hash.h"
 #include "common/rng.h"
+#include "genserve/generation_scheduler.h"
 #include "genserve/kv_cache_pool.h"
 #include "model/config.h"
+#include "serving/cost_table.h"
 
 namespace turbo::genserve {
 namespace {
@@ -838,6 +840,253 @@ TEST(KvPoolProperty, CausalDonationAdoptionIsExact) {
   pool.check_invariants();
   EXPECT_EQ(pool.blocks_in_use(), 0u);
   EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked prefill under a token quantum, driven through the real scheduler.
+//
+// A GenerationScheduler in causal quantum mode forms every step's mixed
+// batch; a synthetic driver stands in for the decoder, writing the
+// fed-prefix-derived value fnv1a(fed[0..t]) into every scheduled row and
+// sampling a deterministic token at each chunk frontier (so replays after
+// preemption regenerate bit-identical values). Random arrivals, forced
+// sheds (the cross-pool reclaim path), pool-level CoW forks of running
+// sequences and radix donation/adoption at retirement all interleave.
+// After every step:
+//  * the quantum is conserved — quantum_charged equals the rows the plan
+//    actually carries and never exceeds the budget (causal prompts are
+//    divisible, so overflow must never be flagged);
+//  * refcount conservation — check_invariants() and the capacity cap;
+//  * adopted rows read back their fed-prefix values at every admission
+//    and resume that attached a radix prefix.
+// ---------------------------------------------------------------------------
+
+int deterministic_token(const std::vector<int>& fed) {
+  // Any fixed function of the fed history works; it only has to reproduce
+  // the same token when a replayed chunk reaches the same frontier (and
+  // never the EOS id 2).
+  return 3 + static_cast<int>(fnv1a_range(fed.data(), fed.size()) % 40u);
+}
+
+void run_chunked_prefill_property(uint64_t seed, KvPoolOptions opts,
+                                  int quantum, int chunk_tokens) {
+  const auto config = tiny();
+  KvCachePool pool(config, opts);
+  const auto costs = serving::CostTable::warmup(
+      [](int len, int batch) { return 0.01 + 0.0001 * len * batch; }, 128, 16,
+      8);
+  GenSchedulerOptions sched_opts;
+  sched_opts.causal_lm = true;
+  sched_opts.optimistic_admission = true;
+  sched_opts.max_active = 4;
+  sched_opts.step_token_quantum = quantum;
+  sched_opts.prefill_chunk_tokens = chunk_tokens;
+  GenerationScheduler scheduler(&pool, &costs, sched_opts);
+  Rng rng(seed);
+
+  // Prompt templates share a block-aligned base so retirements donate
+  // prefixes that later admissions adopt mid-run.
+  const std::vector<int> base = rng.token_ids(2 * opts.block_tokens, 50);
+  const int kTemplates = 4;
+  std::vector<std::vector<int>> prompts;
+  for (int i = 0; i < kTemplates; ++i) {
+    auto p = base;
+    const auto tail =
+        rng.token_ids(1 + static_cast<int>(rng.uniform_int(0, 5)), 50);
+    p.insert(p.end(), tail.begin(), tail.end());
+    prompts.push_back(std::move(p));
+  }
+
+  const auto fed_of = [](const ActiveSequence& seq) {
+    std::vector<int> fed = seq.request.src_tokens;
+    fed.insert(fed.end(), seq.tokens.begin(), seq.tokens.end());
+    return fed;
+  };
+  const auto verify_rows = [&](SequenceKv& kv, const std::vector<int>& fed,
+                               int rows) {
+    for (int layer = 0; layer < config.num_layers; ++layer) {
+      for (int t = 0; t < rows; ++t) {
+        const float v = causal_row_value(fed, t);
+        ASSERT_EQ(kv.self_k(layer, t)[0], v)
+            << "seq " << kv.id() << " layer " << layer << " row " << t
+            << " (prefix_rows " << kv.prefix_rows() << ")";
+        ASSERT_EQ(kv.self_v(layer, t)[0], v + 0.5f);
+      }
+    }
+  };
+
+  // Pool-level CoW forks of running sequences (the pooled-beam id space):
+  // each pins its parent's chain and diverges with its own fed tail.
+  struct Fork {
+    std::unique_ptr<SequenceKv> kv;
+    std::vector<int> fed;
+    int steps = 0;
+  };
+  std::vector<Fork> forks;
+  int64_t next_fork_id = -1;
+  const auto release_fork = [&](size_t idx) {
+    verify_rows(*forks[idx].kv, forks[idx].fed, forks[idx].steps);
+    forks.erase(forks.begin() + static_cast<long>(idx));
+  };
+
+  int64_t next_id = 1;
+  size_t sheds = 0;
+  int chunked_rows = 0;
+  size_t adoptions_checked = 0;
+  const int kOps = 250;
+
+  const auto drive_one_step = [&](int op) {
+    // (Re)admissions first; every adoption must already read back the fed
+    // prefix it claims to cover.
+    for (ActiveSequence* seq : scheduler.admit(static_cast<double>(op))) {
+      if (seq->kv->prefix_rows() > 0) {
+        verify_rows(*seq->kv, fed_of(*seq), seq->kv->prefix_rows());
+        ++adoptions_checked;
+      }
+      ASSERT_EQ(seq->step, seq->kv->prefix_rows());
+    }
+    const auto plan = scheduler.prepare_step();
+    ASSERT_FALSE(plan.quantum_overflow)
+        << "causal prompts are divisible; nothing may overflow the quantum";
+    ASSERT_LE(plan.quantum_charged, quantum);
+    ASSERT_TRUE(plan.encode.empty());
+    int charged = 0;
+    for (ActiveSequence* seq : plan.stepping) {
+      const std::vector<int> fed = fed_of(*seq);
+      const int known = static_cast<int>(fed.size()) - seq->step;
+      ASSERT_GE(seq->step_tokens, 1);
+      ASSERT_LE(seq->step_tokens, known);
+      charged += seq->step_tokens;
+      if (seq->step_tokens > 1) chunked_rows += seq->step_tokens;
+      for (int i = 0; i < seq->step_tokens; ++i) {
+        const int t = seq->step + i;
+        const float v = causal_row_value(fed, t);
+        for (int layer = 0; layer < config.num_layers; ++layer) {
+          std::fill_n(seq->kv->self_k(layer, t), config.hidden, v);
+          std::fill_n(seq->kv->self_v(layer, t), config.hidden, v + 0.5f);
+        }
+      }
+      const bool frontier = seq->step_tokens == known;
+      seq->step += seq->step_tokens;
+      if (frontier) {
+        seq->tokens.push_back(deterministic_token(fed));
+        seq->last_token = seq->tokens.back();
+        if (static_cast<int>(seq->tokens.size()) >=
+            seq->request.max_new_tokens) {
+          seq->finished = true;
+          verify_rows(*seq->kv, fed_of(*seq), seq->step);
+        }
+      }
+    }
+    ASSERT_EQ(charged, plan.quantum_charged);
+    scheduler.retire_finished();  // donates written rows to the radix tier
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 9));
+    if (kind <= 1 && scheduler.pending() < 3) {
+      serving::GenerationRequest r;
+      r.id = next_id++;
+      r.src_tokens =
+          prompts[static_cast<size_t>(rng.uniform_int(0, kTemplates - 1))];
+      r.max_new_tokens = 2 + static_cast<int>(rng.uniform_int(0, 6));
+      r.bos_id = 1;
+      r.eos_id = 2;
+      scheduler.enqueue(std::move(r));
+    } else if (kind == 2) {
+      // Forced reclaim (the multi-model shed path): parks sequences —
+      // possibly mid-prefill — that must later resume and replay exactly.
+      if (scheduler.shed(static_cast<size_t>(
+              rng.uniform_int(1, 2) * static_cast<int64_t>(
+                                          pool.block_bytes()))) > 0) {
+        ++sheds;
+      }
+    } else if (kind == 3 && forks.size() < 2) {
+      // Fork a running sequence at its current row; the child shares every
+      // written block CoW and diverges with its own fed tail.
+      std::vector<ActiveSequence*> forkable;
+      for (const auto& seq : scheduler.active_set()) {
+        if (seq->kv && !seq->kv->parked() && seq->step > 0) {
+          forkable.push_back(seq.get());
+        }
+      }
+      if (!forkable.empty()) {
+        ActiveSequence* parent = forkable[static_cast<size_t>(
+            rng.uniform_int(0, static_cast<int64_t>(forkable.size()) - 1))];
+        if (pool.can_fork(*parent->kv)) {
+          Fork f;
+          f.kv = pool.fork(*parent->kv, next_fork_id--);
+          f.fed = fed_of(*parent);
+          f.steps = parent->step;
+          verify_rows(*f.kv, f.fed, f.steps);  // shares the parent's rows
+          // Diverge: one private row past the shared history.
+          f.fed.resize(static_cast<size_t>(f.steps));
+          f.fed.push_back(static_cast<int>(rng.uniform_int(0, 49)));
+          if (pool.try_ensure_token(*f.kv, f.steps)) {
+            const float v = causal_row_value(f.fed, f.steps);
+            for (int layer = 0; layer < config.num_layers; ++layer) {
+              std::fill_n(f.kv->self_k(layer, f.steps), config.hidden, v);
+              std::fill_n(f.kv->self_v(layer, f.steps), config.hidden,
+                          v + 0.5f);
+            }
+            ++f.steps;
+          }
+          forks.push_back(std::move(f));
+        }
+      }
+    } else if (kind == 4 && !forks.empty()) {
+      release_fork(static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(forks.size()) - 1)));
+    } else {
+      drive_one_step(op);
+    }
+    ASSERT_NO_THROW(pool.check_invariants()) << "seed " << seed
+                                             << " after op " << op;
+    ASSERT_LE(pool.blocks_in_use(), pool.max_blocks());
+  }
+
+  // Drain: release the fork pins first (they are invisible to the
+  // scheduler and could otherwise starve its progress guarantee), then
+  // step the scheduler dry.
+  while (!forks.empty()) release_fork(forks.size() - 1);
+  for (int op = kOps; !scheduler.idle(); ++op) {
+    ASSERT_LT(op, kOps + 500) << "scheduler failed to drain";
+    drive_one_step(op);
+    pool.check_invariants();
+  }
+  EXPECT_GT(chunked_rows, 0) << "seed " << seed << " never ran a chunk";
+  EXPECT_GT(adoptions_checked, 0u) << "seed " << seed << " never adopted";
+  EXPECT_EQ(pool.active_sequences(), 0);
+  EXPECT_EQ(pool.parked_sequences(), 0);
+  EXPECT_EQ(pool.blocks_reserved(), 0u);
+  EXPECT_EQ(pool.blocks_in_use(), pool.radix_cached_blocks());
+  pool.drop_radix_cache();
+  pool.check_invariants();
+  EXPECT_EQ(pool.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.stats().current_device_bytes, 0u);
+  EXPECT_EQ(pool.stats().device_malloc_bytes, pool.stats().device_free_bytes);
+}
+
+TEST(KvPoolProperty, ChunkedPrefillRandomQuantumInterleavings) {
+  // Random quantum and chunk geometry per seed over an unbounded pool.
+  for (uint64_t seed = 81; seed <= 84; ++seed) {
+    const int quantum = 2 + static_cast<int>(seed % 7);
+    const int chunk = static_cast<int>(seed % 3);  // 0 = block_tokens
+    run_chunked_prefill_property(seed, base_opts(), quantum, chunk);
+  }
+}
+
+TEST(KvPoolProperty, ChunkedPrefillBoundedPoolChurn) {
+  // Tight capacity: chunked prefill, shed-forced preemption, CoW fork
+  // pins and radix eviction all fight over 24 blocks.
+  auto opts = base_opts();
+  const size_t slab_bytes = static_cast<size_t>(opts.blocks_per_slab) *
+                            KvCachePool(tiny(), opts).block_bytes();
+  opts.max_bytes = 3 * slab_bytes;
+  for (uint64_t seed = 91; seed <= 95; ++seed) {
+    const int quantum = 3 + static_cast<int>(seed % 6);
+    run_chunked_prefill_property(seed, opts, quantum, /*chunk_tokens=*/0);
+  }
 }
 
 }  // namespace

@@ -196,6 +196,60 @@ TEST(MultiModelServer, CrossModelIsolationBitIdenticalUnderBudgetContention) {
             options.total_kv_bytes);
 }
 
+TEST(MultiModelServer, QuantumEnginesBitIdenticalUnderBudgetContention) {
+  // Token-quantum engines (chunked prefill + deferred encode jobs) behind
+  // the shared budget: cross-model reclaim may shed sequences mid-prefill,
+  // and sequences whose deferred encode has not run yet are unpreemptible
+  // — the reclaim path must tolerate partial sheds. Outputs still match
+  // each model's dedicated legacy (quantum-off) run bit-exactly.
+  auto bundle_a = make_bundle("a", 1, tiny(), /*seed=*/91);
+  auto bundle_b = make_bundle("b", 1, tiny(), /*seed=*/92);
+
+  Rng rng(0xC47);
+  std::vector<serving::GenerationRequest> reqs_a, reqs_b;
+  for (int i = 0; i < 6; ++i) {
+    reqs_a.push_back(make_request(rng, i, 6 + i, 12, "a"));
+    reqs_b.push_back(make_request(rng, 100 + i, 5 + i, 12, "b"));
+  }
+  const auto ref_a = dedicated_reference(bundle_a, reqs_a);
+  const auto ref_b = dedicated_reference(bundle_b, reqs_b);
+
+  MultiModelOptions options;
+  options.engine = small_engine();
+  options.engine.scheduler.step_token_quantum = 6;
+  const size_t slab = 4ull * 2 * 4 * 32 * sizeof(float);
+  options.total_kv_bytes = 6 * slab;
+  MultiModelGenerationServer server(options);
+  server.register_bundle(bundle_a, 3 * slab);
+  server.register_bundle(bundle_b, 3 * slab);
+
+  int max_charged = 0;
+  server.set_step_observer(
+      [&](const std::string&, int, const StepStats& s) {
+        if (!s.quantum_overflow) {
+          max_charged = std::max(max_charged, s.quantum_charged);
+        }
+      });
+  for (const auto& r : reqs_a) server.submit(r);
+  for (const auto& r : reqs_b) server.submit(r);
+
+  std::map<int64_t, std::vector<int>> tokens;
+  for (auto& resp : server.run_to_completion()) {
+    tokens[resp.request_id] = std::move(resp.tokens);
+  }
+  ASSERT_EQ(tokens.size(), reqs_a.size() + reqs_b.size());
+  for (const auto& [id, toks] : ref_a) EXPECT_EQ(tokens.at(id), toks);
+  for (const auto& [id, toks] : ref_b) EXPECT_EQ(tokens.at(id), toks);
+
+  size_t preemptions = 0;
+  for (const auto& s : server.stats()) preemptions += s.pool.preemptions;
+  EXPECT_GT(preemptions, 0u) << "budget never actually contended";
+  // Per-engine quantum held on every non-overflow step.
+  EXPECT_LE(max_charged, 6);
+  EXPECT_GT(max_charged, 0);
+  EXPECT_EQ(server.budget().used_bytes(), 0u);
+}
+
 TEST(MultiModelServer, IdleHeadroomIsBorrowedAndReclaimedByItsOwner) {
   auto bundle_a = make_bundle("a", 1, tiny(), /*seed=*/81);
   auto bundle_b = make_bundle("b", 1, tiny(), /*seed=*/82);

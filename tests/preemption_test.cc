@@ -526,9 +526,9 @@ class VictimPolicyTest : public ::testing::Test {
     }
     // Advance only sequence 0 until its growth preempts someone.
     while (scheduler.total_preempted() == 0) {
-      const auto stepping = scheduler.prepare_step();
-      ASSERT_FALSE(stepping.empty());
-      for (ActiveSequence* seq : stepping) {
+      const auto plan = scheduler.prepare_step();
+      ASSERT_FALSE(plan.stepping.empty());
+      for (ActiveSequence* seq : plan.stepping) {
         if (seq->request.id != 0) continue;
         ++seq->step;
         seq->tokens.push_back(3);  // park something replayable
