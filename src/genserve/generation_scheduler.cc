@@ -627,6 +627,10 @@ size_t GenerationScheduler::admission_demand_blocks() const {
   return 0;
 }
 
+size_t GenerationScheduler::admission_demand_bytes() const {
+  return admission_demand_blocks() * pool_->block_bytes();
+}
+
 size_t GenerationScheduler::shed(size_t bytes) {
   const size_t before = pool_->stats().current_device_bytes;
   const auto freed = [&] {

@@ -218,17 +218,18 @@ class GenerationScheduler {
   // True when admission is currently blocked on pool capacity: work is
   // waiting (requeued or queued) and the pool cannot take the next
   // candidate even at its current marginal demand. The multi-model budget
-  // owner polls this to decide when to reclaim borrowed slabs from sibling
+  // owner polls this to decide when to reclaim borrowed bytes from sibling
   // pools; false when the only brake is max_active or the cost gate.
   bool admission_blocked() const;
 
   // Forced preemption for cross-pool budget reclaim: park lowest-ranked
   // active sequences (then evict parked cross shares, last resort) until
-  // the pool's slab footprint has dropped by at least `bytes`, or nothing
+  // the pool's footprint has dropped by at least `bytes`, or nothing
   // preemptible remains. The parked sequences take the ordinary
   // preempt-and-requeue path — they resume and replay bit-identically once
-  // capacity returns. Returns the bytes actually freed (slab-granular, so
-  // possibly more than asked).
+  // capacity returns. Returns the bytes actually freed — quantized to the
+  // pool's reclaim grain (whole slabs under kSlab, block spans under
+  // kTlsf), so possibly more than asked.
   size_t shed(size_t bytes);
 
   // Blocks the front waiting candidate needs materialized to (re)join
@@ -236,6 +237,9 @@ class GenerationScheduler {
   // owner sizes reclaims with this, so a lightly loaded model claws back
   // only what its demand justifies, not its whole guarantee.
   size_t admission_demand_blocks() const;
+  // The same demand in bytes — what the multi-model reclaim path consumes
+  // (it quantizes to the pool's reclaim grain, not to slabs).
+  size_t admission_demand_bytes() const;
 
   // Lifetime counters (scheduler invariants: admitted == retired once
   // idle, and every enqueued request is admitted exactly once).

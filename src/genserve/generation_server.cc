@@ -118,6 +118,16 @@ void GenerationServer::bind_metrics() {
   g_active_ = &metrics_->gauge(p + "active_sequences");
   g_kv_bytes_ = &metrics_->gauge(p + "kv_bytes_in_use");
   g_device_bytes_ = &metrics_->gauge(p + "kv_device_bytes");
+  if (pool_.arena_kind() == KvArenaKind::kTlsf) {
+    // Arena health for TLSF-backed pools, prefixed by engine label so
+    // co-hosted models' arenas stay distinguishable in a shared registry.
+    const std::string t = "mem.tlsf." + bundle_->label() + ".";
+    g_tlsf_live_bytes_ = &metrics_->gauge(t + "live_bytes");
+    g_tlsf_resident_bytes_ = &metrics_->gauge(t + "resident_bytes");
+    g_tlsf_splits_ = &metrics_->gauge(t + "splits");
+    g_tlsf_coalesces_ = &metrics_->gauge(t + "coalesces");
+    g_tlsf_failed_allocs_ = &metrics_->gauge(t + "failed_allocs");
+  }
   h_step_ms_ = &metrics_->histogram(p + "step_ms");
   h_batch_ = &metrics_->histogram(p + "batch_size");
   h_latency_ms_ = &metrics_->histogram(p + "request_latency_ms");
@@ -504,6 +514,14 @@ int GenerationServer::step() {
   g_kv_bytes_->set(static_cast<double>(pool_.bytes_in_use()));
   g_device_bytes_->set(
       static_cast<double>(pool_.stats().current_device_bytes));
+  if (g_tlsf_live_bytes_ != nullptr) {
+    const memory::TlsfArenaStats ts = *pool_.tlsf_stats();
+    g_tlsf_live_bytes_->set(static_cast<double>(ts.live_bytes));
+    g_tlsf_resident_bytes_->set(static_cast<double>(ts.resident_bytes));
+    g_tlsf_splits_->set(static_cast<double>(ts.splits));
+    g_tlsf_coalesces_->set(static_cast<double>(ts.coalesces));
+    g_tlsf_failed_allocs_->set(static_cast<double>(ts.failed_allocs));
+  }
   if (observer_) {
     StepStats stats;
     stats.iteration = iteration_;
@@ -546,6 +564,14 @@ PoolSnapshot GenerationServer::pool_snapshot() const {
   s.bytes_in_use = pool_.bytes_in_use();
   s.device_bytes = pool_.stats().current_device_bytes;
   s.peak_device_bytes = pool_.stats().peak_device_bytes;
+  if (const auto ts = pool_.tlsf_stats()) {
+    s.peak_live_bytes = ts->peak_live_bytes;
+    s.peak_resident_bytes = ts->peak_resident_bytes;
+  } else {
+    s.peak_live_bytes = pool_.peak_blocks_in_use() * pool_.block_bytes();
+    s.peak_resident_bytes = pool_.stats().peak_device_bytes;
+  }
+  s.peak_waste_bytes = pool_.peak_waste_bytes();
   s.active_sequences = pool_.active_sequences();
   s.preemptions = scheduler_.total_preempted();
   s.resumes = scheduler_.total_resumed();

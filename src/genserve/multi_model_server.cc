@@ -212,25 +212,26 @@ size_t MultiModelGenerationServer::reclaim_for_starved_models() {
     Engine& m = *me;
     if (!m.server->scheduler().admission_blocked()) continue;
     const KvCachePool& pool = m.server->pool();
-    const size_t slab =
-        static_cast<size_t>(pool.options().blocks_per_slab) *
-        pool.block_bytes();
+    // Demand and targets quantize to the pool's reclaim grain: a whole
+    // slab under kSlab (bit-identical legacy sizing), one block span under
+    // kTlsf — where a model starved for one small block no longer forces a
+    // donor to surrender a whole slab.
+    const size_t grain = pool.reclaim_grain_bytes();
     const size_t used = pool.stats().current_device_bytes;
     // Guarantees are reclaim floors: the owner only claws back up to its
     // declared share. Above it, this model is itself a borrower and waits
     // for siblings to drain naturally.
-    if (used + slab > m.guarantee_bytes) continue;
+    if (used + grain > m.guarantee_bytes) continue;
     // Reclaim what the blocked demand justifies (cross blocks of a cold
-    // prompt + first self blocks + headroom, in whole slabs) — an
+    // prompt + first self blocks + headroom, in whole grains) — an
     // undersized reclaim frees bytes a sibling re-borrows before they add
     // up to an admission, an entitlement-sized one would gut a busy
-    // borrower for a model that wants two slabs. The guarantee stays the
+    // borrower for a model that wants two grains. The guarantee stays the
     // hard cap on what the owner may claw back.
     const size_t entitled = m.guarantee_bytes - used;
-    const size_t demand_bytes =
-        m.server->scheduler().admission_demand_blocks() * pool.block_bytes();
-    const size_t demand_slabs = (demand_bytes + slab - 1) / slab * slab;
-    const size_t target = std::min(entitled, std::max(demand_slabs, slab));
+    const size_t demand_bytes = m.server->scheduler().admission_demand_bytes();
+    const size_t demand_rounded = (demand_bytes + grain - 1) / grain * grain;
+    const size_t target = std::min(entitled, std::max(demand_rounded, grain));
     const size_t avail = budget_.available_bytes();
     if (avail >= target) continue;  // budget is not the blocker
     size_t needed = target - avail;

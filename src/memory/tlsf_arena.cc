@@ -1,0 +1,358 @@
+#include "memory/tlsf_arena.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace turbo::memory {
+
+namespace {
+
+size_t ceil_div(size_t a, size_t b) { return (a + b - 1) / b; }
+
+int floor_log2(size_t v) {
+  return 63 - std::countl_zero(static_cast<uint64_t>(v));
+}
+
+}  // namespace
+
+TlsfArena::TlsfArena(size_t capacity_bytes, size_t granule_bytes)
+    : granule_(granule_bytes) {
+  TT_CHECK_GT(granule_, 0u);
+  TT_CHECK_MSG(std::has_single_bit(static_cast<uint64_t>(granule_)),
+               "granule must be a power of two, got " << granule_);
+  for (auto& fl : heads_) {
+    for (int& head : fl) head = -1;
+  }
+  if (capacity_bytes > 0) grow(capacity_bytes);
+  grows_ = 0;  // the constructor's reservation is not a grow event
+}
+
+// ---------------------------------------------------------------------------
+// Size-class mapping
+// ---------------------------------------------------------------------------
+
+void TlsfArena::mapping_insert(size_t size_g, int* fl, int* sl) {
+  if (size_g < static_cast<size_t>(kSlBuckets)) {
+    // Small blocks get exact-size lists in first level 0: one bucket per
+    // granule count below the subdivision threshold.
+    *fl = 0;
+    *sl = static_cast<int>(size_g);
+  } else {
+    const int f = floor_log2(size_g);
+    *fl = f - kSlLog2 + 1;
+    *sl = static_cast<int>((size_g >> (f - kSlLog2)) ^
+                           (static_cast<size_t>(1) << kSlLog2));
+  }
+}
+
+size_t TlsfArena::search_size(size_t size_g) {
+  if (size_g < static_cast<size_t>(kSlBuckets)) return size_g;
+  // Round up to the next subdivision boundary: any block stored in the
+  // class this maps to is >= the original request.
+  return size_g +
+         (static_cast<size_t>(1) << (floor_log2(size_g) - kSlLog2)) - 1;
+}
+
+// ---------------------------------------------------------------------------
+// Node pool + free lists
+// ---------------------------------------------------------------------------
+
+int TlsfArena::new_node() {
+  if (!free_nodes_.empty()) {
+    const int node = free_nodes_.back();
+    free_nodes_.pop_back();
+    blocks_[static_cast<size_t>(node)] = Block{};
+    return node;
+  }
+  blocks_.emplace_back();
+  return static_cast<int>(blocks_.size()) - 1;
+}
+
+void TlsfArena::recycle_node(int node) { free_nodes_.push_back(node); }
+
+void TlsfArena::insert_free(int node) {
+  Block& b = blocks_[static_cast<size_t>(node)];
+  int fl = 0, sl = 0;
+  mapping_insert(b.size, &fl, &sl);
+  TT_CHECK_LT(fl, kFlBuckets);
+  b.free = true;
+  b.prev_free = -1;
+  b.next_free = heads_[fl][sl];
+  if (b.next_free >= 0) blocks_[static_cast<size_t>(b.next_free)].prev_free = node;
+  heads_[fl][sl] = node;
+  sl_bitmap_[fl] |= 1u << sl;
+  fl_bitmap_ |= static_cast<uint64_t>(1) << fl;
+}
+
+void TlsfArena::remove_free(int node) {
+  Block& b = blocks_[static_cast<size_t>(node)];
+  int fl = 0, sl = 0;
+  mapping_insert(b.size, &fl, &sl);
+  if (b.prev_free >= 0) {
+    blocks_[static_cast<size_t>(b.prev_free)].next_free = b.next_free;
+  } else {
+    TT_CHECK_EQ(heads_[fl][sl], node);
+    heads_[fl][sl] = b.next_free;
+  }
+  if (b.next_free >= 0) {
+    blocks_[static_cast<size_t>(b.next_free)].prev_free = b.prev_free;
+  }
+  b.prev_free = b.next_free = -1;
+  if (heads_[fl][sl] < 0) {
+    sl_bitmap_[fl] &= ~(1u << sl);
+    if (sl_bitmap_[fl] == 0) fl_bitmap_ &= ~(static_cast<uint64_t>(1) << fl);
+  }
+}
+
+int TlsfArena::find_suitable(int fl, int sl) const {
+  // Non-empty list in the requested first level at >= sl?
+  uint32_t sl_map = sl_bitmap_[fl] & (~0u << sl);
+  if (sl_map == 0) {
+    // No: take the lowest non-empty first level above.
+    const uint64_t fl_map =
+        fl_bitmap_ & (~static_cast<uint64_t>(0) << (fl + 1));
+    if (fl_map == 0) return -1;
+    fl = std::countr_zero(fl_map);
+    sl_map = sl_bitmap_[fl];
+  }
+  return heads_[fl][std::countr_zero(sl_map)];
+}
+
+// ---------------------------------------------------------------------------
+// malloc / free / grow
+// ---------------------------------------------------------------------------
+
+size_t TlsfArena::malloc(size_t bytes) {
+  TT_CHECK_GT(bytes, 0u);
+  const size_t need = ceil_div(bytes, granule_);
+  int fl = 0, sl = 0;
+  mapping_insert(search_size(need), &fl, &sl);
+  const int node = fl < kFlBuckets ? find_suitable(fl, sl) : -1;
+  if (node < 0) {
+    ++failed_allocs_;
+    return kNoSpace;
+  }
+  remove_free(node);
+  Block& b = blocks_[static_cast<size_t>(node)];
+  TT_CHECK_GE(b.size, need);
+  if (b.size > need) {
+    // Split: the remainder stays free at the top of the span.
+    const int rest = new_node();
+    Block& r = blocks_[static_cast<size_t>(rest)];
+    Block& bb = blocks_[static_cast<size_t>(node)];  // new_node may realloc
+    r.offset = bb.offset + need;
+    r.size = bb.size - need;
+    r.prev_phys = node;
+    r.next_phys = bb.next_phys;
+    if (r.next_phys >= 0) blocks_[static_cast<size_t>(r.next_phys)].prev_phys = rest;
+    if (last_phys_ == node) last_phys_ = rest;
+    bb.next_phys = rest;
+    bb.size = need;
+    insert_free(rest);
+    ++splits_;
+  }
+  Block& bb = blocks_[static_cast<size_t>(node)];
+  bb.free = false;
+  used_.emplace(bb.offset, node);
+  live_g_ += bb.size;
+  peak_live_g_ = std::max(peak_live_g_, live_g_);
+  frontier_g_ = std::max(frontier_g_, bb.offset + bb.size);
+  peak_frontier_g_ = std::max(peak_frontier_g_, frontier_g_);
+  ++allocs_;
+  return bb.offset * granule_;
+}
+
+void TlsfArena::free(size_t offset) {
+  TT_CHECK_MSG(offset % granule_ == 0,
+               "misaligned free at offset " << offset);
+  const auto it = used_.find(offset / granule_);
+  TT_CHECK_MSG(it != used_.end(),
+               "free of unknown or already-freed offset " << offset);
+  int node = it->second;
+  used_.erase(it);
+  Block* b = &blocks_[static_cast<size_t>(node)];
+  const bool was_frontier = b->offset + b->size == frontier_g_;
+  live_g_ -= b->size;
+  ++frees_;
+  // Boundary-tag coalescing: merge a free successor into this block, then
+  // this block into a free predecessor.
+  if (b->next_phys >= 0 && blocks_[static_cast<size_t>(b->next_phys)].free) {
+    const int next = b->next_phys;
+    Block& n = blocks_[static_cast<size_t>(next)];
+    remove_free(next);
+    b->size += n.size;
+    b->next_phys = n.next_phys;
+    if (b->next_phys >= 0) blocks_[static_cast<size_t>(b->next_phys)].prev_phys = node;
+    if (last_phys_ == next) last_phys_ = node;
+    recycle_node(next);
+    ++coalesces_;
+  }
+  if (b->prev_phys >= 0 && blocks_[static_cast<size_t>(b->prev_phys)].free) {
+    const int prev = b->prev_phys;
+    Block& p = blocks_[static_cast<size_t>(prev)];
+    remove_free(prev);
+    p.size += b->size;
+    p.next_phys = b->next_phys;
+    if (p.next_phys >= 0) blocks_[static_cast<size_t>(p.next_phys)].prev_phys = prev;
+    if (last_phys_ == node) last_phys_ = prev;
+    recycle_node(node);
+    node = prev;
+    b = &p;
+    ++coalesces_;
+  }
+  insert_free(node);
+  if (was_frontier) refresh_frontier();
+}
+
+void TlsfArena::grow(size_t extra_bytes) {
+  TT_CHECK_GT(extra_bytes, 0u);
+  const size_t extra_g = ceil_div(extra_bytes, granule_);
+  ++grows_;
+  if (last_phys_ >= 0 && blocks_[static_cast<size_t>(last_phys_)].free) {
+    // Extend the trailing free block in place (its size class may change).
+    const int node = last_phys_;
+    remove_free(node);
+    blocks_[static_cast<size_t>(node)].size += extra_g;
+    insert_free(node);
+  } else {
+    const int node = new_node();
+    Block& b = blocks_[static_cast<size_t>(node)];
+    b.offset = capacity_g_;
+    b.size = extra_g;
+    b.prev_phys = last_phys_;
+    if (last_phys_ >= 0) {
+      blocks_[static_cast<size_t>(last_phys_)].next_phys = node;
+    } else {
+      first_phys_ = node;
+    }
+    last_phys_ = node;
+    insert_free(node);
+  }
+  capacity_g_ += extra_g;
+}
+
+size_t TlsfArena::good_size(size_t bytes, size_t granule_bytes) {
+  TT_CHECK_GT(bytes, 0u);
+  size_t g = ceil_div(bytes, granule_bytes);
+  if (g >= static_cast<size_t>(kSlBuckets)) {
+    // Round up to the subdivision step of g's first level. Landing on the
+    // next power of two is fine: that is a boundary of the next level.
+    const size_t step = static_cast<size_t>(1) << (floor_log2(g) - kSlLog2);
+    g = ceil_div(g, step) * step;
+  }
+  return g * granule_bytes;
+}
+
+size_t TlsfArena::span_bytes(size_t offset) const {
+  TT_CHECK_EQ(offset % granule_, 0u);
+  const auto it = used_.find(offset / granule_);
+  TT_CHECK_MSG(it != used_.end(), "span_bytes of dead offset " << offset);
+  return blocks_[static_cast<size_t>(it->second)].size * granule_;
+}
+
+void TlsfArena::refresh_frontier() {
+  // The topmost used block was just freed; the new frontier is the end of
+  // the highest used block below it. Free blocks above it are coalesced, so
+  // this walks at most a handful of nodes.
+  int node = last_phys_;
+  while (node >= 0 && blocks_[static_cast<size_t>(node)].free) {
+    node = blocks_[static_cast<size_t>(node)].prev_phys;
+  }
+  frontier_g_ =
+      node < 0 ? 0
+               : blocks_[static_cast<size_t>(node)].offset +
+                     blocks_[static_cast<size_t>(node)].size;
+}
+
+TlsfArenaStats TlsfArena::stats() const {
+  TlsfArenaStats s;
+  s.capacity_bytes = capacity_bytes();
+  s.live_bytes = live_bytes();
+  s.peak_live_bytes = peak_live_g_ * granule_;
+  s.resident_bytes = resident_bytes();
+  s.peak_resident_bytes = peak_frontier_g_ * granule_;
+  s.allocs = allocs_;
+  s.frees = frees_;
+  s.splits = splits_;
+  s.coalesces = coalesces_;
+  s.failed_allocs = failed_allocs_;
+  s.grows = grows_;
+  return s;
+}
+
+void TlsfArena::check_invariants() const {
+  // Physical walk: blocks tile [0, capacity) exactly, free neighbors are
+  // always coalesced, and used blocks match the offset map.
+  size_t cursor = 0;
+  size_t live = 0;
+  size_t frontier = 0;
+  size_t free_count = 0;
+  bool prev_free = false;
+  int prev = -1;
+  for (int node = first_phys_; node >= 0;
+       node = blocks_[static_cast<size_t>(node)].next_phys) {
+    const Block& b = blocks_[static_cast<size_t>(node)];
+    TT_CHECK_EQ(b.offset, cursor);
+    TT_CHECK_GT(b.size, 0u);
+    TT_CHECK_EQ(b.prev_phys, prev);
+    TT_CHECK_MSG(!(prev_free && b.free),
+                 "adjacent free blocks at offset " << b.offset);
+    if (b.free) {
+      ++free_count;
+    } else {
+      const auto it = used_.find(b.offset);
+      TT_CHECK_MSG(it != used_.end(),
+                   "used block at " << b.offset << " missing from map");
+      TT_CHECK_EQ(it->second, node);
+      live += b.size;
+      frontier = b.offset + b.size;
+    }
+    cursor = b.offset + b.size;
+    prev_free = b.free;
+    prev = node;
+  }
+  TT_CHECK_EQ(cursor, capacity_g_);
+  TT_CHECK_EQ(prev, last_phys_);
+  TT_CHECK_EQ(live, live_g_);
+  TT_CHECK_EQ(frontier, frontier_g_);
+  TT_CHECK_EQ(used_.size() + free_count,
+              [&] {
+                size_t n = 0;
+                for (int node = first_phys_; node >= 0;
+                     node = blocks_[static_cast<size_t>(node)].next_phys) {
+                  ++n;
+                }
+                return n;
+              }());
+
+  // Free-list walk: every listed block is free, physically linked, in the
+  // right class; bitmap bits mirror list occupancy exactly.
+  size_t listed = 0;
+  for (int fl = 0; fl < kFlBuckets; ++fl) {
+    TT_CHECK_EQ((fl_bitmap_ >> fl) & 1, sl_bitmap_[fl] != 0 ? 1u : 0u);
+    for (int sl = 0; sl < kSlBuckets; ++sl) {
+      const int head = heads_[fl][sl];
+      TT_CHECK_EQ((sl_bitmap_[fl] >> sl) & 1, head >= 0 ? 1u : 0u);
+      int prev_node = -1;
+      for (int node = head; node >= 0;
+           node = blocks_[static_cast<size_t>(node)].next_free) {
+        const Block& b = blocks_[static_cast<size_t>(node)];
+        TT_CHECK(b.free);
+        TT_CHECK_EQ(b.prev_free, prev_node);
+        int efl = 0, esl = 0;
+        mapping_insert(b.size, &efl, &esl);
+        TT_CHECK_EQ(efl, fl);
+        TT_CHECK_EQ(esl, sl);
+        ++listed;
+        prev_node = node;
+      }
+    }
+  }
+  TT_CHECK_MSG(listed == free_count,
+               "free list holds " << listed << " blocks, physical list "
+                                  << free_count);
+}
+
+}  // namespace turbo::memory

@@ -1,0 +1,179 @@
+// Two-level segregated fit (TLSF) allocator over one contiguous byte arena,
+// handing out offset-addressed variable-size ranges in O(1).
+//
+// The KV pool's original slab layer moves memory between co-hosted models in
+// whole fixed-size slabs: every borrow/reclaim is slab-granular, and pools
+// with different block geometries fragment the shared budget (a model wanting
+// one 1.5 KiB block still pins a 32 KiB slab). TLSF (Masmano et al., ECRTS
+// 2004) is the classic O(1) answer for variable-size real-time allocation:
+//
+//  * Free ranges are segregated by a first-level log2 size class and a
+//    second-level linear subdivision of each class (kSlBuckets lists per
+//    power of two). Two bitmaps — one over first levels, one per first level
+//    over its subdivisions — turn "smallest class guaranteed to fit" into
+//    two find-first-set instructions, so malloc and free never scan.
+//  * Physical neighbors carry boundary tags (here: a doubly-linked physical
+//    block list kept out-of-band, since the arena addresses device-resident
+//    storage the host never dereferences). A freed range coalesces with
+//    free neighbors immediately, so free space recovers maximal extents and
+//    a drained arena collapses back to one block.
+//  * Ranges are identified by byte offset, not pointer: the owner maps
+//    offsets onto whatever backing it manages (a device reservation, a host
+//    stand-in buffer), and the arena itself touches no memory. grow()
+//    extends the managed range in place, coalescing with a trailing free
+//    block — the owner can start small and extend the reservation.
+//
+// Known TLSF behavior kept intentionally: malloc rounds the request up to
+// the next size-class boundary before searching, so it can report kNoSpace
+// even though a free range in the request's own (unsearched) class would
+// fit. That is the price of O(1); the differential test mirrors exactly
+// this predicate (tests/tlsf_arena_test.cc).
+//
+// Thread-safety: none — externally synchronized like KvCachePool, whose
+// single-owner discipline it inherits.
+// Invariants (enforced by check_invariants(), fuzzed differentially):
+//  * the physical list tiles [0, capacity) exactly: blocks are adjacent,
+//    non-overlapping, sized in whole granules;
+//  * no two physically adjacent blocks are both free (full coalescing);
+//  * every free block sits on exactly the free list of its size class, and
+//    a bitmap bit is set iff its list is non-empty (free-list subset of and
+//    consistent with the physical list);
+//  * live_bytes() equals the sum of allocated block spans, and
+//    resident_bytes() is the end of the highest allocated span.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace turbo::memory {
+
+// Point-in-time counters; splits/coalesces/failed_allocs are monotonic over
+// the arena lifetime (the mem.tlsf.* metrics are set from these).
+struct TlsfArenaStats {
+  size_t capacity_bytes = 0;
+  size_t live_bytes = 0;           // sum of allocated spans (granule-rounded)
+  size_t peak_live_bytes = 0;
+  size_t resident_bytes = 0;       // end of the highest allocated span —
+                                   // what a device reservation must back
+  size_t peak_resident_bytes = 0;
+  size_t allocs = 0;
+  size_t frees = 0;
+  size_t splits = 0;               // free block split to serve a request
+  size_t coalesces = 0;            // neighbor merges on free
+  size_t failed_allocs = 0;        // malloc returned kNoSpace
+  size_t grows = 0;                // grow() calls
+};
+
+class TlsfArena {
+ public:
+  // Sentinel returned by malloc when no class-guaranteed fit exists.
+  static constexpr size_t kNoSpace = ~static_cast<size_t>(0);
+
+  // `capacity_bytes` may be 0 (grow() later). `granule_bytes` is the
+  // allocation granularity and alignment: every span is a whole multiple of
+  // it and every returned offset is aligned to it. Must be a power of two.
+  explicit TlsfArena(size_t capacity_bytes, size_t granule_bytes = 64);
+
+  TlsfArena(const TlsfArena&) = delete;
+  TlsfArena& operator=(const TlsfArena&) = delete;
+
+  // O(1): byte offset of a granule-aligned span covering `bytes`, or
+  // kNoSpace. bytes must be > 0.
+  size_t malloc(size_t bytes);
+  // O(1) + immediate boundary-tag coalescing. `offset` must be a live
+  // allocation's offset (throws CheckError otherwise).
+  void free(size_t offset);
+
+  // Extend the managed range by `extra_bytes` (rounded up to a granule),
+  // appending a free block at the top that coalesces with a trailing free
+  // block. Existing offsets are unaffected.
+  void grow(size_t extra_bytes);
+
+  // Span backing the live allocation at `offset` (granule-rounded, >= the
+  // requested bytes). Throws CheckError for a dead or unknown offset.
+  size_t span_bytes(size_t offset) const;
+
+  // Smallest byte span >= `bytes` sitting exactly on a size-class boundary.
+  // A caller that always allocates good_size-rounded spans opts out of the
+  // class-rounding failure mode documented above: the search class equals
+  // the span's exact class, so malloc succeeds whenever any free range of
+  // at least that span exists. KvCachePool charges this span per block,
+  // which makes its byte-count admission gates exact predictors of arena
+  // success.
+  static size_t good_size(size_t bytes, size_t granule_bytes = 64);
+
+  size_t capacity_bytes() const { return capacity_g_ * granule_; }
+  size_t granule_bytes() const { return granule_; }
+  size_t live_bytes() const { return live_g_ * granule_; }
+  size_t resident_bytes() const { return frontier_g_ * granule_; }
+  size_t free_bytes() const { return (capacity_g_ - live_g_) * granule_; }
+  size_t live_allocations() const { return used_.size(); }
+
+  TlsfArenaStats stats() const;
+
+  // Walks the physical block list and every free list; throws CheckError on
+  // any violated invariant. O(blocks); meant for tests.
+  void check_invariants() const;
+
+ private:
+  // Second-level subdivisions per first-level class: 2^4 = 16 lists per
+  // power of two, the paper's recommended configuration.
+  static constexpr int kSlLog2 = 4;
+  static constexpr int kSlBuckets = 1 << kSlLog2;
+  // First levels cover granule counts up to 2^47 — far past any budget.
+  static constexpr int kFlBuckets = 48;
+
+  // All offsets/sizes below are in granules.
+  struct Block {
+    size_t offset = 0;
+    size_t size = 0;
+    bool free = false;
+    int prev_phys = -1;
+    int next_phys = -1;
+    int prev_free = -1;
+    int next_free = -1;
+  };
+
+  // Size class a free block of `size_g` granules is stored under.
+  static void mapping_insert(size_t size_g, int* fl, int* sl);
+  // Request rounded up so any block in the class found by the bitmap
+  // search is guaranteed to fit (the TLSF "good fit" rounding).
+  static size_t search_size(size_t size_g);
+
+  int new_node();
+  void recycle_node(int node);
+  void insert_free(int node);
+  void remove_free(int node);
+  // First free block in the lowest class >= (fl, sl), or -1.
+  int find_suitable(int fl, int sl) const;
+  // Recompute frontier_g_ after the topmost used block was freed.
+  void refresh_frontier();
+
+  size_t granule_;
+  size_t capacity_g_ = 0;
+  size_t live_g_ = 0;
+  size_t peak_live_g_ = 0;
+  size_t frontier_g_ = 0;       // end of the highest used block
+  size_t peak_frontier_g_ = 0;
+
+  uint64_t fl_bitmap_ = 0;
+  uint32_t sl_bitmap_[kFlBuckets] = {};
+  int heads_[kFlBuckets][kSlBuckets];
+
+  std::vector<Block> blocks_;
+  std::vector<int> free_nodes_;  // recycled node-pool slots
+  int first_phys_ = -1;
+  int last_phys_ = -1;
+  std::unordered_map<size_t, int> used_;  // offset (granules) -> node
+
+  size_t allocs_ = 0;
+  size_t frees_ = 0;
+  size_t splits_ = 0;
+  size_t coalesces_ = 0;
+  size_t failed_allocs_ = 0;
+  size_t grows_ = 0;
+};
+
+}  // namespace turbo::memory
