@@ -187,31 +187,6 @@ RunResult best_of(Fn&& run, int reps = 3) {
   return best;
 }
 
-// EOS-from-trajectory pre-pass (as in bench_gen_preemption): each request
-// stops at a token its own uncontended greedy trajectory actually emits,
-// so "finishes early" is deterministic and identical across runs.
-void assign_natural_eos(std::vector<serving::GenerationRequest>& requests,
-                        const RunResult& probe, Rng& rng, int lo, int hi) {
-  for (auto& r : requests) {
-    const auto& toks = probe.tokens_by_id.at(r.id);
-    const int target = static_cast<int>(rng.uniform_int(lo, hi));
-    std::map<int, int> first_occurrence;
-    for (size_t k = 0; k < toks.size(); ++k) {
-      first_occurrence.emplace(toks[k], static_cast<int>(k));
-    }
-    int best_tok = -1, best_dist = 1 << 30;
-    for (const auto& [tok, first] : first_occurrence) {
-      const int dist = std::abs(first - target);
-      if (dist < best_dist) {
-        best_dist = dist;
-        best_tok = tok;
-      }
-    }
-    TT_CHECK_GE(best_tok, 0);
-    r.eos_id = best_tok;
-  }
-}
-
 }  // namespace
 
 int main() {
@@ -220,34 +195,35 @@ int main() {
   auto light = genserve::make_bundle("light", 1, light_config(), 32);
 
   // Skewed load: 32 heavy requests with generous output budgets against 6
-  // light ones. Budgets are what worst-case sizing must provision for;
-  // the EOS pre-pass makes actual generations stop far earlier.
+  // light ones (the shared trace generator reproduces this bench's
+  // original RNG sequence exactly). Budgets are what worst-case sizing
+  // must provision for; the EOS pre-pass makes actual generations stop
+  // far earlier.
   Rng rng(0x3350);
-  std::vector<serving::GenerationRequest> heavy_reqs, light_reqs;
-  for (int i = 0; i < 32; ++i) {
-    serving::GenerationRequest r;
-    r.id = i;
-    r.src_tokens = rng.token_ids(static_cast<int>(rng.uniform_int(6, 16)),
-                                 500);
-    r.max_new_tokens = 48;
-    r.eos_id = 2;
-    r.model = "heavy";
-    heavy_reqs.push_back(std::move(r));
-  }
-  for (int i = 0; i < 6; ++i) {
-    serving::GenerationRequest r;
-    r.id = 1000 + i;
-    r.src_tokens = rng.token_ids(static_cast<int>(rng.uniform_int(4, 10)),
-                                 500);
-    r.max_new_tokens = 16;
-    r.eos_id = 2;
-    r.model = "light";
-    light_reqs.push_back(std::move(r));
-  }
-  assign_natural_eos(heavy_reqs,
-                     run_dedicated(heavy, heavy_reqs), rng, 8, 24);
-  assign_natural_eos(light_reqs,
-                     run_dedicated(light, light_reqs), rng, 4, 10);
+  bench::TenantSpec heavy_tenant;
+  heavy_tenant.model = "heavy";
+  heavy_tenant.requests = 32;
+  heavy_tenant.id_base = 0;
+  heavy_tenant.src_lo = 6;
+  heavy_tenant.src_hi = 16;
+  heavy_tenant.max_new_tokens = 48;
+  bench::TenantSpec light_tenant;
+  light_tenant.model = "light";
+  light_tenant.requests = 6;
+  light_tenant.id_base = 1000;
+  light_tenant.src_lo = 4;
+  light_tenant.src_hi = 10;
+  light_tenant.max_new_tokens = 16;
+  std::vector<serving::GenerationRequest> heavy_reqs =
+      bench::trace_requests(bench::make_tenant_trace(heavy_tenant, rng));
+  std::vector<serving::GenerationRequest> light_reqs =
+      bench::trace_requests(bench::make_tenant_trace(light_tenant, rng));
+  bench::assign_natural_eos(heavy_reqs,
+                            run_dedicated(heavy, heavy_reqs).tokens_by_id,
+                            rng, 8, 24);
+  bench::assign_natural_eos(light_reqs,
+                            run_dedicated(light, light_reqs).tokens_by_id,
+                            rng, 4, 10);
 
   // Bit-identity baselines: dedicated uncontended per-model servers.
   const RunResult ref_heavy = run_dedicated(heavy, heavy_reqs);

@@ -114,13 +114,7 @@ RunResult run_trace(const model::ModelConfig& config, bool radix) {
     r.turns.emplace_back();
     turn_stats = &r.turns.back();
     active_sum = 0;
-    for (int c = 0; c < kConversations; ++c) {
-      serving::GenerationRequest req;
-      req.id = turn * 100 + c;
-      req.src_tokens = histories[static_cast<size_t>(c)];
-      req.max_new_tokens = kMaxNew;
-      req.bos_id = 1;
-      req.eos_id = 2;
+    for (auto& req : bench::chat_turn_requests(histories, turn, kMaxNew)) {
       server.submit(std::move(req));
     }
     const auto t0 = std::chrono::steady_clock::now();

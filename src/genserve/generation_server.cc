@@ -1,6 +1,7 @@
 #include "genserve/generation_server.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
@@ -52,6 +53,15 @@ GenSchedulerOptions resolve_scheduler_options(const ModelBundle& bundle,
   return scheduler;
 }
 
+// Admission headroom in blocks: what the pool could still charge right
+// now. SIZE_MAX when the pool is unbounded (no cap, no shared budget cap).
+size_t pool_free_blocks(const KvCachePool& pool) {
+  const size_t cap = pool.max_blocks();
+  if (cap == std::numeric_limits<size_t>::max()) return cap;
+  const size_t charged = pool.charged_blocks();
+  return cap > charged ? cap - charged : 0;
+}
+
 // Monotonic time_point -> the obs tick domain (both are steady_clock, so
 // the conversion is exact and spans line up with obs::now_ticks stamps).
 uint64_t to_ticks(std::chrono::steady_clock::time_point tp) {
@@ -89,11 +99,14 @@ GenerationServer::GenerationServer(std::shared_ptr<ModelBundle> bundle,
   if (ring == nullptr && options.trace.enabled) {
     ring = std::make_shared<obs::TraceRing>(options.trace.capacity);
   }
-  tracer_ = obs::Tracer(std::move(ring), bundle_->label(), bundle_->version);
+  const std::string label =
+      options.instance_label.empty() ? bundle_->label()
+                                     : options.instance_label;
+  tracer_ = obs::Tracer(std::move(ring), label, bundle_->version);
   scheduler_.set_tracer(&tracer_);
   metrics_ =
       options.metrics ? options.metrics : std::make_shared<obs::Registry>();
-  metric_prefix_ = "gen." + bundle_->label() + ".";
+  metric_prefix_ = "gen." + label + ".";
   bind_metrics();
 }
 
@@ -118,10 +131,15 @@ void GenerationServer::bind_metrics() {
   g_active_ = &metrics_->gauge(p + "active_sequences");
   g_kv_bytes_ = &metrics_->gauge(p + "kv_bytes_in_use");
   g_device_bytes_ = &metrics_->gauge(p + "kv_device_bytes");
+  g_kv_free_blocks_ = &metrics_->gauge(p + "kv_free_blocks");
+  g_kv_charged_bytes_ = &metrics_->gauge(p + "kv_charged_bytes");
   if (pool_.arena_kind() == KvArenaKind::kTlsf) {
     // Arena health for TLSF-backed pools, prefixed by engine label so
-    // co-hosted models' arenas stay distinguishable in a shared registry.
-    const std::string t = "mem.tlsf." + bundle_->label() + ".";
+    // co-hosted models' arenas (and replicas) stay distinguishable in a
+    // shared registry. The label is whatever identity the metric prefix
+    // carries ("gen.<label>.").
+    const std::string t =
+        "mem.tlsf." + p.substr(4, p.size() - 5) + ".";
     g_tlsf_live_bytes_ = &metrics_->gauge(t + "live_bytes");
     g_tlsf_resident_bytes_ = &metrics_->gauge(t + "resident_bytes");
     g_tlsf_splits_ = &metrics_->gauge(t + "splits");
@@ -514,6 +532,9 @@ int GenerationServer::step() {
   g_kv_bytes_->set(static_cast<double>(pool_.bytes_in_use()));
   g_device_bytes_->set(
       static_cast<double>(pool_.stats().current_device_bytes));
+  g_kv_free_blocks_->set(static_cast<double>(pool_free_blocks(pool_)));
+  g_kv_charged_bytes_->set(
+      static_cast<double>(pool_.charged_blocks() * pool_.block_bytes()));
   if (g_tlsf_live_bytes_ != nullptr) {
     const memory::TlsfArenaStats ts = *pool_.tlsf_stats();
     g_tlsf_live_bytes_->set(static_cast<double>(ts.live_bytes));
@@ -572,6 +593,8 @@ PoolSnapshot GenerationServer::pool_snapshot() const {
     s.peak_resident_bytes = pool_.stats().peak_device_bytes;
   }
   s.peak_waste_bytes = pool_.peak_waste_bytes();
+  s.free_blocks = pool_free_blocks(pool_);
+  s.charged_bytes = pool_.charged_blocks() * pool_.block_bytes();
   s.active_sequences = pool_.active_sequences();
   s.preemptions = scheduler_.total_preempted();
   s.resumes = scheduler_.total_resumed();

@@ -62,6 +62,14 @@ struct GenServerOptions {
   // shells pass a shared registry so counters survive engine teardown
   // (draining a model no longer zeroes its totals).
   std::shared_ptr<obs::Registry> metrics;
+  // Identity this engine publishes under — the metric prefix becomes
+  // "gen.<instance_label>." and trace spans carry it as their model label.
+  // Empty (default) = the bundle's label ("name:vN"). Replica serving
+  // (router::ReplicaSet) sets "name:vN#r" on replicas r >= 1 so co-hosted
+  // replicas of one bundle keep distinguishable counters/gauges in the
+  // shared registry; replica 0 keeps the plain label, preserving the
+  // single-engine metric names bit-for-bit.
+  std::string instance_label;
 };
 
 // Per-iteration snapshot handed to the step observer (benchmark hook for
@@ -117,6 +125,13 @@ struct PoolSnapshot {
   // partial slabs + unswept empties under kSlab, frontier holes under
   // kTlsf. See KvCachePool::peak_waste_bytes().
   size_t peak_waste_bytes = 0;
+  // Admission headroom, the router's KV-pressure signals: blocks the pool
+  // could still charge right now (max_blocks - charged, saturating at 0 —
+  // SIZE_MAX when unbounded) and the bytes currently charged against the
+  // admission gate (charged blocks x block size; excludes the evictable
+  // radix tier, which reclaims on demand).
+  size_t free_blocks = 0;
+  size_t charged_bytes = 0;
   int active_sequences = 0;
   // Preempt-and-requeue activity (optimistic admission).
   size_t preemptions = 0;
@@ -278,6 +293,11 @@ class GenerationServer {
   obs::Gauge* g_active_ = nullptr;
   obs::Gauge* g_kv_bytes_ = nullptr;
   obs::Gauge* g_device_bytes_ = nullptr;
+  // KV-pressure pair the replica router reads ("kv_free_blocks",
+  // "kv_charged_bytes"): admission headroom in blocks and bytes charged
+  // against the admission gate.
+  obs::Gauge* g_kv_free_blocks_ = nullptr;
+  obs::Gauge* g_kv_charged_bytes_ = nullptr;
   // TLSF arena gauges ("mem.tlsf.<label>.*"); bound only when the pool
   // runs under KvArenaKind::kTlsf, null (and never published) under kSlab.
   obs::Gauge* g_tlsf_live_bytes_ = nullptr;

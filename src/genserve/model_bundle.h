@@ -26,10 +26,13 @@ namespace turbo::genserve {
 
 // Ownership: owns its encoder/decoder via shared_ptr (several engines of
 // the same bundle may share them). Thread-safety: immutable after
-// construction by convention — the models themselves must only be driven
-// from one worker at a time (EncoderModel::forward replans its allocator),
-// which the serving stack guarantees by running every engine of a process
-// on one worker thread.
+// construction by convention. The decoder is safe to share across
+// concurrently stepping engines (step() is const over a caller-owned
+// workspace), but one EncoderModel must only be driven from one worker at
+// a time (forward() replans its allocator and ping-pongs private hidden
+// buffers) — sequential serving guarantees this by stepping every engine
+// from one thread, and router::ReplicaSet's pinned-worker mode gives each
+// concurrent replica its own encoder over the shared weight storage.
 struct ModelBundle {
   std::string name;
   int version = 1;

@@ -52,7 +52,7 @@ MultiModelGenerationServer::find_engine(const std::string& name,
 
 void MultiModelGenerationServer::register_bundle(
     std::shared_ptr<ModelBundle> bundle, size_t guarantee_bytes,
-    std::optional<GenServerOptions> overrides) {
+    std::optional<GenServerOptions> overrides, int replicas) {
   TT_CHECK(bundle != nullptr);
   TT_CHECK_MSG(find_engine(bundle->name, bundle->version) == nullptr,
                bundle->label() << " already registered (or still draining)");
@@ -60,14 +60,13 @@ void MultiModelGenerationServer::register_bundle(
   GenServerOptions eopts =
       overrides ? std::move(*overrides) : options_.engine;
   // The pool's budget attachment is the server's to manage, never the
-  // caller's: every pool charges the one shared arbiter.
+  // caller's: every pool charges the one shared arbiter. Per-replica
+  // client names and guarantee splits are the ReplicaSet's job.
   eopts.pool.slab_budget = &budget_;
-  eopts.pool.budget_client_name = bundle->label();
-  eopts.pool.budget_guarantee_bytes = guarantee_bytes;
   // Observability attachments are the server's to manage too: one shared
   // registry (counters outlive drained engines) and, when tracing, one
   // shared ring — a global timeline the offline passes can correlate
-  // across models.
+  // across models and replicas.
   eopts.metrics = metrics_;
   if (trace_ring_ != nullptr) {
     eopts.trace.ring = trace_ring_;
@@ -81,13 +80,20 @@ void MultiModelGenerationServer::register_bundle(
     eopts.scheduler.optimistic_admission = true;
   }
 
+  turbo::router::ReplicaSetOptions sopts;
+  sopts.replicas =
+      replicas > 0 ? replicas : std::max(1, options_.replicas_per_model);
+  sopts.pinned_workers = options_.pinned_replica_workers;
+
   auto engine = std::make_unique<Engine>();
   engine->bundle = bundle;
   engine->guarantee_bytes = guarantee_bytes;
-  engine->server = std::make_unique<GenerationServer>(bundle, eopts);
-  engine->server->set_step_observer(
-      [this, eng = engine.get()](const StepStats& s) {
-        eng->last_step = s;
+  engine->set = std::make_unique<turbo::router::ReplicaSet>(
+      bundle, std::move(eopts), guarantee_bytes, sopts);
+  engine->router = std::make_unique<turbo::router::Router>(*engine->set,
+                                                           options_.router);
+  engine->set->set_step_observer(
+      [this, eng = engine.get()](size_t, const StepStats& s) {
         if (observer_) {
           observer_(eng->bundle->name, eng->bundle->version, s);
         }
@@ -106,7 +112,7 @@ bool MultiModelGenerationServer::unregister_bundle(const std::string& name,
   // Already idle: tear down now — nothing pins the bundle past this call.
   collect_completed(*engine);
   std::erase_if(engines_, [](const std::unique_ptr<Engine>& e) {
-    return e->draining && e->server->idle();
+    return e->draining && e->set->idle();
   });
   return true;
 }
@@ -148,7 +154,9 @@ void MultiModelGenerationServer::validate(
                "generation request " << request.id << " routes to unknown "
                                      << "model '" << request.model << "' v"
                                      << request.model_version);
-  engine->server->validate(request);
+  // Geometry and vocab are identical across a set's replicas: replica 0
+  // validates for all.
+  engine->set->replica(0).validate(request);
 }
 
 void MultiModelGenerationServer::submit(serving::GenerationRequest request,
@@ -161,8 +169,13 @@ void MultiModelGenerationServer::submit(serving::GenerationRequest request,
   const int64_t id = request.id;
   TT_CHECK_MSG(ids_in_flight_.insert(id).second,
                "duplicate in-flight generation request id " << id);
+  // The Router fixes the replica at submit time (kRoute span + counters);
+  // the sequence is served entirely by that replica.
+  const turbo::router::RouteDecision d =
+      engine->router->place(request, static_cast<double>(iteration_));
   try {
-    engine->server->submit(std::move(request), std::move(on_token));
+    engine->set->replica(d.replica).submit(std::move(request),
+                                           std::move(on_token));
   } catch (...) {
     // Validation failed on the routed engine: the id never went in flight.
     ids_in_flight_.erase(id);
@@ -178,9 +191,8 @@ std::vector<size_t> MultiModelGenerationServer::step_order() const {
     // Deepest backlog first: a congested model admits into free budget
     // before light ones nibble it. Stable tie-break on registration order.
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      const auto& sa = engines_[a]->server->scheduler();
-      const auto& sb = engines_[b]->server->scheduler();
-      return sa.pending() + sa.requeued() > sb.pending() + sb.requeued();
+      return engines_[a]->set->pending_total() >
+             engines_[b]->set->pending_total();
     });
   } else {
     std::rotate(order.begin(),
@@ -191,15 +203,21 @@ std::vector<size_t> MultiModelGenerationServer::step_order() const {
   // Admission-blocked models step first regardless of policy: slabs that
   // last iteration's reclaim freed for them must not be re-borrowed by a
   // sibling that happens to come earlier in the rotation — that ordering
-  // race starves the owner forever.
+  // race starves the owner forever. Among the blocked, under-guarantee
+  // ones lead: a reclaim was performed on their behalf, and a blocked
+  // at-floor borrower stepping first would take the freed bytes right
+  // back (the same starvation with one extra hop).
   std::stable_partition(order.begin(), order.end(), [&](size_t i) {
-    return engines_[i]->server->scheduler().admission_blocked();
+    return engines_[i]->set->any_admission_blocked();
+  });
+  std::stable_partition(order.begin(), order.end(), [&](size_t i) {
+    return engines_[i]->set->any_starved_under_guarantee();
   });
   return order;
 }
 
 void MultiModelGenerationServer::collect_completed(Engine& engine) {
-  for (auto& resp : engine.server->take_completed()) {
+  for (auto& resp : engine.set->take_completed()) {
     ids_in_flight_.erase(resp.request_id);
     m_completed_total_->add(1);
     completed_.push_back(std::move(resp));
@@ -207,11 +225,25 @@ void MultiModelGenerationServer::collect_completed(Engine& engine) {
 }
 
 size_t MultiModelGenerationServer::reclaim_for_starved_models() {
+  // Arbitration units are (model, replica) pools in registration x replica
+  // order: every replica has its own pool, guarantee split, and admission
+  // state, and sibling replicas of one model borrow from and donate to
+  // each other exactly like distinct models do — the budget does not care
+  // where a pool lives. One replica per model reduces to the original
+  // per-model loop.
+  struct Unit {
+    Engine* engine;
+    size_t replica;
+  };
+  std::vector<Unit> units;
+  for (const auto& e : engines_) {
+    for (size_t r = 0; r < e->set->size(); ++r) units.push_back({e.get(), r});
+  }
   size_t freed_total = 0;
-  for (const auto& me : engines_) {
-    Engine& m = *me;
-    if (!m.server->scheduler().admission_blocked()) continue;
-    const KvCachePool& pool = m.server->pool();
+  for (const Unit& su : units) {
+    GenerationServer& m = su.engine->set->replica(su.replica);
+    if (!m.scheduler().admission_blocked()) continue;
+    const KvCachePool& pool = m.pool();
     // Demand and targets quantize to the pool's reclaim grain: a whole
     // slab under kSlab (bit-identical legacy sizing), one block span under
     // kTlsf — where a model starved for one small block no longer forces a
@@ -219,29 +251,54 @@ size_t MultiModelGenerationServer::reclaim_for_starved_models() {
     const size_t grain = pool.reclaim_grain_bytes();
     const size_t used = pool.stats().current_device_bytes;
     // Guarantees are reclaim floors: the owner only claws back up to its
-    // declared share. Above it, this model is itself a borrower and waits
-    // for siblings to drain naturally.
-    if (used + grain > m.guarantee_bytes) continue;
+    // declared share. Above it, this replica is itself a borrower and
+    // waits for siblings to drain naturally.
+    const size_t floor = su.engine->set->replica_guarantee_bytes(su.replica);
+    if (used + grain > floor) continue;
     // Reclaim what the blocked demand justifies (cross blocks of a cold
     // prompt + first self blocks + headroom, in whole grains) — an
     // undersized reclaim frees bytes a sibling re-borrows before they add
     // up to an admission, an entitlement-sized one would gut a busy
     // borrower for a model that wants two grains. The guarantee stays the
     // hard cap on what the owner may claw back.
-    const size_t entitled = m.guarantee_bytes - used;
-    const size_t demand_bytes = m.server->scheduler().admission_demand_bytes();
+    const size_t entitled = floor - used;
+    const size_t demand_bytes = m.scheduler().admission_demand_bytes();
     const size_t demand_rounded = (demand_bytes + grain - 1) / grain * grain;
-    const size_t target = std::min(entitled, std::max(demand_rounded, grain));
+    const size_t want = std::max(demand_rounded, grain);
     const size_t avail = budget_.available_bytes();
-    if (avail >= target) continue;  // budget is not the blocker
-    size_t needed = target - avail;
-    for (const auto& de : engines_) {
-      if (de.get() == &m || needed == 0) continue;
-      Engine& d = *de;
-      const size_t d_used = d.server->pool().stats().current_device_bytes;
-      if (d_used <= d.guarantee_bytes) continue;  // nothing borrowed
-      const size_t borrowed = d_used - d.guarantee_bytes;
-      const size_t got = d.server->shed_kv(std::min(needed, borrowed));
+    if (avail >= want) continue;  // budget is not the blocker
+    size_t needed = want - avail;
+    // All-or-nothing: when even a full clawback of the entitlement cannot
+    // reach the head-of-queue demand, or the donors' borrowed bytes sum to
+    // less than the shortfall, shedding is pure churn — the freed bytes
+    // sit short of an admission until a sibling re-borrows them, and a
+    // donor shed every iteration never finishes its replay (observed as a
+    // reclaim-per-step livelock). Wait for natural drain instead.
+    if (needed > entitled) continue;
+    size_t borrowable = 0;
+    for (const Unit& du : units) {
+      if (du.engine == su.engine && du.replica == su.replica) continue;
+      const size_t d_floor =
+          du.engine->set->replica_guarantee_bytes(du.replica);
+      const size_t d_used = du.engine->set->replica(du.replica)
+                                .pool()
+                                .stats()
+                                .current_device_bytes;
+      if (d_used > d_floor) borrowable += d_used - d_floor;
+    }
+    if (borrowable < needed) continue;
+    for (const Unit& du : units) {
+      if ((du.engine == su.engine && du.replica == su.replica) ||
+          needed == 0) {
+        continue;
+      }
+      GenerationServer& d = du.engine->set->replica(du.replica);
+      const size_t d_floor =
+          du.engine->set->replica_guarantee_bytes(du.replica);
+      const size_t d_used = d.pool().stats().current_device_bytes;
+      if (d_used <= d_floor) continue;  // nothing borrowed
+      const size_t borrowed = d_used - d_floor;
+      const size_t got = d.shed_kv(std::min(needed, borrowed));
       if (got > 0) {
         ++total_reclaims_;
         m_reclaims_->add(1);
@@ -249,19 +306,21 @@ size_t MultiModelGenerationServer::reclaim_for_starved_models() {
         freed_total += got;
         needed = got >= needed ? 0 : needed - got;
         if (trace_ring_ != nullptr) {
-          // Cross-model reclaim event: starved model in `model`, donor in
-          // `peer` — the borrow/reclaim timeline pass keys on exactly this
-          // pair.
+          // Cross-pool reclaim event: starved replica in `model`, donor in
+          // `peer` (replica labels; replica 0 is the plain bundle label) —
+          // the borrow/reclaim timeline pass keys on exactly this pair.
           obs::TraceSpan span;
           span.kind = obs::SpanKind::kReclaim;
-          span.model_version = m.bundle->version;
+          span.model_version = su.engine->bundle->version;
           span.seq = -1;
           span.iteration = iteration_ + 1;
           span.bytes = got;
           span.start_ticks = obs::now_ticks();
           span.end_ticks = span.start_ticks;
-          obs::copy_name(span.model, m.bundle->label());
-          obs::copy_name(span.peer, d.bundle->label());
+          obs::copy_name(span.model,
+                         su.engine->set->replica_label(su.replica));
+          obs::copy_name(span.peer,
+                         du.engine->set->replica_label(du.replica));
           trace_ring_->record(span);
         }
       }
@@ -274,17 +333,22 @@ int MultiModelGenerationServer::step() {
   int stepped = 0;
   for (const size_t idx : step_order()) {
     Engine& engine = *engines_[idx];
-    stepped += engine.server->step();
+    stepped += engine.set->step();
     collect_completed(engine);
   }
-  // Cross-model arbitration: give admission-blocked under-guarantee models
-  // their slabs back before the next iteration admits anyone.
-  if (budget_.total_bytes() > 0 && engines_.size() > 1) {
+  // Cross-pool arbitration: give admission-blocked under-guarantee
+  // replicas their slabs back before the next iteration admits anyone.
+  // Replicated single-model servers arbitrate too — sibling replicas
+  // contend on the one budget just like distinct models.
+  const size_t pools =
+      engines_.empty() ? 0
+                       : engines_.size() > 1 ? 2 : engines_[0]->set->size();
+  if (budget_.total_bytes() > 0 && pools > 1) {
     reclaim_for_starved_models();
   }
   // Drained unregistered engines die here — the last pin on their bundle.
   std::erase_if(engines_, [](const std::unique_ptr<Engine>& e) {
-    return e->draining && e->server->idle();
+    return e->draining && e->set->idle();
   });
   if (!engines_.empty()) rr_cursor_ = (rr_cursor_ + 1) % engines_.size();
   if (stepped > 0) {
@@ -296,9 +360,15 @@ int MultiModelGenerationServer::step() {
 
 bool MultiModelGenerationServer::idle() const {
   for (const auto& e : engines_) {
-    if (!e->server->idle()) return false;
+    if (!e->set->idle()) return false;
   }
   return true;
+}
+
+const turbo::router::ReplicaSet* MultiModelGenerationServer::replica_set(
+    const std::string& name, int version) const {
+  const Engine* engine = find_engine(name, version);
+  return engine != nullptr ? engine->set.get() : nullptr;
 }
 
 bool MultiModelGenerationServer::serving(const std::string& name,
@@ -321,19 +391,24 @@ std::vector<ModelServingStats> MultiModelGenerationServer::stats() const {
   std::vector<ModelServingStats> out;
   out.reserve(engines_.size());
   for (const auto& e : engines_) {
-    ModelServingStats s;
-    s.name = e->bundle->name;
-    s.version = e->bundle->version;
-    s.draining = e->draining;
-    const GenerationScheduler& sched = e->server->scheduler();
-    s.pending = sched.pending() + sched.requeued();
-    s.active = sched.active();
-    s.served = e->server->completed_total();
-    s.last_step = e->last_step;
-    s.pool = e->server->pool_snapshot();
-    s.budget_guarantee_bytes = e->guarantee_bytes;
-    s.budget_used_bytes = s.pool.device_bytes;
-    out.push_back(std::move(s));
+    for (size_t r = 0; r < e->set->size(); ++r) {
+      const GenerationServer& server = e->set->replica(r);
+      ModelServingStats s;
+      s.name = e->bundle->name;
+      s.version = e->bundle->version;
+      s.replica = static_cast<int>(r);
+      s.label = e->set->replica_label(r);
+      s.draining = e->draining;
+      const GenerationScheduler& sched = server.scheduler();
+      s.pending = sched.pending() + sched.requeued();
+      s.active = sched.active();
+      s.served = server.completed_total();
+      s.last_step = e->set->last_step(r);
+      s.pool = server.pool_snapshot();
+      s.budget_guarantee_bytes = e->set->replica_guarantee_bytes(r);
+      s.budget_used_bytes = s.pool.device_bytes;
+      out.push_back(std::move(s));
+    }
   }
   return out;
 }
@@ -355,7 +430,7 @@ AsyncMultiModelGenerationServer::~AsyncMultiModelGenerationServer() {
 
 std::future<void> AsyncMultiModelGenerationServer::register_bundle(
     std::shared_ptr<ModelBundle> bundle, size_t guarantee_bytes,
-    std::optional<GenServerOptions> overrides) {
+    std::optional<GenServerOptions> overrides, int replicas) {
   auto promise = std::make_shared<std::promise<void>>();
   std::future<void> future = promise->get_future();
   {
@@ -363,10 +438,10 @@ std::future<void> AsyncMultiModelGenerationServer::register_bundle(
     TT_CHECK_MSG(!shutdown_, "register_bundle after shutdown");
     Event e;
     e.control = [this, promise, bundle = std::move(bundle), guarantee_bytes,
-                 overrides = std::move(overrides)]() mutable {
+                 overrides = std::move(overrides), replicas]() mutable {
       try {
         server_->register_bundle(std::move(bundle), guarantee_bytes,
-                                 std::move(overrides));
+                                 std::move(overrides), replicas);
         promise->set_value();
       } catch (...) {
         promise->set_exception(std::current_exception());

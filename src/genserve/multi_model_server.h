@@ -6,11 +6,16 @@
 // when co-hosting models is shared-resource arbitration, not N isolated
 // servers each reserving worst-case memory. This layer provides both:
 //
-//  * MultiModelGenerationServer owns one engine (GenerationServer: KV pool
-//    + scheduler + the bundle's encoder/decoder) per registered
-//    ModelBundle. Requests route by (GenerationRequest::model,
-//    model_version): empty model = the default route, version <= 0 = the
-//    latest live version, positive = pinned.
+//  * MultiModelGenerationServer owns one router::ReplicaSet (N live
+//    GenerationServer engines over one bundle — KV pool + scheduler +
+//    the bundle's encoder/decoder each) per registered ModelBundle, with
+//    a router::Router placing requests within each set on live signals
+//    (KV pressure, queue depth, observed step cost; SLO classes from
+//    GenerationRequest::priority). replicas_per_model = 1 (the default)
+//    degenerates to exactly the old one-engine-per-bundle server.
+//    Requests route by (GenerationRequest::model, model_version): empty
+//    model = the default route, version <= 0 = the latest live version,
+//    positive = pinned; the replica within the set is the Router's call.
 //  * Every engine's pool charges its slab mallocs against a single shared
 //    memory::SlabBudget. An idle model's unused headroom is borrowable —
 //    a busy pool simply allocates it — and reclaimed through the existing
@@ -51,6 +56,8 @@
 #include "memory/slab_budget.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "router/replica_set.h"
+#include "router/router.h"
 #include "serving/request.h"
 
 namespace turbo::genserve {
@@ -76,12 +83,27 @@ struct MultiModelOptions {
     kWeightedQueueDepth,  // deepest backlog (queued + requeued) steps first
   };
   Policy policy = Policy::kRoundRobin;
+  // Live engine replicas per registered bundle (register_bundle may
+  // override per model). 1 = the classic one-engine-per-bundle server,
+  // preserved bit-identically; > 1 shards each model across a
+  // router::ReplicaSet with `router` deciding per-request placement.
+  int replicas_per_model = 1;
+  // Placement policy within each replica set (SLO-aware by default).
+  turbo::router::RouterOptions router;
+  // One pinned worker thread per replica (ReplicaSetOptions). Only legal
+  // with an unbounded budget (total_kv_bytes == 0): bounded shared
+  // budgets must be stepped from one thread (see router/replica_set.h).
+  bool pinned_replica_workers = false;
 };
 
-// Per-model serving breakdown, assembled by stats().
+// Per-replica serving breakdown, assembled by stats(): one entry per
+// (model, replica) in registration x replica order, so single-replica
+// servers keep one entry per model at the same index as before.
 struct ModelServingStats {
   std::string name;
   int version = 1;
+  int replica = 0;          // replica index within the model's set
+  std::string label;        // engine identity ("name:vN", "name:vN#r")
   bool draining = false;    // unregistered, finishing in-flight sequences
   size_t pending = 0;       // queued + requeued (preempted awaiting resume)
   size_t active = 0;        // sequences in the step batch
@@ -120,15 +142,18 @@ class MultiModelGenerationServer {
   MultiModelGenerationServer& operator=(const MultiModelGenerationServer&) =
       delete;
 
-  // Registers `bundle` and stands up its engine (pool registered with the
-  // shared budget under `guarantee_bytes` as its reclaim floor; pass the
-  // model's worst-case single request at minimum if it must never starve).
-  // The first registered name becomes the default route. `overrides`
-  // replaces the per-engine defaults for this model only. Throws on
-  // duplicate (name, version) — including one still draining.
+  // Registers `bundle` and stands up its replica set (every replica's
+  // pool registered with the shared budget, the model's `guarantee_bytes`
+  // reclaim floor split across replicas; pass the model's worst-case
+  // single request at minimum if it must never starve). The first
+  // registered name becomes the default route. `overrides` replaces the
+  // per-engine defaults for this model only; `replicas` overrides
+  // options.replicas_per_model for this model (0 = use the default).
+  // Throws on duplicate (name, version) — including one still draining.
   void register_bundle(std::shared_ptr<ModelBundle> bundle,
                        size_t guarantee_bytes = 0,
-                       std::optional<GenServerOptions> overrides = {});
+                       std::optional<GenServerOptions> overrides = {},
+                       int replicas = 0);
   // Hot removal: the route disappears immediately (new submits cannot
   // resolve to it); in-flight sequences keep the engine + bundle alive
   // until they retire. Returns false if (name, version) is not registered.
@@ -144,8 +169,10 @@ class MultiModelGenerationServer {
   // malformed for that model.
   void validate(const serving::GenerationRequest& request) const;
 
-  // Queue a request on its routed engine. The route is fixed here: a
-  // later registration of a newer version does not migrate it.
+  // Queue a request on its routed model's replica set; the set's Router
+  // picks the replica (kRoute span + router.* counters record the
+  // decision). The route is fixed here: a later registration of a newer
+  // version does not migrate it, and a sequence never migrates replicas.
   void submit(serving::GenerationRequest request,
               serving::TokenCallback on_token = nullptr);
 
@@ -171,6 +198,9 @@ class MultiModelGenerationServer {
   const BundleRegistry& registry() const { return registry_; }
   const memory::SlabBudget& budget() const { return budget_; }
   std::vector<ModelServingStats> stats() const;
+  // The live replica set serving (name, version); nullptr when absent.
+  const turbo::router::ReplicaSet* replica_set(const std::string& name,
+                                               int version) const;
 
   // The shared metrics registry (never null; safe from any thread). Every
   // engine publishes under "gen.<name:vN>."; server-level totals live
@@ -198,10 +228,10 @@ class MultiModelGenerationServer {
  private:
   struct Engine {
     std::shared_ptr<ModelBundle> bundle;  // pin (registry may drop its ref)
-    std::unique_ptr<GenerationServer> server;
-    size_t guarantee_bytes = 0;
+    std::unique_ptr<turbo::router::ReplicaSet> set;
+    std::unique_ptr<turbo::router::Router> router;
+    size_t guarantee_bytes = 0;  // whole-model floor (split across replicas)
     bool draining = false;
-    StepStats last_step;
   };
 
   Engine* find_engine(const std::string& name, int version);
@@ -213,7 +243,8 @@ class MultiModelGenerationServer {
   Engine* route(const serving::GenerationRequest& request);
   // Iteration order of engine indices under the configured policy.
   std::vector<size_t> step_order() const;
-  // Cross-model budget reclaim (see class comment). Returns bytes freed.
+  // Cross-model budget reclaim, now per (model, replica) unit (see class
+  // comment). Returns bytes freed.
   size_t reclaim_for_starved_models();
   void collect_completed(Engine& engine);
 
@@ -272,7 +303,7 @@ class AsyncMultiModelGenerationServer {
   // faulted trying — duplicate version, oversubscribed guarantee).
   std::future<void> register_bundle(
       std::shared_ptr<ModelBundle> bundle, size_t guarantee_bytes = 0,
-      std::optional<GenServerOptions> overrides = {});
+      std::optional<GenServerOptions> overrides = {}, int replicas = 0);
   // Resolves to unregister_bundle()'s result once applied.
   std::future<bool> unregister_bundle(std::string name, int version);
 

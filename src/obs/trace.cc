@@ -11,7 +11,7 @@ namespace {
 constexpr const char* kKindNames[kSpanKinds] = {
     "admit",   "prefill", "schedule", "decode",    "preempt",
     "resume",  "evict",   "reclaim",  "stream",    "radix_hit",
-    "radix_evict", "prefill_chunk",
+    "radix_evict", "prefill_chunk", "route",
 };
 
 size_t round_up_pow2(size_t n) {

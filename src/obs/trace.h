@@ -57,6 +57,10 @@ enum class SpanKind : uint8_t {
                      // blocks (tokens = evictions this step)
   kPrefillChunk,     // seq event: a multi-row prefill/replay chunk ran in
                      // the fused step (tokens = rows in the chunk)
+  kRoute,            // seq event: router placed the request on a replica
+                     // (model = bundle, peer = chosen replica label,
+                     // batch = replica index, tokens = SloClass,
+                     // bytes = 1 when the denial fallback was taken)
   kCount,            // number of kinds (not a span)
 };
 

@@ -1,0 +1,324 @@
+#include "router/replica_set.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "common/check.h"
+#include "memory/slab_budget.h"
+#include "model/encoder.h"
+
+namespace turbo::router {
+
+namespace {
+
+size_t free_blocks_of(const genserve::KvCachePool& pool) {
+  const size_t cap = pool.max_blocks();
+  if (cap == std::numeric_limits<size_t>::max()) return cap;
+  const size_t charged = pool.charged_blocks();
+  return cap > charged ? cap - charged : 0;
+}
+
+// Best-effort: pin the calling thread to one CPU so a replica's fused
+// steps stop migrating (cache residency for its slice of the weights'
+// activations). Failure is fine — pinning is a performance hint.
+void pin_to_cpu(size_t index) {
+#ifdef __linux__
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(index % hw), &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)index;
+#endif
+}
+
+}  // namespace
+
+ReplicaSet::ReplicaSet(std::shared_ptr<genserve::ModelBundle> bundle,
+                       genserve::GenServerOptions engine_options,
+                       size_t guarantee_bytes, ReplicaSetOptions options)
+    : bundle_(std::move(bundle)) {
+  TT_CHECK(bundle_ != nullptr);
+  TT_CHECK_GE(options.replicas, 1);
+  const size_t n = static_cast<size_t>(options.replicas);
+
+  if (options.pinned_workers && n > 0) {
+    // Concurrent stepping is only legal when the replicas' pools do not
+    // contend on a bounded shared budget: each pool's capacity gate and
+    // charge are two separate budget calls, so two pools admitting into
+    // the same bounded budget concurrently can both pass the gate for the
+    // last bytes (see memory/slab_budget.h). An unbounded budget (or none)
+    // only tracks attribution and is internally locked.
+    const memory::SlabBudget* budget = engine_options.pool.slab_budget;
+    // Bounded budgets must be stepped from one thread; see the file
+    // comment in replica_set.h.
+    TT_CHECK(budget == nullptr || budget->total_bytes() == 0);
+  }
+
+  // One registry and (when tracing) one ring across the whole set: the
+  // replicas are one serving identity, and the Router reads replica 0's
+  // attachments as the set's. Callers that pass their own keep them.
+  if (engine_options.metrics == nullptr) {
+    engine_options.metrics = std::make_shared<obs::Registry>();
+  }
+  if (engine_options.trace.enabled && engine_options.trace.ring == nullptr) {
+    engine_options.trace.ring =
+        std::make_shared<obs::TraceRing>(engine_options.trace.capacity);
+  }
+
+  const std::string base_label = engine_options.instance_label.empty()
+                                     ? bundle_->label()
+                                     : engine_options.instance_label;
+  const size_t per = guarantee_bytes / n;
+  const size_t rem = guarantee_bytes % n;
+
+  replicas_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Replica r;
+    r.label = i == 0 ? base_label : base_label + "#" + std::to_string(i);
+    r.guarantee_bytes = per + (i == 0 ? rem : 0);
+
+    genserve::GenServerOptions opts = engine_options;
+    opts.instance_label = r.label;
+    if (opts.pool.slab_budget != nullptr) {
+      opts.pool.budget_client_name = r.label;
+      opts.pool.budget_guarantee_bytes = r.guarantee_bytes;
+    }
+    // EncoderModel::forward replans its allocator and ping-pongs private
+    // hidden buffers, so one encoder instance must not be driven from two
+    // workers at once (the bundle contract). Concurrent replicas therefore
+    // get their own encoder over the SAME weight storage — EncoderWeights
+    // copies share tensors — while the decoder stays shared: step() is
+    // const over a caller-owned workspace. Replica 0 keeps the original
+    // bundle, so single-worker identity (and hot-unregister pinning
+    // through it) is untouched.
+    std::shared_ptr<genserve::ModelBundle> replica_bundle = bundle_;
+    if (options.pinned_workers && i > 0 && bundle_->encoder != nullptr) {
+      auto shadow = std::make_shared<genserve::ModelBundle>(*bundle_);
+      shadow->encoder = std::make_shared<model::EncoderModel>(
+          bundle_->config, bundle_->encoder->weights());
+      replica_bundle = std::move(shadow);
+    }
+    r.server =
+        std::make_unique<genserve::GenerationServer>(replica_bundle, opts);
+
+    // Create-or-get the engine's own latency/batch histograms: the
+    // router's observed-cost signal reads the same series the engine
+    // publishes.
+    const std::string& p = r.server->metric_prefix();
+    r.step_ms = &r.server->metrics()->histogram(p + "step_ms");
+    r.batch_rows = &r.server->metrics()->histogram(p + "batch_size");
+    replicas_.push_back(std::move(r));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    replicas_[i].server->set_step_observer(
+        [this, i](const genserve::StepStats& stats) {
+          replicas_[i].last_step = stats;
+          if (observer_) observer_(i, stats);
+        });
+  }
+
+  if (options.pinned_workers) {
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+}
+
+ReplicaSet::~ReplicaSet() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+}
+
+genserve::GenerationServer& ReplicaSet::replica(size_t i) {
+  TT_CHECK_LT(i, replicas_.size());
+  return *replicas_[i].server;
+}
+
+const genserve::GenerationServer& ReplicaSet::replica(size_t i) const {
+  TT_CHECK_LT(i, replicas_.size());
+  return *replicas_[i].server;
+}
+
+const std::string& ReplicaSet::replica_label(size_t i) const {
+  TT_CHECK_LT(i, replicas_.size());
+  return replicas_[i].label;
+}
+
+size_t ReplicaSet::replica_guarantee_bytes(size_t i) const {
+  TT_CHECK_LT(i, replicas_.size());
+  return replicas_[i].guarantee_bytes;
+}
+
+std::vector<size_t> ReplicaSet::step_order() const {
+  std::vector<size_t> order(replicas_.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (order.size() > 1) {
+    std::rotate(order.begin(), order.begin() + (rr_cursor_ % order.size()),
+                order.end());
+    // Starved replicas step first so budget freed by a sibling's retires
+    // this iteration is not re-borrowed before they admit, and among them
+    // the under-guarantee ones lead — reclaimed bytes belong to the owner
+    // (mirrors the cross-model step-order policy).
+    std::stable_partition(order.begin(), order.end(), [this](size_t i) {
+      return replicas_[i].server->scheduler().admission_blocked();
+    });
+    std::stable_partition(order.begin(), order.end(), [this](size_t i) {
+      const Replica& r = replicas_[i];
+      return r.server->scheduler().admission_blocked() &&
+             r.server->pool().stats().current_device_bytes < r.guarantee_bytes;
+    });
+  }
+  return order;
+}
+
+int ReplicaSet::step() {
+  if (workers_.empty()) {
+    // Single replica: no ordering to compute — keep the legacy server's
+    // per-step cost (this path sits inside the multi-model hot loop).
+    if (replicas_.size() == 1) {
+      replicas_[0].stepped = replicas_[0].server->step();
+      return replicas_[0].stepped;
+    }
+    const std::vector<size_t> order = step_order();
+    ++rr_cursor_;
+    int total = 0;
+    for (size_t i : order) {
+      replicas_[i].stepped = replicas_[i].server->step();
+      total += replicas_[i].stepped;
+    }
+    return total;
+  }
+
+  // Barrier round: release every worker for one fused step, wait for all.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++epoch_;
+    done_ = 0;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return done_ == workers_.size(); });
+  int total = 0;
+  for (const Replica& r : replicas_) total += r.stepped;
+  return total;
+}
+
+void ReplicaSet::worker_loop(size_t i) {
+  pin_to_cpu(i);
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    const int stepped = replicas_[i].server->step();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      replicas_[i].stepped = stepped;
+      if (++done_ == workers_.size()) cv_done_.notify_one();
+    }
+  }
+}
+
+bool ReplicaSet::idle() const {
+  for (const Replica& r : replicas_) {
+    if (!r.server->idle()) return false;
+  }
+  return true;
+}
+
+size_t ReplicaSet::pending_total() const {
+  size_t total = 0;
+  for (const Replica& r : replicas_) {
+    const auto& sched = r.server->scheduler();
+    total += sched.pending() + sched.requeued();
+  }
+  return total;
+}
+
+bool ReplicaSet::any_admission_blocked() const {
+  for (const Replica& r : replicas_) {
+    if (r.server->scheduler().admission_blocked()) return true;
+  }
+  return false;
+}
+
+bool ReplicaSet::any_starved_under_guarantee() const {
+  for (const Replica& r : replicas_) {
+    if (r.server->scheduler().admission_blocked() &&
+        r.server->pool().stats().current_device_bytes < r.guarantee_bytes) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ReplicaSignals ReplicaSet::signals(size_t i) const {
+  TT_CHECK_LT(i, replicas_.size());
+  const Replica& r = replicas_[i];
+  const auto& sched = r.server->scheduler();
+  const auto& pool = r.server->pool();
+
+  ReplicaSignals s;
+  s.queue_depth = sched.pending() + sched.requeued();
+  s.active = sched.active();
+  s.kv_free_blocks = free_blocks_of(pool);
+  s.kv_charged_bytes = pool.charged_blocks() * pool.block_bytes();
+  s.admission_blocked = sched.admission_blocked();
+  if (r.step_ms->count() > 0) {
+    s.step_cost_ms = r.step_ms->mean();
+    const double rows =
+        r.batch_rows->count() > 0 ? std::max(1.0, r.batch_rows->mean()) : 1.0;
+    s.row_cost_ms = s.step_cost_ms / rows;
+  }
+  return s;
+}
+
+const genserve::StepStats& ReplicaSet::last_step(size_t i) const {
+  TT_CHECK_LT(i, replicas_.size());
+  return replicas_[i].last_step;
+}
+
+size_t ReplicaSet::demand_blocks(
+    const serving::GenerationRequest& request) const {
+  const auto& pool = replicas_[0].server->pool();
+  const int src = static_cast<int>(request.src_tokens.size());
+  if (bundle_->decoder_only()) {
+    return pool.blocks_for_causal(src, request.max_new_tokens);
+  }
+  return pool.blocks_for(src, request.max_new_tokens);
+}
+
+std::vector<serving::GenerationResponse> ReplicaSet::take_completed() {
+  std::vector<serving::GenerationResponse> out;
+  for (Replica& r : replicas_) {
+    auto done = r.server->take_completed();
+    out.insert(out.end(), std::make_move_iterator(done.begin()),
+               std::make_move_iterator(done.end()));
+  }
+  return out;
+}
+
+void ReplicaSet::set_step_observer(StepObserver observer) {
+  observer_ = std::move(observer);
+}
+
+}  // namespace turbo::router

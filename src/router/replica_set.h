@@ -1,0 +1,172 @@
+// N live generation-engine replicas of one ModelBundle behind one front
+// door — the unit the sharded serving layer (src/router/) scales out.
+//
+// One GenerationServer saturates one worker; the paper's §5 and the
+// ROADMAP's "millions of users" north star both call for more engines per
+// model behind an upper-level balancer. A ReplicaSet stands up `replicas`
+// engines over the SAME bundle (weights shared via shared_ptr, so fan-out
+// costs KV memory, not model memory): each replica gets its own
+// KvCachePool — all charged against whatever shared memory::SlabBudget the
+// caller wired into the base engine options, with the set's byte guarantee
+// split evenly across replicas — its own scheduler, and its own identity
+// in the shared metrics registry / trace ring ("name:vN" for replica 0,
+// "name:vN#r" for r >= 1, so single-replica sets keep today's metric
+// names bit-for-bit).
+//
+// Placement is not this class's job: the Router (router/router.h) decides
+// which replica a request lands on; ReplicaSet only exposes the live
+// signals the decision needs (queue depth, KV pressure, observed per-step
+// cost) and steps every replica each iteration.
+//
+// Stepping modes:
+//  * Sequential (default): step() runs one fused step per replica on the
+//    calling thread — admission-blocked replicas first (freshly reclaimed
+//    budget must not be re-borrowed by a sibling earlier in the rotation),
+//    then rotation order. Replica count 1 reduces to exactly one
+//    GenerationServer::step() call: bit-identical to the pre-replica
+//    server.
+//  * Pinned workers (options.pinned_workers): one persistent worker thread
+//    per replica, best-effort pinned to a distinct CPU; step() releases
+//    all workers for one fused step each and waits on the barrier.
+//    Requires the pools to share no *bounded* SlabBudget (the pools'
+//    capacity-gate-then-charge sequence is not atomic across pools — see
+//    slab_budget.h; per-replica pool.max_bytes caps are fine, and an
+//    unbounded budget only tracks attribution under its own mutex).
+//
+// Ownership: owns every replica engine and pins the bundle. Thread-safety:
+// like GenerationServer, all mutating calls from one thread; under pinned
+// workers the engines themselves are only ever touched by their own worker
+// during step(), and every accessor is safe between step() calls (the
+// barrier orders worker writes before the caller's reads). Step observers
+// fire on the stepping thread — the replica's worker in pinned mode.
+// Invariants: a submitted request is served entirely by the replica it was
+// placed on (sequences never migrate replicas); every replica steps at
+// most once per step() call; signals(i) reflects the state after the last
+// completed step().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "genserve/generation_server.h"
+#include "genserve/model_bundle.h"
+#include "serving/request.h"
+
+namespace turbo::router {
+
+// Live placement signals for one replica, assembled by ReplicaSet::signals.
+struct ReplicaSignals {
+  size_t queue_depth = 0;      // queued + requeued (awaiting (re)admission)
+  size_t active = 0;           // sequences in the fused step batch
+  size_t kv_free_blocks = 0;   // admission headroom (SIZE_MAX = unbounded)
+  size_t kv_charged_bytes = 0; // bytes charged against the admission gate
+  bool admission_blocked = false;  // head-of-queue admission is starved
+  double step_cost_ms = 0.0;   // observed mean fused-step latency (0 = no
+                               // observation yet)
+  double row_cost_ms = 0.0;    // step_cost_ms per observed batch row
+};
+
+struct ReplicaSetOptions {
+  int replicas = 1;
+  // One persistent, CPU-pinned step worker per replica (see file comment
+  // for the budget restriction this implies).
+  bool pinned_workers = false;
+};
+
+class ReplicaSet {
+ public:
+  // `replica`: which replica produced the stats.
+  using StepObserver =
+      std::function<void(size_t replica, const genserve::StepStats&)>;
+
+  // `engine_options` is the per-replica template: the caller has already
+  // wired budget/metrics/trace attachments into it (as
+  // MultiModelGenerationServer::register_bundle does); the set overrides
+  // per-replica identity (instance_label, budget_client_name) and splits
+  // `guarantee_bytes` evenly (remainder to replica 0).
+  ReplicaSet(std::shared_ptr<genserve::ModelBundle> bundle,
+             genserve::GenServerOptions engine_options,
+             size_t guarantee_bytes, ReplicaSetOptions options = {});
+  ~ReplicaSet();
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  size_t size() const { return replicas_.size(); }
+  const std::shared_ptr<genserve::ModelBundle>& bundle() const {
+    return bundle_;
+  }
+  genserve::GenerationServer& replica(size_t i);
+  const genserve::GenerationServer& replica(size_t i) const;
+  // "name:vN" for replica 0, "name:vN#i" beyond — the engine's metric /
+  // trace / budget-client identity.
+  const std::string& replica_label(size_t i) const;
+  size_t replica_guarantee_bytes(size_t i) const;
+
+  // One fused step per replica (see file comment for ordering / threading).
+  // Returns total sequences stepped across replicas.
+  int step();
+
+  bool idle() const;
+  // Aggregates over replicas (the cross-model step-order policy consumes
+  // these).
+  size_t pending_total() const;   // queued + requeued, all replicas
+  bool any_admission_blocked() const;
+  // A replica is admission-blocked while holding less than its guarantee:
+  // cross-pool reclaim runs on its behalf, and the freed bytes must reach
+  // it before at-floor borrowers re-admit (the step-order signal).
+  bool any_starved_under_guarantee() const;
+
+  ReplicaSignals signals(size_t i) const;
+  const genserve::StepStats& last_step(size_t i) const;
+
+  // Worst-case KV-block demand of `request` on this set's pool geometry
+  // (identical across replicas) — the router's admission-denial signal.
+  size_t demand_blocks(const serving::GenerationRequest& request) const;
+
+  // Completed responses from every replica since the last take, replica
+  // order then completion order.
+  std::vector<serving::GenerationResponse> take_completed();
+
+  void set_step_observer(StepObserver observer);
+
+ private:
+  struct Replica {
+    std::unique_ptr<genserve::GenerationServer> server;
+    std::string label;
+    size_t guarantee_bytes = 0;
+    genserve::StepStats last_step;
+    // Cached handles into the shared registry for the observed-cost
+    // signal (created by the engine itself; same defaults).
+    obs::Histogram* step_ms = nullptr;
+    obs::Histogram* batch_rows = nullptr;
+    int stepped = 0;  // sequences stepped in the last step() round
+  };
+
+  // Step order: admission-blocked replicas first, then rotation.
+  std::vector<size_t> step_order() const;
+  void worker_loop(size_t i);
+
+  std::shared_ptr<genserve::ModelBundle> bundle_;
+  std::vector<Replica> replicas_;
+  StepObserver observer_;
+  size_t rr_cursor_ = 0;
+
+  // Pinned-worker barrier state (empty workers_ = sequential mode).
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  uint64_t epoch_ = 0;
+  size_t done_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace turbo::router

@@ -1,0 +1,176 @@
+#include "router/router.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace turbo::router {
+
+namespace {
+
+// Index of the replica whose backlog clears first (lowest index on ties,
+// so placement is deterministic).
+size_t argmin_ready(const serving::BacklogModel& backlog, double now) {
+  size_t best = 0;
+  double best_ready = backlog.ready_at(0, now);
+  for (size_t i = 1; i < backlog.targets(); ++i) {
+    const double r = backlog.ready_at(i, now);
+    if (r < best_ready) {
+      best_ready = r;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Router::Router(ReplicaSet& set, RouterOptions options)
+    : set_(set), options_(options), backlog_(set.size()) {
+  TT_CHECK_GE(set_.size(), 1u);
+  auto& metrics = *set_.replica(0).metrics();
+  ring_ = set_.replica(0).trace_ring();
+  c_routed_ = &metrics.counter("router.routed_total");
+  c_fallbacks_ = &metrics.counter("router.denial_fallbacks");
+  c_class_[0] = &metrics.counter("router.routed_tight");
+  c_class_[1] = &metrics.counter("router.routed_standard");
+  c_class_[2] = &metrics.counter("router.routed_batch");
+  per_replica_.resize(set_.size());
+  for (size_t i = 0; i < set_.size(); ++i) {
+    const std::string p = "router." + set_.replica_label(i) + ".";
+    per_replica_[i].routed = &metrics.counter(p + "routed");
+    per_replica_[i].backlog = &metrics.gauge(p + "backlog");
+  }
+}
+
+size_t Router::pick_slo_aware(const serving::GenerationRequest& request,
+                              serving::SloClass klass,
+                              const std::vector<ReplicaSignals>& signals,
+                              double now, bool* fallback) const {
+  const size_t n = set_.size();
+
+  if (klass == serving::SloClass::kBatch) {
+    // Backfill by consolidation: pile batch work onto the replica already
+    // carrying the deepest backlog (ties: most free KV blocks, then
+    // lowest index), keeping the lightly-loaded replicas clear as fast
+    // lanes for the tight/standard classes. Batch deadlines are loose by
+    // definition; spreading batch evenly would poison every lane at once.
+    // Admission-starved replicas are skipped while any sibling can still
+    // admit — piling more work on a starved lane only buys preemption
+    // churn.
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (signals[i].admission_blocked) continue;
+      if (best == n) {
+        best = i;
+        continue;
+      }
+      const double ri = backlog_.ready_at(i, now);
+      const double rb = backlog_.ready_at(best, now);
+      if (ri > rb || (ri == rb && signals[i].kv_free_blocks >
+                                      signals[best].kv_free_blocks)) {
+        best = i;
+      }
+    }
+    if (best < n) return best;
+    // Everyone starved: deepest backlog (it was absorbing batch anyway).
+    best = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (backlog_.ready_at(i, now) > backlog_.ready_at(best, now)) best = i;
+    }
+    return best;
+  }
+
+  const size_t least = argmin_ready(backlog_, now);
+  if (klass != serving::SloClass::kTight) return least;
+
+  // Tight SLO: rank by backlog, skip replicas that would deny or queue
+  // the admission (KV-starved head of queue, a waiting queue the request
+  // would sit behind, or fewer free blocks than its worst-case demand).
+  const size_t demand = set_.demand_blocks(request);
+  std::vector<size_t> ranked(n);
+  for (size_t i = 0; i < n; ++i) ranked[i] = i;
+  std::sort(ranked.begin(), ranked.end(), [&](size_t a, size_t b) {
+    const double ra = backlog_.ready_at(a, now);
+    const double rb = backlog_.ready_at(b, now);
+    return ra != rb ? ra < rb : a < b;
+  });
+  for (size_t i : ranked) {
+    if (signals[i].admission_blocked) continue;
+    if (signals[i].queue_depth > 0) continue;
+    if (signals[i].kv_free_blocks < demand) continue;
+    *fallback = i != least;
+    return i;
+  }
+  // Everyone is starved: least backlog takes it (no fallback credit —
+  // nothing was dodged).
+  return least;
+}
+
+RouteDecision Router::place(const serving::GenerationRequest& request,
+                            double now) {
+  const size_t n = set_.size();
+  std::vector<ReplicaSignals> signals(n);
+  for (size_t i = 0; i < n; ++i) signals[i] = set_.signals(i);
+
+  RouteDecision d;
+  d.slo = serving::slo_class_of(request.priority, options_.slo);
+
+  switch (options_.policy) {
+    case serving::DispatchPolicy::kRoundRobin:
+      d.replica = rr_cursor_++ % n;
+      break;
+    case serving::DispatchPolicy::kLeastLoaded:
+      d.replica = argmin_ready(backlog_, now);
+      break;
+    case serving::DispatchPolicy::kSloAware:
+      d.replica = pick_slo_aware(request, d.slo, signals, now, &d.fallback);
+      break;
+  }
+  TT_CHECK_LT(d.replica, n);
+
+  // Charge predicted work: total rows, scaled by the chosen replica's
+  // observed per-row cost relative to the cheapest replica (no
+  // observations yet -> everyone costs 1x).
+  double min_row_cost = std::numeric_limits<double>::max();
+  for (const ReplicaSignals& s : signals) {
+    if (s.row_cost_ms > 0.0) min_row_cost = std::min(min_row_cost, s.row_cost_ms);
+  }
+  const double rows = static_cast<double>(request.src_tokens.size()) +
+                      static_cast<double>(request.max_new_tokens);
+  const double rel =
+      options_.use_observed_cost && signals[d.replica].row_cost_ms > 0.0
+          ? signals[d.replica].row_cost_ms / min_row_cost
+          : 1.0;
+  d.exec = rows * rel;
+  d.ready_at = backlog_.ready_at(d.replica, now);
+  backlog_.charge(d.replica, now, d.exec);
+
+  c_routed_->add(1);
+  c_class_[static_cast<int>(d.slo)]->add(1);
+  if (d.fallback) c_fallbacks_->add(1);
+  per_replica_[d.replica].routed->add(1);
+  for (size_t i = 0; i < n; ++i) {
+    per_replica_[i].backlog->set(backlog_.outstanding(i, now));
+  }
+
+  if (ring_ != nullptr) {
+    obs::TraceSpan span;
+    span.kind = obs::SpanKind::kRoute;
+    span.model_version = set_.bundle()->version;
+    span.seq = request.id;
+    span.iteration = static_cast<int64_t>(now);
+    span.batch = static_cast<int32_t>(d.replica);
+    span.tokens = static_cast<int32_t>(d.slo);
+    span.bytes = d.fallback ? 1 : 0;
+    span.start_ticks = obs::now_ticks();
+    span.end_ticks = span.start_ticks;
+    obs::copy_name(span.model, set_.bundle()->label());
+    obs::copy_name(span.peer, set_.replica_label(d.replica));
+    ring_->record(span);
+  }
+  return d;
+}
+
+}  // namespace turbo::router

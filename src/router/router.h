@@ -1,0 +1,128 @@
+// SLO-aware request placement over a ReplicaSet's live signals.
+//
+// The Router is the decision half of the sharded serving layer: given one
+// GenerationRequest and the current state of the set's replicas, pick the
+// replica the request is served on. The decision consumes only live
+// engine signals — KV pressure (free/charged blocks straight from each
+// replica's pool), queue depth, and observed per-step cost (the engines'
+// own step_ms/batch_size histograms) — plus a Nexus-style backlog model
+// (serving::BacklogModel, shared vocabulary with the offline
+// serving::LoadBalancer) that tracks the predicted work already placed on
+// each replica in virtual time.
+//
+// Virtual time: `now` is the caller's iteration count (the multi-model
+// step loop passes its own iteration; a bench passes its step counter),
+// NOT wall clock — placement is a pure function of submitted load and
+// observed costs, so routed runs replay deterministically. A request's
+// charged work is its total row count (prompt + max_new) scaled by the
+// chosen replica's observed per-row cost relative to the cheapest
+// replica, i.e. a slower replica's backlog clears later.
+//
+// SLO classes come from GenerationRequest::priority via
+// serving::slo_class_of:
+//  * kTight    — latency-critical. Placed on the replica whose backlog
+//    clears first; replicas that cannot admit the request right now
+//    (head-of-queue admission starved, or fewer free KV blocks than the
+//    request's worst-case demand) are skipped — the *routing-denial
+//    fallback* — so a tight request never queues behind a KV-starved
+//    replica while a sibling has headroom. If no replica has headroom the
+//    least-loaded one takes it anyway.
+//  * kStandard — least predicted backlog, no denial screening.
+//  * kBatch    — throughput filler: consolidates onto the replica already
+//    carrying the deepest predicted backlog (ties: most free KV blocks),
+//    so batch work soaks one lane instead of poisoning every lane the
+//    tight classes need.
+// DispatchPolicy::kRoundRobin and kLeastLoaded ignore the class (the
+// bench's baselines); kSloAware is the default.
+//
+// Every decision is first-class observability: router.* counters
+// (routed_total, per-class routed, denial_fallbacks), per-replica routed
+// counters and backlog gauges, and one kRoute instant span per placement
+// (model = bundle, peer = chosen replica, batch = replica index,
+// tokens = SloClass, bytes = 1 iff the denial fallback was taken) on the
+// same ring as the engines' phase spans — tools/trace_report can
+// attribute any request's queueing to the placement that caused it.
+//
+// Ownership: borrows the ReplicaSet (caller keeps it alive; the
+// multi-model engine owns both). Thread-safety: single-threaded like the
+// engines — place() from the serving thread only. Invariants: place()
+// always returns a replica index < set.size(); the backlog model is
+// charged exactly once per placement; counters and spans are emitted for
+// every placement, including fallbacks.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "router/replica_set.h"
+#include "serving/request.h"
+#include "serving/routing_policy.h"
+
+namespace turbo::router {
+
+struct RouterOptions {
+  serving::DispatchPolicy policy = serving::DispatchPolicy::kSloAware;
+  serving::SloPolicy slo;
+  // Weigh charged work by each replica's observed per-row step cost (a
+  // slower replica's backlog clears later). The observation is wall
+  // clock, so placements can differ run to run on homogeneous replicas
+  // whose means jitter; benches that assert placement determinism turn
+  // this off (every replica then costs 1x and placement is a pure
+  // function of the trace).
+  bool use_observed_cost = true;
+};
+
+// One placement outcome (also what the property tests assert on).
+struct RouteDecision {
+  size_t replica = 0;
+  serving::SloClass slo = serving::SloClass::kStandard;
+  bool fallback = false;  // tight-SLO denial fallback rerouted the request
+  double ready_at = 0.0;  // chosen replica's backlog-clear instant at `now`
+  double exec = 0.0;      // predicted work charged to the replica
+};
+
+class Router {
+ public:
+  // Metrics handles come from the set's shared registry (replica 0's);
+  // spans go to the engines' ring when tracing is on.
+  Router(ReplicaSet& set, RouterOptions options = {});
+
+  const RouterOptions& options() const { return options_; }
+
+  // Decide the replica for `request` at virtual time `now` and charge its
+  // predicted work to that replica's backlog. Does NOT submit — the
+  // caller owns submission (and its completion callback) so the decision
+  // stays usable from both the multi-model server and benches.
+  RouteDecision place(const serving::GenerationRequest& request, double now);
+
+  // Predicted outstanding work on replica `i` at `now` (bench/test view).
+  double backlog(size_t i, double now) const {
+    return backlog_.outstanding(i, now);
+  }
+
+ private:
+  size_t pick_slo_aware(const serving::GenerationRequest& request,
+                        serving::SloClass klass,
+                        const std::vector<ReplicaSignals>& signals,
+                        double now, bool* fallback) const;
+
+  ReplicaSet& set_;
+  RouterOptions options_;
+  serving::BacklogModel backlog_;
+  size_t rr_cursor_ = 0;
+
+  std::shared_ptr<obs::TraceRing> ring_;
+  obs::Counter* c_routed_ = nullptr;
+  obs::Counter* c_fallbacks_ = nullptr;
+  obs::Counter* c_class_[3] = {nullptr, nullptr, nullptr};
+  struct ReplicaMetrics {
+    obs::Counter* routed = nullptr;
+    obs::Gauge* backlog = nullptr;
+  };
+  std::vector<ReplicaMetrics> per_replica_;
+};
+
+}  // namespace turbo::router

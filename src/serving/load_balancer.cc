@@ -38,23 +38,16 @@ ClusterResult simulate_cluster(const std::vector<Request>& arrivals,
       assigned[i % n].push_back(arrivals[i]);
     }
   } else {
-    // Least-loaded: track each server's outstanding predicted work as a
-    // virtual backlog that drains in real time.
-    std::vector<double> backlog_until(n, 0.0);  // time the backlog clears
+    // Least-loaded (kSloAware degrades to it here: offline Requests carry
+    // no priority): each server's outstanding predicted work is a virtual
+    // backlog draining in real time — the shared BacklogModel heuristic.
+    BacklogModel backlog(n);
     for (const auto& r : arrivals) {
-      size_t best = 0;
-      double best_ready = std::numeric_limits<double>::max();
-      for (size_t s = 0; s < n; ++s) {
-        const double ready = std::max(backlog_until[s], r.arrival_s);
-        if (ready < best_ready) {
-          best_ready = ready;
-          best = s;
-        }
-      }
+      const size_t best = backlog.pick(r.arrival_s);
       const double exec_s =
           servers[best].costs->batch_cost_ms(r.length, 1) /
           servers[best].speed / 1e3;
-      backlog_until[best] = best_ready + exec_s;
+      backlog.charge(best, r.arrival_s, exec_s);
       assigned[best].push_back(r);
     }
   }

@@ -9,17 +9,22 @@
 //   kRoundRobin   — arrival i -> server i mod N.
 //   kLeastLoaded  — each request goes to the server with the least
 //                   outstanding predicted work at its arrival instant
-//                   (Nexus-style backlog awareness).
+//                   (Nexus-style backlog awareness, serving::BacklogModel).
+//
+// The policy vocabulary lives in serving/routing_policy.h, shared with the
+// live replica router (src/router/): the simulator and the router place
+// requests with the same enums and the same least-loaded arithmetic.
+// kSloAware degrades to kLeastLoaded here — the offline Request carries no
+// priority, so every simulated request is standard-class.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "serving/routing_policy.h"
 #include "serving/simulator.h"
 
 namespace turbo::serving {
-
-enum class DispatchPolicy { kRoundRobin, kLeastLoaded };
 
 struct ClusterServer {
   std::string name;

@@ -302,6 +302,53 @@ TEST(MultiModelServer, IdleHeadroomIsBorrowedAndReclaimedByItsOwner) {
   EXPECT_EQ(server.budget().used_bytes(), 0u);
 }
 
+TEST(MultiModelServer, ReplicatedModelBitIdenticalWithPerReplicaStats) {
+  // replicas=2 behind the router: same bundle, same budget discipline —
+  // outputs match the dedicated single-engine run bit-exactly, and stats()
+  // reports one row per replica with the guarantee split between them.
+  auto bundle = make_bundle("m", 1, tiny(), /*seed=*/41);
+  Rng rng(0x2E9);
+  std::vector<serving::GenerationRequest> requests;
+  for (int i = 0; i < 10; ++i) {
+    auto r = make_request(rng, i, 5 + i % 4, 12, "m");
+    r.priority = i % 3 == 0 ? 2 : (i % 3 == 1 ? 0 : -1);
+    requests.push_back(std::move(r));
+  }
+  const auto ref = dedicated_reference(bundle, requests);
+
+  MultiModelOptions options;
+  options.engine = small_engine();
+  const size_t slab = 4ull * 2 * 4 * 32 * sizeof(float);
+  options.total_kv_bytes = 4 * slab;
+  options.router.use_observed_cost = false;
+  MultiModelGenerationServer server(options);
+  server.register_bundle(bundle, 4 * slab, /*overrides=*/{}, /*replicas=*/2);
+  ASSERT_NE(server.replica_set("m", 1), nullptr);
+  EXPECT_EQ(server.replica_set("m", 1)->size(), 2u);
+
+  for (const auto& r : requests) server.submit(r);
+  std::map<int64_t, std::vector<int>> tokens;
+  for (auto& resp : server.run_to_completion()) {
+    tokens[resp.request_id] = std::move(resp.tokens);
+  }
+  ASSERT_EQ(tokens.size(), requests.size());
+  for (const auto& [id, toks] : ref) EXPECT_EQ(tokens.at(id), toks);
+
+  const auto stats = server.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].label, "m:v1");
+  EXPECT_EQ(stats[0].replica, 0);
+  EXPECT_EQ(stats[1].label, "m:v1#1");
+  EXPECT_EQ(stats[1].replica, 1);
+  EXPECT_EQ(stats[0].budget_guarantee_bytes, 2 * slab);
+  EXPECT_EQ(stats[1].budget_guarantee_bytes, 2 * slab);
+  EXPECT_EQ(stats[0].served + stats[1].served, requests.size());
+  // Both replicas actually took traffic (the router spread the load).
+  EXPECT_GT(stats[0].served, 0u);
+  EXPECT_GT(stats[1].served, 0u);
+  EXPECT_EQ(server.budget().used_bytes(), 0u);
+}
+
 TEST(MultiModelServer, PerModelStatsBreakdown) {
   MultiModelGenerationServer server;
   server.register_bundle(make_bundle("a", 1, tiny(), 1), 0, small_engine());

@@ -618,6 +618,36 @@ TEST(ObsIntegrationTest, TracingOffByDefaultButMetricsAlwaysOn) {
   EXPECT_EQ(reg.counter_value(p + "tokens_streamed"), tokens);
 }
 
+TEST(ObsIntegrationTest, KvPressureGaugesTrackThePool) {
+  // The router's KV-pressure signals, published as gauges at the end of
+  // every fused step: free blocks behind the admission gate and the bytes
+  // charged against it. Bounded pool so "free" is a finite number.
+  genserve::GenServerOptions options;
+  options.pool.block_tokens = 4;
+  options.pool.blocks_per_slab = 4;
+  options.pool.max_bytes = 8ull * 4 * 4 * 2 * 32 * sizeof(float);
+  genserve::GenerationServer server(tiny_config(), options, 1);
+  const auto& reg = *server.metrics();
+  const std::string p = server.metric_prefix();
+
+  for (auto& r : tiny_requests(4)) server.submit(r);
+  bool saw_charge = false;
+  while (!server.idle()) {
+    server.step();
+    const auto snap = server.pool_snapshot();
+    EXPECT_EQ(reg.gauge_value(p + "kv_free_blocks"),
+              static_cast<double>(snap.free_blocks));
+    EXPECT_EQ(reg.gauge_value(p + "kv_charged_bytes"),
+              static_cast<double>(snap.charged_bytes));
+    saw_charge = saw_charge || snap.charged_bytes > 0;
+  }
+  EXPECT_TRUE(saw_charge) << "pool never charged — the gauges went untested";
+  // Drained: everything released, full headroom back.
+  EXPECT_EQ(reg.gauge_value(p + "kv_charged_bytes"), 0.0);
+  EXPECT_EQ(reg.gauge_value(p + "kv_free_blocks"),
+            static_cast<double>(server.pool_snapshot().free_blocks));
+}
+
 TEST(ObsIntegrationTest, TracedRunAttributesItsSteps) {
   genserve::GenServerOptions options;
   options.trace.enabled = true;
